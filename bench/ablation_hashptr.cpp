@@ -1,0 +1,78 @@
+// Ablation A1 — hash-pointer strategy trade-offs (§V-A "How to choose the
+// hash-pointers?").
+//
+// "Typically, it's a trade-off between the cost of 'append' and integrity
+// proofs for 'read'."  For each strategy and capsule size we measure:
+//   * append throughput (records/s, wall clock; includes ECDSA signing),
+//   * per-record header overhead on the wire,
+//   * membership-proof size and path length for the *oldest* record
+//     against the newest heartbeat (the worst case),
+//   * proof verification wall time.
+// Expected shape: chain appends cheapest with O(n) proofs; skip-list pays
+// a few extra pointers for O(log n) proofs; checkpoint sits between with
+// O(n/K + 1) proof hops.
+#include <chrono>
+#include <cstdio>
+
+#include "capsule/proof.hpp"
+#include "capsule/strategy.hpp"
+#include "capsule/writer.hpp"
+#include "common/rng.hpp"
+
+using namespace gdp;
+using namespace gdp::capsule;
+
+int main() {
+  std::printf("# Ablation A1: hash-pointer strategies\n");
+  std::printf("%-14s %8s %12s %12s %12s %10s %12s\n", "strategy", "records",
+              "append_per_s", "hdr_bytes", "proof_bytes", "proof_hops",
+              "verify_us");
+
+  Rng rng(2026);
+  auto owner = crypto::PrivateKey::generate(rng);
+  auto writer_key = crypto::PrivateKey::generate(rng);
+
+  for (const char* strategy_id : {"chain", "skiplist", "checkpoint:16"}) {
+    for (int n : {128, 1024, 8192}) {
+      auto metadata = Metadata::create(
+          owner, writer_key.public_key(), WriterMode::kStrictSingleWriter,
+          std::string("bench-") + strategy_id + "-" + std::to_string(n), 0);
+      if (!metadata.ok()) return 1;
+      Writer writer(*metadata, writer_key, strategy_from_id(strategy_id));
+      CapsuleState state(*metadata);
+
+      Bytes payload(256, 0x42);
+      RecordHash first_hash;
+      std::uint64_t header_bytes = 0;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < n; ++i) {
+        Record rec = writer.append(payload, i);
+        if (i == 0) first_hash = rec.hash();
+        header_bytes += rec.header.serialize().size();
+        if (!state.ingest(rec).ok()) return 1;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double append_s = std::chrono::duration<double>(t1 - t0).count();
+
+      Heartbeat hb = writer.heartbeat();
+      auto proof = build_membership_proof(state, hb, first_hash);
+      if (!proof.ok()) return 1;
+
+      const auto v0 = std::chrono::steady_clock::now();
+      constexpr int kVerifyReps = 50;
+      for (int i = 0; i < kVerifyReps; ++i) {
+        if (!verify_membership_proof(*metadata, hb, *proof, first_hash).ok()) return 1;
+      }
+      const auto v1 = std::chrono::steady_clock::now();
+      const double verify_us =
+          std::chrono::duration<double>(v1 - v0).count() / kVerifyReps * 1e6;
+
+      std::printf("%-14s %8d %12.0f %12.1f %12zu %10zu %12.1f\n", strategy_id, n,
+                  n / append_s,
+                  static_cast<double>(header_bytes) / n,
+                  proof->size_bytes(), proof->path.size(), verify_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Table I reproduction: "A summary of how Global Data Plane meets the
+// platform requirements (see section II)".
+//
+// Table I is qualitative — requirement -> enabling feature.  We reproduce
+// it *executably*: each row runs a miniature scenario that demonstrates
+// the enabling feature actually doing its job, and prints PASS/FAIL.
+#include <cstdio>
+
+#include "capsule/proof.hpp"
+#include "harness/scenario.hpp"
+
+using namespace gdp;
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+namespace {
+
+int failures = 0;
+
+void row(const char* goal, const char* feature, bool ok) {
+  std::printf("%-26s | %-60s | %s\n", goal, feature, ok ? "PASS" : "FAIL");
+  if (!ok) ++failures;
+}
+
+bool homogeneous_interface() {
+  // One DataCapsule interface carries a text file, a time series and a
+  // video-ish stream; the same append/read/subscribe calls serve all.
+  Scenario s(1, "t1-iface");
+  auto* d = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", d);
+  auto* srv = s.add_server("srv", r);
+  auto* c = s.add_client("c", r);
+  s.attach_all();
+  for (const char* kind : {"textfile", "timeseries", "stream"}) {
+    CapsuleSetup cap = make_capsule(s.key_rng(), kind);
+    if (!place_capsule(s, cap, *c, {srv}).ok()) return false;
+    capsule::Writer w = cap.make_writer();
+    if (!await(s.sim(), c->append(w, to_bytes(kind))).ok()) return false;
+    auto read = await(s.sim(), c->read_latest(cap.metadata));
+    if (!read.ok() || to_string(read->records[0].payload) != kind) return false;
+  }
+  return true;
+}
+
+bool federated_architecture() {
+  // The flat capsule name is the trust anchor: a reader with *only* the
+  // metadata (no PKI, no CA) verifies data served by a stranger's server.
+  Scenario s(2, "t1-fed");
+  auto* d = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", d);
+  auto* srv = s.add_server("someone-elses-server", r);
+  auto* writer_c = s.add_client("w", r);
+  auto* reader_c = s.add_client("rd", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "federated");
+  if (!place_capsule(s, cap, *writer_c, {srv}).ok()) return false;
+  capsule::Writer w = cap.make_writer();
+  if (!await(s.sim(), writer_c->append(w, to_bytes("x"))).ok()) return false;
+  auto read = await(s.sim(), reader_c->read_latest(cap.metadata));
+  return read.ok();
+}
+
+bool locality() {
+  // Hierarchical routing domains + anycast: the near replica serves.
+  Scenario s(3, "t1-local");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  auto* r3 = s.add_router("r3", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(1));
+  s.link_routers(r1, r3, net::LinkParams::wan(100));
+  auto* near_srv = s.add_server("near", r2);
+  auto* far_srv = s.add_server("far", r3);
+  auto* c = s.add_client("c", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "near-me");
+  if (!place_capsule(s, cap, *c, {near_srv, far_srv}).ok()) return false;
+  capsule::Writer w = cap.make_writer();
+  if (!await(s.sim(), c->append(w, to_bytes("x"))).ok()) return false;
+  s.settle();
+  return near_srv->appends_accepted() == 1 && far_srv->appends_accepted() == 0;
+}
+
+bool secure_storage() {
+  // The capsule is an authenticated data structure: a reader verifies
+  // integrity against the name alone, even with a tampering server path.
+  Scenario s(4, "t1-storage");
+  auto* d = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", d);
+  auto* srv = s.add_server("srv", r);
+  auto* c = s.add_client("c", r);
+  auto* rd = s.add_client("rd", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "ads");
+  if (!place_capsule(s, cap, *c, {srv}).ok()) return false;
+  capsule::Writer w = cap.make_writer();
+  for (int i = 0; i < 8; ++i) {
+    if (!await(s.sim(), c->append(w, to_bytes("r" + std::to_string(i)))).ok()) return false;
+  }
+  auto good = await(s.sim(), rd->read(cap.metadata, 2, 6));
+  if (!good.ok()) return false;
+  // Now tamper the response path; the forgery must be detected.
+  s.net().set_interceptor(srv->name(), r->name(),
+                          [](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+                            wire::Pdu bad = pdu;
+                            if (bad.payload.size() > 200) bad.payload[200] ^= 1;
+                            return bad;
+                          });
+  auto forged = await(s.sim(), rd->read(cap.metadata, 2, 6));
+  return !forged.ok();
+}
+
+bool administrative_boundaries() {
+  // Explicit cryptographic delegations at capsule level: a server with no
+  // AdCert cannot host; a restricted capsule stays in its domain.
+  Scenario s(5, "t1-admin");
+  auto* g = s.add_domain("g", nullptr);
+  auto* dom = s.add_domain("corp", g);
+  auto* r1 = s.add_router("r1", dom);
+  auto* rg = s.add_router("rg", g);
+  s.link_routers(r1, rg, net::LinkParams::wan(5));
+  auto* srv = s.add_server("srv", r1);
+  auto* outside_srv = s.add_server("outside", rg);
+  auto* c = s.add_client("c", r1);
+  auto* outsider = s.add_client("outsider", rg);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "corp-data");
+  if (!place_capsule(s, cap, *c, {srv}, {dom->domain()}).ok()) return false;
+  // A server without delegation refuses to host.
+  auto no_cert = await(
+      s.sim(), c->create_capsule(outside_srv->name(), cap.metadata,
+                                 trust::ServingDelegation{}, {}));
+  if (no_cert.ok()) return false;
+  capsule::Writer w = cap.make_writer();
+  if (!await(s.sim(), c->append(w, to_bytes("internal"))).ok()) return false;
+  // Outside the domain the name does not even resolve.
+  auto snoop = await(s.sim(), outsider->read_latest(cap.metadata));
+  return !snoop.ok();
+}
+
+bool secure_routing() {
+  // Secure advertisements: name-squatting without a delegation is
+  // rejected at the router, so traffic cannot be black-holed by claim.
+  Scenario s(6, "t1-routing");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* honest = s.add_server("honest", r);
+  auto* mallory = s.add_server("mallory", r);
+  auto* c = s.add_client("c", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "coveted-name");
+  if (!place_capsule(s, cap, *c, {honest}).ok()) return false;
+  Rng mrng(13);
+  auto fake_owner = crypto::PrivateKey::generate(mrng);
+  trust::Advertisement fake;
+  fake.advertised = cap.metadata.name();
+  fake.capsule_metadata = cap.metadata.serialize();
+  fake.expires_ns = (s.sim().now() + from_seconds(3600)).count();
+  fake.delegation.ad_cert = trust::make_ad_cert(
+      fake_owner, fake_owner.public_key().fingerprint(), cap.metadata.name(),
+      mallory->principal().name(), s.sim().now(), s.sim().now() + from_seconds(3600));
+  const std::uint64_t rejected = r->advertisements_rejected();
+  mallory->advertise(r->name(), {trust::Catalog::encode_advertisement(fake)});
+  s.settle();
+  if (r->advertisements_rejected() <= rejected) return false;
+  capsule::Writer w = cap.make_writer();
+  if (!await(s.sim(), c->append(w, to_bytes("safe"))).ok()) return false;
+  s.settle();
+  return honest->storage().find(cap.metadata.name())->state().size() == 1;
+}
+
+bool publish_subscribe() {
+  Scenario s(7, "t1-pubsub");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* c = s.add_client("c", r);
+  auto* sub = s.add_client("sub", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "feed");
+  if (!place_capsule(s, cap, *c, {srv}).ok()) return false;
+  int events = 0;
+  auto cert = cap.sub_cert_for(sub->name(), s.sim().now(),
+                               s.sim().now() + from_seconds(3600));
+  if (!await(s.sim(), sub->subscribe(cap.metadata, cert,
+                                     [&](const capsule::Record&,
+                                         const capsule::Heartbeat&) { ++events; }))
+           .ok()) {
+    return false;
+  }
+  capsule::Writer w = cap.make_writer();
+  for (int i = 0; i < 3; ++i) {
+    if (!await(s.sim(), c->append(w, to_bytes("e"))).ok()) return false;
+  }
+  s.settle();
+  return events == 3;
+}
+
+bool incremental_deployment() {
+  // Routing over existing IP networks as an overlay: the same stack runs
+  // over LAN, WAN and asymmetric residential links without change.
+  Scenario s(8, "t1-overlay");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(80));  // intercontinental tunnel
+  auto* srv = s.add_server("srv", r2);
+  auto* c = s.add_client("c", r1, net::LinkParams::residential_up());
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "over-ip");
+  if (!place_capsule(s, cap, *c, {srv}).ok()) return false;
+  capsule::Writer w = cap.make_writer();
+  if (!await(s.sim(), c->append(w, to_bytes("tunnelled"))).ok()) return false;
+  auto read = await(s.sim(), c->read_latest(cap.metadata));
+  return read.ok();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Table I: platform requirements -> enabling features "
+              "(executable reproduction)\n");
+  std::printf("%-26s | %-60s | result\n", "Goal", "Enabling feature");
+  std::printf("---------------------------+--------------------------------"
+              "------------------------------+-------\n");
+  row("Homogeneous interface",
+      "DataCapsule interface supporting diverse applications", homogeneous_interface());
+  row("Federated architecture",
+      "Flat capsule name as trust anchor; no traditional PKI", federated_architecture());
+  row("Locality",
+      "Hierarchical routing domains mimicking topology; anycast", locality());
+  row("Secure storage",
+      "DataCapsule as authenticated data structure (client-verified)", secure_storage());
+  row("Administrative boundaries",
+      "Explicit cryptographic delegations (AdCerts) per capsule", administrative_boundaries());
+  row("Secure routing",
+      "Secure advertisements + AdCert/RtCert delegation chains", secure_routing());
+  row("Publish-subscribe",
+      "Subscribe as a native access mode with SubCert admission", publish_subscribe());
+  row("Incremental deployment",
+      "Overlay routing over existing IP links (LAN/WAN/residential)", incremental_deployment());
+  std::printf("\n%s\n", failures == 0 ? "Table I: all 8 requirements demonstrated"
+                                      : "Table I: FAILURES present");
+  return failures == 0 ? 0 : 1;
+}

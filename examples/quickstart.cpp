@@ -1,0 +1,70 @@
+// Quickstart: the smallest useful Global Data Plane deployment.
+//
+// One routing domain, one GDP-router, one DataCapsule-server, two clients.
+// We create a DataCapsule, append a few signed records, and read them back
+// with full end-to-end verification — the reader trusts nothing but the
+// capsule's name.
+#include <iostream>
+
+#include "harness/scenario.hpp"
+
+using namespace gdp;
+
+int main() {
+  std::cout << "== GDP quickstart ==\n";
+
+  // 1. Infrastructure: a domain with its GLookupService, a router, a
+  //    storage server, and two clients, all on simulated LAN links.
+  harness::Scenario s(/*seed=*/1, "quickstart");
+  auto* domain = s.add_domain("example-domain", nullptr);
+  auto* router = s.add_router("router-0", domain);
+  auto* server = s.add_server("capsule-server-0", router);
+  auto* alice = s.add_client("alice", router);   // the writer
+  auto* bob = s.add_client("bob", router);       // a reader
+  s.attach_all();  // secure advertisement handshakes run here
+  std::cout << "server attached: " << std::boolalpha << server->attached()
+            << ", router FIB entries: " << router->fib_size() << "\n";
+
+  // 2. A DataCapsule: owner + writer keys, metadata hashed into the name.
+  harness::CapsuleSetup capsule =
+      harness::make_capsule(s.key_rng(), "alice-notes");
+  std::cout << "capsule name (trust anchor): "
+            << capsule.metadata.name().short_hex() << "...\n";
+
+  // 3. The owner delegates storage to the server (AdCert) and places it.
+  auto placed = harness::place_capsule(s, capsule, *alice, {server});
+  if (!placed.ok()) {
+    std::cerr << "placement failed: " << placed.to_string() << "\n";
+    return 1;
+  }
+
+  // 4. Alice appends signed records; acks arrive HMAC-authenticated.
+  capsule::Writer writer = capsule.make_writer();
+  for (const char* note : {"note one", "note two", "note three"}) {
+    auto outcome = client::await(s.sim(), alice->append(writer, to_bytes(note)));
+    if (!outcome.ok()) {
+      std::cerr << "append failed: " << outcome.error().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "appended seqno " << outcome->seqno
+              << " (ack via " << (outcome->via_hmac ? "HMAC session" : "signature")
+              << ")\n";
+  }
+
+  // 5. Bob reads the full range. The response carries a range proof the
+  //    client verifies against the writer key from the capsule metadata.
+  auto read = client::await(s.sim(), bob->read(capsule.metadata, 1, 3));
+  if (!read.ok()) {
+    std::cerr << "read failed: " << read.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "bob read " << read->records.size()
+            << " verified records (heartbeat seqno " << read->heartbeat.seqno
+            << "):\n";
+  for (const auto& rec : read->records) {
+    std::cout << "  [" << rec.header.seqno << "] " << to_string(rec.payload)
+              << "\n";
+  }
+  std::cout << "quickstart OK\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Team chat: multiple writers through a serializing commit service
+// (§VI-A) plus live subscription.
+//
+// A DataCapsule has exactly one writer — so a chat room is built the way
+// the paper prescribes: a commit service holds the room capsule's writer
+// key, participants *propose* messages to its flat name, and the service
+// serializes them into the capsule.  Every message remains attributable
+// to its proposer (their client identity is stamped into the record), the
+// room history is totally ordered, tamper-evident, and replayable by
+// latecomers.
+#include <iostream>
+
+#include "caapi/commit.hpp"
+#include "harness/scenario.hpp"
+
+using namespace gdp;
+
+int main() {
+  std::cout << "== GDP team chat (multi-writer via commit service) ==\n";
+  harness::Scenario s(/*seed=*/33, "chat");
+  auto* g = s.add_domain("office", nullptr);
+  auto* r = s.add_router("router", g);
+  auto* srv = s.add_server("storage", r);
+  auto* svc_client = s.add_client("room-service", r);
+  auto* ann = s.add_client("ann", r);
+  auto* ben = s.add_client("ben", r);
+  auto* cyd = s.add_client("cyd", r);
+  s.attach_all();
+
+  // The room capsule, owned and written by the commit service.
+  harness::CapsuleSetup room = harness::make_capsule(s.key_rng(), "room:#general");
+  if (!harness::place_capsule(s, room, *svc_client, {srv}).ok()) return 1;
+  capsule::Metadata room_meta = room.metadata;
+  caapi::CommitService service(s, *svc_client, std::move(room));
+  std::cout << "room capsule " << room_meta.name().short_hex()
+            << "... hosted; commit service at "
+            << service.service_name().short_hex() << "...\n";
+
+  // Everyone proposes concurrently.
+  caapi::Proposer ann_p(s, *ann), ben_p(s, *ben), cyd_p(s, *cyd);
+  struct Msg {
+    caapi::Proposer* who;
+    const char* text;
+  };
+  std::vector<Msg> lines = {
+      {&ann_p, "morning all"},
+      {&ben_p, "hey ann"},
+      {&cyd_p, "capsule migration done, reads now hit the edge box"},
+      {&ann_p, "latency numbers?"},
+      {&cyd_p, "10ms, down from 210"},
+      {&ben_p, "ship it"},
+  };
+  std::vector<client::OpPtr<std::uint64_t>> ops;
+  for (const Msg& m : lines) {
+    ops.push_back(m.who->propose(service.service_name(), to_bytes(m.text)));
+  }
+  s.settle();
+  for (auto& op : ops) {
+    auto seqno = client::await(s.sim(), op);
+    if (!seqno.ok()) {
+      std::cerr << "proposal failed: " << seqno.error().to_string() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "6 messages from 3 writers serialized into "
+            << service.proposals_committed() << " records\n\n";
+
+  // A latecomer replays the whole room — verified, ordered, attributed.
+  auto* dee = s.add_client("dee", r);
+  s.attach_all();
+  auto history = client::await(
+      s.sim(), dee->read(room_meta, 1, service.proposals_committed()));
+  if (!history.ok()) {
+    std::cerr << "replay failed: " << history.error().to_string() << "\n";
+    return 1;
+  }
+  auto who = [&](const Name& n) -> std::string {
+    if (n == ann->name()) return "ann";
+    if (n == ben->name()) return "ben";
+    if (n == cyd->name()) return "cyd";
+    return n.short_hex();
+  };
+  for (const auto& rec : history->records) {
+    auto decoded = caapi::CommitService::decode_committed(rec.payload);
+    if (!decoded.ok()) return 1;
+    std::cout << "  [" << rec.header.seqno << "] <" << who(decoded->first)
+              << "> " << to_string(decoded->second) << "\n";
+  }
+  std::cout << "\nteam chat OK — single-writer capsule, many attributable voices\n";
+  return 0;
+}

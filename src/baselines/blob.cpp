@@ -1,0 +1,107 @@
+#include "baselines/blob.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::baselines {
+
+namespace {
+constexpr std::uint8_t kPut = 1;
+constexpr std::uint8_t kGet = 2;
+constexpr std::uint8_t kPutOk = 3;
+constexpr std::uint8_t kGetOk = 4;
+constexpr std::uint8_t kErr = 5;
+}  // namespace
+
+BlobService::BlobService(net::Network& net, const Name& name, Options options)
+    : net_(net), name_(name), options_(options) {
+  net_.attach(name_, this);
+}
+
+void BlobService::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  if (pdu.type != wire::MsgType::kBenchData || pdu.payload.empty()) return;
+  wire::Pdu reply;
+  reply.dst = pdu.src;
+  reply.src = name_;
+  reply.type = wire::MsgType::kBenchData;
+  reply.flow_id = pdu.flow_id;
+
+  ByteReader r(BytesView(pdu.payload).subspan(1));
+  auto key = r.get_length_prefixed();
+  if (!key) return;
+  switch (pdu.payload[0]) {
+    case kPut: {
+      auto value = r.get_length_prefixed();
+      if (!value) return;
+      objects_[to_string(*key)] = std::move(*value);
+      reply.payload = Bytes{kPutOk};
+      break;
+    }
+    case kGet: {
+      auto it = objects_.find(to_string(*key));
+      if (it == objects_.end()) {
+        reply.payload = Bytes{kErr};
+      } else {
+        reply.payload = Bytes{kGetOk};
+        put_length_prefixed(reply.payload, it->second);
+      }
+      break;
+    }
+    default:
+      return;
+  }
+  // Request processing overhead, then the (bandwidth-accounted) reply.
+  net_.sim().schedule(options_.request_overhead,
+                      [this, from, reply = std::move(reply)]() mutable {
+                        net_.send(name_, from, std::move(reply));
+                      });
+}
+
+BlobClient::BlobClient(net::Network& net, const Name& name)
+    : net_(net), name_(name) {
+  net_.attach(name_, this);
+}
+
+void BlobClient::on_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
+  reply_ = pdu;
+}
+
+Status BlobClient::put(const Name& service, const std::string& key,
+                       BytesView value) {
+  wire::Pdu pdu;
+  pdu.dst = service;
+  pdu.src = name_;
+  pdu.type = wire::MsgType::kBenchData;
+  pdu.flow_id = next_flow_++;
+  pdu.payload = Bytes{kPut};
+  put_length_prefixed(pdu.payload, to_bytes(key));
+  put_length_prefixed(pdu.payload, value);
+  reply_.reset();
+  net_.send(name_, service, std::move(pdu));
+  while (!reply_ && !net_.sim().idle()) net_.sim().run_until(net_.sim().now() + from_millis(10));
+  if (!reply_ || reply_->payload.empty() || reply_->payload[0] != kPutOk) {
+    return make_error(Errc::kUnavailable, "blob put failed");
+  }
+  return ok_status();
+}
+
+Result<Bytes> BlobClient::get(const Name& service, const std::string& key) {
+  wire::Pdu pdu;
+  pdu.dst = service;
+  pdu.src = name_;
+  pdu.type = wire::MsgType::kBenchData;
+  pdu.flow_id = next_flow_++;
+  pdu.payload = Bytes{kGet};
+  put_length_prefixed(pdu.payload, to_bytes(key));
+  reply_.reset();
+  net_.send(name_, service, std::move(pdu));
+  while (!reply_ && !net_.sim().idle()) net_.sim().run_until(net_.sim().now() + from_millis(10));
+  if (!reply_ || reply_->payload.empty() || reply_->payload[0] != kGetOk) {
+    return make_error(Errc::kNotFound, "blob get failed");
+  }
+  ByteReader r(BytesView(reply_->payload).subspan(1));
+  auto value = r.get_length_prefixed();
+  if (!value) return make_error(Errc::kCorruptData, "malformed blob reply");
+  return std::move(*value);
+}
+
+}  // namespace gdp::baselines

@@ -1,0 +1,62 @@
+// S3-like blob store baseline (§IX / Figure 8).
+//
+// Models a cloud object store as seen from a client: a per-request setup
+// cost (HTTP/TLS handshake + service latency) followed by a single bulk
+// body transfer whose duration is governed by the simulated link
+// bandwidth.  PUT stores whole objects, GET returns them — no integrity
+// proofs, no delegations; trust is "based on reputation" as the paper
+// puts it.  Runs point-to-point over the same net::Network links as the
+// GDP, so Figure 8 comparisons differ only in architecture, not substrate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace gdp::baselines {
+
+class BlobService : public net::PduHandler {
+ public:
+  struct Options {
+    /// Server-side processing latency per request (auth, indexing, ...).
+    Duration request_overhead = from_millis(30);
+  };
+
+  BlobService(net::Network& net, const Name& name, Options options);
+  BlobService(net::Network& net, const Name& name)
+      : BlobService(net, name, Options{}) {}
+
+  const Name& name() const { return name_; }
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+  std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  net::Network& net_;
+  Name name_;
+  Options options_;
+  std::map<std::string, Bytes> objects_;
+};
+
+class BlobClient : public net::PduHandler {
+ public:
+  BlobClient(net::Network& net, const Name& name);
+
+  const Name& name() const { return name_; }
+
+  /// Synchronous helpers: drive the simulator until the reply arrives.
+  Status put(const Name& service, const std::string& key, BytesView value);
+  Result<Bytes> get(const Name& service, const std::string& key);
+
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+ private:
+  net::Network& net_;
+  Name name_;
+  std::uint64_t next_flow_ = 1;
+  std::optional<wire::Pdu> reply_;
+};
+
+}  // namespace gdp::baselines

@@ -1,0 +1,256 @@
+#include "baselines/remotefs.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::baselines {
+
+namespace {
+constexpr std::uint8_t kStat = 1;
+constexpr std::uint8_t kReadBlock = 2;
+constexpr std::uint8_t kWriteBlock = 3;
+constexpr std::uint8_t kTruncate = 4;
+constexpr std::uint8_t kStatOk = 5;
+constexpr std::uint8_t kBlockData = 6;
+constexpr std::uint8_t kWriteOk = 7;
+constexpr std::uint8_t kTruncOk = 8;
+constexpr std::uint8_t kErr = 9;
+}  // namespace
+
+RemoteFsService::RemoteFsService(net::Network& net, const Name& name,
+                                 Options options)
+    : net_(net), name_(name), options_(options) {
+  net_.attach(name_, this);
+}
+
+void RemoteFsService::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  if (pdu.type != wire::MsgType::kBenchData || pdu.payload.empty()) return;
+  wire::Pdu reply;
+  reply.dst = pdu.src;
+  reply.src = name_;
+  reply.type = wire::MsgType::kBenchData;
+  reply.flow_id = pdu.flow_id;
+
+  ByteReader r(BytesView(pdu.payload).subspan(1));
+  auto path_bytes = r.get_length_prefixed();
+  if (!path_bytes) return;
+  const std::string path = to_string(*path_bytes);
+
+  switch (pdu.payload[0]) {
+    case kStat: {
+      auto it = files_.find(path);
+      if (it == files_.end()) {
+        reply.payload = Bytes{kErr};
+      } else {
+        reply.payload = Bytes{kStatOk};
+        put_fixed64(reply.payload, it->second.size());
+      }
+      break;
+    }
+    case kTruncate: {
+      files_[path].clear();
+      reply.payload = Bytes{kTruncOk};
+      break;
+    }
+    case kReadBlock: {
+      auto index = r.get_varint();
+      auto block_size = r.get_varint();
+      auto it = files_.find(path);
+      if (!index || !block_size || it == files_.end()) {
+        reply.payload = Bytes{kErr};
+        break;
+      }
+      const std::size_t off = static_cast<std::size_t>(*index * *block_size);
+      if (off > it->second.size()) {
+        reply.payload = Bytes{kErr};
+        break;
+      }
+      const std::size_t n =
+          std::min<std::size_t>(*block_size, it->second.size() - off);
+      reply.payload = Bytes{kBlockData};
+      put_varint(reply.payload, *index);
+      put_length_prefixed(reply.payload,
+                          BytesView(it->second.data() + off, n));
+      break;
+    }
+    case kWriteBlock: {
+      auto index = r.get_varint();
+      auto block_size = r.get_varint();
+      auto data = r.get_length_prefixed();
+      if (!index || !block_size || !data) return;
+      Bytes& file = files_[path];
+      const std::size_t off = static_cast<std::size_t>(*index * *block_size);
+      if (file.size() < off + data->size()) file.resize(off + data->size());
+      std::copy(data->begin(), data->end(),
+                file.begin() + static_cast<std::ptrdiff_t>(off));
+      reply.payload = Bytes{kWriteOk};
+      put_varint(reply.payload, *index);
+      break;
+    }
+    default:
+      return;
+  }
+  net_.sim().schedule(options_.per_block_overhead,
+                      [this, from, reply = std::move(reply)]() mutable {
+                        net_.send(name_, from, std::move(reply));
+                      });
+}
+
+RemoteFsClient::RemoteFsClient(net::Network& net, const Name& name,
+                               Options options)
+    : net_(net), name_(name), options_(options) {
+  net_.attach(name_, this);
+}
+
+void RemoteFsClient::pump() {
+  if (!transfer_) return;
+  Transfer& t = *transfer_;
+  while (t.inflight < options_.window && t.next_block < t.total_blocks) {
+    wire::Pdu pdu;
+    pdu.dst = t.service;
+    pdu.src = name_;
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.flow_id = next_flow_++;
+    if (t.writing) {
+      const std::size_t off = t.next_block * options_.block_bytes;
+      const std::size_t n =
+          std::min(options_.block_bytes, t.data.size() - off);
+      pdu.payload = Bytes{kWriteBlock};
+      put_length_prefixed(pdu.payload, to_bytes(t.path));
+      put_varint(pdu.payload, t.next_block);
+      put_varint(pdu.payload, options_.block_bytes);
+      put_length_prefixed(pdu.payload, BytesView(t.data.data() + off, n));
+    } else {
+      pdu.payload = Bytes{kReadBlock};
+      put_length_prefixed(pdu.payload, to_bytes(t.path));
+      put_varint(pdu.payload, t.next_block);
+      put_varint(pdu.payload, options_.block_bytes);
+    }
+    ++t.next_block;
+    ++t.inflight;
+    net_.send(name_, t.service, std::move(pdu));
+  }
+}
+
+void RemoteFsClient::on_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
+  if (!transfer_ || pdu.payload.empty()) return;
+  Transfer& t = *transfer_;
+  ByteReader r(BytesView(pdu.payload).subspan(1));
+  switch (pdu.payload[0]) {
+    case kWriteOk: {
+      --t.inflight;
+      ++t.completed;
+      break;
+    }
+    case kBlockData: {
+      auto index = r.get_varint();
+      auto data = r.get_length_prefixed();
+      if (!index || !data) {
+        t.failed = true;
+        return;
+      }
+      t.read_blocks[static_cast<std::size_t>(*index)] = std::move(*data);
+      --t.inflight;
+      ++t.completed;
+      break;
+    }
+    case kStatOk:
+    case kTruncOk:
+      // Handled by the synchronous driver via completed bump.
+      --t.inflight;
+      ++t.completed;
+      if (pdu.payload[0] == kStatOk) {
+        ByteReader rr(BytesView(pdu.payload).subspan(1));
+        auto size = rr.get_fixed64();
+        if (size) t.data.resize(static_cast<std::size_t>(*size));
+      }
+      return;
+    default:
+      t.failed = true;
+      return;
+  }
+  pump();
+}
+
+Status RemoteFsClient::write_file(const Name& service, const std::string& path,
+                                  BytesView content) {
+  transfer_.emplace();
+  Transfer& t = *transfer_;
+  t.service = service;
+  t.path = path;
+  t.writing = true;
+  t.data.assign(content.begin(), content.end());
+  t.total_blocks =
+      content.empty() ? 0 : (content.size() + options_.block_bytes - 1) / options_.block_bytes;
+
+  // Truncate first (one RTT), then stream blocks through the window.
+  {
+    wire::Pdu pdu;
+    pdu.dst = service;
+    pdu.src = name_;
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.flow_id = next_flow_++;
+    pdu.payload = Bytes{kTruncate};
+    put_length_prefixed(pdu.payload, to_bytes(path));
+    t.inflight = 1;
+    net_.send(name_, service, std::move(pdu));
+  }
+  while (t.completed < 1 && !net_.sim().idle()) {
+    net_.sim().run_until(net_.sim().now() + from_millis(1));
+  }
+  t.completed = 0;
+  pump();
+  while (!t.failed && t.completed < t.total_blocks && !net_.sim().idle()) {
+    net_.sim().run_until(net_.sim().now() + from_millis(1));
+  }
+  const bool ok = !t.failed && t.completed == t.total_blocks;
+  transfer_.reset();
+  return ok ? ok_status() : make_error(Errc::kUnavailable, "remote write failed");
+}
+
+Result<Bytes> RemoteFsClient::read_file(const Name& service,
+                                        const std::string& path) {
+  transfer_.emplace();
+  Transfer& t = *transfer_;
+  t.service = service;
+  t.path = path;
+  t.writing = false;
+
+  // Stat (one RTT) to learn the size.
+  {
+    wire::Pdu pdu;
+    pdu.dst = service;
+    pdu.src = name_;
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.flow_id = next_flow_++;
+    pdu.payload = Bytes{kStat};
+    put_length_prefixed(pdu.payload, to_bytes(path));
+    t.inflight = 1;
+    net_.send(name_, service, std::move(pdu));
+  }
+  while (t.completed < 1 && !t.failed && !net_.sim().idle()) {
+    net_.sim().run_until(net_.sim().now() + from_millis(1));
+  }
+  if (t.failed) {
+    transfer_.reset();
+    return make_error(Errc::kNotFound, "no such remote file");
+  }
+  t.completed = 0;
+  t.total_blocks = t.data.empty()
+                       ? 0
+                       : (t.data.size() + options_.block_bytes - 1) / options_.block_bytes;
+  pump();
+  while (!t.failed && t.completed < t.total_blocks && !net_.sim().idle()) {
+    net_.sim().run_until(net_.sim().now() + from_millis(1));
+  }
+  if (t.failed || t.completed != t.total_blocks) {
+    transfer_.reset();
+    return make_error(Errc::kUnavailable, "remote read failed");
+  }
+  Bytes out;
+  out.reserve(t.data.size());
+  for (auto& [index, block] : t.read_blocks) append(out, block);
+  transfer_.reset();
+  return out;
+}
+
+}  // namespace gdp::baselines

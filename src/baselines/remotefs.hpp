@@ -1,0 +1,82 @@
+// SSHFS-like remote-filesystem baseline (§IX / Figure 8).
+//
+// SFTP moves file data in fixed-size blocks with a bounded window of
+// outstanding requests, which makes throughput sensitive to the
+// bandwidth-delay product — exactly the behaviour that separates SSHFS
+// from a bulk blob GET in the paper's case study.  We model block
+// requests/responses explicitly over the simulated links: `window`
+// requests in flight, each block acknowledged before the window slides.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace gdp::baselines {
+
+class RemoteFsService : public net::PduHandler {
+ public:
+  struct Options {
+    Duration per_block_overhead = from_micros(200);  ///< SSH crypto + syscall
+  };
+
+  RemoteFsService(net::Network& net, const Name& name, Options options);
+  RemoteFsService(net::Network& net, const Name& name)
+      : RemoteFsService(net, name, Options{}) {}
+
+  const Name& name() const { return name_; }
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+ private:
+  net::Network& net_;
+  Name name_;
+  Options options_;
+  std::map<std::string, Bytes> files_;
+};
+
+class RemoteFsClient : public net::PduHandler {
+ public:
+  struct Options {
+    std::size_t block_bytes = 32 * 1024;  ///< SFTP block size
+    std::size_t window = 16;              ///< outstanding requests
+  };
+
+  RemoteFsClient(net::Network& net, const Name& name, Options options);
+  RemoteFsClient(net::Network& net, const Name& name)
+      : RemoteFsClient(net, name, Options{}) {}
+
+  const Name& name() const { return name_; }
+
+  /// Block-windowed synchronous transfer; drives the simulator.
+  Status write_file(const Name& service, const std::string& path, BytesView content);
+  Result<Bytes> read_file(const Name& service, const std::string& path);
+
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+ private:
+  void pump();  ///< keeps `window` requests in flight
+
+  net::Network& net_;
+  Name name_;
+  Options options_;
+
+  // In-progress transfer state.
+  struct Transfer {
+    Name service;
+    std::string path;
+    bool writing = false;
+    Bytes data;              // write source / read accumulator
+    std::size_t total_blocks = 0;
+    std::size_t next_block = 0;   // next to request
+    std::size_t completed = 0;
+    std::size_t inflight = 0;
+    bool failed = false;
+    std::map<std::size_t, Bytes> read_blocks;
+  };
+  std::optional<Transfer> transfer_;
+  std::uint64_t next_flow_ = 1;
+};
+
+}  // namespace gdp::baselines

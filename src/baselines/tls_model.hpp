@@ -1,0 +1,34 @@
+// TLS-overhead reference model (§V "Secure Responses", ablation A3).
+//
+// The paper claims that after the HMAC session is established, a
+// DataCapsule conversation has "a steady state byte overhead roughly
+// similar to TLS".  This header captures the TLS 1.3 numbers the claim is
+// measured against, so the ablation bench can print GDP-vs-TLS columns
+// from one source of truth.
+#pragma once
+
+#include <cstddef>
+
+namespace gdp::baselines {
+
+struct TlsModel {
+  /// TLS 1.3 per-record overhead: 5-byte record header + 16-byte AEAD tag
+  /// + 1-byte content type.
+  static constexpr std::size_t kPerRecordOverhead = 5 + 16 + 1;
+
+  /// Typical TLS 1.3 handshake payload: ClientHello (~250 B) +
+  /// ServerHello/EncryptedExtensions (~150 B) + certificate chain
+  /// (~2.5 kB) + CertificateVerify (~260 B) + Finished (2 x 36 B).
+  static constexpr std::size_t kHandshakeBytes = 250 + 150 + 2500 + 260 + 72;
+
+  /// Handshake round trips before application data (TLS 1.3 full).
+  static constexpr int kHandshakeRtts = 1;
+
+  /// Asymmetric operations in the handshake: one ECDHE key-gen + one
+  /// shared-secret derivation per side, one signature, one verification.
+  static constexpr int kHandshakeScalarMults = 3;
+  static constexpr int kHandshakeSignatures = 1;
+  static constexpr int kHandshakeVerifications = 1;
+};
+
+}  // namespace gdp::baselines

@@ -1,0 +1,42 @@
+#include "caapi/aggregate.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::caapi {
+
+Aggregator::Aggregator(harness::Scenario& scenario, client::GdpClient& client,
+                       harness::CapsuleSetup output_setup)
+    : scenario_(scenario),
+      client_(client),
+      setup_(std::move(output_setup)),
+      writer_(setup_.make_writer()) {}
+
+Result<bool> Aggregator::add_source(const capsule::Metadata& source,
+                                    const trust::Cert& sub_cert) {
+  const Name source_name = source.name();
+  auto op = client_.subscribe(
+      source, sub_cert,
+      [this, source_name](const capsule::Record& rec, const capsule::Heartbeat&) {
+        Bytes payload;
+        append(payload, source_name.view());
+        put_varint(payload, rec.header.seqno);
+        put_length_prefixed(payload, rec.payload);
+        ++events_;
+        // Fire-and-forget append; durability is the infrastructure's job.
+        client_.append(writer_, payload, 1);
+      });
+  return client::await(scenario_.sim(), op);
+}
+
+Result<std::tuple<Name, std::uint64_t, Bytes>> Aggregator::decode(BytesView payload) {
+  ByteReader r(payload);
+  auto source = r.get_bytes(Name::kSize);
+  auto seqno = r.get_varint();
+  auto body = r.get_length_prefixed();
+  if (!source || !seqno || !body || !r.empty()) {
+    return make_error(Errc::kCorruptData, "malformed aggregated record");
+  }
+  return std::make_tuple(*Name::from_bytes(*source), *seqno, std::move(*body));
+}
+
+}  // namespace gdp::caapi

@@ -1,0 +1,43 @@
+// Aggregation service (§VI-A option (b)).
+//
+// "...by creating an aggregation service that subscribes to multiple
+// single-writer DataCapsules and combines them based on some
+// application-level logic."  The Aggregator subscribes to N source
+// capsules and appends every event into its own output capsule, stamped
+// with the source capsule name and source seqno — a fan-in materialized
+// view that downstream readers consume as one verified stream.
+#pragma once
+
+#include <vector>
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+class Aggregator {
+ public:
+  Aggregator(harness::Scenario& scenario, client::GdpClient& client,
+             harness::CapsuleSetup output_setup);
+
+  /// Subscribes to a source capsule; events flow into the output capsule
+  /// as they arrive.  `sub_cert` must grant this aggregator's client.
+  Result<bool> add_source(const capsule::Metadata& source,
+                          const trust::Cert& sub_cert);
+
+  const capsule::Metadata& output_metadata() const { return setup_.metadata; }
+  std::uint64_t events_aggregated() const { return events_; }
+
+  /// Decodes an aggregated record into (source capsule, source seqno,
+  /// original payload).
+  static Result<std::tuple<Name, std::uint64_t, Bytes>> decode(BytesView payload);
+
+ private:
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  harness::CapsuleSetup setup_;
+  capsule::Writer writer_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace gdp::caapi

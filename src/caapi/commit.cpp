@@ -1,0 +1,103 @@
+#include "caapi/commit.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::caapi {
+
+using client::await;
+
+CommitService::CommitService(harness::Scenario& scenario,
+                             client::GdpClient& service_client,
+                             harness::CapsuleSetup setup,
+                             std::uint32_t required_acks)
+    : scenario_(scenario),
+      client_(service_client),
+      setup_(std::move(setup)),
+      writer_(setup_.make_writer()),
+      required_acks_(required_acks) {
+  client_.set_app_handler(
+      [this](const Name& from, const wire::Pdu& pdu) { return on_app_pdu(from, pdu); });
+}
+
+bool CommitService::on_app_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
+  if (pdu.type != wire::MsgType::kProposal) return false;
+  // Serialize: stamp the proposer, append in arrival order.
+  Bytes record_payload;
+  append(record_payload, pdu.src.view());
+  put_length_prefixed(record_payload, pdu.payload);
+
+  const Name proposer = pdu.src;
+  const std::uint64_t flow = pdu.flow_id;
+  auto op = client_.append(writer_, record_payload, required_acks_);
+
+  // Answer once the append is durable; poll the op from the event loop.
+  auto check = std::make_shared<std::function<void()>>();
+  *check = [this, op, proposer, flow, check] {
+    if (!op->done) {
+      scenario_.sim().schedule(from_millis(1), *check);
+      return;
+    }
+    Bytes ack;
+    put_fixed64(ack, flow);
+    const bool ok = op->outcome->ok();
+    ack.push_back(ok ? 1 : 0);
+    put_fixed64(ack, ok ? (*op->outcome)->seqno : 0);
+    if (ok) ++committed_;
+    client_.send_app_pdu(proposer, wire::MsgType::kProposalAck, std::move(ack), flow);
+  };
+  scenario_.sim().schedule(from_millis(1), *check);
+  return true;
+}
+
+Result<std::pair<Name, Bytes>> CommitService::decode_committed(
+    BytesView record_payload) {
+  ByteReader r(record_payload);
+  auto proposer = r.get_bytes(Name::kSize);
+  auto payload = r.get_length_prefixed();
+  if (!proposer || !payload || !r.empty()) {
+    return make_error(Errc::kCorruptData, "malformed committed record");
+  }
+  return std::make_pair(*Name::from_bytes(*proposer), std::move(*payload));
+}
+
+Proposer::Proposer(harness::Scenario& scenario, client::GdpClient& producer)
+    : scenario_(scenario), client_(producer) {
+  client_.set_app_handler(
+      [this](const Name& from, const wire::Pdu& pdu) { return on_app_pdu(from, pdu); });
+}
+
+client::OpPtr<std::uint64_t> Proposer::propose(const Name& service,
+                                               BytesView payload) {
+  auto op = std::make_shared<client::Op<std::uint64_t>>();
+  const std::uint64_t flow = next_flow_++;
+  pending_[flow] = op;
+  scenario_.sim().schedule(from_seconds(30), [this, flow, op] {
+    if (pending_.erase(flow) > 0) {
+      op->resolve(make_error(Errc::kUnavailable, "proposal timed out"));
+    }
+  });
+  client_.send_app_pdu(service, wire::MsgType::kProposal,
+                       Bytes(payload.begin(), payload.end()), flow);
+  return op;
+}
+
+bool Proposer::on_app_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
+  if (pdu.type != wire::MsgType::kProposalAck) return false;
+  ByteReader r(pdu.payload);
+  auto flow = r.get_fixed64();
+  auto ok_byte = r.get_bytes(1);
+  auto seqno = r.get_fixed64();
+  if (!flow || !ok_byte || !seqno) return true;  // malformed ack: drop
+  auto it = pending_.find(*flow);
+  if (it == pending_.end()) return true;  // late or replayed
+  auto op = it->second;
+  pending_.erase(it);
+  if ((*ok_byte)[0] != 0) {
+    op->resolve(*seqno);
+  } else {
+    op->resolve(make_error(Errc::kUnavailable, "commit service rejected proposal"));
+  }
+  return true;
+}
+
+}  // namespace gdp::caapi

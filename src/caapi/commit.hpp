@@ -1,0 +1,62 @@
+// Multi-writer support via a serializing commit service (§VI-A).
+//
+// "Multiple writers can be accommodated ... by using a distributed commit
+// service that accepts updates from multiple writers, serializes them, and
+// appends them to a DataCapsule ... such a distributed commit service is
+// the single writer, and represents a separation of write decisions from
+// durability responsibilities."
+//
+// CommitService is a GDP principal that holds the capsule's writer key.
+// Producers send kProposal PDUs to its flat name; the service stamps each
+// proposal with the proposer identity, appends in arrival order, and
+// answers with the assigned seqno.
+#pragma once
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+class CommitService {
+ public:
+  /// `service_client` is the GDP client acting as the service's network
+  /// identity; the service installs itself as its app handler.
+  CommitService(harness::Scenario& scenario, client::GdpClient& service_client,
+                harness::CapsuleSetup setup, std::uint32_t required_acks = 1);
+
+  const Name& service_name() const { return client_.name(); }
+  const capsule::Metadata& metadata() const { return setup_.metadata; }
+  std::uint64_t proposals_committed() const { return committed_; }
+
+  /// Decodes a committed record back into (proposer, payload).
+  static Result<std::pair<Name, Bytes>> decode_committed(BytesView record_payload);
+
+ private:
+  bool on_app_pdu(const Name& from, const wire::Pdu& pdu);
+
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  harness::CapsuleSetup setup_;
+  capsule::Writer writer_;
+  std::uint32_t required_acks_;
+  std::uint64_t committed_ = 0;
+};
+
+/// Producer-side helper: wraps a GDP client and proposes payloads to a
+/// commit service; each proposal resolves with its assigned seqno.
+class Proposer {
+ public:
+  Proposer(harness::Scenario& scenario, client::GdpClient& producer);
+
+  client::OpPtr<std::uint64_t> propose(const Name& service, BytesView payload);
+
+ private:
+  bool on_app_pdu(const Name& from, const wire::Pdu& pdu);
+
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  std::unordered_map<std::uint64_t, client::OpPtr<std::uint64_t>> pending_;
+  std::uint64_t next_flow_ = 1;
+};
+
+}  // namespace gdp::caapi

@@ -1,0 +1,165 @@
+#include "caapi/fs.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::caapi {
+
+using client::await;
+
+namespace {
+constexpr std::uint8_t kDirAdd = 1;
+constexpr std::uint8_t kDirRemove = 2;
+}  // namespace
+
+GdpFilesystem::GdpFilesystem(harness::Scenario& scenario, client::GdpClient& client,
+                             std::vector<server::CapsuleServer*> servers,
+                             Options options, harness::CapsuleSetup dir_setup,
+                             capsule::Writer dir_writer)
+    : scenario_(scenario),
+      client_(client),
+      servers_(std::move(servers)),
+      options_(options),
+      dir_setup_(std::move(dir_setup)),
+      dir_writer_(std::move(dir_writer)) {}
+
+Result<GdpFilesystem> GdpFilesystem::create(harness::Scenario& scenario,
+                                            client::GdpClient& client,
+                                            std::vector<server::CapsuleServer*> servers,
+                                            const std::string& label,
+                                            Options options) {
+  if (servers.empty()) {
+    return make_error(Errc::kInvalidArgument, "filesystem needs at least one server");
+  }
+  harness::CapsuleSetup dir_setup =
+      harness::make_capsule(scenario.key_rng(), "fsdir:" + label);
+  GDP_RETURN_IF_ERROR(harness::place_capsule(scenario, dir_setup, client, servers));
+  capsule::Writer dir_writer = dir_setup.make_writer();
+  return GdpFilesystem(scenario, client, std::move(servers), options,
+                       std::move(dir_setup), std::move(dir_writer));
+}
+
+Status GdpFilesystem::commit_directory_record(bool add, const std::string& filename,
+                                              const FileEntry* entry) {
+  Bytes payload{add ? kDirAdd : kDirRemove};
+  put_length_prefixed(payload, to_bytes(filename));
+  if (add) {
+    put_length_prefixed(payload, entry->metadata.serialize());
+    put_varint(payload, entry->chunk_count);
+  }
+  auto op = client_.append(dir_writer_, payload, options_.required_acks);
+  GDP_ASSIGN_OR_RETURN(client::AppendOutcome outcome, await(scenario_.sim(), op));
+  (void)outcome;
+  return ok_status();
+}
+
+Result<std::pair<std::string, std::optional<GdpFilesystem::FileEntry>>>
+GdpFilesystem::parse_directory_record(BytesView payload) {
+  if (payload.empty()) return make_error(Errc::kCorruptData, "empty directory record");
+  ByteReader r(payload.subspan(1));
+  auto filename = r.get_length_prefixed();
+  if (!filename) return make_error(Errc::kCorruptData, "truncated directory record");
+  if (payload[0] == kDirRemove) {
+    return std::make_pair(to_string(*filename), std::optional<FileEntry>{});
+  }
+  if (payload[0] != kDirAdd) {
+    return make_error(Errc::kCorruptData, "unknown directory record tag");
+  }
+  auto metadata_bytes = r.get_length_prefixed();
+  auto chunks = r.get_varint();
+  if (!metadata_bytes || !chunks) {
+    return make_error(Errc::kCorruptData, "truncated directory add record");
+  }
+  GDP_ASSIGN_OR_RETURN(capsule::Metadata metadata,
+                       capsule::Metadata::deserialize(*metadata_bytes));
+  return std::make_pair(to_string(*filename),
+                        std::optional<FileEntry>(FileEntry{std::move(metadata),
+                                                           *chunks}));
+}
+
+Status GdpFilesystem::write_file(const std::string& filename, BytesView content) {
+  // Each file is its own capsule; overwrites allocate a fresh one (the
+  // old history remains immutable and provable — natural versioning).
+  harness::CapsuleSetup file_setup = harness::make_capsule(
+      scenario_.key_rng(), "file:" + filename,
+      capsule::WriterMode::kStrictSingleWriter, "chain");
+  GDP_RETURN_IF_ERROR(
+      harness::place_capsule(scenario_, file_setup, client_, servers_));
+
+  capsule::Writer writer = file_setup.make_writer();
+  std::vector<client::OpPtr<client::AppendOutcome>> ops;
+  std::uint64_t chunk_count = 0;
+  for (std::size_t off = 0; off < content.size() || content.empty();
+       off += options_.chunk_bytes) {
+    std::size_t n = std::min(options_.chunk_bytes, content.size() - off);
+    ops.push_back(client_.append(writer, content.subspan(off, n),
+                                 options_.required_acks));
+    ++chunk_count;
+    if (content.empty()) break;
+  }
+  scenario_.settle();
+  for (auto& op : ops) {
+    GDP_ASSIGN_OR_RETURN(client::AppendOutcome outcome, await(scenario_.sim(), op));
+    (void)outcome;
+  }
+
+  FileEntry entry{file_setup.metadata, chunk_count};
+  GDP_RETURN_IF_ERROR(commit_directory_record(true, filename, &entry));
+  directory_.insert_or_assign(filename, std::move(entry));
+  return ok_status();
+}
+
+Result<Bytes> GdpFilesystem::read_file(const std::string& filename) {
+  auto it = directory_.find(filename);
+  if (it == directory_.end()) {
+    return make_error(Errc::kNotFound, "no such file: " + filename);
+  }
+  const FileEntry& entry = it->second;
+  auto op = client_.read(entry.metadata, 1, entry.chunk_count);
+  GDP_ASSIGN_OR_RETURN(client::ReadOutcome outcome, await(scenario_.sim(), op));
+  Bytes content;
+  for (const capsule::Record& rec : outcome.records) {
+    append(content, rec.payload);
+  }
+  return content;
+}
+
+Status GdpFilesystem::remove(const std::string& filename) {
+  auto it = directory_.find(filename);
+  if (it == directory_.end()) {
+    return make_error(Errc::kNotFound, "no such file: " + filename);
+  }
+  GDP_RETURN_IF_ERROR(commit_directory_record(false, filename, nullptr));
+  directory_.erase(it);
+  return ok_status();
+}
+
+std::vector<std::string> GdpFilesystem::list() const {
+  std::vector<std::string> out;
+  out.reserve(directory_.size());
+  for (const auto& [name, _] : directory_) out.push_back(name);
+  return out;
+}
+
+Status GdpFilesystem::refresh() {
+  auto op = client_.read(dir_setup_.metadata, 1, 0);
+  auto outcome = await(scenario_.sim(), op);
+  if (!outcome.ok()) {
+    if (outcome.code() == Errc::kNotFound) {
+      directory_.clear();  // empty directory capsule
+      return ok_status();
+    }
+    return outcome.error();
+  }
+  directory_.clear();
+  for (const capsule::Record& rec : outcome->records) {
+    GDP_ASSIGN_OR_RETURN(auto parsed, parse_directory_record(rec.payload));
+    if (parsed.second.has_value()) {
+      directory_.insert_or_assign(parsed.first, std::move(*parsed.second));
+    } else {
+      directory_.erase(parsed.first);
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::caapi

@@ -1,0 +1,89 @@
+// Filesystem CAAPI (§V-B, §IX).
+//
+// The structure mirrors the paper's TensorFlow plugin: "this CAAPI
+// maintains a top-level directory in a single DataCapsule.  Each filename
+// is represented as its own DataCapsule; the top-level directory merely
+// maps filenames to DataCapsule-names."  File contents are chunked into
+// records; reads are verified range reads reassembled into the original
+// bytes.  Because the DataCapsule is the ground truth, integrity carries
+// over to the filesystem for free.
+//
+// Directory records embed the file capsule's serialized metadata (which
+// hashes to its name, so it is self-authenticating); any reader that
+// trusts the directory capsule can therefore verify file contents
+// end-to-end without further key distribution.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+class GdpFilesystem {
+ public:
+  struct Options {
+    std::size_t chunk_bytes = 256 * 1024;
+    std::uint32_t required_acks = 1;
+  };
+
+  /// Creates a filesystem owned by fresh keys; the directory capsule is
+  /// placed on `servers` immediately.
+  static Result<GdpFilesystem> create(harness::Scenario& scenario,
+                                      client::GdpClient& client,
+                                      std::vector<server::CapsuleServer*> servers,
+                                      const std::string& label, Options options);
+  static Result<GdpFilesystem> create(harness::Scenario& scenario,
+                                      client::GdpClient& client,
+                                      std::vector<server::CapsuleServer*> servers,
+                                      const std::string& label) {
+    return create(scenario, client, std::move(servers), label, Options{});
+  }
+
+  /// Writes (or overwrites) a file: creates its capsule, streams chunk
+  /// records, then commits the mapping into the directory capsule.
+  Status write_file(const std::string& filename, BytesView content);
+
+  /// Verified read of the whole file.
+  Result<Bytes> read_file(const std::string& filename);
+
+  Status remove(const std::string& filename);
+  std::vector<std::string> list() const;
+  bool exists(const std::string& filename) const {
+    return directory_.contains(filename);
+  }
+
+  /// Rebuilds the local directory view from the directory capsule.
+  Status refresh();
+
+  const Name& directory_capsule() const { return dir_setup_.metadata.name(); }
+  const capsule::Metadata& directory_metadata() const { return dir_setup_.metadata; }
+
+ private:
+  struct FileEntry {
+    capsule::Metadata metadata;   ///< the file capsule (self-authenticating)
+    std::uint64_t chunk_count = 0;
+  };
+
+  GdpFilesystem(harness::Scenario& scenario, client::GdpClient& client,
+                std::vector<server::CapsuleServer*> servers, Options options,
+                harness::CapsuleSetup dir_setup, capsule::Writer dir_writer);
+
+  Status commit_directory_record(bool add, const std::string& filename,
+                                 const FileEntry* entry);
+  static Result<std::pair<std::string, std::optional<FileEntry>>> parse_directory_record(
+      BytesView payload);
+
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  std::vector<server::CapsuleServer*> servers_;
+  Options options_;
+  harness::CapsuleSetup dir_setup_;
+  capsule::Writer dir_writer_;
+  std::map<std::string, FileEntry> directory_;
+};
+
+}  // namespace gdp::caapi

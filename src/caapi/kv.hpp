@@ -1,0 +1,69 @@
+// Key-value store CAAPI (§V-B).
+//
+// "DataCapsules are sufficient to implement any convenient, mutable data
+// storage repository."  The KV store materializes a mutable map from an
+// append-only capsule of put/del operations.  Every K operations the
+// writer emits a *checkpoint* record containing the full snapshot; paired
+// with the checkpoint hash-pointer strategy, a cold reader recovers the
+// current state by fetching only the latest checkpoint plus the tail —
+// the paper's "a file-system interface on a DataCapsule may make all
+// records include a hash-pointer to a checkpoint record".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+class GdpKvStore {
+ public:
+  struct Options {
+    std::uint64_t checkpoint_interval = 16;  ///< ops between snapshots
+    std::uint32_t required_acks = 1;
+  };
+
+  static Result<GdpKvStore> create(harness::Scenario& scenario,
+                                   client::GdpClient& client,
+                                   std::vector<server::CapsuleServer*> servers,
+                                   const std::string& label, Options options);
+  static Result<GdpKvStore> create(harness::Scenario& scenario,
+                                   client::GdpClient& client,
+                                   std::vector<server::CapsuleServer*> servers,
+                                   const std::string& label) {
+    return create(scenario, client, std::move(servers), label, Options{});
+  }
+
+  Status put(const std::string& key, const std::string& value);
+  Status del(const std::string& key);
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return map_.size(); }
+
+  /// Cold recovery: fetch latest checkpoint + tail only (not the whole
+  /// history).  Returns the number of records fetched, for the
+  /// checkpoint-efficiency assertions and benches.
+  Result<std::uint64_t> recover(const capsule::Metadata& metadata);
+
+  const capsule::Metadata& metadata() const { return setup_.metadata; }
+
+ private:
+  GdpKvStore(harness::Scenario& scenario, client::GdpClient& client,
+             Options options, harness::CapsuleSetup setup, capsule::Writer writer);
+
+  Status append_op(Bytes payload);
+  Status apply(BytesView payload);
+  Bytes snapshot_payload() const;
+
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  Options options_;
+  harness::CapsuleSetup setup_;
+  capsule::Writer writer_;
+  std::map<std::string, std::string> map_;
+  std::uint64_t ops_since_checkpoint_ = 0;
+};
+
+}  // namespace gdp::caapi

@@ -1,0 +1,63 @@
+#include "caapi/stream.hpp"
+
+namespace gdp::caapi {
+
+StreamPublisher::StreamPublisher(harness::Scenario& scenario,
+                                 client::GdpClient& client,
+                                 harness::CapsuleSetup setup)
+    : scenario_(scenario),
+      client_(client),
+      setup_(std::move(setup)),
+      writer_(setup_.make_writer()) {}
+
+void StreamPublisher::publish_frame(BytesView frame) {
+  // Fire and forget: the op resolves (or times out) in the background.
+  client_.append(writer_, frame, 1);
+  ++published_;
+}
+
+StreamPlayer::StreamPlayer(harness::Scenario& scenario, client::GdpClient& client,
+                           const capsule::Metadata& metadata)
+    : scenario_(scenario), client_(client), metadata_(metadata) {}
+
+Result<bool> StreamPlayer::join(const trust::Cert& sub_cert) {
+  auto op = client_.subscribe(
+      metadata_, sub_cert,
+      [this](const capsule::Record& rec, const capsule::Heartbeat&) {
+        frames_[rec.header.seqno] = rec.payload;
+        highest_ = std::max(highest_, rec.header.seqno);
+      });
+  return client::await(scenario_.sim(), op);
+}
+
+std::vector<std::uint64_t> StreamPlayer::gaps() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = 1; s < highest_; ++s) {
+    if (!frames_.contains(s)) out.push_back(s);
+  }
+  return out;
+}
+
+Result<std::uint64_t> StreamPlayer::backfill() {
+  std::uint64_t recovered = 0;
+  for (std::uint64_t missing : gaps()) {
+    auto op = client_.read(metadata_, missing, missing);
+    auto outcome = client::await(scenario_.sim(), op);
+    if (!outcome.ok()) return outcome.error();
+    for (const capsule::Record& rec : outcome->records) {
+      if (!frames_.contains(rec.header.seqno)) {
+        frames_[rec.header.seqno] = rec.payload;
+        ++recovered;
+      }
+    }
+  }
+  return recovered;
+}
+
+std::optional<Bytes> StreamPlayer::frame(std::uint64_t seqno) const {
+  auto it = frames_.find(seqno);
+  if (it == frames_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gdp::caapi

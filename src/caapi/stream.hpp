@@ -1,0 +1,70 @@
+// Streaming CAAPI (§IV-A, §V-A, §VI-B).
+//
+// "A DataCapsule representing a streaming video can tolerate a few
+// missing frames" — the stream interface embraces loss on the delivery
+// path while never compromising integrity: every frame that *does* arrive
+// is writer-signed and capsule-bound, live gaps are detected by seqno, and
+// a player can backfill any gap later with a verified ranged read (the
+// time-shift property: "secure replays at a later time").
+#pragma once
+
+#include <map>
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+/// Producer side: fire-and-forget frame appends (a live encoder does not
+/// block on acks; durability is the infrastructure's job).
+class StreamPublisher {
+ public:
+  StreamPublisher(harness::Scenario& scenario, client::GdpClient& client,
+                  harness::CapsuleSetup setup);
+
+  /// Appends one frame without waiting for the ack.
+  void publish_frame(BytesView frame);
+
+  std::uint64_t frames_published() const { return published_; }
+  const capsule::Metadata& metadata() const { return setup_.metadata; }
+
+ private:
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  harness::CapsuleSetup setup_;
+  capsule::Writer writer_;
+  std::uint64_t published_ = 0;
+};
+
+/// Consumer side: live subscription with gap tracking and on-demand,
+/// verified backfill.
+class StreamPlayer {
+ public:
+  StreamPlayer(harness::Scenario& scenario, client::GdpClient& client,
+               const capsule::Metadata& metadata);
+
+  /// Joins the live feed (SubCert-gated).
+  Result<bool> join(const trust::Cert& sub_cert);
+
+  /// Frames received live (by seqno); all verified.
+  std::size_t frames_received() const { return frames_.size(); }
+  std::uint64_t highest_seqno() const { return highest_; }
+
+  /// Seqnos missing below the highest received frame — lost in transit.
+  std::vector<std::uint64_t> gaps() const;
+
+  /// Fetches every gap through verified reads; returns frames recovered.
+  Result<std::uint64_t> backfill();
+
+  /// The reassembled frame at `seqno`, if present.
+  std::optional<Bytes> frame(std::uint64_t seqno) const;
+
+ private:
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  capsule::Metadata metadata_;
+  std::map<std::uint64_t, Bytes> frames_;
+  std::uint64_t highest_ = 0;
+};
+
+}  // namespace gdp::caapi

@@ -1,0 +1,73 @@
+// Time-series CAAPI (§VIII: "time-series environmental sensors" and
+// their browser visualizations were the GDP prototype's first real
+// applications).
+//
+// A sensor appends samples; record headers already carry the writer's
+// timestamp, and the single-writer discipline makes timestamps monotone —
+// so a reader can answer "what happened between t0 and t1" with a binary
+// search over seqnos (O(log n) point reads) followed by one verified range
+// read, never scanning the whole history.
+#pragma once
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp::caapi {
+
+struct Sample {
+  std::int64_t timestamp_ns = 0;
+  double value = 0;
+  Bytes tag;  ///< optional application payload
+
+  Bytes serialize() const;
+  static Result<Sample> deserialize(BytesView b);
+};
+
+class TimeSeriesWriter {
+ public:
+  TimeSeriesWriter(harness::Scenario& scenario, client::GdpClient& client,
+                   harness::CapsuleSetup setup);
+
+  /// Appends one sample stamped with the current (simulated) time.
+  Status record(double value, BytesView tag = {});
+
+  const capsule::Metadata& metadata() const { return setup_.metadata; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  harness::CapsuleSetup setup_;
+  capsule::Writer writer_;
+  std::uint64_t count_ = 0;
+};
+
+class TimeSeriesReader {
+ public:
+  TimeSeriesReader(harness::Scenario& scenario, client::GdpClient& client,
+                   const capsule::Metadata& metadata);
+
+  /// All samples with t0 <= timestamp <= t1, verified.  Network cost:
+  /// O(log n) point reads for the boundary search + one range read.
+  Result<std::vector<Sample>> query(TimePoint t0, TimePoint t1);
+
+  /// The most recent `n` samples.
+  Result<std::vector<Sample>> latest(std::uint64_t n);
+
+  /// Point reads issued by the last query (exposed for the efficiency
+  /// assertions: must stay logarithmic).
+  std::uint64_t point_reads() const { return point_reads_; }
+
+ private:
+  /// Timestamp of the record at `seqno` (one verified point read).
+  Result<std::int64_t> timestamp_at(std::uint64_t seqno);
+  /// Smallest seqno in [1, tip] whose timestamp is >= t (tip+1 if none).
+  Result<std::uint64_t> lower_bound_seqno(std::int64_t t, std::uint64_t tip);
+
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  capsule::Metadata metadata_;
+  std::uint64_t point_reads_ = 0;
+};
+
+}  // namespace gdp::caapi

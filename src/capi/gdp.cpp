@@ -1,0 +1,164 @@
+#include "capi/gdp.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/scenario.hpp"
+
+using namespace gdp;
+
+struct gdp_world {
+  harness::Scenario scenario;
+  router::GLookupService* domain = nullptr;
+  router::Router* router = nullptr;
+  server::CapsuleServer* server = nullptr;
+  client::GdpClient* client = nullptr;
+  std::string last_error;
+
+  explicit gdp_world(std::uint64_t seed) : scenario(seed, "capi") {}
+};
+
+struct gdp_capsule {
+  harness::CapsuleSetup setup;
+  capsule::Writer writer;
+
+  explicit gdp_capsule(harness::CapsuleSetup s)
+      : setup(std::move(s)), writer(setup.make_writer()) {}
+};
+
+namespace {
+
+int map_errc(Errc code) {
+  switch (code) {
+    case Errc::kOk: return GDP_OK;
+    case Errc::kInvalidArgument: return GDP_ERR_INVALID;
+    case Errc::kUnavailable:
+    case Errc::kExpired: return GDP_ERR_UNAVAILABLE;
+    case Errc::kVerificationFailed:
+    case Errc::kPermissionDenied:
+    case Errc::kCorruptData: return GDP_ERR_VERIFY;
+    case Errc::kNotFound:
+    case Errc::kOutOfRange: return GDP_ERR_NOT_FOUND;
+    default: return GDP_ERR_INTERNAL;
+  }
+}
+
+int fail(gdp_world* world, const Error& error) {
+  world->last_error = error.to_string();
+  return map_errc(error.code);
+}
+
+}  // namespace
+
+extern "C" {
+
+gdp_world* gdp_world_create(uint64_t seed) {
+  auto* world = new (std::nothrow) gdp_world(seed);
+  if (world == nullptr) return nullptr;
+  world->domain = world->scenario.add_domain("capi-domain", nullptr);
+  world->router = world->scenario.add_router("capi-router", world->domain);
+  world->server = world->scenario.add_server("capi-server", world->router);
+  world->client = world->scenario.add_client("capi-client", world->router);
+  world->scenario.attach_all();
+  if (!world->server->attached() || !world->client->attached()) {
+    delete world;
+    return nullptr;
+  }
+  return world;
+}
+
+void gdp_world_destroy(gdp_world* world) { delete world; }
+
+const char* gdp_last_error(const gdp_world* world) {
+  return world == nullptr ? "null world" : world->last_error.c_str();
+}
+
+gdp_capsule* gdp_capsule_create(gdp_world* world, const char* label) {
+  if (world == nullptr || label == nullptr) return nullptr;
+  harness::CapsuleSetup setup =
+      harness::make_capsule(world->scenario.key_rng(), label);
+  Status placed = harness::place_capsule(world->scenario, setup, *world->client,
+                                         {world->server});
+  if (!placed.ok()) {
+    world->last_error = placed.to_string();
+    return nullptr;
+  }
+  return new (std::nothrow) gdp_capsule(std::move(setup));
+}
+
+void gdp_capsule_destroy(gdp_capsule* capsule) { delete capsule; }
+
+void gdp_capsule_name(const gdp_capsule* capsule, uint8_t name_out[32]) {
+  if (capsule == nullptr || name_out == nullptr) return;
+  std::memcpy(name_out, capsule->setup.metadata.name().raw().data(), 32);
+}
+
+int gdp_append(gdp_world* world, gdp_capsule* capsule, const uint8_t* data,
+               size_t len, uint64_t* seqno_out) {
+  if (world == nullptr || capsule == nullptr || (data == nullptr && len > 0)) {
+    return GDP_ERR_INVALID;
+  }
+  auto op = world->client->append(capsule->writer, BytesView(data, len));
+  auto outcome = client::await(world->scenario.sim(), op);
+  if (!outcome.ok()) return fail(world, outcome.error());
+  if (seqno_out != nullptr) *seqno_out = outcome->seqno;
+  return GDP_OK;
+}
+
+int gdp_read(gdp_world* world, gdp_capsule* capsule, uint64_t seqno,
+             uint8_t** data_out, size_t* len_out, uint64_t* seqno_out) {
+  if (world == nullptr || capsule == nullptr || data_out == nullptr ||
+      len_out == nullptr) {
+    return GDP_ERR_INVALID;
+  }
+  auto op = world->client->read(capsule->setup.metadata, seqno, seqno);
+  auto outcome = client::await(world->scenario.sim(), op);
+  if (!outcome.ok()) return fail(world, outcome.error());
+  const capsule::Record& rec = outcome->records.back();
+  auto* buffer = static_cast<uint8_t*>(std::malloc(rec.payload.size()));
+  if (buffer == nullptr && !rec.payload.empty()) return GDP_ERR_INTERNAL;
+  std::memcpy(buffer, rec.payload.data(), rec.payload.size());
+  *data_out = buffer;
+  *len_out = rec.payload.size();
+  if (seqno_out != nullptr) *seqno_out = rec.header.seqno;
+  return GDP_OK;
+}
+
+void gdp_buffer_free(uint8_t* buffer) { std::free(buffer); }
+
+uint64_t gdp_tip(gdp_world* world, gdp_capsule* capsule) {
+  if (world == nullptr || capsule == nullptr) return 0;
+  auto op = world->client->read_latest(capsule->setup.metadata);
+  auto outcome = client::await(world->scenario.sim(), op);
+  if (!outcome.ok()) {
+    world->last_error = outcome.error().to_string();
+    return 0;
+  }
+  return outcome->heartbeat.seqno;
+}
+
+int gdp_subscribe(gdp_world* world, gdp_capsule* capsule, gdp_event_fn callback,
+                  void* user) {
+  if (world == nullptr || capsule == nullptr || callback == nullptr) {
+    return GDP_ERR_INVALID;
+  }
+  const TimePoint now = world->scenario.sim().now();
+  trust::Cert cert = capsule->setup.sub_cert_for(
+      world->client->name(), now, now + from_seconds(365.0 * 24 * 3600));
+  auto op = world->client->subscribe(
+      capsule->setup.metadata, cert,
+      [callback, user](const capsule::Record& rec, const capsule::Heartbeat&) {
+        callback(rec.header.seqno, rec.payload.data(), rec.payload.size(), user);
+      });
+  auto outcome = client::await(world->scenario.sim(), op);
+  if (!outcome.ok()) return fail(world, outcome.error());
+  return GDP_OK;
+}
+
+void gdp_run(gdp_world* world, double seconds) {
+  if (world == nullptr || seconds <= 0) return;
+  world->scenario.settle_for(from_seconds(seconds));
+}
+
+}  // extern "C"

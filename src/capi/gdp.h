@@ -1,0 +1,86 @@
+/* C client API for the Global Data Plane.
+ *
+ * The paper's prototype exposes exactly this shape: "Client applications
+ * primarily link against an event-driven C-based GDP library.  [It] takes
+ * care of connecting to a GDP-router, advertising the desired names, and
+ * providing the desired interface of a DataCapsule as an object that can
+ * be appended to, read from, or subscribed to" (§VIII).  Language
+ * bindings (the paper ships Python and Java ones) wrap these entry
+ * points.
+ *
+ * This facade drives a self-contained simulated deployment so it is fully
+ * testable offline; the handle types are opaque and the ABI is plain C.
+ * All functions return 0 on success or a negative errno-style code; the
+ * last failure message is available via gdp_last_error().
+ */
+#ifndef GDP_CAPI_H_
+#define GDP_CAPI_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct gdp_world gdp_world;     /* infrastructure + event loop */
+typedef struct gdp_capsule gdp_capsule; /* a DataCapsule + its keys */
+
+/* Error codes. */
+enum {
+  GDP_OK = 0,
+  GDP_ERR_INVALID = -1,      /* bad arguments */
+  GDP_ERR_UNAVAILABLE = -2,  /* no route / timeout / replica down */
+  GDP_ERR_VERIFY = -3,       /* integrity or delegation verification failed */
+  GDP_ERR_NOT_FOUND = -4,    /* no such record / capsule */
+  GDP_ERR_INTERNAL = -5,
+};
+
+/* Creates a deployment: one routing domain with its GLookupService, one
+ * GDP-router, one DataCapsule-server and one client, deterministically
+ * seeded.  Returns NULL on failure. */
+gdp_world* gdp_world_create(uint64_t seed);
+void gdp_world_destroy(gdp_world* world);
+
+/* Human-readable description of the most recent error on this world. */
+const char* gdp_last_error(const gdp_world* world);
+
+/* Creates a DataCapsule (fresh owner + writer keys), places it on the
+ * world's server under an AdCert delegation, and advertises it. */
+gdp_capsule* gdp_capsule_create(gdp_world* world, const char* label);
+void gdp_capsule_destroy(gdp_capsule* capsule);
+
+/* The capsule's 32-byte flat name (the trust anchor). */
+void gdp_capsule_name(const gdp_capsule* capsule, uint8_t name_out[32]);
+
+/* Appends one record; on success *seqno_out (may be NULL) receives the
+ * assigned sequence number.  The ack is verified before returning. */
+int gdp_append(gdp_world* world, gdp_capsule* capsule, const uint8_t* data,
+               size_t len, uint64_t* seqno_out);
+
+/* Verified read of record `seqno` (1-based; 0 = latest).  On success the
+ * payload is returned in a malloc'd buffer the caller frees with
+ * gdp_buffer_free. */
+int gdp_read(gdp_world* world, gdp_capsule* capsule, uint64_t seqno,
+             uint8_t** data_out, size_t* len_out, uint64_t* seqno_out);
+void gdp_buffer_free(uint8_t* buffer);
+
+/* Current tip sequence number (0 if empty or unreachable). */
+uint64_t gdp_tip(gdp_world* world, gdp_capsule* capsule);
+
+/* Subscribes to future records; `callback` fires from inside gdp_run for
+ * every verified event. */
+typedef void (*gdp_event_fn)(uint64_t seqno, const uint8_t* data, size_t len,
+                             void* user);
+int gdp_subscribe(gdp_world* world, gdp_capsule* capsule, gdp_event_fn callback,
+                  void* user);
+
+/* Drives the event loop for `seconds` of simulated time (delivers
+ * subscriptions, replication, timers). */
+void gdp_run(gdp_world* world, double seconds);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* GDP_CAPI_H_ */

@@ -1,0 +1,74 @@
+#include "capsule/entangle.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+constexpr std::string_view kTag = "gdp.entangle.v1";
+}
+
+Entanglement Entanglement::from_heartbeat(const Heartbeat& hb) {
+  return Entanglement{hb.capsule_name, hb.seqno, hb.record_hash};
+}
+
+Bytes Entanglement::serialize() const {
+  Bytes out = to_bytes(kTag);
+  append(out, other_capsule.view());
+  put_fixed64(out, seqno);
+  append(out, record_hash.view());
+  return out;
+}
+
+Result<Entanglement> Entanglement::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto tag = r.get_bytes(kTag.size());
+  if (!tag || to_string(*tag) != kTag) {
+    return make_error(Errc::kInvalidArgument, "bad entanglement tag");
+  }
+  auto name = r.get_bytes(Name::kSize);
+  auto seqno = r.get_fixed64();
+  auto hash = r.get_bytes(Name::kSize);
+  if (!name || !seqno || !hash) {
+    return make_error(Errc::kInvalidArgument, "truncated entanglement");
+  }
+  Entanglement ent;
+  ent.other_capsule = *Name::from_bytes(*name);
+  ent.seqno = *seqno;
+  ent.record_hash = *Name::from_bytes(*hash);
+  return ent;
+}
+
+Status verify_entanglement(const Entanglement& ent,
+                           const Metadata& host, const Heartbeat& host_hb,
+                           const Record& embedding_record,
+                           const MembershipProof& embedding_proof,
+                           const Metadata& other, const Heartbeat& other_hb,
+                           const MembershipProof& other_proof) {
+  if (ent.other_capsule != other.name()) {
+    return make_error(Errc::kVerificationFailed,
+                      "entanglement names a different capsule");
+  }
+  // 1. The embedding record really is in the host capsule's history.
+  GDP_RETURN_IF_ERROR(verify_membership_proof(host, host_hb, embedding_proof,
+                                              embedding_record.hash()));
+  GDP_RETURN_IF_ERROR(embedding_record.verify_standalone(host.writer_key()));
+  // 2. The embedding record's payload opens with exactly this claim.
+  Bytes expected = ent.serialize();
+  if (embedding_record.payload.size() < expected.size() ||
+      !std::equal(expected.begin(), expected.end(),
+                  embedding_record.payload.begin())) {
+    return make_error(Errc::kVerificationFailed,
+                      "record payload does not carry this entanglement");
+  }
+  // 3. The entangled state is genuine history of the other capsule.
+  GDP_RETURN_IF_ERROR(
+      verify_membership_proof(other, other_hb, other_proof, ent.record_hash));
+  if (other_proof.path.back().seqno != ent.seqno) {
+    return make_error(Errc::kVerificationFailed,
+                      "entangled seqno disagrees with the proven record");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::capsule

@@ -1,0 +1,50 @@
+// Cross-capsule timeline entanglement (§VI-C: "updates across
+// DataCapsules can be ordered using entanglement schemes described by
+// [Maniatis & Baker, Secure history preservation through timeline
+// entanglement]").
+//
+// A writer embeds another capsule's current heartbeat into one of its own
+// records.  Because the embedding record is itself hash-chained and
+// signed, this creates a verifiable happened-after relation across
+// capsules: anyone holding both capsules' metadata can prove that the
+// embedding record was created no earlier than the embedded state — no
+// trusted timestamps, no coordination between the writers.
+#pragma once
+
+#include "capsule/proof.hpp"
+
+namespace gdp::capsule {
+
+/// A claim that some other capsule had reached (seqno, record_hash).
+struct Entanglement {
+  Name other_capsule;
+  std::uint64_t seqno = 0;
+  RecordHash record_hash;  ///< the other capsule's record (or name if empty)
+
+  /// Builds the claim from a heartbeat of the other capsule.
+  static Entanglement from_heartbeat(const Heartbeat& hb);
+
+  /// Payload-embeddable encoding (applications typically append their own
+  /// data after it).
+  Bytes serialize() const;
+  static Result<Entanglement> deserialize(BytesView b);
+
+  friend bool operator==(const Entanglement&, const Entanglement&) = default;
+};
+
+/// Verifies the happened-after relation end-to-end:
+///   * `embedding_proof` shows the record carrying the entanglement is in
+///     `host` capsule's history (attested by `host_hb`);
+///   * the record's payload must begin with the serialized entanglement;
+///   * `other_proof` shows the entangled record is in `other` capsule's
+///     history (attested by `other_hb`).
+/// On success: the host record provably post-dates the entangled state of
+/// the other capsule.
+Status verify_entanglement(const Entanglement& ent,
+                           const Metadata& host, const Heartbeat& host_hb,
+                           const Record& embedding_record,
+                           const MembershipProof& embedding_proof,
+                           const Metadata& other, const Heartbeat& other_hb,
+                           const MembershipProof& other_proof);
+
+}  // namespace gdp::capsule

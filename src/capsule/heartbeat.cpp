@@ -1,0 +1,74 @@
+#include "capsule/heartbeat.hpp"
+
+#include "common/varint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+crypto::Digest hash_digest(const RecordHash& h) {
+  crypto::Digest d;
+  std::copy(h.raw().begin(), h.raw().end(), d.begin());
+  return d;
+}
+}  // namespace
+
+Heartbeat Heartbeat::make(const Name& capsule, std::uint64_t seqno,
+                          const RecordHash& hash, const crypto::PrivateKey& writer) {
+  Heartbeat hb;
+  hb.capsule_name = capsule;
+  hb.seqno = seqno;
+  hb.record_hash = hash;
+  // The signature is over the record-hash digest — exactly the signature
+  // the writer already placed on the record, so deterministic signing
+  // makes Heartbeat::from_record() and make() interchangeable.
+  hb.writer_sig = writer.sign_digest(hash_digest(hash));
+  return hb;
+}
+
+Heartbeat Heartbeat::from_record(const Record& record) {
+  Heartbeat hb;
+  hb.capsule_name = record.header.capsule_name;
+  hb.seqno = record.header.seqno;
+  hb.record_hash = record.hash();
+  hb.writer_sig = record.writer_sig;
+  return hb;
+}
+
+Status Heartbeat::verify(const crypto::PublicKey& writer) const {
+  if (!writer.verify_digest(hash_digest(record_hash), writer_sig)) {
+    return make_error(Errc::kVerificationFailed, "heartbeat signature invalid");
+  }
+  return ok_status();
+}
+
+Bytes Heartbeat::serialize() const {
+  Bytes out;
+  append(out, capsule_name.view());
+  put_fixed64(out, seqno);
+  append(out, record_hash.view());
+  append(out, writer_sig.encode());
+  return out;
+}
+
+Result<Heartbeat> Heartbeat::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto name = r.get_bytes(Name::kSize);
+  auto seqno = r.get_fixed64();
+  if (!name || !seqno) return make_error(Errc::kInvalidArgument, "truncated heartbeat");
+  auto hash = r.get_bytes(Name::kSize);
+  auto sig_bytes = r.get_bytes(64);
+  if (!hash || !sig_bytes || !r.empty()) {
+    return make_error(Errc::kInvalidArgument, "truncated heartbeat");
+  }
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed heartbeat signature");
+  Heartbeat hb;
+  hb.capsule_name = *Name::from_bytes(*name);
+  hb.seqno = *seqno;
+  hb.record_hash = *Name::from_bytes(*hash);
+  hb.writer_sig = *sig;
+  return hb;
+}
+
+}  // namespace gdp::capsule

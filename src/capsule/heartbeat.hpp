@@ -1,0 +1,44 @@
+// Signed heartbeats (§V-A).
+//
+// A heartbeat is the writer's signed attestation of the capsule's most
+// recent record.  Because every record hash transitively covers all
+// earlier records through hash-pointers, "each signed heartbeat
+// effectively attests the entire history of updates (both the content and
+// the ordering)".  Read queries are verified against a particular state
+// of the data structure identified by a heartbeat.
+#pragma once
+
+#include <cstdint>
+
+#include "capsule/record.hpp"
+#include "common/name.hpp"
+#include "crypto/keys.hpp"
+
+namespace gdp::capsule {
+
+struct Heartbeat {
+  Name capsule_name;
+  std::uint64_t seqno = 0;   ///< seqno of the attested record (0 = empty capsule)
+  RecordHash record_hash;    ///< == capsule name when seqno == 0
+  crypto::Signature writer_sig{};  ///< writer's signature over the record hash
+
+  static Heartbeat make(const Name& capsule, std::uint64_t seqno,
+                        const RecordHash& hash, const crypto::PrivateKey& writer);
+
+  /// A record's writer signature *is* a heartbeat for that record — the
+  /// record hash transitively covers the capsule name, the seqno and all
+  /// earlier history, so DataCapsule-servers can synthesize the freshest
+  /// heartbeat from their tip record without any writer round-trip.
+  /// (capsule_name and seqno are unauthenticated routing hints; verifiers
+  /// must take both from a header that hashes to record_hash.)
+  static Heartbeat from_record(const Record& record);
+
+  Status verify(const crypto::PublicKey& writer) const;
+
+  Bytes serialize() const;
+  static Result<Heartbeat> deserialize(BytesView b);
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+}  // namespace gdp::capsule

@@ -1,0 +1,134 @@
+#include "capsule/metadata.hpp"
+
+#include "common/varint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+
+std::string encode_value(BytesView b) { return hex_encode(b); }
+
+Result<crypto::PublicKey> decode_key_pair(const std::map<std::string, std::string>& pairs,
+                                          std::string_view key) {
+  auto it = pairs.find(std::string(key));
+  if (it == pairs.end()) {
+    return make_error(Errc::kInvalidArgument, "metadata missing " + std::string(key));
+  }
+  auto raw = hex_decode(it->second);
+  if (!raw) return make_error(Errc::kInvalidArgument, "metadata key not hex");
+  auto pk = crypto::PublicKey::decode(*raw);
+  if (!pk) return make_error(Errc::kInvalidArgument, "metadata key not a curve point");
+  return *pk;
+}
+
+}  // namespace
+
+Result<Metadata> Metadata::create(const crypto::PrivateKey& owner_key,
+                                  const crypto::PublicKey& writer_key,
+                                  WriterMode mode, std::string label,
+                                  std::int64_t created_ns,
+                                  std::map<std::string, std::string> extra) {
+  for (std::string_view reserved :
+       {kMetaKeyWriterKey, kMetaKeyOwnerKey, kMetaKeyMode, kMetaKeyLabel, kMetaKeyCreated}) {
+    if (extra.contains(std::string(reserved))) {
+      return make_error(Errc::kInvalidArgument,
+                        "extra metadata uses reserved key " + std::string(reserved));
+    }
+  }
+  Metadata m;
+  m.pairs_ = std::move(extra);
+  m.pairs_[std::string(kMetaKeyWriterKey)] = encode_value(writer_key.encode());
+  m.pairs_[std::string(kMetaKeyOwnerKey)] = encode_value(owner_key.public_key().encode());
+  m.pairs_[std::string(kMetaKeyMode)] =
+      std::to_string(static_cast<int>(mode));
+  m.pairs_[std::string(kMetaKeyLabel)] = std::move(label);
+  m.pairs_[std::string(kMetaKeyCreated)] = std::to_string(created_ns);
+
+  m.owner_sig_ = owner_key.sign(m.canonical_pairs());
+  m.writer_key_ = writer_key;
+  m.owner_key_ = owner_key.public_key();
+  m.mode_ = mode;
+  m.name_ = crypto::digest_to_name(crypto::sha256(m.serialize()));
+  return m;
+}
+
+Bytes Metadata::canonical_pairs() const {
+  // std::map iterates in sorted key order, giving a canonical encoding.
+  Bytes out;
+  put_varint(out, pairs_.size());
+  for (const auto& [k, v] : pairs_) {
+    put_length_prefixed(out, to_bytes(k));
+    put_length_prefixed(out, to_bytes(v));
+  }
+  return out;
+}
+
+Bytes Metadata::serialize() const {
+  Bytes out = canonical_pairs();
+  append(out, owner_sig_.encode());
+  return out;
+}
+
+Result<Metadata> Metadata::deserialize(BytesView b) {
+  if (b.size() < 64) return make_error(Errc::kInvalidArgument, "metadata too short");
+  ByteReader r(b);
+  auto count = r.get_varint();
+  if (!count) return make_error(Errc::kInvalidArgument, "truncated metadata");
+  if (*count > 10000) return make_error(Errc::kInvalidArgument, "implausible metadata size");
+  Metadata m;
+  std::string prev_key;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto k = r.get_length_prefixed();
+    auto v = r.get_length_prefixed();
+    if (!k || !v) return make_error(Errc::kInvalidArgument, "truncated metadata pair");
+    std::string key = to_string(*k);
+    if (i > 0 && key <= prev_key) {
+      return make_error(Errc::kInvalidArgument, "metadata pairs not canonical");
+    }
+    prev_key = key;
+    m.pairs_[key] = to_string(*v);
+  }
+  auto sig_bytes = r.get_bytes(64);
+  if (!sig_bytes) return make_error(Errc::kInvalidArgument, "truncated metadata signature");
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed metadata signature");
+  m.owner_sig_ = *sig;
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing metadata bytes");
+
+  GDP_ASSIGN_OR_RETURN(crypto::PublicKey wk, decode_key_pair(m.pairs_, kMetaKeyWriterKey));
+  GDP_ASSIGN_OR_RETURN(crypto::PublicKey ok, decode_key_pair(m.pairs_, kMetaKeyOwnerKey));
+  m.writer_key_ = wk;
+  m.owner_key_ = ok;
+  auto mode_it = m.pairs_.find(std::string(kMetaKeyMode));
+  if (mode_it == m.pairs_.end() ||
+      (mode_it->second != "0" && mode_it->second != "1")) {
+    return make_error(Errc::kInvalidArgument, "metadata missing or bad writer_mode");
+  }
+  m.mode_ = mode_it->second == "0" ? WriterMode::kStrictSingleWriter
+                                   : WriterMode::kQuasiSingleWriter;
+  m.name_ = crypto::digest_to_name(crypto::sha256(m.serialize()));
+  GDP_RETURN_IF_ERROR(m.verify());
+  return m;
+}
+
+std::string_view Metadata::label() const {
+  auto it = pairs_.find(std::string(kMetaKeyLabel));
+  return it == pairs_.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+std::optional<std::string> Metadata::get(std::string_view key) const {
+  auto it = pairs_.find(std::string(key));
+  if (it == pairs_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Metadata::verify() const {
+  if (!owner_key_) return make_error(Errc::kInternal, "metadata missing owner key");
+  if (!owner_key_->verify(canonical_pairs(), owner_sig_)) {
+    return make_error(Errc::kVerificationFailed, "owner signature over metadata invalid");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::capsule

@@ -1,0 +1,76 @@
+// DataCapsule metadata (§V-A).
+//
+// Metadata is "a special record at the beginning of a DataCapsule": a list
+// of key-value pairs signed by the DataCapsule-owner, describing immutable
+// properties — most importantly the single writer's public signature key
+// and the owner's public key.  The capsule's globally unique flat name is
+// the SHA-256 hash of the serialized (signed) metadata, which makes it a
+// cryptographic trust anchor for everything related to the capsule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "crypto/keys.hpp"
+
+namespace gdp::capsule {
+
+/// Single-writer operating mode (§VI-C).
+enum class WriterMode : std::uint8_t {
+  kStrictSingleWriter = 0,  ///< SSW: linear chain; sequential consistency
+  kQuasiSingleWriter = 1,   ///< QSW: rare concurrent writers; branches allowed
+};
+
+/// Well-known metadata keys.  Applications may add arbitrary extra pairs.
+inline constexpr std::string_view kMetaKeyWriterKey = "writer_pubkey";
+inline constexpr std::string_view kMetaKeyOwnerKey = "owner_pubkey";
+inline constexpr std::string_view kMetaKeyMode = "writer_mode";
+inline constexpr std::string_view kMetaKeyLabel = "label";
+inline constexpr std::string_view kMetaKeyCreated = "created_ns";
+
+class Metadata {
+ public:
+  /// Builds and owner-signs metadata.  `extra` pairs must not use the
+  /// reserved keys above.
+  static Result<Metadata> create(const crypto::PrivateKey& owner_key,
+                                 const crypto::PublicKey& writer_key,
+                                 WriterMode mode, std::string label,
+                                 std::int64_t created_ns,
+                                 std::map<std::string, std::string> extra = {});
+
+  Bytes serialize() const;
+  static Result<Metadata> deserialize(BytesView b);
+
+  /// The capsule's flat name: SHA-256 over the serialized signed metadata.
+  const Name& name() const { return name_; }
+
+  const crypto::PublicKey& writer_key() const { return *writer_key_; }
+  const crypto::PublicKey& owner_key() const { return *owner_key_; }
+  WriterMode mode() const { return mode_; }
+  std::string_view label() const;
+
+  /// Looks up any pair (including reserved ones, hex-encoded for keys).
+  std::optional<std::string> get(std::string_view key) const;
+
+  /// Verifies the owner's signature over the canonical pair serialization.
+  Status verify() const;
+
+ private:
+  Metadata() = default;
+  Bytes canonical_pairs() const;
+
+  std::map<std::string, std::string> pairs_;
+  crypto::Signature owner_sig_{};
+  // Decoded caches (pairs_ stays authoritative for serialization).
+  std::optional<crypto::PublicKey> writer_key_;
+  std::optional<crypto::PublicKey> owner_key_;
+  WriterMode mode_ = WriterMode::kStrictSingleWriter;
+  Name name_;
+};
+
+}  // namespace gdp::capsule

@@ -1,0 +1,261 @@
+#include "capsule/proof.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/varint.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+
+Bytes serialize_headers(const std::vector<RecordHeader>& headers) {
+  Bytes out;
+  put_varint(out, headers.size());
+  for (const RecordHeader& h : headers) put_length_prefixed(out, h.serialize());
+  return out;
+}
+
+Result<std::vector<RecordHeader>> deserialize_headers(ByteReader& r) {
+  auto count = r.get_varint();
+  if (!count) return make_error(Errc::kInvalidArgument, "truncated header list");
+  if (*count > 1u << 20) return make_error(Errc::kInvalidArgument, "implausible header count");
+  std::vector<RecordHeader> out;
+  out.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto bytes = r.get_length_prefixed();
+    if (!bytes) return make_error(Errc::kInvalidArgument, "truncated header");
+    GDP_ASSIGN_OR_RETURN(RecordHeader h, RecordHeader::deserialize(*bytes));
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+/// DFS from `from` down to `target` along hash-pointers, preferring the
+/// smallest seqno >= target's (the longest skip), which yields near-minimal
+/// paths for chain, skip-list and checkpoint layouts alike.
+Result<std::vector<RecordHeader>> find_path(const CapsuleState& state,
+                                            const RecordHash& from,
+                                            const RecordHash& target,
+                                            std::uint64_t target_seqno) {
+  struct Frame {
+    RecordHash hash;
+    std::vector<HashPtr> candidates;  // sorted, next to try at back()
+  };
+  auto expand = [&](const RecordHash& h) -> Result<Frame> {
+    auto rec = state.get_by_hash(h);
+    if (!rec) return make_error(Errc::kNotFound, "record missing while building proof");
+    Frame f;
+    f.hash = h;
+    for (const HashPtr& p : rec->header.ptrs) {
+      if (p.seqno >= target_seqno && p.seqno != 0) f.candidates.push_back(p);
+    }
+    // Try the smallest seqno first => keep it at the back.
+    std::sort(f.candidates.begin(), f.candidates.end(),
+              [](const HashPtr& a, const HashPtr& b) { return a.seqno > b.seqno; });
+    return f;
+  };
+
+  std::vector<Frame> stack;
+  std::unordered_set<Name> visited;
+  GDP_ASSIGN_OR_RETURN(Frame root, expand(from));
+  stack.push_back(std::move(root));
+  visited.insert(from);
+
+  while (!stack.empty()) {
+    if (stack.back().hash == target) {
+      std::vector<RecordHeader> path;
+      for (const Frame& f : stack) {
+        auto rec = state.get_by_hash(f.hash);
+        path.push_back(rec->header);
+      }
+      return path;
+    }
+    if (stack.back().candidates.empty()) {
+      stack.pop_back();
+      continue;
+    }
+    HashPtr next = stack.back().candidates.back();
+    stack.back().candidates.pop_back();
+    if (!visited.insert(next.hash).second) continue;
+    GDP_ASSIGN_OR_RETURN(Frame f, expand(next.hash));
+    stack.push_back(std::move(f));
+  }
+  return make_error(Errc::kNotFound,
+                    "no hash-pointer path from heartbeat to target (different branch?)");
+}
+
+Status verify_header_path(const Metadata& metadata, const Heartbeat& heartbeat,
+                          const std::vector<RecordHeader>& path,
+                          const RecordHash& target_hash) {
+  GDP_RETURN_IF_ERROR(heartbeat.verify(metadata.writer_key()));
+  if (heartbeat.seqno == 0) {
+    return make_error(Errc::kVerificationFailed,
+                      "cannot prove records against an empty-capsule heartbeat");
+  }
+  if (path.empty()) {
+    return make_error(Errc::kVerificationFailed, "empty proof path");
+  }
+  if (path.front().hash() != heartbeat.record_hash) {
+    return make_error(Errc::kVerificationFailed,
+                      "proof path does not start at the heartbeat record");
+  }
+  for (const RecordHeader& h : path) {
+    if (h.capsule_name != metadata.name()) {
+      return make_error(Errc::kVerificationFailed, "proof header from another capsule");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const RecordHash next_hash = path[i + 1].hash();
+    bool linked = false;
+    for (const HashPtr& p : path[i].ptrs) {
+      if (p.hash == next_hash && p.seqno == path[i + 1].seqno) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) {
+      return make_error(Errc::kVerificationFailed,
+                        "consecutive proof headers are not hash-linked");
+    }
+  }
+  if (path.back().hash() != target_hash) {
+    return make_error(Errc::kVerificationFailed, "proof path does not end at the target");
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+Bytes MembershipProof::serialize() const { return serialize_headers(path); }
+
+Result<MembershipProof> MembershipProof::deserialize(BytesView b) {
+  ByteReader r(b);
+  GDP_ASSIGN_OR_RETURN(std::vector<RecordHeader> path, deserialize_headers(r));
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing proof bytes");
+  MembershipProof p;
+  p.path = std::move(path);
+  return p;
+}
+
+std::size_t MembershipProof::size_bytes() const { return serialize().size(); }
+
+Result<MembershipProof> build_membership_proof(const CapsuleState& state,
+                                               const Heartbeat& heartbeat,
+                                               const RecordHash& target_hash) {
+  GDP_RETURN_IF_ERROR(state.check_heartbeat(heartbeat));
+  auto target = state.get_by_hash(target_hash);
+  if (!target) return make_error(Errc::kNotFound, "target record unknown");
+  if (heartbeat.seqno == 0) {
+    return make_error(Errc::kFailedPrecondition, "heartbeat attests an empty capsule");
+  }
+  GDP_ASSIGN_OR_RETURN(
+      std::vector<RecordHeader> path,
+      find_path(state, heartbeat.record_hash, target_hash, target->header.seqno));
+  MembershipProof proof;
+  proof.path = std::move(path);
+  return proof;
+}
+
+Status verify_membership_proof(const Metadata& metadata, const Heartbeat& heartbeat,
+                               const MembershipProof& proof,
+                               const RecordHash& target_hash) {
+  return verify_header_path(metadata, heartbeat, proof.path, target_hash);
+}
+
+Bytes RangeProof::serialize() const {
+  Bytes out;
+  put_varint(out, records.size());
+  for (const Record& r : records) put_length_prefixed(out, r.serialize());
+  append(out, serialize_headers(link_path));
+  return out;
+}
+
+Result<RangeProof> RangeProof::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto count = r.get_varint();
+  if (!count) return make_error(Errc::kInvalidArgument, "truncated range proof");
+  if (*count > 1u << 20) return make_error(Errc::kInvalidArgument, "implausible record count");
+  RangeProof p;
+  p.records.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto bytes = r.get_length_prefixed();
+    if (!bytes) return make_error(Errc::kInvalidArgument, "truncated range record");
+    GDP_ASSIGN_OR_RETURN(Record rec, Record::deserialize(*bytes));
+    p.records.push_back(std::move(rec));
+  }
+  GDP_ASSIGN_OR_RETURN(p.link_path, deserialize_headers(r));
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing range proof bytes");
+  return p;
+}
+
+std::size_t RangeProof::size_bytes() const { return serialize().size(); }
+
+Result<RangeProof> build_range_proof(const CapsuleState& state,
+                                     const Heartbeat& heartbeat,
+                                     std::uint64_t first_seqno,
+                                     std::uint64_t last_seqno) {
+  if (first_seqno == 0 || first_seqno > last_seqno) {
+    return make_error(Errc::kInvalidArgument, "bad range bounds");
+  }
+  GDP_RETURN_IF_ERROR(state.check_heartbeat(heartbeat));
+  RangeProof proof;
+  for (std::uint64_t s = first_seqno; s <= last_seqno; ++s) {
+    auto rec = state.get_by_seqno(s);
+    if (!rec) return make_error(Errc::kNotFound, "range record missing");
+    proof.records.push_back(std::move(*rec));
+  }
+  GDP_ASSIGN_OR_RETURN(
+      std::vector<RecordHeader> link,
+      find_path(state, heartbeat.record_hash, proof.records.back().hash(), last_seqno));
+  proof.link_path = std::move(link);
+  return proof;
+}
+
+MembershipProof membership_from_range(const RangeProof& proof) {
+  MembershipProof out;
+  out.path = proof.link_path;
+  return out;
+}
+
+Status verify_range_proof(const Metadata& metadata, const Heartbeat& heartbeat,
+                          const RangeProof& proof, std::uint64_t first_seqno,
+                          std::uint64_t last_seqno) {
+  if (first_seqno == 0 || first_seqno > last_seqno) {
+    return make_error(Errc::kInvalidArgument, "bad range bounds");
+  }
+  if (proof.records.size() != last_seqno - first_seqno + 1) {
+    return make_error(Errc::kVerificationFailed, "range record count mismatch");
+  }
+  // The link path authenticates the newest record in the range...
+  GDP_RETURN_IF_ERROR(verify_header_path(metadata, heartbeat, proof.link_path,
+                                         proof.records.back().hash()));
+  // ...and the range self-verifies backwards from it.
+  for (std::size_t i = 0; i < proof.records.size(); ++i) {
+    const Record& rec = proof.records[i];
+    if (rec.header.capsule_name != metadata.name()) {
+      return make_error(Errc::kVerificationFailed, "range record from another capsule");
+    }
+    if (rec.header.seqno != first_seqno + i) {
+      return make_error(Errc::kVerificationFailed, "range records not contiguous");
+    }
+    GDP_RETURN_IF_ERROR(rec.verify_standalone(metadata.writer_key()));
+    if (i + 1 < proof.records.size()) {
+      const RecordHash h = rec.hash();
+      bool linked = false;
+      for (const HashPtr& p : proof.records[i + 1].header.ptrs) {
+        if (p.hash == h && p.seqno == rec.header.seqno) {
+          linked = true;
+          break;
+        }
+      }
+      if (!linked) {
+        return make_error(Errc::kVerificationFailed,
+                          "range records are not hash-linked");
+      }
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::capsule

@@ -1,0 +1,79 @@
+// Cryptographic read proofs (§V-A).
+//
+// "In addition to verifying entire history, a reader can also get
+// cryptographic proofs for specific records from a DataCapsule in a
+// similar way as the well-known Merkle hash trees."
+//
+// A MembershipProof connects one record to a trusted signed heartbeat by a
+// descending path of record *headers* linked by hash-pointers; with the
+// skip-list strategy the path is O(log n) headers.  A RangeProof exploits
+// the self-verifying property of contiguous ranges ("a range of records in
+// a linked-list design is self-verifying with respect to the newest record
+// in the range"): it ships the full records of the range plus a header
+// path from the heartbeat to the newest range record.
+//
+// Verifiers need only the capsule metadata (for the writer key — itself
+// authenticated by the capsule name) and a heartbeat; no trust in the
+// server that assembled the proof is required.
+#pragma once
+
+#include <vector>
+
+#include "capsule/state.hpp"
+
+namespace gdp::capsule {
+
+struct MembershipProof {
+  /// Headers from the heartbeat's record (front) down to the proven
+  /// record (back); consecutive entries linked by a hash-pointer.
+  std::vector<RecordHeader> path;
+
+  Bytes serialize() const;
+  static Result<MembershipProof> deserialize(BytesView b);
+
+  /// Total serialized size — the proof-size metric in the hash-pointer
+  /// ablation bench.
+  std::size_t size_bytes() const;
+};
+
+/// Builds a proof that the record `target_hash` is part of the history
+/// attested by `heartbeat`.  Fails if either end is unknown or no pointer
+/// path exists (e.g. the target sits on a different branch).
+Result<MembershipProof> build_membership_proof(const CapsuleState& state,
+                                               const Heartbeat& heartbeat,
+                                               const RecordHash& target_hash);
+
+/// Verifies the proof; on success the back() header identifies the proven
+/// record (check header.payload_hash against a fetched payload).
+Status verify_membership_proof(const Metadata& metadata, const Heartbeat& heartbeat,
+                               const MembershipProof& proof,
+                               const RecordHash& target_hash);
+
+struct RangeProof {
+  std::vector<Record> records;         ///< contiguous, ascending seqnos
+  std::vector<RecordHeader> link_path; ///< heartbeat record down to records.back()
+
+  Bytes serialize() const;
+  static Result<RangeProof> deserialize(BytesView b);
+  std::size_t size_bytes() const;
+};
+
+/// Builds a proof for canonical-chain records [first_seqno, last_seqno].
+Result<RangeProof> build_range_proof(const CapsuleState& state,
+                                     const Heartbeat& heartbeat,
+                                     std::uint64_t first_seqno,
+                                     std::uint64_t last_seqno);
+
+/// Verifies contiguity, linkage to the heartbeat, payload hashes and the
+/// writer signature on every range record.
+Status verify_range_proof(const Metadata& metadata, const Heartbeat& heartbeat,
+                          const RangeProof& proof, std::uint64_t first_seqno,
+                          std::uint64_t last_seqno);
+
+/// Extracts the membership proof of the range's newest record from a
+/// range proof: the link path already connects the heartbeat to it, so a
+/// networked reader can obtain membership proofs (e.g. for timeline
+/// entanglement) from an ordinary ranged read.
+MembershipProof membership_from_range(const RangeProof& proof);
+
+}  // namespace gdp::capsule

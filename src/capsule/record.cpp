@@ -1,0 +1,134 @@
+#include "capsule/record.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+constexpr std::uint8_t kHeaderVersion = 1;
+}
+
+Bytes RecordHeader::serialize() const {
+  Bytes out;
+  out.push_back(kHeaderVersion);
+  append(out, capsule_name.view());
+  put_varint(out, seqno);
+  put_fixed64(out, static_cast<std::uint64_t>(timestamp_ns));
+  put_varint(out, ptrs.size());
+  for (const HashPtr& p : ptrs) {
+    put_varint(out, p.seqno);
+    append(out, p.hash.view());
+  }
+  append(out, BytesView(payload_hash.data(), payload_hash.size()));
+  put_varint(out, payload_len);
+  return out;
+}
+
+Result<RecordHeader> RecordHeader::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto version = r.get_bytes(1);
+  if (!version || (*version)[0] != kHeaderVersion) {
+    return make_error(Errc::kInvalidArgument, "bad record header version");
+  }
+  RecordHeader h;
+  auto name_bytes = r.get_bytes(Name::kSize);
+  if (!name_bytes) return make_error(Errc::kInvalidArgument, "truncated capsule name");
+  h.capsule_name = *Name::from_bytes(*name_bytes);
+
+  auto seqno = r.get_varint();
+  auto ts = r.get_fixed64();
+  auto nptrs = r.get_varint();
+  if (!seqno || !ts || !nptrs) {
+    return make_error(Errc::kInvalidArgument, "truncated record header");
+  }
+  h.seqno = *seqno;
+  h.timestamp_ns = static_cast<std::int64_t>(*ts);
+  if (*nptrs > 4096) {
+    return make_error(Errc::kInvalidArgument, "implausible hash-pointer count");
+  }
+  h.ptrs.reserve(static_cast<std::size_t>(*nptrs));
+  for (std::uint64_t i = 0; i < *nptrs; ++i) {
+    auto pseq = r.get_varint();
+    auto phash = r.get_bytes(Name::kSize);
+    if (!pseq || !phash) return make_error(Errc::kInvalidArgument, "truncated hash-pointer");
+    h.ptrs.push_back(HashPtr{*pseq, *Name::from_bytes(*phash)});
+  }
+  auto ph = r.get_bytes(32);
+  auto plen = r.get_varint();
+  if (!ph || !plen) return make_error(Errc::kInvalidArgument, "truncated payload descriptor");
+  std::copy(ph->begin(), ph->end(), h.payload_hash.begin());
+  h.payload_len = *plen;
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing bytes in header");
+  return h;
+}
+
+RecordHash RecordHeader::hash() const {
+  return crypto::digest_to_name(crypto::sha256(serialize()));
+}
+
+Bytes Record::serialize() const {
+  Bytes out;
+  put_length_prefixed(out, header.serialize());
+  put_length_prefixed(out, payload);
+  append(out, writer_sig.encode());
+  return out;
+}
+
+Result<Record> Record::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto header_bytes = r.get_length_prefixed();
+  if (!header_bytes) return make_error(Errc::kInvalidArgument, "truncated record header");
+  GDP_ASSIGN_OR_RETURN(RecordHeader header, RecordHeader::deserialize(*header_bytes));
+  Record rec;
+  rec.header = std::move(header);
+  auto payload = r.get_length_prefixed();
+  if (!payload) return make_error(Errc::kInvalidArgument, "truncated record payload");
+  rec.payload = std::move(*payload);
+  auto sig_bytes = r.get_bytes(64);
+  if (!sig_bytes) return make_error(Errc::kInvalidArgument, "truncated record signature");
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed record signature");
+  rec.writer_sig = *sig;
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing bytes in record");
+  return rec;
+}
+
+Status Record::verify_standalone(const crypto::PublicKey& writer) const {
+  if (payload.size() != header.payload_len) {
+    return make_error(Errc::kVerificationFailed, "payload length mismatch");
+  }
+  if (crypto::sha256(payload) != header.payload_hash) {
+    return make_error(Errc::kVerificationFailed, "payload hash mismatch");
+  }
+  if (header.seqno == 0) {
+    return make_error(Errc::kVerificationFailed, "seqno 0 is reserved for metadata");
+  }
+  if (header.ptrs.empty()) {
+    return make_error(Errc::kVerificationFailed, "record has no hash-pointers");
+  }
+  for (std::size_t i = 0; i < header.ptrs.size(); ++i) {
+    if (header.ptrs[i].seqno >= header.seqno) {
+      return make_error(Errc::kVerificationFailed, "hash-pointer does not point backwards");
+    }
+    if (i > 0) {
+      // Non-descending by seqno; equal seqnos (merge of QSW branch heads)
+      // must reference distinct records.
+      if (header.ptrs[i].seqno < header.ptrs[i - 1].seqno) {
+        return make_error(Errc::kVerificationFailed, "hash-pointers not ascending");
+      }
+      if (header.ptrs[i].seqno == header.ptrs[i - 1].seqno &&
+          header.ptrs[i].hash == header.ptrs[i - 1].hash) {
+        return make_error(Errc::kVerificationFailed, "duplicate hash-pointer");
+      }
+    }
+  }
+  crypto::Digest digest;
+  auto h = header.hash();
+  std::copy(h.raw().begin(), h.raw().end(), digest.begin());
+  if (!writer.verify_digest(digest, writer_sig)) {
+    return make_error(Errc::kVerificationFailed, "writer signature invalid");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::capsule

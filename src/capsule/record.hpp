@@ -1,0 +1,73 @@
+// DataCapsule records (§V-A).
+//
+// A DataCapsule is an ordered collection of variable-sized immutable
+// records linked by hash-pointers.  A record's *hash* covers its header;
+// the header covers the payload through `payload_hash`, so integrity
+// proofs can ship headers only.  The writer's ECDSA signature over the
+// record hash is the per-update "heartbeat" signature: because of the
+// hash-pointers it attests the entire history of updates — both content
+// and ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::capsule {
+
+/// A record hash doubles as the record's identity within the capsule DAG.
+using RecordHash = Name;
+
+/// A hash-pointer to an earlier record.  seqno 0 denotes the metadata
+/// record, whose "hash" is the capsule name itself — making the name the
+/// literal root of the chain of trust.
+struct HashPtr {
+  std::uint64_t seqno = 0;
+  RecordHash hash;
+
+  friend bool operator==(const HashPtr&, const HashPtr&) = default;
+};
+
+struct RecordHeader {
+  Name capsule_name;            ///< binds the record to one capsule
+  std::uint64_t seqno = 0;      ///< 1-based position (0 is the metadata)
+  std::int64_t timestamp_ns = 0;
+  std::vector<HashPtr> ptrs;    ///< ascending by seqno; >=1 for records
+  crypto::Digest payload_hash{};
+  std::uint64_t payload_len = 0;
+
+  /// Canonical serialization (the signed/hashed bytes).
+  Bytes serialize() const;
+  static Result<RecordHeader> deserialize(BytesView b);
+
+  /// SHA-256 of the canonical serialization — the record's identity.
+  RecordHash hash() const;
+
+  friend bool operator==(const RecordHeader&, const RecordHeader&) = default;
+};
+
+struct Record {
+  RecordHeader header;
+  Bytes payload;
+  crypto::Signature writer_sig{};  ///< over header.hash()
+
+  RecordHash hash() const { return header.hash(); }
+
+  Bytes serialize() const;
+  static Result<Record> deserialize(BytesView b);
+
+  /// Structural self-consistency: payload matches payload_hash/len and the
+  /// signature verifies under `writer`.  Linkage into the DAG is checked
+  /// separately by CapsuleState.
+  Status verify_standalone(const crypto::PublicKey& writer) const;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+}  // namespace gdp::capsule

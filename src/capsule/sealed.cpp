@@ -1,0 +1,45 @@
+#include "capsule/sealed.hpp"
+
+#include <cstring>
+
+#include "common/varint.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+Bytes aad_for(const Name& capsule, std::uint64_t seqno) {
+  Bytes aad = to_bytes("gdp.sealed.v1");
+  append(aad, capsule.view());
+  put_fixed64(aad, seqno);
+  return aad;
+}
+
+crypto::Nonce96 nonce_for(std::uint64_t seqno) {
+  crypto::Nonce96 nonce{};
+  for (int i = 0; i < 8; ++i) nonce[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(seqno >> (8 * i));
+  return nonce;
+}
+}  // namespace
+
+ReadKey make_read_key(BytesView entropy) {
+  Bytes stretched = crypto::derive_key(entropy, "gdp.readkey", 32);
+  ReadKey key;
+  std::memcpy(key.data(), stretched.data(), key.size());
+  return key;
+}
+
+Bytes seal_payload(const ReadKey& key, const Name& capsule, std::uint64_t seqno,
+                   BytesView plaintext) {
+  return crypto::secretbox_seal(key, nonce_for(seqno), plaintext,
+                                aad_for(capsule, seqno));
+}
+
+std::optional<Bytes> open_payload(const ReadKey& key, const Name& capsule,
+                                  std::uint64_t seqno, BytesView sealed) {
+  return crypto::secretbox_open(key, sealed, aad_for(capsule, seqno));
+}
+
+}  // namespace gdp::capsule

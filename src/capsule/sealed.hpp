@@ -1,0 +1,36 @@
+// Payload confidentiality (§V-A, footnote 7).
+//
+// "Read access control is maintained by selective sharing of decryption
+// keys ... Encryption provides the final level of defense in the case
+// when the entire infrastructure is compromised."
+//
+// Payloads are sealed *before* they enter a record, so DataCapsule-servers
+// and routers only ever see ciphertext; integrity (hash-pointers +
+// signatures) covers the sealed bytes.  The capsule name is bound in as
+// AAD, so a ciphertext cannot be replayed into a different capsule, and
+// the record seqno feeds the nonce, so identical plaintexts at different
+// positions produce unlinkable ciphertexts.
+#pragma once
+
+#include "common/name.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace gdp::capsule {
+
+/// A per-capsule read key.  The owner mints it and shares it only with
+/// authorized readers (out of band or wrapped under reader public keys).
+using ReadKey = crypto::SymmetricKey;
+
+/// Derives a fresh read key from entropy.
+ReadKey make_read_key(BytesView entropy);
+
+/// Seals a plaintext for the record at `seqno` of `capsule`.
+Bytes seal_payload(const ReadKey& key, const Name& capsule, std::uint64_t seqno,
+                   BytesView plaintext);
+
+/// Opens a sealed payload; fails (nullopt) on wrong key, wrong capsule,
+/// wrong seqno, or any ciphertext tampering.
+std::optional<Bytes> open_payload(const ReadKey& key, const Name& capsule,
+                                  std::uint64_t seqno, BytesView sealed);
+
+}  // namespace gdp::capsule

@@ -1,0 +1,294 @@
+#include "capsule/state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace gdp::capsule {
+
+namespace {
+// Heads ordered by (seqno, hash); the canonical tip is the smallest hash at
+// the highest seqno.
+using HeadKey = std::pair<std::uint64_t, Name>;
+}  // namespace
+
+CapsuleState::CapsuleState(Metadata metadata)
+    : metadata_(std::move(metadata)), canonical_tip_(metadata_.name()) {}
+
+bool CapsuleState::contains(const RecordHash& hash) const {
+  return by_hash_.contains(hash);
+}
+
+bool CapsuleState::known(const RecordHash& hash) const {
+  return by_hash_.contains(hash) || detached_hashes_.contains(hash);
+}
+
+Status CapsuleState::ingest(const Record& record) {
+  const RecordHash hash = record.hash();
+  if (by_hash_.contains(hash) || detached_hashes_.contains(hash)) {
+    return ok_status();  // idempotent
+  }
+  if (record.header.capsule_name != name()) {
+    return make_error(Errc::kVerificationFailed,
+                      "record belongs to capsule " +
+                          record.header.capsule_name.short_hex() + ", not " +
+                          name().short_hex());
+  }
+  GDP_RETURN_IF_ERROR(record.verify_standalone(metadata_.writer_key()));
+
+  // Locate parents; a missing one detaches the record (a transient hole).
+  for (const HashPtr& ptr : record.header.ptrs) {
+    if (ptr.seqno == 0) {
+      if (ptr.hash != name()) {
+        return make_error(Errc::kVerificationFailed,
+                          "seqno-0 pointer must target the capsule name");
+      }
+      continue;
+    }
+    if (!by_hash_.contains(ptr.hash)) {
+      waiting_on_[ptr.hash].push_back(record);
+      detached_hashes_.insert(hash);
+      return ok_status();  // held until the parent arrives
+    }
+  }
+  GDP_RETURN_IF_ERROR(validate_attached(record));
+  attach(record);
+  try_attach_dependents(hash);
+  return ok_status();
+}
+
+Status CapsuleState::validate_attached(const Record& record) const {
+  std::uint64_t max_parent_seqno = 0;
+  for (const HashPtr& ptr : record.header.ptrs) {
+    if (ptr.seqno == 0) continue;
+    auto it = by_hash_.find(ptr.hash);
+    assert(it != by_hash_.end());
+    if (it->second.record.header.seqno != ptr.seqno) {
+      return make_error(Errc::kVerificationFailed,
+                        "hash-pointer seqno disagrees with the target record");
+    }
+    max_parent_seqno = std::max(max_parent_seqno, ptr.seqno);
+  }
+  if (record.header.seqno != max_parent_seqno + 1) {
+    return make_error(Errc::kVerificationFailed,
+                      "record seqno must be max(parent seqnos) + 1");
+  }
+  return ok_status();
+}
+
+void CapsuleState::attach(const Record& record) {
+  const RecordHash hash = record.hash();
+  const std::uint64_t seqno = record.header.seqno;
+  const std::uint64_t old_max = tip_seqno_unlocked();
+
+  // Fast-path canonical extension: the new record sits directly on the
+  // current canonical tip.  (The capsule name acts as the tip of an empty
+  // capsule, so the first record extends it through its seqno-0 pointer.)
+  bool extends_tip = false;
+  if (!canonical_dirty_) {
+    for (const HashPtr& ptr : record.header.ptrs) {
+      const Name parent = ptr.seqno == 0 ? name() : ptr.hash;
+      if (parent == canonical_tip_ && ptr.seqno + 1 == seqno) {
+        extends_tip = true;
+        break;
+      }
+    }
+  }
+
+  by_hash_.emplace(hash, Attached{record});
+  by_seqno_[seqno].push_back(hash);
+  detached_hashes_.erase(hash);
+
+  // Only prev-pointers (seqno-1 -> seqno) are tree edges; skip-list and
+  // checkpoint pointers are shortcuts and do not define children.
+  for (const HashPtr& ptr : record.header.ptrs) {
+    if (ptr.seqno + 1 != seqno) continue;
+    const Name parent = ptr.seqno == 0 ? name() : ptr.hash;
+    if (++child_count_[parent] >= 2) branched_ = true;
+  }
+  if (by_seqno_[seqno].size() >= 2) branched_ = true;
+
+  if (canonical_dirty_) return;
+  if (seqno > old_max) {
+    // A record can only attach when its max parent (at seqno-1) is
+    // attached, so seqno == old_max + 1 here.
+    if (extends_tip && by_seqno_[seqno].size() == 1) {
+      canonical_[seqno] = hash;
+      canonical_tip_ = hash;
+    } else {
+      canonical_dirty_ = true;
+    }
+  } else if (seqno == old_max && hash < canonical_tip_) {
+    canonical_dirty_ = true;  // smaller hash wins the deterministic tie-break
+  }
+  // seqno < old_max: a side-branch record below the tip; the path from the
+  // tip is unchanged.
+}
+
+void CapsuleState::try_attach_dependents(const RecordHash& new_hash) {
+  std::deque<Record> work;
+  auto pop_waiters = [&](const RecordHash& h) {
+    auto it = waiting_on_.find(h);
+    if (it == waiting_on_.end()) return;
+    for (Record& r : it->second) work.push_back(std::move(r));
+    waiting_on_.erase(it);
+  };
+  pop_waiters(new_hash);
+  while (!work.empty()) {
+    Record rec = std::move(work.front());
+    work.pop_front();
+    const RecordHash h = rec.hash();
+    if (by_hash_.contains(h)) continue;
+    // Re-check parents; re-park under the next missing one if any.
+    const HashPtr* missing = nullptr;
+    for (const HashPtr& ptr : rec.header.ptrs) {
+      if (ptr.seqno == 0) continue;
+      if (!by_hash_.contains(ptr.hash)) {
+        missing = &ptr;
+        break;
+      }
+    }
+    if (missing != nullptr) {
+      waiting_on_[missing->hash].push_back(std::move(rec));
+      continue;
+    }
+    if (!validate_attached(rec).ok()) {
+      detached_hashes_.erase(h);  // invalid linkage: drop permanently
+      continue;
+    }
+    attach(rec);
+    pop_waiters(h);
+  }
+}
+
+std::uint64_t CapsuleState::tip_seqno_unlocked() const {
+  return by_seqno_.empty() ? 0 : by_seqno_.rbegin()->first;
+}
+
+std::uint64_t CapsuleState::canonical_seqno_unlocked() const {
+  return canonical_.empty() ? 0 : canonical_.rbegin()->first;
+}
+
+RecordHash CapsuleState::tip_hash() const {
+  if (canonical_dirty_) rebuild_canonical();
+  return canonical_tip_;
+}
+
+std::uint64_t CapsuleState::tip_seqno() const {
+  return tip_seqno_unlocked();
+}
+
+void CapsuleState::rebuild_canonical() const {
+  canonical_.clear();
+  canonical_tip_ = metadata_.name();
+  canonical_dirty_ = false;
+  if (by_seqno_.empty()) return;
+
+  // Tip: smallest hash among records at the highest seqno that are heads.
+  // (With holes the highest-seqno record is always a head.)
+  const auto& [max_seqno, at_max] = *by_seqno_.rbegin();
+  RecordHash tip = *std::min_element(at_max.begin(), at_max.end());
+  canonical_tip_ = tip;
+
+  // Walk the prev-chain: by construction every record has a parent at
+  // seqno - 1 (seqno = max parent + 1).
+  RecordHash cursor = tip;
+  std::uint64_t seqno = max_seqno;
+  while (seqno >= 1) {
+    canonical_[seqno] = cursor;
+    const auto it = by_hash_.find(cursor);
+    assert(it != by_hash_.end());
+    const RecordHeader& h = it->second.record.header;
+    const HashPtr* prev = nullptr;
+    for (const HashPtr& ptr : h.ptrs) {
+      if (ptr.seqno + 1 == seqno &&
+          (prev == nullptr || ptr.hash < prev->hash)) {
+        prev = &ptr;
+      }
+    }
+    if (seqno == 1) break;
+    assert(prev != nullptr);
+    cursor = prev->hash;
+    --seqno;
+  }
+}
+
+std::optional<Record> CapsuleState::get_by_hash(const RecordHash& hash) const {
+  auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) return std::nullopt;
+  return it->second.record;
+}
+
+std::optional<Record> CapsuleState::get_by_seqno(std::uint64_t seqno) const {
+  if (canonical_dirty_) rebuild_canonical();
+  auto it = canonical_.find(seqno);
+  if (it == canonical_.end()) return std::nullopt;
+  return get_by_hash(it->second);
+}
+
+std::vector<Record> CapsuleState::all_at_seqno(std::uint64_t seqno) const {
+  std::vector<Record> out;
+  auto it = by_seqno_.find(seqno);
+  if (it == by_seqno_.end()) return out;
+  for (const RecordHash& h : it->second) out.push_back(by_hash_.at(h).record);
+  return out;
+}
+
+std::vector<RecordHash> CapsuleState::heads() const {
+  std::vector<RecordHash> out;
+  for (const auto& [hash, attached] : by_hash_) {
+    auto it = child_count_.find(hash);
+    if (it == child_count_.end() || it->second == 0) out.push_back(hash);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RecordHash> CapsuleState::holes() const {
+  std::vector<RecordHash> out;
+  for (const auto& [hash, waiters] : waiting_on_) {
+    if (!detached_hashes_.contains(hash) && !by_hash_.contains(hash)) {
+      out.push_back(hash);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t CapsuleState::detached_count() const {
+  return detached_hashes_.size();
+}
+
+std::vector<Record> CapsuleState::export_records() const {
+  std::vector<Record> out;
+  out.reserve(by_hash_.size());
+  for (const auto& [seqno, hashes] : by_seqno_) {
+    std::vector<RecordHash> sorted = hashes;
+    std::sort(sorted.begin(), sorted.end());
+    for (const RecordHash& h : sorted) out.push_back(by_hash_.at(h).record);
+  }
+  return out;
+}
+
+Status CapsuleState::check_heartbeat(const Heartbeat& hb) const {
+  if (hb.capsule_name != name()) {
+    return make_error(Errc::kVerificationFailed, "heartbeat for a different capsule");
+  }
+  GDP_RETURN_IF_ERROR(hb.verify(metadata_.writer_key()));
+  if (hb.seqno == 0) {
+    if (hb.record_hash != name()) {
+      return make_error(Errc::kVerificationFailed, "empty heartbeat must attest the name");
+    }
+    return ok_status();
+  }
+  auto rec = get_by_hash(hb.record_hash);
+  if (!rec) {
+    return make_error(Errc::kNotFound, "heartbeat attests an unknown record");
+  }
+  if (rec->header.seqno != hb.seqno) {
+    return make_error(Errc::kVerificationFailed, "heartbeat seqno mismatch");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::capsule

@@ -1,0 +1,110 @@
+// Validated in-memory DataCapsule state: the generalized ADS validator.
+//
+// A CapsuleState ingests records in *any* order (appends "can be easily
+// forwarded as is to all the DataCapsule-servers in arbitrary order",
+// §VI-A), verifying writer signatures, payload hashes, hash-pointer
+// linkage and seqno consistency.  Records whose parents have not arrived
+// yet are held detached — the paper's transient 'holes' — and attach
+// automatically when the missing parents show up, so anti-entropy can
+// repair in the background.
+//
+// The state is a grow-only DAG keyed by record hash: a Conflict-Free
+// Replicated Data Type (the paper notes a DataCapsule "meets the
+// definition" of a CRDT), so replicas converge regardless of delivery
+// order.  Branches (two records sharing a parent) are representable; in
+// SSW mode they are flagged as writer equivocation, in QSW mode they are
+// expected and expose multiple heads for later merging.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "capsule/heartbeat.hpp"
+#include "capsule/metadata.hpp"
+#include "capsule/record.hpp"
+
+namespace gdp::capsule {
+
+class CapsuleState {
+ public:
+  explicit CapsuleState(Metadata metadata);
+
+  const Metadata& metadata() const { return metadata_; }
+  const Name& name() const { return metadata_.name(); }
+
+  /// Validates and adds a record.  Idempotent: re-ingesting an already
+  /// known record succeeds.  A record whose parents are missing is held
+  /// detached and reported via holes(); ingest still succeeds.
+  Status ingest(const Record& record);
+
+  bool contains(const RecordHash& hash) const;
+  /// True if the record is attached *or* held detached (bytes present).
+  bool known(const RecordHash& hash) const;
+  std::optional<Record> get_by_hash(const RecordHash& hash) const;
+
+  /// The record at `seqno` on the canonical chain (see tip()).
+  std::optional<Record> get_by_seqno(std::uint64_t seqno) const;
+
+  /// All attached records at `seqno` (more than one only under branches).
+  std::vector<Record> all_at_seqno(std::uint64_t seqno) const;
+
+  /// Hash of the canonical tip: the attached head with the highest seqno
+  /// (ties broken by smallest hash, deterministically).  Returns the
+  /// capsule name when empty.
+  RecordHash tip_hash() const;
+  std::uint64_t tip_seqno() const;
+
+  /// All attached heads (records without attached children).  Size > 1
+  /// indicates a branch.
+  std::vector<RecordHash> heads() const;
+  bool has_branch() const { return branched_; }
+
+  /// Record hashes referenced by detached records but not present — the
+  /// 'holes' that anti-entropy must repair.
+  std::vector<RecordHash> holes() const;
+  std::size_t detached_count() const;
+
+  /// Number of attached (fully validated) records.
+  std::size_t size() const { return by_hash_.size(); }
+
+  /// Attached records in (seqno, hash) order — the sync/export order.
+  std::vector<Record> export_records() const;
+
+  /// Verifies a heartbeat against this state: signature must check out
+  /// and the attested record must be present (or seqno 0 / empty).
+  Status check_heartbeat(const Heartbeat& hb) const;
+
+ private:
+  struct Attached {
+    Record record;
+  };
+
+  /// Validates linkage of a record whose parents are all attached.
+  Status validate_attached(const Record& record) const;
+  void attach(const Record& record);
+  void try_attach_dependents(const RecordHash& new_hash);
+  void rebuild_canonical() const;
+  std::uint64_t tip_seqno_unlocked() const;
+  std::uint64_t canonical_seqno_unlocked() const;
+
+  Metadata metadata_;
+  std::unordered_map<Name, Attached> by_hash_;
+  std::map<std::uint64_t, std::vector<RecordHash>> by_seqno_;
+  std::unordered_map<Name, std::size_t> child_count_;  // attached children per record
+  // Detached records waiting for a missing parent hash.
+  std::unordered_map<Name, std::vector<Record>> waiting_on_;
+  std::unordered_set<Name> detached_hashes_;
+  bool branched_ = false;
+
+  // Canonical chain cache: seqno -> hash along the path from tip to root.
+  mutable std::map<std::uint64_t, RecordHash> canonical_;
+  mutable RecordHash canonical_tip_;
+  mutable bool canonical_dirty_ = false;
+};
+
+}  // namespace gdp::capsule

@@ -1,0 +1,93 @@
+#include "capsule/strategy.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace gdp::capsule {
+
+namespace {
+
+class ChainStrategy final : public HashPointerStrategy {
+ public:
+  std::vector<std::uint64_t> targets(std::uint64_t seqno) const override {
+    return {seqno - 1};
+  }
+  std::uint64_t last_referencer(std::uint64_t seqno) const override {
+    return seqno + 1;
+  }
+  std::string id() const override { return "chain"; }
+};
+
+class SkipListStrategy final : public HashPointerStrategy {
+ public:
+  std::vector<std::uint64_t> targets(std::uint64_t seqno) const override {
+    std::vector<std::uint64_t> out{seqno - 1};
+    for (std::uint64_t step = 2; step <= seqno && (seqno % step) == 0; step <<= 1) {
+      if (seqno - step != seqno - 1) out.push_back(seqno - step);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::uint64_t last_referencer(std::uint64_t seqno) const override {
+    if (seqno == 0) return seqno + 1;  // metadata hash is the capsule name
+    // Record seqno + 2^i references seqno iff 2^i divides seqno; the
+    // largest such power of two is the lowest set bit.
+    return seqno + (seqno & (~seqno + 1));
+  }
+  std::string id() const override { return "skiplist"; }
+};
+
+class CheckpointStrategy final : public HashPointerStrategy {
+ public:
+  explicit CheckpointStrategy(std::uint64_t interval) : interval_(interval) {}
+
+  std::vector<std::uint64_t> targets(std::uint64_t seqno) const override {
+    std::vector<std::uint64_t> out;
+    // Latest checkpoint strictly before seqno (record 0 = metadata counts).
+    std::uint64_t checkpoint = ((seqno - 1) / interval_) * interval_;
+    if (checkpoint != seqno - 1) out.push_back(checkpoint);
+    out.push_back(seqno - 1);
+    return out;
+  }
+  std::uint64_t last_referencer(std::uint64_t seqno) const override {
+    // A checkpoint is referenced by every record until the next checkpoint.
+    if (seqno % interval_ == 0) return seqno + interval_;
+    return seqno + 1;
+  }
+  std::string id() const override { return "checkpoint:" + std::to_string(interval_); }
+
+ private:
+  std::uint64_t interval_;
+};
+
+}  // namespace
+
+std::unique_ptr<HashPointerStrategy> make_chain_strategy() {
+  return std::make_unique<ChainStrategy>();
+}
+
+std::unique_ptr<HashPointerStrategy> make_skiplist_strategy() {
+  return std::make_unique<SkipListStrategy>();
+}
+
+std::unique_ptr<HashPointerStrategy> make_checkpoint_strategy(std::uint64_t interval) {
+  if (interval == 0) interval = 1;
+  return std::make_unique<CheckpointStrategy>(interval);
+}
+
+std::unique_ptr<HashPointerStrategy> strategy_from_id(std::string_view id) {
+  if (id == "chain") return make_chain_strategy();
+  if (id == "skiplist") return make_skiplist_strategy();
+  constexpr std::string_view kPrefix = "checkpoint:";
+  if (id.starts_with(kPrefix)) {
+    std::uint64_t interval = 0;
+    auto rest = id.substr(kPrefix.size());
+    auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), interval);
+    if (ec == std::errc{} && ptr == rest.data() + rest.size() && interval > 0) {
+      return make_checkpoint_strategy(interval);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gdp::capsule

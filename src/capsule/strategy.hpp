@@ -1,0 +1,57 @@
+// Configurable hash-pointer strategies (§V-A "Configuration Flexibility").
+//
+// "Our ingenuity is in exposing the flexibility of which hash-pointers to
+// include to the application."  A strategy decides, for each new record,
+// which earlier seqnos it must point to.  Three built-ins cover the
+// paper's examples:
+//   * Chain       — prev only; O(1) append state, O(n) point proofs, but
+//                   range queries self-verify (streaming, time-series).
+//   * SkipList    — authenticated-skip-list tower pointers; O(log n)
+//                   proofs at slightly larger records.
+//   * Checkpoint  — prev + latest checkpoint; a file-system interface may
+//                   make all records point at a checkpoint record.
+// Regardless of the pointers chosen, all invariants and proofs work with
+// the generalized validation in CapsuleState.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdp::capsule {
+
+class HashPointerStrategy {
+ public:
+  virtual ~HashPointerStrategy() = default;
+
+  /// Seqnos (all < seqno, ascending, deduplicated) that the record at
+  /// `seqno` must carry pointers to.  Always contains seqno-1 so that the
+  /// linear history stays connected.
+  virtual std::vector<std::uint64_t> targets(std::uint64_t seqno) const = 0;
+
+  /// The largest seqno whose record will carry a pointer to `seqno`
+  /// (>= seqno + 1).  Writers use this to prune their remembered-hash
+  /// state: once that record is appended, `seqno`'s hash is never needed
+  /// again.
+  virtual std::uint64_t last_referencer(std::uint64_t seqno) const = 0;
+
+  /// Human-readable identifier (recorded in capsule metadata).
+  virtual std::string id() const = 0;
+};
+
+/// prev-pointer only.
+std::unique_ptr<HashPointerStrategy> make_chain_strategy();
+
+/// Deterministic skip-list: record n additionally points to n - 2^i for
+/// every i >= 1 with n % 2^i == 0.
+std::unique_ptr<HashPointerStrategy> make_skiplist_strategy();
+
+/// prev + the latest checkpoint (records whose seqno is a multiple of
+/// `interval`; the metadata record 0 counts as a checkpoint).
+std::unique_ptr<HashPointerStrategy> make_checkpoint_strategy(std::uint64_t interval);
+
+/// Restores a strategy from its id() string, e.g. read from metadata.
+std::unique_ptr<HashPointerStrategy> strategy_from_id(std::string_view id);
+
+}  // namespace gdp::capsule

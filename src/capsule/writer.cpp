@@ -1,0 +1,130 @@
+#include "capsule/writer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/varint.hpp"
+
+namespace gdp::capsule {
+
+Writer::Writer(Metadata metadata, crypto::PrivateKey writer_key,
+               std::unique_ptr<HashPointerStrategy> strategy)
+    : metadata_(std::move(metadata)),
+      writer_key_(std::move(writer_key)),
+      strategy_(std::move(strategy)),
+      tip_hash_(metadata_.name()) {
+  assert(strategy_ != nullptr);
+  assert(writer_key_.public_key() == metadata_.writer_key());
+}
+
+HashPtr Writer::ptr_for(std::uint64_t seqno) const {
+  if (seqno == 0) return HashPtr{0, metadata_.name()};
+  auto it = remembered_.find(seqno);
+  assert(it != remembered_.end() && "strategy requested a pruned hash");
+  return HashPtr{seqno, it->second};
+}
+
+void Writer::remember(std::uint64_t seqno, const RecordHash& hash) {
+  remembered_[seqno] = hash;
+}
+
+void Writer::prune(std::uint64_t appended_seqno) {
+  for (auto it = remembered_.begin(); it != remembered_.end();) {
+    if (strategy_->last_referencer(it->first) <= appended_seqno) {
+      it = remembered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Record Writer::append(BytesView payload, std::int64_t timestamp_ns) {
+  return append_merge(payload, timestamp_ns, {});
+}
+
+Record Writer::append_merge(BytesView payload, std::int64_t timestamp_ns,
+                            const std::vector<HashPtr>& extra_parents) {
+  std::uint64_t seqno = next_seqno_;
+  for (const HashPtr& p : extra_parents) {
+    seqno = std::max(seqno, p.seqno + 1);
+  }
+
+  Record rec;
+  rec.header.capsule_name = metadata_.name();
+  rec.header.seqno = seqno;
+  rec.header.timestamp_ns = timestamp_ns;
+
+  std::vector<HashPtr> ptrs;
+  for (std::uint64_t target : strategy_->targets(next_seqno_)) {
+    ptrs.push_back(ptr_for(target));
+  }
+  for (const HashPtr& p : extra_parents) ptrs.push_back(p);
+  std::sort(ptrs.begin(), ptrs.end(), [](const HashPtr& a, const HashPtr& b) {
+    return a.seqno != b.seqno ? a.seqno < b.seqno : a.hash < b.hash;
+  });
+  ptrs.erase(std::unique(ptrs.begin(), ptrs.end()), ptrs.end());
+  rec.header.ptrs = std::move(ptrs);
+
+  rec.header.payload_hash = crypto::sha256(payload);
+  rec.header.payload_len = payload.size();
+  rec.payload.assign(payload.begin(), payload.end());
+
+  crypto::Digest digest;
+  RecordHash hash = rec.header.hash();
+  std::copy(hash.raw().begin(), hash.raw().end(), digest.begin());
+  rec.writer_sig = writer_key_.sign_digest(digest);
+
+  remember(seqno, hash);
+  tip_hash_ = hash;
+  next_seqno_ = seqno + 1;
+  prune(seqno);
+  return rec;
+}
+
+Heartbeat Writer::heartbeat() const {
+  return Heartbeat::make(metadata_.name(), next_seqno_ - 1, tip_hash_, writer_key_);
+}
+
+Bytes Writer::save_state() const {
+  Bytes out;
+  gdp::append(out, metadata_.name().view());
+  put_varint(out, next_seqno_);
+  gdp::append(out, tip_hash_.view());
+  put_varint(out, remembered_.size());
+  for (const auto& [seqno, hash] : remembered_) {
+    put_varint(out, seqno);
+    gdp::append(out, hash.view());
+  }
+  return out;
+}
+
+Result<Writer> Writer::restore(Metadata metadata, crypto::PrivateKey writer_key,
+                               std::unique_ptr<HashPointerStrategy> strategy,
+                               BytesView saved_state) {
+  ByteReader r(saved_state);
+  auto name_bytes = r.get_bytes(Name::kSize);
+  if (!name_bytes) return make_error(Errc::kInvalidArgument, "truncated writer state");
+  if (*Name::from_bytes(*name_bytes) != metadata.name()) {
+    return make_error(Errc::kFailedPrecondition,
+                      "writer state belongs to a different capsule");
+  }
+  auto next_seqno = r.get_varint();
+  auto tip = r.get_bytes(Name::kSize);
+  auto count = r.get_varint();
+  if (!next_seqno || !tip || !count) {
+    return make_error(Errc::kInvalidArgument, "truncated writer state");
+  }
+  Writer w(std::move(metadata), std::move(writer_key), std::move(strategy));
+  w.next_seqno_ = *next_seqno;
+  w.tip_hash_ = *Name::from_bytes(*tip);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto seqno = r.get_varint();
+    auto hash = r.get_bytes(Name::kSize);
+    if (!seqno || !hash) return make_error(Errc::kInvalidArgument, "truncated writer state");
+    w.remembered_[*seqno] = *Name::from_bytes(*hash);
+  }
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing writer state bytes");
+  return w;
+}
+
+}  // namespace gdp::capsule

@@ -1,0 +1,77 @@
+// The single writer (§VI-A).
+//
+// "The choice for only allowing a single writer enables us to move the
+// serialization responsibilities to the writer/application."  A Writer
+// owns the capsule's signature key, assigns seqnos, computes the
+// hash-pointers dictated by the configured strategy, and signs each
+// record.  Its durable local state — at minimum the hash of the most
+// recent record — can be saved and restored, which is the paper's
+// "potentially in non-volatile memory to recover after writer failures".
+//
+// Strict Single-Writer (SSW) mode assumes exactly one live Writer.
+// Quasi-Single-Writer (QSW) mode tolerates a second concurrent Writer
+// restored from stale state: the resulting branch is representable in the
+// record DAG and is detected (and mergeable) downstream.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "capsule/heartbeat.hpp"
+#include "capsule/metadata.hpp"
+#include "capsule/record.hpp"
+#include "capsule/strategy.hpp"
+
+namespace gdp::capsule {
+
+class Writer {
+ public:
+  /// Creates a writer for a fresh, empty capsule.
+  Writer(Metadata metadata, crypto::PrivateKey writer_key,
+         std::unique_ptr<HashPointerStrategy> strategy);
+
+  /// Restores a writer from previously saved durable state.
+  static Result<Writer> restore(Metadata metadata, crypto::PrivateKey writer_key,
+                                std::unique_ptr<HashPointerStrategy> strategy,
+                                BytesView saved_state);
+
+  Writer(Writer&&) = default;
+  Writer& operator=(Writer&&) = default;
+
+  /// Builds, signs and records the next record.  The returned record is
+  /// ready to be shipped to DataCapsule-servers in any order.
+  Record append(BytesView payload, std::int64_t timestamp_ns);
+
+  /// Appends a record that additionally points at `extra_parents`
+  /// (hash-pointers to branch heads), merging QSW branches.  Seqno becomes
+  /// max(all parents) + 1.
+  Record append_merge(BytesView payload, std::int64_t timestamp_ns,
+                      const std::vector<HashPtr>& extra_parents);
+
+  /// Signed attestation of the latest record (or of the empty capsule).
+  Heartbeat heartbeat() const;
+
+  const Name& capsule_name() const { return metadata_.name(); }
+  const Metadata& metadata() const { return metadata_; }
+  std::uint64_t next_seqno() const { return next_seqno_; }
+  /// Hash of the most recent record (capsule name when empty).
+  const RecordHash& tip_hash() const { return tip_hash_; }
+
+  /// Serializes the durable writer state (seqno counter + the remembered
+  /// record hashes future strategy pointers will need).
+  Bytes save_state() const;
+
+ private:
+  HashPtr ptr_for(std::uint64_t seqno) const;
+  void remember(std::uint64_t seqno, const RecordHash& hash);
+  void prune(std::uint64_t appended_seqno);
+
+  Metadata metadata_;
+  crypto::PrivateKey writer_key_;
+  std::unique_ptr<HashPointerStrategy> strategy_;
+  std::uint64_t next_seqno_ = 1;
+  RecordHash tip_hash_;  // == capsule name while empty
+  std::map<std::uint64_t, RecordHash> remembered_;
+};
+
+}  // namespace gdp::capsule

@@ -1,0 +1,412 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "crypto/hmac.hpp"
+
+namespace gdp::client {
+
+using capsule::Heartbeat;
+using capsule::RangeProof;
+using capsule::Record;
+
+GdpClient::GdpClient(net::Network& net, const crypto::PrivateKey& key,
+                     std::string label, Options options)
+    : Endpoint(net, key, trust::Role::kClient, std::move(label)),
+      options_(options),
+      session_key_(crypto::PrivateKey::generate(net.sim().rng())) {}
+
+Bytes GdpClient::session_pubkey_for_request() const {
+  if (!options_.use_sessions) return {};
+  return session_key_.public_key().encode();
+}
+
+void GdpClient::register_pending(std::uint64_t nonce,
+                                 std::function<void(const wire::Pdu&)> handler,
+                                 std::function<void()> on_timeout) {
+  auto timer = net_.sim().schedule_cancellable(
+      options_.op_timeout, [this, nonce, on_timeout = std::move(on_timeout)] {
+        auto it = pending_.find(nonce);
+        if (it == pending_.end()) return;
+        pending_.erase(it);
+        on_timeout();
+      });
+  pending_[nonce] = PendingRequest{std::move(handler), std::move(timer)};
+}
+
+std::optional<std::function<void(const wire::Pdu&)>> GdpClient::take_pending(
+    std::uint64_t nonce) {
+  auto it = pending_.find(nonce);
+  if (it == pending_.end()) return std::nullopt;
+  it->second.timeout.cancel();
+  auto handler = std::move(it->second.handler);
+  pending_.erase(it);
+  return handler;
+}
+
+// ---- Response authentication --------------------------------------------------
+
+Status GdpClient::verify_response_auth(const Name& responding_server,
+                                       const Name& capsule, BytesView body,
+                                       const wire::ResponseAuth& auth,
+                                       BytesView principal_bytes,
+                                       BytesView delegation_bytes,
+                                       const capsule::Metadata* metadata) {
+  (void)capsule;
+  // Evidence handling: a principal (and, when hosted, the delegation
+  // chain) rides along on first contact or in sessionless mode.
+  if (!principal_bytes.empty()) {
+    GDP_ASSIGN_OR_RETURN(trust::Principal principal,
+                         trust::Principal::deserialize(principal_bytes));
+    if (principal.name() != responding_server) {
+      return make_error(Errc::kVerificationFailed,
+                        "response evidence names a different server");
+    }
+    if (!delegation_bytes.empty() && metadata != nullptr) {
+      GDP_ASSIGN_OR_RETURN(trust::ServingDelegation delegation,
+                           trust::ServingDelegation::deserialize(delegation_bytes));
+      GDP_RETURN_IF_ERROR(trust::verify_serving_delegation(
+          *metadata, principal, delegation, net_.sim().now()));
+      known_servers_.insert_or_assign(principal.name(), principal);
+    } else if (metadata != nullptr) {
+      return make_error(Errc::kPermissionDenied,
+                        "server presented no delegation for this capsule");
+    }
+  }
+
+  switch (auth.kind) {
+    case wire::ResponseAuth::Kind::kSignature: {
+      auto it = known_servers_.find(responding_server);
+      if (it == known_servers_.end()) {
+        return make_error(Errc::kVerificationFailed,
+                          "signed response from an unverified server");
+      }
+      auto sig = crypto::Signature::decode(auth.bytes);
+      if (!sig || !it->second.key().verify(body, *sig)) {
+        return make_error(Errc::kVerificationFailed, "response signature invalid");
+      }
+      return ok_status();
+    }
+    case wire::ResponseAuth::Kind::kHmac: {
+      auto key_it = session_keys_.find(responding_server);
+      if (key_it == session_keys_.end()) {
+        auto srv = known_servers_.find(responding_server);
+        if (srv == known_servers_.end()) {
+          return make_error(Errc::kVerificationFailed,
+                            "HMAC response from an unknown server");
+        }
+        key_it = session_keys_
+                     .emplace(responding_server,
+                              crypto::ecdh_shared_key(session_key_, srv->second.key()))
+                     .first;
+      }
+      if (!crypto::hmac_verify(
+              BytesView(key_it->second.data(), key_it->second.size()), body,
+              auth.bytes)) {
+        return make_error(Errc::kVerificationFailed, "response HMAC invalid");
+      }
+      return ok_status();
+    }
+    case wire::ResponseAuth::Kind::kNone:
+      break;
+  }
+  return make_error(Errc::kVerificationFailed, "response carries no authenticator");
+}
+
+// ---- Operations -----------------------------------------------------------------
+
+OpPtr<bool> GdpClient::create_capsule(const Name& server,
+                                      const capsule::Metadata& metadata,
+                                      const trust::ServingDelegation& delegation,
+                                      std::vector<Name> replica_peers) {
+  auto op = std::make_shared<Op<bool>>();
+  wire::CreateCapsuleMsg msg;
+  msg.metadata = metadata.serialize();
+  msg.delegation = delegation.serialize();
+  msg.replica_peers = std::move(replica_peers);
+  msg.nonce = next_nonce_++;
+
+  register_pending(
+      msg.nonce,
+      [op](const wire::Pdu& pdu) {
+        auto status = wire::StatusMsg::deserialize(pdu.payload);
+        if (!status.ok()) {
+          op->resolve(status.error());
+          return;
+        }
+        if (!status->ok) {
+          op->resolve(make_error(static_cast<Errc>(status->code), status->message));
+          return;
+        }
+        op->resolve(true);
+      },
+      [op] {
+        op->resolve(make_error(Errc::kUnavailable, "create_capsule timed out"));
+      });
+  send_pdu(server, wire::MsgType::kCreateCapsule, msg.serialize());
+  return op;
+}
+
+OpPtr<AppendOutcome> GdpClient::append(capsule::Writer& writer, BytesView payload,
+                                       std::uint32_t required_acks) {
+  Record record = writer.append(payload, net_.sim().now().count());
+  return append_record(writer.metadata(), record, required_acks);
+}
+
+OpPtr<AppendOutcome> GdpClient::append_record(const capsule::Metadata& metadata,
+                                              const capsule::Record& record,
+                                              std::uint32_t required_acks) {
+  auto op = std::make_shared<Op<AppendOutcome>>();
+  wire::AppendMsg msg;
+  msg.capsule = metadata.name();
+  msg.record = record;
+  msg.required_acks = required_acks;
+  msg.nonce = next_nonce_++;
+  msg.session_pubkey = session_pubkey_for_request();
+
+  const Name expected_hash = record.hash();
+  capsule::Metadata meta_copy = metadata;
+  auto append_handler = [this, op, expected_hash,
+                         meta_copy = std::move(meta_copy)](const wire::Pdu& pdu) {
+    auto ack = wire::AppendAckMsg::deserialize(pdu.payload);
+    if (!ack.ok()) {
+      op->resolve(ack.error());
+      return;
+    }
+    Status auth_ok = verify_response_auth(pdu.src, ack->capsule, ack->signed_body(),
+                                          ack->auth, ack->server_principal,
+                                          ack->delegation, &meta_copy);
+    if (!auth_ok.ok()) {
+      op->resolve(auth_ok.error());
+      return;
+    }
+    if (ack->record_hash != expected_hash) {
+      op->resolve(make_error(Errc::kVerificationFailed,
+                             "ack attests a different record"));
+      return;
+    }
+    if (!ack->ok) {
+      op->resolve(make_error(Errc::kUnavailable, "append rejected: " + ack->error));
+      return;
+    }
+    AppendOutcome out;
+    out.seqno = ack->seqno;
+    out.record_hash = ack->record_hash;
+    out.acks = ack->acks;
+    out.via_hmac = ack->auth.kind == wire::ResponseAuth::Kind::kHmac;
+    out.ack_bytes = pdu.payload.size();
+    op->resolve(out);
+  };
+  register_pending(msg.nonce, std::move(append_handler), [op] {
+    op->resolve(make_error(Errc::kUnavailable, "append timed out"));
+  });
+  send_pdu(metadata.name(), wire::MsgType::kAppend, msg.serialize());
+  return op;
+}
+
+Result<ReadOutcome> GdpClient::parse_read_response(const wire::Pdu& pdu,
+                                                   const capsule::Metadata& metadata,
+                                                   std::uint64_t first,
+                                                   std::uint64_t last) {
+  GDP_ASSIGN_OR_RETURN(wire::ReadResponseMsg resp,
+                       wire::ReadResponseMsg::deserialize(pdu.payload));
+  GDP_RETURN_IF_ERROR(verify_response_auth(pdu.src, resp.capsule, resp.signed_body(),
+                                           resp.auth, resp.server_principal,
+                                           resp.delegation, &metadata));
+  if (!resp.ok) {
+    return make_error(Errc::kNotFound, "read failed: " + resp.error);
+  }
+  GDP_ASSIGN_OR_RETURN(Heartbeat hb, Heartbeat::deserialize(resp.heartbeat));
+  GDP_ASSIGN_OR_RETURN(RangeProof proof, RangeProof::deserialize(resp.proof));
+  if (proof.records.empty()) {
+    return make_error(Errc::kVerificationFailed, "empty proof");
+  }
+  const std::uint64_t got_first = proof.records.front().header.seqno;
+  const std::uint64_t got_last = proof.records.back().header.seqno;
+  // The server may clamp an open-ended range to its tip, but must honor an
+  // explicit start and never exceed the requested end.
+  if (first != 0 && got_first != first) {
+    return make_error(Errc::kVerificationFailed, "range start mismatch");
+  }
+  if (last != 0 && got_last > last) {
+    return make_error(Errc::kVerificationFailed, "range end exceeds request");
+  }
+  GDP_RETURN_IF_ERROR(
+      capsule::verify_range_proof(metadata, hb, proof, got_first, got_last));
+  ReadOutcome out;
+  out.records = std::move(proof.records);
+  out.heartbeat = hb;
+  out.link_path = std::move(proof.link_path);
+  out.via_hmac = resp.auth.kind == wire::ResponseAuth::Kind::kHmac;
+  out.response_bytes = pdu.payload.size();
+  return out;
+}
+
+OpPtr<ReadOutcome> GdpClient::read(const capsule::Metadata& metadata,
+                                   std::uint64_t first_seqno,
+                                   std::uint64_t last_seqno) {
+  auto op = std::make_shared<Op<ReadOutcome>>();
+  wire::ReadMsg msg;
+  msg.capsule = metadata.name();
+  msg.first_seqno = first_seqno;
+  msg.last_seqno = last_seqno;
+  msg.nonce = next_nonce_++;
+  msg.session_pubkey = session_pubkey_for_request();
+
+  capsule::Metadata meta_copy = metadata;
+  register_pending(
+      msg.nonce,
+      [this, op, meta_copy = std::move(meta_copy), first_seqno,
+       last_seqno](const wire::Pdu& pdu) {
+        op->resolve(parse_read_response(pdu, meta_copy, first_seqno, last_seqno));
+      },
+      [op] { op->resolve(make_error(Errc::kUnavailable, "read timed out")); });
+  send_pdu(metadata.name(), wire::MsgType::kRead, msg.serialize());
+  return op;
+}
+
+OpPtr<ReadOutcome> GdpClient::read_latest_strict(
+    const capsule::Metadata& metadata, const std::vector<Name>& replica_servers) {
+  auto op = std::make_shared<Op<ReadOutcome>>();
+  if (replica_servers.empty()) {
+    op->resolve(make_error(Errc::kInvalidArgument, "no replicas named"));
+    return op;
+  }
+  struct Gather {
+    std::size_t awaiting;
+    std::optional<ReadOutcome> best;
+    bool failed = false;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->awaiting = replica_servers.size();
+
+  for (const Name& server : replica_servers) {
+    wire::ReadMsg msg;
+    msg.capsule = metadata.name();
+    msg.nonce = next_nonce_++;
+    msg.session_pubkey = session_pubkey_for_request();
+    capsule::Metadata meta_copy = metadata;
+    auto strict_handler = [this, op, gather,
+                           meta_copy = std::move(meta_copy)](const wire::Pdu& pdu) {
+      auto outcome = parse_read_response(pdu, meta_copy, 0, 0);
+      if (!outcome.ok()) {
+        gather->failed = true;
+      } else if (!gather->best ||
+                 outcome->heartbeat.seqno > gather->best->heartbeat.seqno) {
+        gather->best = std::move(*outcome);
+      }
+      if (--gather->awaiting == 0) {
+        // Strict consistency semantics: all replicas must answer (and
+        // verifiably) or the reader blocks/fails (§VI-C).
+        if (gather->failed || !gather->best) {
+          op->resolve(make_error(Errc::kUnavailable,
+                                 "strict read requires every replica"));
+        } else {
+          op->resolve(std::move(*gather->best));
+        }
+      }
+    };
+    register_pending(msg.nonce, std::move(strict_handler), [op] {
+      op->resolve(make_error(Errc::kUnavailable,
+                             "strict read timed out (replica unreachable)"));
+    });
+    send_pdu(server, wire::MsgType::kRead, msg.serialize());
+  }
+  return op;
+}
+
+OpPtr<bool> GdpClient::subscribe(const capsule::Metadata& metadata,
+                                 const trust::Cert& sub_cert,
+                                 SubscriptionCallback callback) {
+  auto op = std::make_shared<Op<bool>>();
+  wire::SubscribeMsg msg;
+  msg.capsule = metadata.name();
+  msg.subscriber = name();
+  msg.sub_cert = sub_cert.serialize();
+  msg.nonce = next_nonce_++;
+
+  subscriptions_.insert_or_assign(
+      metadata.name(), Subscription{metadata, std::move(callback), {}});
+
+  auto subscribe_handler = [this, op, capsule_name = metadata.name()](const wire::Pdu& pdu) {
+    auto status = wire::StatusMsg::deserialize(pdu.payload);
+    if (!status.ok() || !status->ok) {
+      subscriptions_.erase(capsule_name);
+      op->resolve(status.ok()
+                      ? Result<bool>(make_error(static_cast<Errc>(status->code),
+                                                status->message))
+                      : Result<bool>(status.error()));
+      return;
+    }
+    op->resolve(true);
+  };
+  register_pending(msg.nonce, std::move(subscribe_handler),
+                   [this, op, capsule_name = metadata.name()] {
+                     subscriptions_.erase(capsule_name);
+                     op->resolve(make_error(Errc::kUnavailable, "subscribe timed out"));
+                   });
+  send_pdu(metadata.name(), wire::MsgType::kSubscribe, msg.serialize());
+  return op;
+}
+
+// ---- Event dispatch ---------------------------------------------------------------
+
+void GdpClient::handle_pdu(const Name& from, const wire::Pdu& pdu) {
+  switch (pdu.type) {
+    case wire::MsgType::kStatus: {
+      auto msg = wire::StatusMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto handler = take_pending(msg->nonce);
+      if (!handler) return;  // duplicate / replayed
+      (*handler)(pdu);
+      return;
+    }
+    case wire::MsgType::kAppendAck: {
+      auto msg = wire::AppendAckMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto handler = take_pending(msg->nonce);
+      if (!handler) return;
+      (*handler)(pdu);
+      return;
+    }
+    case wire::MsgType::kReadResponse: {
+      auto msg = wire::ReadResponseMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto handler = take_pending(msg->nonce);
+      if (!handler) return;
+      (*handler)(pdu);
+      return;
+    }
+    case wire::MsgType::kPublish: {
+      auto msg = wire::PublishMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto sub = subscriptions_.find(msg->capsule);
+      if (sub == subscriptions_.end()) return;
+      Subscription& s = sub->second;
+      const Name hash = msg->record.hash();
+      if (s.seen.contains(hash)) return;  // replay / duplicate push
+      // End-to-end validation: the event must carry the writer's own
+      // signature and belong to this capsule — an adversarial server or
+      // in-path attacker cannot inject fabricated events.
+      if (msg->record.header.capsule_name != msg->capsule ||
+          !msg->record.verify_standalone(s.metadata.writer_key()).ok()) {
+        GDP_LOG(kWarn, "client") << "dropping forged publish event";
+        return;
+      }
+      auto hb = Heartbeat::deserialize(msg->heartbeat);
+      if (!hb.ok() || !hb->verify(s.metadata.writer_key()).ok()) {
+        GDP_LOG(kWarn, "client") << "dropping publish with bad heartbeat";
+        return;
+      }
+      s.seen.insert(hash);
+      s.callback(msg->record, *hb);
+      return;
+    }
+    default:
+      if (app_handler_ && app_handler_(from, pdu)) return;
+      GDP_LOG(kWarn, "client") << "unhandled PDU type " << static_cast<int>(pdu.type);
+  }
+}
+
+}  // namespace gdp::client

@@ -1,0 +1,185 @@
+// GDP client library (§VIII "Client applications primarily link against an
+// event-driven library").
+//
+// The client owns the paper's end-to-end security obligations: it
+// addresses conversations to capsule *names* (anycast picks a replica),
+// verifies every response — signature + delegation-chain evidence on first
+// contact, session HMAC at steady state — and validates all returned data
+// against the capsule name as trust anchor.  "Clients use digital
+// signatures and encryption as the fundamental tools to enable trust in
+// data [rather] than in infrastructure."
+//
+// Operations are asynchronous (the library is event-driven); each returns
+// an Op handle resolved from the network event loop.  await() drives the
+// simulator until resolution — the idiom every example and benchmark uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "capsule/proof.hpp"
+#include "capsule/writer.hpp"
+#include "router/endpoint.hpp"
+#include "trust/delegation.hpp"
+
+namespace gdp::client {
+
+template <typename T>
+struct Op {
+  bool done = false;
+  std::optional<Result<T>> outcome;
+
+  void resolve(Result<T> r) {
+    if (done) return;
+    done = true;
+    outcome.emplace(std::move(r));
+  }
+};
+template <typename T>
+using OpPtr = std::shared_ptr<Op<T>>;
+
+/// Runs the simulator until the op resolves (or the queue drains).
+template <typename T>
+Result<T> await(net::Simulator& sim, const OpPtr<T>& op) {
+  while (!op->done && !sim.idle()) sim.run_until(sim.now() + from_millis(10));
+  if (!op->done) {
+    return make_error(Errc::kUnavailable, "operation never resolved (network idle)");
+  }
+  return std::move(*op->outcome);
+}
+
+struct AppendOutcome {
+  std::uint64_t seqno = 0;
+  Name record_hash;
+  std::uint32_t acks = 0;
+  bool via_hmac = false;       ///< steady-state session authentication?
+  std::size_t ack_bytes = 0;   ///< serialized ack size (overhead ablation)
+};
+
+struct ReadOutcome {
+  std::vector<capsule::Record> records;  ///< verified, ascending seqnos
+  capsule::Heartbeat heartbeat;          ///< verified writer attestation
+  /// Header path connecting the heartbeat to records.back() — a ready
+  /// MembershipProof of the newest record (used e.g. for timeline
+  /// entanglement verification across capsules).
+  std::vector<capsule::RecordHeader> link_path;
+  bool via_hmac = false;
+  std::size_t response_bytes = 0;
+
+  capsule::MembershipProof newest_membership() const {
+    return capsule::MembershipProof{link_path};
+  }
+};
+
+class GdpClient : public router::Endpoint {
+ public:
+  struct Options {
+    Duration op_timeout = from_seconds(30);
+    bool use_sessions = true;  ///< establish HMAC sessions after first contact
+  };
+
+  GdpClient(net::Network& net, const crypto::PrivateKey& key, std::string label,
+            Options options);
+  GdpClient(net::Network& net, const crypto::PrivateKey& key, std::string label)
+      : GdpClient(net, key, std::move(label), Options{}) {}
+
+  /// Places a capsule on a specific server (owner-side placement),
+  /// shipping metadata + AdCert-backed delegation + the replica peer set.
+  OpPtr<bool> create_capsule(const Name& server, const capsule::Metadata& metadata,
+                             const trust::ServingDelegation& delegation,
+                             std::vector<Name> replica_peers);
+
+  /// Appends through a locally held Writer; the record is routed to the
+  /// capsule name (closest replica).  required_acks selects the §VI-B
+  /// durability mode.
+  OpPtr<AppendOutcome> append(capsule::Writer& writer, BytesView payload,
+                              std::uint32_t required_acks = 1);
+
+  /// Sends a pre-built record (used when replaying / retrying).
+  OpPtr<AppendOutcome> append_record(const capsule::Metadata& metadata,
+                                     const capsule::Record& record,
+                                     std::uint32_t required_acks = 1);
+
+  /// Verified range read [first, last] (0,0 = latest) from the closest
+  /// replica.
+  OpPtr<ReadOutcome> read(const capsule::Metadata& metadata,
+                          std::uint64_t first_seqno, std::uint64_t last_seqno);
+  OpPtr<ReadOutcome> read_latest(const capsule::Metadata& metadata) {
+    return read(metadata, 0, 0);
+  }
+
+  /// Strict-consistency read (§VI-C): queries every named replica server
+  /// directly and returns the freshest verified state; fails if any
+  /// replica is unreachable.
+  OpPtr<ReadOutcome> read_latest_strict(const capsule::Metadata& metadata,
+                                        const std::vector<Name>& replica_servers);
+
+  using SubscriptionCallback =
+      std::function<void(const capsule::Record&, const capsule::Heartbeat&)>;
+
+  /// Subscribes to future records (event-driven programming model).  The
+  /// SubCert proves this client may join the feed.
+  OpPtr<bool> subscribe(const capsule::Metadata& metadata, const trust::Cert& sub_cert,
+                        SubscriptionCallback callback);
+
+  /// Server principals whose identity we verified via delegation evidence.
+  bool knows_server(const Name& server) const { return known_servers_.contains(server); }
+
+  /// Hook for CAAPI services built on top of the client (e.g. the
+  /// multi-writer commit service): receives PDU types the client itself
+  /// does not consume.  Return true when handled.
+  using AppHandler = std::function<bool(const Name& from, const wire::Pdu& pdu)>;
+  void set_app_handler(AppHandler handler) { app_handler_ = std::move(handler); }
+
+  /// Raw PDU injection for services replying to app-level messages.
+  void send_app_pdu(const Name& dst, wire::MsgType type, Bytes payload,
+                    std::uint64_t flow_id = 0) {
+    send_pdu(dst, type, std::move(payload), flow_id);
+  }
+
+ protected:
+  void handle_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+ private:
+  struct Subscription {
+    capsule::Metadata metadata;
+    SubscriptionCallback callback;
+    std::unordered_set<Name> seen;
+  };
+
+  /// Verifies a response authenticator; on signature path also validates
+  /// and caches the server principal + delegation.
+  Status verify_response_auth(const Name& responding_server, const Name& capsule,
+                              BytesView body, const wire::ResponseAuth& auth,
+                              BytesView principal_bytes, BytesView delegation_bytes,
+                              const capsule::Metadata* metadata);
+  Bytes session_pubkey_for_request() const;
+  /// Registers a response handler plus its (cancellable) guard timeout.
+  void register_pending(std::uint64_t nonce,
+                        std::function<void(const wire::Pdu&)> handler,
+                        std::function<void()> on_timeout);
+  /// Extracts and returns the handler for `nonce`, cancelling its timer.
+  std::optional<std::function<void(const wire::Pdu&)>> take_pending(
+      std::uint64_t nonce);
+  Result<ReadOutcome> parse_read_response(const wire::Pdu& pdu,
+                                          const capsule::Metadata& metadata,
+                                          std::uint64_t first, std::uint64_t last);
+
+  struct PendingRequest {
+    std::function<void(const wire::Pdu&)> handler;
+    net::Simulator::TimerHandle timeout;
+  };
+
+  Options options_;
+  crypto::PrivateKey session_key_;  ///< ephemeral ECDH half for HMAC sessions
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::unordered_map<Name, trust::Principal> known_servers_;
+  std::unordered_map<Name, crypto::SymmetricKey> session_keys_;  ///< by server
+  std::unordered_map<Name, Subscription> subscriptions_;         ///< by capsule
+  AppHandler app_handler_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace gdp::client

@@ -1,0 +1,49 @@
+// Byte-buffer utilities shared by every GDP module.
+//
+// GDP deals almost exclusively in opaque octet strings (hashes, keys,
+// signatures, serialized records), so we standardize on a single `Bytes`
+// alias plus a small set of helpers for hex conversion, comparison and
+// concatenation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdp {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from a string's raw characters (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as text (no validation; callers own semantics).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding, e.g. {0xde,0xad} -> "dead".
+std::string hex_encode(BytesView b);
+
+/// Parses lower- or upper-case hex; returns nullopt on odd length or bad digit.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Constant-time equality for secret material (MAC tags, keys).
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (std::size_t{0} + ... + std::size_t{views.size()});
+  out.reserve(total);
+  (out.insert(out.end(), views.begin(), views.end()), ...);
+  return out;
+}
+
+}  // namespace gdp

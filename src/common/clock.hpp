@@ -1,0 +1,55 @@
+// Time abstraction.
+//
+// Everything network-facing takes a Clock so the discrete-event simulator
+// can drive protocol timers deterministically; wall-clock is only used by
+// CPU micro-benchmarks.  Times are nanoseconds since an arbitrary epoch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gdp {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;  // offset from epoch
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Manually advanced clock owned by the simulator (or a test).
+class SimClock final : public Clock {
+ public:
+  TimePoint now() const override { return now_; }
+  void advance_to(TimePoint t) { now_ = t; }
+  void advance(Duration d) { now_ += d; }
+
+ private:
+  TimePoint now_{};
+};
+
+/// Real steady clock, for benchmarks only.
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+};
+
+inline constexpr Duration from_millis(std::int64_t ms) {
+  return std::chrono::duration_cast<Duration>(std::chrono::milliseconds(ms));
+}
+inline constexpr Duration from_micros(std::int64_t us) {
+  return std::chrono::duration_cast<Duration>(std::chrono::microseconds(us));
+}
+inline constexpr Duration from_seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+inline constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+}  // namespace gdp

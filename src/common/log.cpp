@@ -1,0 +1,10 @@
+#include "common/log.hpp"
+
+namespace gdp {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+}  // namespace gdp

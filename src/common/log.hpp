@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Off by default so tests and benchmarks stay quiet; examples turn it on to
+// narrate what the infrastructure is doing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace gdp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel& log_threshold();
+
+inline void set_log_level(LogLevel level) { log_threshold() = level; }
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : enabled_(level >= log_threshold()) {
+    if (enabled_) {
+      static constexpr std::string_view kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+      stream_ << "[" << kNames[static_cast<int>(level)] << "] " << tag << ": ";
+    }
+  }
+  ~LogLine() {
+    if (enabled_) std::cerr << stream_.str() << '\n';
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define GDP_LOG(level, tag) ::gdp::internal::LogLine(::gdp::LogLevel::level, tag)
+
+}  // namespace gdp

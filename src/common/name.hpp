@@ -1,0 +1,75 @@
+// Flat 256-bit names.
+//
+// Every addressable GDP entity — DataCapsule, DataCapsule-server,
+// GDP-router, organization, client — lives in one flat name-space (§IV-B).
+// A Name is the SHA-256 hash of the entity's signed metadata, so it doubles
+// as a cryptographic trust anchor and as the routing address.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace gdp {
+
+class Name {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  constexpr Name() = default;
+  explicit Name(const std::array<std::uint8_t, kSize>& raw) : raw_(raw) {}
+
+  /// Builds a Name from exactly 32 bytes; nullopt otherwise.
+  static std::optional<Name> from_bytes(BytesView b) {
+    if (b.size() != kSize) return std::nullopt;
+    Name n;
+    std::memcpy(n.raw_.data(), b.data(), kSize);
+    return n;
+  }
+
+  /// Parses 64 hex chars.
+  static std::optional<Name> from_hex(std::string_view hex) {
+    auto bytes = hex_decode(hex);
+    if (!bytes) return std::nullopt;
+    return from_bytes(*bytes);
+  }
+
+  const std::array<std::uint8_t, kSize>& raw() const { return raw_; }
+  BytesView view() const { return BytesView(raw_.data(), raw_.size()); }
+  Bytes bytes() const { return Bytes(raw_.begin(), raw_.end()); }
+
+  std::string hex() const { return hex_encode(view()); }
+  /// Abbreviated form for logs: first 8 hex chars.
+  std::string short_hex() const { return hex().substr(0, 8); }
+
+  bool is_zero() const {
+    for (auto b : raw_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  auto operator<=>(const Name&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> raw_{};
+};
+
+}  // namespace gdp
+
+template <>
+struct std::hash<gdp::Name> {
+  std::size_t operator()(const gdp::Name& n) const noexcept {
+    // The name is itself a cryptographic hash; fold the first 8 bytes.
+    std::size_t h;
+    std::memcpy(&h, n.raw().data(), sizeof(h));
+    return h;
+  }
+};

@@ -1,0 +1,23 @@
+#include "common/result.hpp"
+
+namespace gdp {
+
+std::string_view errc_name(Errc c) {
+  switch (c) {
+    case Errc::kOk: return "OK";
+    case Errc::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Errc::kNotFound: return "NOT_FOUND";
+    case Errc::kAlreadyExists: return "ALREADY_EXISTS";
+    case Errc::kVerificationFailed: return "VERIFICATION_FAILED";
+    case Errc::kPermissionDenied: return "PERMISSION_DENIED";
+    case Errc::kUnavailable: return "UNAVAILABLE";
+    case Errc::kOutOfRange: return "OUT_OF_RANGE";
+    case Errc::kCorruptData: return "CORRUPT_DATA";
+    case Errc::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Errc::kExpired: return "EXPIRED";
+    case Errc::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace gdp

@@ -1,0 +1,131 @@
+// Error model for the GDP library.
+//
+// Expected, data-dependent failures (a signature that does not verify, a
+// record that is missing, a name with no route) are *values*, not
+// exceptions: every fallible API returns Result<T>.  Exceptions are
+// reserved for programming errors and resource exhaustion, per the C++
+// Core Guidelines (E.*; I.10).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gdp {
+
+/// Machine-readable failure category; the message carries specifics.
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,    // malformed input (bad hex, bad wire bytes, ...)
+  kNotFound,           // record / capsule / route does not exist
+  kAlreadyExists,      // duplicate creation
+  kVerificationFailed, // signature / hash-chain / proof mismatch
+  kPermissionDenied,   // missing or invalid delegation (AdCert/RtCert)
+  kUnavailable,        // no live replica / link down / timeout
+  kOutOfRange,         // seqno beyond capsule tail
+  kCorruptData,        // storage-level integrity failure
+  kFailedPrecondition, // API misuse detectable at runtime (e.g. writer state)
+  kExpired,            // certificate or advertisement past expiry
+  kInternal,           // invariant violation inside the library
+};
+
+std::string_view errc_name(Errc c);
+
+/// A failure: category + human-readable context.
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Result<T>: either a value or an Error.  Deliberately minimal —
+/// value(), error(), ok(), and move-through helpers.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : rep_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(rep_);
+  }
+  Errc code() const { return ok() ? Errc::kOk : error().code; }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+  Errc code() const { return ok_ ? Errc::kOk : error_.code; }
+  std::string to_string() const { return ok_ ? "OK" : error_.to_string(); }
+
+ private:
+  Error error_{};
+  bool ok_ = true;
+};
+
+inline Status ok_status() { return Status(); }
+
+/// Propagates failure from an expression producing Status or Result<T>.
+#define GDP_RETURN_IF_ERROR(expr)                         \
+  do {                                                    \
+    auto _gdp_status = (expr);                            \
+    if (!_gdp_status.ok()) return _gdp_status.error();    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or returning the
+/// error: GDP_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define GDP_ASSIGN_OR_RETURN(decl, expr)       \
+  GDP_ASSIGN_OR_RETURN_IMPL_(                  \
+      GDP_RESULT_CONCAT_(_gdp_res_, __LINE__), decl, expr)
+#define GDP_RESULT_CONCAT_INNER_(a, b) a##b
+#define GDP_RESULT_CONCAT_(a, b) GDP_RESULT_CONCAT_INNER_(a, b)
+#define GDP_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.error();                \
+  decl = std::move(tmp).value()
+
+}  // namespace gdp

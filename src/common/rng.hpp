@@ -1,0 +1,86 @@
+// Deterministic pseudo-random generator.
+//
+// All randomness in the library flows through Rng so that simulations,
+// tests and benchmarks are reproducible from a seed.  The generator is
+// xoshiro256** seeded via splitmix64 — fast, well-distributed, and *not*
+// cryptographic: key generation in `crypto` stretches Rng output through
+// SHA-256, and signing uses deterministic (RFC-6979-style) nonces so no
+// secure RNG is ever required.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace gdp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  Bytes next_bytes(std::size_t n) {
+    Bytes out(n);
+    std::size_t i = 0;
+    while (i < n) {
+      std::uint64_t v = next_u64();
+      for (int b = 0; b < 8 && i < n; ++b, ++i) {
+        out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+    }
+    return out;
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace gdp

@@ -1,0 +1,69 @@
+#include "common/varint.hpp"
+
+namespace gdp {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_fixed64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_fixed32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_length_prefixed(Bytes& out, BytesView b) {
+  put_varint(out, b.size());
+  append(out, b);
+}
+
+std::optional<std::uint64_t> ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && byte > 1) return std::nullopt;  // overflow
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::uint64_t> ByteReader::get_fixed64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::get_fixed32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<Bytes> ByteReader::get_bytes(std::size_t n) {
+  if (remaining() < n) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<Bytes> ByteReader::get_length_prefixed() {
+  auto len = get_varint();
+  if (!len) return std::nullopt;
+  if (*len > remaining()) return std::nullopt;
+  return get_bytes(static_cast<std::size_t>(*len));
+}
+
+}  // namespace gdp

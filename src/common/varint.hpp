@@ -1,0 +1,45 @@
+// LEB128-style variable-length integers and fixed-width little-endian
+// helpers used by the canonical wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace gdp {
+
+/// Appends `v` as an unsigned LEB128 varint (1..10 bytes).
+void put_varint(Bytes& out, std::uint64_t v);
+
+/// Appends a fixed 8-byte little-endian integer.
+void put_fixed64(Bytes& out, std::uint64_t v);
+
+/// Appends a fixed 4-byte little-endian integer.
+void put_fixed32(Bytes& out, std::uint32_t v);
+
+/// Appends varint length followed by the raw bytes.
+void put_length_prefixed(Bytes& out, BytesView b);
+
+/// Sequential reader over a byte buffer; each get_* consumes input and
+/// returns nullopt on truncation or overlong encodings.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint64_t> get_varint();
+  std::optional<std::uint64_t> get_fixed64();
+  std::optional<std::uint32_t> get_fixed32();
+  std::optional<Bytes> get_bytes(std::size_t n);
+  std::optional<Bytes> get_length_prefixed();
+
+  bool empty() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gdp

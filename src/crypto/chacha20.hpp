@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 7539 block function) and an
+// encrypt-then-MAC "secret box" used for record-payload confidentiality.
+//
+// §V: read access control is "maintained by selective sharing of
+// decryption keys"; DataCapsule payloads are sealed with SecretBox before
+// they ever reach the (untrusted) infrastructure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace gdp::crypto {
+
+using SymmetricKey = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+/// XORs `data` with the ChaCha20 keystream (encryption == decryption).
+Bytes chacha20_xor(const SymmetricKey& key, const Nonce96& nonce,
+                   std::uint32_t initial_counter, BytesView data);
+
+/// Authenticated encryption: ChaCha20 + HMAC-SHA256 (encrypt-then-MAC).
+/// Output layout: nonce(12) || ciphertext || tag(32).
+Bytes secretbox_seal(const SymmetricKey& key, const Nonce96& nonce,
+                     BytesView plaintext, BytesView aad = {});
+
+/// Returns nullopt when the tag does not verify (tampered or wrong key).
+std::optional<Bytes> secretbox_open(const SymmetricKey& key, BytesView boxed,
+                                    BytesView aad = {});
+
+}  // namespace gdp::crypto

@@ -1,0 +1,58 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace gdp::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    Digest kd = sha256(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size())).update(data);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()))
+      .update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool hmac_verify(BytesView key, BytesView data, BytesView tag) {
+  Digest expected = hmac_sha256(key, data);
+  return constant_time_equal(BytesView(expected.data(), expected.size()), tag);
+}
+
+Bytes derive_key(BytesView ikm, std::string_view label, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  Bytes info = to_bytes(label);
+  std::uint8_t counter = 1;
+  Digest prev{};
+  bool first = true;
+  while (out.size() < n) {
+    Bytes msg;
+    if (!first) append(msg, BytesView(prev.data(), prev.size()));
+    append(msg, info);
+    msg.push_back(counter++);
+    prev = hmac_sha256(ikm, msg);
+    std::size_t take = std::min<std::size_t>(prev.size(), n - out.size());
+    out.insert(out.end(), prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(take));
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace gdp::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and an HKDF-style key-derivation helper.
+//
+// Steady-state secure acknowledgments between clients and
+// DataCapsule-servers use HMAC rather than signatures (§V "Secure
+// Responses"), giving per-message byte overhead "roughly similar to TLS".
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Verifies an HMAC tag in constant time.
+bool hmac_verify(BytesView key, BytesView data, BytesView tag);
+
+/// Simple HKDF-like expansion: derives `n` bytes from input keying
+/// material and a context label.
+Bytes derive_key(BytesView ikm, std::string_view label, std::size_t n);
+
+}  // namespace gdp::crypto

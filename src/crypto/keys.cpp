@@ -1,0 +1,108 @@
+#include "crypto/keys.hpp"
+
+#include <cassert>
+
+#include "crypto/hmac.hpp"
+
+namespace gdp::crypto {
+
+Bytes Signature::encode() const {
+  Bytes out = r.to_bytes_be();
+  Bytes sb = s.to_bytes_be();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+std::optional<Signature> Signature::decode(BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.r = U256::from_bytes_be(b.subspan(0, 32));
+  sig.s = U256::from_bytes_be(b.subspan(32, 32));
+  if (!sc_is_valid(sig.r) || !sc_is_valid(sig.s)) return std::nullopt;
+  return sig;
+}
+
+std::optional<PublicKey> PublicKey::decode(BytesView b) {
+  auto point = point_decode(b);
+  if (!point) return std::nullopt;
+  return PublicKey(*point);
+}
+
+bool PublicKey::verify(BytesView message, const Signature& sig) const {
+  return verify_digest(sha256(message), sig);
+}
+
+bool PublicKey::verify_digest(const Digest& digest, const Signature& sig) const {
+  if (!sc_is_valid(sig.r) || !sc_is_valid(sig.s)) return false;
+  if (point_.infinity) return false;
+  U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
+  U256 w = sc_inv(sig.s);
+  U256 u1 = sc_mul(z, w);
+  U256 u2 = sc_mul(sig.r, w);
+  AffinePoint rp = point_mul2(u1, u2, point_);
+  if (rp.infinity) return false;
+  // r must equal R.x mod n.
+  return sc_reduce(rp.x) == sig.r;
+}
+
+PrivateKey::PrivateKey(const U256& d)
+    : d_(d), pub_(point_mul(d, secp_g())) {
+  assert(sc_is_valid(d_));
+}
+
+PrivateKey PrivateKey::generate(Rng& rng) {
+  for (;;) {
+    Digest d = sha256(rng.next_bytes(48));
+    U256 scalar = sc_reduce(U256::from_bytes_be(BytesView(d.data(), d.size())));
+    if (sc_is_valid(scalar)) return PrivateKey(scalar);
+  }
+}
+
+std::optional<PrivateKey> PrivateKey::from_bytes(BytesView b) {
+  if (b.size() != 32) return std::nullopt;
+  U256 d = U256::from_bytes_be(b);
+  if (!sc_is_valid(d)) return std::nullopt;
+  return PrivateKey(d);
+}
+
+Signature PrivateKey::sign(BytesView message) const {
+  return sign_digest(sha256(message));
+}
+
+Signature PrivateKey::sign_digest(const Digest& digest) const {
+  U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
+  Bytes d_bytes = d_.to_bytes_be();
+  // Deterministic nonce in the spirit of RFC 6979: k derived by HMAC over
+  // the private key, the message digest and a retry counter.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    Bytes nonce_input = concat(BytesView(digest.data(), digest.size()),
+                               Bytes{static_cast<std::uint8_t>(attempt),
+                                     static_cast<std::uint8_t>(attempt >> 8),
+                                     static_cast<std::uint8_t>(attempt >> 16),
+                                     static_cast<std::uint8_t>(attempt >> 24)});
+    Digest kd = hmac_sha256(d_bytes, nonce_input);
+    U256 k = sc_reduce(U256::from_bytes_be(BytesView(kd.data(), kd.size())));
+    if (!sc_is_valid(k)) continue;
+
+    AffinePoint rp = point_mul(k, secp_g());
+    if (rp.infinity) continue;
+    U256 r = sc_reduce(rp.x);
+    if (r.is_zero()) continue;
+    U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
+    if (s.is_zero()) continue;
+    return Signature{r, s};
+  }
+}
+
+SymmetricKey ecdh_shared_key(const PrivateKey& mine, const PublicKey& theirs) {
+  auto d = U256::from_bytes_be(mine.to_bytes());
+  AffinePoint shared = point_mul(d, theirs.point());
+  assert(!shared.infinity);
+  Bytes x = shared.x.to_bytes_be();
+  Digest key = sha256(x);
+  SymmetricKey out;
+  std::copy(key.begin(), key.end(), out.begin());
+  return out;
+}
+
+}  // namespace gdp::crypto

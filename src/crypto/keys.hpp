@@ -1,0 +1,80 @@
+// ECDSA key pairs, signatures, and ECDH session-key agreement.
+//
+// Every GDP principal — DataCapsule writer, owner, DataCapsule-server,
+// GDP-router, organization — is identified by an ECDSA key pair; the
+// SHA-256 fingerprint of the public key participates in the flat
+// name-space.  Signing uses deterministic nonces (in the spirit of
+// RFC 6979) so no secure RNG is needed anywhere in the system.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::crypto {
+
+/// An ECDSA signature, externally a 64-byte r||s big-endian string.
+struct Signature {
+  U256 r;
+  U256 s;
+
+  Bytes encode() const;
+  static std::optional<Signature> decode(BytesView b);
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class PublicKey {
+ public:
+  explicit PublicKey(const AffinePoint& point) : point_(point) {}
+
+  /// Decodes the 64-byte x||y form, rejecting off-curve points.
+  static std::optional<PublicKey> decode(BytesView b);
+  Bytes encode() const { return point_encode(point_); }
+
+  /// SHA-256 of the encoded key — the key's flat-name-space identity.
+  Name fingerprint() const { return digest_to_name(sha256(encode())); }
+
+  /// Verifies sig over SHA-256(message).
+  bool verify(BytesView message, const Signature& sig) const;
+  bool verify_digest(const Digest& digest, const Signature& sig) const;
+
+  const AffinePoint& point() const { return point_; }
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+
+ private:
+  AffinePoint point_;
+};
+
+class PrivateKey {
+ public:
+  /// Derives a key pair from the deterministic Rng (output is stretched
+  /// through SHA-256 and reduced into the scalar field).
+  static PrivateKey generate(Rng& rng);
+
+  /// Restores a key from its 32-byte scalar; rejects 0 and >= n.
+  static std::optional<PrivateKey> from_bytes(BytesView b);
+  Bytes to_bytes() const { return d_.to_bytes_be(); }
+
+  const PublicKey& public_key() const { return pub_; }
+
+  Signature sign(BytesView message) const;
+  Signature sign_digest(const Digest& digest) const;
+
+ private:
+  explicit PrivateKey(const U256& d);
+
+  U256 d_;
+  PublicKey pub_;
+};
+
+/// ECDH: both sides derive the same 32-byte symmetric key from
+/// (my private, their public).  Used to set up the HMAC session between a
+/// client and a DataCapsule-server (§V "Secure Responses").
+SymmetricKey ecdh_shared_key(const PrivateKey& mine, const PublicKey& theirs);
+
+}  // namespace gdp::crypto

@@ -1,0 +1,230 @@
+#include "crypto/secp256k1.hpp"
+
+#include <cassert>
+
+namespace gdp::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977
+constexpr U256 kP{{0xFFFFFFFEFFFFFC2FULL, 0xFFFFFFFFFFFFFFFFULL,
+                   0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL}};
+// C = 2^256 - p = 2^32 + 977
+constexpr U256 kC{{0x1000003D1ULL, 0, 0, 0}};
+
+// n = group order
+constexpr U256 kN{{0xBFD25E8CD0364141ULL, 0xBAAEDCE6AF48A03BULL,
+                   0xFFFFFFFFFFFFFFFEULL, 0xFFFFFFFFFFFFFFFFULL}};
+// D = 2^256 - n (129 bits)
+constexpr U256 kD{{0x402DA1732FC9BEBFULL, 0x4551231950B75FC4ULL, 1, 0}};
+
+constexpr U256 kGx{{0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9ULL,
+                    0x55A06295CE870B07ULL, 0x79BE667EF9DCBBACULL}};
+constexpr U256 kGy{{0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
+                    0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL}};
+
+// Generic "x mod (2^256 - delta)" for delta < 2^130: fold the high half
+// down (x = hi*delta + lo mod m) until the high half vanishes, then
+// conditionally subtract m.
+U256 reduce512(const U512& x, const U256& m, const U256& delta) {
+  U512 acc = x;
+  while (!acc.hi().is_zero()) {
+    acc = add512(mul_full(acc.hi(), delta), U512::from_u256(acc.lo()));
+  }
+  U256 r = acc.lo();
+  while (r >= m) sub_borrow(r, r, m);
+  return r;
+}
+
+U256 mod_add(const U256& a, const U256& b, const U256& m) {
+  U256 out;
+  std::uint64_t carry = add_carry(out, a, b);
+  // a,b < m so a+b < 2m < 2^257; one conditional subtraction suffices.
+  if (carry != 0 || out >= m) sub_borrow(out, out, m);
+  return out;
+}
+
+U256 mod_sub(const U256& a, const U256& b, const U256& m) {
+  U256 out;
+  if (sub_borrow(out, a, b) != 0) add_carry(out, out, m);
+  return out;
+}
+
+U256 mod_pow(const U256& base, const U256& exp,
+             U256 (*mul)(const U256&, const U256&)) {
+  U256 result = U256::from_u64(1);
+  int top = exp.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    result = mul(result, result);
+    if (exp.bit(static_cast<unsigned>(i))) result = mul(result, base);
+  }
+  return result;
+}
+
+// ---- Jacobian-coordinate point arithmetic ----------------------------------
+
+struct Jac {
+  U256 x, y, z;
+  bool inf = true;
+
+  static Jac from_affine(const AffinePoint& p) {
+    if (p.infinity) return Jac{};
+    return Jac{p.x, p.y, U256::from_u64(1), false};
+  }
+};
+
+AffinePoint jac_to_affine(const Jac& p) {
+  if (p.inf) return AffinePoint::at_infinity();
+  U256 zi = fp_inv(p.z);
+  U256 zi2 = fp_sqr(zi);
+  AffinePoint out;
+  out.x = fp_mul(p.x, zi2);
+  out.y = fp_mul(p.y, fp_mul(zi2, zi));
+  out.infinity = false;
+  return out;
+}
+
+Jac jac_double(const Jac& p) {
+  if (p.inf || p.y.is_zero()) return Jac{};
+  // dbl-2009-l formulas for a = 0.
+  U256 a = fp_sqr(p.x);
+  U256 b = fp_sqr(p.y);
+  U256 c = fp_sqr(b);
+  U256 d = fp_sub(fp_sub(fp_sqr(fp_add(p.x, b)), a), c);
+  d = fp_add(d, d);
+  U256 e = fp_add(fp_add(a, a), a);
+  U256 f = fp_sqr(e);
+  Jac out;
+  out.x = fp_sub(f, fp_add(d, d));
+  U256 c8 = fp_add(c, c);
+  c8 = fp_add(c8, c8);
+  c8 = fp_add(c8, c8);
+  out.y = fp_sub(fp_mul(e, fp_sub(d, out.x)), c8);
+  out.z = fp_mul(fp_add(p.y, p.y), p.z);
+  out.inf = false;
+  return out;
+}
+
+Jac jac_add(const Jac& p, const Jac& q) {
+  if (p.inf) return q;
+  if (q.inf) return p;
+  U256 z1z1 = fp_sqr(p.z);
+  U256 z2z2 = fp_sqr(q.z);
+  U256 u1 = fp_mul(p.x, z2z2);
+  U256 u2 = fp_mul(q.x, z1z1);
+  U256 s1 = fp_mul(p.y, fp_mul(q.z, z2z2));
+  U256 s2 = fp_mul(q.y, fp_mul(p.z, z1z1));
+  U256 h = fp_sub(u2, u1);
+  U256 r = fp_sub(s2, s1);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_double(p);
+    return Jac{};  // P + (-P) = O
+  }
+  U256 hh = fp_sqr(h);
+  U256 hhh = fp_mul(h, hh);
+  U256 v = fp_mul(u1, hh);
+  Jac out;
+  out.x = fp_sub(fp_sub(fp_sqr(r), hhh), fp_add(v, v));
+  out.y = fp_sub(fp_mul(r, fp_sub(v, out.x)), fp_mul(s1, hhh));
+  out.z = fp_mul(fp_mul(p.z, q.z), h);
+  out.inf = false;
+  return out;
+}
+
+Jac jac_mul(const U256& k, const Jac& p) {
+  Jac acc;
+  int top = k.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = jac_double(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = jac_add(acc, p);
+  }
+  return acc;
+}
+
+}  // namespace
+
+const U256& secp_p() { return kP; }
+const U256& secp_n() { return kN; }
+
+U256 fp_add(const U256& a, const U256& b) { return mod_add(a, b, kP); }
+U256 fp_sub(const U256& a, const U256& b) { return mod_sub(a, b, kP); }
+U256 fp_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kP, kC); }
+U256 fp_sqr(const U256& a) { return fp_mul(a, a); }
+U256 fp_neg(const U256& a) { return a.is_zero() ? a : mod_sub(U256::zero(), a, kP); }
+
+U256 fp_inv(const U256& a) {
+  assert(!a.is_zero());
+  U256 exp;  // p - 2
+  sub_borrow(exp, kP, U256::from_u64(2));
+  return mod_pow(a, exp, &fp_mul);
+}
+
+U256 sc_add(const U256& a, const U256& b) { return mod_add(a, b, kN); }
+U256 sc_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kN, kD); }
+U256 sc_neg(const U256& a) { return a.is_zero() ? a : mod_sub(U256::zero(), a, kN); }
+U256 sc_reduce(const U256& a) { return reduce512(U512::from_u256(a), kN, kD); }
+bool sc_is_valid(const U256& a) { return !a.is_zero() && a < kN; }
+
+U256 sc_inv(const U256& a) {
+  assert(!a.is_zero());
+  U256 exp;  // n - 2
+  sub_borrow(exp, kN, U256::from_u64(2));
+  return mod_pow(a, exp, &sc_mul);
+}
+
+const AffinePoint& secp_g() {
+  static const AffinePoint g{kGx, kGy, false};
+  return g;
+}
+
+bool AffinePoint::on_curve() const {
+  if (infinity) return true;
+  if (x >= kP || y >= kP) return false;
+  U256 lhs = fp_sqr(y);
+  U256 rhs = fp_add(fp_mul(fp_sqr(x), x), U256::from_u64(7));
+  return lhs == rhs;
+}
+
+AffinePoint point_add(const AffinePoint& a, const AffinePoint& b) {
+  return jac_to_affine(jac_add(Jac::from_affine(a), Jac::from_affine(b)));
+}
+
+AffinePoint point_double(const AffinePoint& a) {
+  return jac_to_affine(jac_double(Jac::from_affine(a)));
+}
+
+AffinePoint point_neg(const AffinePoint& a) {
+  if (a.infinity) return a;
+  return AffinePoint{a.x, fp_neg(a.y), false};
+}
+
+AffinePoint point_mul(const U256& k, const AffinePoint& p) {
+  if (k.is_zero() || p.infinity) return AffinePoint::at_infinity();
+  return jac_to_affine(jac_mul(k, Jac::from_affine(p)));
+}
+
+AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q) {
+  Jac a = u1.is_zero() ? Jac{} : jac_mul(u1, Jac::from_affine(secp_g()));
+  Jac b = (u2.is_zero() || q.infinity) ? Jac{} : jac_mul(u2, Jac::from_affine(q));
+  return jac_to_affine(jac_add(a, b));
+}
+
+Bytes point_encode(const AffinePoint& p) {
+  assert(!p.infinity);
+  Bytes out = p.x.to_bytes_be();
+  Bytes y = p.y.to_bytes_be();
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+std::optional<AffinePoint> point_decode(BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  AffinePoint p;
+  p.x = U256::from_bytes_be(b.subspan(0, 32));
+  p.y = U256::from_bytes_be(b.subspan(32, 32));
+  p.infinity = false;
+  if (!p.on_curve()) return std::nullopt;
+  return p;
+}
+
+}  // namespace gdp::crypto

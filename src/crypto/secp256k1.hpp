@@ -1,0 +1,67 @@
+// secp256k1 elliptic-curve arithmetic.
+//
+// The paper (§V) specifies ECDSA signatures; we implement them from scratch
+// over secp256k1 (y^2 = x^3 + 7 over F_p).  Field reduction exploits
+// p = 2^256 - C with C = 2^32 + 977; scalar reduction exploits
+// n = 2^256 - D with D 129 bits wide.  Point math uses Jacobian
+// coordinates with simple double-and-add scalar multiplication.
+//
+// NOTE: this implementation targets correctness and reproducibility of a
+// research system, not side-channel resistance (operations are not
+// constant-time).
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace gdp::crypto {
+
+/// The field prime p and group order n.
+const U256& secp_p();
+const U256& secp_n();
+
+// ---- Arithmetic in F_p ----------------------------------------------------
+U256 fp_add(const U256& a, const U256& b);
+U256 fp_sub(const U256& a, const U256& b);
+U256 fp_mul(const U256& a, const U256& b);
+U256 fp_sqr(const U256& a);
+U256 fp_inv(const U256& a);  // a != 0; Fermat inversion
+U256 fp_neg(const U256& a);
+
+// ---- Arithmetic mod the group order n --------------------------------------
+U256 sc_add(const U256& a, const U256& b);
+U256 sc_mul(const U256& a, const U256& b);
+U256 sc_inv(const U256& a);  // a != 0
+U256 sc_neg(const U256& a);
+/// Reduces an arbitrary 256-bit value (e.g. a hash) mod n.
+U256 sc_reduce(const U256& a);
+bool sc_is_valid(const U256& a);  // 1 <= a < n
+
+// ---- Points ----------------------------------------------------------------
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static AffinePoint at_infinity() { return AffinePoint{}; }
+  bool on_curve() const;
+  friend bool operator==(const AffinePoint&, const AffinePoint&) = default;
+};
+
+/// The group generator G.
+const AffinePoint& secp_g();
+
+AffinePoint point_add(const AffinePoint& a, const AffinePoint& b);
+AffinePoint point_double(const AffinePoint& a);
+AffinePoint point_neg(const AffinePoint& a);
+/// k * P via double-and-add (k taken mod n implicitly by the caller).
+AffinePoint point_mul(const U256& k, const AffinePoint& p);
+/// u1*G + u2*Q, the ECDSA verification combination.
+AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q);
+
+/// 64-byte x||y big-endian encoding (infinity not encodable).
+Bytes point_encode(const AffinePoint& p);
+std::optional<AffinePoint> point_decode(BytesView b);
+
+}  // namespace gdp::crypto

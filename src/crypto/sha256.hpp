@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4).
+//
+// §V of the paper: "unless otherwise specified, 'hash' refers to a SHA256
+// hash function".  Capsule names, record hashes, key fingerprints and the
+// HMAC construction all build on this implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+
+namespace gdp::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(BytesView data);
+  /// Finalizes and returns the digest; the hasher must be reset() before
+  /// further use.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(BytesView data);
+
+/// Digests interoperate with the flat name space: a Name *is* a SHA-256.
+inline Name digest_to_name(const Digest& d) {
+  return Name(d);
+}
+inline Bytes digest_to_bytes(const Digest& d) {
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace gdp::crypto

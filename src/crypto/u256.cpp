@@ -1,0 +1,144 @@
+#include "crypto/u256.hpp"
+
+#include <cassert>
+
+namespace gdp::crypto {
+
+U256 U256::from_bytes_be(BytesView b) {
+  assert(b.size() == 32);
+  U256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) {
+      v = (v << 8) | b[static_cast<std::size_t>((3 - limb) * 8 + j)];
+    }
+    out.w[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+Bytes U256::to_bytes_be() const {
+  Bytes out(32);
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = w[static_cast<std::size_t>(limb)];
+    for (int j = 7; j >= 0; --j) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + j)] =
+          static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+int U256::highest_bit() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (w[static_cast<std::size_t>(limb)] != 0) {
+      return limb * 64 + 63 - __builtin_clzll(w[static_cast<std::size_t>(limb)]);
+    }
+  }
+  return -1;
+}
+
+bool U512::is_zero() const {
+  std::uint64_t acc = 0;
+  for (auto v : w) acc |= v;
+  return acc == 0;
+}
+
+std::uint64_t add_carry(U256& out, const U256& a, const U256& b) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += static_cast<unsigned __int128>(a.w[i]) + b.w[i];
+    out.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;  // two's-complement: top bits set iff underflow
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+U512 mul_full(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      carry += static_cast<unsigned __int128>(a.w[i]) * b.w[j] + out.w[i + j];
+      out.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    out.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return out;
+}
+
+U512 add512(const U512& a, const U512& b) {
+  U512 out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    carry += static_cast<unsigned __int128>(a.w[i]) + b.w[i];
+    out.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return out;
+}
+
+U512 sub512(const U512& a, const U512& b) {
+  U512 out;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return out;
+}
+
+std::strong_ordering cmp512(const U512& a, const U512& b) {
+  for (int i = 7; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] <=> b.w[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+U512 shl1(const U512& a) {
+  U512 out;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    out.w[i] = (a.w[i] << 1) | carry;
+    carry = a.w[i] >> 63;
+  }
+  return out;
+}
+
+U256 mod_generic(const U512& a, const U256& m) {
+  assert(!m.is_zero());
+  // Binary long division: fold a's bits into a remainder from the top.
+  U256 rem{};
+  for (int bit = 511; bit >= 0; --bit) {
+    // rem = rem*2 + bit(a)
+    U256 doubled;
+    std::uint64_t carry = add_carry(doubled, rem, rem);
+    bool in_bit = (a.w[bit / 64] >> (bit % 64)) & 1;
+    if (in_bit) {
+      carry += add_carry(doubled, doubled, U256::from_u64(1));
+    }
+    // A carry means rem*2 >= 2^256 > m, so subtract m (m < 2^256).
+    if (carry != 0 || doubled >= m) {
+      sub_borrow(doubled, doubled, m);
+      // After a carry the value can still exceed m once more.
+      if (carry != 0 && doubled >= m) sub_borrow(doubled, doubled, m);
+    }
+    rem = doubled;
+  }
+  return rem;
+}
+
+}  // namespace gdp::crypto

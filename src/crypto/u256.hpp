@@ -1,0 +1,77 @@
+// Fixed-width 256/512-bit unsigned integers.
+//
+// These back the secp256k1 field and scalar arithmetic in `ec.cpp`.
+// Limbs are 64-bit, little-endian (w[0] is least significant).  The type is
+// a plain aggregate (no invariant), per Core Guidelines C.1/C.2.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gdp::crypto {
+
+struct U512;
+
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  static constexpr U256 zero() { return U256{}; }
+  static constexpr U256 from_u64(std::uint64_t v) { return U256{{v, 0, 0, 0}}; }
+
+  /// Big-endian 32-byte decode (the external representation of hashes,
+  /// keys and signature halves).
+  static U256 from_bytes_be(BytesView b);  // requires b.size() == 32
+  Bytes to_bytes_be() const;
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  bool is_odd() const { return (w[0] & 1) != 0; }
+  bool bit(unsigned i) const { return (w[i / 64] >> (i % 64)) & 1; }
+  /// Index of the highest set bit, or -1 if zero.
+  int highest_bit() const;
+
+  friend std::strong_ordering operator<=>(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      if (a.w[i] != b.w[i]) return a.w[i] <=> b.w[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const U256&, const U256&) = default;
+};
+
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+
+  bool is_zero() const;
+  /// The low 256 bits.
+  U256 lo() const { return U256{{w[0], w[1], w[2], w[3]}}; }
+  /// The high 256 bits.
+  U256 hi() const { return U256{{w[4], w[5], w[6], w[7]}}; }
+  static U512 from_u256(const U256& v) {
+    return U512{{v.w[0], v.w[1], v.w[2], v.w[3], 0, 0, 0, 0}};
+  }
+};
+
+/// out = a + b, returns carry-out (0/1).
+std::uint64_t add_carry(U256& out, const U256& a, const U256& b);
+/// out = a - b, returns borrow-out (0/1).
+std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b);
+/// 256x256 -> 512-bit schoolbook multiply.
+U512 mul_full(const U256& a, const U256& b);
+/// a + b over 512 bits (carry beyond bit 512 discarded; callers guarantee
+/// no overflow).
+U512 add512(const U512& a, const U512& b);
+/// a - b over 512 bits; callers guarantee a >= b.
+U512 sub512(const U512& a, const U512& b);
+/// Comparison over 512 bits.
+std::strong_ordering cmp512(const U512& a, const U512& b);
+/// Left shift by one bit.
+U512 shl1(const U512& a);
+
+/// Reference (slow) a mod m via binary long division; used by property
+/// tests to cross-check the specialized reductions.
+U256 mod_generic(const U512& a, const U256& m);
+
+}  // namespace gdp::crypto

@@ -1,0 +1,186 @@
+#include "harness/scenario.hpp"
+
+#include <unistd.h>
+
+#include "capsule/strategy.hpp"
+
+namespace gdp::harness {
+
+TempDir::TempDir(const std::string& tag) {
+  static int counter = 0;
+  path_ = std::filesystem::temp_directory_path() /
+          ("gdp-" + tag + "-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter++));
+  std::filesystem::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+Scenario::Scenario(std::uint64_t seed, const std::string& tag)
+    : sim_(seed),
+      net_(sim_),
+      key_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      storage_(tag),
+      topology_(std::make_shared<router::Topology>()) {}
+
+router::GLookupService* Scenario::add_domain(const std::string& label,
+                                             router::GLookupService* parent,
+                                             net::LinkParams parent_link) {
+  keys_.push_back(
+      std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(key_rng_)));
+  auto principal = trust::Principal::create(*keys_.back(),
+                                            trust::Role::kOrganization, label);
+  // The domain's flat name is its GLookupService principal name.
+  auto glookup = std::make_unique<router::GLookupService>(
+      net_, principal, principal.name(), topology_);
+  if (parent != nullptr) {
+    glookup->set_parent(parent);
+    net_.connect(glookup->name(), parent->name(), parent_link);
+  }
+  glookups_.push_back(std::move(glookup));
+  return glookups_.back().get();
+}
+
+router::Router* Scenario::add_router(const std::string& label,
+                                     router::GLookupService* domain,
+                                     net::LinkParams control_link) {
+  keys_.push_back(
+      std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(key_rng_)));
+  auto r = std::make_unique<router::Router>(net_, *keys_.back(), label,
+                                            domain->domain(), topology_);
+  r->set_glookup(domain);
+  net_.connect(r->name(), domain->name(), control_link);
+  topology_->add_router(r->name(), domain->domain());
+  routers_.push_back(std::move(r));
+  return routers_.back().get();
+}
+
+void Scenario::link_routers(router::Router* a, router::Router* b,
+                            net::LinkParams params) {
+  net_.connect(a->name(), b->name(), params);
+  topology_->add_link(a->name(), b->name(),
+                      static_cast<std::uint32_t>(params.latency.count() / 1000));
+}
+
+server::CapsuleServer* Scenario::add_server(const std::string& label,
+                                            router::Router* attach,
+                                            net::LinkParams access) {
+  keys_.push_back(
+      std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(key_rng_)));
+  server::CapsuleServer::Options options;
+  options.storage_root = storage_.path() / (label + std::to_string(server_count_++));
+  auto s = std::make_unique<server::CapsuleServer>(net_, *keys_.back(), label,
+                                                   std::move(options));
+  net_.connect(s->name(), attach->name(), access);
+  to_attach_.push_back({s.get(), attach->name()});
+  servers_.push_back(std::move(s));
+  return servers_.back().get();
+}
+
+client::GdpClient* Scenario::add_client(const std::string& label,
+                                        router::Router* attach,
+                                        net::LinkParams access) {
+  return add_client(label, attach, access, client::GdpClient::Options{});
+}
+
+client::GdpClient* Scenario::add_client(const std::string& label,
+                                        router::Router* attach,
+                                        net::LinkParams access,
+                                        client::GdpClient::Options opts) {
+  keys_.push_back(
+      std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(key_rng_)));
+  auto c = std::make_unique<client::GdpClient>(net_, *keys_.back(), label, opts);
+  net_.connect(c->name(), attach->name(), access);
+  to_attach_.push_back({c.get(), attach->name()});
+  clients_.push_back(std::move(c));
+  return clients_.back().get();
+}
+
+void Scenario::attach_all() {
+  for (EndpointInfo& info : to_attach_) {
+    if (info.endpoint->attached()) continue;
+    if (auto* server = dynamic_cast<server::CapsuleServer*>(info.endpoint)) {
+      server->advertise_to(info.router);
+    } else {
+      info.endpoint->advertise(info.router, {});
+    }
+  }
+  sim_.run();
+}
+
+void Scenario::crash(const router::Endpoint& endpoint) {
+  net_.detach(endpoint.name());
+  for (auto& r : routers_) {
+    if (r->name() == endpoint.router()) {
+      r->neighbor_down(endpoint.name());
+      break;
+    }
+  }
+}
+
+capsule::Writer CapsuleSetup::make_writer() const {
+  return capsule::Writer(metadata, *writer_key,
+                         capsule::strategy_from_id(strategy_id));
+}
+
+trust::ServingDelegation CapsuleSetup::delegation_for(
+    const trust::Principal& server, TimePoint not_before, TimePoint not_after,
+    std::vector<Name> allowed_domains) const {
+  trust::ServingDelegation d;
+  d.ad_cert = trust::make_ad_cert(*owner_key, owner_key->public_key().fingerprint(),
+                                  metadata.name(), server.name(), not_before,
+                                  not_after, std::move(allowed_domains));
+  return d;
+}
+
+trust::Cert CapsuleSetup::sub_cert_for(const Name& client, TimePoint not_before,
+                                       TimePoint not_after) const {
+  return trust::make_sub_cert(*owner_key, owner_key->public_key().fingerprint(),
+                              metadata.name(), client, not_before, not_after);
+}
+
+CapsuleSetup make_capsule(Rng& rng, const std::string& label,
+                          capsule::WriterMode mode, const std::string& strategy_id) {
+  auto owner = std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(rng));
+  auto writer = std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(rng));
+  auto metadata = capsule::Metadata::create(
+      *owner, writer->public_key(), mode, label, 0,
+      {{"hash_strategy", strategy_id}});
+  if (!metadata.ok()) std::abort();
+  return CapsuleSetup{std::move(owner), std::move(writer),
+                      std::move(metadata).value(), strategy_id};
+}
+
+Status place_capsule(Scenario& scenario, const CapsuleSetup& setup,
+                     client::GdpClient& placer,
+                     const std::vector<server::CapsuleServer*>& servers,
+                     std::vector<Name> allowed_domains) {
+  const TimePoint now = scenario.sim().now();
+  const TimePoint expiry = now + from_seconds(30 * 24 * 3600);
+  std::vector<Name> all_names;
+  all_names.reserve(servers.size());
+  for (auto* s : servers) all_names.push_back(s->name());
+
+  std::vector<client::OpPtr<bool>> ops;
+  for (auto* s : servers) {
+    std::vector<Name> peers;
+    for (const Name& n : all_names) {
+      if (n != s->name()) peers.push_back(n);
+    }
+    ops.push_back(placer.create_capsule(
+        s->name(), setup.metadata,
+        setup.delegation_for(s->principal(), now, expiry, allowed_domains),
+        std::move(peers)));
+  }
+  scenario.settle();
+  for (auto& op : ops) {
+    auto result = client::await(scenario.sim(), op);
+    if (!result.ok()) return result.error();
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::harness

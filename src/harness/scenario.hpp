@@ -1,0 +1,133 @@
+// Scenario harness: assembles complete GDP deployments.
+//
+// Tests, examples and benchmarks all need the same boilerplate — a
+// simulator, a network, routing domains with GLookupServices, routers,
+// DataCapsule-servers with storage directories, clients, and capsules
+// placed under delegations.  Scenario owns all of it and keeps the
+// topology database consistent with the simulated links.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "net/network.hpp"
+#include "router/glookup.hpp"
+#include "router/router.hpp"
+#include "server/server.hpp"
+
+namespace gdp::harness {
+
+/// Self-deleting scratch directory for server storage.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag);
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(std::uint64_t seed = 42, const std::string& tag = "scenario");
+
+  net::Simulator& sim() { return sim_; }
+  net::Network& net() { return net_; }
+  Rng& key_rng() { return key_rng_; }
+  const std::shared_ptr<router::Topology>& topology() { return topology_; }
+
+  /// Creates a routing domain: its GLookupService, linked (and parented)
+  /// under `parent` (nullptr = the global root service).
+  router::GLookupService* add_domain(const std::string& label,
+                                     router::GLookupService* parent,
+                                     net::LinkParams parent_link = net::LinkParams::wan(20));
+
+  /// Creates a router inside `domain` (control link to the GLookupService).
+  router::Router* add_router(const std::string& label, router::GLookupService* domain,
+                             net::LinkParams control_link = net::LinkParams::lan());
+
+  /// Links two routers (data plane + topology database).
+  void link_routers(router::Router* a, router::Router* b, net::LinkParams params);
+
+  /// Creates a DataCapsule-server attached to `router` (link + secure
+  /// advertisement happen in attach()).
+  server::CapsuleServer* add_server(const std::string& label, router::Router* attach,
+                                    net::LinkParams access = net::LinkParams::lan());
+
+  client::GdpClient* add_client(const std::string& label, router::Router* attach,
+                                net::LinkParams access = net::LinkParams::lan());
+  client::GdpClient* add_client(const std::string& label, router::Router* attach,
+                                net::LinkParams access, client::GdpClient::Options opts);
+
+  /// Runs the secure-advertisement handshakes for every endpoint that has
+  /// not attached yet, then drains the simulator.
+  void attach_all();
+
+  /// Crashes an endpoint: detaches it from the network AND delivers the
+  /// link-down notification to its router, which withdraws routes and
+  /// lookup registrations so anycast fails over.
+  void crash(const router::Endpoint& endpoint);
+
+  /// Drains all scheduled events.
+  void settle() { sim_.run(); }
+  /// Runs `d` of simulated time.
+  void settle_for(Duration d) { sim_.run_for(d); }
+
+ private:
+  struct EndpointInfo {
+    router::Endpoint* endpoint;
+    Name router;
+  };
+
+  net::Simulator sim_;
+  net::Network net_;
+  Rng key_rng_;
+  TempDir storage_;
+  std::shared_ptr<router::Topology> topology_;
+  std::vector<std::unique_ptr<router::GLookupService>> glookups_;
+  std::vector<std::unique_ptr<router::Router>> routers_;
+  std::vector<std::unique_ptr<server::CapsuleServer>> servers_;
+  std::vector<std::unique_ptr<client::GdpClient>> clients_;
+  std::vector<std::unique_ptr<crypto::PrivateKey>> keys_;
+  std::vector<EndpointInfo> to_attach_;
+  int server_count_ = 0;
+};
+
+/// A capsule plus the keys that control it — everything an owner holds.
+struct CapsuleSetup {
+  std::unique_ptr<crypto::PrivateKey> owner_key;
+  std::unique_ptr<crypto::PrivateKey> writer_key;
+  capsule::Metadata metadata;
+  std::string strategy_id;
+
+  /// Fresh writer starting at seqno 1 (restore from saved state for QSW).
+  capsule::Writer make_writer() const;
+
+  /// Owner-signed serving delegation for `server`.
+  trust::ServingDelegation delegation_for(const trust::Principal& server,
+                                          TimePoint not_before, TimePoint not_after,
+                                          std::vector<Name> allowed_domains = {}) const;
+
+  /// Owner-signed subscription grant for `client`.
+  trust::Cert sub_cert_for(const Name& client, TimePoint not_before,
+                           TimePoint not_after) const;
+};
+
+CapsuleSetup make_capsule(Rng& rng, const std::string& label,
+                          capsule::WriterMode mode = capsule::WriterMode::kStrictSingleWriter,
+                          const std::string& strategy_id = "chain");
+
+/// Places `setup`'s capsule on every server (full replica mesh as peers)
+/// via owner-side create_capsule calls from `placer`; drains the sim.
+Status place_capsule(Scenario& scenario, const CapsuleSetup& setup,
+                     client::GdpClient& placer,
+                     const std::vector<server::CapsuleServer*>& servers,
+                     std::vector<Name> allowed_domains = {});
+
+}  // namespace gdp::harness

@@ -1,0 +1,104 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace gdp::net {
+
+void Network::attach(const Name& node, PduHandler* handler) {
+  assert(handler != nullptr);
+  nodes_[node] = handler;
+}
+
+void Network::detach(const Name& node) { nodes_.erase(node); }
+
+bool Network::attached(const Name& node) const { return nodes_.contains(node); }
+
+void Network::connect(const Name& a, const Name& b, LinkParams params) {
+  connect_asymmetric(a, b, params, params);
+}
+
+void Network::connect_asymmetric(const Name& a, const Name& b, LinkParams a_to_b,
+                                 LinkParams b_to_a) {
+  assert(a != b);
+  links_[{a, b}] = DirectedLink{a_to_b, TimePoint{}, nullptr};
+  links_[{b, a}] = DirectedLink{b_to_a, TimePoint{}, nullptr};
+  auto add_neighbor = [&](const Name& x, const Name& y) {
+    auto& v = adjacency_[x];
+    if (std::find(v.begin(), v.end(), y) == v.end()) v.push_back(y);
+  };
+  add_neighbor(a, b);
+  add_neighbor(b, a);
+}
+
+bool Network::adjacent(const Name& a, const Name& b) const {
+  return links_.contains({a, b});
+}
+
+std::vector<Name> Network::neighbors(const Name& node) const {
+  auto it = adjacency_.find(node);
+  return it == adjacency_.end() ? std::vector<Name>{} : it->second;
+}
+
+Network::DirectedLink* Network::find_link(const Name& from, const Name& to) {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
+  DirectedLink* link = find_link(from, to);
+  if (link == nullptr) {
+    GDP_LOG(kWarn, "net") << "send over non-existent link " << from.short_hex()
+                          << " -> " << to.short_hex();
+    ++pdus_dropped_;
+    return;
+  }
+  // Adversary-in-the-path first: it sees the PDU as transmitted.
+  if (link->interceptor) {
+    auto mutated = link->interceptor(pdu);
+    if (!mutated.has_value()) {
+      ++pdus_dropped_;
+      return;
+    }
+    pdu = std::move(*mutated);
+  }
+  if (link->params.loss > 0.0 && sim_.rng().next_bool(link->params.loss)) {
+    ++pdus_dropped_;
+    return;
+  }
+
+  const std::size_t size = pdu.wire_size();
+  const Duration tx_time(static_cast<std::int64_t>(
+      static_cast<double>(size) * 8.0 / link->params.bandwidth_bps * 1e9));
+  const TimePoint start = std::max(sim_.now(), link->busy_until);
+  link->busy_until = start + tx_time;
+  const TimePoint deliver_at = link->busy_until + link->params.latency;
+
+  sim_.schedule_at(deliver_at, [this, to, from, pdu = std::move(pdu),
+                                size]() mutable {
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      ++pdus_dropped_;  // crashed or never attached
+      return;
+    }
+    ++pdus_delivered_;
+    bytes_delivered_ += size;
+    it->second->on_pdu(from, pdu);
+  });
+}
+
+void Network::set_interceptor(const Name& from, const Name& to, Interceptor fn) {
+  DirectedLink* link = find_link(from, to);
+  assert(link != nullptr);
+  link->interceptor = std::move(fn);
+}
+
+void Network::clear_interceptor(const Name& from, const Name& to) {
+  DirectedLink* link = find_link(from, to);
+  assert(link != nullptr);
+  link->interceptor = nullptr;
+}
+
+}  // namespace gdp::net

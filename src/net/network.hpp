@@ -1,0 +1,103 @@
+// Simulated link layer for the GDP overlay.
+//
+// Nodes (routers, DataCapsule-servers, clients, GLookupServices) attach by
+// flat name; point-to-point links carry serialized PDUs with latency,
+// bandwidth serialization (FIFO per direction) and optional loss.  Links
+// model the paper's deployment: overlay tunnels over existing IP networks
+// (§VIII uses TCP to clients and UDP tunnels between routers).
+//
+// The threat model (§IV-C) is exercised through per-directed-link
+// interceptors: an adversary function may drop, tamper with, delay,
+// duplicate or misdeliver any PDU in flight.  Honest protocol code never
+// sees the difference — it must *detect* the mischief end-to-end.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim.hpp"
+#include "wire/pdu.hpp"
+
+namespace gdp::net {
+
+struct LinkParams {
+  Duration latency = from_micros(50);
+  double bandwidth_bps = 1e9;  ///< bits per second
+  double loss = 0.0;           ///< independent PDU loss probability
+
+  static LinkParams lan() { return LinkParams{from_micros(50), 1e9, 0.0}; }
+  static LinkParams wan(double rtt_ms) {
+    return LinkParams{from_millis(static_cast<std::int64_t>(rtt_ms / 2)), 1e9, 0.0};
+  }
+  /// Asymmetric residential access links are modelled as two directed
+  /// links; see Network::connect_asymmetric.
+  static LinkParams residential_down() { return LinkParams{from_millis(10), 100e6, 0.0}; }
+  static LinkParams residential_up() { return LinkParams{from_millis(10), 10e6, 0.0}; }
+};
+
+/// A node's receive entry point: PDU plus the neighbor it arrived from.
+class PduHandler {
+ public:
+  virtual ~PduHandler() = default;
+  virtual void on_pdu(const Name& from_neighbor, const wire::Pdu& pdu) = 0;
+};
+
+/// Adversary hook on a directed link: return the (possibly mutated) PDU to
+/// deliver, or nullopt to drop it.  The hook may capture the Network to
+/// schedule replays.
+using Interceptor = std::function<std::optional<wire::Pdu>(const wire::Pdu&)>;
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  void attach(const Name& node, PduHandler* handler);
+  void detach(const Name& node);  ///< crash: node stops receiving
+  bool attached(const Name& node) const;
+
+  /// Creates a bidirectional link with symmetric parameters.
+  void connect(const Name& a, const Name& b, LinkParams params);
+  /// Directed parameters (e.g. 100/10 Mbps residential access).
+  void connect_asymmetric(const Name& a, const Name& b, LinkParams a_to_b,
+                          LinkParams b_to_a);
+  bool adjacent(const Name& a, const Name& b) const;
+  std::vector<Name> neighbors(const Name& node) const;
+
+  /// Transmits one PDU over the (existing) link from -> to.  Serialization
+  /// delay = wire size / bandwidth; the link is FIFO per direction.
+  void send(const Name& from, const Name& to, wire::Pdu pdu);
+
+  /// Installs/removes an adversary on the directed link from -> to.
+  void set_interceptor(const Name& from, const Name& to, Interceptor fn);
+  void clear_interceptor(const Name& from, const Name& to);
+
+  // Traffic accounting.
+  std::uint64_t pdus_delivered() const { return pdus_delivered_; }
+  std::uint64_t pdus_dropped() const { return pdus_dropped_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  struct DirectedLink {
+    LinkParams params;
+    TimePoint busy_until{};
+    Interceptor interceptor;
+  };
+  using LinkKey = std::pair<Name, Name>;
+
+  DirectedLink* find_link(const Name& from, const Name& to);
+
+  Simulator& sim_;
+  std::unordered_map<Name, PduHandler*> nodes_;
+  std::map<LinkKey, DirectedLink> links_;
+  std::unordered_map<Name, std::vector<Name>> adjacency_;
+  std::uint64_t pdus_delivered_ = 0;
+  std::uint64_t pdus_dropped_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace gdp::net

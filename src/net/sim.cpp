@@ -1,0 +1,63 @@
+#include "net/sim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gdp::net {
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay.count() >= 0);
+  schedule_at(clock_.now() + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= clock_.now());
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+}
+
+Simulator::TimerHandle Simulator::schedule_cancellable(Duration delay,
+                                                       std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{clock_.now() + delay, next_seq_++, std::move(fn), flag});
+  return TimerHandle(flag);
+}
+
+bool Simulator::skip_cancelled() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.cancelled == nullptr || !*top.cancelled) return true;
+    // Discard without advancing the clock: the operation completed and
+    // its guard timeout must not distort simulated time.
+    queue_.pop();
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (skip_cancelled()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.fn();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (skip_cancelled() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.fn();
+    ++n;
+    ++processed_;
+  }
+  clock_.advance_to(deadline);
+  return n;
+}
+
+}  // namespace gdp::net

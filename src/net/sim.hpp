@@ -1,0 +1,89 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol timing in the repository — link latency, bandwidth
+// serialization, anti-entropy timers, failure injection — runs on this
+// event loop against a SimClock, so every test and benchmark is exactly
+// reproducible from its seed and the Figure-8 style results are reported
+// in *simulated* seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::net {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  TimePoint now() const { return clock_.now(); }
+  const Clock& clock() const { return clock_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule(Duration delay, std::function<void()> fn);
+  void schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Handle to a cancellable timer.  Cancelled events are discarded
+  /// without running and — crucially — without advancing the simulated
+  /// clock, so guard timeouts on already-completed operations do not
+  /// inflate measured time.
+  class TimerHandle {
+   public:
+    TimerHandle() = default;
+    void cancel() {
+      if (cancelled_) *cancelled_ = true;
+    }
+    bool active() const { return cancelled_ && !*cancelled_; }
+
+   private:
+    friend class Simulator;
+    explicit TimerHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  TimerHandle schedule_cancellable(Duration delay, std::function<void()> fn);
+
+  /// Runs until the event queue drains.  Returns events processed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock ends at `deadline`.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs for `d` more simulated time.
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // null for plain events
+  };
+  /// Pops and discards cancelled events at the queue head; returns false
+  /// when the queue is empty.
+  bool skip_cancelled();
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace gdp::net

@@ -1,0 +1,62 @@
+// Endpoint base: the client/server side of router attachment.
+//
+// DataCapsule-servers and clients both "connect to GDP-routers [and]
+// advertise the names that they can service" (§VII).  Endpoint implements
+// the advertiser's half of the secure-advertisement handshake — sending
+// the naming catalog, answering the router's nonce challenge with a proof
+// of key possession bound to that router, and issuing the RtCert — and
+// offers derived classes a simple send_pdu() into the fabric.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "trust/advertisement.hpp"
+#include "trust/cert.hpp"
+#include "trust/principal.hpp"
+#include "wire/messages.hpp"
+
+namespace gdp::router {
+
+class Endpoint : public net::PduHandler {
+ public:
+  Endpoint(net::Network& net, const crypto::PrivateKey& key, trust::Role role,
+           std::string label);
+
+  const trust::Principal& principal() const { return self_; }
+  const Name& name() const { return self_.name(); }
+  const Name& router() const { return router_; }
+  bool attached() const { return attached_; }
+
+  /// Starts the secure-advertisement handshake toward `router` (the
+  /// network link must already exist).  `catalog_records` are
+  /// trust::Catalog payload encodings; empty for a bare client.
+  /// `lease` bounds the RtCert validity.
+  void advertise(const Name& router, std::vector<Bytes> catalog_records,
+                 Duration lease = from_seconds(3600));
+
+  void on_pdu(const Name& from, const wire::Pdu& pdu) final;
+
+ protected:
+  /// Application-level messages (everything the base does not consume).
+  virtual void handle_pdu(const Name& from, const wire::Pdu& pdu) = 0;
+  /// Called when the router accepts (or rejects) the advertisement.
+  virtual void on_attached(bool ok, const wire::AdvertiseOkMsg& msg) { (void)ok; (void)msg; }
+
+  /// Sends a PDU into the fabric via the attachment router.
+  void send_pdu(const Name& dst, wire::MsgType type, Bytes payload,
+                std::uint64_t flow_id = 0);
+  std::uint64_t next_flow() { return next_flow_++; }
+
+  net::Network& net_;
+  crypto::PrivateKey key_;
+  trust::Principal self_;
+
+ private:
+  Name router_;
+  bool attached_ = false;
+  Duration lease_ = from_seconds(3600);
+  std::uint64_t next_flow_ = 1;
+};
+
+}  // namespace gdp::router

@@ -1,0 +1,234 @@
+#include "router/glookup.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gdp::router {
+
+GLookupService::GLookupService(net::Network& net, trust::Principal self,
+                               Name domain,
+                               std::shared_ptr<const Topology> topology)
+    : net_(net),
+      self_(std::move(self)),
+      domain_(domain),
+      topology_(std::move(topology)) {
+  net_.attach(self_.name(), this);
+}
+
+Status GLookupService::verify_entry(const Entry& entry) const {
+  const TimePoint now = net_.sim().now();
+  GDP_ASSIGN_OR_RETURN(trust::Principal advertiser,
+                       trust::Principal::deserialize(entry.principal));
+  if (entry.evidence.empty()) {
+    // Bare principal registration (e.g. a client): the principal itself is
+    // the target and the self-signature is the proof.
+    if (advertiser.name() != entry.target) {
+      return make_error(Errc::kVerificationFailed,
+                        "principal registration for a different name");
+    }
+    return ok_status();
+  }
+  GDP_ASSIGN_OR_RETURN(trust::Advertisement ad,
+                       trust::Advertisement::deserialize(entry.evidence));
+  if (ad.advertised != entry.target) {
+    return make_error(Errc::kVerificationFailed,
+                      "advertisement evidence names a different target");
+  }
+  // The full delegation chain must check out *here*, independently of
+  // whatever the router already verified.
+  GDP_RETURN_IF_ERROR(ad.verify(advertiser, now, &domain_));
+  return ok_status();
+}
+
+Status GLookupService::register_entry(Entry entry) {
+  GDP_RETURN_IF_ERROR(verify_entry(entry));
+  auto& list = entries_[entry.target];
+  auto existing = std::find_if(list.begin(), list.end(), [&](const Entry& e) {
+    return e.attachment_router == entry.attachment_router;
+  });
+  if (existing != list.end()) {
+    *existing = entry;  // refresh (expiry extension)
+  } else {
+    list.push_back(entry);
+  }
+  // Propagate up where the placement policy allows ("any information
+  // acquired during the advertisement process [is] also propagated to the
+  // parent GLookupService" — unless the owner restricted the domains).
+  if (parent_ != nullptr &&
+      (entry.allowed_domains.empty() ||
+       std::find(entry.allowed_domains.begin(), entry.allowed_domains.end(),
+                 parent_->domain()) != entry.allowed_domains.end())) {
+    Status up = parent_->register_entry(entry);
+    if (!up.ok()) {
+      GDP_LOG(kWarn, "glookup") << "upward propagation rejected: "
+                                << up.error().to_string();
+    }
+  }
+  return ok_status();
+}
+
+void GLookupService::unregister(const Name& target, const Name& attachment_router) {
+  auto it = entries_.find(target);
+  if (it != entries_.end()) {
+    std::erase_if(it->second, [&](const Entry& e) {
+      return e.attachment_router == attachment_router;
+    });
+    if (it->second.empty()) entries_.erase(it);
+  }
+  if (parent_ != nullptr) parent_->unregister(target, attachment_router);
+}
+
+void GLookupService::unregister_attachment(const Name& attachment_router) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& list = it->second;
+    std::erase_if(list, [&](const Entry& e) {
+      return e.attachment_router == attachment_router;
+    });
+    if (list.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (parent_ != nullptr) parent_->unregister_attachment(attachment_router);
+}
+
+std::vector<const GLookupService::Entry*> GLookupService::lookup_local(
+    const Name& target) const {
+  std::vector<const Entry*> out;
+  auto it = entries_.find(target);
+  if (it == entries_.end()) return out;
+  const std::int64_t now = net_.sim().now().count();
+  for (const Entry& e : it->second) {
+    if (e.expires_ns >= now) out.push_back(&e);
+  }
+  return out;
+}
+
+wire::LookupReplyMsg GLookupService::build_reply(const wire::LookupMsg& query) const {
+  wire::LookupReplyMsg reply;
+  reply.target = query.target;
+  reply.nonce = query.nonce;
+  reply.found = false;
+
+  const Name querying_domain = topology_->domain_of(query.querying_router);
+  const Entry* best = nullptr;
+  Name best_hop;
+  std::uint32_t best_cost = 0;
+  for (const Entry* e : lookup_local(query.target)) {
+    // Placement policy: a capsule restricted to specific domains must not
+    // be resolved for routers outside them.
+    if (!e->allowed_domains.empty() &&
+        std::find(e->allowed_domains.begin(), e->allowed_domains.end(),
+                  querying_domain) == e->allowed_domains.end()) {
+      continue;
+    }
+    auto route = topology_->route(query.querying_router, e->attachment_router);
+    if (!route) continue;
+    if (best == nullptr || route->second < best_cost) {
+      best = e;
+      best_hop = route->first;
+      best_cost = route->second;
+    }
+  }
+  if (best != nullptr) {
+    reply.found = true;
+    reply.attachment_router = best->attachment_router;
+    reply.next_hop = best_hop;
+    reply.cost_us = best_cost;
+    reply.evidence = best->evidence;
+    reply.principal = best->principal;
+  }
+  return reply;
+}
+
+void GLookupService::send_reply(const Name& to, const wire::LookupReplyMsg& reply,
+                                std::uint64_t flow_id) {
+  wire::Pdu pdu;
+  pdu.dst = to;
+  pdu.src = self_.name();
+  pdu.type = wire::MsgType::kLookupReply;
+  pdu.flow_id = flow_id;
+  pdu.payload = reply.serialize();
+  net_.send(self_.name(), to, std::move(pdu));
+}
+
+void GLookupService::answer(const Name& reply_to, const wire::LookupMsg& query) {
+  wire::LookupReplyMsg reply = build_reply(query);
+  if (reply.found || parent_ == nullptr) {
+    ++queries_served_;
+    send_reply(reply_to, reply, query.nonce);
+    return;
+  }
+  // Escalate to the parent domain's service.
+  ++queries_escalated_;
+  const std::uint64_t nonce = next_nonce_++;
+  pending_[nonce] = PendingQuery{reply_to, query};
+  wire::LookupMsg up = query;
+  up.nonce = nonce;
+  wire::Pdu pdu;
+  pdu.dst = parent_->name();
+  pdu.src = self_.name();
+  pdu.type = wire::MsgType::kLookup;
+  pdu.flow_id = nonce;
+  pdu.payload = up.serialize();
+  net_.send(self_.name(), parent_->name(), std::move(pdu));
+}
+
+void GLookupService::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  switch (pdu.type) {
+    case wire::MsgType::kLookup: {
+      auto msg = wire::LookupMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      answer(from, *msg);
+      return;
+    }
+    case wire::MsgType::kLookupReply: {
+      auto reply = wire::LookupReplyMsg::deserialize(pdu.payload);
+      if (!reply.ok()) return;
+      auto it = pending_.find(reply->nonce);
+      if (it == pending_.end()) return;  // stale or replayed
+      PendingQuery pq = std::move(it->second);
+      pending_.erase(it);
+      // Cache verified evidence so future queries resolve locally.
+      if (reply->found && !reply->evidence.empty()) {
+        Entry entry;
+        entry.target = reply->target;
+        entry.attachment_router = reply->attachment_router;
+        entry.evidence = reply->evidence;
+        entry.principal = reply->principal;
+        auto ad = trust::Advertisement::deserialize(reply->evidence);
+        if (ad.ok()) {
+          entry.expires_ns = ad->expires_ns;
+          entry.allowed_domains = ad->delegation.ad_cert.allowed_domains;
+          if (!verify_entry(entry).ok()) {
+            GDP_LOG(kWarn, "glookup") << "refusing to cache unverifiable reply";
+          } else {
+            auto& list = entries_[entry.target];
+            if (std::none_of(list.begin(), list.end(), [&](const Entry& e) {
+                  return e.attachment_router == entry.attachment_router;
+                })) {
+              list.push_back(entry);
+            }
+          }
+        }
+      }
+      wire::LookupReplyMsg out = *reply;
+      out.nonce = pq.msg.nonce;
+      send_reply(pq.requester, out, pq.msg.nonce);
+      return;
+    }
+    default:
+      GDP_LOG(kWarn, "glookup") << "unexpected PDU type "
+                                << static_cast<int>(pdu.type);
+  }
+}
+
+std::size_t GLookupService::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, list] : entries_) n += list.size();
+  return n;
+}
+
+}  // namespace gdp::router

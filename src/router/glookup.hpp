@@ -1,0 +1,98 @@
+// GLookupService: the hierarchical, verifiable name-lookup database (§VII).
+//
+// One GLookupService per routing domain, linked into a tree whose root is
+// the global GLookupService ("roughly a tier-1 service provider").  A
+// router that cannot resolve a name asks its domain's service; a miss
+// propagates to the parent, and so on.  Registrations acquired during
+// secure advertisement are pushed *up* the tree (for publicly routable
+// names), carrying the full delegation evidence so every level can verify
+// the entry independently — "the returned information is independently
+// verifiable", unlike DNS.  Capsule placement policy (AdCert
+// allowed_domains) stops both propagation and resolution at domain
+// borders.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "router/topology.hpp"
+#include "trust/advertisement.hpp"
+#include "trust/principal.hpp"
+#include "wire/messages.hpp"
+
+namespace gdp::router {
+
+class GLookupService : public net::PduHandler {
+ public:
+  struct Entry {
+    Name target;
+    Name attachment_router;
+    Bytes evidence;      ///< serialized trust::Advertisement ("" for principals)
+    Bytes principal;     ///< serialized advertiser principal
+    std::int64_t expires_ns = 0;
+    std::vector<Name> allowed_domains;  ///< empty = publicly routable
+  };
+
+  GLookupService(net::Network& net, trust::Principal self, Name domain,
+                 std::shared_ptr<const Topology> topology);
+
+  const Name& name() const { return self_.name(); }
+  const Name& domain() const { return domain_; }
+
+  /// Wires this service under `parent` (nullptr for the global root).
+  /// The caller must also create the network link between the two.
+  void set_parent(GLookupService* parent) { parent_ = parent; }
+
+  /// Called by routers in this domain after a successful secure
+  /// advertisement.  Re-verifies evidence before accepting, then
+  /// propagates upward where the placement policy allows.
+  Status register_entry(Entry entry);
+
+  /// Entries currently registered for `target` (expired ones skipped).
+  std::vector<const Entry*> lookup_local(const Name& target) const;
+
+  /// Withdraws one target's entry at `attachment_router` (its advertiser's
+  /// access link went down).  Propagates up the hierarchy.
+  void unregister(const Name& target, const Name& attachment_router);
+
+  /// Withdraws every entry attached at `attachment_router` (the router
+  /// detected its advertiser's link as down, or is itself shutting down).
+  /// The withdrawal propagates up the hierarchy like registration did.
+  void unregister_attachment(const Name& attachment_router);
+
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+  // Introspection for tests.
+  std::size_t entry_count() const;
+  std::uint64_t queries_served() const { return queries_served_; }
+  std::uint64_t queries_escalated() const { return queries_escalated_; }
+
+ private:
+  struct PendingQuery {
+    Name requester;       ///< neighbor (router or child glookup) to answer
+    wire::LookupMsg msg;  ///< original query
+  };
+
+  Status verify_entry(const Entry& entry) const;
+  void answer(const Name& reply_to, const wire::LookupMsg& query);
+  /// Builds a reply for `query` from local entries; found=false when none.
+  wire::LookupReplyMsg build_reply(const wire::LookupMsg& query) const;
+  void send_reply(const Name& to, const wire::LookupReplyMsg& reply,
+                  std::uint64_t flow_id);
+
+  net::Network& net_;
+  trust::Principal self_;
+  Name domain_;
+  std::shared_ptr<const Topology> topology_;
+  GLookupService* parent_ = nullptr;
+
+  std::unordered_map<Name, std::vector<Entry>> entries_;
+  std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
+  std::uint64_t next_nonce_ = 1;
+  std::uint64_t queries_served_ = 0;
+  std::uint64_t queries_escalated_ = 0;
+};
+
+}  // namespace gdp::router

@@ -1,0 +1,283 @@
+#include "router/router.hpp"
+
+#include "common/log.hpp"
+
+namespace gdp::router {
+
+Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string label,
+               Name domain, std::shared_ptr<const Topology> topology)
+    : net_(net),
+      self_(trust::Principal::create(key, trust::Role::kRouter, std::move(label))),
+      domain_(domain),
+      topology_(std::move(topology)) {
+  net_.attach(self_.name(), this);
+}
+
+void Router::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  if (pdu.dst == self_.name()) {
+    switch (pdu.type) {
+      case wire::MsgType::kAdvertise:
+        handle_advertise(from, pdu);
+        return;
+      case wire::MsgType::kChallengeReply:
+        handle_challenge_reply(from, pdu);
+        return;
+      case wire::MsgType::kLookupReply:
+        handle_lookup_reply(pdu);
+        return;
+      default:
+        // Benchmarks may address raw traffic to the router itself.
+        if (pdu.type == wire::MsgType::kBenchData) return;
+        GDP_LOG(kWarn, "router") << "unhandled control PDU type "
+                                 << static_cast<int>(pdu.type);
+        return;
+    }
+  }
+  forward(pdu);
+}
+
+void Router::forward(wire::Pdu pdu) {
+  if (pdu.ttl == 0) {
+    ++dropped_;
+    return;
+  }
+  pdu.ttl -= 1;
+  auto it = fib_.find(pdu.dst);
+  if (it != fib_.end()) {
+    ++forwarded_;
+    net_.send(self_.name(), it->second, std::move(pdu));
+    return;
+  }
+  if (glookup_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  auto& queue = awaiting_route_[pdu.dst];
+  queue.push_back(std::move(pdu));
+  if (queue.size() == 1) start_lookup(queue.back().dst);
+}
+
+void Router::start_lookup(const Name& target) {
+  ++lookups_issued_;
+  wire::LookupMsg msg;
+  msg.target = target;
+  msg.querying_router = self_.name();
+  msg.nonce = net_.sim().rng().next_u64();
+  wire::Pdu pdu;
+  pdu.dst = glookup_->name();
+  pdu.src = self_.name();
+  pdu.type = wire::MsgType::kLookup;
+  pdu.flow_id = msg.nonce;
+  pdu.payload = msg.serialize();
+  net_.send(self_.name(), glookup_->name(), std::move(pdu));
+}
+
+void Router::handle_lookup_reply(const wire::Pdu& pdu) {
+  auto reply = wire::LookupReplyMsg::deserialize(pdu.payload);
+  if (!reply.ok()) return;
+  auto waiting = awaiting_route_.find(reply->target);
+  if (!reply->found) {
+    if (waiting != awaiting_route_.end()) {
+      dropped_ += waiting->second.size();
+      awaiting_route_.erase(waiting);
+    }
+    return;
+  }
+  // Independently verify the routing state before installing it — a
+  // compromised lookup service must not be able to plant black holes for
+  // delegated names.
+  if (!reply->evidence.empty()) {
+    auto ad = trust::Advertisement::deserialize(reply->evidence);
+    auto advertiser = trust::Principal::deserialize(reply->principal);
+    if (!ad.ok() || !advertiser.ok() ||
+        ad->advertised != reply->target ||
+        !ad->verify(*advertiser, net_.sim().now()).ok()) {
+      GDP_LOG(kWarn, "router") << "rejecting unverifiable lookup reply for "
+                               << reply->target.short_hex();
+      if (waiting != awaiting_route_.end()) {
+        dropped_ += waiting->second.size();
+        awaiting_route_.erase(waiting);
+      }
+      return;
+    }
+  }
+  const Name next_hop =
+      reply->attachment_router == self_.name() ? reply->target : reply->next_hop;
+  if (next_hop != self_.name() && net_.adjacent(self_.name(), next_hop)) {
+    fib_[reply->target] = next_hop;
+  } else if (reply->attachment_router == self_.name()) {
+    // The target was supposedly attached here but is not adjacent: stale.
+    if (waiting != awaiting_route_.end()) {
+      dropped_ += waiting->second.size();
+      awaiting_route_.erase(waiting);
+    }
+    return;
+  } else {
+    ++dropped_;
+    return;
+  }
+  if (waiting != awaiting_route_.end()) {
+    std::vector<wire::Pdu> queued = std::move(waiting->second);
+    awaiting_route_.erase(waiting);
+    for (wire::Pdu& p : queued) {
+      ++forwarded_;
+      net_.send(self_.name(), fib_[reply->target], std::move(p));
+    }
+  }
+}
+
+void Router::handle_advertise(const Name& from, const wire::Pdu& pdu) {
+  auto msg = wire::AdvertiseMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    send_advertise_ok(from, false, "malformed advertisement", 0);
+    return;
+  }
+  auto advertiser = trust::Principal::deserialize(msg->principal);
+  if (!advertiser.ok()) {
+    send_advertise_ok(from, false, "invalid principal", 0);
+    return;
+  }
+  PendingAd pending{from, *advertiser, std::move(msg->catalog_records),
+                    net_.sim().rng().next_bytes(32)};
+  wire::ChallengeMsg challenge;
+  challenge.nonce = pending.nonce;
+  // The router mints the handshake id: endpoint flow ids are only unique
+  // per endpoint, and the challenge reply echoes our flow id anyway.
+  const std::uint64_t challenge_id = net_.sim().rng().next_u64();
+  pending_ads_.insert_or_assign(challenge_id, std::move(pending));
+
+  wire::Pdu out;
+  out.dst = from;
+  out.src = self_.name();
+  out.type = wire::MsgType::kChallenge;
+  out.flow_id = challenge_id;
+  out.payload = challenge.serialize();
+  net_.send(self_.name(), from, std::move(out));
+}
+
+void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
+  auto msg = wire::ChallengeReplyMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+  auto advertiser = trust::Principal::deserialize(msg->principal);
+  if (!advertiser.ok()) return;
+  auto pending_it = pending_ads_.find(pdu.flow_id);
+  if (pending_it == pending_ads_.end() || pending_it->second.neighbor != from ||
+      pending_it->second.advertiser.name() != advertiser->name()) {
+    send_advertise_ok(from, false, "no pending advertisement", 0);
+    return;
+  }
+  PendingAd pending = std::move(pending_it->second);
+  pending_ads_.erase(pending_it);
+
+  // 1. Proof of key possession, bound to this router (anti-relay).
+  Bytes challenge_payload = concat(pending.nonce, self_.name().bytes());
+  auto sig = crypto::Signature::decode(msg->nonce_sig);
+  if (!sig || !advertiser->key().verify(challenge_payload, *sig)) {
+    ++ads_rejected_;
+    send_advertise_ok(from, false, "challenge signature invalid", 0);
+    return;
+  }
+  // 2. RtCert: the machine authorizes this router to speak for it.
+  auto rt = trust::Cert::deserialize(msg->rt_cert);
+  if (!rt.ok() ||
+      !trust::verify_routing_delegation(*rt, *advertiser, self_, net_.sim().now()).ok()) {
+    ++ads_rejected_;
+    send_advertise_ok(from, false, "RtCert invalid", 0);
+    return;
+  }
+  rt_certs_.insert_or_assign(advertiser->name(), *rt);
+
+  // 3. The advertiser's own name becomes directly routable.
+  fib_[advertiser->name()] = pending.neighbor;
+  attached_via_[pending.neighbor].push_back(advertiser->name());
+  if (glookup_ != nullptr) {
+    GLookupService::Entry entry;
+    entry.target = advertiser->name();
+    entry.attachment_router = self_.name();
+    entry.principal = advertiser->serialize();
+    entry.expires_ns = rt->not_after_ns;
+    Status st = glookup_->register_entry(std::move(entry));
+    if (!st.ok()) {
+      GDP_LOG(kWarn, "router") << "glookup principal registration failed: "
+                               << st.error().to_string();
+    }
+  }
+
+  // 4. Catalog advertisements: verify each delegation chain, install and
+  // register those that check out.
+  std::uint32_t accepted = 0;
+  trust::Catalog catalog;
+  for (const Bytes& record : pending.catalog_records) {
+    if (!catalog.apply(record).ok()) continue;
+  }
+  for (const trust::Advertisement& ad : catalog.advertisements()) {
+    Status verdict = ad.verify(*advertiser, net_.sim().now(), &domain_);
+    if (!verdict.ok()) {
+      ++ads_rejected_;
+      GDP_LOG(kInfo, "router") << "rejected advertisement for "
+                               << ad.advertised.short_hex() << ": "
+                               << verdict.error().to_string();
+      continue;
+    }
+    fib_[ad.advertised] = pending.neighbor;
+    attached_via_[pending.neighbor].push_back(ad.advertised);
+    ++accepted;
+    ++ads_accepted_;
+    if (glookup_ != nullptr) {
+      GLookupService::Entry entry;
+      entry.target = ad.advertised;
+      entry.attachment_router = self_.name();
+      entry.evidence = ad.serialize();
+      entry.principal = advertiser->serialize();
+      entry.expires_ns = catalog.effective_expiry_ns(ad);
+      entry.allowed_domains = ad.delegation.ad_cert.allowed_domains;
+      Status st = glookup_->register_entry(std::move(entry));
+      if (!st.ok()) {
+        GDP_LOG(kWarn, "router") << "glookup registration failed: "
+                                 << st.error().to_string();
+      }
+    }
+  }
+  send_advertise_ok(from, true, "", accepted);
+}
+
+void Router::neighbor_down(const Name& neighbor) {
+  auto it = attached_via_.find(neighbor);
+  if (it != attached_via_.end()) {
+    for (const Name& target : it->second) {
+      auto fib_it = fib_.find(target);
+      // Only purge if the route still points at the dead neighbor (it may
+      // have been re-advertised elsewhere meanwhile).
+      if (fib_it != fib_.end() && fib_it->second == neighbor) {
+        fib_.erase(fib_it);
+        if (glookup_ != nullptr) glookup_->unregister(target, self_.name());
+      }
+    }
+    attached_via_.erase(it);
+  }
+  rt_certs_.erase(neighbor);
+  // Transit routes through the failed neighbor also die.
+  for (auto fib_it = fib_.begin(); fib_it != fib_.end();) {
+    if (fib_it->second == neighbor) {
+      fib_it = fib_.erase(fib_it);
+    } else {
+      ++fib_it;
+    }
+  }
+}
+
+void Router::send_advertise_ok(const Name& to, bool ok, std::string message,
+                               std::uint32_t accepted) {
+  wire::AdvertiseOkMsg msg;
+  msg.ok = ok;
+  msg.message = std::move(message);
+  msg.accepted = accepted;
+  wire::Pdu pdu;
+  pdu.dst = to;
+  pdu.src = self_.name();
+  pdu.type = wire::MsgType::kAdvertiseOk;
+  pdu.payload = msg.serialize();
+  net_.send(self_.name(), to, std::move(pdu));
+}
+
+}  // namespace gdp::router

@@ -1,0 +1,101 @@
+// GDP-router: flat-namespace data plane + secure advertisement (§VII).
+//
+// The router forwards PDUs by 256-bit name using a local FIB.  Misses are
+// resolved through the domain's GLookupService; replies carry the full
+// delegation evidence, which the router re-verifies before installing a
+// route — "people can not simply claim any name they desire".
+//
+// Attachment follows the paper's handshake: a client or DataCapsule-server
+// sends its naming catalog, the router answers with a nonce challenge, the
+// advertiser proves possession of its private key (signature over
+// nonce || router name, which also prevents relaying the proof to another
+// router) and issues an RtCert authorizing this router to speak for it.
+// Only then are the advertised names installed and registered with the
+// GLookupService.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "router/glookup.hpp"
+#include "router/topology.hpp"
+#include "trust/advertisement.hpp"
+#include "trust/cert.hpp"
+#include "trust/principal.hpp"
+
+namespace gdp::router {
+
+class Router : public net::PduHandler {
+ public:
+  Router(net::Network& net, const crypto::PrivateKey& key, std::string label,
+         Name domain, std::shared_ptr<const Topology> topology);
+
+  /// Wires the domain's GLookupService (must also be a network neighbor).
+  void set_glookup(GLookupService* glookup) { glookup_ = glookup; }
+
+  const Name& name() const { return self_.name(); }
+  const trust::Principal& principal() const { return self_; }
+  const Name& domain() const { return domain_; }
+
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+  /// Link-layer failure notification: the access link to `neighbor` went
+  /// down.  Purges every route learned from that neighbor and withdraws
+  /// the corresponding GLookupService registrations so anycast fails over
+  /// to surviving replicas ("optimized for transient failure and
+  /// re-establishment of DataCapsule-service", §VII).
+  void neighbor_down(const Name& neighbor);
+
+  // Statistics (Figure 6 measures the forwarding path).
+  std::uint64_t pdus_forwarded() const { return forwarded_; }
+  std::uint64_t pdus_dropped() const { return dropped_; }
+  std::uint64_t lookups_issued() const { return lookups_issued_; }
+  std::size_t fib_size() const { return fib_.size(); }
+  std::uint64_t advertisements_accepted() const { return ads_accepted_; }
+  std::uint64_t advertisements_rejected() const { return ads_rejected_; }
+
+  /// Direct FIB inspection for tests.
+  bool has_route(const Name& target) const { return fib_.contains(target); }
+
+ private:
+  struct PendingAd {
+    Name neighbor;
+    trust::Principal advertiser;
+    std::vector<Bytes> catalog_records;
+    Bytes nonce;
+  };
+
+  void forward(wire::Pdu pdu);
+  void start_lookup(const Name& target);
+  void handle_advertise(const Name& from, const wire::Pdu& pdu);
+  void handle_challenge_reply(const Name& from, const wire::Pdu& pdu);
+  void handle_lookup_reply(const wire::Pdu& pdu);
+  void send_advertise_ok(const Name& to, bool ok, std::string message,
+                         std::uint32_t accepted);
+
+  net::Network& net_;
+  trust::Principal self_;
+  Name domain_;
+  std::shared_ptr<const Topology> topology_;
+  GLookupService* glookup_ = nullptr;
+
+  std::unordered_map<Name, Name> fib_;  ///< target -> next-hop neighbor
+  /// Targets learned from each directly attached advertiser (for
+  /// neighbor_down withdrawal).
+  std::unordered_map<Name, std::vector<Name>> attached_via_;
+  std::unordered_map<Name, std::vector<wire::Pdu>> awaiting_route_;
+  /// In-flight advertisement handshakes, keyed by flow id so overlapping
+  /// (re-)advertisements from the same endpoint do not clobber each other.
+  std::unordered_map<std::uint64_t, PendingAd> pending_ads_;
+  std::unordered_map<Name, trust::Cert> rt_certs_;   ///< issued to us, by machine
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t lookups_issued_ = 0;
+  std::uint64_t ads_accepted_ = 0;
+  std::uint64_t ads_rejected_ = 0;
+};
+
+}  // namespace gdp::router

@@ -1,0 +1,64 @@
+#include "router/topology.hpp"
+
+#include <queue>
+
+namespace gdp::router {
+
+void Topology::add_router(const Name& router, const Name& domain) {
+  domains_[router] = domain;
+  adj_.try_emplace(router);
+  cache_.clear();
+}
+
+void Topology::add_link(const Name& a, const Name& b, std::uint32_t cost_us) {
+  adj_[a].emplace_back(b, cost_us);
+  adj_[b].emplace_back(a, cost_us);
+  cache_.clear();
+}
+
+Name Topology::domain_of(const Name& router) const {
+  auto it = domains_.find(router);
+  return it == domains_.end() ? Name{} : it->second;
+}
+
+void Topology::dijkstra(const Name& src) const {
+  auto& table = cache_[src];
+  table.clear();
+  // (cost, node, first_hop_from_src)
+  using Item = std::tuple<std::uint32_t, Name, Name>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::unordered_map<Name, std::uint32_t> best;
+  pq.emplace(0, src, src);
+  best[src] = 0;
+  while (!pq.empty()) {
+    auto [cost, node, first_hop] = pq.top();
+    pq.pop();
+    auto seen = table.find(node);
+    if (seen != table.end()) continue;  // already settled
+    table[node] = {first_hop, cost};
+    auto adj_it = adj_.find(node);
+    if (adj_it == adj_.end()) continue;
+    for (const auto& [next, edge_cost] : adj_it->second) {
+      std::uint32_t new_cost = cost + edge_cost;
+      auto b = best.find(next);
+      if (b != best.end() && b->second <= new_cost) continue;
+      best[next] = new_cost;
+      pq.emplace(new_cost, next, node == src ? next : first_hop);
+    }
+  }
+}
+
+std::optional<std::pair<Name, std::uint32_t>> Topology::route(const Name& from,
+                                                              const Name& to) const {
+  if (from == to) return std::make_pair(from, 0u);
+  auto cached = cache_.find(from);
+  if (cached == cache_.end()) {
+    dijkstra(from);
+    cached = cache_.find(from);
+  }
+  auto it = cached->second.find(to);
+  if (it == cached->second.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gdp::router

@@ -1,0 +1,50 @@
+// Router-graph topology shared by the GLookupService hierarchy.
+//
+// "Within a routing domain, all routing information is kept in a shared
+// database ... Such a model is similar to those of SDNs, where an
+// SDN-controller plays a similar role to the GLookupService" (§VII).  The
+// controller knows the router graph (routers, their domains, inter-router
+// link costs) and computes next hops with Dijkstra; routers themselves
+// keep only a FIB cache.  Name *resolution* stays hierarchical — the
+// per-domain / parent / global GLookupServices each hold only the names
+// registered with (or propagated to) them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/name.hpp"
+
+namespace gdp::router {
+
+class Topology {
+ public:
+  void add_router(const Name& router, const Name& domain);
+  void add_link(const Name& a, const Name& b, std::uint32_t cost_us);
+
+  /// Next hop from `from` toward `to` and total path cost; nullopt when
+  /// unreachable.  Results are cached per source until the topology
+  /// changes.
+  std::optional<std::pair<Name, std::uint32_t>> route(const Name& from,
+                                                      const Name& to) const;
+
+  /// The routing domain a router belongs to (zero Name if unknown).
+  Name domain_of(const Name& router) const;
+
+  std::size_t router_count() const { return domains_.size(); }
+
+ private:
+  void dijkstra(const Name& src) const;
+
+  std::unordered_map<Name, std::vector<std::pair<Name, std::uint32_t>>> adj_;
+  std::unordered_map<Name, Name> domains_;
+  // src -> (dst -> (first hop, cost))
+  mutable std::unordered_map<Name, std::unordered_map<Name, std::pair<Name, std::uint32_t>>>
+      cache_;
+};
+
+}  // namespace gdp::router

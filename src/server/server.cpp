@@ -1,0 +1,463 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+
+#include "capsule/proof.hpp"
+#include "common/log.hpp"
+#include "crypto/hmac.hpp"
+#include "trust/delegation.hpp"
+
+namespace gdp::server {
+
+using capsule::Heartbeat;
+using capsule::Record;
+
+CapsuleServer::CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
+                             std::string label, Options options)
+    : Endpoint(net, key, trust::Role::kCapsuleServer, std::move(label)),
+      options_(std::move(options)),
+      store_([&] {
+        auto s = store::ServerStore::open(options_.storage_root);
+        if (!s.ok()) {
+          GDP_LOG(kError, "server") << "storage open failed: " << s.error().to_string();
+          std::abort();
+        }
+        return std::move(s).value();
+      }()) {}
+
+Status CapsuleServer::host_capsule(const capsule::Metadata& metadata,
+                                   const trust::ServingDelegation& delegation,
+                                   std::vector<Name> replica_peers) {
+  GDP_RETURN_IF_ERROR(trust::verify_serving_delegation(metadata, self_, delegation,
+                                                       net_.sim().now()));
+  GDP_RETURN_IF_ERROR(store_.host(metadata, delegation));
+  auto& peers = peers_[metadata.name()];
+  for (const Name& p : replica_peers) {
+    if (p != self_.name() &&
+        std::find(peers.begin(), peers.end(), p) == peers.end()) {
+      peers.push_back(p);
+    }
+  }
+  return ok_status();
+}
+
+std::vector<Bytes> CapsuleServer::build_catalog_records() const {
+  std::vector<Bytes> out;
+  const std::int64_t expiry =
+      (net_.sim().now() + options_.advertisement_lifetime).count();
+  for (const Name& name : store_.hosted()) {
+    const store::CapsuleStore* cs = store_.find(name);
+    trust::Advertisement ad;
+    ad.advertised = name;
+    ad.delegation = cs->delegation();
+    ad.capsule_metadata = cs->metadata().serialize();
+    ad.expires_ns = expiry;
+    out.push_back(trust::Catalog::encode_advertisement(ad));
+  }
+  return out;
+}
+
+void CapsuleServer::advertise_to(const Name& router) {
+  advertise(router, build_catalog_records(), options_.advertisement_lifetime);
+}
+
+void CapsuleServer::start_anti_entropy() {
+  if (anti_entropy_running_) return;
+  anti_entropy_running_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick]() {
+    if (!anti_entropy_running_) return;
+    anti_entropy_round();
+    net_.sim().schedule(options_.anti_entropy_interval, *tick);
+  };
+  net_.sim().schedule(options_.anti_entropy_interval, *tick);
+}
+
+void CapsuleServer::anti_entropy_round() {
+  for (const Name& capsule : store_.hosted()) {
+    auto peer_it = peers_.find(capsule);
+    if (peer_it == peers_.end() || peer_it->second.empty()) continue;
+    const store::CapsuleStore* cs = store_.find(capsule);
+    const Name peer =
+        peer_it->second[net_.sim().rng().next_below(peer_it->second.size())];
+    wire::SyncPullMsg msg;
+    msg.capsule = capsule;
+    msg.tip_seqno = cs->state().tip_seqno();
+    msg.holes = cs->state().holes();
+    send_pdu(peer, wire::MsgType::kSyncPull, msg.serialize());
+  }
+}
+
+void CapsuleServer::handle_pdu(const Name& from, const wire::Pdu& pdu) {
+  switch (pdu.type) {
+    case wire::MsgType::kCreateCapsule: handle_create(from, pdu); return;
+    case wire::MsgType::kAppend: handle_append(pdu); return;
+    case wire::MsgType::kRead: handle_read(pdu); return;
+    case wire::MsgType::kSubscribe: handle_subscribe(pdu); return;
+    case wire::MsgType::kSyncPull: handle_sync_pull(pdu); return;
+    case wire::MsgType::kSyncPush: handle_sync_push(pdu); return;
+    case wire::MsgType::kStatus: handle_peer_ack(pdu); return;
+    case wire::MsgType::kBenchData: return;  // raw forwarding benchmark sink
+    default:
+      GDP_LOG(kWarn, "server") << "unhandled PDU type " << static_cast<int>(pdu.type);
+  }
+}
+
+void CapsuleServer::handle_create(const Name& /*from*/, const wire::Pdu& pdu) {
+  auto msg = wire::CreateCapsuleMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    send_status(pdu.src, false, Errc::kInvalidArgument, "malformed create", 0);
+    return;
+  }
+  auto metadata = capsule::Metadata::deserialize(msg->metadata);
+  if (!metadata.ok()) {
+    send_status(pdu.src, false, metadata.error().code, metadata.error().message,
+                msg->nonce);
+    return;
+  }
+  auto delegation = trust::ServingDelegation::deserialize(msg->delegation);
+  if (!delegation.ok()) {
+    send_status(pdu.src, false, delegation.error().code, delegation.error().message,
+                msg->nonce);
+    return;
+  }
+  Status hosted = host_capsule(*metadata, *delegation, msg->replica_peers);
+  if (!hosted.ok()) {
+    send_status(pdu.src, false, hosted.error().code, hosted.error().message,
+                msg->nonce);
+    return;
+  }
+  // Make the new name routable.
+  advertise_to(router());
+  send_status(pdu.src, true, Errc::kOk, "", msg->nonce);
+}
+
+void CapsuleServer::handle_append(const wire::Pdu& pdu) {
+  auto msg = wire::AppendMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+
+  PendingDurability pending;
+  pending.writer = pdu.src;
+  pending.capsule = msg->capsule;
+  pending.record_hash = msg->record.hash();
+  pending.seqno = msg->record.header.seqno;
+  pending.required = std::max<std::uint32_t>(1, msg->required_acks);
+  pending.client_nonce = msg->nonce;
+  pending.session_pubkey = msg->session_pubkey;
+
+  store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    ++appends_rejected_;
+    send_append_ack(pending, false, "capsule not hosted here");
+    return;
+  }
+  const std::uint64_t tip_before = cs->state().tip_seqno();
+  Status ingested = cs->ingest(msg->record);
+  if (!ingested.ok()) {
+    ++appends_rejected_;
+    send_append_ack(pending, false, ingested.error().to_string());
+    return;
+  }
+  ++appends_accepted_;
+  publish_new_canonical(msg->capsule, tip_before);
+
+  const auto peer_it = peers_.find(msg->capsule);
+  const std::size_t peer_count = peer_it == peers_.end() ? 0 : peer_it->second.size();
+  if (pending.required <= 1 || peer_count == 0) {
+    // Fast path (§VI-B): ack after local persistence, propagate in the
+    // background.
+    const bool ok = pending.required <= 1;
+    send_append_ack(pending, ok,
+                    ok ? "" : "no replica peers to satisfy required_acks");
+    propagate_record(msg->capsule, msg->record, 0);
+    return;
+  }
+  // Durable path: hold the ack until enough replicas confirm.
+  const std::uint64_t id = next_pending_id_++;
+  pending_[id] = pending;
+  propagate_record(msg->capsule, msg->record, id);
+  net_.sim().schedule(options_.durability_timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // already acked
+    PendingDurability p = std::move(it->second);
+    pending_.erase(it);
+    send_append_ack(p, false,
+                    "durability timeout: " + std::to_string(p.acks) + "/" +
+                        std::to_string(p.required) + " acks");
+  });
+}
+
+void CapsuleServer::propagate_record(const Name& capsule, const Record& record,
+                                     std::uint64_t flow_id) {
+  auto peer_it = peers_.find(capsule);
+  if (peer_it == peers_.end()) return;
+  for (const Name& peer : peer_it->second) {
+    wire::SyncPushMsg msg;
+    msg.capsule = capsule;
+    msg.records.push_back(record.serialize());
+    ++sync_records_sent_;
+    send_pdu(peer, wire::MsgType::kSyncPush, msg.serialize(), flow_id);
+  }
+}
+
+void CapsuleServer::handle_peer_ack(const wire::Pdu& pdu) {
+  auto msg = wire::StatusMsg::deserialize(pdu.payload);
+  if (!msg.ok() || !msg->ok) return;
+  auto it = pending_.find(msg->nonce);
+  if (it == pending_.end()) return;
+  PendingDurability& p = it->second;
+  ++p.acks;
+  if (p.acks >= p.required) {
+    PendingDurability done = std::move(p);
+    pending_.erase(it);
+    send_append_ack(done, true, "");
+  }
+}
+
+void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
+  auto msg = wire::SyncPushMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+  store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) return;
+  const std::uint64_t tip_before = cs->state().tip_seqno();
+  bool all_ok = true;
+  for (const Bytes& record_bytes : msg->records) {
+    auto record = Record::deserialize(record_bytes);
+    if (!record.ok() || !cs->ingest(*record).ok()) all_ok = false;
+  }
+  publish_new_canonical(msg->capsule, tip_before);
+  if (pdu.flow_id != 0) {
+    // Durability ack back to the pushing replica.
+    wire::StatusMsg ack;
+    ack.ok = all_ok;
+    ack.nonce = pdu.flow_id;
+    send_pdu(pdu.src, wire::MsgType::kStatus, ack.serialize(), pdu.flow_id);
+  }
+}
+
+void CapsuleServer::handle_sync_pull(const wire::Pdu& pdu) {
+  auto msg = wire::SyncPullMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+  store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) return;
+  const auto& state = cs->state();
+  wire::SyncPushMsg push;
+  push.capsule = msg->capsule;
+  constexpr std::size_t kMaxBatch = 256;
+  // Records the peer lacks beyond its tip...
+  for (std::uint64_t s = msg->tip_seqno + 1;
+       s <= state.tip_seqno() && push.records.size() < kMaxBatch; ++s) {
+    auto rec = state.get_by_seqno(s);
+    if (rec) push.records.push_back(rec->serialize());
+  }
+  // ...plus specific hole fills.
+  for (const Name& hole : msg->holes) {
+    if (push.records.size() >= kMaxBatch) break;
+    auto rec = state.get_by_hash(hole);
+    if (rec) push.records.push_back(rec->serialize());
+  }
+  if (push.records.empty()) return;
+  sync_records_sent_ += push.records.size();
+  send_pdu(pdu.src, wire::MsgType::kSyncPush, push.serialize());
+}
+
+void CapsuleServer::handle_read(const wire::Pdu& pdu) {
+  auto msg = wire::ReadMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+
+  wire::ReadResponseMsg resp;
+  resp.capsule = msg->capsule;
+  resp.nonce = msg->nonce;
+
+  auto fail = [&](Errc code, std::string why) {
+    resp.ok = false;
+    resp.error = std::string(errc_name(code)) + ": " + std::move(why);
+    authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
+                          resp.signed_body(), resp.auth, resp.server_principal,
+                          resp.delegation);
+    send_pdu(pdu.src, wire::MsgType::kReadResponse, resp.serialize(), pdu.flow_id);
+  };
+
+  const store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    fail(Errc::kNotFound, "capsule not hosted here");
+    return;
+  }
+  const auto& state = cs->state();
+  const std::uint64_t tip = state.tip_seqno();
+  if (tip == 0) {
+    fail(Errc::kOutOfRange, "capsule is empty");
+    return;
+  }
+  std::uint64_t first = msg->first_seqno;
+  std::uint64_t last = msg->last_seqno;
+  if (first == 0 && last == 0) first = last = tip;  // "latest"
+  if (last == 0 || last > tip) last = tip;
+  if (first == 0) first = 1;
+  if (first > last) {
+    fail(Errc::kOutOfRange, "range beyond tip");
+    return;
+  }
+  auto tip_record = state.get_by_seqno(tip);
+  if (!tip_record) {
+    fail(Errc::kInternal, "tip record unavailable");
+    return;
+  }
+  Heartbeat hb = Heartbeat::from_record(*tip_record);
+  auto proof = capsule::build_range_proof(state, hb, first, last);
+  if (!proof.ok()) {
+    fail(proof.error().code, proof.error().message);
+    return;
+  }
+  resp.ok = true;
+  resp.proof = proof->serialize();
+  resp.heartbeat = hb.serialize();
+  authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
+                        resp.signed_body(), resp.auth, resp.server_principal,
+                        resp.delegation);
+  ++reads_served_;
+  send_pdu(pdu.src, wire::MsgType::kReadResponse, resp.serialize(), pdu.flow_id);
+}
+
+void CapsuleServer::handle_subscribe(const wire::Pdu& pdu) {
+  auto msg = wire::SubscribeMsg::deserialize(pdu.payload);
+  if (!msg.ok()) return;
+  const store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    send_status(pdu.src, false, Errc::kNotFound, "capsule not hosted here",
+                msg->nonce);
+    return;
+  }
+  auto cert = trust::Cert::deserialize(msg->sub_cert);
+  if (!cert.ok()) {
+    send_status(pdu.src, false, Errc::kInvalidArgument, "malformed SubCert",
+                msg->nonce);
+    return;
+  }
+  Status allowed = trust::verify_subscription(cs->metadata(), *cert,
+                                              msg->subscriber, net_.sim().now());
+  if (!allowed.ok()) {
+    send_status(pdu.src, false, allowed.error().code, allowed.error().message,
+                msg->nonce);
+    return;
+  }
+  auto& subs = subscribers_[msg->capsule];
+  if (std::find(subs.begin(), subs.end(), msg->subscriber) == subs.end()) {
+    subs.push_back(msg->subscriber);
+  }
+  send_status(pdu.src, true, Errc::kOk, "", msg->nonce);
+}
+
+void CapsuleServer::publish_new_canonical(const Name& capsule,
+                                          std::uint64_t from_seqno_excl) {
+  auto subs_it = subscribers_.find(capsule);
+  if (subs_it == subscribers_.end() || subs_it->second.empty()) return;
+  const store::CapsuleStore* cs = store_.find(capsule);
+  const auto& state = cs->state();
+  const std::uint64_t tip = state.tip_seqno();
+  if (tip <= from_seqno_excl) return;
+  auto tip_record = state.get_by_seqno(tip);
+  if (!tip_record) return;
+  const Bytes hb = Heartbeat::from_record(*tip_record).serialize();
+  for (std::uint64_t s = from_seqno_excl + 1; s <= tip; ++s) {
+    auto rec = state.get_by_seqno(s);
+    if (!rec) continue;
+    wire::PublishMsg msg;
+    msg.capsule = capsule;
+    msg.record = *rec;
+    msg.heartbeat = hb;
+    for (const Name& sub : subs_it->second) {
+      send_pdu(sub, wire::MsgType::kPublish, msg.serialize());
+    }
+  }
+}
+
+std::optional<crypto::SymmetricKey> CapsuleServer::session_key_for(
+    const Name& client, BytesView session_pubkey) {
+  if (!session_pubkey.empty()) {
+    auto client_eph = crypto::PublicKey::decode(session_pubkey);
+    if (!client_eph) return std::nullopt;
+    crypto::SymmetricKey key = crypto::ecdh_shared_key(key_, *client_eph);
+    sessions_[client] = key;
+    return key;
+  }
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CapsuleServer::authenticate_response(const Name& capsule, const Name& client,
+                                          BytesView session_pubkey, BytesView body,
+                                          wire::ResponseAuth& auth,
+                                          Bytes& principal_out,
+                                          Bytes& delegation_out) {
+  auto attach_evidence = [&] {
+    principal_out = self_.serialize();
+    const store::CapsuleStore* cs = store_.find(capsule);
+    if (cs != nullptr) delegation_out = cs->delegation().serialize();
+  };
+  auto session = session_key_for(client, session_pubkey);
+  if (session.has_value()) {
+    // Steady state: HMAC, "byte overhead roughly similar to TLS".  On the
+    // very first contact the evidence chain still rides along once so the
+    // client can anchor the session key in the capsule's delegations.
+    auto tag = crypto::hmac_sha256(
+        BytesView(session->data(), session->size()), body);
+    auth.kind = wire::ResponseAuth::Kind::kHmac;
+    auth.bytes.assign(tag.begin(), tag.end());
+    if (introduced_.insert(client).second) attach_evidence();
+    return;
+  }
+  // Sessionless mode: full signature + evidence chain on every response,
+  // letting the client verify that a *designated* server responded (§V).
+  auth.kind = wire::ResponseAuth::Kind::kSignature;
+  auth.bytes = key_.sign(body).encode();
+  attach_evidence();
+}
+
+void CapsuleServer::send_append_ack(const PendingDurability& pending, bool ok,
+                                    std::string error) {
+  wire::AppendAckMsg ack;
+  ack.capsule = pending.capsule;
+  ack.record_hash = pending.record_hash;
+  ack.seqno = pending.seqno;
+  ack.acks = pending.acks;
+  ack.ok = ok;
+  ack.error = std::move(error);
+  ack.nonce = pending.client_nonce;
+  authenticate_response(pending.capsule, pending.writer, pending.session_pubkey,
+                        ack.signed_body(), ack.auth, ack.server_principal,
+                        ack.delegation);
+  send_pdu(pending.writer, wire::MsgType::kAppendAck, ack.serialize());
+}
+
+void CapsuleServer::send_status(const Name& to, bool ok, Errc code,
+                                std::string message, std::uint64_t nonce) {
+  wire::StatusMsg msg;
+  msg.ok = ok;
+  msg.code = static_cast<std::uint16_t>(code);
+  msg.message = std::move(message);
+  msg.nonce = nonce;
+  send_pdu(to, wire::MsgType::kStatus, msg.serialize());
+}
+
+std::vector<Name> CapsuleServer::equivocating_capsules() const {
+  std::vector<Name> out;
+  for (const Name& name : store_.hosted()) {
+    const store::CapsuleStore* cs = store_.find(name);
+    if (cs->metadata().mode() == capsule::WriterMode::kStrictSingleWriter &&
+        cs->state().has_branch()) {
+      // Both branch records carry valid writer signatures over conflicting
+      // histories — cryptographic, third-party-verifiable evidence.
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::size_t CapsuleServer::subscriber_count(const Name& capsule) const {
+  auto it = subscribers_.find(capsule);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace gdp::server

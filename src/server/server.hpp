@@ -1,0 +1,126 @@
+// DataCapsule-server (§IV-B, §V, §VI).
+//
+// The server's task "is to make information durable and available to the
+// appropriate readers while maintaining the integrity of data":
+//   * hosts capsules it holds AdCerts for, persisting them in ServerStore;
+//   * validates every append against the writer key (write access control
+//     "can be verified by DataCapsule-servers or anyone else");
+//   * serves reads as self-verifying range proofs anchored at the tip
+//     heartbeat, authenticated by signature + delegation evidence or by a
+//     per-client HMAC session (§V "Secure Responses");
+//   * implements both durability modes of §VI-B — ack-after-local-persist
+//     with background propagation, or block until k replicas ack;
+//   * runs leaderless anti-entropy with replica peers, repairing holes in
+//     the background (§VI-A);
+//   * pushes new canonical records to subscribers whose SubCerts verify
+//     (the publish-subscribe native mode of access).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "router/endpoint.hpp"
+#include "store/capsule_store.hpp"
+
+namespace gdp::server {
+
+class CapsuleServer : public router::Endpoint {
+ public:
+  struct Options {
+    std::filesystem::path storage_root;
+    Duration anti_entropy_interval = from_millis(500);
+    Duration durability_timeout = from_millis(2000);
+    Duration advertisement_lifetime = from_seconds(24 * 3600);
+  };
+
+  CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
+                std::string label, Options options);
+
+  /// Accepts responsibility for a capsule (out-of-band placement by the
+  /// owner) and re-advertises so the name becomes routable.
+  Status host_capsule(const capsule::Metadata& metadata,
+                      const trust::ServingDelegation& delegation,
+                      std::vector<Name> replica_peers);
+
+  /// (Re)advertises this server plus all hosted capsules to `router`.
+  void advertise_to(const Name& router);
+
+  /// Starts the periodic anti-entropy loop.
+  void start_anti_entropy();
+  /// Stops rescheduling the loop (the in-flight tick still fires once).
+  void stop_anti_entropy() { anti_entropy_running_ = false; }
+  /// One immediate anti-entropy round (tests drive this directly).
+  void anti_entropy_round();
+
+  const store::ServerStore& storage() const { return store_; }
+  bool hosts(const Name& capsule) const { return store_.hosts(capsule); }
+  std::uint64_t appends_accepted() const { return appends_accepted_; }
+  std::uint64_t appends_rejected() const { return appends_rejected_; }
+  /// Capsules in Strict-Single-Writer mode where the server holds signed
+  /// evidence of a fork — the writer (or its stolen key) equivocated.
+  std::vector<Name> equivocating_capsules() const;
+  std::uint64_t reads_served() const { return reads_served_; }
+  std::uint64_t sync_records_sent() const { return sync_records_sent_; }
+  std::size_t subscriber_count(const Name& capsule) const;
+
+ protected:
+  void handle_pdu(const Name& from, const wire::Pdu& pdu) override;
+
+ private:
+  struct PendingDurability {
+    Name writer;
+    Name capsule;
+    Name record_hash;
+    std::uint64_t seqno = 0;
+    std::uint32_t required = 1;
+    std::uint32_t acks = 1;  // local persistence counts
+    std::uint64_t client_nonce = 0;
+    Bytes session_pubkey;
+    bool done = false;
+  };
+
+  void handle_create(const Name& from, const wire::Pdu& pdu);
+  void handle_append(const wire::Pdu& pdu);
+  void handle_read(const wire::Pdu& pdu);
+  void handle_subscribe(const wire::Pdu& pdu);
+  void handle_sync_pull(const wire::Pdu& pdu);
+  void handle_sync_push(const wire::Pdu& pdu);
+  void handle_peer_ack(const wire::Pdu& pdu);
+
+  /// Fills auth (+ principal/delegation evidence when signing) on a
+  /// response body destined for `client`.
+  void authenticate_response(const Name& capsule, const Name& client,
+                             BytesView session_pubkey, BytesView body,
+                             wire::ResponseAuth& auth, Bytes& principal_out,
+                             Bytes& delegation_out);
+  std::optional<crypto::SymmetricKey> session_key_for(const Name& client,
+                                                      BytesView session_pubkey);
+
+  void send_append_ack(const PendingDurability& pending, bool ok, std::string error);
+  void send_status(const Name& to, bool ok, Errc code, std::string message,
+                   std::uint64_t nonce);
+  void propagate_record(const Name& capsule, const capsule::Record& record,
+                        std::uint64_t flow_id);
+  void publish_new_canonical(const Name& capsule, std::uint64_t from_seqno_excl);
+  std::vector<Bytes> build_catalog_records() const;
+
+  Options options_;
+  store::ServerStore store_;
+  std::unordered_map<Name, std::vector<Name>> peers_;        ///< per capsule
+  std::unordered_map<Name, std::vector<Name>> subscribers_;  ///< per capsule
+  std::unordered_map<std::uint64_t, PendingDurability> pending_;  ///< by flow id
+  std::unordered_map<Name, crypto::SymmetricKey> sessions_;  ///< by client
+  std::unordered_set<Name> introduced_;  ///< clients that hold our evidence
+  std::uint64_t next_pending_id_ = 1;
+  bool anti_entropy_running_ = false;
+
+  std::uint64_t appends_accepted_ = 0;
+  std::uint64_t appends_rejected_ = 0;
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t sync_records_sent_ = 0;
+};
+
+}  // namespace gdp::server

@@ -1,0 +1,139 @@
+#include "store/capsule_store.hpp"
+
+#include <algorithm>
+
+namespace gdp::store {
+
+namespace {
+constexpr std::uint8_t kTagMetadata = 1;
+constexpr std::uint8_t kTagDelegation = 2;
+constexpr std::uint8_t kTagRecord = 3;
+
+Bytes tagged(std::uint8_t tag, BytesView body) {
+  Bytes out{tag};
+  append(out, body);
+  return out;
+}
+}  // namespace
+
+Result<CapsuleStore> CapsuleStore::create(const std::filesystem::path& dir,
+                                          const capsule::Metadata& metadata,
+                                          const trust::ServingDelegation& delegation) {
+  if (std::filesystem::exists(dir / "seg-000000.log")) {
+    return make_error(Errc::kAlreadyExists, "capsule store already exists: " + dir.string());
+  }
+  GDP_ASSIGN_OR_RETURN(LogStore log, LogStore::open(dir));
+  GDP_RETURN_IF_ERROR(log.append(tagged(kTagMetadata, metadata.serialize())));
+  GDP_RETURN_IF_ERROR(log.append(tagged(kTagDelegation, delegation.serialize())));
+  auto state = std::make_unique<capsule::CapsuleState>(metadata);
+  return CapsuleStore(std::move(log), std::move(state), delegation);
+}
+
+Result<CapsuleStore> CapsuleStore::open(const std::filesystem::path& dir) {
+  GDP_ASSIGN_OR_RETURN(LogStore log, LogStore::open(dir));
+  if (log.entry_count() < 2) {
+    return make_error(Errc::kCorruptData, "capsule store missing header entries");
+  }
+  GDP_ASSIGN_OR_RETURN(Bytes meta_entry, log.read(0));
+  if (meta_entry.empty() || meta_entry[0] != kTagMetadata) {
+    return make_error(Errc::kCorruptData, "capsule store: bad metadata entry");
+  }
+  GDP_ASSIGN_OR_RETURN(
+      capsule::Metadata metadata,
+      capsule::Metadata::deserialize(BytesView(meta_entry).subspan(1)));
+
+  GDP_ASSIGN_OR_RETURN(Bytes deleg_entry, log.read(1));
+  if (deleg_entry.empty() || deleg_entry[0] != kTagDelegation) {
+    return make_error(Errc::kCorruptData, "capsule store: bad delegation entry");
+  }
+  GDP_ASSIGN_OR_RETURN(
+      trust::ServingDelegation delegation,
+      trust::ServingDelegation::deserialize(BytesView(deleg_entry).subspan(1)));
+
+  auto state = std::make_unique<capsule::CapsuleState>(metadata);
+  CapsuleStore store(std::move(log), std::move(state), std::move(delegation));
+  for (std::uint64_t id = 2; id < store.log_.entry_count(); ++id) {
+    auto entry = store.log_.read(id);
+    if (!entry.ok() || entry->empty() || (*entry)[0] != kTagRecord) {
+      ++store.corrupt_dropped_;
+      continue;
+    }
+    auto record = capsule::Record::deserialize(BytesView(*entry).subspan(1));
+    if (!record.ok()) {
+      ++store.corrupt_dropped_;
+      continue;
+    }
+    const Name hash = record->hash();
+    if (!store.state_->ingest(*record).ok()) {
+      ++store.corrupt_dropped_;  // on-disk tampering detected
+      continue;
+    }
+    store.persisted_[hash] = true;
+  }
+  return store;
+}
+
+Status CapsuleStore::ingest(const capsule::Record& record) {
+  const Name hash = record.hash();
+  if (persisted_.contains(hash)) return ok_status();
+  const bool known_before = state_->known(hash);
+  GDP_RETURN_IF_ERROR(state_->ingest(record));
+  if (!known_before && state_->known(hash)) {
+    GDP_RETURN_IF_ERROR(log_.append(tagged(kTagRecord, record.serialize())));
+    persisted_[hash] = true;
+  }
+  return ok_status();
+}
+
+Result<ServerStore> ServerStore::open(const std::filesystem::path& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return make_error(Errc::kUnavailable, "cannot create " + root.string());
+  }
+  ServerStore store(root);
+  for (const auto& dirent : std::filesystem::directory_iterator(root)) {
+    if (!dirent.is_directory()) continue;
+    auto name = Name::from_hex(dirent.path().filename().string());
+    if (!name) continue;  // not a capsule directory
+    auto capsule_store = CapsuleStore::open(dirent.path());
+    if (!capsule_store.ok()) continue;  // unreadable capsule: skip, don't fail boot
+    store.capsules_.emplace(
+        *name, std::make_unique<CapsuleStore>(std::move(capsule_store).value()));
+  }
+  return store;
+}
+
+Status ServerStore::host(const capsule::Metadata& metadata,
+                         const trust::ServingDelegation& delegation) {
+  const Name name = metadata.name();
+  if (capsules_.contains(name)) return ok_status();
+  auto dir = root_ / name.hex();
+  Result<CapsuleStore> created =
+      std::filesystem::exists(dir / "seg-000000.log")
+          ? CapsuleStore::open(dir)
+          : CapsuleStore::create(dir, metadata, delegation);
+  if (!created.ok()) return created.error();
+  capsules_.emplace(name, std::make_unique<CapsuleStore>(std::move(created).value()));
+  return ok_status();
+}
+
+CapsuleStore* ServerStore::find(const Name& capsule) {
+  auto it = capsules_.find(capsule);
+  return it == capsules_.end() ? nullptr : it->second.get();
+}
+
+const CapsuleStore* ServerStore::find(const Name& capsule) const {
+  auto it = capsules_.find(capsule);
+  return it == capsules_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Name> ServerStore::hosted() const {
+  std::vector<Name> out;
+  out.reserve(capsules_.size());
+  for (const auto& [name, _] : capsules_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gdp::store

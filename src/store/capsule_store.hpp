@@ -1,0 +1,91 @@
+// Persistent DataCapsule storage.
+//
+// One CapsuleStore per capsule (the paper stores "each DataCapsule in its
+// own separate SQLite database"); a ServerStore manages the collection a
+// DataCapsule-server hosts.  The store persists the signed metadata, the
+// owner's serving delegation, and every record; load() re-validates
+// everything through CapsuleState, so on-disk tampering is detected at
+// restart exactly as in-flight tampering is detected at ingest (threat
+// model §IV-C: "a DataCapsule-server can attempt to tamper with individual
+// records or the order of records when stored on disk" — and be caught).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "capsule/state.hpp"
+#include "store/logstore.hpp"
+#include "trust/delegation.hpp"
+
+namespace gdp::store {
+
+class CapsuleStore {
+ public:
+  /// Creates storage for a new capsule.
+  static Result<CapsuleStore> create(const std::filesystem::path& dir,
+                                     const capsule::Metadata& metadata,
+                                     const trust::ServingDelegation& delegation);
+
+  /// Reopens existing storage, re-validating metadata and all records.
+  /// Records that fail validation are dropped (and counted).
+  static Result<CapsuleStore> open(const std::filesystem::path& dir);
+
+  CapsuleStore(CapsuleStore&&) = default;
+  CapsuleStore& operator=(CapsuleStore&&) = default;
+
+  const capsule::Metadata& metadata() const { return state_->metadata(); }
+  const trust::ServingDelegation& delegation() const { return delegation_; }
+  const capsule::CapsuleState& state() const { return *state_; }
+
+  /// Validates via the state and, if newly attached/held, persists.
+  Status ingest(const capsule::Record& record);
+
+  /// Records dropped during the last open() because they failed
+  /// re-validation (evidence of on-disk tampering).
+  std::size_t corrupt_dropped() const { return corrupt_dropped_; }
+
+  Status sync() { return log_.sync(); }
+
+ private:
+  CapsuleStore(LogStore log, std::unique_ptr<capsule::CapsuleState> state,
+               trust::ServingDelegation delegation)
+      : log_(std::move(log)),
+        state_(std::move(state)),
+        delegation_(std::move(delegation)) {}
+
+  LogStore log_;
+  std::unique_ptr<capsule::CapsuleState> state_;
+  trust::ServingDelegation delegation_;
+  std::unordered_map<Name, bool> persisted_;
+  std::size_t corrupt_dropped_ = 0;
+};
+
+/// The collection of capsules a DataCapsule-server hosts, one directory
+/// per capsule under a root.
+class ServerStore {
+ public:
+  static Result<ServerStore> open(const std::filesystem::path& root);
+
+  ServerStore(ServerStore&&) = default;
+  ServerStore& operator=(ServerStore&&) = default;
+
+  /// Creates (or reopens) storage for `metadata`'s capsule.
+  Status host(const capsule::Metadata& metadata,
+              const trust::ServingDelegation& delegation);
+
+  bool hosts(const Name& capsule) const { return capsules_.contains(capsule); }
+  CapsuleStore* find(const Name& capsule);
+  const CapsuleStore* find(const Name& capsule) const;
+  std::vector<Name> hosted() const;
+
+ private:
+  explicit ServerStore(std::filesystem::path root) : root_(std::move(root)) {}
+
+  std::filesystem::path root_;
+  std::unordered_map<Name, std::unique_ptr<CapsuleStore>> capsules_;
+};
+
+}  // namespace gdp::store

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial) for storage-entry framing.
+//
+// The on-disk log uses CRC32 to detect torn writes and bit rot at the
+// framing layer; cryptographic integrity of record *contents* is handled
+// end-to-end by the capsule layer, so a fast checksum suffices here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace gdp::store {
+
+std::uint32_t crc32(BytesView data);
+
+}  // namespace gdp::store

@@ -1,0 +1,160 @@
+#include "store/logstore.hpp"
+
+#include <cstring>
+
+#include "store/crc32.hpp"
+
+namespace gdp::store {
+
+namespace {
+
+constexpr std::uint32_t kFrameHeader = 8;  // len(4) + crc(4)
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // host order; segments are not meant to be portable
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+
+}  // namespace
+
+std::filesystem::path LogStore::segment_path(std::uint32_t seg) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06u.log", seg);
+  return dir_ / buf;
+}
+
+Result<LogStore> LogStore::open(const std::filesystem::path& dir, Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return make_error(Errc::kUnavailable, "cannot create " + dir.string() + ": " + ec.message());
+  }
+  LogStore log;
+  log.dir_ = dir;
+  log.options_ = options;
+
+  // Discover segments in order; recover each.
+  std::uint32_t seg = 0;
+  while (std::filesystem::exists(log.segment_path(seg))) {
+    GDP_RETURN_IF_ERROR(log.recover_segment(seg));
+    ++seg;
+  }
+  log.active_segment_ = seg == 0 ? 0 : seg - 1;
+  log.active_offset_ = seg == 0
+                           ? 0
+                           : std::filesystem::file_size(log.segment_path(log.active_segment_));
+  return log;
+}
+
+Status LogStore::recover_segment(std::uint32_t seg) {
+  std::ifstream in(segment_path(seg), std::ios::binary);
+  if (!in) return make_error(Errc::kUnavailable, "cannot open segment for recovery");
+  std::uint64_t offset = 0;
+  std::uint8_t header[kFrameHeader];
+  for (;;) {
+    in.read(reinterpret_cast<char*>(header), kFrameHeader);
+    if (in.gcount() != kFrameHeader) break;  // clean EOF or torn header
+    std::uint32_t len = load_u32(header);
+    std::uint32_t crc = load_u32(header + 4);
+    Bytes payload(len);
+    in.read(reinterpret_cast<char*>(payload.data()), len);
+    if (in.gcount() != static_cast<std::streamsize>(len)) break;  // torn payload
+    if (crc32(payload) != crc) break;                             // corrupt entry
+    index_.push_back(EntryLoc{seg, offset, len});
+    payload_bytes_ += len;
+    offset += kFrameHeader + len;
+  }
+  in.close();
+  // Drop any torn/corrupt tail so future appends start from a clean point.
+  if (offset != std::filesystem::file_size(segment_path(seg))) {
+    std::error_code ec;
+    std::filesystem::resize_file(segment_path(seg), offset, ec);
+    if (ec) return make_error(Errc::kUnavailable, "cannot truncate corrupt tail");
+  }
+  return ok_status();
+}
+
+Status LogStore::roll_segment() {
+  active_.reset();
+  ++active_segment_;
+  active_offset_ = 0;
+  return ok_status();
+}
+
+Result<std::uint64_t> LogStore::append(BytesView entry) {
+  if (entry.size() > 0xffffffffu) {
+    return make_error(Errc::kInvalidArgument, "entry too large");
+  }
+  if (active_offset_ >= options_.segment_bytes && active_offset_ > 0) {
+    GDP_RETURN_IF_ERROR(roll_segment());
+  }
+  if (!active_) {
+    active_ = std::make_unique<std::fstream>(
+        segment_path(active_segment_),
+        std::ios::binary | std::ios::in | std::ios::out | std::ios::app);
+    if (!active_->is_open()) {
+      // First touch of a fresh segment: create it, then reopen read/write.
+      std::ofstream create(segment_path(active_segment_), std::ios::binary);
+      create.close();
+      active_ = std::make_unique<std::fstream>(
+          segment_path(active_segment_),
+          std::ios::binary | std::ios::in | std::ios::out | std::ios::app);
+    }
+    if (!active_->is_open()) {
+      return make_error(Errc::kUnavailable, "cannot open active segment");
+    }
+  }
+  std::uint8_t header[kFrameHeader];
+  store_u32(header, static_cast<std::uint32_t>(entry.size()));
+  store_u32(header + 4, crc32(entry));
+  active_->write(reinterpret_cast<const char*>(header), kFrameHeader);
+  active_->write(reinterpret_cast<const char*>(entry.data()),
+                 static_cast<std::streamsize>(entry.size()));
+  if (!active_->good()) {
+    return make_error(Errc::kUnavailable, "write failed");
+  }
+  index_.push_back(EntryLoc{active_segment_, active_offset_,
+                            static_cast<std::uint32_t>(entry.size())});
+  payload_bytes_ += entry.size();
+  active_offset_ += kFrameHeader + entry.size();
+  return index_.size() - 1;
+}
+
+Result<Bytes> LogStore::read(std::uint64_t id) const {
+  if (id >= index_.size()) {
+    return make_error(Errc::kOutOfRange, "no such log entry");
+  }
+  const EntryLoc& loc = index_[id];
+  if (active_ && loc.segment == active_segment_) active_->flush();
+  std::ifstream in(segment_path(loc.segment), std::ios::binary);
+  if (!in) return make_error(Errc::kUnavailable, "cannot open segment");
+  in.seekg(static_cast<std::streamoff>(loc.offset + kFrameHeader));
+  Bytes payload(loc.length);
+  in.read(reinterpret_cast<char*>(payload.data()), loc.length);
+  if (in.gcount() != static_cast<std::streamsize>(loc.length)) {
+    return make_error(Errc::kCorruptData, "short read from segment");
+  }
+  return payload;
+}
+
+Status LogStore::for_each(
+    const std::function<Status(std::uint64_t, BytesView)>& fn) const {
+  for (std::uint64_t id = 0; id < index_.size(); ++id) {
+    GDP_ASSIGN_OR_RETURN(Bytes entry, read(id));
+    GDP_RETURN_IF_ERROR(fn(id, entry));
+  }
+  return ok_status();
+}
+
+Status LogStore::sync() {
+  if (active_) {
+    active_->flush();
+    if (!active_->good()) return make_error(Errc::kUnavailable, "flush failed");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::store

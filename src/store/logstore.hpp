@@ -1,0 +1,79 @@
+// Segmented append-only log with crash recovery.
+//
+// This is the storage engine under every DataCapsule-server — the role
+// SQLite plays in the paper's prototype (§VIII).  Entries are framed with
+// a length + CRC32 header, written to numbered segment files that roll at
+// a configurable size, and indexed in memory for efficient random reads
+// ("SQLite enables a DataCapsule-server to respond to random reads
+// efficiently" — so does this).  On open, segments are scanned; a torn or
+// corrupt tail entry truncates recovery at that point, matching the
+// append-only crash model.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace gdp::store {
+
+class LogStore {
+ public:
+  struct Options {
+    std::uint64_t segment_bytes = 16 * 1024 * 1024;  ///< roll threshold
+  };
+
+  /// Opens (creating if needed) a log in `dir`, replaying existing
+  /// segments to rebuild the index.  Corrupt tails are dropped.
+  static Result<LogStore> open(const std::filesystem::path& dir,
+                               Options options);
+  static Result<LogStore> open(const std::filesystem::path& dir) {
+    return open(dir, Options{});
+  }
+
+  LogStore(LogStore&&) = default;
+  LogStore& operator=(LogStore&&) = default;
+
+  /// Appends an entry; returns its stable id (0-based, dense).
+  Result<std::uint64_t> append(BytesView entry);
+
+  /// Random read by id.
+  Result<Bytes> read(std::uint64_t id) const;
+
+  /// Replays all entries in order.
+  Status for_each(const std::function<Status(std::uint64_t id, BytesView entry)>& fn) const;
+
+  std::uint64_t entry_count() const { return index_.size(); }
+  /// Total bytes of entry payload (excluding framing).
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+  /// Flushes buffered writes to the OS.
+  Status sync();
+
+ private:
+  struct EntryLoc {
+    std::uint32_t segment;
+    std::uint64_t offset;  // of the frame header
+    std::uint32_t length;  // payload length
+  };
+
+  LogStore() = default;
+
+  std::filesystem::path segment_path(std::uint32_t seg) const;
+  Status roll_segment();
+  Status recover_segment(std::uint32_t seg);
+
+  std::filesystem::path dir_;
+  Options options_{};
+  std::vector<EntryLoc> index_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint32_t active_segment_ = 0;
+  std::uint64_t active_offset_ = 0;
+  mutable std::unique_ptr<std::fstream> active_;  // open for append + read
+};
+
+}  // namespace gdp::store

@@ -1,0 +1,107 @@
+#include "trust/advertisement.hpp"
+
+#include <algorithm>
+
+#include "common/varint.hpp"
+
+namespace gdp::trust {
+
+namespace {
+constexpr std::uint8_t kTagAdvertisement = 1;
+constexpr std::uint8_t kTagExtension = 2;
+}  // namespace
+
+Bytes Advertisement::serialize() const {
+  Bytes out;
+  append(out, advertised.view());
+  put_fixed64(out, static_cast<std::uint64_t>(expires_ns));
+  put_length_prefixed(out, delegation.serialize());
+  put_length_prefixed(out, capsule_metadata);
+  return out;
+}
+
+Result<Advertisement> Advertisement::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto name = r.get_bytes(Name::kSize);
+  auto expiry = r.get_fixed64();
+  auto deleg_bytes = r.get_length_prefixed();
+  if (!name || !expiry || !deleg_bytes) {
+    return make_error(Errc::kInvalidArgument, "truncated advertisement");
+  }
+  auto meta_bytes = r.get_length_prefixed();
+  if (!meta_bytes || !r.empty()) {
+    return make_error(Errc::kInvalidArgument, "truncated advertisement");
+  }
+  GDP_ASSIGN_OR_RETURN(ServingDelegation d, ServingDelegation::deserialize(*deleg_bytes));
+  Advertisement ad;
+  ad.advertised = *Name::from_bytes(*name);
+  ad.expires_ns = static_cast<std::int64_t>(*expiry);
+  ad.delegation = std::move(d);
+  ad.capsule_metadata = std::move(*meta_bytes);
+  return ad;
+}
+
+Status Advertisement::verify(const Principal& advertiser, TimePoint now,
+                             const Name* domain) const {
+  GDP_ASSIGN_OR_RETURN(capsule::Metadata metadata,
+                       capsule::Metadata::deserialize(capsule_metadata));
+  if (metadata.name() != advertised) {
+    return make_error(Errc::kVerificationFailed,
+                      "advertisement metadata does not hash to the advertised name");
+  }
+  return verify_serving_delegation(metadata, advertiser, delegation, now, domain);
+}
+
+Bytes Catalog::encode_advertisement(const Advertisement& ad) {
+  Bytes out{kTagAdvertisement};
+  append(out, ad.serialize());
+  return out;
+}
+
+Bytes Catalog::encode_extension(std::int64_t new_expiry_ns) {
+  Bytes out{kTagExtension};
+  put_fixed64(out, static_cast<std::uint64_t>(new_expiry_ns));
+  return out;
+}
+
+Status Catalog::apply(BytesView payload) {
+  if (payload.empty()) return make_error(Errc::kInvalidArgument, "empty catalog record");
+  switch (payload[0]) {
+    case kTagAdvertisement: {
+      GDP_ASSIGN_OR_RETURN(Advertisement ad,
+                           Advertisement::deserialize(payload.subspan(1)));
+      ads_.push_back(std::move(ad));
+      return ok_status();
+    }
+    case kTagExtension: {
+      ByteReader r(payload.subspan(1));
+      auto expiry = r.get_fixed64();
+      if (!expiry || !r.empty()) {
+        return make_error(Errc::kInvalidArgument, "truncated extension record");
+      }
+      group_extension_ns_ =
+          std::max(group_extension_ns_, static_cast<std::int64_t>(*expiry));
+      return ok_status();
+    }
+    default:
+      return make_error(Errc::kInvalidArgument, "unknown catalog record tag");
+  }
+}
+
+std::int64_t Catalog::effective_expiry_ns(const Advertisement& ad) const {
+  return std::max(ad.expires_ns, group_extension_ns_);
+}
+
+bool Catalog::is_live(const Advertisement& ad, TimePoint now) const {
+  return now.count() <= effective_expiry_ns(ad);
+}
+
+std::vector<const Advertisement*> Catalog::live(TimePoint now) const {
+  std::vector<const Advertisement*> out;
+  for (const Advertisement& ad : ads_) {
+    if (is_live(ad, now)) out.push_back(&ad);
+  }
+  return out;
+}
+
+}  // namespace gdp::trust

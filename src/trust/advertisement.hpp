@@ -1,0 +1,65 @@
+// Secure advertisements and naming catalogs (§VII).
+//
+// "The set of available names is advertised via one or more naming
+// catalogs in the form of DataCapsules containing individual
+// advertisements and access-control credentials ... All such proof is
+// included in a catalog, signed by the advertiser.  Advertisements have
+// corresponding expiration times, which can be deferred as a group by
+// appending extension records to the catalog."
+//
+// An Advertisement bundles the advertised capsule name with the complete
+// ServingDelegation chain proving the advertiser may serve it.  Catalog
+// replays a stream of catalog-record payloads (advertisements and group
+// extensions) — typically the records of the advertiser's catalog capsule
+// — into the set of currently live advertisements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trust/delegation.hpp"
+
+namespace gdp::trust {
+
+struct Advertisement {
+  Name advertised;              ///< capsule name being advertised
+  ServingDelegation delegation; ///< proof the advertiser may serve it
+  /// Serialized capsule metadata.  Carried so any verifier can recover the
+  /// owner key (the metadata hashes to `advertised`, so it is
+  /// self-authenticating) without a separate fetch.
+  Bytes capsule_metadata;
+  std::int64_t expires_ns = 0;
+
+  Bytes serialize() const;
+  static Result<Advertisement> deserialize(BytesView b);
+
+  /// Full verification: metadata hashes to the advertised name and the
+  /// delegation chain terminates at `advertiser`.
+  Status verify(const Principal& advertiser, TimePoint now,
+                const Name* domain = nullptr) const;
+};
+
+class Catalog {
+ public:
+  /// Record-payload encodings for the catalog capsule.
+  static Bytes encode_advertisement(const Advertisement& ad);
+  static Bytes encode_extension(std::int64_t new_expiry_ns);
+
+  /// Replays one catalog record payload (in capsule order).
+  Status apply(BytesView payload);
+
+  const std::vector<Advertisement>& advertisements() const { return ads_; }
+
+  /// Expiry after group extensions: extensions only ever defer.
+  std::int64_t effective_expiry_ns(const Advertisement& ad) const;
+  bool is_live(const Advertisement& ad, TimePoint now) const;
+
+  /// Advertisements still live at `now`.
+  std::vector<const Advertisement*> live(TimePoint now) const;
+
+ private:
+  std::vector<Advertisement> ads_;
+  std::int64_t group_extension_ns_ = 0;
+};
+
+}  // namespace gdp::trust

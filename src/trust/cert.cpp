@@ -1,0 +1,146 @@
+#include "trust/cert.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::trust {
+
+std::string_view cert_kind_name(CertKind k) {
+  switch (k) {
+    case CertKind::kAdCert: return "AdCert";
+    case CertKind::kRtCert: return "RtCert";
+    case CertKind::kOrgMember: return "OrgMember";
+    case CertKind::kSubCert: return "SubCert";
+  }
+  return "unknown";
+}
+
+Bytes Cert::signed_payload() const {
+  Bytes out = to_bytes("gdp.cert.v1");
+  out.push_back(static_cast<std::uint8_t>(kind));
+  append(out, subject.view());
+  append(out, object.view());
+  append(out, issuer.view());
+  put_fixed64(out, static_cast<std::uint64_t>(not_before_ns));
+  put_fixed64(out, static_cast<std::uint64_t>(not_after_ns));
+  put_varint(out, allowed_domains.size());
+  for (const Name& d : allowed_domains) append(out, d.view());
+  return out;
+}
+
+Bytes Cert::serialize() const {
+  Bytes out = signed_payload();
+  append(out, sig.encode());
+  return out;
+}
+
+Result<Cert> Cert::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto tag = r.get_bytes(11);
+  if (!tag || to_string(*tag) != "gdp.cert.v1") {
+    return make_error(Errc::kInvalidArgument, "bad cert tag");
+  }
+  auto kind_byte = r.get_bytes(1);
+  if (!kind_byte || (*kind_byte)[0] > 3) {
+    return make_error(Errc::kInvalidArgument, "bad cert kind");
+  }
+  Cert c;
+  c.kind = static_cast<CertKind>((*kind_byte)[0]);
+  auto subject = r.get_bytes(Name::kSize);
+  auto object = r.get_bytes(Name::kSize);
+  auto issuer = r.get_bytes(Name::kSize);
+  auto nb = r.get_fixed64();
+  auto na = r.get_fixed64();
+  auto ndom = r.get_varint();
+  if (!subject || !object || !issuer || !nb || !na || !ndom) {
+    return make_error(Errc::kInvalidArgument, "truncated cert");
+  }
+  if (*ndom > 1024) return make_error(Errc::kInvalidArgument, "implausible domain count");
+  c.subject = *Name::from_bytes(*subject);
+  c.object = *Name::from_bytes(*object);
+  c.issuer = *Name::from_bytes(*issuer);
+  c.not_before_ns = static_cast<std::int64_t>(*nb);
+  c.not_after_ns = static_cast<std::int64_t>(*na);
+  for (std::uint64_t i = 0; i < *ndom; ++i) {
+    auto d = r.get_bytes(Name::kSize);
+    if (!d) return make_error(Errc::kInvalidArgument, "truncated cert domain");
+    c.allowed_domains.push_back(*Name::from_bytes(*d));
+  }
+  auto sig_bytes = r.get_bytes(64);
+  if (!sig_bytes || !r.empty()) return make_error(Errc::kInvalidArgument, "truncated cert");
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed cert signature");
+  c.sig = *sig;
+  return c;
+}
+
+Status Cert::verify(const crypto::PublicKey& issuer_key, TimePoint now) const {
+  if (!issuer_key.verify(signed_payload(), sig)) {
+    return make_error(Errc::kVerificationFailed,
+                      std::string(cert_kind_name(kind)) + " signature invalid");
+  }
+  const std::int64_t t = now.count();
+  if (t < not_before_ns) {
+    return make_error(Errc::kExpired, std::string(cert_kind_name(kind)) +
+                                          " not yet valid");
+  }
+  if (t > not_after_ns) {
+    return make_error(Errc::kExpired, std::string(cert_kind_name(kind)) + " expired");
+  }
+  return ok_status();
+}
+
+bool Cert::domain_allowed(const Name& domain) const {
+  if (allowed_domains.empty()) return true;
+  for (const Name& d : allowed_domains) {
+    if (d == domain) return true;
+  }
+  return false;
+}
+
+namespace {
+Cert make_cert(CertKind kind, const crypto::PrivateKey& issuer_key,
+               const Name& issuer_name, const Name& subject, const Name& object,
+               TimePoint not_before, TimePoint not_after,
+               std::vector<Name> allowed_domains = {}) {
+  Cert c;
+  c.kind = kind;
+  c.subject = subject;
+  c.object = object;
+  c.issuer = issuer_name;
+  c.not_before_ns = not_before.count();
+  c.not_after_ns = not_after.count();
+  c.allowed_domains = std::move(allowed_domains);
+  c.sig = issuer_key.sign(c.signed_payload());
+  return c;
+}
+}  // namespace
+
+Cert make_ad_cert(const crypto::PrivateKey& owner_key, const Name& issuer_name,
+                  const Name& capsule, const Name& server_or_org,
+                  TimePoint not_before, TimePoint not_after,
+                  std::vector<Name> allowed_domains) {
+  return make_cert(CertKind::kAdCert, owner_key, issuer_name, server_or_org,
+                   capsule, not_before, not_after, std::move(allowed_domains));
+}
+
+Cert make_rt_cert(const crypto::PrivateKey& machine_key, const Name& machine_name,
+                  const Name& router, TimePoint not_before, TimePoint not_after) {
+  return make_cert(CertKind::kRtCert, machine_key, machine_name, router,
+                   machine_name, not_before, not_after);
+}
+
+Cert make_org_member_cert(const crypto::PrivateKey& org_key, const Name& org_name,
+                          const Name& member, TimePoint not_before,
+                          TimePoint not_after) {
+  return make_cert(CertKind::kOrgMember, org_key, org_name, member, org_name,
+                   not_before, not_after);
+}
+
+Cert make_sub_cert(const crypto::PrivateKey& owner_key, const Name& issuer_name,
+                   const Name& capsule, const Name& client, TimePoint not_before,
+                   TimePoint not_after) {
+  return make_cert(CertKind::kSubCert, owner_key, issuer_name, client, capsule,
+                   not_before, not_after);
+}
+
+}  // namespace gdp::trust

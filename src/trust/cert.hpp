@@ -1,0 +1,88 @@
+// Cryptographic delegation certificates (§V, §VII).
+//
+// The GDP replaces traditional PKI with explicit, verifiable delegations
+// anchored in flat names:
+//   * AdCert   — "a signed statement by the DataCapsule-owner that a
+//                certain DataCapsule-server is allowed to respond for the
+//                DataCapsule in question."  Subject may also be a storage
+//                *organization*, with org-membership certs completing the
+//                chain to a concrete server.
+//   * RtCert   — "a signed statement issued by a physical machine (e.g. a
+//                DataCapsule-server) to a GDP-router authorizing the
+//                GDP-router to send/receive messages on its behalf."
+//   * OrgMember— parent organization (or org) admits a member principal,
+//                enabling hierarchical, fine-grained delegation.
+//   * SubCert  — owner grants a client permission to subscribe (join the
+//                secure multicast tree) for a capsule; enforced at trust-
+//                domain borders to stop denial-of-service.
+//
+// Certificates carry validity windows; expiry is checked against the
+// (simulated) clock, and naming-catalog extension records can defer it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "crypto/keys.hpp"
+
+namespace gdp::trust {
+
+enum class CertKind : std::uint8_t {
+  kAdCert = 0,
+  kRtCert = 1,
+  kOrgMember = 2,
+  kSubCert = 3,
+};
+
+std::string_view cert_kind_name(CertKind k);
+
+struct Cert {
+  CertKind kind = CertKind::kAdCert;
+  Name subject;                 ///< who is being authorized
+  Name object;                  ///< what it concerns (capsule / machine name)
+  Name issuer;                  ///< name of the issuing principal (informational)
+  std::int64_t not_before_ns = 0;
+  std::int64_t not_after_ns = 0;
+  /// AdCert only: routing-domain names this capsule may traverse / reside
+  /// in; empty means unrestricted.  This is how the owner's placement
+  /// policy reaches the routing layer (§VII).
+  std::vector<Name> allowed_domains;
+  crypto::Signature sig{};
+
+  Bytes signed_payload() const;
+  Bytes serialize() const;
+  static Result<Cert> deserialize(BytesView b);
+
+  /// Checks the signature under the claimed issuer key and the validity
+  /// window against `now`.
+  Status verify(const crypto::PublicKey& issuer_key, TimePoint now) const;
+
+  bool domain_allowed(const Name& domain) const;
+
+  friend bool operator==(const Cert&, const Cert&) = default;
+};
+
+/// Convenience constructors.  `issuer_key` signs; `issuer_name` is the
+/// issuer's flat name (owner-key fingerprint for AdCerts, principal name
+/// otherwise).
+Cert make_ad_cert(const crypto::PrivateKey& owner_key, const Name& issuer_name,
+                  const Name& capsule, const Name& server_or_org,
+                  TimePoint not_before, TimePoint not_after,
+                  std::vector<Name> allowed_domains = {});
+
+Cert make_rt_cert(const crypto::PrivateKey& machine_key, const Name& machine_name,
+                  const Name& router, TimePoint not_before, TimePoint not_after);
+
+Cert make_org_member_cert(const crypto::PrivateKey& org_key, const Name& org_name,
+                          const Name& member, TimePoint not_before,
+                          TimePoint not_after);
+
+Cert make_sub_cert(const crypto::PrivateKey& owner_key, const Name& issuer_name,
+                   const Name& capsule, const Name& client, TimePoint not_before,
+                   TimePoint not_after);
+
+}  // namespace gdp::trust

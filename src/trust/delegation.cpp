@@ -1,0 +1,129 @@
+#include "trust/delegation.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::trust {
+
+Bytes ServingDelegation::serialize() const {
+  Bytes out;
+  put_length_prefixed(out, ad_cert.serialize());
+  put_varint(out, orgs.size());
+  for (std::size_t i = 0; i < orgs.size(); ++i) {
+    put_length_prefixed(out, orgs[i].serialize());
+    put_length_prefixed(out, member_certs[i].serialize());
+  }
+  return out;
+}
+
+Result<ServingDelegation> ServingDelegation::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto ad_bytes = r.get_length_prefixed();
+  if (!ad_bytes) return make_error(Errc::kInvalidArgument, "truncated delegation");
+  GDP_ASSIGN_OR_RETURN(Cert ad, Cert::deserialize(*ad_bytes));
+  ServingDelegation d;
+  d.ad_cert = std::move(ad);
+  auto count = r.get_varint();
+  if (!count) return make_error(Errc::kInvalidArgument, "truncated delegation");
+  if (*count > 64) return make_error(Errc::kInvalidArgument, "implausible org chain");
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto org_bytes = r.get_length_prefixed();
+    auto cert_bytes = r.get_length_prefixed();
+    if (!org_bytes || !cert_bytes) {
+      return make_error(Errc::kInvalidArgument, "truncated delegation link");
+    }
+    GDP_ASSIGN_OR_RETURN(Principal org, Principal::deserialize(*org_bytes));
+    GDP_ASSIGN_OR_RETURN(Cert cert, Cert::deserialize(*cert_bytes));
+    d.orgs.push_back(std::move(org));
+    d.member_certs.push_back(std::move(cert));
+  }
+  if (!r.empty()) return make_error(Errc::kInvalidArgument, "trailing delegation bytes");
+  return d;
+}
+
+Status verify_serving_delegation(const capsule::Metadata& metadata,
+                                 const Principal& server,
+                                 const ServingDelegation& delegation,
+                                 TimePoint now, const Name* domain) {
+  if (delegation.orgs.size() != delegation.member_certs.size()) {
+    return make_error(Errc::kInvalidArgument, "malformed delegation chain");
+  }
+  GDP_RETURN_IF_ERROR(server.verify());
+  if (server.role() != Role::kCapsuleServer) {
+    return make_error(Errc::kPermissionDenied, "delegation target is not a server");
+  }
+
+  const Cert& ad = delegation.ad_cert;
+  if (ad.kind != CertKind::kAdCert) {
+    return make_error(Errc::kPermissionDenied, "expected an AdCert");
+  }
+  if (ad.object != metadata.name()) {
+    return make_error(Errc::kPermissionDenied, "AdCert covers a different capsule");
+  }
+  GDP_RETURN_IF_ERROR(ad.verify(metadata.owner_key(), now));
+  if (domain != nullptr && !ad.domain_allowed(*domain)) {
+    return make_error(Errc::kPermissionDenied,
+                      "capsule placement policy excludes this routing domain");
+  }
+
+  // Walk owner -> (org ->)* server.
+  Name expected_subject = ad.subject;
+  for (std::size_t i = 0; i < delegation.orgs.size(); ++i) {
+    const Principal& org = delegation.orgs[i];
+    GDP_RETURN_IF_ERROR(org.verify());
+    if (org.role() != Role::kOrganization) {
+      return make_error(Errc::kPermissionDenied, "delegation link is not an organization");
+    }
+    if (org.name() != expected_subject) {
+      return make_error(Errc::kPermissionDenied, "delegation chain is not contiguous");
+    }
+    const Cert& member = delegation.member_certs[i];
+    if (member.kind != CertKind::kOrgMember) {
+      return make_error(Errc::kPermissionDenied, "expected an OrgMember cert");
+    }
+    if (member.object != org.name()) {
+      return make_error(Errc::kPermissionDenied, "membership cert for a different org");
+    }
+    GDP_RETURN_IF_ERROR(member.verify(org.key(), now));
+    expected_subject = member.subject;
+  }
+  if (expected_subject != server.name()) {
+    return make_error(Errc::kPermissionDenied,
+                      "delegation chain does not terminate at the server");
+  }
+  return ok_status();
+}
+
+Status verify_routing_delegation(const Cert& rt_cert, const Principal& machine,
+                                 const Principal& router, TimePoint now) {
+  GDP_RETURN_IF_ERROR(machine.verify());
+  GDP_RETURN_IF_ERROR(router.verify());
+  if (rt_cert.kind != CertKind::kRtCert) {
+    return make_error(Errc::kPermissionDenied, "expected an RtCert");
+  }
+  if (router.role() != Role::kRouter) {
+    return make_error(Errc::kPermissionDenied, "RtCert subject is not a router");
+  }
+  if (rt_cert.subject != router.name()) {
+    return make_error(Errc::kPermissionDenied, "RtCert names a different router");
+  }
+  if (rt_cert.object != machine.name() || rt_cert.issuer != machine.name()) {
+    return make_error(Errc::kPermissionDenied, "RtCert not issued by this machine");
+  }
+  return rt_cert.verify(machine.key(), now);
+}
+
+Status verify_subscription(const capsule::Metadata& metadata, const Cert& sub_cert,
+                           const Name& client, TimePoint now) {
+  if (sub_cert.kind != CertKind::kSubCert) {
+    return make_error(Errc::kPermissionDenied, "expected a SubCert");
+  }
+  if (sub_cert.object != metadata.name()) {
+    return make_error(Errc::kPermissionDenied, "SubCert covers a different capsule");
+  }
+  if (sub_cert.subject != client) {
+    return make_error(Errc::kPermissionDenied, "SubCert grants a different client");
+  }
+  return sub_cert.verify(metadata.owner_key(), now);
+}
+
+}  // namespace gdp::trust

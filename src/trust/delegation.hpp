@@ -1,0 +1,51 @@
+// Delegation-chain assembly and verification.
+//
+// "The routing infrastructure can thus verify the chain of trust created
+// by AdCerts and RtCerts to ensure secure routing to such names" (§VII).
+// The chain of trust for serving a capsule starts at the capsule *name*
+// (which authenticates the metadata, which carries the owner key), passes
+// through an AdCert (owner -> server or storage organization), optionally
+// through organization-membership certs (org -> sub-org -> ... -> server,
+// "organizations can have hierarchies to enable fine-grained
+// administrative controls"), and ends at a self-certifying server
+// Principal.  No external PKI is consulted anywhere.
+#pragma once
+
+#include <vector>
+
+#include "capsule/metadata.hpp"
+#include "trust/cert.hpp"
+#include "trust/principal.hpp"
+
+namespace gdp::trust {
+
+/// Proof that a DataCapsule-server may respond for a capsule.
+struct ServingDelegation {
+  Cert ad_cert;                     ///< owner -> server (or first org)
+  std::vector<Principal> orgs;      ///< org hierarchy, outermost first
+  std::vector<Cert> member_certs;   ///< orgs[i] admits the next subject
+
+  Bytes serialize() const;
+  static Result<ServingDelegation> deserialize(BytesView b);
+};
+
+/// Verifies the full chain: AdCert signed by the capsule owner and in
+/// validity, every org link signed and valid, terminating at `server`.
+/// When `domain` is non-null, also checks the owner's routing-domain
+/// restriction (placement policy) admits that domain.
+Status verify_serving_delegation(const capsule::Metadata& metadata,
+                                 const Principal& server,
+                                 const ServingDelegation& delegation,
+                                 TimePoint now, const Name* domain = nullptr);
+
+/// Verifies an RtCert: `machine` (e.g. a DataCapsule-server) authorized
+/// `router` to speak for it.
+Status verify_routing_delegation(const Cert& rt_cert, const Principal& machine,
+                                 const Principal& router, TimePoint now);
+
+/// Verifies a SubCert: the capsule owner granted `client` permission to
+/// subscribe to the capsule.
+Status verify_subscription(const capsule::Metadata& metadata, const Cert& sub_cert,
+                           const Name& client, TimePoint now);
+
+}  // namespace gdp::trust

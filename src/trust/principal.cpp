@@ -1,0 +1,81 @@
+#include "trust/principal.hpp"
+
+#include "common/varint.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::trust {
+
+std::string_view role_name(Role r) {
+  switch (r) {
+    case Role::kCapsuleServer: return "capsule-server";
+    case Role::kRouter: return "router";
+    case Role::kOrganization: return "organization";
+    case Role::kClient: return "client";
+  }
+  return "unknown";
+}
+
+Bytes Principal::signed_payload() const {
+  Bytes out = to_bytes("gdp.principal.v1");
+  append(out, key_->encode());
+  out.push_back(static_cast<std::uint8_t>(role_));
+  put_length_prefixed(out, to_bytes(label_));
+  return out;
+}
+
+Principal Principal::create(const crypto::PrivateKey& key, Role role, std::string label) {
+  Principal p;
+  p.key_ = key.public_key();
+  p.role_ = role;
+  p.label_ = std::move(label);
+  p.sig_ = key.sign(p.signed_payload());
+  p.name_ = crypto::digest_to_name(crypto::sha256(p.serialize()));
+  return p;
+}
+
+Bytes Principal::serialize() const {
+  Bytes out = signed_payload();
+  append(out, sig_.encode());
+  return out;
+}
+
+Result<Principal> Principal::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto tag = r.get_bytes(16);
+  if (!tag || to_string(*tag) != "gdp.principal.v1") {
+    return make_error(Errc::kInvalidArgument, "bad principal tag");
+  }
+  auto key_bytes = r.get_bytes(64);
+  if (!key_bytes) return make_error(Errc::kInvalidArgument, "truncated principal key");
+  auto key = crypto::PublicKey::decode(*key_bytes);
+  if (!key) return make_error(Errc::kInvalidArgument, "principal key not on curve");
+  auto role_byte = r.get_bytes(1);
+  if (!role_byte || (*role_byte)[0] > 3) {
+    return make_error(Errc::kInvalidArgument, "bad principal role");
+  }
+  auto label = r.get_length_prefixed();
+  auto sig_bytes = r.get_bytes(64);
+  if (!label || !sig_bytes || !r.empty()) {
+    return make_error(Errc::kInvalidArgument, "truncated principal");
+  }
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed principal signature");
+
+  Principal p;
+  p.key_ = *key;
+  p.role_ = static_cast<Role>((*role_byte)[0]);
+  p.label_ = to_string(*label);
+  p.sig_ = *sig;
+  p.name_ = crypto::digest_to_name(crypto::sha256(p.serialize()));
+  GDP_RETURN_IF_ERROR(p.verify());
+  return p;
+}
+
+Status Principal::verify() const {
+  if (!key_->verify(signed_payload(), sig_)) {
+    return make_error(Errc::kVerificationFailed, "principal self-signature invalid");
+  }
+  return ok_status();
+}
+
+}  // namespace gdp::trust

@@ -1,0 +1,63 @@
+// Self-certifying principals.
+//
+// "Not only organizations, even individual DataCapsule-servers and
+// GDP-routers also have their own unique identity" (§IV-B): a name derived
+// "by computing a cryptographic hash over a list of key-value pairs that
+// includes a public key" (§V).  A Principal is that signed key-value list;
+// its name is simultaneously its flat-network address and the anchor for
+// verifying anything it signs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "crypto/keys.hpp"
+
+namespace gdp::trust {
+
+/// The role a principal plays in the GDP (recorded in its metadata).
+enum class Role : std::uint8_t {
+  kCapsuleServer = 0,
+  kRouter = 1,
+  kOrganization = 2,
+  kClient = 3,
+};
+
+std::string_view role_name(Role r);
+
+class Principal {
+ public:
+  /// Builds and self-signs a principal description.
+  static Principal create(const crypto::PrivateKey& key, Role role, std::string label);
+
+  const Name& name() const { return name_; }
+  const crypto::PublicKey& key() const { return *key_; }
+  Role role() const { return role_; }
+  std::string_view label() const { return label_; }
+
+  Bytes serialize() const;
+  static Result<Principal> deserialize(BytesView b);
+
+  /// Checks the self-signature (binding of name to key).
+  Status verify() const;
+
+  friend bool operator==(const Principal& a, const Principal& b) {
+    return a.name_ == b.name_;
+  }
+
+ private:
+  Principal() = default;
+  Bytes signed_payload() const;
+
+  std::optional<crypto::PublicKey> key_;
+  Role role_ = Role::kClient;
+  std::string label_;
+  crypto::Signature sig_{};
+  Name name_;
+};
+
+}  // namespace gdp::trust

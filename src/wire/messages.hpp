@@ -1,0 +1,220 @@
+// Protocol message bodies carried in PDU payloads.
+//
+// Three protocol families share the PDU fabric:
+//   * the client/server data plane (create, append, read, subscribe,
+//     publish) with *secure responses* — every server response is
+//     authenticated either by the server's ECDSA signature plus its
+//     delegation evidence, or, once an ECDH session is established, by an
+//     HMAC whose steady-state byte overhead is "roughly similar to TLS"
+//     (§V "Secure Responses");
+//   * server-to-server anti-entropy (§VI-B hole repair);
+//   * the routing control plane: secure advertisement with
+//     challenge-response and GLookupService queries (§VII).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capsule/heartbeat.hpp"
+#include "capsule/record.hpp"
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+
+namespace gdp::wire {
+
+/// Authenticator attached to server responses.
+struct ResponseAuth {
+  enum class Kind : std::uint8_t { kNone = 0, kSignature = 1, kHmac = 2 };
+  Kind kind = Kind::kNone;
+  Bytes bytes;  ///< 64-byte ECDSA signature or 32-byte HMAC tag
+
+  friend bool operator==(const ResponseAuth&, const ResponseAuth&) = default;
+};
+
+// ---- Client -> server ---------------------------------------------------------
+
+struct CreateCapsuleMsg {
+  Bytes metadata;            ///< serialized capsule::Metadata
+  Bytes delegation;          ///< serialized trust::ServingDelegation for the target
+  std::vector<Name> replica_peers;  ///< sibling servers hosting replicas
+  std::uint64_t nonce = 0;
+
+  Bytes serialize() const;
+  static Result<CreateCapsuleMsg> deserialize(BytesView b);
+};
+
+struct AppendMsg {
+  Name capsule;
+  capsule::Record record;
+  /// Durability mode (§VI-B): 1 = ack after local persistence (fast
+  /// path), k>1 = ack only once k replicas hold the record.
+  std::uint32_t required_acks = 1;
+  std::uint64_t nonce = 0;
+  Bytes session_pubkey;  ///< empty or 64-byte ECDH ephemeral for HMAC acks
+
+  Bytes serialize() const;
+  static Result<AppendMsg> deserialize(BytesView b);
+};
+
+struct ReadMsg {
+  Name capsule;
+  std::uint64_t first_seqno = 0;  ///< 0,0 means "latest"
+  std::uint64_t last_seqno = 0;
+  std::uint64_t nonce = 0;
+  Bytes session_pubkey;  ///< empty or 64-byte ECDH ephemeral for HMAC responses
+
+  Bytes serialize() const;
+  static Result<ReadMsg> deserialize(BytesView b);
+};
+
+struct SubscribeMsg {
+  Name capsule;
+  Name subscriber;       ///< where kPublish events should be routed
+  Bytes sub_cert;        ///< serialized trust::Cert (SubCert)
+  std::uint64_t nonce = 0;
+
+  Bytes serialize() const;
+  static Result<SubscribeMsg> deserialize(BytesView b);
+};
+
+// ---- Server -> client ----------------------------------------------------------
+
+struct AppendAckMsg {
+  Name capsule;
+  Name record_hash;
+  std::uint64_t seqno = 0;
+  std::uint32_t acks = 0;  ///< replicas known to hold the record
+  bool ok = false;
+  std::string error;
+  std::uint64_t nonce = 0;
+  Bytes server_principal;  ///< present iff auth.kind == kSignature
+  Bytes delegation;        ///< present iff auth.kind == kSignature
+  ResponseAuth auth;
+
+  /// Canonical bytes covered by `auth`.
+  Bytes signed_body() const;
+  Bytes serialize() const;
+  static Result<AppendAckMsg> deserialize(BytesView b);
+};
+
+struct ReadResponseMsg {
+  Name capsule;
+  bool ok = false;
+  std::string error;
+  Bytes proof;      ///< serialized capsule::RangeProof when ok
+  Bytes heartbeat;  ///< serialized capsule::Heartbeat when ok
+  std::uint64_t nonce = 0;
+  Bytes server_principal;
+  Bytes delegation;
+  ResponseAuth auth;
+
+  Bytes signed_body() const;
+  Bytes serialize() const;
+  static Result<ReadResponseMsg> deserialize(BytesView b);
+};
+
+struct PublishMsg {
+  Name capsule;
+  capsule::Record record;
+  Bytes heartbeat;  ///< serialized capsule::Heartbeat from the writer
+
+  Bytes serialize() const;
+  static Result<PublishMsg> deserialize(BytesView b);
+};
+
+struct StatusMsg {
+  bool ok = false;
+  std::uint16_t code = 0;  ///< Errc as integer when !ok
+  std::string message;
+  std::uint64_t nonce = 0;
+
+  Bytes serialize() const;
+  static Result<StatusMsg> deserialize(BytesView b);
+};
+
+// ---- Server <-> server anti-entropy ----------------------------------------------
+
+struct SyncPullMsg {
+  Name capsule;
+  std::uint64_t tip_seqno = 0;    ///< requester's canonical tip
+  std::vector<Name> holes;        ///< specific missing record hashes
+
+  Bytes serialize() const;
+  static Result<SyncPullMsg> deserialize(BytesView b);
+};
+
+struct SyncPushMsg {
+  Name capsule;
+  std::vector<Bytes> records;  ///< serialized capsule::Records
+
+  Bytes serialize() const;
+  static Result<SyncPushMsg> deserialize(BytesView b);
+};
+
+// ---- Secure advertisement (§VII) ---------------------------------------------------
+
+struct AdvertiseMsg {
+  Bytes principal;                   ///< serialized trust::Principal
+  std::vector<Bytes> catalog_records;  ///< trust::Catalog payload encodings
+
+  Bytes serialize() const;
+  static Result<AdvertiseMsg> deserialize(BytesView b);
+};
+
+struct ChallengeMsg {
+  Bytes nonce;  ///< 32 bytes chosen by the router
+
+  Bytes serialize() const;
+  static Result<ChallengeMsg> deserialize(BytesView b);
+};
+
+struct ChallengeReplyMsg {
+  Bytes principal;  ///< serialized trust::Principal (repeated for stateless verify)
+  Bytes nonce_sig;  ///< 64-byte signature over (nonce || router name)
+  Bytes rt_cert;    ///< serialized trust::Cert (RtCert issued to the router)
+
+  Bytes serialize() const;
+  static Result<ChallengeReplyMsg> deserialize(BytesView b);
+};
+
+struct AdvertiseOkMsg {
+  bool ok = false;
+  std::string message;
+  std::uint32_t accepted = 0;  ///< advertisements admitted to the catalog
+
+  Bytes serialize() const;
+  static Result<AdvertiseOkMsg> deserialize(BytesView b);
+};
+
+// ---- GLookupService (§VII) ----------------------------------------------------------
+
+struct LookupMsg {
+  Name target;
+  Name querying_router;
+  std::uint64_t nonce = 0;
+
+  Bytes serialize() const;
+  static Result<LookupMsg> deserialize(BytesView b);
+};
+
+struct LookupReplyMsg {
+  bool found = false;
+  Name target;
+  Name attachment_router;  ///< router the target is attached to
+  Name next_hop;           ///< querying router's next hop toward it
+  std::uint32_t cost_us = 0;  ///< path cost (microseconds of latency)
+  std::uint64_t nonce = 0;
+  /// Independently verifiable routing state: the serialized
+  /// trust::Advertisement backing this entry (empty for bare principals
+  /// such as clients) and the advertiser's principal.
+  Bytes evidence;
+  Bytes principal;
+
+  Bytes serialize() const;
+  static Result<LookupReplyMsg> deserialize(BytesView b);
+};
+
+}  // namespace gdp::wire

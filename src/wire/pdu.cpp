@@ -1,0 +1,53 @@
+#include "wire/pdu.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::wire {
+
+Bytes Pdu::serialize() const {
+  Bytes out;
+  out.reserve(kPduOverhead + payload.size());
+  append(out, dst.view());
+  append(out, src.view());
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type)));
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) >> 8));
+  put_fixed64(out, flow_id);
+  out.push_back(ttl);
+  put_fixed32(out, static_cast<std::uint32_t>(payload.size()));
+  append(out, payload);
+  return out;
+}
+
+Result<Pdu> Pdu::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto dst = r.get_bytes(Name::kSize);
+  auto src = r.get_bytes(Name::kSize);
+  auto type_bytes = r.get_bytes(2);
+  auto flow = r.get_fixed64();
+  auto ttl = r.get_bytes(1);
+  auto len = r.get_fixed32();
+  if (!dst || !src || !type_bytes || !flow || !ttl || !len) {
+    return make_error(Errc::kInvalidArgument, "truncated PDU header");
+  }
+  std::uint16_t type_raw = static_cast<std::uint16_t>(
+      (*type_bytes)[0] | (std::uint16_t((*type_bytes)[1]) << 8));
+  if (type_raw < 1 || type_raw > 19) {
+    return make_error(Errc::kInvalidArgument, "unknown PDU type");
+  }
+  auto payload = r.get_bytes(*len);
+  if (!payload || !r.empty()) {
+    return make_error(Errc::kInvalidArgument, "PDU length mismatch");
+  }
+  Pdu pdu;
+  pdu.dst = *Name::from_bytes(*dst);
+  pdu.src = *Name::from_bytes(*src);
+  pdu.type = static_cast<MsgType>(type_raw);
+  pdu.flow_id = *flow;
+  pdu.ttl = (*ttl)[0];
+  pdu.payload = std::move(*payload);
+  return pdu;
+}
+
+std::size_t Pdu::wire_size() const { return kPduOverhead + payload.size(); }
+
+}  // namespace gdp::wire

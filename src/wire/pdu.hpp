@@ -1,0 +1,69 @@
+// Protocol Data Units for the flat-namespace GDP network (§VIII).
+//
+// "GDP-routers route PDUs in the flat namespace network."  Source and
+// destination are 256-bit flat names — a DataCapsule, a server, a router,
+// a client — never an IP-like locator; the routing fabric resolves names
+// to paths, so conversations survive placement, movement and replication
+// of the endpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+
+namespace gdp::wire {
+
+/// Message kinds carried in PDUs.  Kept flat (not per-layer) so a router
+/// can distinguish control traffic without parsing payloads.
+enum class MsgType : std::uint16_t {
+  // Client/server data plane.
+  kCreateCapsule = 1,
+  kAppend = 2,
+  kRead = 3,
+  kSubscribe = 4,
+  kPublish = 5,       ///< server -> subscriber event push
+  kStatus = 6,        ///< generic ack/err (create/subscribe acks)
+  kAppendAck = 7,
+  kReadResponse = 8,
+  // Server <-> server anti-entropy.
+  kSyncPull = 9,
+  kSyncPush = 10,
+  // Secure advertisement (client/server <-> router).
+  kAdvertise = 11,
+  kChallenge = 12,
+  kChallengeReply = 13,
+  kAdvertiseOk = 14,
+  // Routing control plane (router <-> GLookupService).
+  kLookup = 15,
+  kLookupReply = 16,
+  // Raw benchmark payload (Figure 6 forwarding experiments).
+  kBenchData = 17,
+  // CAAPI layer: multi-writer commit service (§V-B / §VI-A option (a)).
+  kProposal = 18,
+  kProposalAck = 19,
+};
+
+struct Pdu {
+  Name dst;
+  Name src;
+  MsgType type = MsgType::kStatus;
+  /// Correlates requests and responses end-to-end (also used as the flow
+  /// identifier for per-flow validation state at routers).
+  std::uint64_t flow_id = 0;
+  /// Hop budget to kill routing loops.
+  std::uint8_t ttl = 32;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<Pdu> deserialize(BytesView b);
+
+  /// Serialized size, the unit of link bandwidth accounting.
+  std::size_t wire_size() const;
+};
+
+/// Fixed per-PDU framing overhead in bytes (everything but the payload).
+inline constexpr std::size_t kPduOverhead = 32 + 32 + 2 + 8 + 1 + 4;
+
+}  // namespace gdp::wire

@@ -1,0 +1,118 @@
+// Tests for the Figure-8 baselines: the S3-like blob store and the
+// SSHFS-like block-windowed remote filesystem.
+#include <gtest/gtest.h>
+
+#include "baselines/blob.hpp"
+#include "baselines/remotefs.hpp"
+#include "baselines/tls_model.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::baselines {
+namespace {
+
+Name name_of(std::uint8_t tag) {
+  Bytes raw(32, tag);
+  return *Name::from_bytes(raw);
+}
+
+struct Net {
+  net::Simulator sim{7};
+  net::Network net{sim};
+};
+
+TEST(Blob, PutGetRoundTrip) {
+  Net n;
+  BlobService service(n.net, name_of(1));
+  BlobClient client(n.net, name_of(2));
+  n.net.connect(name_of(1), name_of(2), net::LinkParams::wan(40));
+
+  Rng rng(1);
+  Bytes object = rng.next_bytes(100000);
+  ASSERT_TRUE(client.put(service.name(), "model.bin", object).ok());
+  EXPECT_EQ(service.object_count(), 1u);
+  auto back = client.get(service.name(), "model.bin");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, object);
+  EXPECT_FALSE(client.get(service.name(), "missing").ok());
+}
+
+TEST(Blob, TransferTimeIsBandwidthBound) {
+  Net n;
+  BlobService service(n.net, name_of(1));
+  BlobClient client(n.net, name_of(2));
+  // 10 Mbps up, 100 Mbps down, 10 ms one-way (residential).
+  n.net.connect_asymmetric(name_of(2), name_of(1),
+                           net::LinkParams::residential_up(),
+                           net::LinkParams::residential_down());
+  Rng rng(2);
+  Bytes object = rng.next_bytes(1'000'000);  // 1 MB
+
+  TimePoint start = n.sim.now();
+  ASSERT_TRUE(client.put(service.name(), "o", object).ok());
+  double put_s = to_seconds(n.sim.now() - start);
+  EXPECT_NEAR(put_s, 8.0 / 10.0, 0.2);  // ~0.8 s upload at 10 Mbps
+
+  start = n.sim.now();
+  ASSERT_TRUE(client.get(service.name(), "o").ok());
+  double get_s = to_seconds(n.sim.now() - start);
+  EXPECT_NEAR(get_s, 8.0 / 100.0, 0.15);  // ~0.08 s download at 100 Mbps
+  EXPECT_GT(put_s, get_s * 3);
+}
+
+TEST(RemoteFs, WriteReadRoundTrip) {
+  Net n;
+  RemoteFsService service(n.net, name_of(1));
+  RemoteFsClient client(n.net, name_of(2));
+  n.net.connect(name_of(1), name_of(2), net::LinkParams::wan(20));
+
+  Rng rng(3);
+  Bytes content = rng.next_bytes(200'000);  // ~7 blocks of 32 kB
+  ASSERT_TRUE(client.write_file(service.name(), "/m/model", content).ok());
+  auto back = client.read_file(service.name(), "/m/model");
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(*back, content);
+  EXPECT_FALSE(client.read_file(service.name(), "/nope").ok());
+}
+
+TEST(RemoteFs, EmptyFile) {
+  Net n;
+  RemoteFsService service(n.net, name_of(1));
+  RemoteFsClient client(n.net, name_of(2));
+  n.net.connect(name_of(1), name_of(2), net::LinkParams::lan());
+  ASSERT_TRUE(client.write_file(service.name(), "/empty", Bytes{}).ok());
+  auto back = client.read_file(service.name(), "/empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(RemoteFs, WindowLimitsThroughputOnHighRtt) {
+  // With a bounded window, halving the window should roughly halve
+  // throughput once the transfer is RTT-bound (the SSHFS signature).
+  Rng rng(4);
+  Bytes content = rng.next_bytes(2'000'000);
+
+  auto run = [&](std::size_t window) {
+    Net n;
+    RemoteFsService service(n.net, name_of(1));
+    RemoteFsClient::Options opts;
+    opts.window = window;
+    RemoteFsClient client(n.net, name_of(2), opts);
+    // High RTT, high bandwidth: BDP >> window * block.
+    n.net.connect(name_of(1), name_of(2), net::LinkParams{from_millis(50), 1e9, 0.0});
+    EXPECT_TRUE(client.write_file(service.name(), "/f", content).ok());
+    TimePoint start = n.sim.now();
+    EXPECT_TRUE(client.read_file(service.name(), "/f").ok());
+    return to_seconds(n.sim.now() - start);
+  };
+  double t_w4 = run(4);
+  double t_w16 = run(16);
+  EXPECT_GT(t_w4, 2.5 * t_w16);
+}
+
+TEST(TlsModel, OverheadConstantsSane) {
+  EXPECT_EQ(TlsModel::kPerRecordOverhead, 22u);
+  EXPECT_GT(TlsModel::kHandshakeBytes, 3000u);
+}
+
+}  // namespace
+}  // namespace gdp::baselines

@@ -1,0 +1,138 @@
+// Tests for the C client API facade — exercised strictly through the
+// extern "C" surface, the way an embedding application (or the Python /
+// Java bindings the paper mentions) would use it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "capi/gdp.h"
+
+namespace {
+
+struct WorldGuard {
+  gdp_world* world;
+  explicit WorldGuard(uint64_t seed) : world(gdp_world_create(seed)) {}
+  ~WorldGuard() { gdp_world_destroy(world); }
+};
+
+struct CapsuleGuard {
+  gdp_capsule* capsule;
+  CapsuleGuard(gdp_world* w, const char* label)
+      : capsule(gdp_capsule_create(w, label)) {}
+  ~CapsuleGuard() { gdp_capsule_destroy(capsule); }
+};
+
+TEST(CApi, WorldAndCapsuleLifecycle) {
+  WorldGuard w(1);
+  ASSERT_NE(w.world, nullptr);
+  CapsuleGuard c(w.world, "capi-capsule");
+  ASSERT_NE(c.capsule, nullptr);
+
+  uint8_t name[32] = {0};
+  gdp_capsule_name(c.capsule, name);
+  bool nonzero = false;
+  for (uint8_t b : name) nonzero |= (b != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(CApi, AppendReadRoundTrip) {
+  WorldGuard w(2);
+  ASSERT_NE(w.world, nullptr);
+  CapsuleGuard c(w.world, "rw");
+  ASSERT_NE(c.capsule, nullptr);
+
+  const char* message = "hello from C";
+  uint64_t seqno = 0;
+  ASSERT_EQ(gdp_append(w.world, c.capsule,
+                       reinterpret_cast<const uint8_t*>(message),
+                       std::strlen(message), &seqno),
+            GDP_OK);
+  EXPECT_EQ(seqno, 1u);
+
+  uint8_t* data = nullptr;
+  size_t len = 0;
+  uint64_t got_seqno = 0;
+  ASSERT_EQ(gdp_read(w.world, c.capsule, 1, &data, &len, &got_seqno), GDP_OK);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(data), len), message);
+  EXPECT_EQ(got_seqno, 1u);
+  gdp_buffer_free(data);
+
+  // seqno 0 = latest.
+  ASSERT_EQ(gdp_append(w.world, c.capsule,
+                       reinterpret_cast<const uint8_t*>("second"), 6, nullptr),
+            GDP_OK);
+  ASSERT_EQ(gdp_read(w.world, c.capsule, 0, &data, &len, &got_seqno), GDP_OK);
+  EXPECT_EQ(got_seqno, 2u);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(data), len), "second");
+  gdp_buffer_free(data);
+
+  EXPECT_EQ(gdp_tip(w.world, c.capsule), 2u);
+}
+
+TEST(CApi, ErrorsSurfaceCleanly) {
+  WorldGuard w(3);
+  ASSERT_NE(w.world, nullptr);
+  CapsuleGuard c(w.world, "errs");
+  ASSERT_NE(c.capsule, nullptr);
+
+  uint8_t* data = nullptr;
+  size_t len = 0;
+  // Reading an empty capsule fails with NOT_FOUND-ish code + message.
+  int rc = gdp_read(w.world, c.capsule, 1, &data, &len, nullptr);
+  EXPECT_NE(rc, GDP_OK);
+  EXPECT_NE(std::strlen(gdp_last_error(w.world)), 0u);
+  // Invalid arguments.
+  EXPECT_EQ(gdp_append(nullptr, c.capsule, nullptr, 0, nullptr), GDP_ERR_INVALID);
+  EXPECT_EQ(gdp_read(w.world, c.capsule, 1, nullptr, &len, nullptr),
+            GDP_ERR_INVALID);
+  EXPECT_EQ(gdp_tip(nullptr, nullptr), 0u);
+}
+
+TEST(CApi, SubscriptionDeliversThroughRun) {
+  WorldGuard w(4);
+  ASSERT_NE(w.world, nullptr);
+  CapsuleGuard c(w.world, "feed");
+  ASSERT_NE(c.capsule, nullptr);
+
+  struct Collected {
+    std::vector<std::pair<uint64_t, std::string>> events;
+  } collected;
+  ASSERT_EQ(gdp_subscribe(
+                w.world, c.capsule,
+                [](uint64_t seqno, const uint8_t* data, size_t len, void* user) {
+                  auto* out = static_cast<Collected*>(user);
+                  out->events.emplace_back(
+                      seqno, std::string(reinterpret_cast<const char*>(data), len));
+                },
+                &collected),
+            GDP_OK);
+
+  for (int i = 0; i < 3; ++i) {
+    std::string payload = "evt" + std::to_string(i);
+    ASSERT_EQ(gdp_append(w.world, c.capsule,
+                         reinterpret_cast<const uint8_t*>(payload.data()),
+                         payload.size(), nullptr),
+              GDP_OK);
+  }
+  gdp_run(w.world, 1.0);
+  ASSERT_EQ(collected.events.size(), 3u);
+  EXPECT_EQ(collected.events[0], (std::pair<uint64_t, std::string>{1, "evt0"}));
+  EXPECT_EQ(collected.events[2], (std::pair<uint64_t, std::string>{3, "evt2"}));
+}
+
+TEST(CApi, EmptyPayloadAppend) {
+  WorldGuard w(5);
+  ASSERT_NE(w.world, nullptr);
+  CapsuleGuard c(w.world, "empty");
+  ASSERT_NE(c.capsule, nullptr);
+  ASSERT_EQ(gdp_append(w.world, c.capsule, nullptr, 0, nullptr), GDP_OK);
+  uint8_t* data = nullptr;
+  size_t len = 123;
+  ASSERT_EQ(gdp_read(w.world, c.capsule, 1, &data, &len, nullptr), GDP_OK);
+  EXPECT_EQ(len, 0u);
+  gdp_buffer_free(data);
+}
+
+}  // namespace

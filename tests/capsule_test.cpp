@@ -1,0 +1,735 @@
+// Unit tests for the DataCapsule core: metadata and name derivation,
+// records, heartbeats, strategies, the writer, the validated DAG state
+// (including holes and branches), and integrity proofs.
+#include <gtest/gtest.h>
+
+#include "capsule/metadata.hpp"
+#include "capsule/proof.hpp"
+#include "capsule/record.hpp"
+#include "capsule/state.hpp"
+#include "capsule/strategy.hpp"
+#include "capsule/writer.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::capsule {
+namespace {
+
+struct Fixture {
+  Rng rng{12345};
+  crypto::PrivateKey owner = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey writer_key = crypto::PrivateKey::generate(rng);
+
+  Metadata make_metadata(WriterMode mode = WriterMode::kStrictSingleWriter,
+                         std::string label = "test-capsule") {
+    auto m = Metadata::create(owner, writer_key.public_key(), mode, std::move(label), 1000);
+    EXPECT_TRUE(m.ok()) << m.error().to_string();
+    return std::move(m).value();
+  }
+
+  Writer make_writer(std::unique_ptr<HashPointerStrategy> strategy = nullptr,
+                     WriterMode mode = WriterMode::kStrictSingleWriter) {
+    if (!strategy) strategy = make_chain_strategy();
+    return Writer(make_metadata(mode), writer_key, std::move(strategy));
+  }
+};
+
+// ---- Metadata ----------------------------------------------------------------
+
+TEST(Metadata, NameIsDeterministicHashOfContents) {
+  Fixture f;
+  Metadata a = f.make_metadata();
+  auto b = Metadata::deserialize(a.serialize());
+  ASSERT_TRUE(b.ok()) << b.error().to_string();
+  EXPECT_EQ(a.name(), b->name());
+  EXPECT_EQ(a.serialize(), b->serialize());
+}
+
+TEST(Metadata, DifferentLabelsDifferentNames) {
+  Fixture f;
+  Metadata a = f.make_metadata(WriterMode::kStrictSingleWriter, "one");
+  Metadata b = f.make_metadata(WriterMode::kStrictSingleWriter, "two");
+  EXPECT_NE(a.name(), b.name());
+}
+
+TEST(Metadata, CarriesKeysAndMode) {
+  Fixture f;
+  Metadata m = f.make_metadata(WriterMode::kQuasiSingleWriter, "qsw");
+  EXPECT_EQ(m.writer_key().encode(), f.writer_key.public_key().encode());
+  EXPECT_EQ(m.owner_key().encode(), f.owner.public_key().encode());
+  EXPECT_EQ(m.mode(), WriterMode::kQuasiSingleWriter);
+  EXPECT_EQ(m.label(), "qsw");
+}
+
+TEST(Metadata, ExtraPairsRoundTrip) {
+  Fixture f;
+  auto m = Metadata::create(f.owner, f.writer_key.public_key(),
+                            WriterMode::kStrictSingleWriter, "with-extras", 5,
+                            {{"app", "sensor"}, {"hash_strategy", "skiplist"}});
+  ASSERT_TRUE(m.ok());
+  auto back = Metadata::deserialize(m->serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->get("app"), "sensor");
+  EXPECT_EQ(back->get("hash_strategy"), "skiplist");
+  EXPECT_FALSE(back->get("missing").has_value());
+}
+
+TEST(Metadata, ReservedExtraKeyRejected) {
+  Fixture f;
+  auto m = Metadata::create(f.owner, f.writer_key.public_key(),
+                            WriterMode::kStrictSingleWriter, "x", 5,
+                            {{std::string(kMetaKeyWriterKey), "bogus"}});
+  EXPECT_EQ(m.code(), Errc::kInvalidArgument);
+}
+
+TEST(Metadata, TamperedSerializationRejected) {
+  Fixture f;
+  Metadata m = f.make_metadata();
+  Bytes wire = m.serialize();
+  for (std::size_t i = 0; i < wire.size(); i += 17) {
+    Bytes bad = wire;
+    bad[i] ^= 0x01;
+    auto parsed = Metadata::deserialize(bad);
+    // Either the encoding breaks or the owner signature fails; both reject.
+    EXPECT_FALSE(parsed.ok()) << "byte " << i;
+  }
+}
+
+TEST(Metadata, VerifyChecksOwnerSignature) {
+  Fixture f;
+  Metadata m = f.make_metadata();
+  EXPECT_TRUE(m.verify().ok());
+}
+
+// ---- Records -------------------------------------------------------------------
+
+TEST(Record, SerializationRoundTrip) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record rec = w.append(to_bytes("hello capsule"), 42);
+  auto back = Record::deserialize(rec.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(*back, rec);
+  EXPECT_EQ(back->hash(), rec.hash());
+}
+
+TEST(Record, HeaderHashChangesWithPayload) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record a = w.append(to_bytes("payload-a"), 1);
+  Record b = w.append(to_bytes("payload-b"), 1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Record, StandaloneVerification) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record rec = w.append(to_bytes("data"), 7);
+  EXPECT_TRUE(rec.verify_standalone(f.writer_key.public_key()).ok());
+
+  Record tampered = rec;
+  tampered.payload = to_bytes("DATA");
+  EXPECT_EQ(tampered.verify_standalone(f.writer_key.public_key()).code(),
+            Errc::kVerificationFailed);
+
+  Rng rng2(999);
+  auto mallory = crypto::PrivateKey::generate(rng2);
+  EXPECT_EQ(rec.verify_standalone(mallory.public_key()).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Record, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Record::deserialize(Bytes{}).ok());
+  EXPECT_FALSE(Record::deserialize(Bytes(10, 0xab)).ok());
+  Fixture f;
+  Writer w = f.make_writer();
+  Bytes wire = w.append(to_bytes("x"), 0).serialize();
+  wire.pop_back();
+  EXPECT_FALSE(Record::deserialize(wire).ok());
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_FALSE(Record::deserialize(wire).ok());  // trailing byte
+}
+
+TEST(Record, FirstRecordPointsAtCapsuleName) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record rec = w.append(to_bytes("genesis payload"), 0);
+  ASSERT_EQ(rec.header.ptrs.size(), 1u);
+  EXPECT_EQ(rec.header.ptrs[0].seqno, 0u);
+  EXPECT_EQ(rec.header.ptrs[0].hash, w.capsule_name());
+}
+
+// ---- Heartbeats -----------------------------------------------------------------
+
+TEST(Heartbeat, SignAndVerify) {
+  Fixture f;
+  Writer w = f.make_writer();
+  w.append(to_bytes("a"), 1);
+  Heartbeat hb = w.heartbeat();
+  EXPECT_EQ(hb.seqno, 1u);
+  EXPECT_TRUE(hb.verify(f.writer_key.public_key()).ok());
+  hb.record_hash = f.make_metadata().name();  // point at something else
+  EXPECT_EQ(hb.verify(f.writer_key.public_key()).code(), Errc::kVerificationFailed);
+}
+
+TEST(Heartbeat, FromRecordMatchesWriterHeartbeat) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record rec = w.append(to_bytes("tip"), 9);
+  // Deterministic signing makes the two construction paths identical.
+  EXPECT_EQ(Heartbeat::from_record(rec), w.heartbeat());
+}
+
+TEST(Heartbeat, EmptyCapsuleAttestsName) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Heartbeat hb = w.heartbeat();
+  EXPECT_EQ(hb.seqno, 0u);
+  EXPECT_EQ(hb.record_hash, w.capsule_name());
+  EXPECT_TRUE(hb.verify(f.writer_key.public_key()).ok());
+}
+
+TEST(Heartbeat, SerializationRoundTrip) {
+  Fixture f;
+  Writer w = f.make_writer();
+  w.append(to_bytes("a"), 1);
+  Heartbeat hb = w.heartbeat();
+  auto back = Heartbeat::deserialize(hb.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, hb);
+}
+
+// ---- Strategies ------------------------------------------------------------------
+
+TEST(Strategy, ChainTargets) {
+  auto s = make_chain_strategy();
+  EXPECT_EQ(s->targets(1), std::vector<std::uint64_t>{0});
+  EXPECT_EQ(s->targets(10), std::vector<std::uint64_t>{9});
+  EXPECT_EQ(s->last_referencer(5), 6u);
+  EXPECT_EQ(s->id(), "chain");
+}
+
+TEST(Strategy, SkipListTargets) {
+  auto s = make_skiplist_strategy();
+  EXPECT_EQ(s->targets(1), (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(s->targets(2), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(s->targets(8), (std::vector<std::uint64_t>{0, 4, 6, 7}));
+  EXPECT_EQ(s->targets(12), (std::vector<std::uint64_t>{8, 10, 11}));
+  // Record 12's hash (lowest set bit 4) is last needed by record 16.
+  EXPECT_EQ(s->last_referencer(12), 16u);
+  EXPECT_EQ(s->last_referencer(7), 8u);
+}
+
+TEST(Strategy, CheckpointTargets) {
+  auto s = make_checkpoint_strategy(4);
+  EXPECT_EQ(s->targets(1), (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(s->targets(3), (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(s->targets(5), (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(s->targets(6), (std::vector<std::uint64_t>{4, 5}));
+  EXPECT_EQ(s->last_referencer(4), 8u);
+  EXPECT_EQ(s->last_referencer(5), 6u);
+}
+
+TEST(Strategy, FromIdRoundTrip) {
+  for (const char* id : {"chain", "skiplist", "checkpoint:16"}) {
+    auto s = strategy_from_id(id);
+    ASSERT_NE(s, nullptr) << id;
+    EXPECT_EQ(s->id(), id);
+  }
+  EXPECT_EQ(strategy_from_id("bogus"), nullptr);
+  EXPECT_EQ(strategy_from_id("checkpoint:"), nullptr);
+  EXPECT_EQ(strategy_from_id("checkpoint:0"), nullptr);
+}
+
+// ---- Writer ---------------------------------------------------------------------
+
+TEST(Writer, SequentialSeqnos) {
+  Fixture f;
+  Writer w = f.make_writer();
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Record r = w.append(to_bytes("x"), 0);
+    EXPECT_EQ(r.header.seqno, i);
+  }
+  EXPECT_EQ(w.next_seqno(), 6u);
+}
+
+TEST(Writer, RecordsChainTogether) {
+  Fixture f;
+  Writer w = f.make_writer();
+  Record r1 = w.append(to_bytes("one"), 1);
+  Record r2 = w.append(to_bytes("two"), 2);
+  ASSERT_EQ(r2.header.ptrs.size(), 1u);
+  EXPECT_EQ(r2.header.ptrs[0].hash, r1.hash());
+  EXPECT_EQ(r2.header.ptrs[0].seqno, 1u);
+}
+
+TEST(Writer, SaveRestoreContinuesChain) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  Record r1 = w.append(to_bytes("one"), 1);
+  Bytes saved = w.save_state();
+
+  auto restored = Writer::restore(meta, f.writer_key, make_chain_strategy(), saved);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  Record r2 = restored->append(to_bytes("two"), 2);
+  EXPECT_EQ(r2.header.seqno, 2u);
+  EXPECT_EQ(r2.header.ptrs[0].hash, r1.hash());
+}
+
+TEST(Writer, RestoreRejectsWrongCapsule) {
+  Fixture f;
+  Metadata meta_a = f.make_metadata(WriterMode::kStrictSingleWriter, "a");
+  Metadata meta_b = f.make_metadata(WriterMode::kStrictSingleWriter, "b");
+  Writer w(meta_a, f.writer_key, make_chain_strategy());
+  w.append(to_bytes("x"), 0);
+  auto restored = Writer::restore(meta_b, f.writer_key, make_chain_strategy(), w.save_state());
+  EXPECT_EQ(restored.code(), Errc::kFailedPrecondition);
+}
+
+TEST(Writer, SkipListStatePruned) {
+  Fixture f;
+  Writer w = f.make_writer(make_skiplist_strategy());
+  for (int i = 0; i < 1024; ++i) w.append(to_bytes("r"), i);
+  // Remembered state must stay logarithmic, not linear.
+  EXPECT_LT(w.save_state().size(), 2048u);
+}
+
+TEST(Writer, MergeTakesMaxParentSeqno) {
+  Fixture f;
+  Metadata meta = f.make_metadata(WriterMode::kQuasiSingleWriter);
+  Writer a(meta, f.writer_key, make_chain_strategy());
+  Record r1 = a.append(to_bytes("base"), 1);
+  Bytes saved = a.save_state();
+
+  // Second writer instance branches from the same state (QSW).
+  auto b = Writer::restore(meta, f.writer_key, make_chain_strategy(), saved);
+  ASSERT_TRUE(b.ok());
+  Record a2 = a.append(to_bytes("branch-a"), 2);
+  Record b2 = b->append(to_bytes("branch-b"), 2);
+  EXPECT_EQ(a2.header.seqno, b2.header.seqno);
+  EXPECT_NE(a2.hash(), b2.hash());
+
+  Record merge = a.append_merge(to_bytes("merge"), 3,
+                                {HashPtr{b2.header.seqno, b2.hash()}});
+  EXPECT_EQ(merge.header.seqno, 3u);
+  // The merge points at both branch heads.
+  bool has_a2 = false, has_b2 = false;
+  for (const auto& p : merge.header.ptrs) {
+    has_a2 |= p.hash == a2.hash();
+    has_b2 |= p.hash == b2.hash();
+  }
+  EXPECT_TRUE(has_a2);
+  EXPECT_TRUE(has_b2);
+}
+
+// ---- CapsuleState -----------------------------------------------------------------
+
+TEST(CapsuleState, IngestInOrder) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  for (int i = 1; i <= 10; ++i) {
+    Record r = w.append(to_bytes("r" + std::to_string(i)), i);
+    ASSERT_TRUE(state.ingest(r).ok());
+  }
+  EXPECT_EQ(state.size(), 10u);
+  EXPECT_EQ(state.tip_seqno(), 10u);
+  EXPECT_FALSE(state.has_branch());
+  EXPECT_TRUE(state.holes().empty());
+  EXPECT_EQ(to_string(state.get_by_seqno(3)->payload), "r3");
+}
+
+TEST(CapsuleState, IngestIsIdempotent) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  Record r = w.append(to_bytes("x"), 0);
+  EXPECT_TRUE(state.ingest(r).ok());
+  EXPECT_TRUE(state.ingest(r).ok());
+  EXPECT_EQ(state.size(), 1u);
+}
+
+TEST(CapsuleState, OutOfOrderCreatesAndRepairsHole) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  Record r1 = w.append(to_bytes("one"), 1);
+  Record r2 = w.append(to_bytes("two"), 2);
+  Record r3 = w.append(to_bytes("three"), 3);
+
+  ASSERT_TRUE(state.ingest(r1).ok());
+  ASSERT_TRUE(state.ingest(r3).ok());  // r2 missing: r3 detaches
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.detached_count(), 1u);
+  ASSERT_EQ(state.holes().size(), 1u);
+  EXPECT_EQ(state.holes()[0], r2.hash());
+  EXPECT_EQ(state.tip_seqno(), 1u);
+
+  ASSERT_TRUE(state.ingest(r2).ok());  // hole repaired; r3 cascades in
+  EXPECT_EQ(state.size(), 3u);
+  EXPECT_EQ(state.detached_count(), 0u);
+  EXPECT_TRUE(state.holes().empty());
+  EXPECT_EQ(state.tip_seqno(), 3u);
+  EXPECT_EQ(state.tip_hash(), r3.hash());
+}
+
+TEST(CapsuleState, FullyReversedIngest) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) records.push_back(w.append(to_bytes("r"), i));
+  CapsuleState state(meta);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    ASSERT_TRUE(state.ingest(*it).ok());
+  }
+  EXPECT_EQ(state.size(), 20u);
+  EXPECT_EQ(state.tip_hash(), records.back().hash());
+  EXPECT_TRUE(state.holes().empty());
+}
+
+TEST(CapsuleState, RejectsForeignRecord) {
+  Fixture f;
+  Metadata meta_a = f.make_metadata(WriterMode::kStrictSingleWriter, "a");
+  Metadata meta_b = f.make_metadata(WriterMode::kStrictSingleWriter, "b");
+  Writer wb(meta_b, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta_a);
+  EXPECT_EQ(state.ingest(wb.append(to_bytes("x"), 0)).code(), Errc::kVerificationFailed);
+}
+
+TEST(CapsuleState, RejectsTamperedPayload) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  Record r = w.append(to_bytes("genuine"), 0);
+  r.payload = to_bytes("forgery");
+  EXPECT_EQ(state.ingest(r).code(), Errc::kVerificationFailed);
+  EXPECT_EQ(state.size(), 0u);
+}
+
+TEST(CapsuleState, DetectsBranchAsEquivocation) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer a(meta, f.writer_key, make_chain_strategy());
+  Record r1 = a.append(to_bytes("base"), 1);
+  Bytes saved = a.save_state();
+  auto b = Writer::restore(meta, f.writer_key, make_chain_strategy(), saved);
+  ASSERT_TRUE(b.ok());
+  Record a2 = a.append(to_bytes("branch-a"), 2);
+  Record b2 = b->append(to_bytes("branch-b"), 2);
+
+  CapsuleState state(meta);
+  ASSERT_TRUE(state.ingest(r1).ok());
+  ASSERT_TRUE(state.ingest(a2).ok());
+  EXPECT_FALSE(state.has_branch());
+  ASSERT_TRUE(state.ingest(b2).ok());  // stored: signed evidence of equivocation
+  EXPECT_TRUE(state.has_branch());
+  EXPECT_EQ(state.heads().size(), 2u);
+  EXPECT_EQ(state.all_at_seqno(2).size(), 2u);
+  // Canonical tie-break: smallest hash at the top seqno.
+  RecordHash expect_tip = std::min(a2.hash(), b2.hash());
+  EXPECT_EQ(state.tip_hash(), expect_tip);
+}
+
+TEST(CapsuleState, MergeRejoinsBranches) {
+  Fixture f;
+  Metadata meta = f.make_metadata(WriterMode::kQuasiSingleWriter);
+  Writer a(meta, f.writer_key, make_chain_strategy());
+  Record r1 = a.append(to_bytes("base"), 1);
+  Bytes saved = a.save_state();
+  auto b = Writer::restore(meta, f.writer_key, make_chain_strategy(), saved);
+  ASSERT_TRUE(b.ok());
+  Record a2 = a.append(to_bytes("branch-a"), 2);
+  Record b2 = b->append(to_bytes("branch-b"), 2);
+  Record merge = a.append_merge(to_bytes("merged"), 3, {HashPtr{2, b2.hash()}});
+
+  CapsuleState state(meta);
+  for (const Record& r : {r1, a2, b2, merge}) ASSERT_TRUE(state.ingest(r).ok());
+  EXPECT_EQ(state.heads().size(), 1u);
+  EXPECT_EQ(state.tip_hash(), merge.hash());
+  EXPECT_EQ(state.tip_seqno(), 3u);
+}
+
+TEST(CapsuleState, ConvergesRegardlessOfOrderCrdt) {
+  // CRDT property: two replicas fed the same records in different orders
+  // reach identical state.
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_skiplist_strategy());
+  std::vector<Record> records;
+  for (int i = 0; i < 32; ++i) records.push_back(w.append(to_bytes("r"), i));
+
+  CapsuleState s1(meta), s2(meta);
+  for (const Record& r : records) ASSERT_TRUE(s1.ingest(r).ok());
+  Rng rng(77);
+  std::vector<Record> shuffled = records;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  }
+  for (const Record& r : shuffled) ASSERT_TRUE(s2.ingest(r).ok());
+
+  EXPECT_EQ(s1.size(), s2.size());
+  EXPECT_EQ(s1.tip_hash(), s2.tip_hash());
+  for (std::uint64_t s = 1; s <= 32; ++s) {
+    EXPECT_EQ(s1.get_by_seqno(s)->hash(), s2.get_by_seqno(s)->hash());
+  }
+}
+
+TEST(CapsuleState, CheckHeartbeat) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  EXPECT_TRUE(state.check_heartbeat(w.heartbeat()).ok());  // empty attests name
+  Record r = w.append(to_bytes("x"), 0);
+  Heartbeat hb = w.heartbeat();
+  EXPECT_EQ(state.check_heartbeat(hb).code(), Errc::kNotFound);  // record not here yet
+  ASSERT_TRUE(state.ingest(r).ok());
+  EXPECT_TRUE(state.check_heartbeat(hb).ok());
+}
+
+TEST(CapsuleState, ExportRecordsOrdered) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(state.ingest(w.append(to_bytes("x"), i)).ok());
+  auto exported = state.export_records();
+  ASSERT_EQ(exported.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(exported[i].header.seqno, i + 1);
+}
+
+// ---- Proofs -------------------------------------------------------------------------
+
+class ProofTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProofTest, MembershipProofVerifies) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, strategy_from_id(GetParam()));
+  CapsuleState state(meta);
+  std::vector<Record> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(w.append(to_bytes("r" + std::to_string(i)), i));
+    ASSERT_TRUE(state.ingest(records.back()).ok());
+  }
+  Heartbeat hb = w.heartbeat();
+  for (std::size_t target : {0u, 10u, 25u, 48u, 49u}) {
+    auto proof = build_membership_proof(state, hb, records[target].hash());
+    ASSERT_TRUE(proof.ok()) << proof.error().to_string();
+    EXPECT_TRUE(verify_membership_proof(meta, hb, *proof, records[target].hash()).ok());
+  }
+}
+
+TEST_P(ProofTest, TamperedProofRejected) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, strategy_from_id(GetParam()));
+  CapsuleState state(meta);
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(w.append(to_bytes("r"), i));
+    ASSERT_TRUE(state.ingest(records.back()).ok());
+  }
+  Heartbeat hb = w.heartbeat();
+  auto proof = build_membership_proof(state, hb, records[5].hash());
+  ASSERT_TRUE(proof.ok());
+
+  // Wrong target.
+  EXPECT_FALSE(verify_membership_proof(meta, hb, *proof, records[6].hash()).ok());
+  // Mutated interior header.
+  MembershipProof bad = *proof;
+  bad.path[bad.path.size() / 2].timestamp_ns ^= 1;
+  EXPECT_FALSE(verify_membership_proof(meta, hb, bad, records[5].hash()).ok());
+  // Truncated path.
+  MembershipProof truncated = *proof;
+  truncated.path.pop_back();
+  EXPECT_FALSE(verify_membership_proof(meta, hb, truncated, records[5].hash()).ok());
+  // Heartbeat from a different (forged) writer.
+  Rng rng2(4242);
+  auto mallory = crypto::PrivateKey::generate(rng2);
+  Heartbeat forged = Heartbeat::make(meta.name(), hb.seqno, hb.record_hash, mallory);
+  EXPECT_FALSE(verify_membership_proof(meta, forged, *proof, records[5].hash()).ok());
+}
+
+TEST_P(ProofTest, RangeProofVerifies) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, strategy_from_id(GetParam()));
+  CapsuleState state(meta);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(state.ingest(w.append(to_bytes("p" + std::to_string(i)), i)).ok());
+  }
+  Heartbeat hb = w.heartbeat();
+  auto proof = build_range_proof(state, hb, 10, 20);
+  ASSERT_TRUE(proof.ok()) << proof.error().to_string();
+  EXPECT_TRUE(verify_range_proof(meta, hb, *proof, 10, 20).ok());
+  EXPECT_EQ(proof->records.size(), 11u);
+  EXPECT_EQ(to_string(proof->records.front().payload), "p9");
+
+  // Serialization round trip.
+  auto back = RangeProof::deserialize(proof->serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(verify_range_proof(meta, hb, *back, 10, 20).ok());
+
+  // Dropping a record breaks contiguity.
+  RangeProof bad = *proof;
+  bad.records.erase(bad.records.begin() + 3);
+  EXPECT_FALSE(verify_range_proof(meta, hb, bad, 10, 20).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ProofTest,
+                         ::testing::Values("chain", "skiplist", "checkpoint:8"));
+
+TEST(Proof, SkipListProofsAreLogarithmic) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer wc(f.make_metadata(WriterMode::kStrictSingleWriter, "chain-c"),
+            f.writer_key, make_chain_strategy());
+  Writer ws(meta, f.writer_key, make_skiplist_strategy());
+  CapsuleState chain_state(wc.metadata());
+  CapsuleState skip_state(meta);
+  Record first_chain = wc.append(to_bytes("r"), 0);
+  Record first_skip = ws.append(to_bytes("r"), 0);
+  ASSERT_TRUE(chain_state.ingest(first_chain).ok());
+  ASSERT_TRUE(skip_state.ingest(first_skip).ok());
+  for (int i = 1; i < 512; ++i) {
+    ASSERT_TRUE(chain_state.ingest(wc.append(to_bytes("r"), i)).ok());
+    ASSERT_TRUE(skip_state.ingest(ws.append(to_bytes("r"), i)).ok());
+  }
+  auto chain_proof = build_membership_proof(chain_state, wc.heartbeat(), first_chain.hash());
+  auto skip_proof = build_membership_proof(skip_state, ws.heartbeat(), first_skip.hash());
+  ASSERT_TRUE(chain_proof.ok());
+  ASSERT_TRUE(skip_proof.ok());
+  EXPECT_EQ(chain_proof->path.size(), 512u);       // O(n)
+  EXPECT_LE(skip_proof->path.size(), 2 * 9 + 2u);  // O(log n)
+}
+
+TEST(Proof, MembershipProofSerializationRoundTrip) {
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_skiplist_strategy());
+  CapsuleState state(meta);
+  RecordHash target;
+  for (int i = 0; i < 40; ++i) {
+    Record r = w.append(to_bytes("x"), i);
+    if (i == 7) target = r.hash();
+    ASSERT_TRUE(state.ingest(r).ok());
+  }
+  Heartbeat hb = w.heartbeat();
+  auto proof = build_membership_proof(state, hb, target);
+  ASSERT_TRUE(proof.ok());
+  auto back = MembershipProof::deserialize(proof->serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(verify_membership_proof(meta, hb, *back, target).ok());
+  EXPECT_EQ(back->size_bytes(), proof->size_bytes());
+}
+
+TEST(Proof, TimeShiftedProofsAgainstOldHeartbeats) {
+  // "Read queries can be verified against a particular state of the
+  // data-structure, identified by the 'heartbeat'" — including *old*
+  // states: a reader that captured a heartbeat at seqno k can keep
+  // verifying any record <= k forever, regardless of later growth.
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_skiplist_strategy());
+  CapsuleState state(meta);
+  std::vector<Record> records;
+  Heartbeat hb_at_10;
+  for (int i = 0; i < 30; ++i) {
+    records.push_back(w.append(to_bytes("r" + std::to_string(i)), i));
+    ASSERT_TRUE(state.ingest(records.back()).ok());
+    if (i == 9) hb_at_10 = w.heartbeat();
+  }
+  // Old heartbeat proves old records...
+  auto proof = build_membership_proof(state, hb_at_10, records[3].hash());
+  ASSERT_TRUE(proof.ok()) << proof.error().to_string();
+  EXPECT_TRUE(verify_membership_proof(meta, hb_at_10, *proof, records[3].hash()).ok());
+  auto range = build_range_proof(state, hb_at_10, 2, 9);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(verify_range_proof(meta, hb_at_10, *range, 2, 9).ok());
+  // ...but cannot attest records that did not exist yet.
+  EXPECT_FALSE(build_membership_proof(state, hb_at_10, records[20].hash()).ok());
+}
+
+TEST(Metadata, ManyExtraPairsRoundTrip) {
+  Fixture f;
+  std::map<std::string, std::string> extra;
+  for (int i = 0; i < 50; ++i) {
+    extra["app.key." + std::to_string(i)] = std::string(i, 'v');
+  }
+  auto m = Metadata::create(f.owner, f.writer_key.public_key(),
+                            WriterMode::kStrictSingleWriter, "big-meta", 0, extra);
+  ASSERT_TRUE(m.ok());
+  auto back = Metadata::deserialize(m->serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), m->name());
+  EXPECT_EQ(back->get("app.key.49"), std::string(49, 'v'));
+}
+
+TEST(Record, ImplausiblePointerCountRejected) {
+  // The deserializer bounds hash-pointer counts to stop memory bombs.
+  Fixture f;
+  Writer w = f.make_writer();
+  Record rec = w.append(to_bytes("x"), 0);
+  Bytes header = rec.header.serialize();
+  // Corrupt the ptr count varint (position: 1 version + 32 name + 1 seqno
+  // varint + 8 ts = offset 42).
+  header[42] = 0xff;
+  header.push_back(0x7f);  // extend into a huge varint
+  EXPECT_FALSE(RecordHeader::deserialize(header).ok());
+}
+
+TEST(CapsuleState, PointerSeqnoLieDetected) {
+  // A record whose hash-pointer claims the wrong seqno for its target is
+  // rejected even though the hash itself is genuine.
+  Fixture f;
+  Metadata meta = f.make_metadata();
+  Writer w(meta, f.writer_key, make_chain_strategy());
+  CapsuleState state(meta);
+  Record r1 = w.append(to_bytes("one"), 1);
+  ASSERT_TRUE(state.ingest(r1).ok());
+
+  Record forged;
+  forged.header.capsule_name = meta.name();
+  forged.header.seqno = 3;  // implies parent at seqno 2
+  forged.header.timestamp_ns = 0;
+  forged.header.ptrs = {HashPtr{2, r1.hash()}};  // lie: r1 is seqno 1
+  forged.payload = to_bytes("z");
+  forged.header.payload_len = 1;
+  forged.header.payload_hash = crypto::sha256(forged.payload);
+  crypto::Digest d;
+  auto h = forged.header.hash();
+  std::copy(h.raw().begin(), h.raw().end(), d.begin());
+  forged.writer_sig = f.writer_key.sign_digest(d);  // writer-signed, still bad
+  EXPECT_EQ(state.ingest(forged).code(), Errc::kVerificationFailed);
+}
+
+TEST(Proof, CannotProveAcrossBranches) {
+  Fixture f;
+  Metadata meta = f.make_metadata(WriterMode::kQuasiSingleWriter);
+  Writer a(meta, f.writer_key, make_chain_strategy());
+  Record r1 = a.append(to_bytes("base"), 1);
+  Bytes saved = a.save_state();
+  auto b = Writer::restore(meta, f.writer_key, make_chain_strategy(), saved);
+  ASSERT_TRUE(b.ok());
+  Record a2 = a.append(to_bytes("branch-a"), 2);
+  Record b2 = b->append(to_bytes("branch-b"), 2);
+
+  CapsuleState state(meta);
+  for (const Record& r : {r1, a2, b2}) ASSERT_TRUE(state.ingest(r).ok());
+  // Heartbeat at a2 cannot prove b2 (no pointer path between branches).
+  Heartbeat hb_a = a.heartbeat();
+  auto proof = build_membership_proof(state, hb_a, b2.hash());
+  EXPECT_EQ(proof.code(), Errc::kNotFound);
+  // But it can prove the common ancestor.
+  EXPECT_TRUE(build_membership_proof(state, hb_a, r1.hash()).ok());
+}
+
+}  // namespace
+}  // namespace gdp::capsule

@@ -1,0 +1,273 @@
+// Unit tests for the common substrate: bytes/hex, Result, varints, names,
+// the deterministic RNG and the simulated clock.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/varint.hpp"
+
+namespace gdp {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001deadbeefff");
+  auto back = hex_decode("0001deadbeefff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(Bytes, HexDecodeUpperCase) {
+  auto v = hex_decode("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(hex_encode(*v), "deadbeef");
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(Bytes, HexDecodeRejectsBadDigit) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  auto v = hex_decode("");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = to_bytes("secret");
+  Bytes b = to_bytes("secret");
+  Bytes c = to_bytes("secreT");
+  Bytes d = to_bytes("secre");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+TEST(Bytes, Concat) {
+  Bytes a = to_bytes("ab");
+  Bytes b = to_bytes("cd");
+  Bytes c = to_bytes("");
+  EXPECT_EQ(to_string(concat(a, b, c)), "abcd");
+}
+
+TEST(Bytes, StringRoundTrip) {
+  EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+}
+
+TEST(Result, OkValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), Errc::kOk);
+}
+
+TEST(Result, ErrorValue) {
+  Result<int> r = make_error(Errc::kNotFound, "no such record");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::kNotFound);
+  EXPECT_EQ(r.error().to_string(), "NOT_FOUND: no such record");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, Error) {
+  Status s = make_error(Errc::kExpired, "cert lapsed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kExpired);
+}
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error(Errc::kInvalidArgument, "not positive");
+  return v;
+}
+
+Result<int> doubled_positive(int v) {
+  GDP_ASSIGN_OR_RETURN(int x, parse_positive(v));
+  return x * 2;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto ok = doubled_positive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  auto bad = doubled_positive(-1);
+  EXPECT_EQ(bad.code(), Errc::kInvalidArgument);
+}
+
+TEST(Varint, RoundTripSmall) {
+  Bytes out;
+  put_varint(out, 0);
+  put_varint(out, 1);
+  put_varint(out, 127);
+  put_varint(out, 128);
+  put_varint(out, 300);
+  ByteReader r(out);
+  EXPECT_EQ(r.get_varint(), 0u);
+  EXPECT_EQ(r.get_varint(), 1u);
+  EXPECT_EQ(r.get_varint(), 127u);
+  EXPECT_EQ(r.get_varint(), 128u);
+  EXPECT_EQ(r.get_varint(), 300u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Varint, RoundTripLarge) {
+  Bytes out;
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  put_varint(out, kMax);
+  put_varint(out, kMax - 1);
+  ByteReader r(out);
+  EXPECT_EQ(r.get_varint(), kMax);
+  EXPECT_EQ(r.get_varint(), kMax - 1);
+}
+
+TEST(Varint, TruncatedFails) {
+  Bytes out;
+  put_varint(out, 1u << 20);
+  out.pop_back();
+  ByteReader r(out);
+  EXPECT_FALSE(r.get_varint().has_value());
+}
+
+TEST(Varint, Fixed64RoundTrip) {
+  Bytes out;
+  put_fixed64(out, 0x0123456789abcdefULL);
+  ByteReader r(out);
+  EXPECT_EQ(r.get_fixed64(), 0x0123456789abcdefULL);
+}
+
+TEST(Varint, Fixed32RoundTrip) {
+  Bytes out;
+  put_fixed32(out, 0xdeadbeef);
+  ByteReader r(out);
+  EXPECT_EQ(r.get_fixed32(), 0xdeadbeefu);
+}
+
+TEST(Varint, LengthPrefixedRoundTrip) {
+  Bytes out;
+  put_length_prefixed(out, to_bytes("hello"));
+  put_length_prefixed(out, Bytes{});
+  ByteReader r(out);
+  auto a = r.get_length_prefixed();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(to_string(*a), "hello");
+  auto b = r.get_length_prefixed();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->empty());
+}
+
+TEST(Varint, LengthPrefixedRejectsOverrun) {
+  Bytes out;
+  put_varint(out, 100);  // claims 100 bytes, provides none
+  ByteReader r(out);
+  EXPECT_FALSE(r.get_length_prefixed().has_value());
+}
+
+TEST(Name, FromBytesRequires32) {
+  EXPECT_FALSE(Name::from_bytes(Bytes(31)).has_value());
+  EXPECT_TRUE(Name::from_bytes(Bytes(32)).has_value());
+}
+
+TEST(Name, HexRoundTrip) {
+  Bytes raw(32);
+  for (int i = 0; i < 32; ++i) raw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  auto n = Name::from_bytes(raw);
+  ASSERT_TRUE(n.has_value());
+  auto back = Name::from_hex(n->hex());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*n, *back);
+  EXPECT_EQ(n->short_hex(), n->hex().substr(0, 8));
+}
+
+TEST(Name, ZeroDetection) {
+  Name zero;
+  EXPECT_TRUE(zero.is_zero());
+  Bytes raw(32);
+  raw[31] = 1;
+  EXPECT_FALSE(Name::from_bytes(raw)->is_zero());
+}
+
+TEST(Name, Ordering) {
+  Bytes lo(32), hi(32);
+  hi[0] = 1;
+  EXPECT_LT(*Name::from_bytes(lo), *Name::from_bytes(hi));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BytesLength) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_bytes(0).size(), 0u);
+  EXPECT_EQ(rng.next_bytes(7).size(), 7u);
+  EXPECT_EQ(rng.next_bytes(64).size(), 64u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(11);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(11);
+  parent2.fork();
+  EXPECT_EQ(child.next_u64(), Rng(Rng(11).next_u64()).next_u64());
+}
+
+TEST(Clock, SimClockAdvances) {
+  SimClock clk;
+  EXPECT_EQ(clk.now().count(), 0);
+  clk.advance(from_millis(5));
+  EXPECT_EQ(clk.now(), from_millis(5));
+  clk.advance_to(from_seconds(1.0));
+  EXPECT_EQ(to_seconds(clk.now()), 1.0);
+}
+
+TEST(Clock, ConversionHelpers) {
+  EXPECT_EQ(from_millis(1).count(), 1000000);
+  EXPECT_EQ(from_micros(1).count(), 1000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_millis(1500)), 1.5);
+}
+
+}  // namespace
+}  // namespace gdp

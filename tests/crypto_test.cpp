@@ -1,0 +1,551 @@
+// Tests for the crypto substrate: SHA-256 / HMAC against published test
+// vectors, ChaCha20 against the RFC 7539 block-function vector, the
+// secp256k1 arithmetic against a reference reduction and known points, and
+// ECDSA / ECDH end-to-end properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/u256.hpp"
+
+namespace gdp::crypto {
+namespace {
+
+std::string digest_hex(const Digest& d) {
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+// ---- SHA-256 (FIPS 180-4 vectors) ------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog etc etc");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, LengthBoundaryPadding) {
+  // Exercise messages around the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    Bytes msg(len, 0x5a);
+    Sha256 a;
+    a.update(msg);
+    Digest incremental = a.finish();
+    EXPECT_EQ(incremental, sha256(msg)) << "len=" << len;
+  }
+}
+
+// ---- HMAC-SHA256 (RFC 4231 vectors) ----------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(digest_hex(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  Bytes long_key(100, 0xaa);
+  Bytes data = to_bytes("payload");
+  // A key longer than the block size must behave like its SHA-256 digest.
+  Digest kd = sha256(long_key);
+  EXPECT_EQ(hmac_sha256(long_key, data),
+            hmac_sha256(BytesView(kd.data(), kd.size()), data));
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  Bytes key = to_bytes("session-key");
+  Bytes data = to_bytes("ack seqno=42");
+  Digest tag = hmac_sha256(key, data);
+  EXPECT_TRUE(hmac_verify(key, data, BytesView(tag.data(), tag.size())));
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, data, BytesView(tag.data(), tag.size())));
+  EXPECT_FALSE(hmac_verify(key, to_bytes("ack seqno=43"),
+                           BytesView(tag.data(), tag.size())));
+}
+
+TEST(Hmac, DeriveKeyLengthsAndDeterminism) {
+  Bytes ikm = to_bytes("input keying material");
+  Bytes k16 = derive_key(ikm, "label", 16);
+  Bytes k64 = derive_key(ikm, "label", 64);
+  EXPECT_EQ(k16.size(), 16u);
+  EXPECT_EQ(k64.size(), 64u);
+  EXPECT_EQ(Bytes(k64.begin(), k64.begin() + 16), k16);
+  EXPECT_NE(derive_key(ikm, "label2", 16), k16);
+  EXPECT_EQ(derive_key(ikm, "label", 16), k16);
+}
+
+// ---- ChaCha20 ---------------------------------------------------------------
+
+TEST(ChaCha20, Rfc7539BlockFunction) {
+  SymmetricKey key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  Nonce96 nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  // Keystream = encryption of zeros.
+  Bytes ks = chacha20_xor(key, nonce, 1, Bytes(64, 0));
+  EXPECT_EQ(hex_encode(BytesView(ks.data(), 16)),
+            "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  SymmetricKey key{};
+  key[0] = 0x42;
+  Nonce96 nonce{};
+  Bytes msg = to_bytes("attack at dawn, bring the capsules");
+  Bytes ct = chacha20_xor(key, nonce, 7, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 7, ct), msg);
+}
+
+TEST(ChaCha20, CounterContinuity) {
+  // Encrypting in one shot must equal encrypting 64-byte chunks with
+  // consecutive counters.
+  SymmetricKey key{};
+  key[5] = 9;
+  Nonce96 nonce{};
+  nonce[3] = 1;
+  Bytes msg(200, 0xab);
+  Bytes whole = chacha20_xor(key, nonce, 1, msg);
+  Bytes pieces;
+  for (std::size_t off = 0; off < msg.size(); off += 64) {
+    std::size_t n = std::min<std::size_t>(64, msg.size() - off);
+    Bytes part = chacha20_xor(key, nonce, static_cast<std::uint32_t>(1 + off / 64),
+                              BytesView(msg.data() + off, n));
+    append(pieces, part);
+  }
+  EXPECT_EQ(whole, pieces);
+}
+
+TEST(SecretBox, SealOpenRoundTrip) {
+  SymmetricKey key{};
+  key[1] = 0x11;
+  Nonce96 nonce{};
+  nonce[0] = 3;
+  Bytes msg = to_bytes("confidential record payload");
+  Bytes aad = to_bytes("capsule-name");
+  Bytes boxed = secretbox_seal(key, nonce, msg, aad);
+  auto opened = secretbox_open(key, boxed, aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(SecretBox, TamperDetected) {
+  SymmetricKey key{};
+  Nonce96 nonce{};
+  Bytes boxed = secretbox_seal(key, nonce, to_bytes("payload"));
+  for (std::size_t i = 0; i < boxed.size(); i += 7) {
+    Bytes tampered = boxed;
+    tampered[i] ^= 0x80;
+    EXPECT_FALSE(secretbox_open(key, tampered).has_value()) << "byte " << i;
+  }
+}
+
+TEST(SecretBox, WrongKeyOrAadFails) {
+  SymmetricKey key{};
+  SymmetricKey other{};
+  other[0] = 1;
+  Nonce96 nonce{};
+  Bytes boxed = secretbox_seal(key, nonce, to_bytes("data"), to_bytes("ctx"));
+  EXPECT_FALSE(secretbox_open(other, boxed, to_bytes("ctx")).has_value());
+  EXPECT_FALSE(secretbox_open(key, boxed, to_bytes("other-ctx")).has_value());
+  EXPECT_TRUE(secretbox_open(key, boxed, to_bytes("ctx")).has_value());
+}
+
+TEST(SecretBox, TooShortInputRejected) {
+  SymmetricKey key{};
+  EXPECT_FALSE(secretbox_open(key, Bytes(10)).has_value());
+}
+
+// ---- U256 arithmetic ---------------------------------------------------------
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Bytes raw = rng.next_bytes(32);
+    U256 v = U256::from_bytes_be(raw);
+    EXPECT_EQ(v.to_bytes_be(), raw);
+  }
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = U256::from_bytes_be(rng.next_bytes(32));
+    U256 b = U256::from_bytes_be(rng.next_bytes(32));
+    U256 sum, back;
+    std::uint64_t carry = add_carry(sum, a, b);
+    std::uint64_t borrow = sub_borrow(back, sum, b);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);  // overflow on add implies underflow on sub
+  }
+}
+
+TEST(U256, HighestBit) {
+  EXPECT_EQ(U256::zero().highest_bit(), -1);
+  EXPECT_EQ(U256::from_u64(1).highest_bit(), 0);
+  EXPECT_EQ(U256::from_u64(0x8000000000000000ULL).highest_bit(), 63);
+  U256 top{{0, 0, 0, 1}};
+  EXPECT_EQ(top.highest_bit(), 192);
+}
+
+TEST(U256, MulFullMatchesSmall) {
+  U256 a = U256::from_u64(0xFFFFFFFFFFFFFFFFULL);
+  U512 sq = mul_full(a, a);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(sq.w[0], 1u);
+  EXPECT_EQ(sq.w[1], 0xFFFFFFFFFFFFFFFEULL);
+  EXPECT_EQ(sq.w[2], 0u);
+}
+
+TEST(U256, ModGenericSmallCases) {
+  // 100 mod 7 = 2
+  U512 a = U512::from_u256(U256::from_u64(100));
+  EXPECT_EQ(mod_generic(a, U256::from_u64(7)), U256::from_u64(2));
+  // x mod 1 == 0
+  EXPECT_EQ(mod_generic(a, U256::from_u64(1)), U256::zero());
+}
+
+// Property: specialized field/scalar reductions agree with the reference
+// binary-division reduction on random 512-bit inputs.
+TEST(Secp256k1, FieldMulMatchesReference) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    U256 b = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    EXPECT_EQ(fp_mul(a, b), mod_generic(mul_full(a, b), secp_p()));
+  }
+}
+
+TEST(Secp256k1, ScalarMulMatchesReference) {
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_n());
+    U256 b = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_n());
+    EXPECT_EQ(sc_mul(a, b), mod_generic(mul_full(a, b), secp_n()));
+  }
+}
+
+TEST(Secp256k1, FieldInverse) {
+  Rng rng(44);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fp_mul(a, fp_inv(a)), U256::from_u64(1));
+  }
+}
+
+TEST(Secp256k1, ScalarInverse) {
+  Rng rng(45);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+    if (a.is_zero()) continue;
+    EXPECT_EQ(sc_mul(a, sc_inv(a)), U256::from_u64(1));
+  }
+}
+
+TEST(Secp256k1, AddSubNeg) {
+  Rng rng(46);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    U256 b = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    EXPECT_EQ(fp_sub(fp_add(a, b), b), a);
+    EXPECT_EQ(fp_add(a, fp_neg(a)), U256::zero());
+  }
+}
+
+// ---- Curve points ------------------------------------------------------------
+
+TEST(Secp256k1, GeneratorOnCurve) {
+  EXPECT_TRUE(secp_g().on_curve());
+}
+
+TEST(Secp256k1, TwoGKnownValue) {
+  AffinePoint two_g = point_double(secp_g());
+  EXPECT_EQ(hex_encode(two_g.x.to_bytes_be()),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(hex_encode(two_g.y.to_bytes_be()),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+  EXPECT_TRUE(two_g.on_curve());
+}
+
+TEST(Secp256k1, OrderAnnihilatesGenerator) {
+  EXPECT_TRUE(point_mul(secp_n(), secp_g()).infinity);
+}
+
+TEST(Secp256k1, OrderMinusOneIsNegG) {
+  U256 nm1;
+  sub_borrow(nm1, secp_n(), U256::from_u64(1));
+  AffinePoint p = point_mul(nm1, secp_g());
+  EXPECT_EQ(p, point_neg(secp_g()));
+}
+
+TEST(Secp256k1, AdditionIsConsistentWithScalarMul) {
+  // (a+b)G == aG + bG for random scalars.
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+    U256 b = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+    AffinePoint lhs = point_mul(sc_add(a, b), secp_g());
+    AffinePoint rhs = point_add(point_mul(a, secp_g()), point_mul(b, secp_g()));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Secp256k1, AddInverseGivesInfinity) {
+  AffinePoint g = secp_g();
+  EXPECT_TRUE(point_add(g, point_neg(g)).infinity);
+}
+
+TEST(Secp256k1, AddIdentity) {
+  AffinePoint inf = AffinePoint::at_infinity();
+  EXPECT_EQ(point_add(secp_g(), inf), secp_g());
+  EXPECT_EQ(point_add(inf, secp_g()), secp_g());
+  EXPECT_TRUE(point_add(inf, inf).infinity);
+}
+
+TEST(Secp256k1, AddEqualsDouble) {
+  EXPECT_EQ(point_add(secp_g(), secp_g()), point_double(secp_g()));
+}
+
+TEST(Secp256k1, EncodeDecodeRoundTrip) {
+  AffinePoint p = point_mul(U256::from_u64(12345), secp_g());
+  auto decoded = point_decode(point_encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(Secp256k1, DecodeRejectsOffCurve) {
+  Bytes bad(64, 0x01);
+  EXPECT_FALSE(point_decode(bad).has_value());
+  EXPECT_FALSE(point_decode(Bytes(63)).has_value());
+}
+
+TEST(Secp256k1, Mul2MatchesSeparateMuls) {
+  Rng rng(48);
+  U256 u1 = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  U256 u2 = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  AffinePoint q = point_mul(U256::from_u64(999), secp_g());
+  AffinePoint lhs = point_mul2(u1, u2, q);
+  AffinePoint rhs = point_add(point_mul(u1, secp_g()), point_mul(u2, q));
+  EXPECT_EQ(lhs, rhs);
+}
+
+// ---- ECDSA -------------------------------------------------------------------
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Rng rng(100);
+  PrivateKey key = PrivateKey::generate(rng);
+  Bytes msg = to_bytes("record 17 contents");
+  Signature sig = key.sign(msg);
+  EXPECT_TRUE(key.public_key().verify(msg, sig));
+}
+
+TEST(Ecdsa, WrongMessageRejected) {
+  Rng rng(101);
+  PrivateKey key = PrivateKey::generate(rng);
+  Signature sig = key.sign(to_bytes("original"));
+  EXPECT_FALSE(key.public_key().verify(to_bytes("tampered"), sig));
+}
+
+TEST(Ecdsa, WrongKeyRejected) {
+  Rng rng(102);
+  PrivateKey key1 = PrivateKey::generate(rng);
+  PrivateKey key2 = PrivateKey::generate(rng);
+  Bytes msg = to_bytes("message");
+  EXPECT_FALSE(key2.public_key().verify(msg, key1.sign(msg)));
+}
+
+TEST(Ecdsa, TamperedSignatureRejected) {
+  Rng rng(103);
+  PrivateKey key = PrivateKey::generate(rng);
+  Bytes msg = to_bytes("message");
+  Signature sig = key.sign(msg);
+  Bytes enc = sig.encode();
+  for (std::size_t i = 0; i < enc.size(); i += 13) {
+    Bytes bad = enc;
+    bad[i] ^= 1;
+    auto decoded = Signature::decode(bad);
+    if (!decoded) continue;  // flip may push r/s out of range: also a reject
+    EXPECT_FALSE(key.public_key().verify(msg, *decoded)) << "byte " << i;
+  }
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  Rng rng(104);
+  PrivateKey key = PrivateKey::generate(rng);
+  Bytes msg = to_bytes("same message");
+  EXPECT_EQ(key.sign(msg), key.sign(msg));
+}
+
+TEST(Ecdsa, SignatureEncodingRoundTrip) {
+  Rng rng(105);
+  PrivateKey key = PrivateKey::generate(rng);
+  Signature sig = key.sign(to_bytes("x"));
+  auto decoded = Signature::decode(sig.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sig);
+}
+
+TEST(Ecdsa, PrivateKeySerializationRoundTrip) {
+  Rng rng(106);
+  PrivateKey key = PrivateKey::generate(rng);
+  auto restored = PrivateKey::from_bytes(key.to_bytes());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->public_key().encode(), key.public_key().encode());
+  Bytes msg = to_bytes("signed by restored key");
+  EXPECT_TRUE(key.public_key().verify(msg, restored->sign(msg)));
+}
+
+TEST(Ecdsa, RejectsZeroAndOverflowScalars) {
+  EXPECT_FALSE(PrivateKey::from_bytes(Bytes(32, 0)).has_value());
+  EXPECT_FALSE(PrivateKey::from_bytes(Bytes(32, 0xff)).has_value());
+  EXPECT_FALSE(PrivateKey::from_bytes(Bytes(16)).has_value());
+}
+
+TEST(Ecdsa, PublicKeyFingerprintStable) {
+  Rng rng(107);
+  PrivateKey key = PrivateKey::generate(rng);
+  EXPECT_EQ(key.public_key().fingerprint(), key.public_key().fingerprint());
+  PrivateKey other = PrivateKey::generate(rng);
+  EXPECT_NE(key.public_key().fingerprint(), other.public_key().fingerprint());
+}
+
+TEST(Ecdsa, PublicKeyDecodeRejectsGarbage) {
+  EXPECT_FALSE(PublicKey::decode(Bytes(64, 0x5a)).has_value());
+}
+
+TEST(Ecdsa, ManyKeysSignVerify) {
+  Rng rng(108);
+  for (int i = 0; i < 8; ++i) {
+    PrivateKey key = PrivateKey::generate(rng);
+    Bytes msg = rng.next_bytes(100);
+    EXPECT_TRUE(key.public_key().verify(msg, key.sign(msg)));
+  }
+}
+
+TEST(Ecdsa, MalleabilityIsHarmlessToRecordIdentity) {
+  // Standard ECDSA accepts both (r, s) and (r, n-s).  The GDP does not
+  // rely on signature uniqueness anywhere: record identity is the hash of
+  // the *header* (which excludes the signature), so a malleated signature
+  // cannot create a "different" record.
+  Rng rng(300);
+  PrivateKey key = PrivateKey::generate(rng);
+  Bytes msg = to_bytes("m");
+  Signature sig = key.sign(msg);
+  Signature flipped{sig.r, sc_neg(sig.s)};
+  EXPECT_TRUE(key.public_key().verify(msg, flipped));
+  EXPECT_NE(flipped, sig);
+}
+
+TEST(Secp256k1, ScalarReduceWrapsValuesAboveN) {
+  // n + 5 must reduce to 5.
+  U256 five = U256::from_u64(5);
+  U256 n_plus_5;
+  add_carry(n_plus_5, secp_n(), five);
+  EXPECT_EQ(sc_reduce(n_plus_5), five);
+  // And the all-ones value matches the reference reduction.
+  U256 ones{{~0ULL, ~0ULL, ~0ULL, ~0ULL}};
+  EXPECT_EQ(sc_reduce(ones), mod_generic(U512::from_u256(ones), secp_n()));
+}
+
+TEST(Secp256k1, FieldEdgeValues) {
+  EXPECT_EQ(fp_neg(U256::zero()), U256::zero());
+  EXPECT_EQ(fp_inv(U256::from_u64(1)), U256::from_u64(1));
+  EXPECT_EQ(sc_inv(U256::from_u64(1)), U256::from_u64(1));
+  // p - 1 is its own inverse? (p-1)^2 = p^2 - 2p + 1 ≡ 1 mod p.
+  U256 pm1;
+  sub_borrow(pm1, secp_p(), U256::from_u64(1));
+  EXPECT_EQ(fp_mul(pm1, pm1), U256::from_u64(1));
+}
+
+TEST(Ecdsa, SignatureDecodeRejectsZeroAndOverflow) {
+  Bytes zeros(64, 0);
+  EXPECT_FALSE(Signature::decode(zeros).has_value());
+  Bytes all_ff(64, 0xff);  // r, s >= n
+  EXPECT_FALSE(Signature::decode(all_ff).has_value());
+  Rng rng(301);
+  PrivateKey key = PrivateKey::generate(rng);
+  Signature good = key.sign(to_bytes("m"));
+  // Valid r paired with zero s still rejected.
+  Bytes mixed = good.r.to_bytes_be();
+  append(mixed, Bytes(32, 0));
+  EXPECT_FALSE(Signature::decode(mixed).has_value());
+}
+
+TEST(Secp256k1, GeneratorEncodeDecode) {
+  auto decoded = point_decode(point_encode(secp_g()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, secp_g());
+}
+
+// ---- ECDH --------------------------------------------------------------------
+
+TEST(Ecdh, SharedKeySymmetric) {
+  Rng rng(200);
+  PrivateKey a = PrivateKey::generate(rng);
+  PrivateKey b = PrivateKey::generate(rng);
+  EXPECT_EQ(ecdh_shared_key(a, b.public_key()), ecdh_shared_key(b, a.public_key()));
+}
+
+TEST(Ecdh, DistinctPairsDistinctKeys) {
+  Rng rng(201);
+  PrivateKey a = PrivateKey::generate(rng);
+  PrivateKey b = PrivateKey::generate(rng);
+  PrivateKey c = PrivateKey::generate(rng);
+  EXPECT_NE(ecdh_shared_key(a, b.public_key()), ecdh_shared_key(a, c.public_key()));
+}
+
+TEST(Ecdh, DrivesSecretBox) {
+  // End-to-end: ECDH-derived key seals and opens a payload.
+  Rng rng(202);
+  PrivateKey client = PrivateKey::generate(rng);
+  PrivateKey server = PrivateKey::generate(rng);
+  SymmetricKey k = ecdh_shared_key(client, server.public_key());
+  Nonce96 nonce{};
+  Bytes boxed = secretbox_seal(k, nonce, to_bytes("session payload"));
+  SymmetricKey k2 = ecdh_shared_key(server, client.public_key());
+  auto opened = secretbox_open(k2, boxed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "session payload");
+}
+
+}  // namespace
+}  // namespace gdp::crypto

@@ -1,0 +1,330 @@
+// Tests for the discrete-event simulator, the link layer, and PDU framing.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "wire/messages.hpp"
+#include "wire/pdu.hpp"
+
+namespace gdp::net {
+namespace {
+
+Name name_of(std::uint8_t tag) {
+  Bytes raw(32, tag);
+  return *Name::from_bytes(raw);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(from_millis(30), [&] { order.push_back(3); });
+  sim.schedule(from_millis(10), [&] { order.push_back(1); });
+  sim.schedule(from_millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), from_millis(30));
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(from_millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(from_millis(1), [&] {
+    ++fired;
+    sim.schedule(from_millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), from_millis(2));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(from_millis(5), [&] { ++fired; });
+  sim.schedule(from_millis(15), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(from_millis(10)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), from_millis(10));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Pdu, SerializationRoundTrip) {
+  wire::Pdu pdu;
+  pdu.dst = name_of(1);
+  pdu.src = name_of(2);
+  pdu.type = wire::MsgType::kRead;
+  pdu.flow_id = 0xdeadbeefcafef00dULL;
+  pdu.ttl = 7;
+  pdu.payload = to_bytes("payload bytes");
+  auto back = wire::Pdu::deserialize(pdu.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->dst, pdu.dst);
+  EXPECT_EQ(back->src, pdu.src);
+  EXPECT_EQ(back->type, pdu.type);
+  EXPECT_EQ(back->flow_id, pdu.flow_id);
+  EXPECT_EQ(back->ttl, pdu.ttl);
+  EXPECT_EQ(back->payload, pdu.payload);
+  EXPECT_EQ(pdu.wire_size(), pdu.serialize().size());
+}
+
+TEST(Pdu, RejectsTruncatedAndTrailing) {
+  wire::Pdu pdu;
+  pdu.payload = to_bytes("x");
+  Bytes wire = pdu.serialize();
+  wire.pop_back();
+  EXPECT_FALSE(wire::Pdu::deserialize(wire).ok());
+  wire.push_back('x');
+  wire.push_back('y');
+  EXPECT_FALSE(wire::Pdu::deserialize(wire).ok());
+}
+
+TEST(Pdu, RejectsUnknownType) {
+  wire::Pdu pdu;
+  Bytes wire = pdu.serialize();
+  wire[64] = 0xff;  // type low byte
+  wire[65] = 0xff;
+  EXPECT_FALSE(wire::Pdu::deserialize(wire).ok());
+}
+
+class Collector : public PduHandler {
+ public:
+  void on_pdu(const Name& from, const wire::Pdu& pdu) override {
+    received.emplace_back(from, pdu);
+  }
+  std::vector<std::pair<Name, wire::Pdu>> received;
+};
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim;
+  Network net(sim);
+  Collector a, b;
+  net.attach(name_of(1), &a);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams{from_millis(5), 1e9, 0.0});
+
+  wire::Pdu pdu;
+  pdu.dst = name_of(2);
+  pdu.src = name_of(1);
+  pdu.type = wire::MsgType::kBenchData;
+  net.send(name_of(1), name_of(2), pdu);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, name_of(1));
+  // latency + (79 bytes * 8 / 1e9) s
+  EXPECT_GE(sim.now(), from_millis(5));
+  EXPECT_LT(sim.now(), from_millis(6));
+}
+
+TEST(Network, BandwidthSerializesTransmissions) {
+  Simulator sim;
+  Network net(sim);
+  Collector b;
+  net.attach(name_of(1), &b);
+  net.attach(name_of(2), &b);
+  // 1 Mbps, zero latency: a 10'000-byte payload takes ~80 ms on the wire.
+  net.connect(name_of(1), name_of(2), LinkParams{Duration{0}, 1e6, 0.0});
+  for (int i = 0; i < 3; ++i) {
+    wire::Pdu pdu;
+    pdu.dst = name_of(2);
+    pdu.src = name_of(1);
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.payload = Bytes(10000, 0xaa);
+    net.send(name_of(1), name_of(2), pdu);
+  }
+  sim.run();
+  EXPECT_EQ(b.received.size(), 3u);
+  // Three back-to-back serializations, not parallel: ~3 * 80 ms.
+  double seconds = to_seconds(sim.now());
+  EXPECT_NEAR(seconds, 3 * 10079 * 8 / 1e6, 0.01);
+}
+
+TEST(Network, LossDropsSomePdus) {
+  Simulator sim;
+  Network net(sim);
+  Collector b;
+  net.attach(name_of(1), &b);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams{from_micros(1), 1e9, 0.5});
+  for (int i = 0; i < 200; ++i) {
+    wire::Pdu pdu;
+    pdu.dst = name_of(2);
+    pdu.src = name_of(1);
+    pdu.type = wire::MsgType::kBenchData;
+    net.send(name_of(1), name_of(2), pdu);
+  }
+  sim.run();
+  EXPECT_GT(b.received.size(), 50u);
+  EXPECT_LT(b.received.size(), 150u);
+  EXPECT_EQ(b.received.size() + net.pdus_dropped(), 200u);
+}
+
+TEST(Network, SendToNonNeighborDropped) {
+  Simulator sim;
+  Network net(sim);
+  Collector a;
+  net.attach(name_of(1), &a);
+  net.attach(name_of(2), &a);
+  wire::Pdu pdu;
+  pdu.dst = name_of(2);
+  net.send(name_of(1), name_of(2), pdu);  // no link
+  sim.run();
+  EXPECT_EQ(net.pdus_dropped(), 1u);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Network, DetachedNodeDropsDelivery) {
+  Simulator sim;
+  Network net(sim);
+  Collector a, b;
+  net.attach(name_of(1), &a);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams::lan());
+  wire::Pdu pdu;
+  pdu.dst = name_of(2);
+  net.send(name_of(1), name_of(2), pdu);
+  net.detach(name_of(2));  // crash before delivery
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.pdus_dropped(), 1u);
+}
+
+TEST(Network, InterceptorCanDropAndTamper) {
+  Simulator sim;
+  Network net(sim);
+  Collector b;
+  net.attach(name_of(1), &b);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams::lan());
+
+  int seen = 0;
+  net.set_interceptor(name_of(1), name_of(2),
+                      [&](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+                        ++seen;
+                        if (seen == 1) return std::nullopt;  // drop first
+                        wire::Pdu mutated = pdu;
+                        mutated.payload = to_bytes("tampered");
+                        return mutated;
+                      });
+  for (int i = 0; i < 2; ++i) {
+    wire::Pdu pdu;
+    pdu.dst = name_of(2);
+    pdu.src = name_of(1);
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.payload = to_bytes("genuine");
+    net.send(name_of(1), name_of(2), pdu);
+  }
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(to_string(b.received[0].second.payload), "tampered");
+  net.clear_interceptor(name_of(1), name_of(2));
+}
+
+TEST(Network, AsymmetricResidentialLink) {
+  Simulator sim;
+  Network net(sim);
+  Collector a, b;
+  net.attach(name_of(1), &a);  // home client
+  net.attach(name_of(2), &b);  // ISP edge
+  net.connect_asymmetric(name_of(1), name_of(2),
+                         net::LinkParams::residential_up(),     // 10 Mbps up
+                         net::LinkParams::residential_down());  // 100 Mbps down
+  wire::Pdu up;
+  up.dst = name_of(2);
+  up.src = name_of(1);
+  up.type = wire::MsgType::kBenchData;
+  up.payload = Bytes(1'000'000, 1);
+  net.send(name_of(1), name_of(2), up);
+  sim.run();
+  double upload_s = to_seconds(sim.now());
+  EXPECT_NEAR(upload_s, 1e6 * 8 / 10e6 + 0.01, 0.05);  // ~0.81 s
+
+  wire::Pdu down = up;
+  down.dst = name_of(1);
+  down.src = name_of(2);
+  TimePoint start = sim.now();
+  net.send(name_of(2), name_of(1), down);
+  sim.run();
+  double download_s = to_seconds(sim.now() - start);
+  EXPECT_NEAR(download_s, 1e6 * 8 / 100e6 + 0.01, 0.02);  // ~0.09 s
+  EXPECT_GT(upload_s, 5 * download_s);
+}
+
+// Message round-trips (spot checks; full coverage via integration tests).
+TEST(Messages, AppendRoundTrip) {
+  wire::AppendMsg msg;
+  msg.capsule = name_of(9);
+  msg.required_acks = 3;
+  msg.nonce = 77;
+  msg.record.header.capsule_name = name_of(9);
+  msg.record.header.seqno = 1;
+  msg.record.header.ptrs.push_back(capsule::HashPtr{0, name_of(9)});
+  msg.record.payload = to_bytes("p");
+  msg.record.header.payload_len = 1;
+  msg.record.header.payload_hash = crypto::sha256(msg.record.payload);
+  msg.record.writer_sig.r = crypto::U256::from_u64(1);
+  msg.record.writer_sig.s = crypto::U256::from_u64(1);
+  auto back = wire::AppendMsg::deserialize(msg.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->capsule, msg.capsule);
+  EXPECT_EQ(back->required_acks, 3u);
+  EXPECT_EQ(back->record, msg.record);
+}
+
+TEST(Messages, StatusRoundTrip) {
+  wire::StatusMsg msg;
+  msg.ok = false;
+  msg.code = 7;
+  msg.message = "nope";
+  msg.nonce = 123;
+  auto back = wire::StatusMsg::deserialize(msg.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ok, false);
+  EXPECT_EQ(back->code, 7);
+  EXPECT_EQ(back->message, "nope");
+  EXPECT_EQ(back->nonce, 123u);
+}
+
+TEST(Messages, LookupReplyRoundTrip) {
+  wire::LookupReplyMsg msg;
+  msg.found = true;
+  msg.target = name_of(3);
+  msg.attachment_router = name_of(4);
+  msg.next_hop = name_of(5);
+  msg.cost_us = 420;
+  msg.nonce = 9;
+  msg.evidence = to_bytes("evidence");
+  msg.principal = to_bytes("principal");
+  auto back = wire::LookupReplyMsg::deserialize(msg.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->found);
+  EXPECT_EQ(back->next_hop, name_of(5));
+  EXPECT_EQ(back->cost_us, 420u);
+  EXPECT_EQ(to_string(back->evidence), "evidence");
+}
+
+TEST(Messages, TruncationRejected) {
+  wire::SyncPullMsg msg;
+  msg.capsule = name_of(1);
+  msg.tip_seqno = 5;
+  msg.holes = {name_of(2), name_of(3)};
+  Bytes wire_bytes = msg.serialize();
+  for (std::size_t cut = 0; cut < wire_bytes.size(); cut += 11) {
+    EXPECT_FALSE(wire::SyncPullMsg::deserialize(
+                     BytesView(wire_bytes.data(), cut))
+                     .ok())
+        << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace gdp::net

@@ -1,0 +1,292 @@
+// Unit tests for the routing fabric: the topology database, the
+// GLookupService hierarchy, and GDP-router behaviours that the end-to-end
+// integration tests do not isolate.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "router/topology.hpp"
+
+namespace gdp::router {
+namespace {
+
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+Name name_of(std::uint8_t tag) {
+  Bytes raw(32, tag);
+  return *Name::from_bytes(raw);
+}
+
+TEST(Topology, ShortestPathNextHop) {
+  Topology topo;
+  Name dom = name_of(100);
+  for (std::uint8_t i = 1; i <= 5; ++i) topo.add_router(name_of(i), dom);
+  // 1 -2- 2 -2- 3    and a slow direct edge 1 -10- 3
+  topo.add_link(name_of(1), name_of(2), 2);
+  topo.add_link(name_of(2), name_of(3), 2);
+  topo.add_link(name_of(1), name_of(3), 10);
+  auto route = topo.route(name_of(1), name_of(3));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->first, name_of(2));  // via the cheap path
+  EXPECT_EQ(route->second, 4u);
+
+  auto direct = topo.route(name_of(1), name_of(2));
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->first, name_of(2));
+  EXPECT_EQ(direct->second, 2u);
+}
+
+TEST(Topology, UnreachableReturnsNullopt) {
+  Topology topo;
+  topo.add_router(name_of(1), name_of(100));
+  topo.add_router(name_of(2), name_of(100));
+  EXPECT_FALSE(topo.route(name_of(1), name_of(2)).has_value());
+  EXPECT_FALSE(topo.route(name_of(1), name_of(9)).has_value());
+}
+
+TEST(Topology, SelfRouteIsZeroCost) {
+  Topology topo;
+  topo.add_router(name_of(1), name_of(100));
+  auto r = topo.route(name_of(1), name_of(1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 0u);
+}
+
+TEST(Topology, DomainLookup) {
+  Topology topo;
+  topo.add_router(name_of(1), name_of(100));
+  EXPECT_EQ(topo.domain_of(name_of(1)), name_of(100));
+  EXPECT_TRUE(topo.domain_of(name_of(2)).is_zero());
+}
+
+TEST(Topology, CacheInvalidatedByNewLinks) {
+  Topology topo;
+  Name dom = name_of(100);
+  for (std::uint8_t i = 1; i <= 3; ++i) topo.add_router(name_of(i), dom);
+  topo.add_link(name_of(1), name_of(2), 5);
+  topo.add_link(name_of(2), name_of(3), 5);
+  ASSERT_EQ(topo.route(name_of(1), name_of(3))->second, 10u);
+  topo.add_link(name_of(1), name_of(3), 3);  // new shortcut
+  EXPECT_EQ(topo.route(name_of(1), name_of(3))->second, 3u);
+}
+
+TEST(GLookup, RegistersOnlyVerifiableEntries) {
+  Scenario s(50, "glookup");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* owner_client = s.add_client("owner", r1);
+  s.attach_all();
+
+  CapsuleSetup setup = make_capsule(s.key_rng(), "looked-up");
+  ASSERT_TRUE(place_capsule(s, setup, *owner_client, {srv}).ok());
+  // Registered by the advertisement pipeline (capsule + server + clients).
+  EXPECT_GE(root->entry_count(), 3u);
+  EXPECT_EQ(root->lookup_local(setup.metadata.name()).size(), 1u);
+
+  // A fabricated entry without evidence is rejected.
+  GLookupService::Entry bogus;
+  bogus.target = name_of(42);
+  bogus.attachment_router = r1->name();
+  bogus.principal = to_bytes("not a principal");
+  bogus.expires_ns = (s.sim().now() + from_seconds(100)).count();
+  EXPECT_FALSE(root->register_entry(bogus).ok());
+  EXPECT_TRUE(root->lookup_local(name_of(42)).empty());
+}
+
+TEST(GLookup, ExpiredEntriesNotServed) {
+  Scenario s(51, "expiry");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* owner_client = s.add_client("owner", r1);
+  s.attach_all();
+  CapsuleSetup setup = make_capsule(s.key_rng(), "short-lived");
+  ASSERT_TRUE(place_capsule(s, setup, *owner_client, {srv}).ok());
+  ASSERT_EQ(root->lookup_local(setup.metadata.name()).size(), 1u);
+  // Jump past the advertisement lifetime (24 h by default).
+  s.sim().run_until(s.sim().now() + from_seconds(25 * 3600));
+  EXPECT_TRUE(root->lookup_local(setup.metadata.name()).empty());
+}
+
+TEST(GLookup, AnycastPrefersCheaperAttachment) {
+  Scenario s(52, "anycast");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  auto* r3 = s.add_router("r3", root);
+  s.link_routers(r1, r2, net::LinkParams::wan(2));    // cheap
+  s.link_routers(r1, r3, net::LinkParams::wan(200));  // expensive
+  auto* near_srv = s.add_server("near", r2);
+  auto* far_srv = s.add_server("far", r3);
+  auto* owner_client = s.add_client("owner", r1);
+  s.attach_all();
+
+  CapsuleSetup setup = make_capsule(s.key_rng(), "anycasted");
+  ASSERT_TRUE(place_capsule(s, setup, *owner_client, {near_srv, far_srv}).ok());
+  ASSERT_EQ(root->lookup_local(setup.metadata.name()).size(), 2u);
+
+  capsule::Writer writer = setup.make_writer();
+  auto outcome = client::await(
+      s.sim(), owner_client->append(writer, to_bytes("hello")));
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  s.settle();
+  // The request went to the nearer replica; the far one got it only via
+  // background replication.
+  EXPECT_EQ(near_srv->appends_accepted(), 1u);
+  EXPECT_EQ(far_srv->appends_accepted(), 0u);
+}
+
+TEST(Router, ForwardsOnlyAfterAdvertisement) {
+  Scenario s(53, "noroute");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* owner_client = s.add_client("owner", r1);
+  s.attach_all();
+
+  // Reading a never-advertised capsule name times out cleanly.
+  CapsuleSetup setup = make_capsule(s.key_rng(), "ghost");
+  auto read = client::await(s.sim(), owner_client->read_latest(setup.metadata));
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), Errc::kUnavailable);
+  EXPECT_FALSE(r1->has_route(setup.metadata.name()));
+}
+
+TEST(Router, AdvertisementInstallsRoutesAndRegistrations) {
+  Scenario s(54, "challenge");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  s.attach_all();
+  ASSERT_TRUE(srv->attached());
+  EXPECT_TRUE(r1->has_route(srv->name()));
+  // The principal is registered with the lookup service as well.
+  EXPECT_EQ(root->lookup_local(srv->name()).size(), 1u);
+}
+
+TEST(Router, UnroutablePduDroppedNotLooped) {
+  Scenario s(55, "ttl");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  s.link_routers(r1, r2, net::LinkParams::lan());
+  s.attach_all();
+
+  wire::Pdu pdu;
+  pdu.dst = name_of(99);
+  pdu.src = name_of(98);
+  pdu.type = wire::MsgType::kBenchData;
+  pdu.ttl = 8;
+  s.net().send(r2->name(), r1->name(), pdu);
+  s.settle();
+  EXPECT_GE(r1->pdus_dropped() + r2->pdus_dropped(), 1u);
+}
+
+TEST(GLookup, ParentEscalationStatsAndCaching) {
+  Scenario s(56, "cache");
+  auto* global = s.add_domain("global", nullptr);
+  auto* dom_a = s.add_domain("a", global);
+  auto* dom_b = s.add_domain("b", global);
+  auto* ra = s.add_router("ra", dom_a);
+  auto* rb = s.add_router("rb", dom_b);
+  s.link_routers(ra, rb, net::LinkParams::wan(10));
+  auto* srv = s.add_server("srv", rb);
+  auto* reader = s.add_client("reader", ra);
+  auto* writer_client = s.add_client("writer", rb);
+  s.attach_all();
+
+  CapsuleSetup setup = make_capsule(s.key_rng(), "cached-name");
+  ASSERT_TRUE(place_capsule(s, setup, *writer_client, {srv}).ok());
+  capsule::Writer writer = setup.make_writer();
+  ASSERT_TRUE(client::await(s.sim(), writer_client->append(writer, to_bytes("x"))).ok());
+
+  // First read from domain A escalates; the result is cached locally.
+  ASSERT_TRUE(client::await(s.sim(), reader->read_latest(setup.metadata)).ok());
+  std::uint64_t escalated = dom_a->queries_escalated();
+  EXPECT_GT(escalated, 0u);
+  EXPECT_GE(dom_a->lookup_local(setup.metadata.name()).size(), 1u);
+}
+
+TEST(Router, LinkDownWithdrawsRoutesAndAnycastFailsOver) {
+  Scenario s(57, "failover");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* primary = s.add_server("primary", r1);
+  auto* backup = s.add_server("backup", r2);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+
+  CapsuleSetup cap = make_capsule(s.key_rng(), "failover-capsule");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {primary, backup}).ok());
+  capsule::Writer w = cap.make_writer();
+  ASSERT_TRUE(client::await(s.sim(), cli->append(w, to_bytes("v"))).ok());
+  s.settle();  // replicate to the backup
+  ASSERT_TRUE(r1->has_route(cap.metadata.name()));
+  ASSERT_EQ(root->lookup_local(cap.metadata.name()).size(), 2u);
+
+  // Primary dies; its router withdraws the direct route + registration.
+  s.crash(*primary);
+  EXPECT_FALSE(r1->has_route(cap.metadata.name()));
+  EXPECT_FALSE(r1->has_route(primary->name()));
+  EXPECT_EQ(root->lookup_local(cap.metadata.name()).size(), 1u);
+  EXPECT_EQ(root->lookup_local(cap.metadata.name())[0]->attachment_router,
+            r2->name());
+
+  // The very next read resolves to the surviving replica and verifies.
+  auto read = client::await(s.sim(), cli->read_latest(cap.metadata));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(to_string(read->records[0].payload), "v");
+  EXPECT_GE(backup->reads_served(), 1u);
+}
+
+TEST(Router, ScalesToManyCapsulesPerServer) {
+  // One server advertising a large catalog: every name must verify,
+  // install, register and resolve.  (The paper's utility model expects
+  // servers hosting many tenants' capsules.)
+  Scenario s(58, "scale");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+
+  constexpr int kCapsules = 64;
+  std::vector<CapsuleSetup> caps;
+  caps.reserve(kCapsules);
+  for (int i = 0; i < kCapsules; ++i) {
+    caps.push_back(make_capsule(s.key_rng(), "tenant-" + std::to_string(i)));
+  }
+  // Place all of them (each create triggers a re-advertisement of the
+  // whole, growing catalog — the stress).
+  std::vector<client::OpPtr<bool>> ops;
+  const TimePoint now = s.sim().now();
+  const TimePoint expiry = now + from_seconds(1e6);
+  for (const CapsuleSetup& cap : caps) {
+    ops.push_back(cli->create_capsule(
+        srv->name(), cap.metadata,
+        cap.delegation_for(srv->principal(), now, expiry), {}));
+  }
+  s.settle();
+  for (auto& op : ops) {
+    auto placed = client::await(s.sim(), op);
+    ASSERT_TRUE(placed.ok()) << placed.error().to_string();
+  }
+  EXPECT_EQ(r1->advertisements_rejected(), 0u);
+  // Every tenant capsule resolves and serves.
+  Rng pick(58);
+  for (int i = 0; i < 8; ++i) {
+    const CapsuleSetup& cap = caps[pick.next_below(caps.size())];
+    capsule::Writer w = cap.make_writer();
+    ASSERT_TRUE(client::await(s.sim(), cli->append(w, to_bytes("x"))).ok());
+    auto read = client::await(s.sim(), cli->read_latest(cap.metadata));
+    ASSERT_TRUE(read.ok()) << read.error().to_string();
+  }
+  EXPECT_GE(root->entry_count(), static_cast<std::size_t>(kCapsules));
+}
+
+}  // namespace
+}  // namespace gdp::router

@@ -1,0 +1,526 @@
+// Security-focused suites: payload confidentiality (sealed records),
+// quasi-single-writer branching end to end, and additional adversarial
+// scenarios against the full stack.
+#include <gtest/gtest.h>
+
+#include "capsule/entangle.hpp"
+#include "capsule/sealed.hpp"
+#include "capsule/strategy.hpp"
+#include "harness/scenario.hpp"
+
+namespace gdp {
+namespace {
+
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+// ---- Sealed payloads (unit) ----------------------------------------------------
+
+TEST(Sealed, RoundTrip) {
+  capsule::ReadKey key = capsule::make_read_key(to_bytes("entropy"));
+  Name cap = *Name::from_bytes(Bytes(32, 0x11));
+  Bytes sealed = capsule::seal_payload(key, cap, 7, to_bytes("secret reading"));
+  EXPECT_EQ(to_string(sealed).find("secret"), std::string::npos);
+  auto opened = capsule::open_payload(key, cap, 7, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "secret reading");
+}
+
+TEST(Sealed, WrongKeyCapsuleOrSeqnoFails) {
+  capsule::ReadKey key = capsule::make_read_key(to_bytes("entropy"));
+  capsule::ReadKey other = capsule::make_read_key(to_bytes("different"));
+  Name cap_a = *Name::from_bytes(Bytes(32, 0x11));
+  Name cap_b = *Name::from_bytes(Bytes(32, 0x22));
+  Bytes sealed = capsule::seal_payload(key, cap_a, 7, to_bytes("x"));
+  EXPECT_FALSE(capsule::open_payload(other, cap_a, 7, sealed).has_value());
+  EXPECT_FALSE(capsule::open_payload(key, cap_b, 7, sealed).has_value());
+  EXPECT_FALSE(capsule::open_payload(key, cap_a, 8, sealed).has_value());
+  EXPECT_TRUE(capsule::open_payload(key, cap_a, 7, sealed).has_value());
+}
+
+TEST(Sealed, IdenticalPlaintextsUnlinkableAcrossSeqnos) {
+  capsule::ReadKey key = capsule::make_read_key(to_bytes("entropy"));
+  Name cap = *Name::from_bytes(Bytes(32, 0x33));
+  Bytes a = capsule::seal_payload(key, cap, 1, to_bytes("same"));
+  Bytes b = capsule::seal_payload(key, cap, 2, to_bytes("same"));
+  // Strip nonces (first 12 bytes differ trivially) and compare bodies.
+  EXPECT_NE(Bytes(a.begin() + 12, a.end()), Bytes(b.begin() + 12, b.end()));
+}
+
+TEST(Sealed, TamperDetected) {
+  capsule::ReadKey key = capsule::make_read_key(to_bytes("k"));
+  Name cap = *Name::from_bytes(Bytes(32, 0x44));
+  Bytes sealed = capsule::seal_payload(key, cap, 3, to_bytes("payload"));
+  for (std::size_t i = 0; i < sealed.size(); i += 9) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(capsule::open_payload(key, cap, 3, bad).has_value()) << i;
+  }
+}
+
+// ---- Confidentiality end to end ---------------------------------------------------
+
+TEST(Confidentiality, InfrastructureSeesOnlyCiphertext) {
+  Scenario s(70, "sealed-e2e");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* writer_c = s.add_client("writer", r);
+  auto* reader_c = s.add_client("reader", r);
+  auto* eve = s.add_client("eve", r);
+  s.attach_all();
+
+  CapsuleSetup cap = make_capsule(s.key_rng(), "confidential");
+  ASSERT_TRUE(place_capsule(s, cap, *writer_c, {srv}).ok());
+  capsule::ReadKey read_key = capsule::make_read_key(to_bytes("owner-entropy"));
+
+  capsule::Writer w = cap.make_writer();
+  const std::string secret = "the merger closes friday";
+  {
+    Bytes sealed = capsule::seal_payload(read_key, cap.metadata.name(),
+                                         w.next_seqno(), to_bytes(secret));
+    ASSERT_TRUE(await(s.sim(), writer_c->append(w, sealed)).ok());
+  }
+
+  // The server's persistent state contains no trace of the plaintext.
+  const auto* store = srv->storage().find(cap.metadata.name());
+  ASSERT_NE(store, nullptr);
+  Bytes on_server = store->state().get_by_seqno(1)->payload;
+  EXPECT_EQ(to_string(on_server).find("merger"), std::string::npos);
+
+  // An authorized reader (shares the read key) recovers the plaintext.
+  auto read = await(s.sim(), reader_c->read_latest(cap.metadata));
+  ASSERT_TRUE(read.ok());
+  auto opened = capsule::open_payload(read_key, cap.metadata.name(), 1,
+                                      read->records[0].payload);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), secret);
+
+  // Eve can fetch the (integrity-verified) ciphertext but not open it.
+  auto eve_read = await(s.sim(), eve->read_latest(cap.metadata));
+  ASSERT_TRUE(eve_read.ok());
+  capsule::ReadKey guess = capsule::make_read_key(to_bytes("wrong"));
+  EXPECT_FALSE(capsule::open_payload(guess, cap.metadata.name(), 1,
+                                     eve_read->records[0].payload)
+                   .has_value());
+}
+
+// ---- Quasi-single-writer end to end -----------------------------------------------
+
+TEST(Qsw, BranchFormsReplicatesAndMerges) {
+  Scenario s(71, "qsw");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv1 = s.add_server("srv1", r);
+  auto* srv2 = s.add_server("srv2", r);
+  auto* device_a = s.add_client("laptop", r);
+  auto* device_b = s.add_client("phone", r);
+  s.attach_all();
+
+  // A personal file-system mounted on two devices (the paper's QSW
+  // example): both restore the writer from the same saved state.
+  CapsuleSetup cap = make_capsule(s.key_rng(), "personal-fs",
+                                  capsule::WriterMode::kQuasiSingleWriter);
+  ASSERT_TRUE(place_capsule(s, cap, *device_a, {srv1, srv2}).ok());
+  capsule::Writer wa = cap.make_writer();
+  ASSERT_TRUE(await(s.sim(), device_a->append(wa, to_bytes("base"))).ok());
+  Bytes saved = wa.save_state();
+
+  auto wb = capsule::Writer::restore(cap.metadata, *cap.writer_key,
+                                     capsule::strategy_from_id(cap.strategy_id),
+                                     saved);
+  ASSERT_TRUE(wb.ok());
+
+  // Concurrent edits from both devices: a branch.
+  ASSERT_TRUE(await(s.sim(), device_a->append(wa, to_bytes("edit-laptop"))).ok());
+  ASSERT_TRUE(await(s.sim(), device_b->append(*wb, to_bytes("edit-phone"))).ok());
+  s.settle();
+
+  const auto* st1 = srv1->storage().find(cap.metadata.name());
+  const auto* st2 = srv2->storage().find(cap.metadata.name());
+  // Both replicas hold both branches (strong eventual consistency).
+  EXPECT_EQ(st1->state().size(), 3u);
+  EXPECT_EQ(st2->state().size(), 3u);
+  EXPECT_TRUE(st1->state().has_branch());
+  EXPECT_EQ(st1->state().heads().size(), 2u);
+  EXPECT_EQ(st1->state().tip_hash(), st2->state().tip_hash());
+
+  // Device A merges the phone's head out-of-band (reads heads via the
+  // replica state here; a real device would read via the client API).
+  std::vector<capsule::RecordHash> heads = st1->state().heads();
+  capsule::RecordHash other_head =
+      heads[0] == wa.tip_hash() ? heads[1] : heads[0];
+  std::uint64_t other_seqno =
+      st1->state().get_by_hash(other_head)->header.seqno;
+  capsule::Record merge = wa.append_merge(
+      to_bytes("merged"), 0, {capsule::HashPtr{other_seqno, other_head}});
+  ASSERT_TRUE(await(s.sim(), device_a->append_record(cap.metadata, merge)).ok());
+  s.settle();
+
+  EXPECT_EQ(st1->state().heads().size(), 1u);
+  EXPECT_EQ(st2->state().heads().size(), 1u);
+  EXPECT_EQ(st1->state().tip_hash(), merge.hash());
+
+  // And readers see a linear history again.
+  auto read = await(s.sim(), device_b->read_latest(cap.metadata));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(read->records[0].payload), "merged");
+}
+
+// ---- More adversarial paths ---------------------------------------------------------
+
+TEST(Adversary, MisdeliveryDetectedByCapsuleBinding) {
+  // An in-path attacker redirects an append for capsule A to a server
+  // hosting only capsule B; the record's capsule binding stops it.
+  Scenario s(72, "misdeliver");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv_a = s.add_server("srv-a", r);
+  auto* srv_b = s.add_server("srv-b", r);
+  auto* writer_c = s.add_client("writer", r);
+  s.attach_all();
+  CapsuleSetup cap_a = make_capsule(s.key_rng(), "A");
+  CapsuleSetup cap_b = make_capsule(s.key_rng(), "B");
+  ASSERT_TRUE(place_capsule(s, cap_a, *writer_c, {srv_a}).ok());
+  ASSERT_TRUE(place_capsule(s, cap_b, *writer_c, {srv_b}).ok());
+
+  // The adversary rewrites the target of an append for capsule A so it is
+  // delivered to server B as if it belonged to capsule B.
+  capsule::Writer w = cap_a.make_writer();
+  capsule::Record rec = w.append(to_bytes("for capsule A"), 0);
+  wire::AppendMsg msg;
+  msg.capsule = cap_b.metadata.name();  // adversary rewrites the target
+  msg.record = rec;
+  msg.required_acks = 1;
+  msg.nonce = 999;
+  wire::Pdu pdu;
+  pdu.dst = srv_b->name();
+  pdu.src = writer_c->name();
+  pdu.type = wire::MsgType::kAppend;
+  pdu.payload = msg.serialize();
+  s.net().send(writer_c->name(), r->name(), pdu);
+  s.settle();
+
+  // Server B rejected the foreign record: its capsule stays empty and the
+  // record never counts as accepted.
+  EXPECT_EQ(srv_b->storage().find(cap_b.metadata.name())->state().size(), 0u);
+  EXPECT_GE(srv_b->appends_rejected(), 1u);
+}
+
+TEST(Adversary, DelayedPdusStillVerify) {
+  // Arbitrary delay is permissible under the threat model; nothing breaks,
+  // the data still verifies when it finally arrives.
+  Scenario s(73, "delay");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* writer_c = s.add_client("writer", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "delayed");
+  ASSERT_TRUE(place_capsule(s, cap, *writer_c, {srv}).ok());
+
+  auto* net = &s.net();
+  auto* sim = &s.sim();
+  Name from = r->name();
+  Name to = srv->name();
+  auto held_once = std::make_shared<bool>(false);
+  s.net().set_interceptor(
+      from, to,
+      [net, sim, from, to, held_once](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+        if (pdu.type != wire::MsgType::kAppend || *held_once) return pdu;
+        *held_once = true;
+        wire::Pdu held = pdu;
+        sim->schedule(from_seconds(5), [net, from, to, held]() mutable {
+          net->send(from, to, std::move(held));
+        });
+        return std::nullopt;  // hold the original
+      });
+
+  capsule::Writer w = cap.make_writer();
+  auto op = writer_c->append(w, to_bytes("late but intact"));
+  auto outcome = await(s.sim(), op);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_GE(to_seconds(s.sim().now()), 5.0);
+}
+
+TEST(Adversary, SubscribeEventInjectionRejected) {
+  // A compromised path fabricates kPublish events; the client only accepts
+  // writer-signed records of the subscribed capsule.
+  Scenario s(74, "inject");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* writer_c = s.add_client("writer", r);
+  auto* sub = s.add_client("sub", r);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "feed");
+  ASSERT_TRUE(place_capsule(s, cap, *writer_c, {srv}).ok());
+
+  int events = 0;
+  auto cert = cap.sub_cert_for(sub->name(), s.sim().now(),
+                               s.sim().now() + from_seconds(3600));
+  ASSERT_TRUE(await(s.sim(), sub->subscribe(cap.metadata, cert,
+                                            [&](const capsule::Record&,
+                                                const capsule::Heartbeat&) {
+                                              ++events;
+                                            }))
+                  .ok());
+
+  // Forge an event signed by the wrong key.
+  Rng mrng(5);
+  auto mallory_owner = crypto::PrivateKey::generate(mrng);
+  auto mallory_writer = crypto::PrivateKey::generate(mrng);
+  auto forged_meta = capsule::Metadata::create(
+      mallory_owner, mallory_writer.public_key(),
+      capsule::WriterMode::kStrictSingleWriter, "forged", 0);
+  ASSERT_TRUE(forged_meta.ok());
+  capsule::Writer forged_writer(*forged_meta, mallory_writer,
+                                capsule::make_chain_strategy());
+  capsule::Record forged = forged_writer.append(to_bytes("fake news"), 0);
+  forged.header.capsule_name = cap.metadata.name();  // re-target (breaks sig)
+
+  wire::PublishMsg msg;
+  msg.capsule = cap.metadata.name();
+  msg.record = forged;
+  msg.heartbeat = capsule::Heartbeat::from_record(forged).serialize();
+  wire::Pdu pdu;
+  pdu.dst = sub->name();
+  pdu.src = srv->name();
+  pdu.type = wire::MsgType::kPublish;
+  pdu.payload = msg.serialize();
+  s.net().send(r->name(), sub->name(), pdu);
+  s.settle();
+  EXPECT_EQ(events, 0);
+
+  // Genuine events still flow.
+  capsule::Writer w = cap.make_writer();
+  ASSERT_TRUE(await(s.sim(), writer_c->append(w, to_bytes("real"))).ok());
+  s.settle();
+  EXPECT_EQ(events, 1);
+}
+
+// ---- Timeline entanglement -----------------------------------------------------------
+
+struct EntangleFixture {
+  Rng rng{9090};
+  crypto::PrivateKey owner_a = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey writer_a = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey owner_b = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey writer_b = crypto::PrivateKey::generate(rng);
+  capsule::Metadata meta_a = *capsule::Metadata::create(
+      owner_a, writer_a.public_key(), capsule::WriterMode::kStrictSingleWriter,
+      "timeline-a", 0);
+  capsule::Metadata meta_b = *capsule::Metadata::create(
+      owner_b, writer_b.public_key(), capsule::WriterMode::kStrictSingleWriter,
+      "timeline-b", 0);
+  capsule::Writer wa{meta_a, writer_a, capsule::make_skiplist_strategy()};
+  capsule::Writer wb{meta_b, writer_b, capsule::make_skiplist_strategy()};
+  capsule::CapsuleState state_a{meta_a};
+  capsule::CapsuleState state_b{meta_b};
+};
+
+TEST(Entanglement, CrossCapsuleHappenedAfterVerifies) {
+  EntangleFixture f;
+  // Capsule A advances to seqno 5.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.state_a.ingest(f.wa.append(to_bytes("a"), i)).ok());
+  }
+  capsule::Heartbeat hb_a = f.wa.heartbeat();
+
+  // Writer B embeds A's heartbeat — B's next record happened after A@5.
+  capsule::Entanglement ent = capsule::Entanglement::from_heartbeat(hb_a);
+  Bytes payload = ent.serialize();
+  append(payload, to_bytes(" B's own data"));
+  capsule::Record embedding = f.wb.append(payload, 100);
+  ASSERT_TRUE(f.state_b.ingest(embedding).ok());
+  // B keeps writing.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.state_b.ingest(f.wb.append(to_bytes("b"), i)).ok());
+  }
+  capsule::Heartbeat hb_b = f.wb.heartbeat();
+
+  // A verifier holding both metadatas checks the relation.
+  auto proof_b = capsule::build_membership_proof(f.state_b, hb_b, embedding.hash());
+  auto proof_a = capsule::build_membership_proof(f.state_a, hb_a, hb_a.record_hash);
+  ASSERT_TRUE(proof_b.ok());
+  ASSERT_TRUE(proof_a.ok());
+  EXPECT_TRUE(capsule::verify_entanglement(ent, f.meta_b, hb_b, embedding,
+                                           *proof_b, f.meta_a, hb_a, *proof_a)
+                  .ok());
+
+  // Round trip of the claim itself.
+  auto decoded = capsule::Entanglement::deserialize(embedding.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ent);
+}
+
+TEST(Entanglement, ForgedClaimsRejected) {
+  EntangleFixture f;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(f.state_a.ingest(f.wa.append(to_bytes("a"), i)).ok());
+  }
+  capsule::Heartbeat hb_a = f.wa.heartbeat();
+  capsule::Entanglement ent = capsule::Entanglement::from_heartbeat(hb_a);
+  capsule::Record embedding = f.wb.append(ent.serialize(), 0);
+  ASSERT_TRUE(f.state_b.ingest(embedding).ok());
+  capsule::Heartbeat hb_b = f.wb.heartbeat();
+  auto proof_b = capsule::build_membership_proof(f.state_b, hb_b, embedding.hash());
+  auto proof_a = capsule::build_membership_proof(f.state_a, hb_a, hb_a.record_hash);
+  ASSERT_TRUE(proof_b.ok());
+  ASSERT_TRUE(proof_a.ok());
+
+  // 1. Claiming a different seqno for the entangled record.
+  capsule::Entanglement wrong_seqno = ent;
+  wrong_seqno.seqno += 1;
+  EXPECT_FALSE(capsule::verify_entanglement(wrong_seqno, f.meta_b, hb_b, embedding,
+                                            *proof_b, f.meta_a, hb_a, *proof_a)
+                   .ok());
+  // 2. A record that does not actually carry the claim.
+  capsule::Record other = f.wb.append(to_bytes("unrelated"), 1);
+  ASSERT_TRUE(f.state_b.ingest(other).ok());
+  capsule::Heartbeat hb_b2 = f.wb.heartbeat();
+  auto proof_other = capsule::build_membership_proof(f.state_b, hb_b2, other.hash());
+  ASSERT_TRUE(proof_other.ok());
+  EXPECT_FALSE(capsule::verify_entanglement(ent, f.meta_b, hb_b2, other,
+                                            *proof_other, f.meta_a, hb_a, *proof_a)
+                   .ok());
+  // 3. Entanglement pointing at a capsule the proof is not for.
+  capsule::Entanglement wrong_capsule = ent;
+  wrong_capsule.other_capsule = f.meta_b.name();
+  EXPECT_FALSE(capsule::verify_entanglement(wrong_capsule, f.meta_b, hb_b,
+                                            embedding, *proof_b, f.meta_a, hb_a,
+                                            *proof_a)
+                   .ok());
+}
+
+TEST(Entanglement, EndToEndOverTheNetwork) {
+  // Factory scenario: the audit capsule entangles the sensor capsule's
+  // state; a third-party verifier fetches everything over the network —
+  // ranged reads supply the membership proofs — and checks the
+  // happened-after relation without trusting any server.
+  Scenario s(75, "entangle-e2e");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* sensor = s.add_client("sensor", r);
+  auto* auditor = s.add_client("auditor", r);
+  auto* verifier = s.add_client("verifier", r);
+  s.attach_all();
+
+  CapsuleSetup sensor_cap = make_capsule(s.key_rng(), "sensor-feed");
+  CapsuleSetup audit_cap = make_capsule(s.key_rng(), "audit-log");
+  ASSERT_TRUE(place_capsule(s, sensor_cap, *sensor, {srv}).ok());
+  ASSERT_TRUE(place_capsule(s, audit_cap, *auditor, {srv}).ok());
+
+  capsule::Writer sensor_w = sensor_cap.make_writer();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(await(s.sim(), sensor->append(sensor_w, to_bytes("sample"))).ok());
+  }
+
+  // The auditor reads the sensor's latest state and entangles it.
+  auto latest = await(s.sim(), auditor->read_latest(sensor_cap.metadata));
+  ASSERT_TRUE(latest.ok());
+  capsule::Entanglement ent =
+      capsule::Entanglement::from_heartbeat(latest->heartbeat);
+  capsule::Writer audit_w = audit_cap.make_writer();
+  Bytes payload = ent.serialize();
+  append(payload, to_bytes(" audit checkpoint"));
+  ASSERT_TRUE(await(s.sim(), auditor->append(audit_w, payload)).ok());
+
+  // Third party: fetch both ends with point reads; the link paths are the
+  // membership proofs.
+  auto audit_read = await(s.sim(), verifier->read(audit_cap.metadata, 1, 1));
+  ASSERT_TRUE(audit_read.ok());
+  auto sensor_read = await(
+      s.sim(), verifier->read(sensor_cap.metadata, ent.seqno, ent.seqno));
+  ASSERT_TRUE(sensor_read.ok());
+
+  Status verdict = capsule::verify_entanglement(
+      ent, audit_cap.metadata, audit_read->heartbeat, audit_read->records[0],
+      audit_read->newest_membership(), sensor_cap.metadata,
+      sensor_read->heartbeat, sensor_read->newest_membership());
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+// ---- Organization-chain hosting end to end --------------------------------------------
+
+TEST(OrgDelegation, ServerHostsThroughOrgChainEndToEnd) {
+  // The owner delegates to a *storage organization* rather than a
+  // concrete server ("in practice, a DataCapsule-owner issues such
+  // delegations to storage organizations"); the org admits the server;
+  // the full chain flows through placement, advertisement, the
+  // GLookupService, and response verification.
+  Scenario s(80, "orgchain");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* cli = s.add_client("cli", r);
+  s.attach_all();
+
+  Rng rng(80);
+  auto org_key = crypto::PrivateKey::generate(rng);
+  trust::Principal org =
+      trust::Principal::create(org_key, trust::Role::kOrganization, "acme-storage");
+
+  CapsuleSetup cap = make_capsule(s.key_rng(), "org-hosted");
+  const TimePoint now = s.sim().now();
+  const TimePoint expiry = now + from_seconds(1e6);
+  trust::ServingDelegation delegation;
+  delegation.ad_cert =
+      trust::make_ad_cert(*cap.owner_key, cap.owner_key->public_key().fingerprint(),
+                          cap.metadata.name(), org.name(), now, expiry);
+  delegation.orgs = {org};
+  delegation.member_certs = {trust::make_org_member_cert(
+      org_key, org.name(), srv->principal().name(), now, expiry)};
+
+  auto placed = await(s.sim(), cli->create_capsule(srv->name(), cap.metadata,
+                                                   delegation, {}));
+  ASSERT_TRUE(placed.ok()) << placed.error().to_string();
+  ASSERT_TRUE(srv->hosts(cap.metadata.name()));
+  // The glookup re-verified the org chain before registering.
+  EXPECT_EQ(g->lookup_local(cap.metadata.name()).size(), 1u);
+
+  capsule::Writer w = cap.make_writer();
+  auto outcome = await(s.sim(), cli->append(w, to_bytes("through the org")));
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  auto read = await(s.sim(), cli->read_latest(cap.metadata));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(to_string(read->records[0].payload), "through the org");
+}
+
+TEST(OrgDelegation, RevokedMembershipWindowCloses) {
+  // Org membership certs expire; past the window the chain no longer
+  // verifies and a new placement is refused.
+  Scenario s(81, "orgexpire");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r = s.add_router("r", g);
+  auto* srv = s.add_server("srv", r);
+  auto* cli = s.add_client("cli", r);
+  s.attach_all();
+  Rng rng(81);
+  auto org_key = crypto::PrivateKey::generate(rng);
+  trust::Principal org =
+      trust::Principal::create(org_key, trust::Role::kOrganization, "acme");
+  CapsuleSetup cap = make_capsule(s.key_rng(), "short-membership");
+  const TimePoint now = s.sim().now();
+  trust::ServingDelegation delegation;
+  delegation.ad_cert =
+      trust::make_ad_cert(*cap.owner_key, cap.owner_key->public_key().fingerprint(),
+                          cap.metadata.name(), org.name(), now, now + from_seconds(1e6));
+  // Membership lasts only 10 seconds.
+  delegation.orgs = {org};
+  delegation.member_certs = {trust::make_org_member_cert(
+      org_key, org.name(), srv->principal().name(), now, now + from_seconds(10))};
+
+  s.sim().run_until(s.sim().now() + from_seconds(60));  // membership lapsed
+  auto placed = await(s.sim(), cli->create_capsule(srv->name(), cap.metadata,
+                                                   delegation, {}));
+  EXPECT_FALSE(placed.ok());
+  EXPECT_FALSE(srv->hosts(cap.metadata.name()));
+}
+
+}  // namespace
+}  // namespace gdp

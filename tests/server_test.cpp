@@ -1,0 +1,275 @@
+// Server/client behavioural tests beyond the happy paths: robustness to
+// malformed input, range clamping, durability edge cases, cross-replica
+// event delivery, and hosting policy.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace gdp {
+namespace {
+
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+struct World {
+  Scenario s;
+  router::GLookupService* root;
+  router::Router* r1;
+  server::CapsuleServer* srv;
+  client::GdpClient* cli;
+
+  explicit World(std::uint64_t seed) : s(seed, "server") {
+    root = s.add_domain("g", nullptr);
+    r1 = s.add_router("r1", root);
+    srv = s.add_server("srv", r1);
+    cli = s.add_client("cli", r1);
+    s.attach_all();
+  }
+};
+
+TEST(Server, MalformedPdusIgnoredWithoutCrash) {
+  World w(1);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "robust");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+
+  Rng rng(4);
+  for (auto type : {wire::MsgType::kCreateCapsule, wire::MsgType::kAppend,
+                    wire::MsgType::kRead, wire::MsgType::kSubscribe,
+                    wire::MsgType::kSyncPull, wire::MsgType::kSyncPush,
+                    wire::MsgType::kStatus, wire::MsgType::kPublish}) {
+    wire::Pdu pdu;
+    pdu.dst = w.srv->name();
+    pdu.src = w.cli->name();
+    pdu.type = type;
+    pdu.payload = rng.next_bytes(1 + rng.next_below(300));
+    w.s.net().send(w.cli->name(), w.r1->name(), pdu);
+  }
+  w.s.settle();
+  // Server still healthy and serving.
+  capsule::Writer writer = cap.make_writer();
+  auto outcome = await(w.s.sim(), w.cli->append(writer, to_bytes("still alive")));
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+}
+
+TEST(Server, ReadBeyondTipClampsOrFails) {
+  World w(2);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "clamped");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+  capsule::Writer writer = cap.make_writer();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(await(w.s.sim(), w.cli->append(writer, to_bytes("x"))).ok());
+  }
+  // Open-ended range clamps to the tip.
+  auto clamped = await(w.s.sim(), w.cli->read(cap.metadata, 2, 100));
+  ASSERT_TRUE(clamped.ok()) << clamped.error().to_string();
+  EXPECT_EQ(clamped->records.size(), 4u);
+  // Fully out-of-range start fails.
+  auto beyond = await(w.s.sim(), w.cli->read(cap.metadata, 10, 20));
+  EXPECT_FALSE(beyond.ok());
+  // Empty capsule read fails cleanly.
+  CapsuleSetup empty = make_capsule(w.s.key_rng(), "empty");
+  ASSERT_TRUE(place_capsule(w.s, empty, *w.cli, {w.srv}).ok());
+  auto none = await(w.s.sim(), w.cli->read_latest(empty.metadata));
+  EXPECT_FALSE(none.ok());
+}
+
+TEST(Server, AppendForUnknownCapsuleNacked) {
+  World w(3);
+  CapsuleSetup hosted = make_capsule(w.s.key_rng(), "hosted");
+  ASSERT_TRUE(place_capsule(w.s, hosted, *w.cli, {w.srv}).ok());
+  // A capsule that was never placed anywhere: the name has no route, so
+  // the append cannot even be delivered.
+  CapsuleSetup ghost = make_capsule(w.s.key_rng(), "ghost");
+  capsule::Writer writer = ghost.make_writer();
+  auto outcome = await(w.s.sim(), w.cli->append(writer, to_bytes("x")));
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(Server, DurabilityImpossibleQuorumFailsHonestly) {
+  World w(4);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "lonely");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());  // single replica
+  capsule::Writer writer = cap.make_writer();
+  auto outcome = await(w.s.sim(), w.cli->append(writer, to_bytes("x"), 3));
+  // There is only one replica: 3 acks are unachievable and the server
+  // must say so rather than lie.
+  EXPECT_FALSE(outcome.ok());
+  // The record itself is persisted locally (durable, just not replicated).
+  EXPECT_EQ(w.srv->storage().find(cap.metadata.name())->state().size(), 1u);
+}
+
+TEST(Server, SubscribersOnOtherReplicaGetEvents) {
+  Scenario s(5, "xreplica-pub");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* srv1 = s.add_server("srv1", r1);
+  auto* srv2 = s.add_server("srv2", r2);
+  auto* writer_c = s.add_client("writer", r1);
+  auto* sub = s.add_client("sub", r2);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "xpub");
+  ASSERT_TRUE(place_capsule(s, cap, *writer_c, {srv1, srv2}).ok());
+
+  // The subscriber anycasts its subscription; from r2 it lands on srv2.
+  int events = 0;
+  auto cert = cap.sub_cert_for(sub->name(), s.sim().now(),
+                               s.sim().now() + from_seconds(3600));
+  ASSERT_TRUE(await(s.sim(), sub->subscribe(cap.metadata, cert,
+                                            [&](const capsule::Record&,
+                                                const capsule::Heartbeat&) {
+                                              ++events;
+                                            }))
+                  .ok());
+  EXPECT_EQ(srv2->subscriber_count(cap.metadata.name()), 1u);
+  EXPECT_EQ(srv1->subscriber_count(cap.metadata.name()), 0u);
+
+  // Writer appends land on srv1 (its side of the network); events reach
+  // the subscriber through replication into srv2.
+  capsule::Writer w = cap.make_writer();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(await(s.sim(), writer_c->append(w, to_bytes("e"))).ok());
+  }
+  s.settle();
+  EXPECT_EQ(events, 3);
+}
+
+TEST(Server, RefusesToHostWithForeignDelegation) {
+  Scenario s(6, "foreign");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* srv_a = s.add_server("srv-a", r1);
+  auto* srv_b = s.add_server("srv-b", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "misdelegated");
+  // Delegation names server A, but we ask server B to host.
+  const TimePoint now = s.sim().now();
+  auto delegation = cap.delegation_for(srv_a->principal(), now,
+                                       now + from_seconds(3600));
+  auto outcome = await(s.sim(), cli->create_capsule(srv_b->name(), cap.metadata,
+                                                    delegation, {}));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(srv_b->hosts(cap.metadata.name()));
+}
+
+TEST(Server, TwoClientsIndependentSessions) {
+  World w(7);
+  auto* cli2 = w.s.add_client("cli2", w.r1);
+  w.s.attach_all();
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "sessions");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+  capsule::Writer writer = cap.make_writer();
+  ASSERT_TRUE(await(w.s.sim(), w.cli->append(writer, to_bytes("x"))).ok());
+
+  // Both clients read via independent HMAC sessions.
+  auto read1 = await(w.s.sim(), w.cli->read_latest(cap.metadata));
+  auto read2 = await(w.s.sim(), cli2->read_latest(cap.metadata));
+  ASSERT_TRUE(read1.ok());
+  ASSERT_TRUE(read2.ok());
+  auto read2b = await(w.s.sim(), cli2->read_latest(cap.metadata));
+  ASSERT_TRUE(read2b.ok());
+  EXPECT_TRUE(read2b->via_hmac);
+  EXPECT_LT(read2b->response_bytes, read2->response_bytes);
+}
+
+TEST(Server, SswEquivocationSurfacesAsEvidence) {
+  // An SSW writer (or whoever stole its key) forks the history.  Replicas
+  // store both signed branches — third-party-verifiable evidence — and
+  // flag the capsule.
+  World w(9);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "equivocator");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+  capsule::Writer honest = cap.make_writer();
+  ASSERT_TRUE(await(w.s.sim(), w.cli->append(honest, to_bytes("v1"))).ok());
+  Bytes saved = honest.save_state();
+  ASSERT_TRUE(await(w.s.sim(), w.cli->append(honest, to_bytes("v2"))).ok());
+  EXPECT_TRUE(w.srv->equivocating_capsules().empty());
+
+  // Fork from the saved state: a second record at seqno 2.
+  auto evil = capsule::Writer::restore(cap.metadata, *cap.writer_key,
+                                       capsule::strategy_from_id(cap.strategy_id),
+                                       saved);
+  ASSERT_TRUE(evil.ok());
+  capsule::Record conflicting = evil->append(to_bytes("v2-evil"), 0);
+  ASSERT_TRUE(await(w.s.sim(), w.cli->append_record(cap.metadata, conflicting)).ok());
+  w.s.settle();
+
+  auto flagged = w.srv->equivocating_capsules();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], cap.metadata.name());
+  // Both branches persist as evidence.
+  EXPECT_EQ(w.srv->storage().find(cap.metadata.name())->state().all_at_seqno(2).size(),
+            2u);
+}
+
+TEST(Server, RestartRecoversHostedCapsulesFromDisk) {
+  // Storage-level recovery is covered in store_test; here we check the
+  // server wiring: a new server process over the same storage root serves
+  // the capsule again after re-advertising.
+  harness::TempDir shared_dir("server-restart");
+  net::Simulator sim(8);
+  net::Network net(sim);
+  auto topology = std::make_shared<router::Topology>();
+  Rng rng(8);
+  auto router_key = crypto::PrivateKey::generate(rng);
+  auto glookup_key = crypto::PrivateKey::generate(rng);
+  auto server_key = crypto::PrivateKey::generate(rng);
+  auto client_key = crypto::PrivateKey::generate(rng);
+
+  router::GLookupService glookup(
+      net, trust::Principal::create(glookup_key, trust::Role::kOrganization, "g"),
+      Name{}, topology);
+  router::Router router(net, router_key, "r", Name{}, topology);
+  router.set_glookup(&glookup);
+  topology->add_router(router.name(), Name{});
+  net.connect(router.name(), glookup.name(), net::LinkParams::lan());
+
+  client::GdpClient cli(net, client_key, "cli");
+  net.connect(cli.name(), router.name(), net::LinkParams::lan());
+  cli.advertise(router.name(), {});
+
+  CapsuleSetup cap = [&] {
+    Rng crng(88);
+    return make_capsule(crng, "survives-restart");
+  }();
+  capsule::Writer writer = cap.make_writer();
+
+  {
+    server::CapsuleServer::Options opts;
+    opts.storage_root = shared_dir.path();
+    server::CapsuleServer server(net, server_key, "srv", opts);
+    net.connect(server.name(), router.name(), net::LinkParams::lan());
+    server.advertise_to(router.name());
+    sim.run();
+    const TimePoint now = sim.now();
+    auto placed = await(
+        sim, cli.create_capsule(server.name(), cap.metadata,
+                                cap.delegation_for(server.principal(), now,
+                                                   now + from_seconds(1e6)),
+                                {}));
+    ASSERT_TRUE(placed.ok()) << placed.error().to_string();
+    ASSERT_TRUE(await(sim, cli.append(writer, to_bytes("persisted"))).ok());
+    net.detach(server.name());  // crash
+  }
+
+  // Same key, same storage root: the reincarnated server re-serves.
+  server::CapsuleServer::Options opts;
+  opts.storage_root = shared_dir.path();
+  server::CapsuleServer reborn(net, server_key, "srv", opts);
+  net.connect(reborn.name(), router.name(), net::LinkParams::lan());
+  EXPECT_TRUE(reborn.hosts(cap.metadata.name()));
+  reborn.advertise_to(router.name());
+  sim.run();
+
+  auto read = await(sim, cli.read_latest(cap.metadata));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(to_string(read->records[0].payload), "persisted");
+}
+
+}  // namespace
+}  // namespace gdp

@@ -1,0 +1,439 @@
+// Tests for the storage engine: CRC framing, the segmented log with crash
+// recovery, and capsule-level persistent storage with on-disk-tamper
+// detection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "capsule/strategy.hpp"
+#include "capsule/writer.hpp"
+#include "common/rng.hpp"
+#include "store/capsule_store.hpp"
+#include "store/crc32.hpp"
+#include "store/logstore.hpp"
+#include "trust/cert.hpp"
+
+namespace gdp::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("gdp-store-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(Crc32, KnownVector) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  Bytes data = to_bytes("the record payload");
+  std::uint32_t base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(crc32(mutated), base);
+  }
+}
+
+TEST(LogStore, AppendAndRead) {
+  TempDir dir;
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok()) << log.error().to_string();
+  auto id0 = log->append(to_bytes("first"));
+  auto id1 = log->append(to_bytes("second"));
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, 0u);
+  EXPECT_EQ(*id1, 1u);
+  EXPECT_EQ(to_string(*log->read(0)), "first");
+  EXPECT_EQ(to_string(*log->read(1)), "second");
+  EXPECT_EQ(log->read(2).code(), Errc::kOutOfRange);
+  EXPECT_EQ(log->entry_count(), 2u);
+}
+
+TEST(LogStore, PersistsAcrossReopen) {
+  TempDir dir;
+  {
+    auto log = LogStore::open(dir.path());
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(log->append(to_bytes("entry-" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(log->sync().ok());
+  }
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->entry_count(), 100u);
+  EXPECT_EQ(to_string(*log->read(42)), "entry-42");
+  // And it keeps appending where it left off.
+  ASSERT_TRUE(log->append(to_bytes("entry-100")).ok());
+  EXPECT_EQ(to_string(*log->read(100)), "entry-100");
+}
+
+TEST(LogStore, SegmentsRoll) {
+  TempDir dir;
+  LogStore::Options opts;
+  opts.segment_bytes = 256;  // tiny segments to force rolling
+  auto log = LogStore::open(dir.path(), opts);
+  ASSERT_TRUE(log.ok());
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(log->append(rng.next_bytes(64)).ok());
+  }
+  ASSERT_TRUE(log->sync().ok());
+  int segments = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    (void)e;
+    ++segments;
+  }
+  EXPECT_GT(segments, 5);
+
+  auto reopened = LogStore::open(dir.path(), opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->entry_count(), 50u);
+}
+
+TEST(LogStore, TornTailTruncatedOnRecovery) {
+  TempDir dir;
+  {
+    auto log = LogStore::open(dir.path());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->append(to_bytes("good-entry")).ok());
+    ASSERT_TRUE(log->append(to_bytes("doomed-entry")).ok());
+    ASSERT_TRUE(log->sync().ok());
+  }
+  // Simulate a crash mid-write: chop bytes off the tail.
+  fs::path seg = dir.path() / "seg-000000.log";
+  fs::resize_file(seg, fs::file_size(seg) - 5);
+
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->entry_count(), 1u);
+  EXPECT_EQ(to_string(*log->read(0)), "good-entry");
+  // Appends continue cleanly after truncation.
+  ASSERT_TRUE(log->append(to_bytes("new-entry")).ok());
+  EXPECT_EQ(to_string(*log->read(1)), "new-entry");
+}
+
+TEST(LogStore, CorruptEntryStopsRecovery) {
+  TempDir dir;
+  {
+    auto log = LogStore::open(dir.path());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->append(to_bytes("entry-0")).ok());
+    ASSERT_TRUE(log->append(to_bytes("entry-1")).ok());
+    ASSERT_TRUE(log->sync().ok());
+  }
+  // Flip a payload byte of the second entry (offset: 8+7 header+payload,
+  // then 8 header => byte 8+7+8 = 23 is inside entry-1's payload).
+  fs::path seg = dir.path() / "seg-000000.log";
+  std::fstream f(seg, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(23);
+  f.put('X');
+  f.close();
+
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->entry_count(), 1u);
+}
+
+TEST(LogStore, ForEachVisitsAll) {
+  TempDir dir;
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(log->append(Bytes(3, std::uint8_t(i))).ok());
+  int visited = 0;
+  ASSERT_TRUE(log
+                  ->for_each([&](std::uint64_t id, BytesView entry) -> Status {
+                    EXPECT_EQ(entry.size(), 3u);
+                    EXPECT_EQ(entry[0], id);
+                    ++visited;
+                    return ok_status();
+                  })
+                  .ok());
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(LogStore, EmptyEntriesSupported) {
+  TempDir dir;
+  auto log = LogStore::open(dir.path());
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->append(Bytes{}).ok());
+  EXPECT_EQ(log->read(0)->size(), 0u);
+}
+
+// ---- CapsuleStore ----------------------------------------------------------------
+
+struct CapsuleFixture {
+  Rng rng{321};
+  crypto::PrivateKey owner = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey writer_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey server_key = crypto::PrivateKey::generate(rng);
+  trust::Principal server =
+      trust::Principal::create(server_key, trust::Role::kCapsuleServer, "srv");
+  capsule::Metadata metadata = [&] {
+    auto m = capsule::Metadata::create(owner, writer_key.public_key(),
+                                       capsule::WriterMode::kStrictSingleWriter,
+                                       "stored-capsule", 0);
+    EXPECT_TRUE(m.ok());
+    return std::move(m).value();
+  }();
+  trust::ServingDelegation delegation = [&] {
+    trust::ServingDelegation d;
+    d.ad_cert = trust::make_ad_cert(owner, owner.public_key().fingerprint(),
+                                    metadata.name(), server.name(),
+                                    from_seconds(0), from_seconds(1e6));
+    return d;
+  }();
+  capsule::Writer writer{metadata, writer_key, capsule::make_chain_strategy()};
+};
+
+TEST(CapsuleStore, CreateIngestReopen) {
+  TempDir dir;
+  CapsuleFixture f;
+  std::vector<capsule::Record> records;
+  {
+    auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
+    ASSERT_TRUE(cs.ok()) << cs.error().to_string();
+    for (int i = 0; i < 20; ++i) {
+      records.push_back(f.writer.append(to_bytes("r" + std::to_string(i)), i));
+      ASSERT_TRUE(cs->ingest(records.back()).ok());
+    }
+    ASSERT_TRUE(cs->sync().ok());
+    EXPECT_EQ(cs->state().size(), 20u);
+  }
+  auto cs = CapsuleStore::open(dir.path());
+  ASSERT_TRUE(cs.ok()) << cs.error().to_string();
+  EXPECT_EQ(cs->state().size(), 20u);
+  EXPECT_EQ(cs->corrupt_dropped(), 0u);
+  EXPECT_EQ(cs->state().tip_hash(), records.back().hash());
+  EXPECT_EQ(cs->metadata().name(), f.metadata.name());
+}
+
+TEST(CapsuleStore, DuplicateIngestNotPersistedTwice) {
+  TempDir dir;
+  CapsuleFixture f;
+  auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
+  ASSERT_TRUE(cs.ok());
+  capsule::Record r = f.writer.append(to_bytes("once"), 0);
+  ASSERT_TRUE(cs->ingest(r).ok());
+  ASSERT_TRUE(cs->ingest(r).ok());
+  ASSERT_TRUE(cs->sync().ok());
+  auto reopened = CapsuleStore::open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->state().size(), 1u);
+}
+
+TEST(CapsuleStore, DetachedRecordsPersistAsHoles) {
+  TempDir dir;
+  CapsuleFixture f;
+  capsule::Record r1 = f.writer.append(to_bytes("one"), 1);
+  capsule::Record r2 = f.writer.append(to_bytes("two"), 2);
+  {
+    auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
+    ASSERT_TRUE(cs.ok());
+    ASSERT_TRUE(cs->ingest(r2).ok());  // r1 missing: held detached
+    ASSERT_TRUE(cs->sync().ok());
+  }
+  auto cs = CapsuleStore::open(dir.path());
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->state().size(), 0u);
+  EXPECT_EQ(cs->state().holes().size(), 1u);
+  ASSERT_TRUE(cs->ingest(r1).ok());  // repair
+  EXPECT_EQ(cs->state().size(), 2u);
+}
+
+TEST(CapsuleStore, OnDiskTamperDetectedAtReopen) {
+  TempDir dir;
+  CapsuleFixture f;
+  {
+    auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
+    ASSERT_TRUE(cs.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(cs->ingest(f.writer.append(to_bytes("payload"), i)).ok());
+    }
+    ASSERT_TRUE(cs->sync().ok());
+  }
+  // A malicious server edits a stored payload byte but keeps the CRC
+  // consistent by rewriting the frame (worst case).  Simulate by flipping
+  // a byte and fixing nothing — the CRC catches casual corruption; the
+  // capsule validation catches deliberate tampering.  Here: flip one byte
+  // deep in the file.
+  fs::path seg = dir.path() / "seg-000000.log";
+  auto size = fs::file_size(seg);
+  std::fstream file(seg, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(size - 20));
+  char c;
+  file.seekg(static_cast<std::streamoff>(size - 20));
+  file.get(c);
+  file.seekp(static_cast<std::streamoff>(size - 20));
+  file.put(static_cast<char>(c ^ 0x01));
+  file.close();
+
+  auto cs = CapsuleStore::open(dir.path());
+  ASSERT_TRUE(cs.ok());
+  // The tampered tail entry is dropped — by the CRC framing (which
+  // truncates recovery at the corrupt frame) or, had the CRC been
+  // recomputed by the attacker, by capsule validation (corrupt_dropped).
+  // Either way the poisoned record never reaches the validated state.
+  EXPECT_LT(cs->state().size(), 5u);
+  EXPECT_GE(cs->state().size(), 1u);
+  EXPECT_EQ(cs->state().detached_count(), 0u);
+}
+
+TEST(CapsuleStore, MaliciousRewriteWithFixedCrcCaughtByValidation) {
+  // A malicious server rewrites a stored record AND recomputes the CRC so
+  // the framing layer is happy; capsule validation must still reject it.
+  TempDir dir;
+  CapsuleFixture f;
+  capsule::Record r1 = f.writer.append(to_bytes("sensitive-A"), 1);
+  {
+    auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
+    ASSERT_TRUE(cs.ok());
+    ASSERT_TRUE(cs->ingest(r1).ok());
+    ASSERT_TRUE(cs->sync().ok());
+  }
+  // Rebuild the record entry with a forged payload and a valid CRC.
+  capsule::Record forged = r1;
+  forged.payload = to_bytes("sensitive-B");
+  forged.header.payload_hash = crypto::sha256(forged.payload);
+  // (No writer key, so the signature cannot be fixed up — the whole point.)
+  Bytes entry{std::uint8_t{3}};  // kTagRecord
+  append(entry, forged.serialize());
+
+  // Overwrite the third log entry by rewriting the file from scratch.
+  auto log = LogStore::open(dir.path() / "rewrite-tmp");
+  ASSERT_TRUE(log.ok());
+  {
+    auto orig = LogStore::open(dir.path());
+    ASSERT_TRUE(orig.ok());
+    ASSERT_TRUE(log->append(*orig->read(0)).ok());  // metadata
+    ASSERT_TRUE(log->append(*orig->read(1)).ok());  // delegation
+    ASSERT_TRUE(log->append(entry).ok());           // forged record
+    ASSERT_TRUE(log->sync().ok());
+  }
+  fs::remove(dir.path() / "seg-000000.log");
+  fs::copy(dir.path() / "rewrite-tmp" / "seg-000000.log",
+           dir.path() / "seg-000000.log");
+
+  auto cs = CapsuleStore::open(dir.path());
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->state().size(), 0u);
+  EXPECT_EQ(cs->corrupt_dropped(), 1u);  // forged record rejected by signature
+}
+
+TEST(CapsuleStore, CreateTwiceFails) {
+  TempDir dir;
+  CapsuleFixture f;
+  ASSERT_TRUE(CapsuleStore::create(dir.path(), f.metadata, f.delegation).ok());
+  EXPECT_EQ(CapsuleStore::create(dir.path(), f.metadata, f.delegation).code(),
+            Errc::kAlreadyExists);
+}
+
+TEST(ServerStore, HostAndFind) {
+  TempDir dir;
+  CapsuleFixture f;
+  auto ss = ServerStore::open(dir.path());
+  ASSERT_TRUE(ss.ok());
+  ASSERT_TRUE(ss->host(f.metadata, f.delegation).ok());
+  EXPECT_TRUE(ss->hosts(f.metadata.name()));
+  ASSERT_NE(ss->find(f.metadata.name()), nullptr);
+  EXPECT_EQ(ss->find(Name{}), nullptr);
+  EXPECT_EQ(ss->hosted().size(), 1u);
+  // host() is idempotent.
+  ASSERT_TRUE(ss->host(f.metadata, f.delegation).ok());
+  EXPECT_EQ(ss->hosted().size(), 1u);
+}
+
+// Crash-point sweep: truncate the log at every possible byte boundary and
+// verify recovery yields exactly the longest intact prefix of entries.
+class CrashPointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashPointSweep, RecoveryYieldsLongestIntactPrefix) {
+  TempDir dir;
+  constexpr int kEntries = 8;
+  std::vector<Bytes> entries;
+  std::vector<std::uint64_t> boundaries;  // cumulative file offsets
+  {
+    auto log = LogStore::open(dir.path());
+    ASSERT_TRUE(log.ok());
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::uint64_t offset = 0;
+    for (int i = 0; i < kEntries; ++i) {
+      entries.push_back(rng.next_bytes(1 + rng.next_below(40)));
+      ASSERT_TRUE(log->append(entries.back()).ok());
+      offset += 8 + entries.back().size();  // frame header + payload
+      boundaries.push_back(offset);
+    }
+    ASSERT_TRUE(log->sync().ok());
+  }
+  fs::path seg = dir.path() / "seg-000000.log";
+  const std::uint64_t file_size = fs::file_size(seg);
+  ASSERT_EQ(file_size, boundaries.back());
+
+  // Sweep crash points: step through the file in odd strides.
+  for (std::uint64_t crash = 0; crash <= file_size; crash += 7) {
+    TempDir copy_dir;
+    fs::copy(seg, copy_dir.path() / "seg-000000.log");
+    fs::resize_file(copy_dir.path() / "seg-000000.log", crash);
+
+    auto recovered = LogStore::open(copy_dir.path());
+    ASSERT_TRUE(recovered.ok()) << "crash at " << crash;
+    // Expected surviving entries: those fully within [0, crash).
+    std::size_t expected = 0;
+    while (expected < boundaries.size() && boundaries[expected] <= crash) {
+      ++expected;
+    }
+    ASSERT_EQ(recovered->entry_count(), expected) << "crash at " << crash;
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(*recovered->read(i), entries[i]);
+    }
+    // And the recovered log accepts new appends cleanly.
+    ASSERT_TRUE(recovered->append(to_bytes("post-crash")).ok());
+    EXPECT_EQ(to_string(*recovered->read(expected)), "post-crash");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashPointSweep, ::testing::Values(1, 2, 3));
+
+TEST(ServerStore, ReopensHostedCapsules) {
+  TempDir dir;
+  CapsuleFixture f;
+  {
+    auto ss = ServerStore::open(dir.path());
+    ASSERT_TRUE(ss.ok());
+    ASSERT_TRUE(ss->host(f.metadata, f.delegation).ok());
+    auto* cs = ss->find(f.metadata.name());
+    ASSERT_NE(cs, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(cs->ingest(f.writer.append(to_bytes("x"), i)).ok());
+    }
+    ASSERT_TRUE(cs->sync().ok());
+  }
+  auto ss = ServerStore::open(dir.path());
+  ASSERT_TRUE(ss.ok());
+  ASSERT_TRUE(ss->hosts(f.metadata.name()));
+  EXPECT_EQ(ss->find(f.metadata.name())->state().size(), 3u);
+}
+
+}  // namespace
+}  // namespace gdp::store

@@ -1,0 +1,211 @@
+// System-level property sweeps: randomized topologies, placements and
+// workloads, checking the end-to-end invariants the architecture promises:
+//   * every verified read succeeds from every client, wherever it sits;
+//   * all replicas of a capsule converge (leaderless replication + anti-
+//     entropy), even across injected link failures;
+//   * strict reads return the freshest replica state.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace gdp {
+namespace {
+
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+struct RandomWorld {
+  std::unique_ptr<Scenario> s;
+  std::vector<router::GLookupService*> domains;
+  std::vector<router::Router*> routers;
+  std::vector<server::CapsuleServer*> servers;
+  std::vector<client::GdpClient*> clients;
+
+  explicit RandomWorld(std::uint64_t seed) {
+    s = std::make_unique<Scenario>(seed, "sysprop");
+    Rng rng(seed * 31 + 7);
+    auto* root = s->add_domain("root", nullptr);
+    domains.push_back(root);
+    const int extra_domains = 1 + static_cast<int>(rng.next_below(3));
+    for (int d = 0; d < extra_domains; ++d) {
+      domains.push_back(s->add_domain("dom" + std::to_string(d), root));
+    }
+    // One or two routers per domain; chain them to keep connectivity, then
+    // sprinkle random extra links.
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      const int n = 1 + static_cast<int>(rng.next_below(2));
+      for (int i = 0; i < n; ++i) {
+        auto* r = s->add_router("r" + std::to_string(d) + "_" + std::to_string(i),
+                                domains[d]);
+        if (!routers.empty()) {
+          s->link_routers(routers[rng.next_below(routers.size())], r,
+                          net::LinkParams::wan(1 + static_cast<double>(rng.next_below(50))));
+        }
+        routers.push_back(r);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto* a = routers[rng.next_below(routers.size())];
+      auto* b = routers[rng.next_below(routers.size())];
+      if (a != b && !s->net().adjacent(a->name(), b->name())) {
+        s->link_routers(a, b, net::LinkParams::wan(1 + static_cast<double>(rng.next_below(30))));
+      }
+    }
+    const int n_servers = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < n_servers; ++i) {
+      servers.push_back(s->add_server("srv" + std::to_string(i),
+                                      routers[rng.next_below(routers.size())]));
+    }
+    const int n_clients = 2 + static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < n_clients; ++i) {
+      clients.push_back(s->add_client("cli" + std::to_string(i),
+                                      routers[rng.next_below(routers.size())]));
+    }
+    s->attach_all();
+  }
+};
+
+class SystemSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemSweep, EveryoneReadsEverythingVerified) {
+  RandomWorld w(static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+
+  struct Cap {
+    CapsuleSetup setup;
+    std::unique_ptr<capsule::Writer> writer;
+    std::vector<server::CapsuleServer*> replicas;
+    int count = 0;
+  };
+  std::vector<Cap> caps;
+  for (int c = 0; c < 2; ++c) {
+    Cap cap{make_capsule(w.s->key_rng(), "cap" + std::to_string(c)), nullptr, {}, 0};
+    // 1..all replicas, random subset.
+    std::size_t n_replicas = 1 + rng.next_below(w.servers.size());
+    std::vector<server::CapsuleServer*> pool = w.servers;
+    for (std::size_t i = 0; i < n_replicas; ++i) {
+      std::size_t pick = rng.next_below(pool.size());
+      cap.replicas.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    auto* placer = w.clients[rng.next_below(w.clients.size())];
+    ASSERT_TRUE(place_capsule(*w.s, cap.setup, *placer, cap.replicas).ok());
+    cap.writer = std::make_unique<capsule::Writer>(cap.setup.make_writer());
+    caps.push_back(std::move(cap));
+  }
+
+  // Random appends from random clients (any client can carry the writer's
+  // records — attribution is by signature, not by transport).
+  for (int i = 0; i < 16; ++i) {
+    Cap& cap = caps[rng.next_below(caps.size())];
+    auto* via = w.clients[rng.next_below(w.clients.size())];
+    auto outcome = await(
+        w.s->sim(),
+        via->append(*cap.writer, rng.next_bytes(1 + rng.next_below(200))));
+    ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+    ++cap.count;
+  }
+  w.s->settle();
+  for (auto* srv : w.servers) srv->anti_entropy_round();
+  w.s->settle();
+
+  // Invariant 1: replicas converge.
+  for (const Cap& cap : caps) {
+    const store::CapsuleStore* first = cap.replicas[0]->storage().find(cap.setup.metadata.name());
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->state().size(), static_cast<std::size_t>(cap.count));
+    for (auto* srv : cap.replicas) {
+      const auto* st = srv->storage().find(cap.setup.metadata.name());
+      ASSERT_NE(st, nullptr);
+      EXPECT_EQ(st->state().tip_hash(), first->state().tip_hash());
+    }
+  }
+
+  // Invariant 2: every client everywhere reads everything, verified.
+  for (const Cap& cap : caps) {
+    if (cap.count == 0) continue;
+    for (auto* cli : w.clients) {
+      auto read = await(w.s->sim(),
+                        cli->read(cap.setup.metadata, 1,
+                                  static_cast<std::uint64_t>(cap.count)));
+      ASSERT_TRUE(read.ok()) << read.error().to_string();
+      EXPECT_EQ(read->records.size(), static_cast<std::size_t>(cap.count));
+    }
+    // Invariant 3: strict read returns the freshest state.
+    std::vector<Name> replica_names;
+    for (auto* srv : cap.replicas) replica_names.push_back(srv->name());
+    auto strict = await(w.s->sim(),
+                        w.clients[0]->read_latest_strict(cap.setup.metadata,
+                                                         replica_names));
+    ASSERT_TRUE(strict.ok()) << strict.error().to_string();
+    EXPECT_EQ(strict->heartbeat.seqno, static_cast<std::uint64_t>(cap.count));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, ConvergesDespiteLinkFailures) {
+  // Two replicas behind two routers; the inter-router link drops a random
+  // fraction of PDUs during the write burst, then heals.  Anti-entropy
+  // must converge the replicas regardless.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Scenario s(seed, "churn");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(10));
+  auto* srv1 = s.add_server("srv1", r1);
+  auto* srv2 = s.add_server("srv2", r2);
+  auto* writer_c = s.add_client("writer", r1);
+  s.attach_all();
+
+  CapsuleSetup cap = make_capsule(s.key_rng(), "churny");
+  ASSERT_TRUE(place_capsule(s, cap, *writer_c, {srv1, srv2}).ok());
+
+  // Lossy replication path: drop ~60% of sync PDUs, in both directions.
+  Rng loss_rng(seed * 13 + 1);
+  auto lossy = [&loss_rng](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+    if ((pdu.type == wire::MsgType::kSyncPush ||
+         pdu.type == wire::MsgType::kSyncPull) &&
+        loss_rng.next_bool(0.6)) {
+      return std::nullopt;
+    }
+    return pdu;
+  };
+  s.net().set_interceptor(r1->name(), r2->name(), lossy);
+  s.net().set_interceptor(r2->name(), r1->name(), lossy);
+
+  capsule::Writer w = cap.make_writer();
+  constexpr int kRecords = 12;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(await(s.sim(), writer_c->append(w, to_bytes("r" + std::to_string(i)))).ok());
+  }
+  s.settle();
+
+  // Heal and run anti-entropy until converged (bounded rounds).
+  s.net().clear_interceptor(r1->name(), r2->name());
+  s.net().clear_interceptor(r2->name(), r1->name());
+  const auto* st1 = srv1->storage().find(cap.metadata.name());
+  const auto* st2 = srv2->storage().find(cap.metadata.name());
+  for (int round = 0; round < 10; ++round) {
+    if (st1->state().size() == kRecords && st2->state().size() == kRecords) break;
+    srv1->anti_entropy_round();
+    srv2->anti_entropy_round();
+    s.settle();
+  }
+  EXPECT_EQ(st1->state().size(), static_cast<std::size_t>(kRecords));
+  EXPECT_EQ(st2->state().size(), static_cast<std::size_t>(kRecords));
+  EXPECT_EQ(st1->state().tip_hash(), st2->state().tip_hash());
+  EXPECT_TRUE(st1->state().holes().empty());
+  EXPECT_TRUE(st2->state().holes().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep, ::testing::Values(10, 11, 12, 13));
+
+}  // namespace
+}  // namespace gdp

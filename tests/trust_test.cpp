@@ -1,0 +1,351 @@
+// Tests for principals, certificates, delegation chains and naming
+// catalogs — the GDP's PKI-free trust machinery.
+#include <gtest/gtest.h>
+
+#include "capsule/metadata.hpp"
+#include "common/rng.hpp"
+#include "trust/advertisement.hpp"
+#include "trust/cert.hpp"
+#include "trust/delegation.hpp"
+#include "trust/principal.hpp"
+
+namespace gdp::trust {
+namespace {
+
+struct World {
+  Rng rng{777};
+  crypto::PrivateKey owner_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey writer_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey server_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey router_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey org_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey suborg_key = crypto::PrivateKey::generate(rng);
+  crypto::PrivateKey mallory_key = crypto::PrivateKey::generate(rng);
+
+  Principal server = Principal::create(server_key, Role::kCapsuleServer, "srv-0");
+  Principal router = Principal::create(router_key, Role::kRouter, "rtr-0");
+  Principal org = Principal::create(org_key, Role::kOrganization, "acme-storage");
+  Principal suborg = Principal::create(suborg_key, Role::kOrganization, "acme-west");
+
+  capsule::Metadata metadata = [&] {
+    auto m = capsule::Metadata::create(owner_key, writer_key.public_key(),
+                                       capsule::WriterMode::kStrictSingleWriter,
+                                       "trusted-capsule", 0);
+    EXPECT_TRUE(m.ok());
+    return std::move(m).value();
+  }();
+
+  Name owner_name = owner_key.public_key().fingerprint();
+  TimePoint t0 = from_seconds(100);
+  TimePoint t1 = from_seconds(10000);
+  TimePoint now = from_seconds(500);
+};
+
+// ---- Principals ----------------------------------------------------------------
+
+TEST(Principal, CreateAndVerify) {
+  World w;
+  EXPECT_TRUE(w.server.verify().ok());
+  EXPECT_EQ(w.server.role(), Role::kCapsuleServer);
+  EXPECT_EQ(w.server.label(), "srv-0");
+  EXPECT_FALSE(w.server.name().is_zero());
+}
+
+TEST(Principal, SerializationRoundTrip) {
+  World w;
+  auto back = Principal::deserialize(w.router.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->name(), w.router.name());
+  EXPECT_EQ(back->role(), Role::kRouter);
+  EXPECT_EQ(back->label(), "rtr-0");
+}
+
+TEST(Principal, TamperedRejected) {
+  World w;
+  Bytes wire = w.org.serialize();
+  for (std::size_t i = 0; i < wire.size(); i += 23) {
+    Bytes bad = wire;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(Principal::deserialize(bad).ok()) << "byte " << i;
+  }
+}
+
+TEST(Principal, DistinctKeysDistinctNames) {
+  World w;
+  EXPECT_NE(w.server.name(), w.router.name());
+  // Same key, different label => different name (name covers everything).
+  Principal relabeled = Principal::create(w.server_key, Role::kCapsuleServer, "srv-1");
+  EXPECT_NE(relabeled.name(), w.server.name());
+}
+
+TEST(Principal, RoleNames) {
+  EXPECT_EQ(role_name(Role::kCapsuleServer), "capsule-server");
+  EXPECT_EQ(role_name(Role::kOrganization), "organization");
+}
+
+// ---- Certs ---------------------------------------------------------------------
+
+TEST(Cert, AdCertVerifies) {
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.server.name(), w.t0, w.t1);
+  EXPECT_TRUE(ad.verify(w.owner_key.public_key(), w.now).ok());
+  EXPECT_EQ(ad.kind, CertKind::kAdCert);
+  EXPECT_EQ(ad.object, w.metadata.name());
+  EXPECT_EQ(ad.subject, w.server.name());
+}
+
+TEST(Cert, WrongIssuerKeyRejected) {
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.server.name(), w.t0, w.t1);
+  EXPECT_EQ(ad.verify(w.mallory_key.public_key(), w.now).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Cert, ValidityWindowEnforced) {
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.server.name(), w.t0, w.t1);
+  EXPECT_EQ(ad.verify(w.owner_key.public_key(), from_seconds(1)).code(), Errc::kExpired);
+  EXPECT_EQ(ad.verify(w.owner_key.public_key(), from_seconds(20000)).code(),
+            Errc::kExpired);
+  EXPECT_TRUE(ad.verify(w.owner_key.public_key(), w.t0).ok());
+  EXPECT_TRUE(ad.verify(w.owner_key.public_key(), w.t1).ok());
+}
+
+TEST(Cert, SerializationRoundTrip) {
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.server.name(), w.t0, w.t1,
+                         {w.org.name(), w.suborg.name()});
+  auto back = Cert::deserialize(ad.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(*back, ad);
+  EXPECT_TRUE(back->verify(w.owner_key.public_key(), w.now).ok());
+}
+
+TEST(Cert, TamperedFieldsRejected) {
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.server.name(), w.t0, w.t1);
+  Cert widened = ad;
+  widened.not_after_ns = from_seconds(999999).count();  // extend validity
+  EXPECT_EQ(widened.verify(w.owner_key.public_key(), w.now).code(),
+            Errc::kVerificationFailed);
+  Cert retargeted = ad;
+  retargeted.subject = w.router.name();  // point delegation elsewhere
+  EXPECT_EQ(retargeted.verify(w.owner_key.public_key(), w.now).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Cert, DomainRestriction) {
+  World w;
+  Name domain_a = w.org.name();
+  Name domain_b = w.suborg.name();
+  Cert open = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.server.name(), w.t0, w.t1);
+  EXPECT_TRUE(open.domain_allowed(domain_a));
+  Cert restricted = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                                 w.server.name(), w.t0, w.t1, {domain_a});
+  EXPECT_TRUE(restricted.domain_allowed(domain_a));
+  EXPECT_FALSE(restricted.domain_allowed(domain_b));
+}
+
+// ---- Delegation chains ------------------------------------------------------------
+
+TEST(Delegation, DirectOwnerToServer) {
+  World w;
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.server.name(), w.t0, w.t1);
+  EXPECT_TRUE(verify_serving_delegation(w.metadata, w.server, d, w.now).ok());
+}
+
+TEST(Delegation, ThroughOrganizationHierarchy) {
+  World w;
+  // owner -> acme-storage -> acme-west -> server
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.org.name(), w.t0, w.t1);
+  d.orgs = {w.org, w.suborg};
+  d.member_certs = {
+      make_org_member_cert(w.org_key, w.org.name(), w.suborg.name(), w.t0, w.t1),
+      make_org_member_cert(w.suborg_key, w.suborg.name(), w.server.name(), w.t0, w.t1),
+  };
+  EXPECT_TRUE(verify_serving_delegation(w.metadata, w.server, d, w.now).ok());
+}
+
+TEST(Delegation, BrokenOrgChainRejected) {
+  World w;
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.org.name(), w.t0, w.t1);
+  // Sub-org cert signed by the WRONG org key (mallory forging membership).
+  d.orgs = {w.org};
+  d.member_certs = {make_org_member_cert(w.mallory_key, w.org.name(),
+                                         w.server.name(), w.t0, w.t1)};
+  EXPECT_EQ(verify_serving_delegation(w.metadata, w.server, d, w.now).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Delegation, ChainMustTerminateAtServer) {
+  World w;
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.org.name(), w.t0, w.t1);
+  d.orgs = {w.org};
+  d.member_certs = {make_org_member_cert(w.org_key, w.org.name(),
+                                         w.router.name(), w.t0, w.t1)};
+  EXPECT_EQ(verify_serving_delegation(w.metadata, w.server, d, w.now).code(),
+            Errc::kPermissionDenied);
+}
+
+TEST(Delegation, AdCertForDifferentCapsuleRejected) {
+  World w;
+  auto other = capsule::Metadata::create(w.owner_key, w.writer_key.public_key(),
+                                         capsule::WriterMode::kStrictSingleWriter,
+                                         "other-capsule", 0);
+  ASSERT_TRUE(other.ok());
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, other->name(),
+                           w.server.name(), w.t0, w.t1);
+  EXPECT_EQ(verify_serving_delegation(w.metadata, w.server, d, w.now).code(),
+            Errc::kPermissionDenied);
+}
+
+TEST(Delegation, ForgedAdCertRejected) {
+  World w;
+  // Mallory (not the owner) signs the AdCert: name-squatting attempt.
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.mallory_key, w.owner_name, w.metadata.name(),
+                           w.server.name(), w.t0, w.t1);
+  EXPECT_EQ(verify_serving_delegation(w.metadata, w.server, d, w.now).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Delegation, ExpiredChainRejected) {
+  World w;
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.server.name(), w.t0, w.t1);
+  EXPECT_EQ(verify_serving_delegation(w.metadata, w.server, d, from_seconds(99999)).code(),
+            Errc::kExpired);
+}
+
+TEST(Delegation, DomainPolicyEnforced) {
+  World w;
+  Name allowed = w.org.name();
+  Name forbidden = w.suborg.name();
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.server.name(), w.t0, w.t1, {allowed});
+  EXPECT_TRUE(verify_serving_delegation(w.metadata, w.server, d, w.now, &allowed).ok());
+  EXPECT_EQ(
+      verify_serving_delegation(w.metadata, w.server, d, w.now, &forbidden).code(),
+      Errc::kPermissionDenied);
+}
+
+TEST(Delegation, SerializationRoundTrip) {
+  World w;
+  ServingDelegation d;
+  d.ad_cert = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                           w.org.name(), w.t0, w.t1);
+  d.orgs = {w.org};
+  d.member_certs = {make_org_member_cert(w.org_key, w.org.name(),
+                                         w.server.name(), w.t0, w.t1)};
+  auto back = ServingDelegation::deserialize(d.serialize());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_TRUE(verify_serving_delegation(w.metadata, w.server, *back, w.now).ok());
+}
+
+TEST(Delegation, RtCertVerifies) {
+  World w;
+  Cert rt = make_rt_cert(w.server_key, w.server.name(), w.router.name(), w.t0, w.t1);
+  EXPECT_TRUE(verify_routing_delegation(rt, w.server, w.router, w.now).ok());
+}
+
+TEST(Delegation, RtCertWrongRouterRejected) {
+  World w;
+  Principal router2 =
+      Principal::create(w.mallory_key, Role::kRouter, "evil-router");
+  Cert rt = make_rt_cert(w.server_key, w.server.name(), w.router.name(), w.t0, w.t1);
+  EXPECT_EQ(verify_routing_delegation(rt, w.server, router2, w.now).code(),
+            Errc::kPermissionDenied);
+}
+
+TEST(Delegation, RtCertForgedRejected) {
+  World w;
+  Cert rt = make_rt_cert(w.mallory_key, w.server.name(), w.router.name(), w.t0, w.t1);
+  EXPECT_EQ(verify_routing_delegation(rt, w.server, w.router, w.now).code(),
+            Errc::kVerificationFailed);
+}
+
+TEST(Delegation, SubCertGrantsAndDenies) {
+  World w;
+  Name alice = crypto::PrivateKey::generate(w.rng).public_key().fingerprint();
+  Name bob = crypto::PrivateKey::generate(w.rng).public_key().fingerprint();
+  Cert sub = make_sub_cert(w.owner_key, w.owner_name, w.metadata.name(), alice,
+                           w.t0, w.t1);
+  EXPECT_TRUE(verify_subscription(w.metadata, sub, alice, w.now).ok());
+  EXPECT_EQ(verify_subscription(w.metadata, sub, bob, w.now).code(),
+            Errc::kPermissionDenied);
+  EXPECT_EQ(verify_subscription(w.metadata, sub, alice, from_seconds(99999)).code(),
+            Errc::kExpired);
+}
+
+// ---- Naming catalogs ---------------------------------------------------------------
+
+TEST(Catalog, AdvertisementRoundTrip) {
+  World w;
+  Advertisement ad;
+  ad.advertised = w.metadata.name();
+  ad.expires_ns = from_seconds(600).count();
+  ad.delegation.ad_cert = make_ad_cert(w.owner_key, w.owner_name,
+                                       w.metadata.name(), w.server.name(), w.t0, w.t1);
+  auto back = Advertisement::deserialize(ad.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->advertised, ad.advertised);
+  EXPECT_EQ(back->expires_ns, ad.expires_ns);
+}
+
+TEST(Catalog, ApplyAndExpire) {
+  World w;
+  Advertisement ad;
+  ad.advertised = w.metadata.name();
+  ad.expires_ns = from_seconds(600).count();
+  ad.delegation.ad_cert = make_ad_cert(w.owner_key, w.owner_name,
+                                       w.metadata.name(), w.server.name(), w.t0, w.t1);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.apply(Catalog::encode_advertisement(ad)).ok());
+  ASSERT_EQ(catalog.advertisements().size(), 1u);
+  EXPECT_EQ(catalog.live(from_seconds(500)).size(), 1u);
+  EXPECT_EQ(catalog.live(from_seconds(700)).size(), 0u);
+}
+
+TEST(Catalog, GroupExtensionDefersExpiry) {
+  World w;
+  Advertisement ad;
+  ad.advertised = w.metadata.name();
+  ad.expires_ns = from_seconds(600).count();
+  ad.delegation.ad_cert = make_ad_cert(w.owner_key, w.owner_name,
+                                       w.metadata.name(), w.server.name(), w.t0, w.t1);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.apply(Catalog::encode_advertisement(ad)).ok());
+  ASSERT_TRUE(catalog.apply(Catalog::encode_extension(from_seconds(900).count())).ok());
+  EXPECT_EQ(catalog.live(from_seconds(700)).size(), 1u);
+  EXPECT_EQ(catalog.live(from_seconds(1000)).size(), 0u);
+  // Extensions never shorten.
+  ASSERT_TRUE(catalog.apply(Catalog::encode_extension(from_seconds(100).count())).ok());
+  EXPECT_EQ(catalog.live(from_seconds(700)).size(), 1u);
+}
+
+TEST(Catalog, RejectsGarbageRecords) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.apply(Bytes{}).ok());
+  EXPECT_FALSE(catalog.apply(Bytes{0x7f, 0x01}).ok());
+  EXPECT_FALSE(catalog.apply(Bytes{0x01, 0x02}).ok());  // truncated advertisement
+}
+
+}  // namespace
+}  // namespace gdp::trust
