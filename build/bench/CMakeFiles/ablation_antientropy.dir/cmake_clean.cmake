@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_antientropy.dir/ablation_antientropy.cpp.o"
+  "CMakeFiles/ablation_antientropy.dir/ablation_antientropy.cpp.o.d"
+  "ablation_antientropy"
+  "ablation_antientropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_antientropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crypto.dir/ablation_crypto.cpp.o"
+  "CMakeFiles/ablation_crypto.dir/ablation_crypto.cpp.o.d"
+  "ablation_crypto"
+  "ablation_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

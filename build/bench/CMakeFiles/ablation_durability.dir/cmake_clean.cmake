@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_durability.dir/ablation_durability.cpp.o"
+  "CMakeFiles/ablation_durability.dir/ablation_durability.cpp.o.d"
+  "ablation_durability"
+  "ablation_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

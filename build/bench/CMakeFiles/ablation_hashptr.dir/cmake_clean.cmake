@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hashptr.dir/ablation_hashptr.cpp.o"
+  "CMakeFiles/ablation_hashptr.dir/ablation_hashptr.cpp.o.d"
+  "ablation_hashptr"
+  "ablation_hashptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hashptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

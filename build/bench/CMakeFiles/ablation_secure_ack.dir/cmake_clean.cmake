@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_secure_ack.dir/ablation_secure_ack.cpp.o"
+  "CMakeFiles/ablation_secure_ack.dir/ablation_secure_ack.cpp.o.d"
+  "ablation_secure_ack"
+  "ablation_secure_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secure_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

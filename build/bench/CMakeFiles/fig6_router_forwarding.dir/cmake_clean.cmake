@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_router_forwarding.dir/fig6_router_forwarding.cpp.o"
+  "CMakeFiles/fig6_router_forwarding.dir/fig6_router_forwarding.cpp.o.d"
+  "fig6_router_forwarding"
+  "fig6_router_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_router_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gdp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/caapi/CMakeFiles/gdp_caapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/gdp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gdp_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/gdp_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/gdp_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gdp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gdp_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/gdp_capsule.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gdp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_models.dir/robot_models.cpp.o"
+  "CMakeFiles/robot_models.dir/robot_models.cpp.o.d"
+  "robot_models"
+  "robot_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_chat.dir/team_chat.cpp.o"
+  "CMakeFiles/team_chat.dir/team_chat.cpp.o.d"
+  "team_chat"
+  "team_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untrusted_provider.dir/untrusted_provider.cpp.o"
+  "CMakeFiles/untrusted_provider.dir/untrusted_provider.cpp.o.d"
+  "untrusted_provider"
+  "untrusted_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untrusted_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("wire")
+subdirs("capsule")
+subdirs("trust")
+subdirs("store")
+subdirs("net")
+subdirs("router")
+subdirs("server")
+subdirs("client")
+subdirs("caapi")
+subdirs("baselines")
+subdirs("harness")
+subdirs("capi")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_baselines.dir/blob.cpp.o"
+  "CMakeFiles/gdp_baselines.dir/blob.cpp.o.d"
+  "CMakeFiles/gdp_baselines.dir/remotefs.cpp.o"
+  "CMakeFiles/gdp_baselines.dir/remotefs.cpp.o.d"
+  "libgdp_baselines.a"
+  "libgdp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

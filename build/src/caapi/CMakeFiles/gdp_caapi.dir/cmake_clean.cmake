@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_caapi.dir/aggregate.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/aggregate.cpp.o.d"
+  "CMakeFiles/gdp_caapi.dir/commit.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/commit.cpp.o.d"
+  "CMakeFiles/gdp_caapi.dir/fs.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/fs.cpp.o.d"
+  "CMakeFiles/gdp_caapi.dir/kv.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/kv.cpp.o.d"
+  "CMakeFiles/gdp_caapi.dir/stream.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/stream.cpp.o.d"
+  "CMakeFiles/gdp_caapi.dir/timeseries.cpp.o"
+  "CMakeFiles/gdp_caapi.dir/timeseries.cpp.o.d"
+  "libgdp_caapi.a"
+  "libgdp_caapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_caapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_capi.dir/gdp.cpp.o"
+  "CMakeFiles/gdp_capi.dir/gdp.cpp.o.d"
+  "libgdp_capi.a"
+  "libgdp_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

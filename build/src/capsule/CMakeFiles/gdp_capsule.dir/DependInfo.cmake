@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capsule/entangle.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/entangle.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/entangle.cpp.o.d"
+  "/root/repo/src/capsule/heartbeat.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/heartbeat.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/capsule/metadata.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/metadata.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/metadata.cpp.o.d"
+  "/root/repo/src/capsule/proof.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/proof.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/proof.cpp.o.d"
+  "/root/repo/src/capsule/record.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/record.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/record.cpp.o.d"
+  "/root/repo/src/capsule/sealed.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/sealed.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/sealed.cpp.o.d"
+  "/root/repo/src/capsule/state.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/state.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/state.cpp.o.d"
+  "/root/repo/src/capsule/strategy.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/strategy.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/strategy.cpp.o.d"
+  "/root/repo/src/capsule/writer.cpp" "src/capsule/CMakeFiles/gdp_capsule.dir/writer.cpp.o" "gcc" "src/capsule/CMakeFiles/gdp_capsule.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gdp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_capsule.dir/entangle.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/entangle.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/heartbeat.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/metadata.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/metadata.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/proof.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/proof.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/record.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/record.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/sealed.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/sealed.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/state.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/state.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/strategy.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/strategy.cpp.o.d"
+  "CMakeFiles/gdp_capsule.dir/writer.cpp.o"
+  "CMakeFiles/gdp_capsule.dir/writer.cpp.o.d"
+  "libgdp_capsule.a"
+  "libgdp_capsule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_capsule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdp_capsule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client.cpp" "src/client/CMakeFiles/gdp_client.dir/client.cpp.o" "gcc" "src/client/CMakeFiles/gdp_client.dir/client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/gdp_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/gdp_capsule.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gdp_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gdp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gdp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

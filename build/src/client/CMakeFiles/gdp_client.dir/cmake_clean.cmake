@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_client.dir/client.cpp.o"
+  "CMakeFiles/gdp_client.dir/client.cpp.o.d"
+  "libgdp_client.a"
+  "libgdp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_common.dir/bytes.cpp.o"
+  "CMakeFiles/gdp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/gdp_common.dir/log.cpp.o"
+  "CMakeFiles/gdp_common.dir/log.cpp.o.d"
+  "CMakeFiles/gdp_common.dir/result.cpp.o"
+  "CMakeFiles/gdp_common.dir/result.cpp.o.d"
+  "CMakeFiles/gdp_common.dir/varint.cpp.o"
+  "CMakeFiles/gdp_common.dir/varint.cpp.o.d"
+  "libgdp_common.a"
+  "libgdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

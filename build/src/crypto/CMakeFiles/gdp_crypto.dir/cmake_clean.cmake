@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/gdp_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/gdp_crypto.dir/keys.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/gdp_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/gdp_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/gdp_crypto.dir/u256.cpp.o"
+  "CMakeFiles/gdp_crypto.dir/u256.cpp.o.d"
+  "libgdp_crypto.a"
+  "libgdp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_net.dir/network.cpp.o"
+  "CMakeFiles/gdp_net.dir/network.cpp.o.d"
+  "CMakeFiles/gdp_net.dir/sim.cpp.o"
+  "CMakeFiles/gdp_net.dir/sim.cpp.o.d"
+  "libgdp_net.a"
+  "libgdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_router.dir/endpoint.cpp.o"
+  "CMakeFiles/gdp_router.dir/endpoint.cpp.o.d"
+  "CMakeFiles/gdp_router.dir/glookup.cpp.o"
+  "CMakeFiles/gdp_router.dir/glookup.cpp.o.d"
+  "CMakeFiles/gdp_router.dir/router.cpp.o"
+  "CMakeFiles/gdp_router.dir/router.cpp.o.d"
+  "CMakeFiles/gdp_router.dir/topology.cpp.o"
+  "CMakeFiles/gdp_router.dir/topology.cpp.o.d"
+  "libgdp_router.a"
+  "libgdp_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_server.dir/server.cpp.o"
+  "CMakeFiles/gdp_server.dir/server.cpp.o.d"
+  "libgdp_server.a"
+  "libgdp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/capsule_store.cpp" "src/store/CMakeFiles/gdp_store.dir/capsule_store.cpp.o" "gcc" "src/store/CMakeFiles/gdp_store.dir/capsule_store.cpp.o.d"
+  "/root/repo/src/store/crc32.cpp" "src/store/CMakeFiles/gdp_store.dir/crc32.cpp.o" "gcc" "src/store/CMakeFiles/gdp_store.dir/crc32.cpp.o.d"
+  "/root/repo/src/store/logstore.cpp" "src/store/CMakeFiles/gdp_store.dir/logstore.cpp.o" "gcc" "src/store/CMakeFiles/gdp_store.dir/logstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/gdp_capsule.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gdp_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gdp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_store.dir/capsule_store.cpp.o"
+  "CMakeFiles/gdp_store.dir/capsule_store.cpp.o.d"
+  "CMakeFiles/gdp_store.dir/crc32.cpp.o"
+  "CMakeFiles/gdp_store.dir/crc32.cpp.o.d"
+  "CMakeFiles/gdp_store.dir/logstore.cpp.o"
+  "CMakeFiles/gdp_store.dir/logstore.cpp.o.d"
+  "libgdp_store.a"
+  "libgdp_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

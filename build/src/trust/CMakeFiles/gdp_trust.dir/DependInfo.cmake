@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/advertisement.cpp" "src/trust/CMakeFiles/gdp_trust.dir/advertisement.cpp.o" "gcc" "src/trust/CMakeFiles/gdp_trust.dir/advertisement.cpp.o.d"
+  "/root/repo/src/trust/cert.cpp" "src/trust/CMakeFiles/gdp_trust.dir/cert.cpp.o" "gcc" "src/trust/CMakeFiles/gdp_trust.dir/cert.cpp.o.d"
+  "/root/repo/src/trust/delegation.cpp" "src/trust/CMakeFiles/gdp_trust.dir/delegation.cpp.o" "gcc" "src/trust/CMakeFiles/gdp_trust.dir/delegation.cpp.o.d"
+  "/root/repo/src/trust/principal.cpp" "src/trust/CMakeFiles/gdp_trust.dir/principal.cpp.o" "gcc" "src/trust/CMakeFiles/gdp_trust.dir/principal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gdp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/capsule/CMakeFiles/gdp_capsule.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

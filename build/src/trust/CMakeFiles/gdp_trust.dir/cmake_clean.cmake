@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_trust.dir/advertisement.cpp.o"
+  "CMakeFiles/gdp_trust.dir/advertisement.cpp.o.d"
+  "CMakeFiles/gdp_trust.dir/cert.cpp.o"
+  "CMakeFiles/gdp_trust.dir/cert.cpp.o.d"
+  "CMakeFiles/gdp_trust.dir/delegation.cpp.o"
+  "CMakeFiles/gdp_trust.dir/delegation.cpp.o.d"
+  "CMakeFiles/gdp_trust.dir/principal.cpp.o"
+  "CMakeFiles/gdp_trust.dir/principal.cpp.o.d"
+  "libgdp_trust.a"
+  "libgdp_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

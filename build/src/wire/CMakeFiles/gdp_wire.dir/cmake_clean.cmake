@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_wire.dir/messages.cpp.o"
+  "CMakeFiles/gdp_wire.dir/messages.cpp.o.d"
+  "CMakeFiles/gdp_wire.dir/pdu.cpp.o"
+  "CMakeFiles/gdp_wire.dir/pdu.cpp.o.d"
+  "libgdp_wire.a"
+  "libgdp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caapi_test.dir/caapi_test.cpp.o"
+  "CMakeFiles/caapi_test.dir/caapi_test.cpp.o.d"
+  "caapi_test"
+  "caapi_test.pdb"
+  "caapi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

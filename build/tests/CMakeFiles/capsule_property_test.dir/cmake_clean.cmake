@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsule_property_test.dir/capsule_property_test.cpp.o"
+  "CMakeFiles/capsule_property_test.dir/capsule_property_test.cpp.o.d"
+  "capsule_property_test"
+  "capsule_property_test.pdb"
+  "capsule_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsule_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

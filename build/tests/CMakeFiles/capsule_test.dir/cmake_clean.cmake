@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsule_test.dir/capsule_test.cpp.o"
+  "CMakeFiles/capsule_test.dir/capsule_test.cpp.o.d"
+  "capsule_test"
+  "capsule_test.pdb"
+  "capsule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
