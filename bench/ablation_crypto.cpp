@@ -5,7 +5,15 @@
 // the beginning of flow establishment": one ECDSA verification costs
 // hundreds of microseconds, while per-PDU work is hashing/HMAC at tens of
 // nanoseconds per byte — three to four orders of magnitude apart.
+//
+// Besides the google-benchmark suite, main() times the table-driven fast
+// scalar-multiplication paths against the retained slow (double-and-add +
+// Fermat-inverse) paths and writes the rates to BENCH_crypto.json in the
+// current directory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "common/rng.hpp"
 #include "crypto/chacha20.hpp"
@@ -108,6 +116,118 @@ void BM_KeyGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyGeneration);
 
+// ---- fast-vs-slow comparison + BENCH_crypto.json ---------------------------
+
+/// ops/s of `fn` over a fixed wall-clock budget.
+template <typename Fn>
+double ops_per_sec(Fn&& fn) {
+  // Best of three windows: the max rate is the least scheduler-contended
+  // estimate, which is what we want when comparing implementations.
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto budget = std::chrono::milliseconds(150);
+    int iters = 0;
+    while (std::chrono::steady_clock::now() - t0 < budget) {
+      fn();
+      ++iters;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::max(best, iters / secs);
+  }
+  return best;
+}
+
+/// The seed signing path: RFC 6979 nonce + double-and-add k*G + Fermat
+/// inverse.  Byte-identical output to the fast path by construction.
+Signature sign_digest_slow(const U256& d, const Digest& digest) {
+  U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
+  U256 k = rfc6979_nonce(d, digest);
+  AffinePoint rp = point_mul_slow(k, secp_g());
+  U256 r = sc_reduce(rp.x);
+  return Signature{r, sc_mul(sc_inv_fermat(k), sc_add(z, sc_mul(r, d)))};
+}
+
+/// The seed verification path: Fermat inverse + independent double-and-add
+/// for u1*G and u2*Q.
+bool verify_digest_slow(const PublicKey& pub, const Digest& digest,
+                        const Signature& sig) {
+  U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
+  U256 w = sc_inv_fermat(sig.s);
+  AffinePoint rp = point_mul2_slow(sc_mul(z, w), sc_mul(sig.r, w), pub.point());
+  if (rp.infinity) return false;
+  return sc_reduce(rp.x) == sig.r;
+}
+
+struct Pair {
+  const char* name;
+  double fast;
+  double slow;
+};
+
+void run_fast_vs_slow() {
+  Rng rng(11);
+  PrivateKey key = PrivateKey::generate(rng);
+  U256 d = U256::from_bytes_be(key.to_bytes());
+  Digest digest = sha256(rng.next_bytes(200));
+  Signature sig = key.sign_digest(digest);
+  if (sign_digest_slow(d, digest).encode() != sig.encode() ||
+      !verify_digest_slow(key.public_key(), digest, sig)) {
+    std::fprintf(stderr, "fast/slow path disagreement; not writing JSON\n");
+    return;
+  }
+  U256 a = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  U256 b = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const AffinePoint q = key.public_key().point();
+
+  const Pair rows[] = {
+      {"sign", ops_per_sec([&] { key.sign_digest(digest); }),
+       ops_per_sec([&] { sign_digest_slow(d, digest); })},
+      {"verify",
+       ops_per_sec([&] { key.public_key().verify_digest(digest, sig); }),
+       ops_per_sec([&] { verify_digest_slow(key.public_key(), digest, sig); })},
+      {"point_mul_g", ops_per_sec([&] { point_mul(a, secp_g()); }),
+       ops_per_sec([&] { point_mul_slow(a, secp_g()); })},
+      {"point_mul", ops_per_sec([&] { point_mul(a, q); }),
+       ops_per_sec([&] { point_mul_slow(a, q); })},
+      {"point_mul2", ops_per_sec([&] { point_mul2(a, b, q); }),
+       ops_per_sec([&] { point_mul2_slow(a, b, q); })},
+  };
+
+  std::printf("\n%-14s %14s %14s %9s\n", "operation", "fast_ops_s", "slow_ops_s",
+              "speedup");
+  for (const Pair& row : rows) {
+    std::printf("%-14s %14.1f %14.1f %8.2fx\n", row.name, row.fast, row.slow,
+                row.fast / row.slow);
+  }
+
+  FILE* f = std::fopen("BENCH_crypto.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_crypto.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  bool first = true;
+  for (const Pair& row : rows) {
+    std::fprintf(f, "%s  \"%s\": {\"fast_per_sec\": %.1f, \"slow_per_sec\": %.1f, \"speedup\": %.2f}",
+                 first ? "" : ",\n", row.name, row.fast, row.slow,
+                 row.fast / row.slow);
+    first = false;
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_crypto.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_fast_vs_slow();
+  return 0;
+}

@@ -51,6 +51,12 @@ struct NullHandler : public net::PduHandler {
 
 }  // namespace
 
+struct Point {
+  std::size_t pdu_bytes;
+  double pdus_per_sec;
+  double gbits_per_sec;
+};
+
 int main() {
   constexpr int kFlows = 32;
   constexpr std::uint64_t kPdusPerPoint = 200000;
@@ -60,6 +66,9 @@ int main() {
   std::printf("# 32 sources -> 1 GDP-router -> 32 sinks (in-process data path)\n");
   std::printf("%12s %15s %15s %12s\n", "pdu_bytes", "pdus_per_sec",
               "gbits_per_sec", "wall_ms");
+
+  std::vector<Point> points;
+  double flow_establish_ms = 0.0;
 
   for (std::size_t payload : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
                               8192u, 10240u, 16384u}) {
@@ -98,6 +107,7 @@ int main() {
                              .count() *
                          1e3;
     if (payload == 64u) {
+      flow_establish_ms = hs_ms;
       std::printf("# flow establishment (32 secure advertisements, once per "
                   "flow): %.1f ms total, %.2f ms/flow\n",
                   hs_ms, hs_ms / kFlows);
@@ -131,6 +141,24 @@ int main() {
                         1e9;
     std::printf("%12zu %15.0f %15.3f %12.1f\n", payload, rate, gbps,
                 wall_s * 1e3);
+    points.push_back(Point{payload, rate, gbps});
+  }
+
+  if (FILE* f = std::fopen("BENCH_fig6.json", "w")) {
+    std::fprintf(f, "{\n  \"flow_establish_ms_total\": %.2f,\n", flow_establish_ms);
+    std::fprintf(f, "  \"flow_establish_ms_per_flow\": %.3f,\n",
+                 flow_establish_ms / kFlows);
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"pdu_bytes\": %zu, \"pdus_per_sec\": %.0f, "
+                   "\"gbits_per_sec\": %.3f}%s\n",
+                   points[i].pdu_bytes, points[i].pdus_per_sec,
+                   points[i].gbits_per_sec, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_fig6.json\n");
   }
   return 0;
 }

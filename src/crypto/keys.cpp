@@ -39,10 +39,9 @@ bool PublicKey::verify_digest(const Digest& digest, const Signature& sig) const 
   U256 w = sc_inv(sig.s);
   U256 u1 = sc_mul(z, w);
   U256 u2 = sc_mul(sig.r, w);
-  AffinePoint rp = point_mul2(u1, u2, point_);
-  if (rp.infinity) return false;
-  // r must equal R.x mod n.
-  return sc_reduce(rp.x) == sig.r;
+  // r must equal R.x mod n; checked in Jacobian form to skip the final
+  // field inversion of an affine conversion.
+  return point_mul2_check_r(u1, u2, point_, sig.r);
 }
 
 PrivateKey::PrivateKey(const U256& d)
@@ -69,28 +68,86 @@ Signature PrivateKey::sign(BytesView message) const {
   return sign_digest(sha256(message));
 }
 
+namespace {
+
+// RFC 6979 §3.2 deterministic-nonce generator: HMAC-DRBG over SHA-256
+// seeded with int2octets(d) || bits2octets(H(m)).  For secp256k1
+// qlen = hlen = 256, so bits2int is the identity and each round draws
+// exactly one candidate.
+class Rfc6979 {
+ public:
+  Rfc6979(const U256& d, const Digest& digest) {
+    v_.fill(0x01);
+    k_.fill(0x00);
+    Bytes seed = d.to_bytes_be();
+    Bytes h2 = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())))
+                   .to_bytes_be();  // bits2octets(H(m))
+    seed.insert(seed.end(), h2.begin(), h2.end());
+    stir(0x00, seed);
+    stir(0x01, seed);
+  }
+
+  /// Draws the next candidate nonce (V = HMAC_K(V); bits2int(V)).  The
+  /// caller must reject out-of-range candidates via bump().
+  U256 next() {
+    v_ = hmac_sha256(key(), val());
+    return U256::from_bytes_be(val());
+  }
+
+  /// Advances the DRBG state after a rejected candidate
+  /// (K = HMAC_K(V || 0x00); V = HMAC_K(V)).
+  void bump() {
+    Bytes data(v_.begin(), v_.end());
+    data.push_back(0x00);
+    k_ = hmac_sha256(key(), data);
+    v_ = hmac_sha256(key(), val());
+  }
+
+ private:
+  BytesView key() const { return BytesView(k_.data(), k_.size()); }
+  BytesView val() const { return BytesView(v_.data(), v_.size()); }
+
+  void stir(std::uint8_t tag, BytesView seed) {
+    Bytes data(v_.begin(), v_.end());
+    data.push_back(tag);
+    data.insert(data.end(), seed.begin(), seed.end());
+    k_ = hmac_sha256(key(), data);
+    v_ = hmac_sha256(key(), val());
+  }
+
+  Digest v_{};
+  Digest k_{};
+};
+
+}  // namespace
+
+U256 rfc6979_nonce(const U256& d, const Digest& digest) {
+  Rfc6979 drbg(d, digest);
+  for (;;) {
+    U256 k = drbg.next();
+    if (sc_is_valid(k)) return k;
+    drbg.bump();
+  }
+}
+
 Signature PrivateKey::sign_digest(const Digest& digest) const {
   U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
-  Bytes d_bytes = d_.to_bytes_be();
-  // Deterministic nonce in the spirit of RFC 6979: k derived by HMAC over
-  // the private key, the message digest and a retry counter.
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    Bytes nonce_input = concat(BytesView(digest.data(), digest.size()),
-                               Bytes{static_cast<std::uint8_t>(attempt),
-                                     static_cast<std::uint8_t>(attempt >> 8),
-                                     static_cast<std::uint8_t>(attempt >> 16),
-                                     static_cast<std::uint8_t>(attempt >> 24)});
-    Digest kd = hmac_sha256(d_bytes, nonce_input);
-    U256 k = sc_reduce(U256::from_bytes_be(BytesView(kd.data(), kd.size())));
-    if (!sc_is_valid(k)) continue;
-
+  Rfc6979 drbg(d_, digest);
+  for (;;) {
+    U256 k = drbg.next();
+    if (!sc_is_valid(k)) {
+      drbg.bump();
+      continue;
+    }
     AffinePoint rp = point_mul(k, secp_g());
-    if (rp.infinity) continue;
-    U256 r = sc_reduce(rp.x);
-    if (r.is_zero()) continue;
-    U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
-    if (s.is_zero()) continue;
-    return Signature{r, s};
+    if (!rp.infinity) {
+      U256 r = sc_reduce(rp.x);
+      if (!r.is_zero()) {
+        U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
+        if (!s.is_zero()) return Signature{r, s};
+      }
+    }
+    drbg.bump();
   }
 }
 

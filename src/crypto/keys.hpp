@@ -3,8 +3,9 @@
 // Every GDP principal — DataCapsule writer, owner, DataCapsule-server,
 // GDP-router, organization — is identified by an ECDSA key pair; the
 // SHA-256 fingerprint of the public key participates in the flat
-// name-space.  Signing uses deterministic nonces (in the spirit of
-// RFC 6979) so no secure RNG is needed anywhere in the system.
+// name-space.  Signing uses deterministic nonces per RFC 6979 (HMAC-DRBG
+// with SHA-256) so no secure RNG is needed anywhere in the system and
+// signatures are byte-for-byte reproducible across implementations.
 #pragma once
 
 #include <optional>
@@ -71,6 +72,12 @@ class PrivateKey {
   U256 d_;
   PublicKey pub_;
 };
+
+/// The first RFC 6979 nonce candidate for (private scalar d, message
+/// digest).  This is the k the signer uses unless r or s degenerates
+/// (probability ~2^-256); exposed so tests can pin the published RFC 6979
+/// secp256k1 vectors.
+U256 rfc6979_nonce(const U256& d, const Digest& digest);
 
 /// ECDH: both sides derive the same 32-byte symmetric key from
 /// (my private, their public).  Used to set up the HMAC session between a

@@ -1,6 +1,9 @@
 #include "crypto/secp256k1.hpp"
 
+#include <array>
 #include <cassert>
+#include <cstdlib>
+#include <vector>
 
 namespace gdp::crypto {
 
@@ -25,11 +28,12 @@ constexpr U256 kGy{{0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
 
 // Generic "x mod (2^256 - delta)" for delta < 2^130: fold the high half
 // down (x = hi*delta + lo mod m) until the high half vanishes, then
-// conditionally subtract m.
-U256 reduce512(const U512& x, const U256& m, const U256& delta) {
+// conditionally subtract m.  `delta_limbs` bounds the non-zero limbs of
+// delta so the fold multiplication skips guaranteed-zero rows.
+U256 reduce512(const U512& x, const U256& m, const U256& delta, int delta_limbs) {
   U512 acc = x;
   while (!acc.hi().is_zero()) {
-    acc = add512(mul_full(acc.hi(), delta), U512::from_u256(acc.lo()));
+    acc = add512(mul_small(acc.hi(), delta, delta_limbs), U512::from_u256(acc.lo()));
   }
   U256 r = acc.lo();
   while (r >= m) sub_borrow(r, r, m);
@@ -59,6 +63,46 @@ U256 mod_pow(const U256& base, const U256& exp,
     if (exp.bit(static_cast<unsigned>(i))) result = mul(result, base);
   }
   return result;
+}
+
+// Binary extended-GCD modular inverse (HAC 14.61 specialized to odd m and
+// gcd(a, m) = 1).  Runs in ~256 shift/subtract rounds, an order of
+// magnitude cheaper than the ~380-multiplication Fermat ladder.
+U256 mod_inv_binary(const U256& a, const U256& m) {
+  assert(!a.is_zero() && a < m);
+  const U256 one = U256::from_u64(1);
+  U256 u = a;
+  U256 v = m;
+  U256 x1 = one;
+  U256 x2 = U256::zero();
+  while (u != one && v != one) {
+    while (!u.is_odd()) {
+      u = shr1(u);
+      if (x1.is_odd()) {
+        std::uint64_t carry = add_carry(x1, x1, m);
+        x1 = shr1(x1, carry);
+      } else {
+        x1 = shr1(x1);
+      }
+    }
+    while (!v.is_odd()) {
+      v = shr1(v);
+      if (x2.is_odd()) {
+        std::uint64_t carry = add_carry(x2, x2, m);
+        x2 = shr1(x2, carry);
+      } else {
+        x2 = shr1(x2);
+      }
+    }
+    if (u >= v) {
+      sub_borrow(u, u, v);
+      x1 = mod_sub(x1, x2, m);
+    } else {
+      sub_borrow(v, v, u);
+      x2 = mod_sub(x2, x1, m);
+    }
+  }
+  return u == one ? x1 : x2;
 }
 
 // ---- Jacobian-coordinate point arithmetic ----------------------------------
@@ -131,12 +175,298 @@ Jac jac_add(const Jac& p, const Jac& q) {
   return out;
 }
 
+// Mixed addition p + q with q affine (z2 = 1): saves four multiplications
+// and a squaring versus the general formula.  This is the work-horse of
+// both table-driven fast paths.
+Jac jac_add_affine(const Jac& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  if (p.inf) return Jac::from_affine(q);
+  U256 z1z1 = fp_sqr(p.z);
+  U256 u2 = fp_mul(q.x, z1z1);
+  U256 s2 = fp_mul(q.y, fp_mul(p.z, z1z1));
+  U256 h = fp_sub(u2, p.x);
+  U256 r = fp_sub(s2, p.y);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_double(p);
+    return Jac{};  // P + (-P) = O
+  }
+  U256 hh = fp_sqr(h);
+  U256 hhh = fp_mul(h, hh);
+  U256 v = fp_mul(p.x, hh);
+  Jac out;
+  out.x = fp_sub(fp_sub(fp_sqr(r), hhh), fp_add(v, v));
+  out.y = fp_sub(fp_mul(r, fp_sub(v, out.x)), fp_mul(p.y, hhh));
+  out.z = fp_mul(p.z, h);
+  out.inf = false;
+  return out;
+}
+
 Jac jac_mul(const U256& k, const Jac& p) {
   Jac acc;
   int top = k.highest_bit();
   for (int i = top; i >= 0; --i) {
     acc = jac_double(acc);
     if (k.bit(static_cast<unsigned>(i))) acc = jac_add(acc, p);
+  }
+  return acc;
+}
+
+// Normalizes `count` Jacobian points to affine with a single field
+// inversion (Montgomery's trick over the z coordinates).
+void jac_batch_to_affine(const Jac* in, AffinePoint* out, std::size_t count) {
+  std::vector<U256> prefix(count);
+  U256 acc = U256::from_u64(1);
+  for (std::size_t i = 0; i < count; ++i) {
+    prefix[i] = acc;
+    if (!in[i].inf) acc = fp_mul(acc, in[i].z);
+  }
+  U256 inv_acc = fp_inv(acc);
+  for (std::size_t i = count; i-- > 0;) {
+    if (in[i].inf) {
+      out[i] = AffinePoint::at_infinity();
+      continue;
+    }
+    U256 zi = fp_mul(inv_acc, prefix[i]);
+    inv_acc = fp_mul(inv_acc, in[i].z);
+    U256 zi2 = fp_sqr(zi);
+    out[i].x = fp_mul(in[i].x, zi2);
+    out[i].y = fp_mul(in[i].y, fp_mul(zi2, zi));
+    out[i].infinity = false;
+  }
+}
+
+// ---- Fixed-base table for G -------------------------------------------------
+//
+// table[w][d-1] = d * 16^w * G for d = 1..15, w = 0..63: one window per
+// nibble of the scalar, so k*G is at most 64 mixed additions with no
+// doublings at all.  960 affine points (~60 kB), built once at startup
+// with a single batched inversion.
+
+struct FixedBaseTable {
+  std::array<std::array<AffinePoint, 15>, 64> win;
+
+  FixedBaseTable() {
+    std::vector<Jac> pts;
+    pts.reserve(64 * 15);
+    Jac base = Jac{kGx, kGy, U256::from_u64(1), false};
+    for (int w = 0; w < 64; ++w) {
+      Jac cur = base;  // 1 * 16^w * G
+      for (int d = 1; d <= 15; ++d) {
+        pts.push_back(cur);
+        cur = jac_add(cur, base);
+      }
+      base = cur;  // 16^(w+1) * G
+    }
+    std::vector<AffinePoint> flat(pts.size());
+    jac_batch_to_affine(pts.data(), flat.data(), pts.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      win[i / 15][i % 15] = flat[i];
+    }
+  }
+};
+
+const FixedBaseTable& fixed_base_table() {
+  static const FixedBaseTable t;
+  return t;
+}
+
+// Folds k*G into `acc` via the fixed-base table: one mixed addition per
+// non-zero nibble, no doublings.
+Jac add_fixed_base(Jac acc, const U256& k) {
+  const FixedBaseTable& t = fixed_base_table();
+  for (unsigned w = 0; w < 64; ++w) {
+    const unsigned d =
+        static_cast<unsigned>(k.w[w / 16] >> ((w % 16) * 4)) & 0xF;
+    if (d != 0) acc = jac_add_affine(acc, t.win[w][d - 1]);
+  }
+  return acc;
+}
+
+AffinePoint point_mul_g(const U256& k) {
+  return jac_to_affine(add_fixed_base(Jac{}, k));
+}
+
+// ---- wNAF -------------------------------------------------------------------
+
+// Width-w non-adjacent form: digits[i] is odd in [-(2^(w-1)-1), 2^(w-1)-1]
+// or zero, with at least w-1 zeros between non-zeros.  Returns the digit
+// count.  Valid scalars (< n < 2^256 - 2^128) cannot carry out of 256 bits
+// when a negative digit is added back.
+int wnaf_digits(const U256& k_in, int width, std::int8_t* digits) {
+  U256 k = k_in;
+  int len = 0;
+  const std::uint64_t mask = (1ULL << width) - 1;
+  const std::int32_t half = 1 << (width - 1);
+  while (!k.is_zero()) {
+    std::int32_t d = 0;
+    if (k.is_odd()) {
+      d = static_cast<std::int32_t>(k.w[0] & mask);
+      if (d >= half) d -= (1 << width);
+      if (d >= 0) {
+        U256 delta = U256::from_u64(static_cast<std::uint64_t>(d));
+        sub_borrow(k, k, delta);
+      } else {
+        U256 delta = U256::from_u64(static_cast<std::uint64_t>(-d));
+        std::uint64_t carry = add_carry(k, k, delta);
+        assert(carry == 0);
+        (void)carry;
+      }
+    }
+    digits[len++] = static_cast<std::int8_t>(d);
+    k = shr1(k);
+  }
+  return len;
+}
+
+// Odd multiples 1*P, 3*P, ..., (2*count-1)*P, batch-normalized to affine.
+void odd_multiples(const AffinePoint& p, AffinePoint* out, std::size_t count) {
+  std::vector<Jac> pts(count);
+  pts[0] = Jac::from_affine(p);
+  Jac twice = jac_double(pts[0]);
+  for (std::size_t i = 1; i < count; ++i) pts[i] = jac_add(pts[i - 1], twice);
+  jac_batch_to_affine(pts.data(), out, count);
+}
+
+constexpr int kWindowQ = 5;  // per-call table: 8 points
+
+Jac add_digit(Jac acc, std::int32_t digit, const AffinePoint* table, bool negate) {
+  AffinePoint t = table[(std::abs(digit) - 1) / 2];
+  if ((digit < 0) != negate) t.y = fp_neg(t.y);
+  return jac_add_affine(acc, t);
+}
+
+// ---- GLV endomorphism -------------------------------------------------------
+//
+// secp256k1 has an efficiently computable endomorphism
+// phi(x, y) = (beta*x, y) acting as scalar multiplication by lambda
+// (lambda^3 = 1 mod n, beta^3 = 1 mod p).  Splitting k = k1 + k2*lambda
+// with |k1|, |k2| <~ 2^128 (Babai rounding against the lattice basis
+// (|b1|, -b2), (b2, |b1|+b2)... precomputed below) halves the doubling
+// chain of a variable-base multiplication: k*Q = k1*Q + k2*phi(Q) shares
+// ~129 doublings instead of 256.
+
+// lambda, beta: the canonical cube roots.
+constexpr U256 kLambda{{0xDF02967C1B23BD72ULL, 0x122E22EA20816678ULL,
+                        0xA5261C028812645AULL, 0x5363AD4CC05C30E0ULL}};
+constexpr U256 kBeta{{0xC1396C28719501EEULL, 0x9CF0497512F58995ULL,
+                      0x6E64479EAC3434E9ULL, 0x7AE96A2B657C0710ULL}};
+// |b1|, b2: the short lattice vector components (b1 is negative).
+constexpr U256 kB1Abs{{0x6F547FA90ABFE4C3ULL, 0xE4437ED6010E8828ULL, 0, 0}};
+constexpr U256 kB2{{0xE86C90E49284EB15ULL, 0x3086D221A7D46BCDULL, 0, 0}};
+// g1 = round(2^384 * b2 / n), g2 = round(2^384 * |b1| / n): Barrett-style
+// reciprocals so the rounded quotients c_i = round(k * b_i / n) reduce to
+// a multiply and a shift.
+constexpr U256 kG1{{0xE893209A45DBB031ULL, 0x3DAA8A1471E8CA7FULL,
+                    0xE86C90E49284EB15ULL, 0x3086D221A7D46BCDULL}};
+constexpr U256 kG2{{0x1571B4AE8AC47F71ULL, 0x221208AC9DF506C6ULL,
+                    0x6F547FA90ABFE4C4ULL, 0xE4437ED6010E8828ULL}};
+
+// Half the group order, for mapping residues to signed magnitudes.
+constexpr U256 kNHalf{{0xDFE92F46681B20A0ULL, 0x5D576E7357A4501DULL,
+                       0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL}};
+
+struct GlvSplit {
+  U256 k1, k2;      // magnitudes, <= ~2^128
+  bool neg1, neg2;  // contribution signs
+};
+
+// round(k * g / 2^384): the product's top 128 bits, rounded by bit 383.
+U256 mul_shift_384(const U256& k, const U256& g) {
+  U512 t = mul_full(k, g);
+  U256 q{{t.w[6], t.w[7], 0, 0}};
+  if ((t.w[5] >> 63) != 0) add_carry(q, q, U256::from_u64(1));
+  return q;
+}
+
+GlvSplit glv_split(const U256& k) {
+  const U256 c1 = mul_shift_384(k, kG1);
+  const U256 c2 = mul_shift_384(k, kG2);
+  // k2 = -(c1*b1 + c2*b2) = c1*|b1| - c2*b2 (mod n); k1 = k - k2*lambda.
+  U256 k2 = mod_sub(sc_mul(c1, kB1Abs), sc_mul(c2, kB2), kN);
+  U256 k1 = mod_sub(k, sc_mul(k2, kLambda), kN);
+  GlvSplit out;
+  out.neg1 = k1 > kNHalf;
+  out.k1 = out.neg1 ? sc_neg(k1) : k1;
+  out.neg2 = k2 > kNHalf;
+  out.k2 = out.neg2 ? sc_neg(k2) : k2;
+  return out;
+}
+
+// The shared double-and-add chain for k*Q via the GLV split: ~129
+// doublings, two interleaved width-5 wNAF digit streams over the odd
+// multiples of Q and phi(Q).
+Jac glv_chain(const U256& k, const AffinePoint& q) {
+  GlvSplit s = glv_split(k);
+  std::array<AffinePoint, 8> q_tbl;
+  odd_multiples(q, q_tbl.data(), q_tbl.size());
+  std::array<AffinePoint, 8> phi_tbl;
+  for (std::size_t i = 0; i < q_tbl.size(); ++i) {
+    phi_tbl[i] = AffinePoint{fp_mul(kBeta, q_tbl[i].x), q_tbl[i].y, false};
+  }
+  std::int8_t d1[131];
+  std::int8_t d2[131];
+  const int l1 = wnaf_digits(s.k1, kWindowQ, d1);
+  const int l2 = wnaf_digits(s.k2, kWindowQ, d2);
+  const int len = l1 > l2 ? l1 : l2;
+  Jac acc;
+  for (int i = len - 1; i >= 0; --i) {
+    acc = jac_double(acc);
+    if (i < l1 && d1[i] != 0) acc = add_digit(acc, d1[i], q_tbl.data(), s.neg1);
+    if (i < l2 && d2[i] != 0) acc = add_digit(acc, d2[i], phi_tbl.data(), s.neg2);
+  }
+  return acc;
+}
+
+// G is fixed, so its wNAF tables can be much wider than the per-call
+// window for Q: width 8 needs the odd multiples 1*G..127*G (64 points)
+// plus their phi images -- 8 kB, built once.
+constexpr int kWindowG = 8;
+
+struct GWnafTable {
+  std::array<AffinePoint, 64> g, phig;
+
+  GWnafTable() {
+    odd_multiples(secp_g(), g.data(), g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      phig[i] = AffinePoint{fp_mul(kBeta, g[i].x), g[i].y, false};
+    }
+  }
+};
+
+const GWnafTable& g_wnaf_table() {
+  static const GWnafTable t;
+  return t;
+}
+
+// u1*G + u2*Q with both scalars GLV-split onto one ~129-doubling chain:
+// four interleaved wNAF digit streams (width 8 for the two fixed-base
+// streams, width 5 for the two per-call Q streams).
+Jac glv_chain2(const U256& u1, const U256& u2, const AffinePoint& q) {
+  GlvSplit sg = glv_split(u1);
+  GlvSplit sq = glv_split(u2);
+  std::array<AffinePoint, 8> q_tbl;
+  odd_multiples(q, q_tbl.data(), q_tbl.size());
+  std::array<AffinePoint, 8> phi_tbl;
+  for (std::size_t i = 0; i < q_tbl.size(); ++i) {
+    phi_tbl[i] = AffinePoint{fp_mul(kBeta, q_tbl[i].x), q_tbl[i].y, false};
+  }
+  const GWnafTable& gt = g_wnaf_table();
+  std::int8_t dg1[131], dg2[131], dq1[131], dq2[131];
+  const int lg1 = wnaf_digits(sg.k1, kWindowG, dg1);
+  const int lg2 = wnaf_digits(sg.k2, kWindowG, dg2);
+  const int lq1 = wnaf_digits(sq.k1, kWindowQ, dq1);
+  const int lq2 = wnaf_digits(sq.k2, kWindowQ, dq2);
+  int len = lg1;
+  if (lg2 > len) len = lg2;
+  if (lq1 > len) len = lq1;
+  if (lq2 > len) len = lq2;
+  Jac acc;
+  for (int i = len - 1; i >= 0; --i) {
+    acc = jac_double(acc);
+    if (i < lg1 && dg1[i] != 0) acc = add_digit(acc, dg1[i], gt.g.data(), sg.neg1);
+    if (i < lg2 && dg2[i] != 0) acc = add_digit(acc, dg2[i], gt.phig.data(), sg.neg2);
+    if (i < lq1 && dq1[i] != 0) acc = add_digit(acc, dq1[i], q_tbl.data(), sq.neg1);
+    if (i < lq2 && dq2[i] != 0) acc = add_digit(acc, dq2[i], phi_tbl.data(), sq.neg2);
   }
   return acc;
 }
@@ -148,24 +478,51 @@ const U256& secp_n() { return kN; }
 
 U256 fp_add(const U256& a, const U256& b) { return mod_add(a, b, kP); }
 U256 fp_sub(const U256& a, const U256& b) { return mod_sub(a, b, kP); }
-U256 fp_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kP, kC); }
-U256 fp_sqr(const U256& a) { return fp_mul(a, a); }
+U256 fp_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kP, kC, 1); }
+U256 fp_sqr(const U256& a) { return reduce512(sqr_full(a), kP, kC, 1); }
 U256 fp_neg(const U256& a) { return a.is_zero() ? a : mod_sub(U256::zero(), a, kP); }
 
 U256 fp_inv(const U256& a) {
+  assert(!a.is_zero());
+  return mod_inv_binary(a, kP);
+}
+
+U256 fp_inv_fermat(const U256& a) {
   assert(!a.is_zero());
   U256 exp;  // p - 2
   sub_borrow(exp, kP, U256::from_u64(2));
   return mod_pow(a, exp, &fp_mul);
 }
 
+void fp_inv_batch(U256* vals, std::size_t count) {
+  if (count == 0) return;
+  std::vector<U256> prefix(count);
+  U256 acc = U256::from_u64(1);
+  for (std::size_t i = 0; i < count; ++i) {
+    assert(!vals[i].is_zero());
+    prefix[i] = acc;
+    acc = fp_mul(acc, vals[i]);
+  }
+  U256 inv_acc = fp_inv(acc);
+  for (std::size_t i = count; i-- > 0;) {
+    U256 vi = vals[i];
+    vals[i] = fp_mul(inv_acc, prefix[i]);
+    inv_acc = fp_mul(inv_acc, vi);
+  }
+}
+
 U256 sc_add(const U256& a, const U256& b) { return mod_add(a, b, kN); }
-U256 sc_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kN, kD); }
+U256 sc_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kN, kD, 3); }
 U256 sc_neg(const U256& a) { return a.is_zero() ? a : mod_sub(U256::zero(), a, kN); }
-U256 sc_reduce(const U256& a) { return reduce512(U512::from_u256(a), kN, kD); }
+U256 sc_reduce(const U256& a) { return reduce512(U512::from_u256(a), kN, kD, 3); }
 bool sc_is_valid(const U256& a) { return !a.is_zero() && a < kN; }
 
 U256 sc_inv(const U256& a) {
+  assert(!a.is_zero());
+  return mod_inv_binary(a, kN);
+}
+
+U256 sc_inv_fermat(const U256& a) {
   assert(!a.is_zero());
   U256 exp;  // n - 2
   sub_borrow(exp, kN, U256::from_u64(2));
@@ -200,10 +557,41 @@ AffinePoint point_neg(const AffinePoint& a) {
 
 AffinePoint point_mul(const U256& k, const AffinePoint& p) {
   if (k.is_zero() || p.infinity) return AffinePoint::at_infinity();
-  return jac_to_affine(jac_mul(k, Jac::from_affine(p)));
+  if (p.x == kGx && p.y == kGy) return point_mul_g(k);
+  return jac_to_affine(glv_chain(k, p));
 }
 
 AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q) {
+  if (u2.is_zero() || q.infinity) {
+    return u1.is_zero() ? AffinePoint::at_infinity() : point_mul_g(u1);
+  }
+  if (u1.is_zero()) return point_mul(u2, q);
+  return jac_to_affine(glv_chain2(u1, u2, q));
+}
+
+bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
+                        const U256& r) {
+  if (u2.is_zero() || q.infinity || r.is_zero() || !(r < kN)) return false;
+  Jac acc = u1.is_zero() ? glv_chain(u2, q) : glv_chain2(u1, u2, q);
+  if (acc.inf) return false;
+  // R.x mod n == r without normalizing: the affine x is X/Z^2, so check
+  // X == x'*Z^2 for each field element x' congruent to r mod n.  Since
+  // r < n and p - n < 2^129, the only candidates are r and r + n.
+  const U256 z2 = fp_sqr(acc.z);
+  if (fp_mul(r, z2) == acc.x) return true;
+  U256 rn;
+  if (add_carry(rn, r, kN) == 0 && rn < kP) {
+    if (fp_mul(rn, z2) == acc.x) return true;
+  }
+  return false;
+}
+
+AffinePoint point_mul_slow(const U256& k, const AffinePoint& p) {
+  if (k.is_zero() || p.infinity) return AffinePoint::at_infinity();
+  return jac_to_affine(jac_mul(k, Jac::from_affine(p)));
+}
+
+AffinePoint point_mul2_slow(const U256& u1, const U256& u2, const AffinePoint& q) {
   Jac a = u1.is_zero() ? Jac{} : jac_mul(u1, Jac::from_affine(secp_g()));
   Jac b = (u2.is_zero() || q.infinity) ? Jac{} : jac_mul(u2, Jac::from_affine(q));
   return jac_to_affine(jac_add(a, b));

@@ -4,13 +4,30 @@
 // over secp256k1 (y^2 = x^3 + 7 over F_p).  Field reduction exploits
 // p = 2^256 - C with C = 2^32 + 977; scalar reduction exploits
 // n = 2^256 - D with D 129 bits wide.  Point math uses Jacobian
-// coordinates with simple double-and-add scalar multiplication.
+// coordinates.
+//
+// Scalar multiplication runs on a fast path sized for the router's
+// per-flow crypto budget (Figure 6):
+//   * point_mul(k, G) uses a fixed-base radix-16 windowed table
+//     (64 windows x 15 odd/even multiples, built once at startup and
+//     normalized to affine with Montgomery's batch-inversion trick), so a
+//     signing-side multiply is ~64 mixed additions and no doublings;
+//   * point_mul2(u1, u2, Q) — the ECDSA verification combination — uses
+//     Shamir's trick with interleaved width-6/width-5 wNAF over a static
+//     odd-multiples table for G and a per-call batch-normalized
+//     odd-multiples table for Q, sharing one doubling chain;
+//   * fp_inv / sc_inv use the binary extended-GCD inverse instead of
+//     Fermat exponentiation.
+// The original straightforward implementations are retained as
+// `*_slow` / `*_fermat` reference paths; tests cross-check the two and
+// bench/ablation_crypto measures the gap.
 //
 // NOTE: this implementation targets correctness and reproducibility of a
 // research system, not side-channel resistance (operations are not
-// constant-time).
+// constant-time; table indices are data-dependent).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "crypto/u256.hpp"
@@ -26,13 +43,18 @@ U256 fp_add(const U256& a, const U256& b);
 U256 fp_sub(const U256& a, const U256& b);
 U256 fp_mul(const U256& a, const U256& b);
 U256 fp_sqr(const U256& a);
-U256 fp_inv(const U256& a);  // a != 0; Fermat inversion
+U256 fp_inv(const U256& a);         // a != 0; binary extended-GCD
+U256 fp_inv_fermat(const U256& a);  // reference slow path (a^(p-2))
 U256 fp_neg(const U256& a);
+/// Inverts `count` non-zero field elements in place with a single field
+/// inversion (Montgomery's trick); used for table construction.
+void fp_inv_batch(U256* vals, std::size_t count);
 
 // ---- Arithmetic mod the group order n --------------------------------------
 U256 sc_add(const U256& a, const U256& b);
 U256 sc_mul(const U256& a, const U256& b);
-U256 sc_inv(const U256& a);  // a != 0
+U256 sc_inv(const U256& a);         // a != 0; binary extended-GCD
+U256 sc_inv_fermat(const U256& a);  // reference slow path (a^(n-2))
 U256 sc_neg(const U256& a);
 /// Reduces an arbitrary 256-bit value (e.g. a hash) mod n.
 U256 sc_reduce(const U256& a);
@@ -55,10 +77,22 @@ const AffinePoint& secp_g();
 AffinePoint point_add(const AffinePoint& a, const AffinePoint& b);
 AffinePoint point_double(const AffinePoint& a);
 AffinePoint point_neg(const AffinePoint& a);
-/// k * P via double-and-add (k taken mod n implicitly by the caller).
+/// k * P (k taken mod n implicitly by the caller).  Fixed-base table when
+/// P == G, width-5 wNAF otherwise.
 AffinePoint point_mul(const U256& k, const AffinePoint& p);
-/// u1*G + u2*Q, the ECDSA verification combination.
+/// u1*G + u2*Q, the ECDSA verification combination (Shamir's trick).
 AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q);
+
+// True iff (u1*G + u2*Q).x mod n == r, checked in Jacobian coordinates
+// (r*Z^2 == X) so ECDSA verification skips the final field inversion.
+bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
+                        const U256& r);
+
+/// Reference scalar multiplication via naive double-and-add; kept as the
+/// cross-check oracle for the table/wNAF fast paths.
+AffinePoint point_mul_slow(const U256& k, const AffinePoint& p);
+/// Reference u1*G + u2*Q via two independent slow multiplications.
+AffinePoint point_mul2_slow(const U256& u1, const U256& u2, const AffinePoint& q);
 
 /// 64-byte x||y big-endian encoding (infinity not encodable).
 Bytes point_encode(const AffinePoint& p);

@@ -79,6 +79,42 @@ U512 mul_full(const U256& a, const U256& b) {
   return out;
 }
 
+U512 mul_small(const U256& a, const U256& b, int b_limbs) {
+  U512 out;
+  for (int j = 0; j < b_limbs; ++j) {
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      carry += static_cast<unsigned __int128>(a.w[i]) * b.w[j] + out.w[i + j];
+      out.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    out.w[j + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return out;
+}
+
+U512 sqr_full(const U256& a) {
+  // Off-diagonal products once, doubled as a whole (doubling the 128-bit
+  // partial products individually could overflow), plus the diagonal.
+  U512 cross;
+  for (int i = 0; i < 3; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = i + 1; j < 4; ++j) {
+      carry += static_cast<unsigned __int128>(a.w[i]) * a.w[j] + cross.w[i + j];
+      cross.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    cross.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  U512 diag;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 sq = static_cast<unsigned __int128>(a.w[i]) * a.w[i];
+    diag.w[2 * i] = static_cast<std::uint64_t>(sq);
+    diag.w[2 * i + 1] = static_cast<std::uint64_t>(sq >> 64);
+  }
+  return add512(shl1(cross), diag);
+}
+
 U512 add512(const U512& a, const U512& b) {
   U512 out;
   unsigned __int128 carry = 0;
@@ -115,6 +151,17 @@ U512 shl1(const U512& a) {
     out.w[i] = (a.w[i] << 1) | carry;
     carry = a.w[i] >> 63;
   }
+  return out;
+}
+
+U256 shr1(const U256& a, std::uint64_t high_bit) {
+  U256 out;
+  for (int i = 0; i < 3; ++i) {
+    out.w[static_cast<std::size_t>(i)] =
+        (a.w[static_cast<std::size_t>(i)] >> 1) |
+        (a.w[static_cast<std::size_t>(i + 1)] << 63);
+  }
+  out.w[3] = (a.w[3] >> 1) | (high_bit << 63);
   return out;
 }
 

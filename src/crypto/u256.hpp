@@ -60,6 +60,13 @@ std::uint64_t add_carry(U256& out, const U256& a, const U256& b);
 std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b);
 /// 256x256 -> 512-bit schoolbook multiply.
 U512 mul_full(const U256& a, const U256& b);
+/// a * b where only the low `b_limbs` limbs of b may be non-zero; skips
+/// the guaranteed-zero rows of the schoolbook.  The special-prime folds
+/// (p = 2^256 - C, n = 2^256 - D) multiply by 33- and 129-bit constants,
+/// so this cuts a reduction from 16 to 4 resp. 12 word products.
+U512 mul_small(const U256& a, const U256& b, int b_limbs);
+/// a * a, exploiting the symmetry of squaring (10 word products vs 16).
+U512 sqr_full(const U256& a);
 /// a + b over 512 bits (carry beyond bit 512 discarded; callers guarantee
 /// no overflow).
 U512 add512(const U512& a, const U512& b);
@@ -69,6 +76,10 @@ U512 sub512(const U512& a, const U512& b);
 std::strong_ordering cmp512(const U512& a, const U512& b);
 /// Left shift by one bit.
 U512 shl1(const U512& a);
+/// a >> 1 with `high_bit` (0/1) shifted into bit 255.  Used by the binary
+/// extended-GCD inverse, where (x + m) can carry out of 256 bits before
+/// halving.
+U256 shr1(const U256& a, std::uint64_t high_bit = 0);
 
 /// Reference (slow) a mod m via binary long division; used by property
 /// tests to cross-check the specialized reductions.

@@ -37,7 +37,7 @@ Status GLookupService::verify_entry(const Entry& entry) const {
   }
   // The full delegation chain must check out *here*, independently of
   // whatever the router already verified.
-  GDP_RETURN_IF_ERROR(ad.verify(advertiser, now, &domain_));
+  GDP_RETURN_IF_ERROR(ad.verify(advertiser, now, &domain_, &verify_cache_));
   return ok_status();
 }
 

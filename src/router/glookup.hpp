@@ -20,6 +20,7 @@
 #include "router/topology.hpp"
 #include "trust/advertisement.hpp"
 #include "trust/principal.hpp"
+#include "trust/verify_cache.hpp"
 #include "wire/messages.hpp"
 
 namespace gdp::router {
@@ -68,6 +69,9 @@ class GLookupService : public net::PduHandler {
   std::size_t entry_count() const;
   std::uint64_t queries_served() const { return queries_served_; }
   std::uint64_t queries_escalated() const { return queries_escalated_; }
+  std::uint64_t verify_cache_hits() const { return verify_cache_.hits(); }
+  std::uint64_t verify_cache_misses() const { return verify_cache_.misses(); }
+  void set_verify_cache_capacity(std::size_t n) { verify_cache_.set_capacity(n); }
 
  private:
   struct PendingQuery {
@@ -89,6 +93,10 @@ class GLookupService : public net::PduHandler {
   GLookupService* parent_ = nullptr;
 
   std::unordered_map<Name, std::vector<Entry>> entries_;
+  /// Registration/refresh re-verifies the same evidence chains; the cache
+  /// makes refreshes cheap.  Mutable: verification does not change what
+  /// the service *knows*, only what it has already computed.
+  mutable trust::VerifyCache verify_cache_;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
   std::uint64_t next_nonce_ = 1;
   std::uint64_t queries_served_ = 0;

@@ -91,7 +91,7 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
     auto advertiser = trust::Principal::deserialize(reply->principal);
     if (!ad.ok() || !advertiser.ok() ||
         ad->advertised != reply->target ||
-        !ad->verify(*advertiser, net_.sim().now()).ok()) {
+        !ad->verify(*advertiser, net_.sim().now(), nullptr, &verify_cache_).ok()) {
       GDP_LOG(kWarn, "router") << "rejecting unverifiable lookup reply for "
                                << reply->target.short_hex();
       if (waiting != awaiting_route_.end()) {
@@ -180,7 +180,8 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   // 2. RtCert: the machine authorizes this router to speak for it.
   auto rt = trust::Cert::deserialize(msg->rt_cert);
   if (!rt.ok() ||
-      !trust::verify_routing_delegation(*rt, *advertiser, self_, net_.sim().now()).ok()) {
+      !trust::verify_routing_delegation(*rt, *advertiser, self_, net_.sim().now(),
+                                        &verify_cache_).ok()) {
     ++ads_rejected_;
     send_advertise_ok(from, false, "RtCert invalid", 0);
     return;
@@ -211,7 +212,8 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
     if (!catalog.apply(record).ok()) continue;
   }
   for (const trust::Advertisement& ad : catalog.advertisements()) {
-    Status verdict = ad.verify(*advertiser, net_.sim().now(), &domain_);
+    Status verdict = ad.verify(*advertiser, net_.sim().now(), &domain_,
+                               &verify_cache_);
     if (!verdict.ok()) {
       ++ads_rejected_;
       GDP_LOG(kInfo, "router") << "rejected advertisement for "

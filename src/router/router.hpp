@@ -24,6 +24,7 @@
 #include "trust/advertisement.hpp"
 #include "trust/cert.hpp"
 #include "trust/principal.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::router {
 
@@ -55,6 +56,11 @@ class Router : public net::PduHandler {
   std::size_t fib_size() const { return fib_.size(); }
   std::uint64_t advertisements_accepted() const { return ads_accepted_; }
   std::uint64_t advertisements_rejected() const { return ads_rejected_; }
+  /// Verification-cache effectiveness: hits are ECDSA verifications the
+  /// router skipped on re-advertisements and repeated delegation chains.
+  std::uint64_t verify_cache_hits() const { return verify_cache_.hits(); }
+  std::uint64_t verify_cache_misses() const { return verify_cache_.misses(); }
+  void set_verify_cache_capacity(std::size_t n) { verify_cache_.set_capacity(n); }
 
   /// Direct FIB inspection for tests.
   bool has_route(const Name& target) const { return fib_.contains(target); }
@@ -90,6 +96,9 @@ class Router : public net::PduHandler {
   /// (re-)advertisements from the same endpoint do not clobber each other.
   std::unordered_map<std::uint64_t, PendingAd> pending_ads_;
   std::unordered_map<Name, trust::Cert> rt_certs_;   ///< issued to us, by machine
+  /// Memoizes delegation-chain signature verdicts (challenge-nonce
+  /// signatures are never cached: each handshake uses a fresh nonce).
+  trust::VerifyCache verify_cache_;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;

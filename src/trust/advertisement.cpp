@@ -42,14 +42,15 @@ Result<Advertisement> Advertisement::deserialize(BytesView b) {
 }
 
 Status Advertisement::verify(const Principal& advertiser, TimePoint now,
-                             const Name* domain) const {
+                             const Name* domain, VerifyCache* cache) const {
   GDP_ASSIGN_OR_RETURN(capsule::Metadata metadata,
                        capsule::Metadata::deserialize(capsule_metadata));
   if (metadata.name() != advertised) {
     return make_error(Errc::kVerificationFailed,
                       "advertisement metadata does not hash to the advertised name");
   }
-  return verify_serving_delegation(metadata, advertiser, delegation, now, domain);
+  return verify_serving_delegation(metadata, advertiser, delegation, now, domain,
+                                   cache);
 }
 
 Bytes Catalog::encode_advertisement(const Advertisement& ad) {

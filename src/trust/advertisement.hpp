@@ -34,9 +34,11 @@ struct Advertisement {
   static Result<Advertisement> deserialize(BytesView b);
 
   /// Full verification: metadata hashes to the advertised name and the
-  /// delegation chain terminates at `advertiser`.
+  /// delegation chain terminates at `advertiser`.  A cache memoizes the
+  /// chain's signature verdicts across re-advertisements.
   Status verify(const Principal& advertiser, TimePoint now,
-                const Name* domain = nullptr) const;
+                const Name* domain = nullptr,
+                VerifyCache* cache = nullptr) const;
 };
 
 class Catalog {

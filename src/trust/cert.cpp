@@ -1,6 +1,7 @@
 #include "trust/cert.hpp"
 
 #include "common/varint.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::trust {
 
@@ -73,8 +74,9 @@ Result<Cert> Cert::deserialize(BytesView b) {
   return c;
 }
 
-Status Cert::verify(const crypto::PublicKey& issuer_key, TimePoint now) const {
-  if (!issuer_key.verify(signed_payload(), sig)) {
+Status Cert::verify(const crypto::PublicKey& issuer_key, TimePoint now,
+                    VerifyCache* cache) const {
+  if (!cached_verify(cache, issuer_key, signed_payload(), sig, not_after_ns, now)) {
     return make_error(Errc::kVerificationFailed,
                       std::string(cert_kind_name(kind)) + " signature invalid");
   }

@@ -31,6 +31,8 @@
 
 namespace gdp::trust {
 
+class VerifyCache;
+
 enum class CertKind : std::uint8_t {
   kAdCert = 0,
   kRtCert = 1,
@@ -58,8 +60,11 @@ struct Cert {
   static Result<Cert> deserialize(BytesView b);
 
   /// Checks the signature under the claimed issuer key and the validity
-  /// window against `now`.
-  Status verify(const crypto::PublicKey& issuer_key, TimePoint now) const;
+  /// window against `now`.  With a cache, the signature verdict is
+  /// memoized (bounded by this cert's not_after); the window check always
+  /// runs fresh.
+  Status verify(const crypto::PublicKey& issuer_key, TimePoint now,
+                VerifyCache* cache = nullptr) const;
 
   bool domain_allowed(const Name& domain) const;
 

@@ -1,6 +1,7 @@
 #include "trust/delegation.hpp"
 
 #include "common/varint.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::trust {
 
@@ -43,11 +44,12 @@ Result<ServingDelegation> ServingDelegation::deserialize(BytesView b) {
 Status verify_serving_delegation(const capsule::Metadata& metadata,
                                  const Principal& server,
                                  const ServingDelegation& delegation,
-                                 TimePoint now, const Name* domain) {
+                                 TimePoint now, const Name* domain,
+                                 VerifyCache* cache) {
   if (delegation.orgs.size() != delegation.member_certs.size()) {
     return make_error(Errc::kInvalidArgument, "malformed delegation chain");
   }
-  GDP_RETURN_IF_ERROR(server.verify());
+  GDP_RETURN_IF_ERROR(server.verify(cache));
   if (server.role() != Role::kCapsuleServer) {
     return make_error(Errc::kPermissionDenied, "delegation target is not a server");
   }
@@ -59,7 +61,7 @@ Status verify_serving_delegation(const capsule::Metadata& metadata,
   if (ad.object != metadata.name()) {
     return make_error(Errc::kPermissionDenied, "AdCert covers a different capsule");
   }
-  GDP_RETURN_IF_ERROR(ad.verify(metadata.owner_key(), now));
+  GDP_RETURN_IF_ERROR(ad.verify(metadata.owner_key(), now, cache));
   if (domain != nullptr && !ad.domain_allowed(*domain)) {
     return make_error(Errc::kPermissionDenied,
                       "capsule placement policy excludes this routing domain");
@@ -69,7 +71,7 @@ Status verify_serving_delegation(const capsule::Metadata& metadata,
   Name expected_subject = ad.subject;
   for (std::size_t i = 0; i < delegation.orgs.size(); ++i) {
     const Principal& org = delegation.orgs[i];
-    GDP_RETURN_IF_ERROR(org.verify());
+    GDP_RETURN_IF_ERROR(org.verify(cache));
     if (org.role() != Role::kOrganization) {
       return make_error(Errc::kPermissionDenied, "delegation link is not an organization");
     }
@@ -83,7 +85,7 @@ Status verify_serving_delegation(const capsule::Metadata& metadata,
     if (member.object != org.name()) {
       return make_error(Errc::kPermissionDenied, "membership cert for a different org");
     }
-    GDP_RETURN_IF_ERROR(member.verify(org.key(), now));
+    GDP_RETURN_IF_ERROR(member.verify(org.key(), now, cache));
     expected_subject = member.subject;
   }
   if (expected_subject != server.name()) {
@@ -94,9 +96,10 @@ Status verify_serving_delegation(const capsule::Metadata& metadata,
 }
 
 Status verify_routing_delegation(const Cert& rt_cert, const Principal& machine,
-                                 const Principal& router, TimePoint now) {
-  GDP_RETURN_IF_ERROR(machine.verify());
-  GDP_RETURN_IF_ERROR(router.verify());
+                                 const Principal& router, TimePoint now,
+                                 VerifyCache* cache) {
+  GDP_RETURN_IF_ERROR(machine.verify(cache));
+  GDP_RETURN_IF_ERROR(router.verify(cache));
   if (rt_cert.kind != CertKind::kRtCert) {
     return make_error(Errc::kPermissionDenied, "expected an RtCert");
   }
@@ -109,11 +112,12 @@ Status verify_routing_delegation(const Cert& rt_cert, const Principal& machine,
   if (rt_cert.object != machine.name() || rt_cert.issuer != machine.name()) {
     return make_error(Errc::kPermissionDenied, "RtCert not issued by this machine");
   }
-  return rt_cert.verify(machine.key(), now);
+  return rt_cert.verify(machine.key(), now, cache);
 }
 
 Status verify_subscription(const capsule::Metadata& metadata, const Cert& sub_cert,
-                           const Name& client, TimePoint now) {
+                           const Name& client, TimePoint now,
+                           VerifyCache* cache) {
   if (sub_cert.kind != CertKind::kSubCert) {
     return make_error(Errc::kPermissionDenied, "expected a SubCert");
   }
@@ -123,7 +127,7 @@ Status verify_subscription(const capsule::Metadata& metadata, const Cert& sub_ce
   if (sub_cert.subject != client) {
     return make_error(Errc::kPermissionDenied, "SubCert grants a different client");
   }
-  return sub_cert.verify(metadata.owner_key(), now);
+  return sub_cert.verify(metadata.owner_key(), now, cache);
 }
 
 }  // namespace gdp::trust

@@ -32,20 +32,26 @@ struct ServingDelegation {
 /// Verifies the full chain: AdCert signed by the capsule owner and in
 /// validity, every org link signed and valid, terminating at `server`.
 /// When `domain` is non-null, also checks the owner's routing-domain
-/// restriction (placement policy) admits that domain.
+/// restriction (placement policy) admits that domain.  With a cache, the
+/// per-link signature verdicts are memoized (delegation chains are shared
+/// across capsules and re-presented on every re-advertisement); validity
+/// windows and chain-structure checks always run fresh.
 Status verify_serving_delegation(const capsule::Metadata& metadata,
                                  const Principal& server,
                                  const ServingDelegation& delegation,
-                                 TimePoint now, const Name* domain = nullptr);
+                                 TimePoint now, const Name* domain = nullptr,
+                                 VerifyCache* cache = nullptr);
 
 /// Verifies an RtCert: `machine` (e.g. a DataCapsule-server) authorized
 /// `router` to speak for it.
 Status verify_routing_delegation(const Cert& rt_cert, const Principal& machine,
-                                 const Principal& router, TimePoint now);
+                                 const Principal& router, TimePoint now,
+                                 VerifyCache* cache = nullptr);
 
 /// Verifies a SubCert: the capsule owner granted `client` permission to
 /// subscribe to the capsule.
 Status verify_subscription(const capsule::Metadata& metadata, const Cert& sub_cert,
-                           const Name& client, TimePoint now);
+                           const Name& client, TimePoint now,
+                           VerifyCache* cache = nullptr);
 
 }  // namespace gdp::trust

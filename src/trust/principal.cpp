@@ -1,7 +1,10 @@
 #include "trust/principal.hpp"
 
+#include <limits>
+
 #include "common/varint.hpp"
 #include "crypto/sha256.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::trust {
 
@@ -71,8 +74,9 @@ Result<Principal> Principal::deserialize(BytesView b) {
   return p;
 }
 
-Status Principal::verify() const {
-  if (!key_->verify(signed_payload(), sig_)) {
+Status Principal::verify(VerifyCache* cache) const {
+  if (!cached_verify(cache, *key_, signed_payload(), sig_,
+                     std::numeric_limits<std::int64_t>::max(), TimePoint{})) {
     return make_error(Errc::kVerificationFailed, "principal self-signature invalid");
   }
   return ok_status();

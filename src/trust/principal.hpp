@@ -19,6 +19,8 @@
 
 namespace gdp::trust {
 
+class VerifyCache;
+
 /// The role a principal plays in the GDP (recorded in its metadata).
 enum class Role : std::uint8_t {
   kCapsuleServer = 0,
@@ -42,8 +44,9 @@ class Principal {
   Bytes serialize() const;
   static Result<Principal> deserialize(BytesView b);
 
-  /// Checks the self-signature (binding of name to key).
-  Status verify() const;
+  /// Checks the self-signature (binding of name to key).  The binding
+  /// never expires, so cached verdicts live until evicted.
+  Status verify(VerifyCache* cache = nullptr) const;
 
   friend bool operator==(const Principal& a, const Principal& b) {
     return a.name_ == b.name_;

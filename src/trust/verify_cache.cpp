@@ -1,0 +1,74 @@
+#include "trust/verify_cache.hpp"
+
+namespace gdp::trust {
+
+crypto::Digest VerifyCache::make_key(const crypto::PublicKey& issuer_key,
+                                     BytesView payload,
+                                     const crypto::Signature& sig) {
+  crypto::Sha256 h;
+  h.update(issuer_key.encode());
+  h.update(payload);
+  h.update(sig.encode());
+  return h.finish();
+}
+
+std::optional<bool> VerifyCache::probe(const crypto::Digest& key, TimePoint now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second->second.expires_ns < now.count()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  ++hits_;
+  return it->second->second.ok;
+}
+
+void VerifyCache::store(const crypto::Digest& key, bool ok,
+                        std::int64_t expires_ns, TimePoint now) {
+  if (capacity_ == 0 || expires_ns < now.count()) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = Entry{ok, expires_ns};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, Entry{ok, expires_ns});
+  map_.emplace(key, lru_.begin());
+}
+
+void VerifyCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+bool VerifyCache::check(const crypto::PublicKey& issuer_key, BytesView payload,
+                        const crypto::Signature& sig, std::int64_t expires_ns,
+                        TimePoint now) {
+  const crypto::Digest key = make_key(issuer_key, payload, sig);
+  if (auto verdict = probe(key, now)) return *verdict;
+  const bool ok = issuer_key.verify(payload, sig);
+  store(key, ok, expires_ns, now);
+  return ok;
+}
+
+bool cached_verify(VerifyCache* cache, const crypto::PublicKey& issuer_key,
+                   BytesView payload, const crypto::Signature& sig,
+                   std::int64_t expires_ns, TimePoint now) {
+  if (cache == nullptr) return issuer_key.verify(payload, sig);
+  return cache->check(issuer_key, payload, sig, expires_ns, now);
+}
+
+}  // namespace gdp::trust

@@ -1,0 +1,94 @@
+// Memoized signature-verification verdicts.
+//
+// ECDSA verification dominates the trust-plane cost: re-advertisements,
+// delegation chains shared across many capsules, and lookup evidence all
+// re-verify the same certificates over and over.  The verdict of
+// "does `sig` verify `payload` under `issuer_key`" is a pure function of
+// those three byte strings — signed payloads are immutable — so it is
+// sound to cache it.  What is *not* time-invariant is the validity
+// window, so callers keep window checks outside the cache and give every
+// entry an expiry (the certificate's not_after) after which the entry is
+// dropped; the cache never extends a certificate's life, it only skips
+// redundant curve arithmetic.
+//
+// Negative verdicts are cached too: a forged certificate replayed at a
+// router should cost one verification, not one per replay.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::trust {
+
+class VerifyCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit VerifyCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Cache key: sha256(issuer_key || payload || sig).  Hashing (rather
+  /// than storing the tuple) keeps entries fixed-size and makes collisions
+  /// between distinct verification questions cryptographically negligible.
+  static crypto::Digest make_key(const crypto::PublicKey& issuer_key,
+                                 BytesView payload,
+                                 const crypto::Signature& sig);
+
+  /// The cached verdict, or nullopt on miss.  An entry whose expiry has
+  /// passed is dropped and reported as a miss.
+  std::optional<bool> probe(const crypto::Digest& key, TimePoint now);
+
+  /// Records a verdict, valid until `expires_ns`.  Already-stale entries
+  /// are not stored.  Inserting past capacity evicts the least recently
+  /// used entry.
+  void store(const crypto::Digest& key, bool ok, std::int64_t expires_ns,
+             TimePoint now);
+
+  /// probe + (on miss) ECDSA verify + store, in one step.
+  bool check(const crypto::PublicKey& issuer_key, BytesView payload,
+             const crypto::Signature& sig, std::int64_t expires_ns,
+             TimePoint now);
+
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity);
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      // The key is itself a SHA-256; any aligned slice is uniform.
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+  struct Entry {
+    bool ok;
+    std::int64_t expires_ns;
+  };
+  using LruList = std::list<std::pair<crypto::Digest, Entry>>;
+
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<crypto::Digest, LruList::iterator, DigestHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Signature check through an optional cache: with `cache == nullptr`
+/// verifies directly.  This is what Cert/Principal verification routes
+/// through.
+bool cached_verify(VerifyCache* cache, const crypto::PublicKey& issuer_key,
+                   BytesView payload, const crypto::Signature& sig,
+                   std::int64_t expires_ns, TimePoint now);
+
+}  // namespace gdp::trust

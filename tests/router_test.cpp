@@ -288,5 +288,102 @@ TEST(Router, ScalesToManyCapsulesPerServer) {
   EXPECT_GE(root->entry_count(), static_cast<std::size_t>(kCapsules));
 }
 
+// ---- Verification cache at the router --------------------------------------
+
+TEST(Router, VerifyCacheHitsOnReAdvertisement) {
+  Scenario s(59, "vcache-hit");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+
+  const TimePoint now = s.sim().now();
+  const TimePoint expiry = now + from_seconds(1e6);
+  CapsuleSetup cap1 = make_capsule(s.key_rng(), "first");
+  auto op1 = cli->create_capsule(srv->name(), cap1.metadata,
+                                 cap1.delegation_for(srv->principal(), now, expiry),
+                                 {});
+  s.settle();
+  ASSERT_TRUE(client::await(s.sim(), op1).ok());
+  const std::uint64_t hits_before = r1->verify_cache_hits();
+  const std::uint64_t misses_before = r1->verify_cache_misses();
+  EXPECT_GT(misses_before, 0u);  // first presentation is all misses
+
+  // The second create re-advertises the whole catalog: capsule 1's
+  // delegation chain is re-presented verbatim and must hit the cache.
+  CapsuleSetup cap2 = make_capsule(s.key_rng(), "second");
+  auto op2 = cli->create_capsule(srv->name(), cap2.metadata,
+                                 cap2.delegation_for(srv->principal(), now, expiry),
+                                 {});
+  s.settle();
+  ASSERT_TRUE(client::await(s.sim(), op2).ok());
+  EXPECT_GT(r1->verify_cache_hits(), hits_before);
+  EXPECT_EQ(r1->advertisements_rejected(), 0u);
+  EXPECT_GT(root->verify_cache_hits(), 0u);  // glookup re-verifies too
+}
+
+TEST(Router, VerifyCacheMissAfterCertExpiry) {
+  Scenario s(60, "vcache-exp");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+
+  // Capsule 1's AdCert expires almost immediately.
+  const TimePoint now = s.sim().now();
+  CapsuleSetup cap1 = make_capsule(s.key_rng(), "ephemeral");
+  auto op1 = cli->create_capsule(
+      srv->name(), cap1.metadata,
+      cap1.delegation_for(srv->principal(), now, now + from_seconds(2)), {});
+  s.settle();
+  ASSERT_TRUE(client::await(s.sim(), op1).ok());
+  const std::uint64_t misses_before = r1->verify_cache_misses();
+  ASSERT_EQ(r1->advertisements_rejected(), 0u);
+
+  // Advance simulated time past the AdCert validity, then trigger a
+  // re-advertisement.  The cached verdict for capsule 1's AdCert has
+  // expired with the cert: its re-presentation is a cache miss and the
+  // certificate itself is now rejected by the window check.
+  s.settle_for(from_seconds(10));
+  const TimePoint later = s.sim().now();
+  CapsuleSetup cap2 = make_capsule(s.key_rng(), "fresh");
+  auto op2 = cli->create_capsule(
+      srv->name(), cap2.metadata,
+      cap2.delegation_for(srv->principal(), later, later + from_seconds(1e6)),
+      {});
+  s.settle();
+  ASSERT_TRUE(client::await(s.sim(), op2).ok());
+  EXPECT_GT(r1->verify_cache_misses(), misses_before);
+  EXPECT_GE(r1->advertisements_rejected(), 1u);
+}
+
+TEST(Router, VerifyCacheEvictionUnderTinyCapacity) {
+  Scenario s(61, "vcache-evict");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  // Capacity 1: every distinct signature evicts the previous entry, so the
+  // re-advertisement that hits with the default capacity cannot hit here.
+  r1->set_verify_cache_capacity(1);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+
+  const TimePoint now = s.sim().now();
+  const TimePoint expiry = now + from_seconds(1e6);
+  for (int i = 0; i < 2; ++i) {
+    CapsuleSetup cap = make_capsule(s.key_rng(), "t-" + std::to_string(i));
+    auto op = cli->create_capsule(
+        srv->name(), cap.metadata,
+        cap.delegation_for(srv->principal(), now, expiry), {});
+    s.settle();
+    ASSERT_TRUE(client::await(s.sim(), op).ok());
+  }
+  EXPECT_EQ(r1->verify_cache_hits(), 0u);
+  EXPECT_GT(r1->verify_cache_misses(), 0u);
+  EXPECT_EQ(r1->advertisements_rejected(), 0u);  // eviction never breaks verification
+}
+
 }  // namespace
 }  // namespace gdp::router

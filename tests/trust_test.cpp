@@ -8,6 +8,7 @@
 #include "trust/cert.hpp"
 #include "trust/delegation.hpp"
 #include "trust/principal.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::trust {
 namespace {
@@ -345,6 +346,109 @@ TEST(Catalog, RejectsGarbageRecords) {
   EXPECT_FALSE(catalog.apply(Bytes{}).ok());
   EXPECT_FALSE(catalog.apply(Bytes{0x7f, 0x01}).ok());
   EXPECT_FALSE(catalog.apply(Bytes{0x01, 0x02}).ok());  // truncated advertisement
+}
+
+// ---- Verification cache --------------------------------------------------------
+
+TEST(VerifyCache, HitSkipsSecondVerification) {
+  World w;
+  Cert cert = make_rt_cert(w.server_key, w.server.name(), w.router.name(),
+                           w.t0, w.t1);
+  VerifyCache cache;
+  EXPECT_TRUE(cert.verify(w.server.key(), w.now, &cache).ok());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_TRUE(cert.verify(w.server.key(), w.now, &cache).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(VerifyCache, WindowCheckedOutsideTheCache) {
+  // A cached *signature* verdict must not resurrect an expired cert: the
+  // validity window is evaluated fresh on every verify call.
+  World w;
+  Cert cert = make_rt_cert(w.server_key, w.server.name(), w.router.name(),
+                           w.t0, w.t1);
+  VerifyCache cache;
+  EXPECT_TRUE(cert.verify(w.server.key(), w.now, &cache).ok());
+  EXPECT_FALSE(cert.verify(w.server.key(), w.t1 + from_seconds(1), &cache).ok());
+  EXPECT_FALSE(cert.verify(w.server.key(), w.t0 - from_seconds(1), &cache).ok());
+}
+
+TEST(VerifyCache, EntryExpiresWithTheCert) {
+  World w;
+  Cert cert = make_rt_cert(w.server_key, w.server.name(), w.router.name(),
+                           w.t0, w.t1);
+  VerifyCache cache;
+  const crypto::Digest key =
+      VerifyCache::make_key(w.server.key(), cert.signed_payload(), cert.sig);
+  cache.store(key, true, cert.not_after_ns, w.now);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.probe(key, w.now).has_value());
+  // Past not_after the entry is dropped and reported as a miss.
+  EXPECT_FALSE(cache.probe(key, w.t1 + from_seconds(1)).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // Storing an already-stale verdict is refused.
+  cache.store(key, true, cert.not_after_ns, w.t1 + from_seconds(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VerifyCache, NegativeVerdictsAreCached) {
+  World w;
+  Cert cert = make_rt_cert(w.server_key, w.server.name(), w.router.name(),
+                           w.t0, w.t1);
+  cert.not_after_ns += 1;  // invalidate the signature
+  VerifyCache cache;
+  EXPECT_FALSE(cert.verify(w.server.key(), w.now, &cache).ok());
+  EXPECT_FALSE(cert.verify(w.server.key(), w.now, &cache).ok());
+  EXPECT_EQ(cache.hits(), 1u);  // the forged replay cost no curve math
+}
+
+TEST(VerifyCache, LruEvictionAtCapacity) {
+  World w;
+  VerifyCache cache(2);
+  crypto::Digest k1{}, k2{}, k3{};
+  k1[0] = 1;
+  k2[0] = 2;
+  k3[0] = 3;
+  const std::int64_t never = w.t1.count() * 1000;
+  cache.store(k1, true, never, w.now);
+  cache.store(k2, true, never, w.now);
+  EXPECT_TRUE(cache.probe(k1, w.now).has_value());  // k1 now most recent
+  cache.store(k3, true, never, w.now);              // evicts k2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.probe(k1, w.now).has_value());
+  EXPECT_FALSE(cache.probe(k2, w.now).has_value());
+  EXPECT_TRUE(cache.probe(k3, w.now).has_value());
+  // Shrinking capacity drops least-recent entries.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.probe(k3, w.now).has_value());
+}
+
+TEST(VerifyCache, SharedAcrossDelegationChain) {
+  // A full serving-delegation chain re-verified with the same cache does
+  // zero ECDSA work the second time.
+  World w;
+  Cert ad = make_ad_cert(w.owner_key, w.owner_name, w.metadata.name(),
+                         w.org.name(), w.t0, w.t1);
+  Cert member = make_org_member_cert(w.org_key, w.org.name(), w.server.name(),
+                                     w.t0, w.t1);
+  ServingDelegation d;
+  d.ad_cert = ad;
+  d.orgs = {w.org};
+  d.member_certs = {member};
+  VerifyCache cache;
+  ASSERT_TRUE(verify_serving_delegation(w.metadata, w.server, d, w.now, nullptr,
+                                        &cache)
+                  .ok());
+  const std::uint64_t first_misses = cache.misses();
+  EXPECT_GT(first_misses, 0u);
+  ASSERT_TRUE(verify_serving_delegation(w.metadata, w.server, d, w.now, nullptr,
+                                        &cache)
+                  .ok());
+  EXPECT_EQ(cache.misses(), first_misses);  // all hits on re-verification
+  EXPECT_EQ(cache.hits(), first_misses);
 }
 
 }  // namespace
