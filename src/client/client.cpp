@@ -15,7 +15,13 @@ GdpClient::GdpClient(net::Network& net, const crypto::PrivateKey& key,
                      std::string label, Options options)
     : Endpoint(net, key, trust::Role::kClient, std::move(label)),
       options_(options),
-      session_key_(crypto::PrivateKey::generate(net.sim().rng())) {}
+      session_key_(crypto::PrivateKey::generate(net.sim().rng())),
+      ops_started_(net_.metrics().counter(
+          "client." + std::string(self_.label()) + ".ops.started")),
+      ops_timed_out_(net_.metrics().counter(
+          "client." + std::string(self_.label()) + ".ops.timed_out")),
+      op_latency_ns_(net_.metrics().histogram(
+          "client." + std::string(self_.label()) + ".op.latency_ns")) {}
 
 Bytes GdpClient::session_pubkey_for_request() const {
   if (!options_.use_sessions) return {};
@@ -25,14 +31,17 @@ Bytes GdpClient::session_pubkey_for_request() const {
 void GdpClient::register_pending(std::uint64_t nonce,
                                  std::function<void(const wire::Pdu&)> handler,
                                  std::function<void()> on_timeout) {
+  ops_started_.inc();
   auto timer = net_.sim().schedule_cancellable(
       options_.op_timeout, [this, nonce, on_timeout = std::move(on_timeout)] {
         auto it = pending_.find(nonce);
         if (it == pending_.end()) return;
         pending_.erase(it);
+        ops_timed_out_.inc();
         on_timeout();
       });
-  pending_[nonce] = PendingRequest{std::move(handler), std::move(timer)};
+  pending_[nonce] =
+      PendingRequest{std::move(handler), std::move(timer), net_.sim().now()};
 }
 
 std::optional<std::function<void(const wire::Pdu&)>> GdpClient::take_pending(
@@ -40,6 +49,8 @@ std::optional<std::function<void(const wire::Pdu&)>> GdpClient::take_pending(
   auto it = pending_.find(nonce);
   if (it == pending_.end()) return std::nullopt;
   it->second.timeout.cancel();
+  op_latency_ns_.record(
+      static_cast<std::uint64_t>((net_.sim().now() - it->second.started).count()));
   auto handler = std::move(it->second.handler);
   pending_.erase(it);
   return handler;

@@ -170,6 +170,7 @@ class GdpClient : public router::Endpoint {
   struct PendingRequest {
     std::function<void(const wire::Pdu&)> handler;
     net::Simulator::TimerHandle timeout;
+    TimePoint started;  ///< sim time the request went out (op latency)
   };
 
   Options options_;
@@ -180,6 +181,12 @@ class GdpClient : public router::Endpoint {
   std::unordered_map<Name, Subscription> subscriptions_;         ///< by capsule
   AppHandler app_handler_;
   std::uint64_t next_nonce_ = 1;
+
+  // Telemetry handles (`client.<label>.*`).  Latency is *simulated* time
+  // from request send to response arrival, so dumps stay deterministic.
+  telemetry::Counter& ops_started_;
+  telemetry::Counter& ops_timed_out_;
+  telemetry::Histogram& op_latency_ns_;
 };
 
 }  // namespace gdp::client

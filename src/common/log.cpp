@@ -7,4 +7,9 @@ LogLevel& log_threshold() {
   return level;
 }
 
+const Clock*& log_clock() {
+  static const Clock* clock = nullptr;
+  return clock;
+}
+
 }  // namespace gdp

@@ -1,12 +1,18 @@
 // Minimal leveled logger.
 //
 // Off by default so tests and benchmarks stay quiet; examples turn it on to
-// narrate what the infrastructure is doing.
+// narrate what the infrastructure is doing.  When a simulation clock is
+// registered (opt-in, see set_log_clock) every line is prefixed with the
+// current *simulated* time, so debug output correlates directly with
+// telemetry trace spans.
 #pragma once
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string_view>
+
+#include "common/clock.hpp"
 
 namespace gdp {
 
@@ -16,11 +22,25 @@ LogLevel& log_threshold();
 
 inline void set_log_level(LogLevel level) { log_threshold() = level; }
 
+/// The clock log lines are stamped with; nullptr (default) = no stamp.
+const Clock*& log_clock();
+
+/// Opt-in: register the simulation clock so enabled log lines carry the
+/// simulated time (`[12.345678s]`).  Pass nullptr to unregister — callers
+/// owning the clock must do so before destroying it.
+inline void set_log_clock(const Clock* clock) { log_clock() = clock; }
+
 namespace internal {
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view tag) : enabled_(level >= log_threshold()) {
     if (enabled_) {
+      if (const Clock* clock = log_clock(); clock != nullptr) {
+        char stamp[32];
+        std::snprintf(stamp, sizeof stamp, "[%.6fs] ",
+                      static_cast<double>(clock->now().count()) / 1e9);
+        stream_ << stamp;
+      }
       static constexpr std::string_view kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
       stream_ << "[" << kNames[static_cast<int>(level)] << "] " << tag << ": ";
     }

@@ -2,7 +2,11 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
+#include <fstream>
+
 #include "capsule/strategy.hpp"
+#include "common/log.hpp"
 
 namespace gdp::harness {
 
@@ -24,7 +28,38 @@ Scenario::Scenario(std::uint64_t seed, const std::string& tag)
       net_(sim_),
       key_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
       storage_(tag),
-      topology_(std::make_shared<router::Topology>()) {}
+      topology_(std::make_shared<router::Topology>()) {
+  // Enabled log lines carry simulated-time stamps; silent when logging is
+  // off (the default), so tests and benchmarks stay quiet.
+  set_log_clock(&sim_.clock());
+}
+
+Scenario::~Scenario() {
+  if (const char* path = std::getenv("GDP_STATS_JSON")) {
+    write_stats_json(path);
+  }
+  if (const char* path = std::getenv("GDP_TRACE_JSON")) {
+    write_trace_json(path);
+  }
+  if (log_clock() == &sim_.clock()) set_log_clock(nullptr);
+}
+
+std::string Scenario::stats_json() {
+  for (auto& r : routers_) r->publish_metrics();
+  for (auto& g : glookups_) g->publish_metrics();
+  for (auto& s : servers_) s->publish_metrics();
+  return net_.metrics().to_json();
+}
+
+void Scenario::write_stats_json(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << stats_json() << '\n';
+}
+
+void Scenario::write_trace_json(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << trace_json() << '\n';
+}
 
 router::GLookupService* Scenario::add_domain(const std::string& label,
                                              router::GLookupService* parent,

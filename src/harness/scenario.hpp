@@ -36,6 +36,9 @@ class TempDir {
 class Scenario {
  public:
   explicit Scenario(std::uint64_t seed = 42, const std::string& tag = "scenario");
+  /// Honors GDP_STATS_JSON / GDP_TRACE_JSON (writes the dumps there) and
+  /// unregisters the log clock.
+  ~Scenario();
 
   net::Simulator& sim() { return sim_; }
   net::Network& net() { return net_; }
@@ -78,6 +81,17 @@ class Scenario {
   void settle() { sim_.run(); }
   /// Runs `d` of simulated time.
   void settle_for(Duration d) { sim_.run_for(d); }
+
+  /// Unified stats dump: samples every component's gauges (router FIB +
+  /// verify-cache, glookup entries, per-capsule storage) into the metrics
+  /// registry and serializes the whole registry as JSON.  Contains only
+  /// simulated-time / count / size values, so two identical runs produce
+  /// byte-identical output.
+  std::string stats_json();
+  void write_stats_json(const std::filesystem::path& path);
+  /// Hop-by-hop PDU trace dump (same determinism guarantee).
+  std::string trace_json() { return net_.trace().to_json(); }
+  void write_trace_json(const std::filesystem::path& path);
 
  private:
   struct EndpointInfo {

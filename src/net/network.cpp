@@ -7,6 +7,21 @@
 
 namespace gdp::net {
 
+Network::Network(Simulator& sim)
+    : sim_(sim),
+      pdus_sent_(metrics_.counter("net.pdus.sent")),
+      pdus_delivered_(metrics_.counter("net.pdus.delivered")),
+      pdus_dropped_(metrics_.counter("net.pdus.dropped")),
+      bytes_delivered_(metrics_.counter("net.bytes.delivered")),
+      drop_no_link_(metrics_.counter("net.drop.no_link")),
+      drop_intercepted_(metrics_.counter("net.drop.intercepted")),
+      drop_loss_(metrics_.counter("net.drop.loss")),
+      drop_unattached_(metrics_.counter("net.drop.unattached")),
+      wire_bytes_(metrics_.histogram("net.pdu.wire_bytes")),
+      queue_wait_ns_(metrics_.histogram("net.link.queue_wait_ns")) {
+  trace_.set_clock(&sim_.clock());
+}
+
 void Network::attach(const Name& node, PduHandler* handler) {
   assert(handler != nullptr);
   nodes_[node] = handler;
@@ -48,31 +63,43 @@ Network::DirectedLink* Network::find_link(const Name& from, const Name& to) {
 }
 
 void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
+  // First transmission assigns the trace id; forwarding preserves it, so
+  // all spans a PDU generates across the fabric share one timeline.
+  if (pdu.trace_id == 0) pdu.trace_id = next_trace_id_++;
+  pdus_sent_.inc();
   DirectedLink* link = find_link(from, to);
   if (link == nullptr) {
     GDP_LOG(kWarn, "net") << "send over non-existent link " << from.short_hex()
                           << " -> " << to.short_hex();
-    ++pdus_dropped_;
+    pdus_dropped_.inc();
+    drop_no_link_.inc();
+    trace_.record(pdu.trace_id, from, "drop", "no_link");
     return;
   }
   // Adversary-in-the-path first: it sees the PDU as transmitted.
   if (link->interceptor) {
     auto mutated = link->interceptor(pdu);
     if (!mutated.has_value()) {
-      ++pdus_dropped_;
+      pdus_dropped_.inc();
+      drop_intercepted_.inc();
+      trace_.record(pdu.trace_id, from, "drop", "intercepted");
       return;
     }
     pdu = std::move(*mutated);
   }
   if (link->params.loss > 0.0 && sim_.rng().next_bool(link->params.loss)) {
-    ++pdus_dropped_;
+    pdus_dropped_.inc();
+    drop_loss_.inc();
+    trace_.record(pdu.trace_id, from, "drop", "link_loss");
     return;
   }
 
   const std::size_t size = pdu.wire_size();
+  wire_bytes_.record(size);
   const Duration tx_time(static_cast<std::int64_t>(
       static_cast<double>(size) * 8.0 / link->params.bandwidth_bps * 1e9));
   const TimePoint start = std::max(sim_.now(), link->busy_until);
+  queue_wait_ns_.record(static_cast<std::uint64_t>((start - sim_.now()).count()));
   link->busy_until = start + tx_time;
   const TimePoint deliver_at = link->busy_until + link->params.latency;
 
@@ -80,11 +107,13 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
                                 size]() mutable {
     auto it = nodes_.find(to);
     if (it == nodes_.end()) {
-      ++pdus_dropped_;  // crashed or never attached
+      pdus_dropped_.inc();  // crashed or never attached
+      drop_unattached_.inc();
+      trace_.record(pdu.trace_id, to, "drop", "node_unattached");
       return;
     }
-    ++pdus_delivered_;
-    bytes_delivered_ += size;
+    pdus_delivered_.inc();
+    bytes_delivered_.inc(size);
     it->second->on_pdu(from, pdu);
   });
 }

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "net/sim.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "wire/pdu.hpp"
 
 namespace gdp::net {
@@ -52,7 +54,7 @@ using Interceptor = std::function<std::optional<wire::Pdu>(const wire::Pdu&)>;
 
 class Network {
  public:
-  explicit Network(Simulator& sim) : sim_(sim) {}
+  explicit Network(Simulator& sim);
 
   void attach(const Name& node, PduHandler* handler);
   void detach(const Name& node);  ///< crash: node stops receiving
@@ -74,12 +76,20 @@ class Network {
   void set_interceptor(const Name& from, const Name& to, Interceptor fn);
   void clear_interceptor(const Name& from, const Name& to);
 
-  // Traffic accounting.
-  std::uint64_t pdus_delivered() const { return pdus_delivered_; }
-  std::uint64_t pdus_dropped() const { return pdus_dropped_; }
-  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  // Traffic accounting (live registry counters).
+  std::uint64_t pdus_delivered() const { return pdus_delivered_.value(); }
+  std::uint64_t pdus_dropped() const { return pdus_dropped_.value(); }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_.value(); }
 
   Simulator& sim() { return sim_; }
+
+  /// Fabric-wide telemetry: every component attached to this network
+  /// resolves its counters/histograms here and records trace spans into
+  /// the shared sink (stamped with the simulator clock).
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  telemetry::TraceSink& trace() { return trace_; }
+  const telemetry::TraceSink& trace() const { return trace_; }
 
  private:
   struct DirectedLink {
@@ -92,12 +102,22 @@ class Network {
   DirectedLink* find_link(const Name& from, const Name& to);
 
   Simulator& sim_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceSink trace_;
   std::unordered_map<Name, PduHandler*> nodes_;
   std::map<LinkKey, DirectedLink> links_;
   std::unordered_map<Name, std::vector<Name>> adjacency_;
-  std::uint64_t pdus_delivered_ = 0;
-  std::uint64_t pdus_dropped_ = 0;
-  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t next_trace_id_ = 1;
+  telemetry::Counter& pdus_sent_;
+  telemetry::Counter& pdus_delivered_;
+  telemetry::Counter& pdus_dropped_;
+  telemetry::Counter& bytes_delivered_;
+  telemetry::Counter& drop_no_link_;
+  telemetry::Counter& drop_intercepted_;
+  telemetry::Counter& drop_loss_;
+  telemetry::Counter& drop_unattached_;
+  telemetry::Histogram& wire_bytes_;
+  telemetry::Histogram& queue_wait_ns_;
 };
 
 }  // namespace gdp::net

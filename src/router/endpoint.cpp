@@ -8,7 +8,15 @@ Endpoint::Endpoint(net::Network& net, const crypto::PrivateKey& key,
                    trust::Role role, std::string label)
     : net_(net),
       key_(key),
-      self_(trust::Principal::create(key, role, std::move(label))) {
+      self_(trust::Principal::create(key, role, std::move(label))),
+      recv_pdus_(net_.metrics().counter(
+          "endpoint." + std::string(self_.label()) + ".recv.pdus")),
+      drop_bad_challenge_(net_.metrics().counter(
+          "endpoint." + std::string(self_.label()) + ".drop.bad_challenge")),
+      drop_malformed_(net_.metrics().counter(
+          "endpoint." + std::string(self_.label()) + ".drop.malformed")),
+      drop_not_attached_(net_.metrics().counter(
+          "endpoint." + std::string(self_.label()) + ".drop.not_attached")) {
   net_.attach(self_.name(), this);
 }
 
@@ -30,10 +38,16 @@ void Endpoint::advertise(const Name& router, std::vector<Bytes> catalog_records,
 }
 
 void Endpoint::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  recv_pdus_.inc();
+  net_.trace().record(pdu.trace_id, self_.name(), "recv");
   switch (pdu.type) {
     case wire::MsgType::kChallenge: {
       auto challenge = wire::ChallengeMsg::deserialize(pdu.payload);
-      if (!challenge.ok() || from != router_) return;
+      if (!challenge.ok() || from != router_) {
+        drop_bad_challenge_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "bad_challenge");
+        return;
+      }
       // Sign (nonce || router name): proves key possession and binds the
       // proof to this router so it cannot be relayed elsewhere.
       Bytes payload = concat(challenge->nonce, router_.bytes());
@@ -55,12 +69,17 @@ void Endpoint::on_pdu(const Name& from, const wire::Pdu& pdu) {
     }
     case wire::MsgType::kAdvertiseOk: {
       auto ok_msg = wire::AdvertiseOkMsg::deserialize(pdu.payload);
-      if (!ok_msg.ok()) return;
+      if (!ok_msg.ok()) {
+        drop_malformed_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed");
+        return;
+      }
       attached_ = ok_msg->ok;
       on_attached(ok_msg->ok, *ok_msg);
       return;
     }
     default:
+      net_.trace().record(pdu.trace_id, self_.name(), "deliver");
       handle_pdu(from, pdu);
   }
 }
@@ -75,6 +94,8 @@ void Endpoint::send_pdu(const Name& dst, wire::MsgType type, Bytes payload,
   pdu.payload = std::move(payload);
   if (router_.is_zero()) {
     GDP_LOG(kWarn, "endpoint") << "send_pdu before advertise()";
+    drop_not_attached_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_attached");
     return;
   }
   net_.send(self_.name(), router_, std::move(pdu));

@@ -57,6 +57,13 @@ class Endpoint : public net::PduHandler {
   bool attached_ = false;
   Duration lease_ = from_seconds(3600);
   std::uint64_t next_flow_ = 1;
+
+  // Telemetry handles (`endpoint.<label>.*`), resolved at construction.
+  // Every PDU-discarding early exit increments a named drop counter.
+  telemetry::Counter& recv_pdus_;
+  telemetry::Counter& drop_bad_challenge_;
+  telemetry::Counter& drop_malformed_;
+  telemetry::Counter& drop_not_attached_;
 };
 
 }  // namespace gdp::router

@@ -12,8 +12,34 @@ GLookupService::GLookupService(net::Network& net, trust::Principal self,
     : net_(net),
       self_(std::move(self)),
       domain_(domain),
-      topology_(std::move(topology)) {
+      topology_(std::move(topology)),
+      metric_prefix_("glookup." + std::string(self_.label()) + "."),
+      queries_served_(net_.metrics().counter(metric_prefix_ + "queries.served")),
+      queries_escalated_(
+          net_.metrics().counter(metric_prefix_ + "queries.escalated")),
+      registrations_(net_.metrics().counter(metric_prefix_ + "registrations")),
+      drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
+      drop_stale_reply_(
+          net_.metrics().counter(metric_prefix_ + "drop.stale_reply")),
+      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")) {
   net_.attach(self_.name(), this);
+}
+
+void GLookupService::autosize_verify_cache() {
+  if (verify_cache_pinned_) return;
+  const std::size_t want = std::max<std::size_t>(
+      trust::VerifyCache::kDefaultCapacity, 2 * entry_count());
+  if (want > verify_cache_.capacity()) verify_cache_.set_capacity(want);
+}
+
+void GLookupService::publish_metrics() {
+  auto& m = net_.metrics();
+  m.counter(metric_prefix_ + "entries").set(entry_count());
+  m.counter(metric_prefix_ + "verify_cache.hits").set(verify_cache_.hits());
+  m.counter(metric_prefix_ + "verify_cache.misses").set(verify_cache_.misses());
+  m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
+  m.counter(metric_prefix_ + "verify_cache.capacity")
+      .set(verify_cache_.capacity());
 }
 
 Status GLookupService::verify_entry(const Entry& entry) const {
@@ -52,6 +78,10 @@ Status GLookupService::register_entry(Entry entry) {
   } else {
     list.push_back(entry);
   }
+  registrations_.inc();
+  // A growing database means more distinct delegation chains to verify on
+  // refresh; keep the verdict cache ahead of it (ROADMAP follow-on).
+  autosize_verify_cache();
   // Propagate up where the placement policy allows ("any information
   // acquired during the advertisement process [is] also propagated to the
   // parent GLookupService" — unless the owner restricted the domains).
@@ -157,12 +187,12 @@ void GLookupService::send_reply(const Name& to, const wire::LookupReplyMsg& repl
 void GLookupService::answer(const Name& reply_to, const wire::LookupMsg& query) {
   wire::LookupReplyMsg reply = build_reply(query);
   if (reply.found || parent_ == nullptr) {
-    ++queries_served_;
+    queries_served_.inc();
     send_reply(reply_to, reply, query.nonce);
     return;
   }
   // Escalate to the parent domain's service.
-  ++queries_escalated_;
+  queries_escalated_.inc();
   const std::uint64_t nonce = next_nonce_++;
   pending_[nonce] = PendingQuery{reply_to, query};
   wire::LookupMsg up = query;
@@ -177,18 +207,32 @@ void GLookupService::answer(const Name& reply_to, const wire::LookupMsg& query) 
 }
 
 void GLookupService::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  net_.trace().record(pdu.trace_id, self_.name(), "recv");
   switch (pdu.type) {
     case wire::MsgType::kLookup: {
       auto msg = wire::LookupMsg::deserialize(pdu.payload);
-      if (!msg.ok()) return;
+      if (!msg.ok()) {
+        drop_malformed_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed");
+        return;
+      }
+      net_.trace().record(pdu.trace_id, self_.name(), "deliver", "lookup");
       answer(from, *msg);
       return;
     }
     case wire::MsgType::kLookupReply: {
       auto reply = wire::LookupReplyMsg::deserialize(pdu.payload);
-      if (!reply.ok()) return;
+      if (!reply.ok()) {
+        drop_malformed_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed");
+        return;
+      }
       auto it = pending_.find(reply->nonce);
-      if (it == pending_.end()) return;  // stale or replayed
+      if (it == pending_.end()) {  // stale or replayed
+        drop_stale_reply_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "stale_reply");
+        return;
+      }
       PendingQuery pq = std::move(it->second);
       pending_.erase(it);
       // Cache verified evidence so future queries resolve locally.
@@ -222,6 +266,8 @@ void GLookupService::on_pdu(const Name& from, const wire::Pdu& pdu) {
     default:
       GDP_LOG(kWarn, "glookup") << "unexpected PDU type "
                                 << static_cast<int>(pdu.type);
+      drop_unhandled_.inc();
+      net_.trace().record(pdu.trace_id, self_.name(), "drop", "unhandled_type");
   }
 }
 

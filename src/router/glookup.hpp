@@ -67,11 +67,18 @@ class GLookupService : public net::PduHandler {
 
   // Introspection for tests.
   std::size_t entry_count() const;
-  std::uint64_t queries_served() const { return queries_served_; }
-  std::uint64_t queries_escalated() const { return queries_escalated_; }
+  std::uint64_t queries_served() const { return queries_served_.value(); }
+  std::uint64_t queries_escalated() const { return queries_escalated_.value(); }
   std::uint64_t verify_cache_hits() const { return verify_cache_.hits(); }
   std::uint64_t verify_cache_misses() const { return verify_cache_.misses(); }
-  void set_verify_cache_capacity(std::size_t n) { verify_cache_.set_capacity(n); }
+  void set_verify_cache_capacity(std::size_t n) {
+    verify_cache_pinned_ = true;
+    verify_cache_.set_capacity(n);
+  }
+
+  /// Publishes sampled gauges (entry count, verify-cache hit/miss) into the
+  /// registry; called by stats dumpers before serializing.
+  void publish_metrics();
 
  private:
   struct PendingQuery {
@@ -80,6 +87,9 @@ class GLookupService : public net::PduHandler {
   };
 
   Status verify_entry(const Entry& entry) const;
+  /// Grows (never shrinks) the verify cache to 2x the registered-entry
+  /// cardinality, unless a test pinned the capacity explicitly.
+  void autosize_verify_cache();
   void answer(const Name& reply_to, const wire::LookupMsg& query);
   /// Builds a reply for `query` from local entries; found=false when none.
   wire::LookupReplyMsg build_reply(const wire::LookupMsg& query) const;
@@ -97,10 +107,18 @@ class GLookupService : public net::PduHandler {
   /// makes refreshes cheap.  Mutable: verification does not change what
   /// the service *knows*, only what it has already computed.
   mutable trust::VerifyCache verify_cache_;
+  bool verify_cache_pinned_ = false;  ///< capacity fixed by a test
   std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
   std::uint64_t next_nonce_ = 1;
-  std::uint64_t queries_served_ = 0;
-  std::uint64_t queries_escalated_ = 0;
+
+  // Telemetry handles (`glookup.<label>.*`), resolved at construction.
+  std::string metric_prefix_;
+  telemetry::Counter& queries_served_;
+  telemetry::Counter& queries_escalated_;
+  telemetry::Counter& registrations_;
+  telemetry::Counter& drop_malformed_;
+  telemetry::Counter& drop_stale_reply_;
+  telemetry::Counter& drop_unhandled_;
 };
 
 }  // namespace gdp::router

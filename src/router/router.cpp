@@ -1,5 +1,7 @@
 #include "router/router.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace gdp::router {
@@ -9,11 +11,55 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
     : net_(net),
       self_(trust::Principal::create(key, trust::Role::kRouter, std::move(label))),
       domain_(domain),
-      topology_(std::move(topology)) {
+      topology_(std::move(topology)),
+      metric_prefix_("router." + std::string(self_.label()) + "."),
+      forwarded_(net_.metrics().counter(metric_prefix_ + "fwd.pdus")),
+      dropped_(net_.metrics().counter(metric_prefix_ + "drop.pdus")),
+      lookups_issued_(net_.metrics().counter(metric_prefix_ + "lookups.issued")),
+      ads_accepted_(net_.metrics().counter(metric_prefix_ + "ads.accepted")),
+      ads_rejected_(net_.metrics().counter(metric_prefix_ + "ads.rejected")),
+      fib_hits_(net_.metrics().counter(metric_prefix_ + "fib.hits")),
+      fib_misses_(net_.metrics().counter(metric_prefix_ + "fib.misses")),
+      drop_ttl_(net_.metrics().counter(metric_prefix_ + "drop.ttl")),
+      drop_no_route_(net_.metrics().counter(metric_prefix_ + "drop.no_route")),
+      drop_no_glookup_(net_.metrics().counter(metric_prefix_ + "drop.no_glookup")),
+      drop_bad_evidence_(
+          net_.metrics().counter(metric_prefix_ + "drop.bad_evidence")),
+      drop_stale_route_(
+          net_.metrics().counter(metric_prefix_ + "drop.stale_route")),
+      drop_next_hop_down_(
+          net_.metrics().counter(metric_prefix_ + "drop.next_hop_unreachable")),
+      drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
+      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")) {
   net_.attach(self_.name(), this);
 }
 
+void Router::drop_pdu(const wire::Pdu& pdu, telemetry::Counter& reason_counter,
+                      const char* reason) {
+  dropped_.inc();
+  reason_counter.inc();
+  net_.trace().record(pdu.trace_id, self_.name(), "drop", reason);
+}
+
+void Router::autosize_verify_cache() {
+  if (verify_cache_pinned_) return;
+  const std::size_t want =
+      std::max<std::size_t>(trust::VerifyCache::kDefaultCapacity, 2 * fib_.size());
+  if (want > verify_cache_.capacity()) verify_cache_.set_capacity(want);
+}
+
+void Router::publish_metrics() {
+  auto& m = net_.metrics();
+  m.counter(metric_prefix_ + "fib.size").set(fib_.size());
+  m.counter(metric_prefix_ + "verify_cache.hits").set(verify_cache_.hits());
+  m.counter(metric_prefix_ + "verify_cache.misses").set(verify_cache_.misses());
+  m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
+  m.counter(metric_prefix_ + "verify_cache.capacity")
+      .set(verify_cache_.capacity());
+}
+
 void Router::on_pdu(const Name& from, const wire::Pdu& pdu) {
+  net_.trace().record(pdu.trace_id, self_.name(), "recv");
   if (pdu.dst == self_.name()) {
     switch (pdu.type) {
       case wire::MsgType::kAdvertise:
@@ -27,9 +73,13 @@ void Router::on_pdu(const Name& from, const wire::Pdu& pdu) {
         return;
       default:
         // Benchmarks may address raw traffic to the router itself.
-        if (pdu.type == wire::MsgType::kBenchData) return;
+        if (pdu.type == wire::MsgType::kBenchData) {
+          net_.trace().record(pdu.trace_id, self_.name(), "deliver", "bench_sink");
+          return;
+        }
         GDP_LOG(kWarn, "router") << "unhandled control PDU type "
                                  << static_cast<int>(pdu.type);
+        drop_pdu(pdu, drop_unhandled_, "unhandled_type");
         return;
     }
   }
@@ -38,18 +88,23 @@ void Router::on_pdu(const Name& from, const wire::Pdu& pdu) {
 
 void Router::forward(wire::Pdu pdu) {
   if (pdu.ttl == 0) {
-    ++dropped_;
+    drop_pdu(pdu, drop_ttl_, "ttl");
     return;
   }
   pdu.ttl -= 1;
   auto it = fib_.find(pdu.dst);
   if (it != fib_.end()) {
-    ++forwarded_;
+    fib_hits_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "fib_lookup", "hit");
+    forwarded_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "forward");
     net_.send(self_.name(), it->second, std::move(pdu));
     return;
   }
+  fib_misses_.inc();
+  net_.trace().record(pdu.trace_id, self_.name(), "fib_lookup", "miss");
   if (glookup_ == nullptr) {
-    ++dropped_;
+    drop_pdu(pdu, drop_no_glookup_, "no_glookup");
     return;
   }
   auto& queue = awaiting_route_[pdu.dst];
@@ -58,7 +113,7 @@ void Router::forward(wire::Pdu pdu) {
 }
 
 void Router::start_lookup(const Name& target) {
-  ++lookups_issued_;
+  lookups_issued_.inc();
   wire::LookupMsg msg;
   msg.target = target;
   msg.querying_router = self_.name();
@@ -74,13 +129,20 @@ void Router::start_lookup(const Name& target) {
 
 void Router::handle_lookup_reply(const wire::Pdu& pdu) {
   auto reply = wire::LookupReplyMsg::deserialize(pdu.payload);
-  if (!reply.ok()) return;
+  if (!reply.ok()) {
+    drop_pdu(pdu, drop_malformed_, "malformed_lookup_reply");
+    return;
+  }
   auto waiting = awaiting_route_.find(reply->target);
+  // Dropping a queued PDU accounts the *queued* PDU's trace id, so its
+  // timeline ends with the drop reason rather than going silent.
+  auto drop_waiting = [&](telemetry::Counter& reason_counter, const char* reason) {
+    if (waiting == awaiting_route_.end()) return;
+    for (const wire::Pdu& p : waiting->second) drop_pdu(p, reason_counter, reason);
+    awaiting_route_.erase(waiting);
+  };
   if (!reply->found) {
-    if (waiting != awaiting_route_.end()) {
-      dropped_ += waiting->second.size();
-      awaiting_route_.erase(waiting);
-    }
+    drop_waiting(drop_no_route_, "no_route");
     return;
   }
   // Independently verify the routing state before installing it — a
@@ -94,33 +156,34 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
         !ad->verify(*advertiser, net_.sim().now(), nullptr, &verify_cache_).ok()) {
       GDP_LOG(kWarn, "router") << "rejecting unverifiable lookup reply for "
                                << reply->target.short_hex();
-      if (waiting != awaiting_route_.end()) {
-        dropped_ += waiting->second.size();
-        awaiting_route_.erase(waiting);
-      }
+      net_.trace().record(pdu.trace_id, self_.name(), "verify", "evidence_bad");
+      drop_waiting(drop_bad_evidence_, "bad_evidence");
       return;
     }
+    net_.trace().record(pdu.trace_id, self_.name(), "verify", "evidence_ok");
   }
   const Name next_hop =
       reply->attachment_router == self_.name() ? reply->target : reply->next_hop;
   if (next_hop != self_.name() && net_.adjacent(self_.name(), next_hop)) {
     fib_[reply->target] = next_hop;
+    autosize_verify_cache();
   } else if (reply->attachment_router == self_.name()) {
     // The target was supposedly attached here but is not adjacent: stale.
-    if (waiting != awaiting_route_.end()) {
-      dropped_ += waiting->second.size();
-      awaiting_route_.erase(waiting);
-    }
+    drop_waiting(drop_stale_route_, "stale_route");
     return;
   } else {
-    ++dropped_;
+    dropped_.inc();
+    drop_next_hop_down_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop",
+                        "next_hop_unreachable");
     return;
   }
   if (waiting != awaiting_route_.end()) {
     std::vector<wire::Pdu> queued = std::move(waiting->second);
     awaiting_route_.erase(waiting);
     for (wire::Pdu& p : queued) {
-      ++forwarded_;
+      forwarded_.inc();
+      net_.trace().record(p.trace_id, self_.name(), "forward", "post_lookup");
       net_.send(self_.name(), fib_[reply->target], std::move(p));
     }
   }
@@ -129,11 +192,13 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
 void Router::handle_advertise(const Name& from, const wire::Pdu& pdu) {
   auto msg = wire::AdvertiseMsg::deserialize(pdu.payload);
   if (!msg.ok()) {
+    drop_pdu(pdu, drop_malformed_, "malformed_advertisement");
     send_advertise_ok(from, false, "malformed advertisement", 0);
     return;
   }
   auto advertiser = trust::Principal::deserialize(msg->principal);
   if (!advertiser.ok()) {
+    drop_pdu(pdu, drop_malformed_, "invalid_principal");
     send_advertise_ok(from, false, "invalid principal", 0);
     return;
   }
@@ -157,9 +222,15 @@ void Router::handle_advertise(const Name& from, const wire::Pdu& pdu) {
 
 void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   auto msg = wire::ChallengeReplyMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_pdu(pdu, drop_malformed_, "malformed_challenge_reply");
+    return;
+  }
   auto advertiser = trust::Principal::deserialize(msg->principal);
-  if (!advertiser.ok()) return;
+  if (!advertiser.ok()) {
+    drop_pdu(pdu, drop_malformed_, "invalid_principal");
+    return;
+  }
   auto pending_it = pending_ads_.find(pdu.flow_id);
   if (pending_it == pending_ads_.end() || pending_it->second.neighbor != from ||
       pending_it->second.advertiser.name() != advertiser->name()) {
@@ -173,7 +244,8 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   Bytes challenge_payload = concat(pending.nonce, self_.name().bytes());
   auto sig = crypto::Signature::decode(msg->nonce_sig);
   if (!sig || !advertiser->key().verify(challenge_payload, *sig)) {
-    ++ads_rejected_;
+    ads_rejected_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "verify", "challenge_sig_bad");
     send_advertise_ok(from, false, "challenge signature invalid", 0);
     return;
   }
@@ -182,10 +254,12 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   if (!rt.ok() ||
       !trust::verify_routing_delegation(*rt, *advertiser, self_, net_.sim().now(),
                                         &verify_cache_).ok()) {
-    ++ads_rejected_;
+    ads_rejected_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "verify", "rt_cert_bad");
     send_advertise_ok(from, false, "RtCert invalid", 0);
     return;
   }
+  net_.trace().record(pdu.trace_id, self_.name(), "verify", "handshake_ok");
   rt_certs_.insert_or_assign(advertiser->name(), *rt);
 
   // 3. The advertiser's own name becomes directly routable.
@@ -215,7 +289,7 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
     Status verdict = ad.verify(*advertiser, net_.sim().now(), &domain_,
                                &verify_cache_);
     if (!verdict.ok()) {
-      ++ads_rejected_;
+      ads_rejected_.inc();
       GDP_LOG(kInfo, "router") << "rejected advertisement for "
                                << ad.advertised.short_hex() << ": "
                                << verdict.error().to_string();
@@ -224,7 +298,7 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
     fib_[ad.advertised] = pending.neighbor;
     attached_via_[pending.neighbor].push_back(ad.advertised);
     ++accepted;
-    ++ads_accepted_;
+    ads_accepted_.inc();
     if (glookup_ != nullptr) {
       GLookupService::Entry entry;
       entry.target = ad.advertised;
@@ -240,6 +314,10 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
       }
     }
   }
+  // The catalog install may have grown the FIB well past the default
+  // verify-cache capacity; re-size before the next delegation-chain check
+  // so re-advertisements keep their cached verdicts (ROADMAP follow-on).
+  autosize_verify_cache();
   send_advertise_ok(from, true, "", accepted);
 }
 

@@ -49,18 +49,27 @@ class Router : public net::PduHandler {
   /// re-establishment of DataCapsule-service", §VII).
   void neighbor_down(const Name& neighbor);
 
-  // Statistics (Figure 6 measures the forwarding path).
-  std::uint64_t pdus_forwarded() const { return forwarded_; }
-  std::uint64_t pdus_dropped() const { return dropped_; }
-  std::uint64_t lookups_issued() const { return lookups_issued_; }
+  // Statistics (Figure 6 measures the forwarding path).  All live in the
+  // network's MetricsRegistry under `router.<label>.*`; these accessors
+  // read the same registry counters.
+  std::uint64_t pdus_forwarded() const { return forwarded_.value(); }
+  std::uint64_t pdus_dropped() const { return dropped_.value(); }
+  std::uint64_t lookups_issued() const { return lookups_issued_.value(); }
   std::size_t fib_size() const { return fib_.size(); }
-  std::uint64_t advertisements_accepted() const { return ads_accepted_; }
-  std::uint64_t advertisements_rejected() const { return ads_rejected_; }
+  std::uint64_t advertisements_accepted() const { return ads_accepted_.value(); }
+  std::uint64_t advertisements_rejected() const { return ads_rejected_.value(); }
   /// Verification-cache effectiveness: hits are ECDSA verifications the
   /// router skipped on re-advertisements and repeated delegation chains.
   std::uint64_t verify_cache_hits() const { return verify_cache_.hits(); }
   std::uint64_t verify_cache_misses() const { return verify_cache_.misses(); }
-  void set_verify_cache_capacity(std::size_t n) { verify_cache_.set_capacity(n); }
+  void set_verify_cache_capacity(std::size_t n) {
+    verify_cache_pinned_ = true;
+    verify_cache_.set_capacity(n);
+  }
+
+  /// Publishes sampled gauges (FIB size, verify-cache hit/miss/occupancy)
+  /// into the registry; called by stats dumpers before serializing.
+  void publish_metrics();
 
   /// Direct FIB inspection for tests.
   bool has_route(const Name& target) const { return fib_.contains(target); }
@@ -74,6 +83,14 @@ class Router : public net::PduHandler {
   };
 
   void forward(wire::Pdu pdu);
+  /// Drop accounting: every code path that discards a PDU funnels through
+  /// here so silent drops are impossible — the reason becomes a counter
+  /// (`router.<label>.drop.<reason>`) and a trace span.
+  void drop_pdu(const wire::Pdu& pdu, telemetry::Counter& reason_counter,
+                const char* reason);
+  /// Grows (never shrinks) the verify cache to 2x the advertised-name
+  /// cardinality, unless a test pinned the capacity explicitly.
+  void autosize_verify_cache();
   void start_lookup(const Name& target);
   void handle_advertise(const Name& from, const wire::Pdu& pdu);
   void handle_challenge_reply(const Name& from, const wire::Pdu& pdu);
@@ -99,12 +116,25 @@ class Router : public net::PduHandler {
   /// Memoizes delegation-chain signature verdicts (challenge-nonce
   /// signatures are never cached: each handshake uses a fresh nonce).
   trust::VerifyCache verify_cache_;
+  bool verify_cache_pinned_ = false;  ///< capacity fixed by a test
 
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t lookups_issued_ = 0;
-  std::uint64_t ads_accepted_ = 0;
-  std::uint64_t ads_rejected_ = 0;
+  // Telemetry handles, resolved once against the network registry.
+  std::string metric_prefix_;  ///< "router.<label>."
+  telemetry::Counter& forwarded_;
+  telemetry::Counter& dropped_;
+  telemetry::Counter& lookups_issued_;
+  telemetry::Counter& ads_accepted_;
+  telemetry::Counter& ads_rejected_;
+  telemetry::Counter& fib_hits_;
+  telemetry::Counter& fib_misses_;
+  telemetry::Counter& drop_ttl_;
+  telemetry::Counter& drop_no_route_;
+  telemetry::Counter& drop_no_glookup_;
+  telemetry::Counter& drop_bad_evidence_;
+  telemetry::Counter& drop_stale_route_;
+  telemetry::Counter& drop_next_hop_down_;
+  telemetry::Counter& drop_malformed_;
+  telemetry::Counter& drop_unhandled_;
 };
 
 }  // namespace gdp::router

@@ -23,7 +23,32 @@ CapsuleServer::CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
           std::abort();
         }
         return std::move(s).value();
-      }()) {}
+      }()),
+      metric_prefix_("server." + std::string(self_.label()) + "."),
+      appends_accepted_(
+          net_.metrics().counter(metric_prefix_ + "appends.accepted")),
+      appends_rejected_(
+          net_.metrics().counter(metric_prefix_ + "appends.rejected")),
+      reads_served_(net_.metrics().counter(metric_prefix_ + "reads.served")),
+      sync_records_sent_(
+          net_.metrics().counter(metric_prefix_ + "sync.records_sent")),
+      drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
+      drop_not_hosted_(
+          net_.metrics().counter(metric_prefix_ + "drop.not_hosted")),
+      drop_stale_ack_(
+          net_.metrics().counter(metric_prefix_ + "drop.stale_ack")) {}
+
+void CapsuleServer::publish_metrics() {
+  auto& m = net_.metrics();
+  for (const Name& name : store_.hosted()) {
+    const store::CapsuleStore* cs = store_.find(name);
+    const std::string prefix = "store." + name.short_hex() + ".";
+    m.counter(prefix + "records").set(cs->log().entry_count());
+    m.counter(prefix + "payload_bytes").set(cs->log().payload_bytes());
+    m.counter(prefix + "flushes").set(cs->log().sync_count());
+    m.counter(prefix + "tip_seqno").set(cs->state().tip_seqno());
+  }
+}
 
 Status CapsuleServer::host_capsule(const capsule::Metadata& metadata,
                                    const trust::ServingDelegation& delegation,
@@ -100,6 +125,8 @@ void CapsuleServer::handle_pdu(const Name& from, const wire::Pdu& pdu) {
     case wire::MsgType::kBenchData: return;  // raw forwarding benchmark sink
     default:
       GDP_LOG(kWarn, "server") << "unhandled PDU type " << static_cast<int>(pdu.type);
+      net_.metrics().counter(metric_prefix_ + "drop.unhandled").inc();
+      net_.trace().record(pdu.trace_id, self_.name(), "drop", "unhandled_type");
   }
 }
 
@@ -134,7 +161,11 @@ void CapsuleServer::handle_create(const Name& /*from*/, const wire::Pdu& pdu) {
 
 void CapsuleServer::handle_append(const wire::Pdu& pdu) {
   auto msg = wire::AppendMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_append");
+    return;
+  }
 
   PendingDurability pending;
   pending.writer = pdu.src;
@@ -147,18 +178,25 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
 
   store::CapsuleStore* cs = store_.find(msg->capsule);
   if (cs == nullptr) {
-    ++appends_rejected_;
+    appends_rejected_.inc();
     send_append_ack(pending, false, "capsule not hosted here");
     return;
   }
   const std::uint64_t tip_before = cs->state().tip_seqno();
   Status ingested = cs->ingest(msg->record);
   if (!ingested.ok()) {
-    ++appends_rejected_;
+    appends_rejected_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "verify", "append_rejected");
     send_append_ack(pending, false, ingested.error().to_string());
     return;
   }
-  ++appends_accepted_;
+  appends_accepted_.inc();
+  // Local persistence means *flushed*, not just buffered — acking before
+  // the flush would claim durability the storage engine cannot back.
+  (void)cs->sync();
+  net_.metrics()
+      .histogram("store." + msg->capsule.short_hex() + ".append.bytes")
+      .record(msg->record.payload.size());
   publish_new_canonical(msg->capsule, tip_before);
 
   const auto peer_it = peers_.find(msg->capsule);
@@ -195,16 +233,25 @@ void CapsuleServer::propagate_record(const Name& capsule, const Record& record,
     wire::SyncPushMsg msg;
     msg.capsule = capsule;
     msg.records.push_back(record.serialize());
-    ++sync_records_sent_;
+    sync_records_sent_.inc();
     send_pdu(peer, wire::MsgType::kSyncPush, msg.serialize(), flow_id);
   }
 }
 
 void CapsuleServer::handle_peer_ack(const wire::Pdu& pdu) {
   auto msg = wire::StatusMsg::deserialize(pdu.payload);
-  if (!msg.ok() || !msg->ok) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_ack");
+    return;
+  }
+  if (!msg->ok) return;  // negative acks never satisfy durability
   auto it = pending_.find(msg->nonce);
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    drop_stale_ack_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "stale_ack");
+    return;
+  }
   PendingDurability& p = it->second;
   ++p.acks;
   if (p.acks >= p.required) {
@@ -216,9 +263,17 @@ void CapsuleServer::handle_peer_ack(const wire::Pdu& pdu) {
 
 void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
   auto msg = wire::SyncPushMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_sync");
+    return;
+  }
   store::CapsuleStore* cs = store_.find(msg->capsule);
-  if (cs == nullptr) return;
+  if (cs == nullptr) {
+    drop_not_hosted_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    return;
+  }
   const std::uint64_t tip_before = cs->state().tip_seqno();
   bool all_ok = true;
   for (const Bytes& record_bytes : msg->records) {
@@ -237,9 +292,17 @@ void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
 
 void CapsuleServer::handle_sync_pull(const wire::Pdu& pdu) {
   auto msg = wire::SyncPullMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_sync");
+    return;
+  }
   store::CapsuleStore* cs = store_.find(msg->capsule);
-  if (cs == nullptr) return;
+  if (cs == nullptr) {
+    drop_not_hosted_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    return;
+  }
   const auto& state = cs->state();
   wire::SyncPushMsg push;
   push.capsule = msg->capsule;
@@ -257,13 +320,17 @@ void CapsuleServer::handle_sync_pull(const wire::Pdu& pdu) {
     if (rec) push.records.push_back(rec->serialize());
   }
   if (push.records.empty()) return;
-  sync_records_sent_ += push.records.size();
+  sync_records_sent_.inc(push.records.size());
   send_pdu(pdu.src, wire::MsgType::kSyncPush, push.serialize());
 }
 
 void CapsuleServer::handle_read(const wire::Pdu& pdu) {
   auto msg = wire::ReadMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_read");
+    return;
+  }
 
   wire::ReadResponseMsg resp;
   resp.capsule = msg->capsule;
@@ -315,13 +382,20 @@ void CapsuleServer::handle_read(const wire::Pdu& pdu) {
   authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
                         resp.signed_body(), resp.auth, resp.server_principal,
                         resp.delegation);
-  ++reads_served_;
+  reads_served_.inc();
+  net_.metrics()
+      .histogram("store." + msg->capsule.short_hex() + ".read.bytes")
+      .record(resp.proof.size());
   send_pdu(pdu.src, wire::MsgType::kReadResponse, resp.serialize(), pdu.flow_id);
 }
 
 void CapsuleServer::handle_subscribe(const wire::Pdu& pdu) {
   auto msg = wire::SubscribeMsg::deserialize(pdu.payload);
-  if (!msg.ok()) return;
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_subscribe");
+    return;
+  }
   const store::CapsuleStore* cs = store_.find(msg->capsule);
   if (cs == nullptr) {
     send_status(pdu.src, false, Errc::kNotFound, "capsule not hosted here",

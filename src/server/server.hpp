@@ -57,14 +57,18 @@ class CapsuleServer : public router::Endpoint {
 
   const store::ServerStore& storage() const { return store_; }
   bool hosts(const Name& capsule) const { return store_.hosts(capsule); }
-  std::uint64_t appends_accepted() const { return appends_accepted_; }
-  std::uint64_t appends_rejected() const { return appends_rejected_; }
+  std::uint64_t appends_accepted() const { return appends_accepted_.value(); }
+  std::uint64_t appends_rejected() const { return appends_rejected_.value(); }
   /// Capsules in Strict-Single-Writer mode where the server holds signed
   /// evidence of a fork — the writer (or its stolen key) equivocated.
   std::vector<Name> equivocating_capsules() const;
-  std::uint64_t reads_served() const { return reads_served_; }
-  std::uint64_t sync_records_sent() const { return sync_records_sent_; }
+  std::uint64_t reads_served() const { return reads_served_.value(); }
+  std::uint64_t sync_records_sent() const { return sync_records_sent_.value(); }
   std::size_t subscriber_count(const Name& capsule) const;
+
+  /// Publishes per-capsule storage gauges (records, payload bytes, flush
+  /// count) into the registry; called by stats dumpers before serializing.
+  void publish_metrics();
 
  protected:
   void handle_pdu(const Name& from, const wire::Pdu& pdu) override;
@@ -117,10 +121,15 @@ class CapsuleServer : public router::Endpoint {
   std::uint64_t next_pending_id_ = 1;
   bool anti_entropy_running_ = false;
 
-  std::uint64_t appends_accepted_ = 0;
-  std::uint64_t appends_rejected_ = 0;
-  std::uint64_t reads_served_ = 0;
-  std::uint64_t sync_records_sent_ = 0;
+  // Telemetry handles (`server.<label>.*`), resolved at construction.
+  std::string metric_prefix_;
+  telemetry::Counter& appends_accepted_;
+  telemetry::Counter& appends_rejected_;
+  telemetry::Counter& reads_served_;
+  telemetry::Counter& sync_records_sent_;
+  telemetry::Counter& drop_malformed_;
+  telemetry::Counter& drop_not_hosted_;
+  telemetry::Counter& drop_stale_ack_;
 };
 
 }  // namespace gdp::server

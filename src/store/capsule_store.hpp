@@ -48,6 +48,8 @@ class CapsuleStore {
   std::size_t corrupt_dropped() const { return corrupt_dropped_; }
 
   Status sync() { return log_.sync(); }
+  /// Storage-engine introspection (entry/byte/flush gauges for telemetry).
+  const LogStore& log() const { return log_; }
 
  private:
   CapsuleStore(LogStore log, std::unique_ptr<capsule::CapsuleState> state,

@@ -150,6 +150,7 @@ Status LogStore::for_each(
 }
 
 Status LogStore::sync() {
+  ++sync_count_;
   if (active_) {
     active_->flush();
     if (!active_->good()) return make_error(Errc::kUnavailable, "flush failed");

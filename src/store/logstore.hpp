@@ -53,6 +53,9 @@ class LogStore {
 
   /// Flushes buffered writes to the OS.
   Status sync();
+  /// Number of sync() flushes performed (the fsync-equivalent count a
+  /// durability benchmark wants to see).
+  std::uint64_t sync_count() const { return sync_count_; }
 
  private:
   struct EntryLoc {
@@ -71,6 +74,7 @@ class LogStore {
   Options options_{};
   std::vector<EntryLoc> index_;
   std::uint64_t payload_bytes_ = 0;
+  std::uint64_t sync_count_ = 0;
   std::uint32_t active_segment_ = 0;
   std::uint64_t active_offset_ = 0;
   mutable std::unique_ptr<std::fstream> active_;  // open for append + read

@@ -1,0 +1,107 @@
+#include "telemetry/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdp::telemetry {
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < 4) return static_cast<std::size_t>(value);
+  // value in [2^e, 2^(e+1)), e >= 2; the two bits below the leading one
+  // select one of 4 sub-buckets.
+  const int e = 63 - std::countl_zero(value);
+  const std::uint64_t sub = (value >> (e - 2)) & 3;
+  return 4 + static_cast<std::size_t>(e - 2) * 4 + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) {
+  if (index < 4) return index;
+  const int e = 2 + static_cast<int>((index - 4) / 4);
+  const std::uint64_t sub = (index - 4) % 4;
+  const std::uint64_t width = 1ull << (e - 2);
+  const std::uint64_t lower = (4 + sub) * width;
+  return lower + width - 1;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil), so q=1 is the last sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (rank < q * static_cast<double>(count_)) ++rank;  // ceil
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t ub = bucket_upper_bound(i);
+      return ub > max_ ? max_ : ub;  // never report beyond the observed max
+    }
+  }
+  return max_;
+}
+
+namespace {
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::to_json(int indent) const {
+  const std::string pad1(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = "{\n" + pad1 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + "\"" + name + "\": ";
+    append_u64(out, c.value());
+  }
+  out += first ? "},\n" : "\n" + pad1 + "},\n";
+  out += pad1 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + "\"" + name + "\": {\"count\": ";
+    append_u64(out, h.count());
+    out += ", \"sum\": ";
+    append_u64(out, h.sum());
+    out += ", \"mean\": ";
+    append_double(out, h.mean());
+    out += ", \"min\": ";
+    append_u64(out, h.min());
+    out += ", \"max\": ";
+    append_u64(out, h.max());
+    out += ", \"p50\": ";
+    append_u64(out, h.p50());
+    out += ", \"p95\": ";
+    append_u64(out, h.p95());
+    out += ", \"p99\": ";
+    append_u64(out, h.p99());
+    out += "}";
+  }
+  out += first ? "}\n" : "\n" + pad1 + "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gdp::telemetry

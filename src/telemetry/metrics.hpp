@@ -1,0 +1,98 @@
+// Fabric-wide metrics registry.
+//
+// Every component on the data path (links, routers, GLookupServices,
+// DataCapsule-servers, stores, clients) registers named counters and
+// histograms here instead of keeping ad-hoc private tallies.  Handles are
+// resolved once at component construction — the hot path touches a single
+// integer — and the whole registry serializes to JSON in one call, so any
+// harness, bench or test can dump a uniform stats snapshot.
+//
+// Names are hierarchical, dot-separated, lowest-cardinality label first:
+//   router.<label>.fwd.pdus      glookup.<label>.verify_cache.hits
+//   net.pdus.delivered           store.<label>.append.bytes
+// Durations carry a `_ns` suffix, sizes a `_bytes`/`.bytes` suffix.
+//
+// Everything here is deterministic: histograms use fixed log-scale buckets
+// (no sampling, no clocks), and to_json() iterates registries in name
+// order, so two identical simulation runs serialize byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gdp::telemetry {
+
+/// Monotonic event counter.  `set()` exists for sampled gauges (FIB size,
+/// cache occupancy) published into the registry at snapshot time.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket log-scale histogram for latencies (ns) and sizes (bytes).
+//
+// Buckets: values 0..3 are exact; beyond that each power of two splits
+// into 4 sub-buckets (HDR-style), so quantiles carry at most ~12.5%
+// relative error while recording stays branch-light and allocation-free.
+// Quantiles report the upper bound of the containing bucket, clamped to
+// the exact observed max — deterministic for identical inputs.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 252;
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// q in [0,1]; returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p95() const { return quantile(0.95); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_upper_bound(std::size_t index);
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Name -> instrument registry.  Re-requesting a name returns the same
+/// instrument (components constructed at different times share series);
+/// a counter and a histogram may share a name without colliding — they
+/// serialize into separate JSON sections.  References stay valid for the
+/// registry's lifetime (node-based map).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t histogram_count() const { return histograms_.size(); }
+
+  /// {"counters": {name: value, ...},
+  ///  "histograms": {name: {count,sum,mean,min,max,p50,p95,p99}, ...}}
+  /// Keys in lexicographic order; byte-stable for identical contents.
+  std::string to_json(int indent = 2) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace gdp::telemetry

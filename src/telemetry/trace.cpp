@@ -1,0 +1,106 @@
+#include "telemetry/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdp::telemetry {
+
+void TraceSink::record(std::uint64_t trace_id, const Name& node,
+                       std::string_view event, std::string detail) {
+  if (!enabled_) return;
+  SpanEvent span{trace_id, clock_ != nullptr ? clock_->now() : TimePoint{}, node,
+                 event, std::move(detail)};
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanEvent> TraceSink::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> TraceSink::events_for(std::uint64_t trace_id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& e : events()) {
+    if (e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string TraceSink::to_json(int indent) const {
+  const std::string pad1(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad3(static_cast<std::size_t>(indent) * 3, ' ');
+  const std::vector<SpanEvent> all = events();
+
+  // Group by trace id, ordered by first appearance in the buffer.
+  std::vector<std::uint64_t> order;
+  for (const SpanEvent& e : all) {
+    bool seen = false;
+    for (std::uint64_t id : order) {
+      if (id == e.trace_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) order.push_back(e.trace_id);
+  }
+
+  char buf[64];
+  std::string out = "{\n" + pad1 + "\"recorded\": ";
+  std::snprintf(buf, sizeof buf, "%" PRIu64, recorded());
+  out += buf;
+  out += ",\n" + pad1 + "\"dropped_by_wraparound\": ";
+  std::snprintf(buf, sizeof buf, "%" PRIu64, dropped_by_wraparound());
+  out += buf;
+  out += ",\n" + pad1 + "\"traces\": [";
+  bool first_trace = true;
+  for (std::uint64_t id : order) {
+    out += first_trace ? "\n" : ",\n";
+    first_trace = false;
+    out += pad2 + "{\"trace_id\": ";
+    std::snprintf(buf, sizeof buf, "%" PRIu64, id);
+    out += buf;
+    out += ", \"spans\": [";
+    bool first_span = true;
+    for (const SpanEvent& e : all) {
+      if (e.trace_id != id) continue;
+      out += first_span ? "\n" : ",\n";
+      first_span = false;
+      out += pad3 + "{\"t_ns\": ";
+      std::snprintf(buf, sizeof buf, "%" PRId64,
+                    static_cast<std::int64_t>(e.at.count()));
+      out += buf;
+      out += ", \"node\": \"" + e.node.short_hex() + "\", \"event\": \"";
+      out += e.event;
+      out += "\"";
+      if (!e.detail.empty()) out += ", \"detail\": \"" + e.detail + "\"";
+      out += "}";
+    }
+    out += first_span ? "]}" : "\n" + pad2 + "]}";
+  }
+  out += first_trace ? "]\n" : "\n" + pad1 + "]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gdp::telemetry

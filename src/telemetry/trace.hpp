@@ -1,0 +1,78 @@
+// Hop-by-hop PDU tracing over simulated time.
+//
+// Every PDU entering the fabric is assigned a trace id (carried in the PDU
+// header, preserved across forwarding hops); routers, endpoints and
+// servers record span events — recv, fib_lookup, verify, forward, deliver,
+// drop{reason} — into a fixed-capacity ring buffer.  Timestamps come from
+// the registered Clock (the discrete-event simulator's clock, never wall
+// time), so a trace dump is deterministic: two identical sim runs produce
+// byte-identical hop timelines, and a diff of two dumps is a diff of
+// *behaviour*, not of scheduling noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/name.hpp"
+
+namespace gdp::telemetry {
+
+/// One span event.  `event` must be a string literal (or otherwise outlive
+/// the sink) — the hot path stores the pointer, no allocation.
+struct SpanEvent {
+  std::uint64_t trace_id = 0;
+  TimePoint at{};
+  Name node;
+  std::string_view event;
+  std::string detail;  ///< drop reason, fib hit/miss, message kind, ...
+};
+
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The clock events are stamped with; unset (nullptr) stamps zero.
+  void set_clock(const Clock* clock) { clock_ = clock; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t trace_id, const Name& node, std::string_view event,
+              std::string detail = {});
+
+  /// Events in arrival order (oldest surviving first after wraparound).
+  std::vector<SpanEvent> events() const;
+  /// Events for one trace id, in arrival order.
+  std::vector<SpanEvent> events_for(std::uint64_t trace_id) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  /// Total record() calls, including those whose slot has been overwritten.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped_by_wraparound() const {
+    return recorded_ - static_cast<std::uint64_t>(ring_.size());
+  }
+  void clear();
+
+  /// Per-trace hop timelines:
+  /// {"traces": [{"trace_id": N, "spans": [
+  ///    {"t_ns": .., "node": "<short hex>", "event": "..", "detail": ".."},
+  ///    ...]}, ...], "recorded": N, "dropped_by_wraparound": N}
+  /// Traces ordered by first appearance; byte-stable for identical runs.
+  std::string to_json(int indent = 2) const;
+
+ private:
+  const Clock* clock_ = nullptr;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<SpanEvent> ring_;  ///< grows to capacity_, then circular
+  std::size_t next_ = 0;         ///< overwrite position once full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace gdp::telemetry

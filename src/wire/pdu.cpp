@@ -12,6 +12,7 @@ Bytes Pdu::serialize() const {
   out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type)));
   out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) >> 8));
   put_fixed64(out, flow_id);
+  put_fixed64(out, trace_id);
   out.push_back(ttl);
   put_fixed32(out, static_cast<std::uint32_t>(payload.size()));
   append(out, payload);
@@ -24,9 +25,10 @@ Result<Pdu> Pdu::deserialize(BytesView b) {
   auto src = r.get_bytes(Name::kSize);
   auto type_bytes = r.get_bytes(2);
   auto flow = r.get_fixed64();
+  auto trace = r.get_fixed64();
   auto ttl = r.get_bytes(1);
   auto len = r.get_fixed32();
-  if (!dst || !src || !type_bytes || !flow || !ttl || !len) {
+  if (!dst || !src || !type_bytes || !flow || !trace || !ttl || !len) {
     return make_error(Errc::kInvalidArgument, "truncated PDU header");
   }
   std::uint16_t type_raw = static_cast<std::uint16_t>(
@@ -43,6 +45,7 @@ Result<Pdu> Pdu::deserialize(BytesView b) {
   pdu.src = *Name::from_bytes(*src);
   pdu.type = static_cast<MsgType>(type_raw);
   pdu.flow_id = *flow;
+  pdu.trace_id = *trace;
   pdu.ttl = (*ttl)[0];
   pdu.payload = std::move(*payload);
   return pdu;

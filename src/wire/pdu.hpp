@@ -52,6 +52,10 @@ struct Pdu {
   /// Correlates requests and responses end-to-end (also used as the flow
   /// identifier for per-flow validation state at routers).
   std::uint64_t flow_id = 0;
+  /// Telemetry trace id: assigned by the link layer on first transmission
+  /// (0 = unassigned), preserved hop by hop so every span a PDU generates
+  /// across the fabric lands on one timeline.
+  std::uint64_t trace_id = 0;
   /// Hop budget to kill routing loops.
   std::uint8_t ttl = 32;
   Bytes payload;
@@ -64,6 +68,6 @@ struct Pdu {
 };
 
 /// Fixed per-PDU framing overhead in bytes (everything but the payload).
-inline constexpr std::size_t kPduOverhead = 32 + 32 + 2 + 8 + 1 + 4;
+inline constexpr std::size_t kPduOverhead = 32 + 32 + 2 + 8 + 8 + 1 + 4;
 
 }  // namespace gdp::wire

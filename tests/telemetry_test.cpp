@@ -1,0 +1,218 @@
+// Telemetry subsystem: counter/histogram math, percentile edge cases,
+// registry collision semantics, JSON snapshot determinism, and the trace
+// ring buffer (wraparound accounting, sim-clock stamps).
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "common/name.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gdp::telemetry {
+namespace {
+
+Name test_name(std::uint8_t tag) {
+  Bytes raw(32, 0);
+  raw[0] = tag;
+  return *Name::from_bytes(raw);
+}
+
+TEST(Counter, IncSetValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 1u, 2u, 3u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 6u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  // Values below 4 land in dedicated buckets: the quantile is exact.
+  EXPECT_EQ(h.quantile(0.26), 1u);
+  EXPECT_EQ(h.quantile(0.51), 2u);
+  EXPECT_EQ(h.quantile(1.0), 3u);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, SingleValueQuantilesClampToMax) {
+  Histogram h;
+  h.record(1000003);
+  EXPECT_EQ(h.p50(), 1000003u);
+  EXPECT_EQ(h.p95(), 1000003u);
+  EXPECT_EQ(h.p99(), 1000003u);
+  EXPECT_EQ(h.min(), 1000003u);
+  EXPECT_EQ(h.max(), 1000003u);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  // 4 sub-buckets per octave => upper bound overshoots by at most 12.5%,
+  // and a quantile never reports below the true rank value's bucket.
+  const std::uint64_t p50 = h.p50();
+  EXPECT_GE(p50, 5000u * 7 / 8);
+  EXPECT_LE(p50, 5000u * 9 / 8);
+  const std::uint64_t p99 = h.p99();
+  EXPECT_GE(p99, 9900u * 7 / 8);
+  EXPECT_LE(p99, 10000u);  // clamped to observed max
+}
+
+TEST(Histogram, BucketBoundsCoverValues) {
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 4ull, 5ull, 63ull, 64ull, 1000ull,
+                          (1ull << 32), ~0ull >> 1}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    EXPECT_GE(Histogram::bucket_upper_bound(idx), v);
+    if (idx > 0) {
+      EXPECT_LT(Histogram::bucket_upper_bound(idx - 1), v);
+    }
+  }
+}
+
+TEST(Histogram, BucketIndexMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; v += 13) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry r;
+  Counter& a = r.counter("router.r1.fwd.pdus");
+  Counter& b = r.counter("router.r1.fwd.pdus");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(r.counter_count(), 1u);
+}
+
+TEST(MetricsRegistry, CounterAndHistogramMayShareAName) {
+  MetricsRegistry r;
+  r.counter("net.bytes").inc(10);
+  r.histogram("net.bytes").record(10);
+  EXPECT_EQ(r.counter_count(), 1u);
+  EXPECT_EQ(r.histogram_count(), 1u);
+  EXPECT_EQ(r.counter("net.bytes").value(), 10u);
+  EXPECT_EQ(r.histogram("net.bytes").count(), 1u);
+}
+
+TEST(MetricsRegistry, ToJsonIsInsertionOrderIndependent) {
+  MetricsRegistry a;
+  a.counter("z.last").inc(3);
+  a.counter("a.first").inc(1);
+  a.histogram("m.middle").record(42);
+
+  MetricsRegistry b;
+  b.histogram("m.middle").record(42);
+  b.counter("a.first").inc(1);
+  b.counter("z.last").inc(3);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // Sorted keys: "a.first" serializes before "z.last".
+  const std::string json = a.to_json();
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+}
+
+TEST(MetricsRegistry, ToJsonEmptyRegistry) {
+  MetricsRegistry r;
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceSink, RecordsWithSimClockStamps) {
+  SimClock clock;
+  TraceSink sink;
+  sink.set_clock(&clock);
+  clock.advance(from_millis(5));
+  sink.record(1, test_name(0xAA), "recv");
+  clock.advance(from_millis(10));
+  sink.record(1, test_name(0xBB), "forward", "post_lookup");
+  auto events = sink.events_for(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, from_millis(5));
+  EXPECT_EQ(events[0].event, "recv");
+  EXPECT_EQ(events[1].at, from_millis(15));
+  EXPECT_EQ(events[1].detail, "post_lookup");
+}
+
+TEST(TraceSink, RingBufferWraparound) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    sink.record(i, test_name(0x01), "recv");
+  }
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped_by_wraparound(), 6u);
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: ids 7, 8, 9, 10.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].trace_id, 7 + i);
+  }
+}
+
+TEST(TraceSink, DisabledSinkRecordsNothing) {
+  TraceSink sink;
+  sink.set_enabled(false);
+  sink.record(1, test_name(0x01), "recv");
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.recorded(), 0u);
+}
+
+TEST(TraceSink, ClearResetsEverything) {
+  TraceSink sink(2);
+  sink.record(1, test_name(0x01), "recv");
+  sink.record(2, test_name(0x01), "recv");
+  sink.record(3, test_name(0x01), "recv");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_EQ(sink.dropped_by_wraparound(), 0u);
+}
+
+TEST(TraceSink, ToJsonDeterministicAcrossIdenticalSequences) {
+  auto run = [] {
+    SimClock clock;
+    TraceSink sink;
+    sink.set_clock(&clock);
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      clock.advance(from_micros(100));
+      sink.record(id, test_name(0x10), "recv");
+      clock.advance(from_micros(50));
+      sink.record(id, test_name(0x20), "forward");
+      clock.advance(from_micros(50));
+      sink.record(id, test_name(0x30), "deliver");
+    }
+    return sink.to_json();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"trace_id\": 1"), std::string::npos);
+  EXPECT_NE(first.find("\"deliver\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdp::telemetry
