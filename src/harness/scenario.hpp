@@ -77,6 +77,17 @@ class Scenario {
   /// lookup registrations so anycast fails over.
   void crash(const router::Endpoint& endpoint);
 
+  // Chaos scripting: link failure/recovery injection (the node itself
+  // stays up, unlike crash()).  Down links drop PDUs with a named reason
+  // and fire Router::neighbor_down / Endpoint reattachment on recovery.
+  void set_link_down(const Name& a, const Name& b) { net_.set_link_down(a, b); }
+  void set_link_up(const Name& a, const Name& b) { net_.set_link_up(a, b); }
+  /// Schedules a flap: a<->b goes down `after` from now, recovers
+  /// `down_for` later.
+  void flap_link(const Name& a, const Name& b, Duration after, Duration down_for) {
+    net_.schedule_flap(a, b, after, down_for);
+  }
+
   /// Drains all scheduled events.
   void settle() { sim_.run(); }
   /// Runs `d` of simulated time.

@@ -16,7 +16,10 @@ Network::Network(Simulator& sim)
       drop_no_link_(metrics_.counter("net.drop.no_link")),
       drop_intercepted_(metrics_.counter("net.drop.intercepted")),
       drop_loss_(metrics_.counter("net.drop.loss")),
+      drop_link_down_(metrics_.counter("net.drop.link_down")),
       drop_unattached_(metrics_.counter("net.drop.unattached")),
+      link_down_events_(metrics_.counter("net.link.down_events")),
+      link_up_events_(metrics_.counter("net.link.up_events")),
       wire_bytes_(metrics_.histogram("net.pdu.wire_bytes")),
       queue_wait_ns_(metrics_.histogram("net.link.queue_wait_ns")) {
   trace_.set_clock(&sim_.clock());
@@ -49,7 +52,8 @@ void Network::connect_asymmetric(const Name& a, const Name& b, LinkParams a_to_b
 }
 
 bool Network::adjacent(const Name& a, const Name& b) const {
-  return links_.contains({a, b});
+  auto it = links_.find({a, b});
+  return it != links_.end() && !it->second.down;
 }
 
 std::vector<Name> Network::neighbors(const Name& node) const {
@@ -74,6 +78,12 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
     pdus_dropped_.inc();
     drop_no_link_.inc();
     trace_.record(pdu.trace_id, from, "drop", "no_link");
+    return;
+  }
+  if (link->down) {
+    pdus_dropped_.inc();
+    drop_link_down_.inc();
+    trace_.record(pdu.trace_id, from, "drop", "link_down");
     return;
   }
   // Adversary-in-the-path first: it sees the PDU as transmitted.
@@ -116,6 +126,41 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
     bytes_delivered_.inc(size);
     it->second->on_pdu(from, pdu);
   });
+}
+
+void Network::set_link_state(const Name& a, const Name& b, bool down) {
+  DirectedLink* ab = find_link(a, b);
+  DirectedLink* ba = find_link(b, a);
+  assert(ab != nullptr && ba != nullptr);
+  if (ab->down == down && ba->down == down) return;  // no transition
+  ab->down = down;
+  ba->down = down;
+  (down ? link_down_events_ : link_up_events_).inc();
+  notify_link_state(a, b, !down);
+  notify_link_state(b, a, !down);
+}
+
+void Network::notify_link_state(const Name& node, const Name& neighbor, bool up) {
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second->on_link_state(neighbor, up);
+}
+
+void Network::set_link_down(const Name& a, const Name& b) {
+  set_link_state(a, b, true);
+}
+
+void Network::set_link_up(const Name& a, const Name& b) {
+  set_link_state(a, b, false);
+}
+
+bool Network::link_up(const Name& a, const Name& b) const {
+  return adjacent(a, b);
+}
+
+void Network::schedule_flap(const Name& a, const Name& b, Duration after,
+                            Duration down_for) {
+  sim_.schedule(after, [this, a, b] { set_link_down(a, b); });
+  sim_.schedule(after + down_for, [this, a, b] { set_link_up(a, b); });
 }
 
 void Network::set_interceptor(const Name& from, const Name& to, Interceptor fn) {

@@ -45,6 +45,13 @@ class PduHandler {
  public:
   virtual ~PduHandler() = default;
   virtual void on_pdu(const Name& from_neighbor, const wire::Pdu& pdu) = 0;
+  /// Link-layer failure/recovery notification: the link to `neighbor`
+  /// transitioned (up=false: carrier lost, up=true: restored).  Routers
+  /// withdraw routes on loss; endpoints re-advertise on recovery.
+  virtual void on_link_state(const Name& neighbor, bool up) {
+    (void)neighbor;
+    (void)up;
+  }
 };
 
 /// Adversary hook on a directed link: return the (possibly mutated) PDU to
@@ -76,6 +83,19 @@ class Network {
   void set_interceptor(const Name& from, const Name& to, Interceptor fn);
   void clear_interceptor(const Name& from, const Name& to);
 
+  // Failure injection ("optimized for transient failure", §VII).  A down
+  // link drops every PDU (`net.drop.link_down`), stops counting as
+  // adjacent, and both attached endpoints get on_link_state()
+  // notifications — down synchronously (loss-of-carrier detection), up
+  // likewise so recovery re-advertisement can start immediately.
+  void set_link_down(const Name& a, const Name& b);
+  void set_link_up(const Name& a, const Name& b);
+  bool link_up(const Name& a, const Name& b) const;
+  /// Schedules a flap: the a<->b link goes down `after` from now and
+  /// recovers `down_for` later.  Chaos scenarios script partitions with it.
+  void schedule_flap(const Name& a, const Name& b, Duration after,
+                     Duration down_for);
+
   // Traffic accounting (live registry counters).
   std::uint64_t pdus_delivered() const { return pdus_delivered_.value(); }
   std::uint64_t pdus_dropped() const { return pdus_dropped_.value(); }
@@ -96,10 +116,13 @@ class Network {
     LinkParams params;
     TimePoint busy_until{};
     Interceptor interceptor;
+    bool down = false;
   };
   using LinkKey = std::pair<Name, Name>;
 
   DirectedLink* find_link(const Name& from, const Name& to);
+  void set_link_state(const Name& a, const Name& b, bool down);
+  void notify_link_state(const Name& node, const Name& neighbor, bool up);
 
   Simulator& sim_;
   telemetry::MetricsRegistry metrics_;
@@ -115,7 +138,10 @@ class Network {
   telemetry::Counter& drop_no_link_;
   telemetry::Counter& drop_intercepted_;
   telemetry::Counter& drop_loss_;
+  telemetry::Counter& drop_link_down_;
   telemetry::Counter& drop_unattached_;
+  telemetry::Counter& link_down_events_;
+  telemetry::Counter& link_up_events_;
   telemetry::Histogram& wire_bytes_;
   telemetry::Histogram& queue_wait_ns_;
 };

@@ -16,9 +16,25 @@ Endpoint::Endpoint(net::Network& net, const crypto::PrivateKey& key,
       drop_malformed_(net_.metrics().counter(
           "endpoint." + std::string(self_.label()) + ".drop.malformed")),
       drop_not_attached_(net_.metrics().counter(
-          "endpoint." + std::string(self_.label()) + ".drop.not_attached")) {
+          "endpoint." + std::string(self_.label()) + ".drop.not_attached")),
+      reattach_count_(net_.metrics().counter(
+          "endpoint." + std::string(self_.label()) + ".reattaches")) {
   net_.attach(self_.name(), this);
 }
+
+void Endpoint::on_link_state(const Name& neighbor, bool up) {
+  if (router_.is_zero() || neighbor != router_) return;
+  if (!up) {
+    // The router withdrew our routes on its down edge; until the handshake
+    // re-runs, we are off the fabric.
+    attached_ = false;
+    return;
+  }
+  reattach_count_.inc();
+  reattach();
+}
+
+void Endpoint::reattach() { advertise(router_, {}, lease_); }
 
 void Endpoint::advertise(const Name& router, std::vector<Bytes> catalog_records,
                          Duration lease) {

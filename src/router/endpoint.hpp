@@ -37,7 +37,17 @@ class Endpoint : public net::PduHandler {
 
   void on_pdu(const Name& from, const wire::Pdu& pdu) final;
 
+  /// Access-link failure/recovery: on loss the endpoint is detached; on
+  /// recovery it re-runs the secure-advertisement handshake (reattach())
+  /// so the router — which withdrew its routes on the down edge — learns
+  /// the names again ("re-establishment of DataCapsule-service", §VII).
+  void on_link_state(const Name& neighbor, bool up) override;
+
  protected:
+  /// Re-advertises after link recovery.  The base re-presents an empty
+  /// catalog (bare principal); servers override to rebuild and re-present
+  /// their full capsule catalog.
+  virtual void reattach();
   /// Application-level messages (everything the base does not consume).
   virtual void handle_pdu(const Name& from, const wire::Pdu& pdu) = 0;
   /// Called when the router accepts (or rejects) the advertisement.
@@ -57,6 +67,7 @@ class Endpoint : public net::PduHandler {
   bool attached_ = false;
   Duration lease_ = from_seconds(3600);
   std::uint64_t next_flow_ = 1;
+  telemetry::Counter& reattach_count_;
 
   // Telemetry handles (`endpoint.<label>.*`), resolved at construction.
   // Every PDU-discarding early exit increments a named drop counter.

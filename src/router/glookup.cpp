@@ -167,6 +167,9 @@ wire::LookupReplyMsg GLookupService::build_reply(const wire::LookupMsg& query) c
     reply.attachment_router = best->attachment_router;
     reply.next_hop = best_hop;
     reply.cost_us = best_cost;
+    // The registration's lifetime bounds the FIB entry the querying router
+    // installs: stale routes expire instead of living forever.
+    reply.expires_ns = best->expires_ns;
     reply.evidence = best->evidence;
     reply.principal = best->principal;
   }

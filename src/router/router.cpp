@@ -16,10 +16,20 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
       forwarded_(net_.metrics().counter(metric_prefix_ + "fwd.pdus")),
       dropped_(net_.metrics().counter(metric_prefix_ + "drop.pdus")),
       lookups_issued_(net_.metrics().counter(metric_prefix_ + "lookups.issued")),
+      lookup_retries_(net_.metrics().counter(metric_prefix_ + "lookup.retries")),
+      lookup_timeouts_(
+          net_.metrics().counter(metric_prefix_ + "lookup.timeouts")),
       ads_accepted_(net_.metrics().counter(metric_prefix_ + "ads.accepted")),
       ads_rejected_(net_.metrics().counter(metric_prefix_ + "ads.rejected")),
       fib_hits_(net_.metrics().counter(metric_prefix_ + "fib.hits")),
       fib_misses_(net_.metrics().counter(metric_prefix_ + "fib.misses")),
+      fib_expired_(net_.metrics().counter(metric_prefix_ + "fib.expired")),
+      neighbor_down_events_(
+          net_.metrics().counter(metric_prefix_ + "neighbor.down_events")),
+      neighbor_up_events_(
+          net_.metrics().counter(metric_prefix_ + "neighbor.up_events")),
+      bad_catalog_records_(
+          net_.metrics().counter(metric_prefix_ + "drop.bad_catalog_record")),
       drop_ttl_(net_.metrics().counter(metric_prefix_ + "drop.ttl")),
       drop_no_route_(net_.metrics().counter(metric_prefix_ + "drop.no_route")),
       drop_no_glookup_(net_.metrics().counter(metric_prefix_ + "drop.no_glookup")),
@@ -30,7 +40,13 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
       drop_next_hop_down_(
           net_.metrics().counter(metric_prefix_ + "drop.next_hop_unreachable")),
       drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
-      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")) {
+      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")),
+      drop_queue_full_(
+          net_.metrics().counter(metric_prefix_ + "drop.queue_full")),
+      drop_lookup_timeout_(
+          net_.metrics().counter(metric_prefix_ + "drop.lookup_timeout")),
+      drop_unsolicited_reply_(net_.metrics().counter(
+          metric_prefix_ + "drop.unsolicited_lookup_reply")) {
   net_.attach(self_.name(), this);
 }
 
@@ -51,6 +67,8 @@ void Router::autosize_verify_cache() {
 void Router::publish_metrics() {
   auto& m = net_.metrics();
   m.counter(metric_prefix_ + "fib.size").set(fib_.size());
+  m.counter(metric_prefix_ + "awaiting_route.pdus").set(awaiting_route_count());
+  m.counter(metric_prefix_ + "lookups.pending").set(pending_lookup_count());
   m.counter(metric_prefix_ + "verify_cache.hits").set(verify_cache_.hits());
   m.counter(metric_prefix_ + "verify_cache.misses").set(verify_cache_.misses());
   m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
@@ -93,12 +111,20 @@ void Router::forward(wire::Pdu pdu) {
   }
   pdu.ttl -= 1;
   auto it = fib_.find(pdu.dst);
+  if (it != fib_.end() && route_expired(it->second)) {
+    // Lazy purge: fall through to the miss path, which re-triggers a
+    // lookup instead of silently forwarding on stale state.
+    fib_expired_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "fib_expired");
+    fib_.erase(it);
+    it = fib_.end();
+  }
   if (it != fib_.end()) {
     fib_hits_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "fib_lookup", "hit");
     forwarded_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "forward");
-    net_.send(self_.name(), it->second, std::move(pdu));
+    net_.send(self_.name(), it->second.next_hop, std::move(pdu));
     return;
   }
   fib_misses_.inc();
@@ -107,24 +133,82 @@ void Router::forward(wire::Pdu pdu) {
     drop_pdu(pdu, drop_no_glookup_, "no_glookup");
     return;
   }
-  auto& queue = awaiting_route_[pdu.dst];
+  const Name target = pdu.dst;
+  auto& queue = awaiting_route_[target];
+  if (queue.size() >= maintenance_.max_queued_per_target) {
+    drop_pdu(pdu, drop_queue_full_, "queue_full");
+    return;
+  }
   queue.push_back(std::move(pdu));
-  if (queue.size() == 1) start_lookup(queue.back().dst);
+  start_lookup(target);
 }
 
 void Router::start_lookup(const Name& target) {
+  // One lookup in flight per target: later PDUs park behind it, and a
+  // target whose lookup failed terminally gets a fresh attempt (its
+  // pending entry was erased, so re-resolution is never wedged).
+  if (pending_lookups_.contains(target)) return;
+  pending_lookups_.emplace(target, PendingLookup{});
+  issue_lookup(target);
+}
+
+void Router::issue_lookup(const Name& target) {
+  auto it = pending_lookups_.find(target);
+  if (it == pending_lookups_.end()) return;
+  it->second.attempts += 1;
+  it->second.nonce = net_.sim().rng().next_u64();
   lookups_issued_.inc();
   wire::LookupMsg msg;
   msg.target = target;
   msg.querying_router = self_.name();
-  msg.nonce = net_.sim().rng().next_u64();
+  msg.nonce = it->second.nonce;
   wire::Pdu pdu;
   pdu.dst = glookup_->name();
   pdu.src = self_.name();
   pdu.type = wire::MsgType::kLookup;
   pdu.flow_id = msg.nonce;
   pdu.payload = msg.serialize();
+  // Exponential backoff: timeout doubles with every attempt, covering
+  // parent-hierarchy escalation latencies on retries.
+  const Duration timeout =
+      maintenance_.lookup_timeout * (std::int64_t{1} << (it->second.attempts - 1));
+  it->second.timer = net_.sim().schedule_cancellable(
+      timeout, [this, target] { on_lookup_timeout(target); });
   net_.send(self_.name(), glookup_->name(), std::move(pdu));
+}
+
+void Router::on_lookup_timeout(const Name& target) {
+  auto it = pending_lookups_.find(target);
+  if (it == pending_lookups_.end()) return;
+  if (it->second.attempts >= maintenance_.max_lookup_attempts) {
+    lookup_timeouts_.inc();
+    pending_lookups_.erase(it);
+    GDP_LOG(kWarn, "router") << "lookup for " << target.short_hex()
+                             << " timed out after retries; dropping queue";
+    drop_waiting_queue(target, drop_lookup_timeout_, "lookup_timeout");
+    return;
+  }
+  lookup_retries_.inc();
+  // Account the retry on the waiting PDUs' timelines (the lookup PDU
+  // itself gets a fresh trace id on transmission).
+  auto waiting = awaiting_route_.find(target);
+  if (waiting != awaiting_route_.end() && !waiting->second.empty()) {
+    net_.trace().record(waiting->second.front().trace_id, self_.name(),
+                        "lookup_retry",
+                        "attempt" + std::to_string(it->second.attempts + 1));
+  }
+  issue_lookup(target);
+}
+
+void Router::drop_waiting_queue(const Name& target,
+                                telemetry::Counter& reason_counter,
+                                const char* reason) {
+  auto waiting = awaiting_route_.find(target);
+  if (waiting == awaiting_route_.end()) return;
+  // Dropping a queued PDU accounts the *queued* PDU's trace id, so its
+  // timeline ends with the drop reason rather than going silent.
+  for (const wire::Pdu& p : waiting->second) drop_pdu(p, reason_counter, reason);
+  awaiting_route_.erase(waiting);
 }
 
 void Router::handle_lookup_reply(const wire::Pdu& pdu) {
@@ -133,13 +217,19 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
     drop_pdu(pdu, drop_malformed_, "malformed_lookup_reply");
     return;
   }
-  auto waiting = awaiting_route_.find(reply->target);
-  // Dropping a queued PDU accounts the *queued* PDU's trace id, so its
-  // timeline ends with the drop reason rather than going silent.
+  // Replies must match an outstanding request's nonce: unsolicited replies
+  // and stragglers from superseded attempts are discarded before any state
+  // changes (a spoofed reply must not install routes or drain queues).
+  auto pending = pending_lookups_.find(reply->target);
+  if (pending == pending_lookups_.end() || pending->second.nonce != reply->nonce) {
+    drop_pdu(pdu, drop_unsolicited_reply_, "unsolicited_lookup_reply");
+    return;
+  }
+  pending->second.timer.cancel();
+  pending_lookups_.erase(pending);
+
   auto drop_waiting = [&](telemetry::Counter& reason_counter, const char* reason) {
-    if (waiting == awaiting_route_.end()) return;
-    for (const wire::Pdu& p : waiting->second) drop_pdu(p, reason_counter, reason);
-    awaiting_route_.erase(waiting);
+    drop_waiting_queue(reply->target, reason_counter, reason);
   };
   if (!reply->found) {
     drop_waiting(drop_no_route_, "no_route");
@@ -148,6 +238,7 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
   // Independently verify the routing state before installing it — a
   // compromised lookup service must not be able to plant black holes for
   // delegated names.
+  std::int64_t expires_ns = reply->expires_ns;
   if (!reply->evidence.empty()) {
     auto ad = trust::Advertisement::deserialize(reply->evidence);
     auto advertiser = trust::Principal::deserialize(reply->principal);
@@ -160,31 +251,49 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
       drop_waiting(drop_bad_evidence_, "bad_evidence");
       return;
     }
+    if (ad->expires_ns > 0 && (expires_ns <= 0 || ad->expires_ns < expires_ns)) {
+      expires_ns = ad->expires_ns;
+    }
     net_.trace().record(pdu.trace_id, self_.name(), "verify", "evidence_ok");
+  } else {
+    // No delegation evidence: only self-certifying principal targets (the
+    // principal's key hashes to the target name) may be installed.  For
+    // any other name — notably remotely attached capsules — evidence is
+    // mandatory, or the reply could plant an unverifiable black hole.
+    auto principal = trust::Principal::deserialize(reply->principal);
+    if (!principal.ok() || principal->name() != reply->target) {
+      net_.trace().record(pdu.trace_id, self_.name(), "verify",
+                          "evidence_missing");
+      drop_waiting(drop_bad_evidence_, "bad_evidence");
+      return;
+    }
   }
   const Name next_hop =
       reply->attachment_router == self_.name() ? reply->target : reply->next_hop;
   if (next_hop != self_.name() && net_.adjacent(self_.name(), next_hop)) {
-    fib_[reply->target] = next_hop;
+    fib_[reply->target] = RouteEntry{next_hop, expires_ns};
     autosize_verify_cache();
   } else if (reply->attachment_router == self_.name()) {
     // The target was supposedly attached here but is not adjacent: stale.
     drop_waiting(drop_stale_route_, "stale_route");
     return;
   } else {
-    dropped_.inc();
-    drop_next_hop_down_.inc();
-    net_.trace().record(pdu.trace_id, self_.name(), "drop",
+    // The resolved next hop is not (or no longer) reachable from here:
+    // terminal for the parked PDUs, which must not stay queued behind a
+    // lookup that no longer exists.
+    net_.trace().record(pdu.trace_id, self_.name(), "verify",
                         "next_hop_unreachable");
+    drop_waiting(drop_next_hop_down_, "next_hop_unreachable");
     return;
   }
+  auto waiting = awaiting_route_.find(reply->target);
   if (waiting != awaiting_route_.end()) {
     std::vector<wire::Pdu> queued = std::move(waiting->second);
     awaiting_route_.erase(waiting);
     for (wire::Pdu& p : queued) {
       forwarded_.inc();
       net_.trace().record(p.trace_id, self_.name(), "forward", "post_lookup");
-      net_.send(self_.name(), fib_[reply->target], std::move(p));
+      net_.send(self_.name(), next_hop, std::move(p));
     }
   }
 }
@@ -262,9 +371,19 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   net_.trace().record(pdu.trace_id, self_.name(), "verify", "handshake_ok");
   rt_certs_.insert_or_assign(advertiser->name(), *rt);
 
-  // 3. The advertiser's own name becomes directly routable.
-  fib_[advertiser->name()] = pending.neighbor;
-  attached_via_[pending.neighbor].push_back(advertiser->name());
+  // Re-advertisements re-present the same names; the withdrawal book must
+  // not grow (nor trigger repeated glookup unregisters) for duplicates.
+  auto note_attached = [&](const Name& target) {
+    auto& list = attached_via_[pending.neighbor];
+    if (std::find(list.begin(), list.end(), target) == list.end()) {
+      list.push_back(target);
+    }
+  };
+
+  // 3. The advertiser's own name becomes directly routable, for as long as
+  // the RtCert authorizes us to speak for it.
+  fib_[advertiser->name()] = RouteEntry{pending.neighbor, rt->not_after_ns};
+  note_attached(advertiser->name());
   if (glookup_ != nullptr) {
     GLookupService::Entry entry;
     entry.target = advertiser->name();
@@ -283,7 +402,14 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
   std::uint32_t accepted = 0;
   trust::Catalog catalog;
   for (const Bytes& record : pending.catalog_records) {
-    if (!catalog.apply(record).ok()) continue;
+    if (!catalog.apply(record).ok()) {
+      // Malformed catalog records are counted, not silently skipped — a
+      // flood of garbage from one advertiser must show up in dumps.
+      bad_catalog_records_.inc();
+      GDP_LOG(kInfo, "router") << "bad catalog record from "
+                               << advertiser->name().short_hex();
+      continue;
+    }
   }
   for (const trust::Advertisement& ad : catalog.advertisements()) {
     Status verdict = ad.verify(*advertiser, net_.sim().now(), &domain_,
@@ -295,8 +421,16 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
                                << verdict.error().to_string();
       continue;
     }
-    fib_[ad.advertised] = pending.neighbor;
-    attached_via_[pending.neighbor].push_back(ad.advertised);
+    // The route lives until whichever bound tightens first: the RtCert
+    // authorizing us to speak for the advertiser, or the advertisement's
+    // catalog expiry (as deferred by group extensions).
+    std::int64_t route_expiry = catalog.effective_expiry_ns(ad);
+    if (rt->not_after_ns > 0 &&
+        (route_expiry <= 0 || rt->not_after_ns < route_expiry)) {
+      route_expiry = rt->not_after_ns;
+    }
+    fib_[ad.advertised] = RouteEntry{pending.neighbor, route_expiry};
+    note_attached(ad.advertised);
     ++accepted;
     ads_accepted_.inc();
     if (glookup_ != nullptr) {
@@ -322,28 +456,94 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
 }
 
 void Router::neighbor_down(const Name& neighbor) {
+  neighbor_down_events_.inc();
   auto it = attached_via_.find(neighbor);
   if (it != attached_via_.end()) {
     for (const Name& target : it->second) {
+      // RtCerts are keyed by *advertiser* name, not by the neighbor the
+      // handshake arrived over; the advertisers reachable through this
+      // link are exactly the attached targets, so a withdrawn cert cannot
+      // be reused by a re-attached advertiser elsewhere.
+      rt_certs_.erase(target);
       auto fib_it = fib_.find(target);
       // Only purge if the route still points at the dead neighbor (it may
       // have been re-advertised elsewhere meanwhile).
-      if (fib_it != fib_.end() && fib_it->second == neighbor) {
+      if (fib_it != fib_.end() && fib_it->second.next_hop == neighbor) {
         fib_.erase(fib_it);
         if (glookup_ != nullptr) glookup_->unregister(target, self_.name());
       }
     }
     attached_via_.erase(it);
   }
-  rt_certs_.erase(neighbor);
   // Transit routes through the failed neighbor also die.
   for (auto fib_it = fib_.begin(); fib_it != fib_.end();) {
-    if (fib_it->second == neighbor) {
+    if (fib_it->second.next_hop == neighbor) {
       fib_it = fib_.erase(fib_it);
     } else {
       ++fib_it;
     }
   }
+}
+
+void Router::neighbor_up(const Name& neighbor) {
+  neighbor_up_events_.inc();
+  GDP_LOG(kInfo, "router") << "link to " << neighbor.short_hex()
+                           << " restored; awaiting re-advertisement";
+}
+
+void Router::on_link_state(const Name& neighbor, bool up) {
+  if (up) {
+    neighbor_up(neighbor);
+  } else {
+    neighbor_down(neighbor);
+  }
+}
+
+void Router::start_maintenance() {
+  if (maintenance_running_) return;
+  maintenance_running_ = true;
+  schedule_maintenance();
+}
+
+void Router::schedule_maintenance() {
+  net_.sim().schedule(maintenance_.sweep_interval, [this] {
+    if (!maintenance_running_) return;
+    maintenance_round();
+    schedule_maintenance();
+  });
+}
+
+std::size_t Router::maintenance_round() {
+  const std::int64_t now = net_.sim().now().count();
+  std::size_t expired = 0;
+  for (auto it = fib_.begin(); it != fib_.end();) {
+    if (it->second.expires_ns > 0 && it->second.expires_ns < now) {
+      fib_expired_.inc();
+      ++expired;
+      it = fib_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = rt_certs_.begin(); it != rt_certs_.end();) {
+    if (it->second.not_after_ns < now) {
+      it = rt_certs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+bool Router::has_route(const Name& target) const {
+  auto it = fib_.find(target);
+  return it != fib_.end() && !route_expired(it->second);
+}
+
+std::size_t Router::awaiting_route_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, queue] : awaiting_route_) n += queue.size();
+  return n;
 }
 
 void Router::send_advertise_ok(const Name& to, bool ok, std::string message,

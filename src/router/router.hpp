@@ -30,11 +30,30 @@ namespace gdp::router {
 
 class Router : public net::PduHandler {
  public:
+  /// Route-maintenance policy knobs ("optimized for transient failure and
+  /// multi-path routing", §IV).  Tests tighten them to provoke the edge
+  /// cases quickly; defaults suit the simulated WAN latencies.
+  struct MaintenanceConfig {
+    /// First lookup timeout; doubles on every retry (exponential backoff).
+    Duration lookup_timeout = from_millis(250);
+    /// Total tries per target (1 initial + retries) before the waiting
+    /// queue is dropped with `drop.lookup_timeout`.
+    std::uint32_t max_lookup_attempts = 4;
+    /// Cap on PDUs parked per unresolved target; excess drops as
+    /// `drop.queue_full` instead of growing without bound.
+    std::size_t max_queued_per_target = 64;
+    /// Periodic FIB / RtCert expiry sweep cadence (start_maintenance()).
+    Duration sweep_interval = from_seconds(1);
+  };
+
   Router(net::Network& net, const crypto::PrivateKey& key, std::string label,
          Name domain, std::shared_ptr<const Topology> topology);
 
   /// Wires the domain's GLookupService (must also be a network neighbor).
   void set_glookup(GLookupService* glookup) { glookup_ = glookup; }
+
+  /// Mutable policy access: adjust before traffic flows.
+  MaintenanceConfig& maintenance() { return maintenance_; }
 
   const Name& name() const { return self_.name(); }
   const trust::Principal& principal() const { return self_; }
@@ -48,6 +67,22 @@ class Router : public net::PduHandler {
   /// to surviving replicas ("optimized for transient failure and
   /// re-establishment of DataCapsule-service", §VII).
   void neighbor_down(const Name& neighbor);
+  /// The link came back.  The router keeps no tombstones — routes reappear
+  /// through endpoint re-advertisement or fresh lookups — so this only
+  /// accounts the recovery; it exists so chaos telemetry shows both edges.
+  void neighbor_up(const Name& neighbor);
+  /// Network link-state hook: maps carrier transitions onto
+  /// neighbor_down/neighbor_up.
+  void on_link_state(const Name& neighbor, bool up) override;
+
+  // Periodic expiry sweep over FIB entries and RtCerts (stale entries are
+  // also purged lazily on forward).  The loop self-reschedules every
+  // `maintenance().sweep_interval` until stopped; tests may instead drive
+  // maintenance_round() directly.
+  void start_maintenance();
+  void stop_maintenance() { maintenance_running_ = false; }
+  /// One immediate sweep; returns the number of FIB entries expired.
+  std::size_t maintenance_round();
 
   // Statistics (Figure 6 measures the forwarding path).  All live in the
   // network's MetricsRegistry under `router.<label>.*`; these accessors
@@ -55,6 +90,9 @@ class Router : public net::PduHandler {
   std::uint64_t pdus_forwarded() const { return forwarded_.value(); }
   std::uint64_t pdus_dropped() const { return dropped_.value(); }
   std::uint64_t lookups_issued() const { return lookups_issued_.value(); }
+  std::uint64_t lookup_retries() const { return lookup_retries_.value(); }
+  std::uint64_t lookup_timeouts() const { return lookup_timeouts_.value(); }
+  std::uint64_t fib_expired() const { return fib_expired_.value(); }
   std::size_t fib_size() const { return fib_.size(); }
   std::uint64_t advertisements_accepted() const { return ads_accepted_.value(); }
   std::uint64_t advertisements_rejected() const { return ads_rejected_.value(); }
@@ -71,8 +109,23 @@ class Router : public net::PduHandler {
   /// into the registry; called by stats dumpers before serializing.
   void publish_metrics();
 
-  /// Direct FIB inspection for tests.
-  bool has_route(const Name& target) const { return fib_.contains(target); }
+  /// Direct FIB inspection for tests: a route exists and has not expired.
+  bool has_route(const Name& target) const;
+  /// PDUs parked behind unresolved lookups — must be zero at teardown
+  /// (every queue either drains on reply or drops with a named reason).
+  std::size_t awaiting_route_count() const;
+  /// Lookups currently awaiting a reply or retry timer.
+  std::size_t pending_lookup_count() const { return pending_lookups_.size(); }
+  /// RtCerts currently held (one per completed handshake, purged on
+  /// neighbor_down by advertiser name and on expiry by the sweep).
+  std::size_t rt_cert_count() const { return rt_certs_.size(); }
+  /// Distinct targets learned from `neighbor`'s advertisements (deduped).
+  std::size_t attached_targets(const Name& neighbor) const {
+    auto it = attached_via_.find(neighbor);
+    return it == attached_via_.end() ? 0 : it->second.size();
+  }
+  /// Catalog records that failed to parse/verify during advertisements.
+  std::uint64_t bad_catalog_records() const { return bad_catalog_records_.value(); }
 
  private:
   struct PendingAd {
@@ -81,6 +134,29 @@ class Router : public net::PduHandler {
     std::vector<Bytes> catalog_records;
     Bytes nonce;
   };
+
+  /// FIB entry: next hop plus a hard expiry (min of the backing RtCert
+  /// `not_after_ns` and the catalog's effective advertisement expiry;
+  /// <= 0 = unbounded).  Expired entries are purged lazily on forward and
+  /// by the periodic sweep, re-triggering a lookup instead of silently
+  /// using stale state.
+  struct RouteEntry {
+    Name next_hop;
+    std::int64_t expires_ns = 0;
+  };
+
+  /// One outstanding lookup: the nonce binding replies to this request
+  /// (unsolicited or stale replies are discarded), the attempt count and
+  /// the backoff timer.
+  struct PendingLookup {
+    std::uint64_t nonce = 0;
+    std::uint32_t attempts = 0;
+    net::Simulator::TimerHandle timer;
+  };
+
+  bool route_expired(const RouteEntry& e) const {
+    return e.expires_ns > 0 && e.expires_ns < net_.sim().now().count();
+  }
 
   void forward(wire::Pdu pdu);
   /// Drop accounting: every code path that discards a PDU funnels through
@@ -91,7 +167,16 @@ class Router : public net::PduHandler {
   /// Grows (never shrinks) the verify cache to 2x the advertised-name
   /// cardinality, unless a test pinned the capacity explicitly.
   void autosize_verify_cache();
+  /// Starts a lookup for `target` unless one is already in flight.
   void start_lookup(const Name& target);
+  /// Sends the (re)issued lookup PDU and arms the backoff timer.
+  void issue_lookup(const Name& target);
+  void on_lookup_timeout(const Name& target);
+  /// Drops (with accounting) every PDU parked for `target` and erases the
+  /// queue; used by terminal lookup failures.
+  void drop_waiting_queue(const Name& target, telemetry::Counter& reason_counter,
+                          const char* reason);
+  void schedule_maintenance();
   void handle_advertise(const Name& from, const wire::Pdu& pdu);
   void handle_challenge_reply(const Name& from, const wire::Pdu& pdu);
   void handle_lookup_reply(const wire::Pdu& pdu);
@@ -104,11 +189,16 @@ class Router : public net::PduHandler {
   std::shared_ptr<const Topology> topology_;
   GLookupService* glookup_ = nullptr;
 
-  std::unordered_map<Name, Name> fib_;  ///< target -> next-hop neighbor
+  MaintenanceConfig maintenance_;
+  bool maintenance_running_ = false;
+
+  std::unordered_map<Name, RouteEntry> fib_;  ///< target -> next hop + expiry
   /// Targets learned from each directly attached advertiser (for
   /// neighbor_down withdrawal).
   std::unordered_map<Name, std::vector<Name>> attached_via_;
   std::unordered_map<Name, std::vector<wire::Pdu>> awaiting_route_;
+  /// Outstanding lookups, keyed by target (one in flight per target).
+  std::unordered_map<Name, PendingLookup> pending_lookups_;
   /// In-flight advertisement handshakes, keyed by flow id so overlapping
   /// (re-)advertisements from the same endpoint do not clobber each other.
   std::unordered_map<std::uint64_t, PendingAd> pending_ads_;
@@ -123,10 +213,16 @@ class Router : public net::PduHandler {
   telemetry::Counter& forwarded_;
   telemetry::Counter& dropped_;
   telemetry::Counter& lookups_issued_;
+  telemetry::Counter& lookup_retries_;
+  telemetry::Counter& lookup_timeouts_;
   telemetry::Counter& ads_accepted_;
   telemetry::Counter& ads_rejected_;
   telemetry::Counter& fib_hits_;
   telemetry::Counter& fib_misses_;
+  telemetry::Counter& fib_expired_;
+  telemetry::Counter& neighbor_down_events_;
+  telemetry::Counter& neighbor_up_events_;
+  telemetry::Counter& bad_catalog_records_;
   telemetry::Counter& drop_ttl_;
   telemetry::Counter& drop_no_route_;
   telemetry::Counter& drop_no_glookup_;
@@ -135,6 +231,9 @@ class Router : public net::PduHandler {
   telemetry::Counter& drop_next_hop_down_;
   telemetry::Counter& drop_malformed_;
   telemetry::Counter& drop_unhandled_;
+  telemetry::Counter& drop_queue_full_;
+  telemetry::Counter& drop_lookup_timeout_;
+  telemetry::Counter& drop_unsolicited_reply_;
 };
 
 }  // namespace gdp::router

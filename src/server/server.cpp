@@ -86,6 +86,8 @@ void CapsuleServer::advertise_to(const Name& router) {
   advertise(router, build_catalog_records(), options_.advertisement_lifetime);
 }
 
+void CapsuleServer::reattach() { advertise_to(router()); }
+
 void CapsuleServer::start_anti_entropy() {
   if (anti_entropy_running_) return;
   anti_entropy_running_ = true;

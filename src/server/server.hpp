@@ -72,6 +72,9 @@ class CapsuleServer : public router::Endpoint {
 
  protected:
   void handle_pdu(const Name& from, const wire::Pdu& pdu) override;
+  /// Link recovery re-presents the full hosted-capsule catalog, not just
+  /// the bare principal.
+  void reattach() override;
 
  private:
   struct PendingDurability {

@@ -517,6 +517,7 @@ Bytes LookupReplyMsg::serialize() const {
   put_name(out, next_hop);
   put_fixed32(out, cost_us);
   put_fixed64(out, nonce);
+  put_fixed64(out, static_cast<std::uint64_t>(expires_ns));
   put_length_prefixed(out, evidence);
   put_length_prefixed(out, principal);
   return out;
@@ -530,10 +531,11 @@ Result<LookupReplyMsg> LookupReplyMsg::deserialize(BytesView b) {
   auto next_hop = get_name(r);
   auto cost = r.get_fixed32();
   auto nonce = r.get_fixed64();
+  auto expires = r.get_fixed64();
   auto evidence = r.get_length_prefixed();
   auto principal = r.get_length_prefixed();
   if (!found_byte || !target || !attachment || !next_hop || !cost || !nonce ||
-      !evidence || !principal || !r.empty()) {
+      !expires || !evidence || !principal || !r.empty()) {
     return truncated("LookupReplyMsg");
   }
   LookupReplyMsg m;
@@ -543,6 +545,7 @@ Result<LookupReplyMsg> LookupReplyMsg::deserialize(BytesView b) {
   m.next_hop = *next_hop;
   m.cost_us = *cost;
   m.nonce = *nonce;
+  m.expires_ns = static_cast<std::int64_t>(*expires);
   m.evidence = std::move(*evidence);
   m.principal = std::move(*principal);
   return m;

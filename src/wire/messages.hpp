@@ -207,6 +207,11 @@ struct LookupReplyMsg {
   Name next_hop;           ///< querying router's next hop toward it
   std::uint32_t cost_us = 0;  ///< path cost (microseconds of latency)
   std::uint64_t nonce = 0;
+  /// Expiry of the backing registration (RtCert not_after / catalog
+  /// effective expiry).  Routers bound FIB-entry lifetime by it so stale
+  /// routing state is re-resolved instead of silently reused.  <= 0 means
+  /// the registry did not constrain the lifetime.
+  std::int64_t expires_ns = 0;
   /// Independently verifiable routing state: the serialized
   /// trust::Advertisement backing this entry (empty for bare principals
   /// such as clients) and the advertiser's principal.

@@ -497,5 +497,99 @@ TEST(Integration, CapsuleConfinedToPrivateInfrastructure) {
   EXPECT_EQ(factory->lookup_local(setup.metadata.name()).size(), 1u);
 }
 
+TEST(Chaos, FlapAndLostLookupStillDeliverEverything) {
+  // Acceptance scenario for fault-tolerant route maintenance: the control
+  // plane eats the first lookup reply AND the primary replica's access
+  // link flaps mid-transfer.  Every client append and the final read must
+  // still land (retry + anycast failover + recovery re-advertisement),
+  // with no PDUs left parked behind dead lookups — and the whole failure
+  // run replays byte-identically.
+  auto run = [] {
+    Scenario s(90, "chaos-e2e");
+    auto* root = s.add_domain("global", nullptr);
+    auto* r1 = s.add_router("r1", root);
+    auto* r2 = s.add_router("r2", root);
+    s.link_routers(r1, r2, net::LinkParams::wan(5));
+    auto* primary = s.add_server("primary", r1);
+    auto* backup = s.add_server("backup", r2);
+    auto* cli = s.add_client("cli", r1);
+    s.attach_all();
+    CapsuleSetup cap = make_capsule(s.key_rng(), "chaos-log");
+    EXPECT_TRUE(place_capsule(s, cap, *cli, {primary, backup}).ok());
+
+    int dropped = 0;
+    s.net().set_interceptor(root->name(), r1->name(),
+                            [&](const wire::Pdu& p) -> std::optional<wire::Pdu> {
+                              if (p.type == wire::MsgType::kLookupReply &&
+                                  dropped == 0) {
+                                ++dropped;
+                                return std::nullopt;
+                              }
+                              return p;
+                            });
+    capsule::Writer w = cap.make_writer();
+    int delivered = 0;
+    auto append = [&](int i) {
+      auto op = await(s.sim(), cli->append(w, to_bytes("m-" + std::to_string(i))));
+      EXPECT_TRUE(op.ok()) << "append " << i << ": " << op.error().to_string();
+      if (op.ok()) ++delivered;
+    };
+    for (int i = 0; i < 3; ++i) append(i);
+    s.settle();  // replication catches the backup up to seqno 3
+
+    // Mid-transfer failure: the primary's access link goes dark.  Its
+    // router withdraws the routes; the next lookup fails over to the
+    // surviving replica — after the retry recovers the eaten reply.
+    s.set_link_down(primary->name(), r1->name());
+    for (int i = 3; i < 6; ++i) append(i);
+    EXPECT_GE(backup->appends_accepted(), 3u);
+
+    // Recovery: carrier returns, the server re-runs the secure
+    // advertisement handshake unprompted and heals its replica via
+    // anti-entropy; traffic homes back to the near replica.
+    s.set_link_up(primary->name(), r1->name());
+    s.settle();
+    EXPECT_TRUE(primary->attached());
+    primary->anti_entropy_round();
+    s.settle();
+    for (int i = 6; i < 8; ++i) append(i);
+
+    auto read = await(s.sim(), cli->read_latest(cap.metadata));
+    EXPECT_TRUE(read.ok()) << read.error().to_string();
+    if (read.ok()) {
+      EXPECT_EQ(to_string(read->records[0].payload), "m-7");
+    }
+    // 100% delivery, zero leaked queue entries, zero dangling lookups.
+    EXPECT_EQ(delivered, 8);
+    EXPECT_EQ(dropped, 1);
+    EXPECT_GE(r1->lookup_retries(), 1u);
+    EXPECT_EQ(r1->awaiting_route_count(), 0u);
+    EXPECT_EQ(r2->awaiting_route_count(), 0u);
+    EXPECT_EQ(r1->pending_lookup_count(), 0u);
+    EXPECT_EQ(r2->pending_lookup_count(), 0u);
+
+    const std::string json = s.stats_json();
+    for (const char* key :
+         {"router.r1.lookup.retries", "router.r1.lookup.timeouts",
+          "router.r1.fib.expired", "router.r1.drop.queue_full",
+          "router.r1.drop.lookup_timeout", "router.r1.neighbor.down_events",
+          "router.r1.neighbor.up_events", "net.drop.link_down",
+          "net.link.down_events", "net.link.up_events"}) {
+      EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+          << "missing series: " << key;
+    }
+    EXPECT_NE(json.find("\"net.link.down_events\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"net.link.up_events\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"router.r1.neighbor.down_events\": 1"),
+              std::string::npos);
+    return std::make_pair(json, s.trace_json());
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
 }  // namespace
 }  // namespace gdp

@@ -94,8 +94,12 @@ TEST(Lifecycle, AdvertisementExpiryAndRenewal) {
 
   // The server re-advertises (in deployment this runs on a timer); the
   // name becomes resolvable again — "particularly optimized for transient
-  // failure and re-establishment of DataCapsule-service" (§VII).
+  // failure and re-establishment of DataCapsule-service" (§VII).  The
+  // client's attachment lease (1 h default) lapsed along with the
+  // advertisement — routes now genuinely expire with their RtCerts — so
+  // the ack path back to the client needs a renewal as well.
   srv->advertise_to(r->name());
+  cli->advertise(r->name(), {});
   s.settle();
   EXPECT_EQ(g->lookup_local(cap.metadata.name()).size(), 1u);
 

@@ -259,6 +259,78 @@ TEST(Network, AsymmetricResidentialLink) {
   EXPECT_GT(upload_s, 5 * download_s);
 }
 
+class LinkStateCollector : public Collector {
+ public:
+  void on_link_state(const Name& neighbor, bool up) override {
+    transitions.emplace_back(neighbor, up);
+  }
+  std::vector<std::pair<Name, bool>> transitions;
+};
+
+TEST(Network, LinkDownDropsTrafficAndNotifiesBothEnds) {
+  Simulator sim;
+  Network net(sim);
+  LinkStateCollector a, b;
+  net.attach(name_of(1), &a);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams::lan());
+  ASSERT_TRUE(net.adjacent(name_of(1), name_of(2)));
+  ASSERT_TRUE(net.link_up(name_of(1), name_of(2)));
+
+  net.set_link_down(name_of(1), name_of(2));
+  EXPECT_FALSE(net.link_up(name_of(1), name_of(2)));
+  // A down link stops counting as adjacent in both directions.
+  EXPECT_FALSE(net.adjacent(name_of(1), name_of(2)));
+  EXPECT_FALSE(net.adjacent(name_of(2), name_of(1)));
+  // Both endpoints saw loss of carrier, naming the peer across the link.
+  ASSERT_EQ(a.transitions.size(), 1u);
+  EXPECT_EQ(a.transitions[0], std::make_pair(name_of(2), false));
+  ASSERT_EQ(b.transitions.size(), 1u);
+  EXPECT_EQ(b.transitions[0], std::make_pair(name_of(1), false));
+
+  wire::Pdu pdu;
+  pdu.dst = name_of(2);
+  pdu.src = name_of(1);
+  pdu.type = wire::MsgType::kBenchData;
+  net.send(name_of(1), name_of(2), pdu);
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.pdus_dropped(), 1u);
+
+  // Repeating the same state is not a transition — no duplicate events.
+  net.set_link_down(name_of(1), name_of(2));
+  EXPECT_EQ(a.transitions.size(), 1u);
+
+  net.set_link_up(name_of(2), name_of(1));  // order-insensitive
+  EXPECT_TRUE(net.link_up(name_of(1), name_of(2)));
+  EXPECT_TRUE(net.adjacent(name_of(1), name_of(2)));
+  ASSERT_EQ(a.transitions.size(), 2u);
+  EXPECT_EQ(a.transitions[1], std::make_pair(name_of(2), true));
+  net.send(name_of(1), name_of(2), pdu);
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, ScheduledFlapFiresAtExactSimTimes) {
+  Simulator sim;
+  Network net(sim);
+  LinkStateCollector a, b;
+  net.attach(name_of(1), &a);
+  net.attach(name_of(2), &b);
+  net.connect(name_of(1), name_of(2), LinkParams::lan());
+
+  net.schedule_flap(name_of(1), name_of(2), from_millis(10), from_millis(25));
+  sim.run_until(from_millis(5));
+  EXPECT_TRUE(net.link_up(name_of(1), name_of(2)));
+  sim.run_until(from_millis(20));
+  EXPECT_FALSE(net.link_up(name_of(1), name_of(2)));
+  sim.run_until(from_millis(40));
+  EXPECT_TRUE(net.link_up(name_of(1), name_of(2)));
+  ASSERT_EQ(a.transitions.size(), 2u);
+  EXPECT_EQ(a.transitions[0], std::make_pair(name_of(2), false));
+  EXPECT_EQ(a.transitions[1], std::make_pair(name_of(2), true));
+}
+
 // Message round-trips (spot checks; full coverage via integration tests).
 TEST(Messages, AppendRoundTrip) {
   wire::AppendMsg msg;

@@ -10,6 +10,7 @@
 
 #include "harness/scenario.hpp"
 #include "router/topology.hpp"
+#include "wire/messages.hpp"
 
 namespace gdp::router {
 namespace {
@@ -521,6 +522,352 @@ TEST(Telemetry, IdenticalRunsProduceByteIdenticalDumps) {
   const auto second = run();
   // No wall-clock leaks anywhere on the instrumented paths: metrics AND
   // hop-by-hop traces are byte-identical across identical runs.
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// ---- Chaos: route maintenance under injected failures ----------------------
+
+TEST(Chaos, LookupRetryRecoversFromDroppedReply) {
+  Scenario s(80, "retry");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* srv = s.add_server("srv", r2);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "retried");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv}).ok());
+
+  // Lossy control plane: the first lookup reply toward r1 vanishes.
+  int dropped = 0;
+  s.net().set_interceptor(root->name(), r1->name(),
+                          [&](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+                            if (pdu.type == wire::MsgType::kLookupReply &&
+                                dropped == 0) {
+                              ++dropped;
+                              return std::nullopt;
+                            }
+                            return pdu;
+                          });
+  capsule::Writer w = cap.make_writer();
+  const TimePoint t0 = s.sim().now();
+  auto append = client::await(s.sim(), cli->append(w, to_bytes("v")));
+  ASSERT_TRUE(append.ok()) << append.error().to_string();
+  EXPECT_EQ(dropped, 1);
+  // Recovery came through the backoff timer, not luck: the op took at
+  // least one lookup_timeout, and exactly one retry was issued.
+  EXPECT_GE(s.sim().now() - t0, r1->maintenance().lookup_timeout);
+  EXPECT_EQ(r1->lookup_retries(), 1u);
+  EXPECT_EQ(r1->lookup_timeouts(), 0u);
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+  EXPECT_EQ(r1->pending_lookup_count(), 0u);
+}
+
+TEST(Chaos, LookupTimeoutDropsQueueWithNamedReason) {
+  Scenario s(81, "timeout");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  r1->maintenance().lookup_timeout = from_millis(50);
+
+  // Black-hole the control plane entirely: no reply ever arrives.
+  s.net().set_interceptor(root->name(), r1->name(),
+                          [](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+                            if (pdu.type == wire::MsgType::kLookupReply) {
+                              return std::nullopt;
+                            }
+                            return pdu;
+                          });
+  wire::Pdu pdu;
+  pdu.dst = name_of(99);
+  pdu.src = cli->name();
+  pdu.type = wire::MsgType::kBenchData;
+  s.net().send(cli->name(), r1->name(), pdu);
+  s.settle();
+
+  // 1 initial + 3 retries (backoff 50/100/200/400 ms), then terminal:
+  // the parked PDU dropped with a named reason, nothing leaked.
+  EXPECT_EQ(r1->lookup_retries(), 3u);
+  EXPECT_EQ(r1->lookup_timeouts(), 1u);
+  EXPECT_GE(r1->lookups_issued(), 4u);
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+  EXPECT_EQ(r1->pending_lookup_count(), 0u);
+  const std::string json = s.stats_json();
+  EXPECT_NE(json.find("\"router.r1.drop.lookup_timeout\": 1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"router.r1.lookup.timeouts\": 1"), std::string::npos);
+  // A later PDU for the same target is not wedged behind the dead lookup:
+  // resolution starts afresh (and times out afresh, by design).
+  s.net().send(cli->name(), r1->name(), pdu);
+  s.settle();
+  EXPECT_EQ(r1->lookup_timeouts(), 2u);
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+}
+
+TEST(Chaos, QueueCapDropsFloodWithNamedReason) {
+  Scenario s(82, "qcap");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  r1->maintenance().max_queued_per_target = 4;
+
+  // Burst of 10 PDUs toward one unresolved name: 4 park behind the
+  // lookup, 6 drop as queue_full; the not-found reply then drains the
+  // parked 4 as no_route.  Nothing accumulates.
+  for (int i = 0; i < 10; ++i) {
+    wire::Pdu pdu;
+    pdu.dst = name_of(77);
+    pdu.src = cli->name();
+    pdu.type = wire::MsgType::kBenchData;
+    s.net().send(cli->name(), r1->name(), pdu);
+  }
+  s.settle();
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+  EXPECT_EQ(r1->pending_lookup_count(), 0u);
+  const std::string json = s.stats_json();
+  EXPECT_NE(json.find("\"router.r1.drop.queue_full\": 6"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"router.r1.drop.no_route\": 4"), std::string::npos);
+}
+
+TEST(Chaos, FibExpiryPurgesLazilyAndBySweep) {
+  Scenario s(83, "expiry");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  auto* cli2 = s.add_client("cli2", r1);
+  s.attach_all();
+  ASSERT_EQ(r1->rt_cert_count(), 3u);  // srv + two clients
+
+  // Re-attach both clients with 2-second leases: their routes (and the
+  // RtCerts backing them) now expire almost immediately.
+  cli->advertise(r1->name(), {}, from_seconds(2));
+  cli2->advertise(r1->name(), {}, from_seconds(2));
+  s.settle();
+  ASSERT_TRUE(r1->has_route(cli->name()));
+  s.settle_for(from_seconds(3));
+  // Expired but not yet purged: has_route() already refuses it.
+  EXPECT_FALSE(r1->has_route(cli->name()));
+
+  // Lazy purge: traffic toward the expired name hits the stale entry,
+  // evicts it, and re-triggers a lookup instead of forwarding into the
+  // void.  The lookup finds nothing (the registration lapsed too).
+  const std::uint64_t lookups_before = r1->lookups_issued();
+  wire::Pdu pdu;
+  pdu.dst = cli->name();
+  pdu.src = srv->name();
+  pdu.type = wire::MsgType::kBenchData;
+  s.net().send(srv->name(), r1->name(), pdu);
+  s.settle();
+  EXPECT_EQ(r1->fib_expired(), 1u);
+  EXPECT_GT(r1->lookups_issued(), lookups_before);
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+
+  // Sweep purge: cli2's expired entry goes in one maintenance round, and
+  // the lapsed RtCerts go with it.
+  EXPECT_EQ(r1->maintenance_round(), 1u);
+  EXPECT_EQ(r1->fib_expired(), 2u);
+  EXPECT_EQ(r1->rt_cert_count(), 1u);  // only the server's cert survives
+
+  // The periodic timer drives the same sweep: re-expire cli2 and let the
+  // scheduled loop collect it.
+  cli2->advertise(r1->name(), {}, from_seconds(2));
+  s.settle();
+  r1->start_maintenance();
+  s.settle_for(from_seconds(4));
+  EXPECT_EQ(r1->fib_expired(), 3u);
+  r1->stop_maintenance();
+  s.settle_for(from_seconds(2));  // pending tick fires once, then stops
+
+  // Renewal restores reachability — expiry is never a tombstone.
+  cli->advertise(r1->name(), {});
+  s.settle();
+  EXPECT_TRUE(r1->has_route(cli->name()));
+}
+
+TEST(Chaos, NextHopUnreachableDropsQueueAndDoesNotWedge) {
+  Scenario s(84, "nexthop");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* srv = s.add_server("srv", r2);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "partitioned");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv}).ok());
+
+  // Partition the inter-router link.  The topology database still knows
+  // the path, so lookups resolve to a next hop that is not reachable.
+  s.set_link_down(r1->name(), r2->name());
+  capsule::Writer w = cap.make_writer();
+  auto append = client::await(s.sim(), cli->append(w, to_bytes("lost")));
+  EXPECT_FALSE(append.ok());
+  // Regression (leaked awaiting_route_ queue): the next_hop_unreachable
+  // reply branch must drop the parked PDUs with accounting, not strand
+  // them behind a lookup that no longer exists.
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+  EXPECT_EQ(r1->pending_lookup_count(), 0u);
+  const std::string json = s.stats_json();
+  EXPECT_NE(json.find("\"router.r1.drop.next_hop_unreachable\": 1"),
+            std::string::npos)
+      << json;
+
+  // Heal the partition: the very next append resolves afresh and lands —
+  // the failed lookup left no wedge behind.  (Fresh writer: the lost
+  // record never reached the server, so the chain restarts at seqno 1.)
+  s.set_link_up(r1->name(), r2->name());
+  capsule::Writer w2 = cap.make_writer();
+  auto retry = client::await(s.sim(), cli->append(w2, to_bytes("found")));
+  ASSERT_TRUE(retry.ok()) << retry.error().to_string();
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+}
+
+TEST(Chaos, ForgedLookupReplyIgnored) {
+  Scenario s(85, "forged");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  s.add_client("cli", r1);
+  s.attach_all();
+
+  // An unsolicited reply (no outstanding lookup, unknown nonce) claiming
+  // name_of(66) is attached here must not install anything.
+  wire::LookupReplyMsg forged;
+  forged.found = true;
+  forged.target = name_of(66);
+  forged.attachment_router = r1->name();
+  forged.next_hop = r1->name();
+  forged.nonce = 0xdeadbeef;
+  wire::Pdu pdu;
+  pdu.dst = r1->name();
+  pdu.src = root->name();
+  pdu.type = wire::MsgType::kLookupReply;
+  pdu.payload = forged.serialize();
+  s.net().send(root->name(), r1->name(), pdu);
+  s.settle();
+  EXPECT_FALSE(r1->has_route(name_of(66)));
+  const std::string json = s.stats_json();
+  EXPECT_NE(json.find("\"router.r1.drop.unsolicited_lookup_reply\": 1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Chaos, EvidenceStrippedLookupReplyRejected) {
+  Scenario s(86, "stripped");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* r2 = s.add_router("r2", root);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* srv = s.add_server("srv", r2);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "no-evidence");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv}).ok());
+
+  // A compromised lookup service answers with the correct nonce but no
+  // delegation evidence.  Capsule names are not self-certifying, so the
+  // router must refuse to install the route.
+  s.net().set_interceptor(
+      root->name(), r1->name(),
+      [](const wire::Pdu& p) -> std::optional<wire::Pdu> {
+        if (p.type != wire::MsgType::kLookupReply) return p;
+        auto msg = wire::LookupReplyMsg::deserialize(p.payload);
+        if (!msg.ok() || !msg->found || msg->evidence.empty()) return p;
+        wire::Pdu out = p;
+        msg->evidence.clear();
+        out.payload = msg->serialize();
+        return out;
+      });
+  capsule::Writer w = cap.make_writer();
+  auto append = client::await(s.sim(), cli->append(w, to_bytes("x")));
+  EXPECT_FALSE(append.ok());
+  EXPECT_FALSE(r1->has_route(cap.metadata.name()));
+  EXPECT_EQ(r1->awaiting_route_count(), 0u);
+  const std::string json = s.stats_json();
+  EXPECT_NE(json.find("\"router.r1.drop.bad_evidence\": 1"), std::string::npos)
+      << json;
+}
+
+TEST(Chaos, ReAdvertisementDoesNotGrowWithdrawalBook) {
+  Scenario s(87, "dedupe");
+  auto* root = s.add_domain("global", nullptr);
+  auto* r1 = s.add_router("r1", root);
+  auto* srv = s.add_server("srv", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "dedup");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv}).ok());
+  ASSERT_EQ(r1->attached_targets(srv->name()), 2u);  // principal + capsule
+
+  // Repeated re-advertisements re-present the same catalog: the
+  // withdrawal book must not grow.
+  for (int i = 0; i < 3; ++i) {
+    srv->advertise_to(r1->name());
+    s.settle();
+  }
+  EXPECT_EQ(r1->attached_targets(srv->name()), 2u);
+  EXPECT_EQ(r1->rt_cert_count(), 2u);
+
+  // Garbage catalog records are counted, not silently skipped — and do
+  // not disturb the previously installed names.
+  srv->advertise(r1->name(), {to_bytes("not a catalog record")});
+  s.settle();
+  EXPECT_EQ(r1->bad_catalog_records(), 1u);
+  EXPECT_EQ(r1->attached_targets(srv->name()), 2u);
+  EXPECT_TRUE(r1->has_route(cap.metadata.name()));
+
+  // Crash: the withdrawal purges exactly the advertiser's state — the
+  // RtCert (keyed by advertiser, not neighbor), the FIB entries, and the
+  // registrations — leaving the client's untouched.
+  s.crash(*srv);
+  EXPECT_EQ(r1->attached_targets(srv->name()), 0u);
+  EXPECT_EQ(r1->rt_cert_count(), 1u);
+  EXPECT_FALSE(r1->has_route(cap.metadata.name()));
+  EXPECT_TRUE(r1->has_route(cli->name()));
+  EXPECT_TRUE(root->lookup_local(cap.metadata.name()).empty());
+}
+
+TEST(Chaos, IdenticalChaosRunsProduceByteIdenticalDumps) {
+  auto run = [] {
+    Scenario s(88, "chaos-repro");
+    auto* root = s.add_domain("global", nullptr);
+    auto* r1 = s.add_router("r1", root);
+    auto* r2 = s.add_router("r2", root);
+    s.link_routers(r1, r2, net::LinkParams::wan(5));
+    auto* srv = s.add_server("srv", r2);
+    auto* cli = s.add_client("cli", r1);
+    s.attach_all();
+    CapsuleSetup cap = make_capsule(s.key_rng(), "chaos");
+    EXPECT_TRUE(place_capsule(s, cap, *cli, {srv}).ok());
+    int dropped = 0;
+    s.net().set_interceptor(root->name(), r1->name(),
+                            [&](const wire::Pdu& p) -> std::optional<wire::Pdu> {
+                              if (p.type == wire::MsgType::kLookupReply &&
+                                  dropped == 0) {
+                                ++dropped;
+                                return std::nullopt;
+                              }
+                              return p;
+                            });
+    s.flap_link(srv->name(), r2->name(), from_millis(100), from_millis(200));
+    capsule::Writer w = cap.make_writer();
+    for (int i = 0; i < 3; ++i) {
+      auto op = cli->append(w, to_bytes("c-" + std::to_string(i)));
+      s.settle();
+      (void)client::await(s.sim(), op);  // some ops may fail mid-flap
+    }
+    s.settle();
+    return std::make_pair(s.stats_json(), s.trace_json());
+  };
+  const auto first = run();
+  const auto second = run();
+  // Chaos injection is scripted in sim time, so failure runs replay
+  // byte-for-byte: metrics AND hop-by-hop traces are identical.
   EXPECT_EQ(first.first, second.first);
   EXPECT_EQ(first.second, second.second);
 }
