@@ -14,8 +14,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "crypto/batch_verify.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/keys.hpp"
@@ -147,7 +149,11 @@ Signature sign_digest_slow(const U256& d, const Digest& digest) {
   U256 k = rfc6979_nonce(d, digest);
   AffinePoint rp = point_mul_slow(k, secp_g());
   U256 r = sc_reduce(rp.x);
-  return Signature{r, sc_mul(sc_inv_fermat(k), sc_add(z, sc_mul(r, d)))};
+  U256 s = sc_mul(sc_inv_fermat(k), sc_add(z, sc_mul(r, d)));
+  // Even-R normalization, mirroring the fast signer: emit the malleability
+  // twin n - s when the nonce point's y is odd.
+  if (rp.y.is_odd()) s = sc_neg(s);
+  return Signature{r, s};
 }
 
 /// The seed verification path: Fermat inverse + independent double-and-add
@@ -182,6 +188,38 @@ void run_fast_vs_slow() {
   U256 b = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
   const AffinePoint q = key.public_key().point();
 
+  // Batch rows: "fast" is signature throughput through BatchVerifier
+  // (including the add + coefficient-derivation overhead), "slow" is the
+  // serial fast-path verify rate — the honest baseline batching competes
+  // with.  Same-key batches model a sync flood (one writer key, Q terms
+  // coalesce); the multikey variant is the worst case for coalescing.
+  const double serial_rate =
+      ops_per_sec([&] { key.public_key().verify_digest(digest, sig); });
+  auto batch_rate = [&](std::size_t k_entries, std::size_t n_keys) {
+    std::vector<PrivateKey> signers;
+    for (std::size_t i = 0; i < n_keys; ++i) {
+      signers.push_back(PrivateKey::generate(rng));
+    }
+    std::vector<Digest> digests;
+    std::vector<Signature> sigs;
+    std::vector<const PrivateKey*> who;
+    for (std::size_t i = 0; i < k_entries; ++i) {
+      Bytes m = rng.next_bytes(64);
+      digests.push_back(sha256(m));
+      who.push_back(&signers[i % n_keys]);
+      sigs.push_back(who.back()->sign_digest(digests.back()));
+    }
+    const double batches_per_sec = ops_per_sec([&] {
+      BatchVerifier bv(42);
+      bv.reserve(k_entries);
+      for (std::size_t i = 0; i < k_entries; ++i) {
+        bv.add(digests[i], who[i]->public_key(), sigs[i]);
+      }
+      if (!bv.verify_all().all_ok()) std::abort();
+    });
+    return batches_per_sec * static_cast<double>(k_entries);
+  };
+
   const Pair rows[] = {
       {"sign", ops_per_sec([&] { key.sign_digest(digest); }),
        ops_per_sec([&] { sign_digest_slow(d, digest); })},
@@ -194,12 +232,16 @@ void run_fast_vs_slow() {
        ops_per_sec([&] { point_mul_slow(a, q); })},
       {"point_mul2", ops_per_sec([&] { point_mul2(a, b, q); }),
        ops_per_sec([&] { point_mul2_slow(a, b, q); })},
+      {"verify_batch4", batch_rate(4, 1), serial_rate},
+      {"verify_batch16", batch_rate(16, 1), serial_rate},
+      {"verify_batch64", batch_rate(64, 1), serial_rate},
+      {"verify_batch64_multikey", batch_rate(64, 8), serial_rate},
   };
 
-  std::printf("\n%-14s %14s %14s %9s\n", "operation", "fast_ops_s", "slow_ops_s",
+  std::printf("\n%-24s %14s %14s %9s\n", "operation", "fast_ops_s", "slow_ops_s",
               "speedup");
   for (const Pair& row : rows) {
-    std::printf("%-14s %14.1f %14.1f %8.2fx\n", row.name, row.fast, row.slow,
+    std::printf("%-24s %14.1f %14.1f %8.2fx\n", row.name, row.fast, row.slow,
                 row.fast / row.slow);
   }
 

@@ -93,7 +93,8 @@ Result<Record> Record::deserialize(BytesView b) {
   return rec;
 }
 
-Status Record::verify_standalone(const crypto::PublicKey& writer) const {
+Status Record::verify_standalone(const crypto::PublicKey& writer,
+                                 SigPolicy policy) const {
   if (payload.size() != header.payload_len) {
     return make_error(Errc::kVerificationFailed, "payload length mismatch");
   }
@@ -122,11 +123,13 @@ Status Record::verify_standalone(const crypto::PublicKey& writer) const {
       }
     }
   }
-  crypto::Digest digest;
-  auto h = header.hash();
-  std::copy(h.raw().begin(), h.raw().end(), digest.begin());
-  if (!writer.verify_digest(digest, writer_sig)) {
-    return make_error(Errc::kVerificationFailed, "writer signature invalid");
+  if (policy == SigPolicy::kVerify) {
+    crypto::Digest digest;
+    auto h = header.hash();
+    std::copy(h.raw().begin(), h.raw().end(), digest.begin());
+    if (!writer.verify_digest(digest, writer_sig)) {
+      return make_error(Errc::kVerificationFailed, "writer signature invalid");
+    }
   }
   return ok_status();
 }

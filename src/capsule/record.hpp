@@ -52,6 +52,15 @@ struct RecordHeader {
   friend bool operator==(const RecordHeader&, const RecordHeader&) = default;
 };
 
+/// Whether ingest must verify the writer signature itself or may trust a
+/// verdict already established upstream.  kPreVerified is set only by the
+/// sync-flood path after crypto::BatchVerifier accepted the record's
+/// signature; structural checks always run regardless.
+enum class SigPolicy : std::uint8_t {
+  kVerify,
+  kPreVerified,
+};
+
 struct Record {
   RecordHeader header;
   Bytes payload;
@@ -63,9 +72,11 @@ struct Record {
   static Result<Record> deserialize(BytesView b);
 
   /// Structural self-consistency: payload matches payload_hash/len and the
-  /// signature verifies under `writer`.  Linkage into the DAG is checked
+  /// signature verifies under `writer` (unless `policy` says the caller
+  /// already batch-verified it).  Linkage into the DAG is checked
   /// separately by CapsuleState.
-  Status verify_standalone(const crypto::PublicKey& writer) const;
+  Status verify_standalone(const crypto::PublicKey& writer,
+                           SigPolicy policy = SigPolicy::kVerify) const;
 
   friend bool operator==(const Record&, const Record&) = default;
 };

@@ -23,7 +23,7 @@ bool CapsuleState::known(const RecordHash& hash) const {
   return by_hash_.contains(hash) || detached_hashes_.contains(hash);
 }
 
-Status CapsuleState::ingest(const Record& record) {
+Status CapsuleState::ingest(const Record& record, SigPolicy policy) {
   const RecordHash hash = record.hash();
   if (by_hash_.contains(hash) || detached_hashes_.contains(hash)) {
     return ok_status();  // idempotent
@@ -34,7 +34,7 @@ Status CapsuleState::ingest(const Record& record) {
                           record.header.capsule_name.short_hex() + ", not " +
                           name().short_hex());
   }
-  GDP_RETURN_IF_ERROR(record.verify_standalone(metadata_.writer_key()));
+  GDP_RETURN_IF_ERROR(record.verify_standalone(metadata_.writer_key(), policy));
 
   // Locate parents; a missing one detaches the record (a transient hole).
   for (const HashPtr& ptr : record.header.ptrs) {

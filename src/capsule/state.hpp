@@ -40,7 +40,9 @@ class CapsuleState {
   /// Validates and adds a record.  Idempotent: re-ingesting an already
   /// known record succeeds.  A record whose parents are missing is held
   /// detached and reported via holes(); ingest still succeeds.
-  Status ingest(const Record& record);
+  /// `policy` lets the sync-flood path skip the per-record signature
+  /// check after a batch verification already accepted it.
+  Status ingest(const Record& record, SigPolicy policy = SigPolicy::kVerify);
 
   bool contains(const RecordHash& hash) const;
   /// True if the record is attached *or* held detached (bytes present).

@@ -144,7 +144,15 @@ Signature PrivateKey::sign_digest(const Digest& digest) const {
       U256 r = sc_reduce(rp.x);
       if (!r.is_zero()) {
         U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
-        if (!s.is_zero()) return Signature{r, s};
+        if (!s.is_zero()) {
+          // Even-R normalization: (r, s) and (r, n-s) verify identically
+          // (ECDSA malleability), but only one of them corresponds to the
+          // nonce point with even y.  Emitting that one lets batch
+          // verification reconstruct R from r without a sign ambiguity,
+          // so honest signatures never fall off the batched fast path.
+          if (rp.y.is_odd()) s = sc_neg(s);
+          return Signature{r, s};
+        }
       }
     }
     drbg.bump();

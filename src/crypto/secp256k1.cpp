@@ -212,25 +212,22 @@ Jac jac_mul(const U256& k, const Jac& p) {
 }
 
 // Normalizes `count` Jacobian points to affine with a single field
-// inversion (Montgomery's trick over the z coordinates).
+// inversion: collects the z coordinates (zero for points at infinity,
+// which fp_inv_batch skips) and inverts them all at once.
 void jac_batch_to_affine(const Jac* in, AffinePoint* out, std::size_t count) {
-  std::vector<U256> prefix(count);
-  U256 acc = U256::from_u64(1);
+  std::vector<U256> zi(count);
   for (std::size_t i = 0; i < count; ++i) {
-    prefix[i] = acc;
-    if (!in[i].inf) acc = fp_mul(acc, in[i].z);
+    zi[i] = in[i].inf ? U256::zero() : in[i].z;
   }
-  U256 inv_acc = fp_inv(acc);
-  for (std::size_t i = count; i-- > 0;) {
+  fp_inv_batch(zi.data(), count);
+  for (std::size_t i = 0; i < count; ++i) {
     if (in[i].inf) {
       out[i] = AffinePoint::at_infinity();
       continue;
     }
-    U256 zi = fp_mul(inv_acc, prefix[i]);
-    inv_acc = fp_mul(inv_acc, in[i].z);
-    U256 zi2 = fp_sqr(zi);
+    U256 zi2 = fp_sqr(zi[i]);
     out[i].x = fp_mul(in[i].x, zi2);
-    out[i].y = fp_mul(in[i].y, fp_mul(zi2, zi));
+    out[i].y = fp_mul(in[i].y, fp_mul(zi2, zi[i]));
     out[i].infinity = false;
   }
 }
@@ -494,21 +491,54 @@ U256 fp_inv_fermat(const U256& a) {
   return mod_pow(a, exp, &fp_mul);
 }
 
-void fp_inv_batch(U256* vals, std::size_t count) {
+namespace {
+
+// Montgomery's batch-inversion trick, shared between F_p and mod-n:
+// prefix products of the non-zero entries, one real inversion, then a
+// backward sweep peeling off one inverse per entry.  Zeros are skipped
+// (their prefix slot just repeats the running product) and stay zero.
+void mod_inv_batch(U256* vals, std::size_t count,
+                   U256 (*mul)(const U256&, const U256&),
+                   U256 (*inv)(const U256&)) {
   if (count == 0) return;
   std::vector<U256> prefix(count);
   U256 acc = U256::from_u64(1);
+  bool any = false;
   for (std::size_t i = 0; i < count; ++i) {
-    assert(!vals[i].is_zero());
     prefix[i] = acc;
-    acc = fp_mul(acc, vals[i]);
+    if (!vals[i].is_zero()) {
+      acc = mul(acc, vals[i]);
+      any = true;
+    }
   }
-  U256 inv_acc = fp_inv(acc);
+  if (!any) return;
+  U256 inv_acc = inv(acc);
   for (std::size_t i = count; i-- > 0;) {
+    if (vals[i].is_zero()) continue;
     U256 vi = vals[i];
-    vals[i] = fp_mul(inv_acc, prefix[i]);
-    inv_acc = fp_mul(inv_acc, vi);
+    vals[i] = mul(inv_acc, prefix[i]);
+    inv_acc = mul(inv_acc, vi);
   }
+}
+
+}  // namespace
+
+void fp_inv_batch(U256* vals, std::size_t count) {
+  mod_inv_batch(vals, count, &fp_mul, &fp_inv);
+}
+
+std::optional<U256> fp_sqrt(const U256& a) {
+  if (a.is_zero()) return U256::zero();
+  // p = 3 mod 4, so a^((p+1)/4) squares back to a exactly when a is a
+  // quadratic residue; the final check rejects non-residues.
+  static const U256 kSqrtExp = [] {
+    U256 e;
+    add_carry(e, kP, U256::from_u64(1));
+    return shr1(shr1(e));
+  }();
+  U256 r = mod_pow(a, kSqrtExp, &fp_mul);
+  if (fp_sqr(r) != a) return std::nullopt;
+  return r;
 }
 
 U256 sc_add(const U256& a, const U256& b) { return mod_add(a, b, kN); }
@@ -527,6 +557,10 @@ U256 sc_inv_fermat(const U256& a) {
   U256 exp;  // n - 2
   sub_borrow(exp, kN, U256::from_u64(2));
   return mod_pow(a, exp, &sc_mul);
+}
+
+void sc_inv_batch(U256* vals, std::size_t count) {
+  mod_inv_batch(vals, count, &sc_mul, &sc_inv);
 }
 
 const AffinePoint& secp_g() {
@@ -595,6 +629,119 @@ AffinePoint point_mul2_slow(const U256& u1, const U256& u2, const AffinePoint& q
   Jac a = u1.is_zero() ? Jac{} : jac_mul(u1, Jac::from_affine(secp_g()));
   Jac b = (u2.is_zero() || q.infinity) ? Jac{} : jac_mul(u2, Jac::from_affine(q));
   return jac_to_affine(jac_add(a, b));
+}
+
+namespace {
+
+// Per-base state for the interleaved MSM chain: the GLV split plus the
+// two wNAF digit streams it produces (second stream empty when the split
+// leaves k2 = 0, e.g. for scalars that are already ~128 bits).
+struct MsmStream {
+  GlvSplit split;
+  std::int8_t d1[131];
+  std::int8_t d2[131];
+  int l1 = 0;
+  int l2 = 0;
+};
+
+}  // namespace
+
+AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count) {
+  // Partition: fixed-base contributions aggregate into one scalar (every
+  // finite secp256k1 point has prime order n, so sums of coefficients of
+  // the same base reduce mod n exactly); everything else keeps its own
+  // digit streams on the shared doubling chain.
+  U256 kg = U256::zero();
+  std::vector<U256> var_k;
+  std::vector<AffinePoint> var_p;
+  var_k.reserve(count);
+  var_p.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (terms[i].p.infinity) continue;
+    U256 k = sc_reduce(terms[i].k);
+    if (k.is_zero()) continue;
+    if (terms[i].p.x == kGx && terms[i].p.y == kGy) {
+      kg = sc_add(kg, k);
+    } else {
+      var_k.push_back(k);
+      var_p.push_back(terms[i].p);
+    }
+  }
+
+  const std::size_t nv = var_k.size();
+  std::vector<MsmStream> streams(nv);
+  // Odd multiples 1,3,..,15 of every variable base, all normalized to
+  // affine at once: nv tables cost one shared field inversion instead of
+  // one per base (the win that makes per-call tables affordable here).
+  std::vector<Jac> tbl_jac(nv * 8);
+  for (std::size_t i = 0; i < nv; ++i) {
+    MsmStream& s = streams[i];
+    s.split = glv_split(var_k[i]);
+    if (!s.split.k1.is_zero()) s.l1 = wnaf_digits(s.split.k1, kWindowQ, s.d1);
+    if (!s.split.k2.is_zero()) s.l2 = wnaf_digits(s.split.k2, kWindowQ, s.d2);
+    Jac* t = &tbl_jac[i * 8];
+    t[0] = Jac::from_affine(var_p[i]);
+    Jac twice = jac_double(t[0]);
+    for (std::size_t j = 1; j < 8; ++j) t[j] = jac_add(t[j - 1], twice);
+  }
+  std::vector<AffinePoint> tbl(nv * 8);
+  jac_batch_to_affine(tbl_jac.data(), tbl.data(), nv * 8);
+  // phi images only for streams that actually emit lambda-half digits.
+  std::vector<AffinePoint> phi_tbl(nv * 8);
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (streams[i].l2 == 0) continue;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const AffinePoint& q = tbl[i * 8 + j];
+      phi_tbl[i * 8 + j] = AffinePoint{fp_mul(kBeta, q.x), q.y, false};
+    }
+  }
+
+  // Aggregated fixed-base scalar rides the same chain through the static
+  // width-8 G tables.
+  GlvSplit sg{};
+  std::int8_t dg1[131], dg2[131];
+  int lg1 = 0, lg2 = 0;
+  const GWnafTable* gt = nullptr;
+  if (!kg.is_zero()) {
+    gt = &g_wnaf_table();
+    sg = glv_split(kg);
+    if (!sg.k1.is_zero()) lg1 = wnaf_digits(sg.k1, kWindowG, dg1);
+    if (!sg.k2.is_zero()) lg2 = wnaf_digits(sg.k2, kWindowG, dg2);
+  }
+
+  int len = lg1 > lg2 ? lg1 : lg2;
+  for (const MsmStream& s : streams) {
+    if (s.l1 > len) len = s.l1;
+    if (s.l2 > len) len = s.l2;
+  }
+
+  Jac acc;
+  for (int i = len - 1; i >= 0; --i) {
+    acc = jac_double(acc);
+    if (i < lg1 && dg1[i] != 0) acc = add_digit(acc, dg1[i], gt->g.data(), sg.neg1);
+    if (i < lg2 && dg2[i] != 0) acc = add_digit(acc, dg2[i], gt->phig.data(), sg.neg2);
+    for (std::size_t t = 0; t < nv; ++t) {
+      const MsmStream& s = streams[t];
+      if (i < s.l1 && s.d1[i] != 0) {
+        acc = add_digit(acc, s.d1[i], &tbl[t * 8], s.split.neg1);
+      }
+      if (i < s.l2 && s.d2[i] != 0) {
+        acc = add_digit(acc, s.d2[i], &phi_tbl[t * 8], s.split.neg2);
+      }
+    }
+  }
+  return jac_to_affine(acc);
+}
+
+AffinePoint point_mul_multi_slow(const MulTerm* terms, std::size_t count) {
+  Jac acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (terms[i].p.infinity) continue;
+    U256 k = sc_reduce(terms[i].k);
+    if (k.is_zero()) continue;
+    acc = jac_add(acc, jac_mul(k, Jac::from_affine(terms[i].p)));
+  }
+  return jac_to_affine(acc);
 }
 
 Bytes point_encode(const AffinePoint& p) {

@@ -46,9 +46,14 @@ U256 fp_sqr(const U256& a);
 U256 fp_inv(const U256& a);         // a != 0; binary extended-GCD
 U256 fp_inv_fermat(const U256& a);  // reference slow path (a^(p-2))
 U256 fp_neg(const U256& a);
-/// Inverts `count` non-zero field elements in place with a single field
-/// inversion (Montgomery's trick); used for table construction.
+/// Inverts `count` field elements in place with a single field inversion
+/// (Montgomery's trick).  Zero elements are skipped and map to zero, so
+/// callers may feed z-coordinates of points at infinity directly.
 void fp_inv_batch(U256* vals, std::size_t count);
+/// Square root mod p, if one exists (p = 3 mod 4, so a^((p+1)/4) is a
+/// root of every quadratic residue).  Used to lift ECDSA R points from
+/// their x-coordinate for batch verification.
+std::optional<U256> fp_sqrt(const U256& a);
 
 // ---- Arithmetic mod the group order n --------------------------------------
 U256 sc_add(const U256& a, const U256& b);
@@ -59,6 +64,10 @@ U256 sc_neg(const U256& a);
 /// Reduces an arbitrary 256-bit value (e.g. a hash) mod n.
 U256 sc_reduce(const U256& a);
 bool sc_is_valid(const U256& a);  // 1 <= a < n
+/// Inverts `count` scalars mod n in place with a single inversion
+/// (Montgomery's trick); zero elements are skipped and map to zero.
+/// Batch verification uses this for the shared s_i^-1 computations.
+void sc_inv_batch(U256* vals, std::size_t count);
 
 // ---- Points ----------------------------------------------------------------
 struct AffinePoint {
@@ -87,6 +96,24 @@ AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q);
 // (r*Z^2 == X) so ECDSA verification skips the final field inversion.
 bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
                         const U256& r);
+
+/// One term of a multi-scalar multiplication: k * p.
+struct MulTerm {
+  U256 k;
+  AffinePoint p;
+};
+
+/// sum(k_i * p_i) over one shared ~129-doubling chain: every scalar is
+/// GLV-split, every base gets an interleaved width-5 wNAF digit stream
+/// over per-term odd-multiples tables that are normalized together with a
+/// single batched field inversion.  Terms with p == G are folded into one
+/// aggregated fixed-base scalar first (the group order is prime, so every
+/// finite point has order n and scalar aggregation mod n is exact).
+/// Scalars are reduced mod n; zero scalars and points at infinity are
+/// skipped.  This is the engine behind crypto::BatchVerifier.
+AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count);
+/// Reference sum of independent slow multiplications.
+AffinePoint point_mul_multi_slow(const MulTerm* terms, std::size_t count);
 
 /// Reference scalar multiplication via naive double-and-add; kept as the
 /// cross-check oracle for the table/wNAF fast paths.

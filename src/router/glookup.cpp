@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trust/batch_warm.hpp"
 
 namespace gdp::router {
 
@@ -21,7 +22,13 @@ GLookupService::GLookupService(net::Network& net, trust::Principal self,
       drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
       drop_stale_reply_(
           net_.metrics().counter(metric_prefix_ + "drop.stale_reply")),
-      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")) {
+      drop_unhandled_(net_.metrics().counter(metric_prefix_ + "drop.unhandled")),
+      batch_accepted_(net_.metrics().counter(metric_prefix_ + "batch.accepted")),
+      batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
+      batch_bisections_(
+          net_.metrics().counter(metric_prefix_ + "batch.bisections")),
+      batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")) {
+  batch_seed_ = net_.sim().rng().next_u64();
   net_.attach(self_.name(), this);
 }
 
@@ -29,17 +36,17 @@ void GLookupService::autosize_verify_cache() {
   if (verify_cache_pinned_) return;
   const std::size_t want = std::max<std::size_t>(
       trust::VerifyCache::kDefaultCapacity, 2 * entry_count());
-  if (want > verify_cache_.capacity()) verify_cache_.set_capacity(want);
+  if (want > verify_cache_->capacity()) verify_cache_->set_capacity(want);
 }
 
 void GLookupService::publish_metrics() {
   auto& m = net_.metrics();
   m.counter(metric_prefix_ + "entries").set(entry_count());
-  m.counter(metric_prefix_ + "verify_cache.hits").set(verify_cache_.hits());
-  m.counter(metric_prefix_ + "verify_cache.misses").set(verify_cache_.misses());
-  m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
+  m.counter(metric_prefix_ + "verify_cache.hits").set(verify_cache_->hits());
+  m.counter(metric_prefix_ + "verify_cache.misses").set(verify_cache_->misses());
+  m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_->size());
   m.counter(metric_prefix_ + "verify_cache.capacity")
-      .set(verify_cache_.capacity());
+      .set(verify_cache_->capacity());
 }
 
 Status GLookupService::verify_entry(const Entry& entry) const {
@@ -61,9 +68,24 @@ Status GLookupService::verify_entry(const Entry& entry) const {
     return make_error(Errc::kVerificationFailed,
                       "advertisement evidence names a different target");
   }
+  // Pre-warm the (tree-shared) verify cache with one batched multi-scalar
+  // multiplication; the sequential chain walk below then runs against
+  // warm verdicts with its error semantics unchanged.
+  {
+    std::vector<trust::SignatureCheck> checks;
+    trust::collect_advertisement_checks(ad, advertiser, checks);
+    const trust::BatchWarmStats warm =
+        trust::warm_verify_cache(*verify_cache_, checks, batch_seed_, now);
+    if (warm.batched != 0) {
+      batch_size_.record(static_cast<double>(warm.batched));
+      batch_accepted_.inc(warm.accepted);
+      batch_rejected_.inc(warm.rejected);
+      batch_bisections_.inc(warm.bisections);
+    }
+  }
   // The full delegation chain must check out *here*, independently of
   // whatever the router already verified.
-  GDP_RETURN_IF_ERROR(ad.verify(advertiser, now, &domain_, &verify_cache_));
+  GDP_RETURN_IF_ERROR(ad.verify(advertiser, now, &domain_, verify_cache_.get()));
   return ok_status();
 }
 

@@ -44,7 +44,13 @@ class GLookupService : public net::PduHandler {
 
   /// Wires this service under `parent` (nullptr for the global root).
   /// The caller must also create the network link between the two.
-  void set_parent(GLookupService* parent) { parent_ = parent; }
+  /// Child levels adopt the root's VerifyCache: upward propagation
+  /// re-verifies the same delegation chains at every level, and a shared
+  /// cache collapses those to one miss total (ROADMAP follow-on).
+  void set_parent(GLookupService* parent) {
+    parent_ = parent;
+    if (parent != nullptr) verify_cache_ = parent->verify_cache_;
+  }
 
   /// Called by routers in this domain after a successful secure
   /// advertisement.  Re-verifies evidence before accepting, then
@@ -69,11 +75,11 @@ class GLookupService : public net::PduHandler {
   std::size_t entry_count() const;
   std::uint64_t queries_served() const { return queries_served_.value(); }
   std::uint64_t queries_escalated() const { return queries_escalated_.value(); }
-  std::uint64_t verify_cache_hits() const { return verify_cache_.hits(); }
-  std::uint64_t verify_cache_misses() const { return verify_cache_.misses(); }
+  std::uint64_t verify_cache_hits() const { return verify_cache_->hits(); }
+  std::uint64_t verify_cache_misses() const { return verify_cache_->misses(); }
   void set_verify_cache_capacity(std::size_t n) {
     verify_cache_pinned_ = true;
-    verify_cache_.set_capacity(n);
+    verify_cache_->set_capacity(n);
   }
 
   /// Publishes sampled gauges (entry count, verify-cache hit/miss) into the
@@ -104,10 +110,15 @@ class GLookupService : public net::PduHandler {
 
   std::unordered_map<Name, std::vector<Entry>> entries_;
   /// Registration/refresh re-verifies the same evidence chains; the cache
-  /// makes refreshes cheap.  Mutable: verification does not change what
-  /// the service *knows*, only what it has already computed.
-  mutable trust::VerifyCache verify_cache_;
+  /// makes refreshes cheap.  Shared across the whole lookup tree (every
+  /// level re-verifies the chains that propagate upward): set_parent
+  /// replaces a child's cache with the root's.
+  std::shared_ptr<trust::VerifyCache> verify_cache_ =
+      std::make_shared<trust::VerifyCache>();
   bool verify_cache_pinned_ = false;  ///< capacity fixed by a test
+  /// Seed for batch-verification coefficients (drawn from the simulation
+  /// RNG at construction, so runs are reproducible).
+  std::uint64_t batch_seed_ = 0;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
   std::uint64_t next_nonce_ = 1;
 
@@ -119,6 +130,10 @@ class GLookupService : public net::PduHandler {
   telemetry::Counter& drop_malformed_;
   telemetry::Counter& drop_stale_reply_;
   telemetry::Counter& drop_unhandled_;
+  telemetry::Counter& batch_accepted_;
+  telemetry::Counter& batch_rejected_;
+  telemetry::Counter& batch_bisections_;
+  telemetry::Histogram& batch_size_;
 };
 
 }  // namespace gdp::router

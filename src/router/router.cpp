@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trust/batch_warm.hpp"
 
 namespace gdp::router {
 
@@ -46,7 +47,13 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
       drop_lookup_timeout_(
           net_.metrics().counter(metric_prefix_ + "drop.lookup_timeout")),
       drop_unsolicited_reply_(net_.metrics().counter(
-          metric_prefix_ + "drop.unsolicited_lookup_reply")) {
+          metric_prefix_ + "drop.unsolicited_lookup_reply")),
+      batch_accepted_(net_.metrics().counter(metric_prefix_ + "batch.accepted")),
+      batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
+      batch_bisections_(
+          net_.metrics().counter(metric_prefix_ + "batch.bisections")),
+      batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")) {
+  batch_seed_ = net_.sim().rng().next_u64();
   net_.attach(self_.name(), this);
 }
 
@@ -409,6 +416,24 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
       GDP_LOG(kInfo, "router") << "bad catalog record from "
                                << advertiser->name().short_hex();
       continue;
+    }
+  }
+  // Pre-warm the verify cache: collect every signature check the catalog's
+  // delegation chains will need, batch-verify the cache misses with one
+  // multi-scalar multiplication, and store the verdicts.  The sequential
+  // ad.verify walk below then runs (unchanged) against a warm cache.
+  {
+    std::vector<trust::SignatureCheck> checks;
+    for (const trust::Advertisement& ad : catalog.advertisements()) {
+      trust::collect_advertisement_checks(ad, *advertiser, checks);
+    }
+    const trust::BatchWarmStats warm = trust::warm_verify_cache(
+        verify_cache_, checks, batch_seed_, net_.sim().now());
+    if (warm.batched != 0) {
+      batch_size_.record(static_cast<double>(warm.batched));
+      batch_accepted_.inc(warm.accepted);
+      batch_rejected_.inc(warm.rejected);
+      batch_bisections_.inc(warm.bisections);
     }
   }
   for (const trust::Advertisement& ad : catalog.advertisements()) {

@@ -207,6 +207,9 @@ class Router : public net::PduHandler {
   /// signatures are never cached: each handshake uses a fresh nonce).
   trust::VerifyCache verify_cache_;
   bool verify_cache_pinned_ = false;  ///< capacity fixed by a test
+  /// Seed for batch-verification coefficients (drawn from the simulation
+  /// RNG at construction, so runs are reproducible).
+  std::uint64_t batch_seed_ = 0;
 
   // Telemetry handles, resolved once against the network registry.
   std::string metric_prefix_;  ///< "router.<label>."
@@ -234,6 +237,10 @@ class Router : public net::PduHandler {
   telemetry::Counter& drop_queue_full_;
   telemetry::Counter& drop_lookup_timeout_;
   telemetry::Counter& drop_unsolicited_reply_;
+  telemetry::Counter& batch_accepted_;
+  telemetry::Counter& batch_rejected_;
+  telemetry::Counter& batch_bisections_;
+  telemetry::Histogram& batch_size_;
 };
 
 }  // namespace gdp::router

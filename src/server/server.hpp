@@ -123,6 +123,9 @@ class CapsuleServer : public router::Endpoint {
   std::unordered_set<Name> introduced_;  ///< clients that hold our evidence
   std::uint64_t next_pending_id_ = 1;
   bool anti_entropy_running_ = false;
+  /// Seeds the batch-verification coefficient stream; drawn from the
+  /// simulation RNG so identical runs replay identical coefficients.
+  std::uint64_t batch_seed_ = 0;
 
   // Telemetry handles (`server.<label>.*`), resolved at construction.
   std::string metric_prefix_;
@@ -133,6 +136,11 @@ class CapsuleServer : public router::Endpoint {
   telemetry::Counter& drop_malformed_;
   telemetry::Counter& drop_not_hosted_;
   telemetry::Counter& drop_stale_ack_;
+  telemetry::Counter& recv_pdus_;
+  telemetry::Counter& batch_accepted_;
+  telemetry::Counter& batch_rejected_;
+  telemetry::Counter& batch_bisections_;
+  telemetry::Histogram& batch_size_;
 };
 
 }  // namespace gdp::server

@@ -73,11 +73,12 @@ Result<CapsuleStore> CapsuleStore::open(const std::filesystem::path& dir) {
   return store;
 }
 
-Status CapsuleStore::ingest(const capsule::Record& record) {
+Status CapsuleStore::ingest(const capsule::Record& record,
+                            capsule::SigPolicy policy) {
   const Name hash = record.hash();
   if (persisted_.contains(hash)) return ok_status();
   const bool known_before = state_->known(hash);
-  GDP_RETURN_IF_ERROR(state_->ingest(record));
+  GDP_RETURN_IF_ERROR(state_->ingest(record, policy));
   if (!known_before && state_->known(hash)) {
     GDP_RETURN_IF_ERROR(log_.append(tagged(kTagRecord, record.serialize())));
     persisted_[hash] = true;

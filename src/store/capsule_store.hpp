@@ -41,7 +41,8 @@ class CapsuleStore {
   const capsule::CapsuleState& state() const { return *state_; }
 
   /// Validates via the state and, if newly attached/held, persists.
-  Status ingest(const capsule::Record& record);
+  Status ingest(const capsule::Record& record,
+                capsule::SigPolicy policy = capsule::SigPolicy::kVerify);
 
   /// Records dropped during the last open() because they failed
   /// re-validation (evidence of on-disk tampering).

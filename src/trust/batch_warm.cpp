@@ -1,0 +1,101 @@
+#include "trust/batch_warm.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "capsule/metadata.hpp"
+#include "crypto/batch_verify.hpp"
+
+namespace gdp::trust {
+
+void collect_principal_check(const Principal& principal,
+                             std::vector<SignatureCheck>& out) {
+  out.push_back(SignatureCheck{principal.key(), principal.signed_payload(),
+                               principal.signature(),
+                               std::numeric_limits<std::int64_t>::max()});
+}
+
+namespace {
+
+void collect_cert_check(const Cert& cert, const crypto::PublicKey& issuer_key,
+                        std::vector<SignatureCheck>& out) {
+  out.push_back(SignatureCheck{issuer_key, cert.signed_payload(), cert.sig,
+                               cert.not_after_ns});
+}
+
+}  // namespace
+
+void collect_advertisement_checks(const Advertisement& ad,
+                                  const Principal& advertiser,
+                                  std::vector<SignatureCheck>& out) {
+  // Mirrors the checks of Advertisement::verify /
+  // verify_serving_delegation; anything that cannot be recovered here
+  // (bad metadata, mismatched chain arity) is left for the sequential
+  // walk to reject — collection never decides validity.
+  auto metadata = capsule::Metadata::deserialize(ad.capsule_metadata);
+  if (!metadata.ok()) return;
+  const ServingDelegation& d = ad.delegation;
+  if (d.orgs.size() != d.member_certs.size()) return;
+  collect_principal_check(advertiser, out);
+  collect_cert_check(d.ad_cert, metadata->owner_key(), out);
+  for (std::size_t i = 0; i < d.orgs.size(); ++i) {
+    collect_principal_check(d.orgs[i], out);
+    collect_cert_check(d.member_certs[i], d.orgs[i].key(), out);
+  }
+}
+
+BatchWarmStats warm_verify_cache(VerifyCache& cache,
+                                 const std::vector<SignatureCheck>& checks,
+                                 std::uint64_t seed, TimePoint now) {
+  BatchWarmStats stats;
+
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  // Dedup by cache key: a delegation chain shared by many capsules in one
+  // catalog contributes each signature exactly once.
+  std::unordered_map<crypto::Digest, std::size_t, DigestHash> seen;
+  std::vector<std::size_t> pending;       // indices into `checks`
+  std::vector<crypto::Digest> cache_keys; // parallel to `pending`
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const SignatureCheck& c = checks[i];
+    const crypto::Digest key = VerifyCache::make_key(c.key, c.payload, c.sig);
+    if (!seen.emplace(key, i).second) continue;
+    ++stats.checks;
+    if (cache.peek(key, now).has_value()) {
+      ++stats.cache_hits;
+      continue;
+    }
+    pending.push_back(i);
+    cache_keys.push_back(key);
+  }
+  if (pending.empty()) return stats;
+
+  crypto::BatchVerifier batch(seed);
+  batch.reserve(pending.size());
+  for (std::size_t i : pending) {
+    batch.add(crypto::sha256(checks[i].payload), checks[i].key, checks[i].sig);
+  }
+  const auto result = batch.verify_all();
+  stats.batched = pending.size();
+  stats.rejected = result.rejected.size();
+  stats.accepted = pending.size() - result.rejected.size();
+  stats.bisections = result.bisections;
+
+  std::size_t rej = 0;
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const bool ok =
+        !(rej < result.rejected.size() && result.rejected[rej] == j);
+    if (!ok) ++rej;
+    cache.store(cache_keys[j], ok, checks[pending[j]].expires_ns, now);
+  }
+  return stats;
+}
+
+}  // namespace gdp::trust

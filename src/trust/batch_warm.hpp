@@ -1,0 +1,63 @@
+// Batch pre-warming of signature-verdict caches.
+//
+// A catalog re-advertisement carries many delegation chains whose
+// signature checks are pure functions of (issuer key, payload, sig) —
+// exactly what VerifyCache memoizes.  Instead of letting the sequential
+// chain walk verify them one by one on a cold cache, the router and
+// GLookupService first *collect* every check a catalog will need, batch
+// verify the cache misses with one multi-scalar multiplication
+// (crypto::BatchVerifier), and store the verdicts.  The unchanged
+// sequential verification logic then runs against a warm cache, keeping
+// its exact error semantics while the curve arithmetic collapses from k
+// double-scalar multiplications to ~1 batched one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trust/advertisement.hpp"
+#include "trust/verify_cache.hpp"
+
+namespace gdp::trust {
+
+/// One pending "does `sig` verify `payload` under `key`" question, plus
+/// the verdict expiry VerifyCache should attach (the cert's not_after;
+/// int64 max for never-expiring principal self-signatures).
+struct SignatureCheck {
+  crypto::PublicKey key;
+  Bytes payload;
+  crypto::Signature sig;
+  std::int64_t expires_ns = 0;
+};
+
+/// Appends the principal's self-signature check.
+void collect_principal_check(const Principal& principal,
+                             std::vector<SignatureCheck>& out);
+
+/// Appends every signature check verify_serving_delegation would perform
+/// for this advertisement: server self-sig, AdCert under the owner key,
+/// and each org self-sig + membership cert.  Collection is best-effort —
+/// structurally broken advertisements simply contribute nothing and fail
+/// later in the sequential walk.
+void collect_advertisement_checks(const Advertisement& ad,
+                                  const Principal& advertiser,
+                                  std::vector<SignatureCheck>& out);
+
+struct BatchWarmStats {
+  std::size_t checks = 0;      ///< collected, after dedup
+  std::size_t cache_hits = 0;  ///< already had a verdict
+  std::size_t batched = 0;     ///< sent to the batch verifier
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t bisections = 0;
+};
+
+/// Probes `cache` for every (deduplicated) check, batch-verifies the
+/// misses with coefficients seeded by `seed`, and stores the verdicts.
+/// After this, sequential verification of the same material is pure
+/// cache hits.
+BatchWarmStats warm_verify_cache(VerifyCache& cache,
+                                 const std::vector<SignatureCheck>& checks,
+                                 std::uint64_t seed, TimePoint now);
+
+}  // namespace gdp::trust

@@ -48,13 +48,18 @@ class Principal {
   /// never expires, so cached verdicts live until evicted.
   Status verify(VerifyCache* cache = nullptr) const;
 
+  /// The byte string the self-signature covers and the signature itself;
+  /// exposed so batch verification can collect (key, payload, sig)
+  /// checks without re-deriving the encoding.
+  Bytes signed_payload() const;
+  const crypto::Signature& signature() const { return sig_; }
+
   friend bool operator==(const Principal& a, const Principal& b) {
     return a.name_ == b.name_;
   }
 
  private:
   Principal() = default;
-  Bytes signed_payload() const;
 
   std::optional<crypto::PublicKey> key_;
   Role role_ = Role::kClient;

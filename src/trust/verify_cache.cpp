@@ -29,6 +29,14 @@ std::optional<bool> VerifyCache::probe(const crypto::Digest& key, TimePoint now)
   return it->second->second.ok;
 }
 
+std::optional<bool> VerifyCache::peek(const crypto::Digest& key,
+                                      TimePoint now) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  if (it->second->second.expires_ns < now.count()) return std::nullopt;
+  return it->second->second.ok;
+}
+
 void VerifyCache::store(const crypto::Digest& key, bool ok,
                         std::int64_t expires_ns, TimePoint now) {
   if (capacity_ == 0 || expires_ns < now.count()) return;

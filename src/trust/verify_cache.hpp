@@ -44,6 +44,13 @@ class VerifyCache {
   /// passed is dropped and reported as a miss.
   std::optional<bool> probe(const crypto::Digest& key, TimePoint now);
 
+  /// Like probe, but without side effects: no hit/miss accounting, no LRU
+  /// reordering, stale entries left in place.  Used by batch pre-warming
+  /// to decide what still needs verification without perturbing the
+  /// counters tests (and dumps) interpret as sequential-verification
+  /// cache behaviour.
+  std::optional<bool> peek(const crypto::Digest& key, TimePoint now) const;
+
   /// Records a verdict, valid until `expires_ns`.  Already-stale entries
   /// are not stored.  Inserting past capacity evicts the least recently
   /// used entry.

@@ -610,6 +610,114 @@ TEST(FastPath, BatchInversionMatchesIndividual) {
   fp_inv_batch(nullptr, 0);  // empty batch is a no-op
 }
 
+TEST(FastPath, BatchInversionEdgeCases) {
+  // Zero mid-array: skipped, maps to zero, and must not disturb the
+  // inverses on either side (points at infinity feed zeros directly).
+  std::vector<U256> vals = {U256::from_u64(2), U256::zero(),
+                            U256::from_u64(3), U256::zero(),
+                            U256::from_u64(5)};
+  std::vector<U256> expected = {fp_inv(U256::from_u64(2)), U256::zero(),
+                                fp_inv(U256::from_u64(3)), U256::zero(),
+                                fp_inv(U256::from_u64(5))};
+  fp_inv_batch(vals.data(), vals.size());
+  EXPECT_EQ(vals, expected);
+
+  // Length 0 and 1.
+  fp_inv_batch(nullptr, 0);
+  std::vector<U256> one = {U256::from_u64(42)};
+  fp_inv_batch(one.data(), 1);
+  EXPECT_EQ(one[0], fp_inv(U256::from_u64(42)));
+  std::vector<U256> zero_only = {U256::zero()};
+  fp_inv_batch(zero_only.data(), 1);
+  EXPECT_TRUE(zero_only[0].is_zero());
+
+  // All-equal values: the prefix-product telescoping must still peel off
+  // one correct inverse per slot.
+  std::vector<U256> same(9, U256::from_u64(1234567));
+  fp_inv_batch(same.data(), same.size());
+  for (const U256& v : same) EXPECT_EQ(v, fp_inv(U256::from_u64(1234567)));
+
+  // Same contract for the scalar-field variant.
+  std::vector<U256> sc = {U256::from_u64(7), U256::zero(), U256::from_u64(7)};
+  sc_inv_batch(sc.data(), sc.size());
+  EXPECT_EQ(sc[0], sc_inv(U256::from_u64(7)));
+  EXPECT_TRUE(sc[1].is_zero());
+  EXPECT_EQ(sc[2], sc_inv(U256::from_u64(7)));
+}
+
+TEST(FastPath, SqrtMatchesSquares) {
+  Rng rng(504);
+  for (int i = 0; i < 32; ++i) {
+    U256 a = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+    U256 sq = fp_sqr(a);
+    auto root = fp_sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == fp_neg(a));
+    // a^2 is a residue, so exactly one of -(a^2)'s roots exists... for
+    // p = 3 mod 4, -1 is a non-residue, hence -(a^2) never has a root.
+    if (!sq.is_zero()) {
+      EXPECT_FALSE(fp_sqrt(fp_neg(sq)).has_value());
+    }
+  }
+  EXPECT_EQ(fp_sqrt(U256::zero()), U256::zero());
+  EXPECT_EQ(fp_sqrt(U256::from_u64(1)), U256::from_u64(1));
+}
+
+TEST(FastPath, MultiScalarMatchesSingleSums) {
+  Rng rng(505);
+  // Random mixes of fixed-base, variable-base, duplicate-base, zero and
+  // infinity terms, cross-checked against the sum of single point_mul
+  // results and the slow MSM reference.
+  for (std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                            std::size_t{17}}) {
+    std::vector<MulTerm> terms;
+    AffinePoint expected = AffinePoint::at_infinity();
+    AffinePoint shared = point_mul(U256::from_u64(99991), secp_g());
+    for (std::size_t i = 0; i < count; ++i) {
+      U256 k = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+      AffinePoint p;
+      switch (i % 4) {
+        case 0: p = secp_g(); break;
+        case 1: p = shared; break;
+        case 2: p = point_mul(sc_reduce(U256::from_bytes_be(rng.next_bytes(32))),
+                              secp_g());
+                break;
+        default: p = AffinePoint::at_infinity(); break;
+      }
+      terms.push_back(MulTerm{k, p});
+      expected = point_add(expected, point_mul(k, p));
+    }
+    AffinePoint fast = point_mul_multi(terms.data(), terms.size());
+    AffinePoint slow = point_mul_multi_slow(terms.data(), terms.size());
+    EXPECT_EQ(fast, expected) << "count=" << count;
+    EXPECT_EQ(slow, expected) << "count=" << count;
+  }
+}
+
+TEST(FastPath, MultiScalarEdgeCases) {
+  // Empty product and all-zero scalars are the identity.
+  EXPECT_TRUE(point_mul_multi(nullptr, 0).infinity);
+  std::vector<MulTerm> zero_terms = {MulTerm{U256::zero(), secp_g()},
+                                     MulTerm{secp_n(), secp_g()}};
+  EXPECT_TRUE(point_mul_multi(zero_terms.data(), zero_terms.size()).infinity);
+  // Exact cancellation across terms: k*Q + (n-k)*Q == O.
+  AffinePoint q = point_mul(U256::from_u64(77), secp_g());
+  U256 k = U256::from_u64(123456789);
+  U256 nk;
+  sub_borrow(nk, secp_n(), k);
+  std::vector<MulTerm> cancel = {MulTerm{k, q}, MulTerm{nk, q}};
+  EXPECT_TRUE(point_mul_multi(cancel.data(), cancel.size()).infinity);
+  // Known answer: 3*G + 4*G == 7*G, mixing the aggregated-G path with a
+  // known vector from KnownMultiplesOfG.
+  std::vector<MulTerm> g34 = {MulTerm{U256::from_u64(3), secp_g()},
+                              MulTerm{U256::from_u64(4), secp_g()}};
+  AffinePoint seven = point_mul_multi(g34.data(), g34.size());
+  EXPECT_EQ(seven.x, hex_u256("5cbdf0646e5db4eaa398f365f2ea7a0e3d419b7e0330e3"
+                              "9ce92bddedcac4f9bc"));
+  EXPECT_EQ(seven.y, hex_u256("6aebca40ba255960a3178d6d861a54dba813d0b813fde7"
+                              "b5a5082628087264da"));
+}
+
 TEST(FastPath, ScalarEdgeCases) {
   AffinePoint q = point_mul(U256::from_u64(77), secp_g());
   // k = 0 and k = n annihilate.
@@ -685,7 +793,10 @@ TEST(Ecdsa, Rfc6979KnownVectors) {
   // Deterministic (d, H(msg)) -> (k, r, s) for SHA-256 over secp256k1.
   // The first row's nonce matches the widely circulated community vector
   // for this curve; the rest were generated by the same cross-checked
-  // reference.  s is the raw signing output (not low-s normalized).
+  // reference.  s is even-R normalized: when the nonce point k*G has an
+  // odd y, the signer emits n - s instead (the malleability twin), so the
+  // published R point always has even y and batch verification can lift
+  // it back from r alone.  k and r are unaffected by the normalization.
   const Vector vectors[] = {
       {"0000000000000000000000000000000000000000000000000000000000000001",
        "Satoshi Nakamoto",
@@ -697,17 +808,17 @@ TEST(Ecdsa, Rfc6979KnownVectors) {
        "die...",
        "38aa22d72376b4dbc472e06c3ba403ee0a394da63fc58d88686c611aba98d6b3",
        "8600dbd41e348fe5c9465ab92d23e3db8b98b873beecd930736488696438cb6b",
-       "ab8019bbd8b6924cc4099fe625340ffb1eaac34bf4477daa39d0835429094520"},
+       "547fe64427496db33bf66019dacbf0039c04199abb0122918601db38a72cfc21"},
       {"fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364140",
        "Satoshi Nakamoto",
        "33a19b60e25fb6f4435af53a3d42d493644827367e6453928554f43e49aa6f90",
        "fd567d121db66e382991534ada77a6bd3106f0a1098c231e47993447cd6af2d0",
-       "94c632f14e4379fc1ea610a3df5a375152549736425ee17cebe10abbc2a2826c"},
+       "6b39cd0eb1bc8603e159ef5c20a5c8ad685a45b06ce9bebed3f153d10d93bed5"},
       {"f8b8af8ce3c7cca5e300d33939540c10d45ce001b8f252bfbc57ba0342904181",
        "Alan Turing",
        "525a82b70e67874398067543fd84c83d30c175fdc45fdeee082fe13b1d7cfdf1",
        "7063ae83e7f62bbb171798131b4a0564b956930092b33b07b395615d9ec7e15c",
-       "a72033e1ff5ca1ea8d0c99001cb45f0272d3be7525d3049c0d9e98dc7582b857"},
+       "58dfcc1e00a35e1572f366ffe34ba0fc47db1e7189759b9fb233c5b05ab388ea"},
   };
   for (const Vector& v : vectors) {
     auto key = PrivateKey::from_bytes(*hex_decode(v.d));
