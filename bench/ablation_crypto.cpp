@@ -14,6 +14,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -21,6 +24,7 @@
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/secp256k1_detail.hpp"
 #include "crypto/sha256.hpp"
 
 using namespace gdp;
@@ -173,6 +177,54 @@ struct Pair {
   double slow;
 };
 
+// Raw field-multiplication throughput: Montgomery REDC (fast) vs the
+// retained schoolbook mul_full + fold (slow).  Multiplications are
+// chained so the measurement is latency-bound like real point
+// arithmetic, not pipelined artificially.
+constexpr int kFieldChain = 1000;
+
+double field_mul_rate_mont() {
+  Rng rng(13);
+  U256 x = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const U256 y = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const double rate = ops_per_sec([&] {
+    for (int i = 0; i < kFieldChain; ++i) x = mont_mul(x, y);
+    benchmark::DoNotOptimize(x);
+  });
+  return rate * kFieldChain;
+}
+
+double field_mul_rate_schoolbook() {
+  Rng rng(13);
+  U256 x = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const U256 y = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const double rate = ops_per_sec([&] {
+    for (int i = 0; i < kFieldChain; ++i) x = fp_mul_schoolbook(x, y);
+    benchmark::DoNotOptimize(x);
+  });
+  return rate * kFieldChain;
+}
+
+double field_sqr_rate_mont() {
+  Rng rng(14);
+  U256 x = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const double rate = ops_per_sec([&] {
+    for (int i = 0; i < kFieldChain; ++i) x = mont_sqr(x);
+    benchmark::DoNotOptimize(x);
+  });
+  return rate * kFieldChain;
+}
+
+double field_sqr_rate_schoolbook() {
+  Rng rng(14);
+  U256 x = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+  const double rate = ops_per_sec([&] {
+    for (int i = 0; i < kFieldChain; ++i) x = fp_sqr_schoolbook(x);
+    benchmark::DoNotOptimize(x);
+  });
+  return rate * kFieldChain;
+}
+
 void run_fast_vs_slow() {
   Rng rng(11);
   PrivateKey key = PrivateKey::generate(rng);
@@ -180,6 +232,7 @@ void run_fast_vs_slow() {
   Digest digest = sha256(rng.next_bytes(200));
   Signature sig = key.sign_digest(digest);
   if (sign_digest_slow(d, digest).encode() != sig.encode() ||
+      key.sign_digest_vartime(digest).encode() != sig.encode() ||
       !verify_digest_slow(key.public_key(), digest, sig)) {
     std::fprintf(stderr, "fast/slow path disagreement; not writing JSON\n");
     return;
@@ -221,7 +274,11 @@ void run_fast_vs_slow() {
   };
 
   const Pair rows[] = {
+      {"field_mul", field_mul_rate_mont(), field_mul_rate_schoolbook()},
+      {"field_sqr", field_sqr_rate_mont(), field_sqr_rate_schoolbook()},
       {"sign", ops_per_sec([&] { key.sign_digest(digest); }),
+       ops_per_sec([&] { sign_digest_slow(d, digest); })},
+      {"sign_vartime", ops_per_sec([&] { key.sign_digest_vartime(digest); }),
        ops_per_sec([&] { sign_digest_slow(d, digest); })},
       {"verify",
        ops_per_sec([&] { key.public_key().verify_digest(digest, sig); }),
@@ -263,9 +320,73 @@ void run_fast_vs_slow() {
   std::printf("wrote BENCH_crypto.json\n");
 }
 
+// ---- --check: regression gate against the committed baseline ---------------
+
+/// Extracts rows[key].fast_per_sec from the BENCH_crypto.json format this
+/// binary writes.  Returns a negative value when the key is missing.
+double baseline_rate(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": {\"fast_per_sec\": ";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// CI smoke gate: re-measures field multiplication and signing throughput
+/// and fails (exit 1) if either regressed more than 15% against the
+/// committed BENCH_crypto.json.  Does not rewrite the JSON.
+int run_check(const char* baseline_path) {
+  FILE* f = std::fopen(baseline_path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--check: cannot open %s\n", baseline_path);
+    return 1;
+  }
+  std::string json;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, got);
+  std::fclose(f);
+
+  const double base_field = baseline_rate(json, "field_mul");
+  const double base_sign = baseline_rate(json, "sign");
+  if (base_field <= 0.0 || base_sign <= 0.0) {
+    std::fprintf(stderr, "--check: %s lacks field_mul/sign rows\n",
+                 baseline_path);
+    return 1;
+  }
+
+  Rng rng(11);
+  PrivateKey key = PrivateKey::generate(rng);
+  const Digest digest = sha256(rng.next_bytes(200));
+  const double cur_field = field_mul_rate_mont();
+  const double cur_sign = ops_per_sec([&] { key.sign_digest(digest); });
+
+  constexpr double kFloor = 0.85;  // fail below 85% of baseline
+  int rc = 0;
+  const struct {
+    const char* name;
+    double base, cur;
+  } checks[] = {{"field_mul", base_field, cur_field},
+                {"sign", base_sign, cur_sign}};
+  for (const auto& c : checks) {
+    const double ratio = c.cur / c.base;
+    const bool ok = ratio >= kFloor;
+    std::printf("%-10s baseline %14.1f/s  current %14.1f/s  ratio %.2f  %s\n",
+                c.name, c.base, c.cur, ratio, ok ? "OK" : "REGRESSED");
+    if (!ok) rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --check <baseline.json> runs the regression gate only; strip it
+  // before google-benchmark sees the args.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      return run_check(argv[i + 1]);
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -31,22 +31,28 @@ bool CommitService::on_app_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
   auto op = client_.append(writer_, record_payload, required_acks_);
 
   // Answer once the append is durable; poll the op from the event loop.
-  auto check = std::make_shared<std::function<void()>>();
-  *check = [this, op, proposer, flow, check] {
-    if (!op->done) {
-      scenario_.sim().schedule(from_millis(1), *check);
-      return;
-    }
-    Bytes ack;
-    put_fixed64(ack, flow);
-    const bool ok = op->outcome->ok();
-    ack.push_back(ok ? 1 : 0);
-    put_fixed64(ack, ok ? (*op->outcome)->seqno : 0);
-    if (ok) ++committed_;
-    client_.send_app_pdu(proposer, wire::MsgType::kProposalAck, std::move(ack), flow);
-  };
-  scenario_.sim().schedule(from_millis(1), *check);
+  poll_append(std::move(op), proposer, flow);
   return true;
+}
+
+void CommitService::poll_append(client::OpPtr<client::AppendOutcome> op,
+                                Name proposer, std::uint64_t flow) {
+  if (!op->done) {
+    // Reschedule with a fresh closure each round: a self-referential
+    // shared callback would be a shared_ptr cycle and leak.
+    scenario_.sim().schedule(from_millis(1),
+                             [this, op = std::move(op), proposer, flow] {
+                               poll_append(std::move(op), proposer, flow);
+                             });
+    return;
+  }
+  Bytes ack;
+  put_fixed64(ack, flow);
+  const bool ok = op->outcome->ok();
+  ack.push_back(ok ? 1 : 0);
+  put_fixed64(ack, ok ? (*op->outcome)->seqno : 0);
+  if (ok) ++committed_;
+  client_.send_app_pdu(proposer, wire::MsgType::kProposalAck, std::move(ack), flow);
 }
 
 Result<std::pair<Name, Bytes>> CommitService::decode_committed(

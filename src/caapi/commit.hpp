@@ -33,6 +33,9 @@ class CommitService {
 
  private:
   bool on_app_pdu(const Name& from, const wire::Pdu& pdu);
+  /// Polls `op` from the event loop; acks `proposer` once it resolves.
+  void poll_append(client::OpPtr<client::AppendOutcome> op, Name proposer,
+                   std::uint64_t flow);
 
   harness::Scenario& scenario_;
   client::GdpClient& client_;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 
 #include "harness/scenario.hpp"
@@ -29,27 +30,76 @@ struct gdp_capsule {
 
 namespace {
 
-int map_errc(Errc code) {
-  switch (code) {
-    case Errc::kOk: return GDP_OK;
-    case Errc::kInvalidArgument: return GDP_ERR_INVALID;
-    case Errc::kUnavailable:
-    case Errc::kExpired: return GDP_ERR_UNAVAILABLE;
-    case Errc::kVerificationFailed:
-    case Errc::kPermissionDenied:
-    case Errc::kCorruptData: return GDP_ERR_VERIFY;
-    case Errc::kNotFound:
-    case Errc::kOutOfRange: return GDP_ERR_NOT_FOUND;
-    default: return GDP_ERR_INTERNAL;
+// The canonical Errc -> gdp_status table, in Errc declaration order.
+// static_asserts below enforce both exhaustiveness (every Errc has a row)
+// and order (so lookup is a direct index): adding an Errc without
+// extending this table fails to compile.
+struct ErrcMap {
+  Errc errc;
+  gdp_status status;
+};
+
+constexpr ErrcMap kErrcTable[] = {
+    {Errc::kOk, GDP_OK},
+    {Errc::kInvalidArgument, GDP_ERR_INVALID},
+    {Errc::kNotFound, GDP_ERR_NOT_FOUND},
+    {Errc::kAlreadyExists, GDP_ERR_EXISTS},
+    {Errc::kVerificationFailed, GDP_ERR_VERIFY},
+    {Errc::kPermissionDenied, GDP_ERR_PERMISSION},
+    {Errc::kUnavailable, GDP_ERR_UNAVAILABLE},
+    {Errc::kOutOfRange, GDP_ERR_OUT_OF_RANGE},
+    {Errc::kCorruptData, GDP_ERR_CORRUPT},
+    {Errc::kFailedPrecondition, GDP_ERR_PRECONDITION},
+    {Errc::kExpired, GDP_ERR_EXPIRED},
+    {Errc::kInternal, GDP_ERR_INTERNAL},
+};
+
+static_assert(std::size(kErrcTable) == kErrcCount,
+              "every Errc needs a gdp_status row");
+constexpr bool errc_table_in_order() {
+  for (std::size_t i = 0; i < std::size(kErrcTable); ++i) {
+    if (kErrcTable[i].errc != static_cast<Errc>(i)) return false;
   }
+  return true;
+}
+static_assert(errc_table_in_order(), "kErrcTable rows must follow Errc order");
+
+gdp_status map_errc(Errc code) {
+  const auto idx = static_cast<std::size_t>(code);
+  if (idx >= std::size(kErrcTable)) return GDP_ERR_INTERNAL;
+  return kErrcTable[idx].status;
 }
 
-int fail(gdp_world* world, const Error& error) {
+int fail(gdp_world* world, const Error& error,
+         client::AwaitCondition condition = client::AwaitCondition::kResolved) {
   world->last_error = error.to_string();
+  // The guard-timeout refinement: the library reports kUnavailable either
+  // way, but the C API distinguishes "our per-op timer fired" from plain
+  // unavailability.
+  if (condition == client::AwaitCondition::kOpTimeout) return GDP_ERR_TIMEOUT;
   return map_errc(error.code);
 }
 
 }  // namespace
+
+extern "C" const char* gdp_status_name(int status) {
+  switch (static_cast<gdp_status>(status)) {
+    case GDP_OK: return "GDP_OK";
+    case GDP_ERR_INVALID: return "GDP_ERR_INVALID";
+    case GDP_ERR_UNAVAILABLE: return "GDP_ERR_UNAVAILABLE";
+    case GDP_ERR_VERIFY: return "GDP_ERR_VERIFY";
+    case GDP_ERR_NOT_FOUND: return "GDP_ERR_NOT_FOUND";
+    case GDP_ERR_INTERNAL: return "GDP_ERR_INTERNAL";
+    case GDP_ERR_EXISTS: return "GDP_ERR_EXISTS";
+    case GDP_ERR_PERMISSION: return "GDP_ERR_PERMISSION";
+    case GDP_ERR_OUT_OF_RANGE: return "GDP_ERR_OUT_OF_RANGE";
+    case GDP_ERR_CORRUPT: return "GDP_ERR_CORRUPT";
+    case GDP_ERR_PRECONDITION: return "GDP_ERR_PRECONDITION";
+    case GDP_ERR_EXPIRED: return "GDP_ERR_EXPIRED";
+    case GDP_ERR_TIMEOUT: return "GDP_ERR_TIMEOUT";
+  }
+  return "GDP_ERR_UNKNOWN";
+}
 
 extern "C" {
 
@@ -100,8 +150,9 @@ int gdp_append(gdp_world* world, gdp_capsule* capsule, const uint8_t* data,
     return GDP_ERR_INVALID;
   }
   auto op = world->client->append(capsule->writer, BytesView(data, len));
-  auto outcome = client::await(world->scenario.sim(), op);
-  if (!outcome.ok()) return fail(world, outcome.error());
+  client::AwaitCondition cond;
+  auto outcome = client::await(world->scenario.sim(), op, &cond);
+  if (!outcome.ok()) return fail(world, outcome.error(), cond);
   if (seqno_out != nullptr) *seqno_out = outcome->seqno;
   return GDP_OK;
 }
@@ -113,12 +164,17 @@ int gdp_read(gdp_world* world, gdp_capsule* capsule, uint64_t seqno,
     return GDP_ERR_INVALID;
   }
   auto op = world->client->read(capsule->setup.metadata, seqno, seqno);
-  auto outcome = client::await(world->scenario.sim(), op);
-  if (!outcome.ok()) return fail(world, outcome.error());
+  client::AwaitCondition cond;
+  auto outcome = client::await(world->scenario.sim(), op, &cond);
+  if (!outcome.ok()) return fail(world, outcome.error(), cond);
   const capsule::Record& rec = outcome->records.back();
   auto* buffer = static_cast<uint8_t*>(std::malloc(rec.payload.size()));
   if (buffer == nullptr && !rec.payload.empty()) return GDP_ERR_INTERNAL;
-  std::memcpy(buffer, rec.payload.data(), rec.payload.size());
+  // Empty payloads: data() may be null and malloc(0) may return null;
+  // memcpy requires non-null pointers even for size 0.
+  if (!rec.payload.empty()) {
+    std::memcpy(buffer, rec.payload.data(), rec.payload.size());
+  }
   *data_out = buffer;
   *len_out = rec.payload.size();
   if (seqno_out != nullptr) *seqno_out = rec.header.seqno;
@@ -151,8 +207,9 @@ int gdp_subscribe(gdp_world* world, gdp_capsule* capsule, gdp_event_fn callback,
       [callback, user](const capsule::Record& rec, const capsule::Heartbeat&) {
         callback(rec.header.seqno, rec.payload.data(), rec.payload.size(), user);
       });
-  auto outcome = client::await(world->scenario.sim(), op);
-  if (!outcome.ok()) return fail(world, outcome.error());
+  client::AwaitCondition cond;
+  auto outcome = client::await(world->scenario.sim(), op, &cond);
+  if (!outcome.ok()) return fail(world, outcome.error(), cond);
   return GDP_OK;
 }
 

@@ -26,15 +26,30 @@ extern "C" {
 typedef struct gdp_world gdp_world;     /* infrastructure + event loop */
 typedef struct gdp_capsule gdp_capsule; /* a DataCapsule + its keys */
 
-/* Error codes. */
-enum {
+/* Status codes.  One canonical table: every library error category
+ * (gdp::Errc) maps to exactly one code below, and the mapping is
+ * static_assert-checked for exhaustiveness on the C++ side.  The first
+ * five values predate the table and keep their ABI values. */
+typedef enum gdp_status {
   GDP_OK = 0,
-  GDP_ERR_INVALID = -1,      /* bad arguments */
-  GDP_ERR_UNAVAILABLE = -2,  /* no route / timeout / replica down */
+  GDP_ERR_INVALID = -1,      /* bad arguments / malformed input */
+  GDP_ERR_UNAVAILABLE = -2,  /* no route / link down / replica down */
   GDP_ERR_VERIFY = -3,       /* integrity or delegation verification failed */
   GDP_ERR_NOT_FOUND = -4,    /* no such record / capsule */
-  GDP_ERR_INTERNAL = -5,
-};
+  GDP_ERR_INTERNAL = -5,     /* invariant violation inside the library */
+  GDP_ERR_EXISTS = -6,       /* duplicate creation */
+  GDP_ERR_PERMISSION = -7,   /* missing or invalid delegation */
+  GDP_ERR_OUT_OF_RANGE = -8, /* seqno beyond capsule tail */
+  GDP_ERR_CORRUPT = -9,      /* storage-level integrity failure */
+  GDP_ERR_PRECONDITION = -10,/* API misuse detectable at runtime */
+  GDP_ERR_EXPIRED = -11,     /* certificate or advertisement past expiry */
+  GDP_ERR_TIMEOUT = -12,     /* the per-op guard timeout fired (refines
+                              * GDP_ERR_UNAVAILABLE: the op was sent but
+                              * never answered in time) */
+} gdp_status;
+
+/* Stable token for a status code, e.g. "GDP_ERR_TIMEOUT"; never NULL. */
+const char* gdp_status_name(int status);
 
 /* Creates a deployment: one routing domain with its GLookupService, one
  * GDP-router, one DataCapsule-server and one client, deterministically

@@ -153,6 +153,7 @@ OpPtr<bool> GdpClient::create_capsule(const Name& server,
         op->resolve(true);
       },
       [op] {
+        op->timed_out = true;
         op->resolve(make_error(Errc::kUnavailable, "create_capsule timed out"));
       });
   send_pdu(server, wire::MsgType::kCreateCapsule, msg.serialize());
@@ -210,6 +211,7 @@ OpPtr<AppendOutcome> GdpClient::append_record(const capsule::Metadata& metadata,
     op->resolve(out);
   };
   register_pending(msg.nonce, std::move(append_handler), [op] {
+    op->timed_out = true;
     op->resolve(make_error(Errc::kUnavailable, "append timed out"));
   });
   send_pdu(metadata.name(), wire::MsgType::kAppend, msg.serialize());
@@ -272,7 +274,10 @@ OpPtr<ReadOutcome> GdpClient::read(const capsule::Metadata& metadata,
        last_seqno](const wire::Pdu& pdu) {
         op->resolve(parse_read_response(pdu, meta_copy, first_seqno, last_seqno));
       },
-      [op] { op->resolve(make_error(Errc::kUnavailable, "read timed out")); });
+      [op] {
+        op->timed_out = true;
+        op->resolve(make_error(Errc::kUnavailable, "read timed out"));
+      });
   send_pdu(metadata.name(), wire::MsgType::kRead, msg.serialize());
   return op;
 }
@@ -319,6 +324,7 @@ OpPtr<ReadOutcome> GdpClient::read_latest_strict(
       }
     };
     register_pending(msg.nonce, std::move(strict_handler), [op] {
+      op->timed_out = true;
       op->resolve(make_error(Errc::kUnavailable,
                              "strict read timed out (replica unreachable)"));
     });
@@ -355,6 +361,7 @@ OpPtr<bool> GdpClient::subscribe(const capsule::Metadata& metadata,
   register_pending(msg.nonce, std::move(subscribe_handler),
                    [this, op, capsule_name = metadata.name()] {
                      subscriptions_.erase(capsule_name);
+                     op->timed_out = true;
                      op->resolve(make_error(Errc::kUnavailable, "subscribe timed out"));
                    });
   send_pdu(metadata.name(), wire::MsgType::kSubscribe, msg.serialize());

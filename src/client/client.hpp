@@ -29,6 +29,10 @@ namespace gdp::client {
 template <typename T>
 struct Op {
   bool done = false;
+  /// Set when the op was resolved by its guard timeout firing (as opposed
+  /// to a response, an error, or never resolving at all).  Lets await()
+  /// report *which* condition ended the wait without widening Errc.
+  bool timed_out = false;
   std::optional<Result<T>> outcome;
 
   void resolve(Result<T> r) {
@@ -40,12 +44,30 @@ struct Op {
 template <typename T>
 using OpPtr = std::shared_ptr<Op<T>>;
 
-/// Runs the simulator until the op resolves (or the queue drains).
+/// How an await() ended.  The Errc of the outcome stays kUnavailable for
+/// both failure shapes (existing callers key on that); the condition is
+/// the refinement — the C API maps kOpTimeout to GDP_ERR_TIMEOUT.
+enum class AwaitCondition {
+  kResolved,     ///< op resolved with a response or error before any guard
+  kOpTimeout,    ///< the client's per-op guard timer resolved the op
+  kNetworkIdle,  ///< simulator queue drained with the op still pending
+};
+
+/// Runs the simulator until the op resolves (or the queue drains).  When
+/// `condition` is non-null it reports which terminal condition fired.
 template <typename T>
-Result<T> await(net::Simulator& sim, const OpPtr<T>& op) {
+Result<T> await(net::Simulator& sim, const OpPtr<T>& op,
+                AwaitCondition* condition = nullptr) {
   while (!op->done && !sim.idle()) sim.run_until(sim.now() + from_millis(10));
   if (!op->done) {
-    return make_error(Errc::kUnavailable, "operation never resolved (network idle)");
+    if (condition != nullptr) *condition = AwaitCondition::kNetworkIdle;
+    return make_error(Errc::kUnavailable,
+                      "operation never resolved: network went idle with the "
+                      "request still pending (no timeout fired)");
+  }
+  if (condition != nullptr) {
+    *condition = op->timed_out ? AwaitCondition::kOpTimeout
+                               : AwaitCondition::kResolved;
   }
   return std::move(*op->outcome);
 }

@@ -29,7 +29,14 @@ enum class Errc {
   kFailedPrecondition, // API misuse detectable at runtime (e.g. writer state)
   kExpired,            // certificate or advertisement past expiry
   kInternal,           // invariant violation inside the library
+                       // (add new codes above; kInternal stays last so
+                       //  kErrcCount and the C-API mapping stay exhaustive)
 };
+
+/// Number of Errc values.  The C API's Errc -> gdp_status table
+/// static_asserts against this so a new Errc cannot be added without
+/// extending the mapping.
+inline constexpr int kErrcCount = static_cast<int>(Errc::kInternal) + 1;
 
 std::string_view errc_name(Errc c);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/chacha20.hpp"
+#include "crypto/secp256k1_detail.hpp"
 #include "crypto/sha256.hpp"
 
 namespace gdp::crypto {

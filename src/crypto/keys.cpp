@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "crypto/hmac.hpp"
+#include "crypto/secp256k1_detail.hpp"
 
 namespace gdp::crypto {
 
@@ -45,7 +46,7 @@ bool PublicKey::verify_digest(const Digest& digest, const Signature& sig) const 
 }
 
 PrivateKey::PrivateKey(const U256& d)
-    : d_(d), pub_(point_mul(d, secp_g())) {
+    : d_(d), pub_(point_mul_g_ct(d, U256::zero())) {
   assert(sc_is_valid(d_));
 }
 
@@ -139,17 +140,57 @@ Signature PrivateKey::sign_digest(const Digest& digest) const {
       drbg.bump();
       continue;
     }
-    AffinePoint rp = point_mul(k, secp_g());
+    // A second DRBG draw supplies the blinding material: scalar blinding
+    // for the ladder plus z-randomization of the result.  Deterministic
+    // (same d, digest -> same blind), and drawn *after* k so the nonce
+    // stream — and with it every pinned RFC 6979 vector — is unchanged.
+    U256 blind = drbg.next();
+    AffinePoint rp = point_mul_g_ct(k, blind);
     if (!rp.infinity) {
       U256 r = sc_reduce(rp.x);
       if (!r.is_zero()) {
-        U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
+        // Blinded nonce inversion: invert b*k and multiply b back, so the
+        // variable-time xgcd never sees a value correlated with k.
+        U256 b = sc_reduce(blind);
+        if (b.is_zero()) b = U256::from_u64(1);
+        U256 kinv = sc_mul(sc_inv(sc_mul(b, k)), b);
+        U256 s = sc_mul(kinv, sc_add(z, sc_mul(r, d_)));
         if (!s.is_zero()) {
           // Even-R normalization: (r, s) and (r, n-s) verify identically
           // (ECDSA malleability), but only one of them corresponds to the
           // nonce point with even y.  Emitting that one lets batch
           // verification reconstruct R from r without a sign ambiguity,
           // so honest signatures never fall off the batched fast path.
+          // Branchless: the parity of R.y steers a cmov, not a branch.
+          U256 sn = sc_neg(s);
+          u256_cmov(s, sn, 0 - (rp.y.w[0] & 1));
+          return Signature{r, s};
+        }
+      }
+    }
+    drbg.bump();
+  }
+}
+
+Signature PrivateKey::sign_digest_vartime(const Digest& digest) const {
+  U256 z = sc_reduce(U256::from_bytes_be(BytesView(digest.data(), digest.size())));
+  Rfc6979 drbg(d_, digest);
+  for (;;) {
+    U256 k = drbg.next();
+    if (!sc_is_valid(k)) {
+      drbg.bump();
+      continue;
+    }
+    // Mirror the constant-time signer's DRBG draw sequence exactly (the
+    // blind draw advances the stream) so the two paths stay bit-identical
+    // even through the astronomically unlikely degenerate-r/s retries.
+    (void)drbg.next();
+    AffinePoint rp = point_mul(k, secp_g());
+    if (!rp.infinity) {
+      U256 r = sc_reduce(rp.x);
+      if (!r.is_zero()) {
+        U256 s = sc_mul(sc_inv(k), sc_add(z, sc_mul(r, d_)));
+        if (!s.is_zero()) {
           if (rp.y.is_odd()) s = sc_neg(s);
           return Signature{r, s};
         }

@@ -64,7 +64,17 @@ class PrivateKey {
   const PublicKey& public_key() const { return pub_; }
 
   Signature sign(BytesView message) const;
+
+  /// Signs a digest with the constant-time scalar-multiplication ladder
+  /// and a blinded nonce inversion: no secret-dependent branches, table
+  /// indices, or memory addresses on the path from nonce to signature.
   Signature sign_digest(const Digest& digest) const;
+
+  /// Reference signer on the variable-time fast paths (fixed-base comb,
+  /// plain xgcd nonce inverse).  Bit-identical output to sign_digest();
+  /// retained as the differential oracle for the constant-time path.
+  /// Do not use outside tests.
+  Signature sign_digest_vartime(const Digest& digest) const;
 
  private:
   explicit PrivateKey(const U256& d);

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "crypto/secp256k1_detail.hpp"
+
 namespace gdp::crypto {
 
 namespace {
@@ -26,10 +28,13 @@ constexpr U256 kGx{{0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9ULL,
 constexpr U256 kGy{{0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
                     0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL}};
 
+using u128 = unsigned __int128;
+
 // Generic "x mod (2^256 - delta)" for delta < 2^130: fold the high half
 // down (x = hi*delta + lo mod m) until the high half vanishes, then
 // conditionally subtract m.  `delta_limbs` bounds the non-zero limbs of
-// delta so the fold multiplication skips guaranteed-zero rows.
+// delta so the fold multiplication skips guaranteed-zero rows.  Retained
+// for the scalar field (mod n) and as the schoolbook F_p reference.
 U256 reduce512(const U512& x, const U256& m, const U256& delta, int delta_limbs) {
   U512 acc = x;
   while (!acc.hi().is_zero()) {
@@ -54,20 +59,11 @@ U256 mod_sub(const U256& a, const U256& b, const U256& m) {
   return out;
 }
 
-U256 mod_pow(const U256& base, const U256& exp,
-             U256 (*mul)(const U256&, const U256&)) {
-  U256 result = U256::from_u64(1);
-  int top = exp.highest_bit();
-  for (int i = top; i >= 0; --i) {
-    result = mul(result, result);
-    if (exp.bit(static_cast<unsigned>(i))) result = mul(result, base);
-  }
-  return result;
-}
-
 // Binary extended-GCD modular inverse (HAC 14.61 specialized to odd m and
 // gcd(a, m) = 1).  Runs in ~256 shift/subtract rounds, an order of
 // magnitude cheaper than the ~380-multiplication Fermat ladder.
+// Variable time: branch pattern follows the operand bits, so secret-path
+// callers must blind or randomize the input first.
 U256 mod_inv_binary(const U256& a, const U256& m) {
   assert(!a.is_zero() && a < m);
   const U256 one = U256::from_u64(1);
@@ -105,25 +101,335 @@ U256 mod_inv_binary(const U256& a, const U256& m) {
   return u == one ? x1 : x2;
 }
 
-// ---- Jacobian-coordinate point arithmetic ----------------------------------
+// ---- Montgomery-form F_p core ----------------------------------------------
+//
+// Fast-path field elements are kept as a*R mod p with R = 2^256.  REDC
+// specializes tightly for p = 2^256 - c (c = 2^32 + 977 fits one word):
+// with cinv = c^-1 mod 2^64, each round takes m = t[0]*cinv, whose
+// defining property m*c == t[0] (mod 2^64) makes the low-limb subtraction
+// exact, and then t <- (t - m*c + m*2^256) / 2^64 == (t + m*p) / 2^64.
+// Four rounds divide by R; one conditional-move subtraction of p lands
+// the canonical representative.  No 512-bit intermediate is ever
+// materialized and every loop has a fixed trip count, so the core is
+// constant time.
+
+constexpr std::uint64_t kCWord = 0x1000003D1ULL;
+
+// c^-1 mod 2^64 by Newton's iteration: x <- x*(2 - c*x) doubles the
+// number of correct low bits and any odd c starts with 3 correct bits.
+constexpr std::uint64_t mont_cinv() {
+  std::uint64_t x = kCWord;
+  for (int i = 0; i < 6; ++i) x *= 2 - kCWord * x;
+  return x;
+}
+constexpr std::uint64_t kCInv = mont_cinv();
+static_assert(kCInv * kCWord == 1, "c^-1 mod 2^64");
+
+// R mod p = c (one Montgomery-domain "1") and R^2 mod p = c^2, the
+// to_mont multiplier; both fit well under p.
+constexpr U256 kMontOne{{kCWord, 0, 0, 0}};
+constexpr U256 kR2{{0x000007A2000E90A1ULL, 1, 0, 0}};
+static_assert(2 * 977 == 0x7A2 && 977 * 977 == 0xE90A1, "R^2 = c^2 limbs");
+
+std::uint64_t fe_is_zero_mask(const U256& a) {
+  const std::uint64_t z = a.w[0] | a.w[1] | a.w[2] | a.w[3];
+  return (((z | (0 - z)) >> 63)) - 1;  // all-ones iff z == 0
+}
+
+}  // namespace
+
+void u256_cmov(U256& r, const U256& v, std::uint64_t mask) {
+  for (int i = 0; i < 4; ++i) r.w[i] ^= mask & (r.w[i] ^ v.w[i]);
+}
+
+namespace {
+
+// REDC of a 512-bit value T = r0..r7 (little-endian limbs), T < R*p:
+// returns T * R^-1 mod p, fully reduced.
+//
+// With M = m0 + m1*2^64 + m2*2^128 + m3*2^192 and each m_i chosen so
+// that limb i of T - M*c cancels, (T + M*p)/R = (T - M*c)/R + M.  Each
+// m_i*c is only two limbs (c < 2^34), so the cancellation pass is one
+// low multiply + one widening multiply + a short borrow per round, and
+// the whole M contribution folds in as a single 4-limb addition at the
+// end — no per-round carry sweep across the top half.  Fixed operation
+// sequence, final reduction by conditional move: constant time.
+inline U256 mont_redc(std::uint64_t r0, std::uint64_t r1, std::uint64_t r2,
+                      std::uint64_t r3, std::uint64_t r4, std::uint64_t r5,
+                      std::uint64_t r6, std::uint64_t r7) {
+  const std::uint64_t m0 = r0 * kCInv;
+  const std::uint64_t h0 =
+      static_cast<std::uint64_t>((static_cast<u128>(m0) * kCWord) >> 64);
+  // Limb 1 of T - m0*c: the low limb of m1*c will cancel it exactly, so
+  // only the borrow (not the value) propagates further.
+  const std::uint64_t t1 = r1 - h0;
+  std::uint64_t b = r1 < h0 ? 1 : 0;
+  const std::uint64_t m1 = t1 * kCInv;
+  const std::uint64_t h1 =
+      static_cast<std::uint64_t>((static_cast<u128>(m1) * kCWord) >> 64);
+  u128 d = static_cast<u128>(r2) - h1 - b;
+  const std::uint64_t m2 = static_cast<std::uint64_t>(d) * kCInv;
+  b = static_cast<std::uint64_t>(d >> 64) & 1;
+  const std::uint64_t h2 =
+      static_cast<std::uint64_t>((static_cast<u128>(m2) * kCWord) >> 64);
+  d = static_cast<u128>(r3) - h2 - b;
+  const std::uint64_t m3 = static_cast<std::uint64_t>(d) * kCInv;
+  b = static_cast<std::uint64_t>(d >> 64) & 1;
+  const std::uint64_t h3 =
+      static_cast<std::uint64_t>((static_cast<u128>(m3) * kCWord) >> 64);
+  // Ripple the last subtraction through the top half.
+  d = static_cast<u128>(r4) - h3 - b;
+  const std::uint64_t v4 = static_cast<std::uint64_t>(d);
+  b = static_cast<std::uint64_t>(d >> 64) & 1;
+  d = static_cast<u128>(r5) - b;
+  const std::uint64_t v5 = static_cast<std::uint64_t>(d);
+  b = static_cast<std::uint64_t>(d >> 64) & 1;
+  d = static_cast<u128>(r6) - b;
+  const std::uint64_t v6 = static_cast<std::uint64_t>(d);
+  b = static_cast<std::uint64_t>(d >> 64) & 1;
+  d = static_cast<u128>(r7) - b;
+  const std::uint64_t v7 = static_cast<std::uint64_t>(d);
+  const std::uint64_t b7 = static_cast<std::uint64_t>(d >> 64) & 1;
+  // out = (v - b7*2^256) + M, with 0 <= out < 2p: the carry of v + M
+  // exceeds b7 by exactly the (single) high bit of out.
+  u128 s = static_cast<u128>(v4) + m0;
+  const std::uint64_t o0 = static_cast<std::uint64_t>(s);
+  s = (s >> 64) + v5 + m1;
+  const std::uint64_t o1 = static_cast<std::uint64_t>(s);
+  s = (s >> 64) + v6 + m2;
+  const std::uint64_t o2 = static_cast<std::uint64_t>(s);
+  s = (s >> 64) + v7 + m3;
+  const std::uint64_t o3 = static_cast<std::uint64_t>(s);
+  const std::uint64_t top = static_cast<std::uint64_t>(s >> 64) - b7;
+  U256 r{{o0, o1, o2, o3}};
+  U256 sub;
+  const std::uint64_t no_borrow = 1 - sub_borrow(sub, r, kP);
+  u256_cmov(r, sub, 0 - (top | no_borrow));
+  return r;
+}
+
+}  // namespace
+
+U256 mont_mul(const U256& A, const U256& B) {
+  const std::uint64_t a0 = A.w[0], a1 = A.w[1], a2 = A.w[2], a3 = A.w[3];
+  const std::uint64_t b0 = B.w[0], b1 = B.w[1], b2 = B.w[2], b3 = B.w[3];
+  // 512-bit product by operand scanning, kept in registers.
+  u128 c = static_cast<u128>(a0) * b0;
+  const std::uint64_t r0 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * b0;
+  std::uint64_t r1 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a2) * b0;
+  std::uint64_t r2 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a3) * b0;
+  std::uint64_t r3 = static_cast<std::uint64_t>(c);
+  std::uint64_t r4 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(a0) * b1 + r1;
+  r1 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * b1 + r2;
+  r2 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a2) * b1 + r3;
+  r3 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a3) * b1 + r4;
+  r4 = static_cast<std::uint64_t>(c);
+  std::uint64_t r5 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(a0) * b2 + r2;
+  r2 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * b2 + r3;
+  r3 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a2) * b2 + r4;
+  r4 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a3) * b2 + r5;
+  r5 = static_cast<std::uint64_t>(c);
+  std::uint64_t r6 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(a0) * b3 + r3;
+  r3 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * b3 + r4;
+  r4 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a2) * b3 + r5;
+  r5 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a3) * b3 + r6;
+  r6 = static_cast<std::uint64_t>(c);
+  const std::uint64_t r7 = static_cast<std::uint64_t>(c >> 64);
+
+  return mont_redc(r0, r1, r2, r3, r4, r5, r6, r7);
+}
+
+U256 mont_sqr(const U256& A) {
+  const std::uint64_t a0 = A.w[0], a1 = A.w[1], a2 = A.w[2], a3 = A.w[3];
+  // Off-diagonal products, each needed twice.
+  u128 c = static_cast<u128>(a0) * a1;
+  std::uint64_t r1 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a0) * a2;
+  std::uint64_t r2 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a0) * a3;
+  std::uint64_t r3 = static_cast<std::uint64_t>(c);
+  std::uint64_t r4 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(a1) * a2 + r3;
+  r3 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * a3 + r4;
+  r4 = static_cast<std::uint64_t>(c);
+  std::uint64_t r5 = static_cast<std::uint64_t>(c >> 64);
+
+  c = static_cast<u128>(a2) * a3 + r5;
+  r5 = static_cast<std::uint64_t>(c);
+  std::uint64_t r6 = static_cast<std::uint64_t>(c >> 64);
+
+  // Double, then add the diagonal squares.
+  std::uint64_t r7 = r6 >> 63;
+  r6 = (r6 << 1) | (r5 >> 63);
+  r5 = (r5 << 1) | (r4 >> 63);
+  r4 = (r4 << 1) | (r3 >> 63);
+  r3 = (r3 << 1) | (r2 >> 63);
+  r2 = (r2 << 1) | (r1 >> 63);
+  r1 = r1 << 1;
+
+  c = static_cast<u128>(a0) * a0;
+  const std::uint64_t r0 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + r1;
+  r1 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a1) * a1 + r2;
+  r2 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + r3;
+  r3 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a2) * a2 + r4;
+  r4 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + r5;
+  r5 = static_cast<std::uint64_t>(c);
+  c = (c >> 64) + static_cast<u128>(a3) * a3 + r6;
+  r6 = static_cast<std::uint64_t>(c);
+  r7 += static_cast<std::uint64_t>(c >> 64);
+
+  return mont_redc(r0, r1, r2, r3, r4, r5, r6, r7);
+}
+
+U256 to_mont(const U256& a) { return mont_mul(a, kR2); }
+U256 from_mont(const U256& a) { return mont_mul(a, U256::from_u64(1)); }
+
+namespace {
+
+// Branchless mod-p add/sub.  The representation-agnostic group operations
+// of F_p, shared by canonical and Montgomery-domain values; used on the
+// secret signing path, so reduction is by conditional move, not branch.
+U256 fe_add(const U256& a, const U256& b) {
+  U256 s;
+  const std::uint64_t carry = add_carry(s, a, b);
+  U256 t;
+  const std::uint64_t no_borrow = 1 - sub_borrow(t, s, kP);
+  u256_cmov(s, t, 0 - (carry | no_borrow));
+  return s;
+}
+
+U256 fe_sub(const U256& a, const U256& b) {
+  U256 d;
+  const std::uint64_t borrow = sub_borrow(d, a, b);
+  U256 dp;
+  add_carry(dp, d, kP);
+  u256_cmov(d, dp, 0 - borrow);
+  return d;
+}
+
+U256 fe_neg(const U256& a) { return fe_sub(U256::zero(), a); }
+
+// Montgomery-domain inverse: xgcd on aR gives a^-1 R^-1; two extra REDC
+// multiplications by R^2 lift it back to a^-1 R.
+U256 fe_inv(const U256& a) {
+  return mont_mul(mont_mul(mod_inv_binary(a, kP), kR2), kR2);
+}
+
+// Square-and-multiply in the Montgomery domain (variable time; used only
+// on public data, e.g. the sqrt exponentiation).
+U256 fe_pow(const U256& base_m, const U256& exp) {
+  U256 result = kMontOne;
+  for (int i = exp.highest_bit(); i >= 0; --i) {
+    result = mont_sqr(result);
+    if (exp.bit(static_cast<unsigned>(i))) result = mont_mul(result, base_m);
+  }
+  return result;
+}
+
+// Montgomery's batch-inversion trick, shared between domains and moduli:
+// prefix products of the non-zero entries, one real inversion, then a
+// backward sweep peeling off one inverse per entry.  Zeros are skipped
+// (their prefix slot just repeats the running product) and stay zero.
+void mod_inv_batch(U256* vals, std::size_t count,
+                   U256 (*mul)(const U256&, const U256&),
+                   U256 (*inv)(const U256&)) {
+  if (count == 0) return;
+  std::vector<U256> prefix(count);
+  U256 acc = U256::from_u64(1);
+  bool any = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    prefix[i] = acc;
+    if (!vals[i].is_zero()) {
+      acc = mul(acc, vals[i]);
+      any = true;
+    }
+  }
+  if (!any) return;
+  U256 inv_acc = inv(acc);
+  for (std::size_t i = count; i-- > 0;) {
+    if (vals[i].is_zero()) continue;
+    U256 vi = vals[i];
+    vals[i] = mul(inv_acc, prefix[i]);
+    inv_acc = mul(inv_acc, vi);
+  }
+}
+
+// Batch inversion in the Montgomery domain.  The neutral "1" of the
+// prefix-product sweep must be the domain one, so wrap rather than reuse
+// mod_inv_batch (whose accumulator starts at canonical 1).
+void fe_inv_batch(U256* vals, std::size_t count) {
+  if (count == 0) return;
+  std::vector<U256> prefix(count);
+  U256 acc = kMontOne;
+  bool any = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    prefix[i] = acc;
+    if (!vals[i].is_zero()) {
+      acc = mont_mul(acc, vals[i]);
+      any = true;
+    }
+  }
+  if (!any) return;
+  U256 inv_acc = fe_inv(acc);
+  for (std::size_t i = count; i-- > 0;) {
+    if (vals[i].is_zero()) continue;
+    U256 vi = vals[i];
+    vals[i] = mont_mul(inv_acc, prefix[i]);
+    inv_acc = mont_mul(inv_acc, vi);
+  }
+}
+
+// ---- Jacobian-coordinate point arithmetic (Montgomery domain) --------------
 
 struct Jac {
-  U256 x, y, z;
+  U256 x, y, z;  // Montgomery-domain coordinates
   bool inf = true;
 
   static Jac from_affine(const AffinePoint& p) {
     if (p.infinity) return Jac{};
-    return Jac{p.x, p.y, U256::from_u64(1), false};
+    return Jac{to_mont(p.x), to_mont(p.y), kMontOne, false};
   }
+};
+
+// A finite affine point with Montgomery-domain coordinates: the
+// representation of every precomputed table entry (tables never contain
+// the point at infinity).
+struct MontAffine {
+  U256 x, y;
 };
 
 AffinePoint jac_to_affine(const Jac& p) {
   if (p.inf) return AffinePoint::at_infinity();
-  U256 zi = fp_inv(p.z);
-  U256 zi2 = fp_sqr(zi);
+  U256 zi = fe_inv(p.z);
+  U256 zi2 = mont_sqr(zi);
   AffinePoint out;
-  out.x = fp_mul(p.x, zi2);
-  out.y = fp_mul(p.y, fp_mul(zi2, zi));
+  out.x = from_mont(mont_mul(p.x, zi2));
+  out.y = from_mont(mont_mul(p.y, mont_mul(zi2, zi)));
   out.infinity = false;
   return out;
 }
@@ -131,20 +437,20 @@ AffinePoint jac_to_affine(const Jac& p) {
 Jac jac_double(const Jac& p) {
   if (p.inf || p.y.is_zero()) return Jac{};
   // dbl-2009-l formulas for a = 0.
-  U256 a = fp_sqr(p.x);
-  U256 b = fp_sqr(p.y);
-  U256 c = fp_sqr(b);
-  U256 d = fp_sub(fp_sub(fp_sqr(fp_add(p.x, b)), a), c);
-  d = fp_add(d, d);
-  U256 e = fp_add(fp_add(a, a), a);
-  U256 f = fp_sqr(e);
+  U256 a = mont_sqr(p.x);
+  U256 b = mont_sqr(p.y);
+  U256 c = mont_sqr(b);
+  U256 d = fe_sub(fe_sub(mont_sqr(fe_add(p.x, b)), a), c);
+  d = fe_add(d, d);
+  U256 e = fe_add(fe_add(a, a), a);
+  U256 f = mont_sqr(e);
   Jac out;
-  out.x = fp_sub(f, fp_add(d, d));
-  U256 c8 = fp_add(c, c);
-  c8 = fp_add(c8, c8);
-  c8 = fp_add(c8, c8);
-  out.y = fp_sub(fp_mul(e, fp_sub(d, out.x)), c8);
-  out.z = fp_mul(fp_add(p.y, p.y), p.z);
+  out.x = fe_sub(f, fe_add(d, d));
+  U256 c8 = fe_add(c, c);
+  c8 = fe_add(c8, c8);
+  c8 = fe_add(c8, c8);
+  out.y = fe_sub(mont_mul(e, fe_sub(d, out.x)), c8);
+  out.z = mont_mul(fe_add(p.y, p.y), p.z);
   out.inf = false;
   return out;
 }
@@ -152,51 +458,50 @@ Jac jac_double(const Jac& p) {
 Jac jac_add(const Jac& p, const Jac& q) {
   if (p.inf) return q;
   if (q.inf) return p;
-  U256 z1z1 = fp_sqr(p.z);
-  U256 z2z2 = fp_sqr(q.z);
-  U256 u1 = fp_mul(p.x, z2z2);
-  U256 u2 = fp_mul(q.x, z1z1);
-  U256 s1 = fp_mul(p.y, fp_mul(q.z, z2z2));
-  U256 s2 = fp_mul(q.y, fp_mul(p.z, z1z1));
-  U256 h = fp_sub(u2, u1);
-  U256 r = fp_sub(s2, s1);
+  U256 z1z1 = mont_sqr(p.z);
+  U256 z2z2 = mont_sqr(q.z);
+  U256 u1 = mont_mul(p.x, z2z2);
+  U256 u2 = mont_mul(q.x, z1z1);
+  U256 s1 = mont_mul(p.y, mont_mul(q.z, z2z2));
+  U256 s2 = mont_mul(q.y, mont_mul(p.z, z1z1));
+  U256 h = fe_sub(u2, u1);
+  U256 r = fe_sub(s2, s1);
   if (h.is_zero()) {
     if (r.is_zero()) return jac_double(p);
     return Jac{};  // P + (-P) = O
   }
-  U256 hh = fp_sqr(h);
-  U256 hhh = fp_mul(h, hh);
-  U256 v = fp_mul(u1, hh);
+  U256 hh = mont_sqr(h);
+  U256 hhh = mont_mul(h, hh);
+  U256 v = mont_mul(u1, hh);
   Jac out;
-  out.x = fp_sub(fp_sub(fp_sqr(r), hhh), fp_add(v, v));
-  out.y = fp_sub(fp_mul(r, fp_sub(v, out.x)), fp_mul(s1, hhh));
-  out.z = fp_mul(fp_mul(p.z, q.z), h);
+  out.x = fe_sub(fe_sub(mont_sqr(r), hhh), fe_add(v, v));
+  out.y = fe_sub(mont_mul(r, fe_sub(v, out.x)), mont_mul(s1, hhh));
+  out.z = mont_mul(mont_mul(p.z, q.z), h);
   out.inf = false;
   return out;
 }
 
 // Mixed addition p + q with q affine (z2 = 1): saves four multiplications
 // and a squaring versus the general formula.  This is the work-horse of
-// both table-driven fast paths.
-Jac jac_add_affine(const Jac& p, const AffinePoint& q) {
-  if (q.infinity) return p;
-  if (p.inf) return Jac::from_affine(q);
-  U256 z1z1 = fp_sqr(p.z);
-  U256 u2 = fp_mul(q.x, z1z1);
-  U256 s2 = fp_mul(q.y, fp_mul(p.z, z1z1));
-  U256 h = fp_sub(u2, p.x);
-  U256 r = fp_sub(s2, p.y);
+// the variable-time table-driven fast paths.
+Jac jac_add_affine(const Jac& p, const MontAffine& q) {
+  if (p.inf) return Jac{q.x, q.y, kMontOne, false};
+  U256 z1z1 = mont_sqr(p.z);
+  U256 u2 = mont_mul(q.x, z1z1);
+  U256 s2 = mont_mul(q.y, mont_mul(p.z, z1z1));
+  U256 h = fe_sub(u2, p.x);
+  U256 r = fe_sub(s2, p.y);
   if (h.is_zero()) {
     if (r.is_zero()) return jac_double(p);
     return Jac{};  // P + (-P) = O
   }
-  U256 hh = fp_sqr(h);
-  U256 hhh = fp_mul(h, hh);
-  U256 v = fp_mul(p.x, hh);
+  U256 hh = mont_sqr(h);
+  U256 hhh = mont_mul(h, hh);
+  U256 v = mont_mul(p.x, hh);
   Jac out;
-  out.x = fp_sub(fp_sub(fp_sqr(r), hhh), fp_add(v, v));
-  out.y = fp_sub(fp_mul(r, fp_sub(v, out.x)), fp_mul(p.y, hhh));
-  out.z = fp_mul(p.z, h);
+  out.x = fe_sub(fe_sub(mont_sqr(r), hhh), fe_add(v, v));
+  out.y = fe_sub(mont_mul(r, fe_sub(v, out.x)), mont_mul(p.y, hhh));
+  out.z = mont_mul(p.z, h);
   out.inf = false;
   return out;
 }
@@ -211,24 +516,20 @@ Jac jac_mul(const U256& k, const Jac& p) {
   return acc;
 }
 
-// Normalizes `count` Jacobian points to affine with a single field
-// inversion: collects the z coordinates (zero for points at infinity,
-// which fp_inv_batch skips) and inverts them all at once.
-void jac_batch_to_affine(const Jac* in, AffinePoint* out, std::size_t count) {
+// Normalizes `count` finite Jacobian points to z = 1 with a single field
+// inversion, staying in the Montgomery domain (table entries are consumed
+// by mixed additions, which want Montgomery coordinates).
+void jac_batch_normalize(const Jac* in, MontAffine* out, std::size_t count) {
   std::vector<U256> zi(count);
   for (std::size_t i = 0; i < count; ++i) {
-    zi[i] = in[i].inf ? U256::zero() : in[i].z;
+    assert(!in[i].inf);
+    zi[i] = in[i].z;
   }
-  fp_inv_batch(zi.data(), count);
+  fe_inv_batch(zi.data(), count);
   for (std::size_t i = 0; i < count; ++i) {
-    if (in[i].inf) {
-      out[i] = AffinePoint::at_infinity();
-      continue;
-    }
-    U256 zi2 = fp_sqr(zi[i]);
-    out[i].x = fp_mul(in[i].x, zi2);
-    out[i].y = fp_mul(in[i].y, fp_mul(zi2, zi[i]));
-    out[i].infinity = false;
+    U256 zi2 = mont_sqr(zi[i]);
+    out[i].x = mont_mul(in[i].x, zi2);
+    out[i].y = mont_mul(in[i].y, mont_mul(zi2, zi[i]));
   }
 }
 
@@ -237,15 +538,16 @@ void jac_batch_to_affine(const Jac* in, AffinePoint* out, std::size_t count) {
 // table[w][d-1] = d * 16^w * G for d = 1..15, w = 0..63: one window per
 // nibble of the scalar, so k*G is at most 64 mixed additions with no
 // doublings at all.  960 affine points (~60 kB), built once at startup
-// with a single batched inversion.
+// with a single batched inversion.  Variable time (skips zero nibbles,
+// indexes by nibble value): used by verification and ECDH only.
 
 struct FixedBaseTable {
-  std::array<std::array<AffinePoint, 15>, 64> win;
+  std::array<std::array<MontAffine, 15>, 64> win;
 
   FixedBaseTable() {
     std::vector<Jac> pts;
     pts.reserve(64 * 15);
-    Jac base = Jac{kGx, kGy, U256::from_u64(1), false};
+    Jac base = Jac{to_mont(kGx), to_mont(kGy), kMontOne, false};
     for (int w = 0; w < 64; ++w) {
       Jac cur = base;  // 1 * 16^w * G
       for (int d = 1; d <= 15; ++d) {
@@ -254,8 +556,8 @@ struct FixedBaseTable {
       }
       base = cur;  // 16^(w+1) * G
     }
-    std::vector<AffinePoint> flat(pts.size());
-    jac_batch_to_affine(pts.data(), flat.data(), pts.size());
+    std::vector<MontAffine> flat(pts.size());
+    jac_batch_normalize(pts.data(), flat.data(), pts.size());
     for (std::size_t i = 0; i < flat.size(); ++i) {
       win[i / 15][i % 15] = flat[i];
     }
@@ -282,6 +584,208 @@ Jac add_fixed_base(Jac acc, const U256& k) {
 AffinePoint point_mul_g(const U256& k) {
   return jac_to_affine(add_fixed_base(Jac{}, k));
 }
+
+// ---- Constant-time fixed-base ladder (the signing path) --------------------
+//
+// point_mul_g_ct never lets the nonce steer control flow or addresses:
+//   * the scalar is blinded to k' = k + m*n (m a 64-bit mask drawn by the
+//     caller) and forced odd by conditionally adding n once more — exact
+//     on the curve since n*G = O;
+//   * k' < 2^321 is recoded into 66 signed odd width-5 digits
+//     (Joye-Tunstall: d_j = (k mod 64) - 32, k <- (k >> 5) | 1), so every
+//     window performs exactly one table lookup and one addition — no
+//     zero-digit skips;
+//   * each lookup cmov-scans all 16 entries of its window's table;
+//   * additions use branchless unified-complete formulas (Brier-Joye with
+//     the libsecp256k1-style degenerate-case rescue), correct for
+//     doubling, negation and infinity without a data-dependent branch.
+
+constexpr int kCtWindows = 66;
+
+// all-ones when a == b; valid for a ^ b < 2^63 (table indices here).
+std::uint64_t ct_eq_mask(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<std::int64_t>(a ^ b) - 1) >> 63);
+}
+
+struct CtGenTable {
+  // win[j][i] = (2i+1) * 32^j * G, Montgomery-domain affine (~68 kB).
+  std::array<std::array<MontAffine, 16>, kCtWindows> win;
+
+  CtGenTable() {
+    std::vector<Jac> pts;
+    pts.reserve(kCtWindows * 16);
+    Jac base = Jac{to_mont(kGx), to_mont(kGy), kMontOne, false};
+    for (int j = 0; j < kCtWindows; ++j) {
+      Jac cur = base;  // 1 * 32^j * G
+      const Jac twice = jac_double(base);
+      for (int i = 0; i < 16; ++i) {
+        pts.push_back(cur);
+        cur = jac_add(cur, twice);
+      }
+      base = jac_add(pts.back(), base);  // (31 + 1) * 32^j * G
+    }
+    std::vector<MontAffine> flat(pts.size());
+    jac_batch_normalize(pts.data(), flat.data(), pts.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      win[i / 16][i % 16] = flat[i];
+    }
+  }
+};
+
+const CtGenTable& ct_gen_table() {
+  static const CtGenTable t;
+  return t;
+}
+
+MontAffine ct_lookup(const std::array<MontAffine, 16>& tbl, std::uint32_t idx,
+                     std::uint64_t neg_mask) {
+  CtProbe& probe = ct_probe();
+  ++probe.lookups;
+  MontAffine r{};
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const std::uint64_t take = ct_eq_mask(i, idx);
+    u256_cmov(r.x, tbl[i].x, take);
+    u256_cmov(r.y, tbl[i].y, take);
+    ++probe.entries_scanned;
+  }
+  const U256 yn = fe_neg(r.y);
+  u256_cmov(r.y, yn, neg_mask);
+  return r;
+}
+
+// Accumulator for the constant-time chain: infinity is a mask, not a
+// branch condition.
+struct CtJac {
+  U256 x, y, z;
+  std::uint64_t inf = 0;  // all-ones when the accumulator is the identity
+};
+
+// Branchless unified-complete mixed addition p += q (q finite).  The
+// Brier-Joye unified slope lambda = (U1^2 + U1*U2 + U2^2) / (Z*(S1+S2))
+// covers both the chord and the tangent; when S1 + S2 == 0 but the points
+// differ, the equivalent pair (2*S1, U1 - U2) rescues the slope; if the
+// denominator is still zero the sum is the identity.  ~10M + 4S.
+void ct_add_mixed(CtJac& p, const MontAffine& q) {
+  const U256 zz = mont_sqr(p.z);
+  const U256 u1 = p.x;
+  const U256 u2 = mont_mul(q.x, zz);
+  const U256 s1 = p.y;
+  const U256 s2 = mont_mul(q.y, mont_mul(zz, p.z));
+  const U256 t = fe_add(u1, u2);
+  U256 m = fe_add(s1, s2);
+  U256 rr = fe_sub(mont_sqr(t), mont_mul(u1, u2));
+  const std::uint64_t deg = fe_is_zero_mask(m);
+  u256_cmov(rr, fe_add(s1, s1), deg);
+  u256_cmov(m, fe_sub(u1, u2), deg);
+  const std::uint64_t infout = fe_is_zero_mask(m) & ~p.inf;
+  const U256 mm = mont_sqr(m);
+  const U256 u1mm = mont_mul(u1, mm);
+  U256 x3 = fe_sub(mont_sqr(rr), mont_mul(t, mm));
+  U256 y3 = fe_sub(mont_mul(rr, fe_sub(u1mm, x3)),
+                   mont_mul(s1, mont_mul(m, mm)));
+  U256 z3 = mont_mul(m, p.z);
+  // P at infinity: the sum is just Q.
+  u256_cmov(x3, q.x, p.inf);
+  u256_cmov(y3, q.y, p.inf);
+  u256_cmov(z3, kMontOne, p.inf);
+  p.x = x3;
+  p.y = y3;
+  p.z = z3;
+  p.inf = infout;
+}
+
+// kb (6 little-endian limbs) = k + blind*n, forced odd by conditionally
+// adding n once more.  blind < 2^64, so kb < 2^321.
+void ct_blind_scalar(const U256& k, std::uint64_t blind, std::uint64_t kb[6]) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += static_cast<u128>(kN.w[i]) * blind;
+    kb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  kb[4] = static_cast<std::uint64_t>(carry);
+  kb[5] = 0;
+  carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += static_cast<u128>(kb[i]) + k.w[i];
+    kb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  for (int i = 4; i < 6; ++i) {
+    carry += kb[i];
+    kb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  // n is odd, so adding it under an all-ones mask flips parity.
+  const std::uint64_t even = 0 - ((kb[0] & 1) ^ 1);
+  carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += static_cast<u128>(kb[i]) + (kN.w[i] & even);
+    kb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  for (int i = 4; i < 6; ++i) {
+    carry += kb[i];
+    kb[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+}
+
+// Signed odd fixed-window recoding of an odd kb < 2^321: 66 digits, each
+// odd in [-31, 31] (the last always 1), kb = sum digits[j] * 32^j.
+// (kb - d) / 32 with d = (kb mod 64) - 32 equals (kb >> 5) | 1, so each
+// step is a shift and an OR — no data-dependent carries.
+void ct_recode(std::uint64_t kb[6], std::int32_t digits[kCtWindows]) {
+  for (int j = 0; j < kCtWindows - 1; ++j) {
+    digits[j] = static_cast<std::int32_t>(kb[0] & 63) - 32;
+    for (int i = 0; i < 5; ++i) kb[i] = (kb[i] >> 5) | (kb[i + 1] << 59);
+    kb[5] >>= 5;
+    kb[0] |= 1;
+  }
+  digits[kCtWindows - 1] = static_cast<std::int32_t>(kb[0]);
+}
+
+}  // namespace
+
+CtProbe& ct_probe() {
+  static CtProbe probe;
+  return probe;
+}
+
+AffinePoint point_mul_g_ct(const U256& k, const U256& blind) {
+  assert(sc_is_valid(k));
+  const CtGenTable& tbl = ct_gen_table();
+  std::uint64_t kb[6];
+  ct_blind_scalar(k, blind.w[0], kb);
+  std::int32_t digits[kCtWindows];
+  ct_recode(kb, digits);
+  CtJac acc{U256::zero(), U256::zero(), kMontOne, ~0ULL};
+  for (int j = 0; j < kCtWindows; ++j) {
+    const std::int32_t d = digits[j];
+    const std::int32_t sign = d >> 31;
+    const std::uint32_t mag = static_cast<std::uint32_t>((d ^ sign) - sign);
+    const std::uint32_t idx = (mag - 1) >> 1;
+    const std::uint64_t neg =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(sign));
+    ct_add_mixed(acc, ct_lookup(tbl.win[j], idx, neg));
+  }
+  // 1 <= k < n, so k*G is never the identity; the branch below is
+  // defensive only and its predicate is public either way.
+  if (acc.inf != 0) return AffinePoint::at_infinity();
+  // Rescale by a blind-derived lambda before handing z to the
+  // variable-time xgcd inverse, decorrelating its branch pattern from the
+  // chain's internal state.  (lambda^2*X, lambda^3*Y, lambda*Z) is the
+  // same point.
+  U256 lam = to_mont(blind);
+  u256_cmov(lam, kMontOne, fe_is_zero_mask(lam));
+  const U256 l2 = mont_sqr(lam);
+  const Jac out{mont_mul(acc.x, l2), mont_mul(acc.y, mont_mul(l2, lam)),
+                mont_mul(acc.z, lam), false};
+  return jac_to_affine(out);
+}
+
+namespace {
 
 // ---- wNAF -------------------------------------------------------------------
 
@@ -315,20 +819,21 @@ int wnaf_digits(const U256& k_in, int width, std::int8_t* digits) {
   return len;
 }
 
-// Odd multiples 1*P, 3*P, ..., (2*count-1)*P, batch-normalized to affine.
-void odd_multiples(const AffinePoint& p, AffinePoint* out, std::size_t count) {
+// Odd multiples 1*P, 3*P, ..., (2*count-1)*P, batch-normalized, in the
+// Montgomery domain.
+void odd_multiples(const AffinePoint& p, MontAffine* out, std::size_t count) {
   std::vector<Jac> pts(count);
   pts[0] = Jac::from_affine(p);
   Jac twice = jac_double(pts[0]);
   for (std::size_t i = 1; i < count; ++i) pts[i] = jac_add(pts[i - 1], twice);
-  jac_batch_to_affine(pts.data(), out, count);
+  jac_batch_normalize(pts.data(), out, count);
 }
 
 constexpr int kWindowQ = 5;  // per-call table: 8 points
 
-Jac add_digit(Jac acc, std::int32_t digit, const AffinePoint* table, bool negate) {
-  AffinePoint t = table[(std::abs(digit) - 1) / 2];
-  if ((digit < 0) != negate) t.y = fp_neg(t.y);
+Jac add_digit(Jac acc, std::int32_t digit, const MontAffine* table, bool negate) {
+  MontAffine t = table[(std::abs(digit) - 1) / 2];
+  if ((digit < 0) != negate) t.y = fe_neg(t.y);
   return jac_add_affine(acc, t);
 }
 
@@ -362,6 +867,12 @@ constexpr U256 kG2{{0x1571B4AE8AC47F71ULL, 0x221208AC9DF506C6ULL,
 constexpr U256 kNHalf{{0xDFE92F46681B20A0ULL, 0x5D576E7357A4501DULL,
                        0xFFFFFFFFFFFFFFFFULL, 0x7FFFFFFFFFFFFFFFULL}};
 
+// beta in the Montgomery domain, for phi images of Montgomery tables.
+const U256& beta_mont() {
+  static const U256 b = to_mont(kBeta);
+  return b;
+}
+
 struct GlvSplit {
   U256 k1, k2;      // magnitudes, <= ~2^128
   bool neg1, neg2;  // contribution signs
@@ -394,11 +905,11 @@ GlvSplit glv_split(const U256& k) {
 // multiples of Q and phi(Q).
 Jac glv_chain(const U256& k, const AffinePoint& q) {
   GlvSplit s = glv_split(k);
-  std::array<AffinePoint, 8> q_tbl;
+  std::array<MontAffine, 8> q_tbl;
   odd_multiples(q, q_tbl.data(), q_tbl.size());
-  std::array<AffinePoint, 8> phi_tbl;
+  std::array<MontAffine, 8> phi_tbl;
   for (std::size_t i = 0; i < q_tbl.size(); ++i) {
-    phi_tbl[i] = AffinePoint{fp_mul(kBeta, q_tbl[i].x), q_tbl[i].y, false};
+    phi_tbl[i] = MontAffine{mont_mul(beta_mont(), q_tbl[i].x), q_tbl[i].y};
   }
   std::int8_t d1[131];
   std::int8_t d2[131];
@@ -420,12 +931,12 @@ Jac glv_chain(const U256& k, const AffinePoint& q) {
 constexpr int kWindowG = 8;
 
 struct GWnafTable {
-  std::array<AffinePoint, 64> g, phig;
+  std::array<MontAffine, 64> g, phig;
 
   GWnafTable() {
     odd_multiples(secp_g(), g.data(), g.size());
     for (std::size_t i = 0; i < g.size(); ++i) {
-      phig[i] = AffinePoint{fp_mul(kBeta, g[i].x), g[i].y, false};
+      phig[i] = MontAffine{mont_mul(beta_mont(), g[i].x), g[i].y};
     }
   }
 };
@@ -441,11 +952,11 @@ const GWnafTable& g_wnaf_table() {
 Jac glv_chain2(const U256& u1, const U256& u2, const AffinePoint& q) {
   GlvSplit sg = glv_split(u1);
   GlvSplit sq = glv_split(u2);
-  std::array<AffinePoint, 8> q_tbl;
+  std::array<MontAffine, 8> q_tbl;
   odd_multiples(q, q_tbl.data(), q_tbl.size());
-  std::array<AffinePoint, 8> phi_tbl;
+  std::array<MontAffine, 8> phi_tbl;
   for (std::size_t i = 0; i < q_tbl.size(); ++i) {
-    phi_tbl[i] = AffinePoint{fp_mul(kBeta, q_tbl[i].x), q_tbl[i].y, false};
+    phi_tbl[i] = MontAffine{mont_mul(beta_mont(), q_tbl[i].x), q_tbl[i].y};
   }
   const GWnafTable& gt = g_wnaf_table();
   std::int8_t dg1[131], dg2[131], dq1[131], dq2[131];
@@ -475,9 +986,18 @@ const U256& secp_n() { return kN; }
 
 U256 fp_add(const U256& a, const U256& b) { return mod_add(a, b, kP); }
 U256 fp_sub(const U256& a, const U256& b) { return mod_sub(a, b, kP); }
-U256 fp_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b), kP, kC, 1); }
-U256 fp_sqr(const U256& a) { return reduce512(sqr_full(a), kP, kC, 1); }
+// Canonical-domain multiplication via one to_mont and one REDC multiply:
+// mont_mul(aR, b) = a*b.  Exact for any b < 2^256.
+U256 fp_mul(const U256& a, const U256& b) { return mont_mul(to_mont(a), b); }
+U256 fp_sqr(const U256& a) { return mont_mul(to_mont(a), a); }
 U256 fp_neg(const U256& a) { return a.is_zero() ? a : mod_sub(U256::zero(), a, kP); }
+
+U256 fp_mul_schoolbook(const U256& a, const U256& b) {
+  return reduce512(mul_full(a, b), kP, kC, 1);
+}
+U256 fp_sqr_schoolbook(const U256& a) {
+  return reduce512(sqr_full(a), kP, kC, 1);
+}
 
 U256 fp_inv(const U256& a) {
   assert(!a.is_zero());
@@ -488,40 +1008,8 @@ U256 fp_inv_fermat(const U256& a) {
   assert(!a.is_zero());
   U256 exp;  // p - 2
   sub_borrow(exp, kP, U256::from_u64(2));
-  return mod_pow(a, exp, &fp_mul);
+  return from_mont(fe_pow(to_mont(a), exp));
 }
-
-namespace {
-
-// Montgomery's batch-inversion trick, shared between F_p and mod-n:
-// prefix products of the non-zero entries, one real inversion, then a
-// backward sweep peeling off one inverse per entry.  Zeros are skipped
-// (their prefix slot just repeats the running product) and stay zero.
-void mod_inv_batch(U256* vals, std::size_t count,
-                   U256 (*mul)(const U256&, const U256&),
-                   U256 (*inv)(const U256&)) {
-  if (count == 0) return;
-  std::vector<U256> prefix(count);
-  U256 acc = U256::from_u64(1);
-  bool any = false;
-  for (std::size_t i = 0; i < count; ++i) {
-    prefix[i] = acc;
-    if (!vals[i].is_zero()) {
-      acc = mul(acc, vals[i]);
-      any = true;
-    }
-  }
-  if (!any) return;
-  U256 inv_acc = inv(acc);
-  for (std::size_t i = count; i-- > 0;) {
-    if (vals[i].is_zero()) continue;
-    U256 vi = vals[i];
-    vals[i] = mul(inv_acc, prefix[i]);
-    inv_acc = mul(inv_acc, vi);
-  }
-}
-
-}  // namespace
 
 void fp_inv_batch(U256* vals, std::size_t count) {
   mod_inv_batch(vals, count, &fp_mul, &fp_inv);
@@ -530,15 +1018,17 @@ void fp_inv_batch(U256* vals, std::size_t count) {
 std::optional<U256> fp_sqrt(const U256& a) {
   if (a.is_zero()) return U256::zero();
   // p = 3 mod 4, so a^((p+1)/4) squares back to a exactly when a is a
-  // quadratic residue; the final check rejects non-residues.
+  // quadratic residue; the final check rejects non-residues.  The ladder
+  // runs in the Montgomery domain (one conversion each way).
   static const U256 kSqrtExp = [] {
     U256 e;
     add_carry(e, kP, U256::from_u64(1));
     return shr1(shr1(e));
   }();
-  U256 r = mod_pow(a, kSqrtExp, &fp_mul);
-  if (fp_sqr(r) != a) return std::nullopt;
-  return r;
+  const U256 am = to_mont(a);
+  U256 rm = fe_pow(am, kSqrtExp);
+  if (mont_sqr(rm) != am) return std::nullopt;
+  return from_mont(rm);
 }
 
 U256 sc_add(const U256& a, const U256& b) { return mod_add(a, b, kN); }
@@ -556,7 +1046,12 @@ U256 sc_inv_fermat(const U256& a) {
   assert(!a.is_zero());
   U256 exp;  // n - 2
   sub_borrow(exp, kN, U256::from_u64(2));
-  return mod_pow(a, exp, &sc_mul);
+  U256 result = U256::from_u64(1);
+  for (int i = exp.highest_bit(); i >= 0; --i) {
+    result = sc_mul(result, result);
+    if (exp.bit(static_cast<unsigned>(i))) result = sc_mul(result, a);
+  }
+  return result;
 }
 
 void sc_inv_batch(U256* vals, std::size_t count) {
@@ -610,12 +1105,13 @@ bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
   if (acc.inf) return false;
   // R.x mod n == r without normalizing: the affine x is X/Z^2, so check
   // X == x'*Z^2 for each field element x' congruent to r mod n.  Since
-  // r < n and p - n < 2^129, the only candidates are r and r + n.
-  const U256 z2 = fp_sqr(acc.z);
-  if (fp_mul(r, z2) == acc.x) return true;
+  // r < n and p - n < 2^129, the only candidates are r and r + n.  (In
+  // the Montgomery domain: to_mont(x')*Z^2mont*R^-1 == Xmont.)
+  const U256 z2 = mont_sqr(acc.z);
+  if (mont_mul(to_mont(r), z2) == acc.x) return true;
   U256 rn;
   if (add_carry(rn, r, kN) == 0 && rn < kP) {
-    if (fp_mul(rn, z2) == acc.x) return true;
+    if (mont_mul(to_mont(rn), z2) == acc.x) return true;
   }
   return false;
 }
@@ -670,9 +1166,9 @@ AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count) {
 
   const std::size_t nv = var_k.size();
   std::vector<MsmStream> streams(nv);
-  // Odd multiples 1,3,..,15 of every variable base, all normalized to
-  // affine at once: nv tables cost one shared field inversion instead of
-  // one per base (the win that makes per-call tables affordable here).
+  // Odd multiples 1,3,..,15 of every variable base, all normalized at
+  // once: nv tables cost one shared field inversion instead of one per
+  // base (the win that makes per-call tables affordable here).
   std::vector<Jac> tbl_jac(nv * 8);
   for (std::size_t i = 0; i < nv; ++i) {
     MsmStream& s = streams[i];
@@ -684,15 +1180,15 @@ AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count) {
     Jac twice = jac_double(t[0]);
     for (std::size_t j = 1; j < 8; ++j) t[j] = jac_add(t[j - 1], twice);
   }
-  std::vector<AffinePoint> tbl(nv * 8);
-  jac_batch_to_affine(tbl_jac.data(), tbl.data(), nv * 8);
+  std::vector<MontAffine> tbl(nv * 8);
+  jac_batch_normalize(tbl_jac.data(), tbl.data(), nv * 8);
   // phi images only for streams that actually emit lambda-half digits.
-  std::vector<AffinePoint> phi_tbl(nv * 8);
+  std::vector<MontAffine> phi_tbl(nv * 8);
   for (std::size_t i = 0; i < nv; ++i) {
     if (streams[i].l2 == 0) continue;
     for (std::size_t j = 0; j < 8; ++j) {
-      const AffinePoint& q = tbl[i * 8 + j];
-      phi_tbl[i * 8 + j] = AffinePoint{fp_mul(kBeta, q.x), q.y, false};
+      const MontAffine& q = tbl[i * 8 + j];
+      phi_tbl[i * 8 + j] = MontAffine{mont_mul(beta_mont(), q.x), q.y};
     }
   }
 

@@ -1,30 +1,24 @@
-// secp256k1 elliptic-curve arithmetic.
+// secp256k1 elliptic-curve arithmetic — public surface.
 //
 // The paper (§V) specifies ECDSA signatures; we implement them from scratch
-// over secp256k1 (y^2 = x^3 + 7 over F_p).  Field reduction exploits
-// p = 2^256 - C with C = 2^32 + 977; scalar reduction exploits
-// n = 2^256 - D with D 129 bits wide.  Point math uses Jacobian
-// coordinates.
+// over secp256k1 (y^2 = x^3 + 7 over F_p).  This header is the *stable*
+// surface: curve parameters, the affine point type, the generic group
+// operations, and encoding.  Everything callers actually consume — keygen,
+// sign, verify, batch verify — lives one layer up in crypto/keys.hpp and
+// crypto/batch_verify.hpp.
 //
-// Scalar multiplication runs on a fast path sized for the router's
-// per-flow crypto budget (Figure 6):
-//   * point_mul(k, G) uses a fixed-base radix-16 windowed table
-//     (64 windows x 15 odd/even multiples, built once at startup and
-//     normalized to affine with Montgomery's batch-inversion trick), so a
-//     signing-side multiply is ~64 mixed additions and no doublings;
-//   * point_mul2(u1, u2, Q) — the ECDSA verification combination — uses
-//     Shamir's trick with interleaved width-6/width-5 wNAF over a static
-//     odd-multiples table for G and a per-call batch-normalized
-//     odd-multiples table for Q, sharing one doubling chain;
-//   * fp_inv / sc_inv use the binary extended-GCD inverse instead of
-//     Fermat exponentiation.
-// The original straightforward implementations are retained as
-// `*_slow` / `*_fermat` reference paths; tests cross-check the two and
-// bench/ablation_crypto measures the gap.
+// The field/scalar limb helpers, Montgomery-domain primitives, MSM
+// internals and the retained slow reference paths are deliberately *not*
+// here: they are in crypto/secp256k1_detail.hpp, which only src/crypto and
+// its tests/benches include.  That split keeps variable-time primitives
+// out of reach of the rest of the codebase.
 //
-// NOTE: this implementation targets correctness and reproducibility of a
-// research system, not side-channel resistance (operations are not
-// constant-time; table indices are data-dependent).
+// Timing model: fast-path field arithmetic runs in Montgomery form
+// (4-limb REDC); the signing-side k*G is constant time (fixed signed-odd
+// windows, full-table cmov lookups, blinded scalar).  Verification and
+// ECDH keep variable-time fast paths (fixed-base comb, GLV + wNAF) — they
+// handle public data.  See DESIGN.md "Montgomery domain & constant-time
+// signing".
 #pragma once
 
 #include <cstddef>
@@ -38,38 +32,11 @@ namespace gdp::crypto {
 const U256& secp_p();
 const U256& secp_n();
 
-// ---- Arithmetic in F_p ----------------------------------------------------
-U256 fp_add(const U256& a, const U256& b);
-U256 fp_sub(const U256& a, const U256& b);
-U256 fp_mul(const U256& a, const U256& b);
-U256 fp_sqr(const U256& a);
-U256 fp_inv(const U256& a);         // a != 0; binary extended-GCD
-U256 fp_inv_fermat(const U256& a);  // reference slow path (a^(p-2))
-U256 fp_neg(const U256& a);
-/// Inverts `count` field elements in place with a single field inversion
-/// (Montgomery's trick).  Zero elements are skipped and map to zero, so
-/// callers may feed z-coordinates of points at infinity directly.
-void fp_inv_batch(U256* vals, std::size_t count);
-/// Square root mod p, if one exists (p = 3 mod 4, so a^((p+1)/4) is a
-/// root of every quadratic residue).  Used to lift ECDSA R points from
-/// their x-coordinate for batch verification.
-std::optional<U256> fp_sqrt(const U256& a);
-
-// ---- Arithmetic mod the group order n --------------------------------------
-U256 sc_add(const U256& a, const U256& b);
-U256 sc_mul(const U256& a, const U256& b);
-U256 sc_inv(const U256& a);         // a != 0; binary extended-GCD
-U256 sc_inv_fermat(const U256& a);  // reference slow path (a^(n-2))
-U256 sc_neg(const U256& a);
-/// Reduces an arbitrary 256-bit value (e.g. a hash) mod n.
-U256 sc_reduce(const U256& a);
-bool sc_is_valid(const U256& a);  // 1 <= a < n
-/// Inverts `count` scalars mod n in place with a single inversion
-/// (Montgomery's trick); zero elements are skipped and map to zero.
-/// Batch verification uses this for the shared s_i^-1 computations.
-void sc_inv_batch(U256* vals, std::size_t count);
-
 // ---- Points ----------------------------------------------------------------
+
+/// A curve point in affine coordinates, canonical (non-Montgomery) form:
+/// x, y are plain residues < p.  This is the interchange representation;
+/// the implementation converts to the Montgomery domain internally.
 struct AffinePoint {
   U256 x;
   U256 y;
@@ -86,40 +53,12 @@ const AffinePoint& secp_g();
 AffinePoint point_add(const AffinePoint& a, const AffinePoint& b);
 AffinePoint point_double(const AffinePoint& a);
 AffinePoint point_neg(const AffinePoint& a);
-/// k * P (k taken mod n implicitly by the caller).  Fixed-base table when
-/// P == G, width-5 wNAF otherwise.
+
+/// k * P (k taken mod n implicitly by the caller).  Variable time:
+/// fixed-base comb when P == G, GLV + width-5 wNAF otherwise.  Do not
+/// call with secret scalars — the signing path uses the constant-time
+/// ladder in secp256k1_detail.hpp instead.
 AffinePoint point_mul(const U256& k, const AffinePoint& p);
-/// u1*G + u2*Q, the ECDSA verification combination (Shamir's trick).
-AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q);
-
-// True iff (u1*G + u2*Q).x mod n == r, checked in Jacobian coordinates
-// (r*Z^2 == X) so ECDSA verification skips the final field inversion.
-bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
-                        const U256& r);
-
-/// One term of a multi-scalar multiplication: k * p.
-struct MulTerm {
-  U256 k;
-  AffinePoint p;
-};
-
-/// sum(k_i * p_i) over one shared ~129-doubling chain: every scalar is
-/// GLV-split, every base gets an interleaved width-5 wNAF digit stream
-/// over per-term odd-multiples tables that are normalized together with a
-/// single batched field inversion.  Terms with p == G are folded into one
-/// aggregated fixed-base scalar first (the group order is prime, so every
-/// finite point has order n and scalar aggregation mod n is exact).
-/// Scalars are reduced mod n; zero scalars and points at infinity are
-/// skipped.  This is the engine behind crypto::BatchVerifier.
-AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count);
-/// Reference sum of independent slow multiplications.
-AffinePoint point_mul_multi_slow(const MulTerm* terms, std::size_t count);
-
-/// Reference scalar multiplication via naive double-and-add; kept as the
-/// cross-check oracle for the table/wNAF fast paths.
-AffinePoint point_mul_slow(const U256& k, const AffinePoint& p);
-/// Reference u1*G + u2*Q via two independent slow multiplications.
-AffinePoint point_mul2_slow(const U256& u1, const U256& u2, const AffinePoint& q);
 
 /// 64-byte x||y big-endian encoding (infinity not encodable).
 Bytes point_encode(const AffinePoint& p);

@@ -1,0 +1,151 @@
+// secp256k1 internals: field/scalar limb arithmetic, Montgomery-domain
+// primitives, MSM machinery and the retained slow reference paths.
+//
+// This header is the *internal* surface of the curve implementation.  It
+// exists so that src/crypto (and the crypto tests/benches, which
+// cross-check fast against slow paths) can reach the primitives, while
+// everything outside src/crypto sees only crypto/secp256k1.hpp — and can
+// no longer call a variable-time field primitive by accident.
+//
+// Functions here come in three timing classes:
+//   * variable-time (fp_*/sc_* helpers, wNAF/GLV multipliers, the binary
+//     xgcd inverses): fine for verification, which handles public data;
+//   * constant-time (mont_mul/mont_sqr cores, point_mul_g_ct): control
+//     flow and memory addresses independent of operand values — the
+//     signing path is built exclusively from these;
+//   * reference slow paths (*_schoolbook, *_fermat, *_slow): retained as
+//     differential oracles, never called in production paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/secp256k1.hpp"
+#include "crypto/u256.hpp"
+
+namespace gdp::crypto {
+
+// ---- Arithmetic in F_p (canonical domain, variable-time) -------------------
+U256 fp_add(const U256& a, const U256& b);
+U256 fp_sub(const U256& a, const U256& b);
+U256 fp_mul(const U256& a, const U256& b);
+U256 fp_sqr(const U256& a);
+U256 fp_inv(const U256& a);         // a != 0; binary extended-GCD
+U256 fp_inv_fermat(const U256& a);  // reference slow path (a^(p-2))
+U256 fp_neg(const U256& a);
+/// Inverts `count` field elements in place with a single field inversion
+/// (Montgomery's trick).  Zero elements are skipped and map to zero, so
+/// callers may feed z-coordinates of points at infinity directly.
+void fp_inv_batch(U256* vals, std::size_t count);
+/// Square root mod p, if one exists (p = 3 mod 4, so a^((p+1)/4) is a
+/// root of every quadratic residue).  Used to lift ECDSA R points from
+/// their x-coordinate for batch verification.
+std::optional<U256> fp_sqrt(const U256& a);
+
+/// Reference schoolbook reduction paths (mul_full + fold of the
+/// p = 2^256 - C structure).  These are the pre-Montgomery field
+/// multiplication, retained purely as the differential oracle for the
+/// REDC core; production paths never call them.
+U256 fp_mul_schoolbook(const U256& a, const U256& b);
+U256 fp_sqr_schoolbook(const U256& a);
+
+// ---- Montgomery-domain primitives ------------------------------------------
+//
+// Fast-path field elements live in the Montgomery domain: the value a is
+// represented by a*R mod p with R = 2^256.  Conversion happens once at
+// API boundaries (point load / store); every interior multiplication is
+// one fused 4-limb REDC with no 512-bit intermediate materialized.
+// mont_mul/mont_sqr run in constant time (fixed loop trip counts, final
+// reduction by conditional move).
+
+/// a -> a*R mod p.  Accepts any 256-bit input (not just a < p).
+U256 to_mont(const U256& a);
+/// a*R -> a mod p.
+U256 from_mont(const U256& a);
+/// REDC(a*b): with both inputs in the Montgomery domain this is the
+/// domain multiplication (aR, bR) -> abR.
+U256 mont_mul(const U256& a, const U256& b);
+/// REDC(a^2), the squaring special case (saves ~6 word products).
+U256 mont_sqr(const U256& a);
+
+// ---- Arithmetic mod the group order n (variable-time) ----------------------
+U256 sc_add(const U256& a, const U256& b);
+U256 sc_mul(const U256& a, const U256& b);
+U256 sc_inv(const U256& a);         // a != 0; binary extended-GCD
+U256 sc_inv_fermat(const U256& a);  // reference slow path (a^(n-2))
+U256 sc_neg(const U256& a);
+/// Reduces an arbitrary 256-bit value (e.g. a hash) mod n.
+U256 sc_reduce(const U256& a);
+bool sc_is_valid(const U256& a);  // 1 <= a < n
+/// Inverts `count` scalars mod n in place with a single inversion
+/// (Montgomery's trick); zero elements are skipped and map to zero.
+/// Batch verification uses this for the shared s_i^-1 computations.
+void sc_inv_batch(U256* vals, std::size_t count);
+
+// ---- Constant-time helpers -------------------------------------------------
+
+/// r <- v when mask is all-ones, r unchanged when mask is zero.  mask must
+/// be 0 or ~0; branch- and index-free.
+void u256_cmov(U256& r, const U256& v, std::uint64_t mask);
+
+/// Instrumentation for the structural constant-time tests: every
+/// secret-path table lookup bumps `lookups` once and `entries_scanned`
+/// once per table entry it touched.  A full-table cmov scan therefore
+/// keeps entries_scanned == 16 * lookups — the property the structural
+/// test asserts.  (The simulator is single-threaded; this is a plain
+/// global.)
+struct CtProbe {
+  std::uint64_t lookups = 0;
+  std::uint64_t entries_scanned = 0;
+
+  void reset() { lookups = entries_scanned = 0; }
+};
+CtProbe& ct_probe();
+
+/// Constant-time fixed-base multiplication k*G for the signing path:
+/// Joye-Tunstall signed-odd windows (width 5) over the scalar blinded as
+/// k + blind.w[0]*n (Coron's countermeasure; exact on the curve since
+/// n*G = O), full-table cmov lookups, and branchless unified-complete
+/// Jacobian additions.  `blind` additionally randomizes the projective
+/// z before the final (variable-time) inversion.  blind = 0 degrades the
+/// masking but never the result: the output equals point_mul(k, G) for
+/// every blind.  Requires 1 <= k < n.
+AffinePoint point_mul_g_ct(const U256& k, const U256& blind);
+
+// ---- Verification / MSM internals (variable-time) --------------------------
+
+/// u1*G + u2*Q, the ECDSA verification combination (Shamir's trick over
+/// GLV-split interleaved wNAF streams).
+AffinePoint point_mul2(const U256& u1, const U256& u2, const AffinePoint& q);
+
+/// True iff (u1*G + u2*Q).x mod n == r, checked in Jacobian coordinates
+/// (r*Z^2 == X) so ECDSA verification skips the final field inversion.
+bool point_mul2_check_r(const U256& u1, const U256& u2, const AffinePoint& q,
+                        const U256& r);
+
+/// One term of a multi-scalar multiplication: k * p.
+struct MulTerm {
+  U256 k;
+  AffinePoint p;
+};
+
+/// sum(k_i * p_i) over one shared ~129-doubling chain: every scalar is
+/// GLV-split, every base gets an interleaved width-5 wNAF digit stream
+/// over per-term odd-multiples tables that are normalized together with a
+/// single batched field inversion.  Terms with p == G are folded into one
+/// aggregated fixed-base scalar first (the group order is prime, so every
+/// finite point has order n and scalar aggregation mod n is exact).
+/// Scalars are reduced mod n; zero scalars and points at infinity are
+/// skipped.  This is the engine behind crypto::BatchVerifier.
+AffinePoint point_mul_multi(const MulTerm* terms, std::size_t count);
+/// Reference sum of independent slow multiplications.
+AffinePoint point_mul_multi_slow(const MulTerm* terms, std::size_t count);
+
+/// Reference scalar multiplication via naive double-and-add; kept as the
+/// cross-check oracle for the table/wNAF fast paths.
+AffinePoint point_mul_slow(const U256& k, const AffinePoint& p);
+/// Reference u1*G + u2*Q via two independent slow multiplications.
+AffinePoint point_mul2_slow(const U256& u1, const U256& u2, const AffinePoint& q);
+
+}  // namespace gdp::crypto

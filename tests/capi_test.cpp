@@ -90,6 +90,25 @@ TEST(CApi, ErrorsSurfaceCleanly) {
   EXPECT_EQ(gdp_tip(nullptr, nullptr), 0u);
 }
 
+TEST(CApi, StatusNamesCoverEveryCode) {
+  // Every status in the canonical table has a stable token; unknown codes
+  // degrade gracefully instead of returning NULL.
+  EXPECT_STREQ(gdp_status_name(GDP_OK), "GDP_OK");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_INVALID), "GDP_ERR_INVALID");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_UNAVAILABLE), "GDP_ERR_UNAVAILABLE");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_VERIFY), "GDP_ERR_VERIFY");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_NOT_FOUND), "GDP_ERR_NOT_FOUND");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_INTERNAL), "GDP_ERR_INTERNAL");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_EXISTS), "GDP_ERR_EXISTS");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_PERMISSION), "GDP_ERR_PERMISSION");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_OUT_OF_RANGE), "GDP_ERR_OUT_OF_RANGE");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_CORRUPT), "GDP_ERR_CORRUPT");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_PRECONDITION), "GDP_ERR_PRECONDITION");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_EXPIRED), "GDP_ERR_EXPIRED");
+  EXPECT_STREQ(gdp_status_name(GDP_ERR_TIMEOUT), "GDP_ERR_TIMEOUT");
+  EXPECT_STREQ(gdp_status_name(42), "GDP_ERR_UNKNOWN");
+}
+
 TEST(CApi, SubscriptionDeliversThroughRun) {
   WorldGuard w(4);
   ASSERT_NE(w.world, nullptr);

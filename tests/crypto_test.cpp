@@ -9,6 +9,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/secp256k1.hpp"
+#include "crypto/secp256k1_detail.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/u256.hpp"
 
@@ -881,6 +882,144 @@ TEST(Ecdh, DrivesSecretBox) {
   auto opened = secretbox_open(k2, boxed);
   ASSERT_TRUE(opened.has_value());
   EXPECT_EQ(to_string(*opened), "session payload");
+}
+
+// ---- Montgomery-domain & constant-time signing path ------------------------
+
+TEST(Montgomery, DomainRoundTrip) {
+  Rng rng(301);
+  EXPECT_EQ(from_mont(to_mont(U256::zero())), U256::zero());
+  EXPECT_EQ(from_mont(to_mont(U256::from_u64(1))), U256::from_u64(1));
+  for (int i = 0; i < 200; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    EXPECT_EQ(from_mont(to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, DifferentialAgainstSchoolbook) {
+  // Boundary vectors the REDC carry/borrow chains must get right, plus
+  // random fuzz.  2^256 mod p = C is the Montgomery-domain "1".
+  U256 p_minus_1, p_minus_2, c;
+  sub_borrow(p_minus_1, secp_p(), U256::from_u64(1));
+  sub_borrow(p_minus_2, secp_p(), U256::from_u64(2));
+  sub_borrow(c, U256::zero(), secp_p());  // 2^256 - p
+  std::vector<U256> edges = {U256::zero(), U256::from_u64(1), p_minus_1,
+                             p_minus_2, c};
+  for (const U256& a : edges) {
+    for (const U256& b : edges) {
+      const U256 want = fp_mul_schoolbook(a, b);
+      EXPECT_EQ(fp_mul(a, b), want);
+      EXPECT_EQ(from_mont(mont_mul(to_mont(a), to_mont(b))), want);
+    }
+    EXPECT_EQ(fp_sqr(a), fp_sqr_schoolbook(a));
+    EXPECT_EQ(from_mont(mont_sqr(to_mont(a))), fp_sqr_schoolbook(a));
+  }
+  Rng rng(302);
+  for (int i = 0; i < 2000; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    U256 b = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    const U256 want = fp_mul_schoolbook(a, b);
+    ASSERT_EQ(from_mont(mont_mul(to_mont(a), to_mont(b))), want);
+    ASSERT_EQ(from_mont(mont_sqr(to_mont(a))), fp_sqr_schoolbook(a));
+  }
+  // Mixed edge x random: exercises asymmetric operand magnitudes.
+  for (int i = 0; i < 200; ++i) {
+    U256 a = mod_generic(U512::from_u256(U256::from_bytes_be(rng.next_bytes(32))), secp_p());
+    for (const U256& e : edges) {
+      ASSERT_EQ(from_mont(mont_mul(to_mont(a), to_mont(e))),
+                fp_mul_schoolbook(a, e));
+    }
+  }
+}
+
+TEST(ConstantTime, LadderMatchesSlowPathAcrossBlinds) {
+  Rng rng(303);
+  U256 max_blind;
+  sub_borrow(max_blind, U256::zero(), U256::from_u64(1));  // 2^256 - 1
+  const U256 blinds[] = {U256::zero(), U256::from_u64(1), max_blind,
+                         U256::from_bytes_be(rng.next_bytes(32))};
+  for (int i = 0; i < 25; ++i) {
+    U256 k = sc_reduce(U256::from_bytes_be(rng.next_bytes(32)));
+    if (!sc_is_valid(k)) continue;
+    const AffinePoint want = point_mul_slow(k, secp_g());
+    for (const U256& blind : blinds) {
+      const AffinePoint got = point_mul_g_ct(k, blind);
+      ASSERT_EQ(got.x, want.x) << "blind changes the result";
+      ASSERT_EQ(got.y, want.y);
+    }
+  }
+  // Scalar edge cases: 1, 2, n-1, n-2.
+  U256 n_minus_1, n_minus_2;
+  sub_borrow(n_minus_1, secp_n(), U256::from_u64(1));
+  sub_borrow(n_minus_2, secp_n(), U256::from_u64(2));
+  for (const U256& k :
+       {U256::from_u64(1), U256::from_u64(2), n_minus_1, n_minus_2}) {
+    const AffinePoint want = point_mul_slow(k, secp_g());
+    for (const U256& blind : blinds) {
+      const AffinePoint got = point_mul_g_ct(k, blind);
+      ASSERT_EQ(got.x, want.x);
+      ASSERT_EQ(got.y, want.y);
+    }
+  }
+}
+
+TEST(ConstantTime, SignBitIdenticalToVartimeSigner) {
+  // The pinned RFC 6979 vectors, via both signers.
+  struct Vector {
+    const char* d;
+    const char* msg;
+  };
+  const Vector vectors[] = {
+      {"0000000000000000000000000000000000000000000000000000000000000001",
+       "Satoshi Nakamoto"},
+      {"fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364140",
+       "Satoshi Nakamoto"},
+      {"f8b8af8ce3c7cca5e300d33939540c10d45ce001b8f252bfbc57ba0342904181",
+       "Alan Turing"},
+  };
+  for (const Vector& v : vectors) {
+    auto key = PrivateKey::from_bytes(*hex_decode(v.d));
+    ASSERT_TRUE(key.has_value());
+    Digest h = sha256(to_bytes(v.msg));
+    EXPECT_EQ(key->sign_digest(h).encode(), key->sign_digest_vartime(h).encode());
+  }
+  // Random keys and messages.
+  Rng rng(304);
+  for (int i = 0; i < 40; ++i) {
+    PrivateKey key = PrivateKey::generate(rng);
+    Digest h = sha256(rng.next_bytes(77));
+    Signature ct = key.sign_digest(h);
+    EXPECT_EQ(ct.encode(), key.sign_digest_vartime(h).encode());
+    EXPECT_TRUE(key.public_key().verify_digest(h, ct));
+  }
+}
+
+TEST(ConstantTime, SecretPathLookupsScanEveryTableEntry) {
+  // Structural property: the signing-path table lookup must touch every
+  // entry of its window's table (a cmov scan), so the number of entries
+  // scanned is exactly 16x the number of lookups, independent of the
+  // scalar.  A secret-indexed lookup would scan 1 entry per lookup.
+  Rng rng(305);
+  PrivateKey key = PrivateKey::generate(rng);
+  CtProbe& probe = ct_probe();
+  for (int i = 0; i < 10; ++i) {
+    Digest h = sha256(rng.next_bytes(64));
+    probe.reset();
+    key.sign_digest(h);
+    ASSERT_GT(probe.lookups, 0u);
+    // One lookup per signed-odd window of the blinded scalar.
+    EXPECT_EQ(probe.lookups, 66u);
+    EXPECT_EQ(probe.entries_scanned, 16 * probe.lookups);
+  }
+  // Direct ladder calls, blinded and unblinded, keep the invariant.
+  for (const std::uint64_t b : {0ull, 1ull, ~0ull}) {
+    probe.reset();
+    point_mul_g_ct(sc_reduce(U256::from_bytes_be(rng.next_bytes(32))),
+                   U256::from_u64(b));
+    EXPECT_EQ(probe.lookups, 66u);
+    EXPECT_EQ(probe.entries_scanned, 16 * probe.lookups);
+  }
+  probe.reset();
 }
 
 }  // namespace

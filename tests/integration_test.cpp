@@ -151,10 +151,16 @@ TEST(Integration, PlacementPolicyBlocksOutsideDomain) {
   ASSERT_TRUE(inside_read.ok()) << inside_read.error().to_string();
 
   // Outside: the name never resolves (the entry is not propagated to the
-  // global service and resolution refuses foreign-domain routers).
-  auto outside_read = await(s.sim(), outsider->read_latest(setup.metadata));
+  // global service and resolution refuses foreign-domain routers).  The
+  // await condition pins down *which* failure shape ended the wait: the
+  // client's per-op guard timer fired (the request was sent and never
+  // answered), not a drained network.
+  client::AwaitCondition cond;
+  auto outside_read =
+      await(s.sim(), outsider->read_latest(setup.metadata), &cond);
   EXPECT_FALSE(outside_read.ok());
   EXPECT_EQ(outside_read.code(), Errc::kUnavailable);
+  EXPECT_EQ(cond, client::AwaitCondition::kOpTimeout);
 }
 
 TEST(Integration, AnycastReachesAReplicaAndReplicasConverge) {
