@@ -7,21 +7,50 @@
 // (PDU/s) and sustained throughput; ~120k PDU/s for small PDUs, ~1 Gbps as
 // PDUs approach 10 kB.
 //
-// Reproduction: the same 32 -> router -> 32 star with the *real* router
-// code path (PDU parse, TTL, FIB lookup, link-layer re-send) driven by the
-// event loop; we measure wall-clock time to forward a fixed batch.  The
-// absolute numbers are an in-process upper bound (no UDP stack between
-// hops), but the shape is the claim under test: per-PDU cost dominates for
-// small PDUs (flat PDU/s), per-byte cost takes over as PDUs grow
-// (throughput rising with size).  Flow-establishment crypto runs once per
-// flow at secure-advertisement time — off the forwarding clock, exactly
-// the paper's §VIII argument.
+// Two series:
+//
+//   router    the same 32 -> router -> 32 star with the *real* router code
+//             path (in-place PduView header decode, TTL patch, snapshot-FIB
+//             lookup, link-layer re-send) driven by the event loop.  The
+//             shape is the claim under test: per-PDU cost dominates for
+//             small PDUs (flat PDU/s), per-byte cost takes over as PDUs
+//             grow (throughput rising with size, flat Gbit/s through 16 KB
+//             now that frames live in pooled segments and are never
+//             re-serialized per hop).
+//   dataplane the sharded multi-worker engine (ShardedDataPlane): N shard
+//             workers forwarding the same frames over lock-free SPSC rings
+//             against RCU-style FIB snapshots.  Each origin PDU is chained
+//             through ttl hops via egress resubmission, so the measured
+//             rate is aggregate *forwarding operations* per second — the
+//             paper's router-mesh number, not an injection rate.
+//
+// Both series carry the pool gauges (segment allocations, instrumented
+// copy volume) so `--check` can gate allocation and copy regressions, not
+// just wall-clock rates.  Flow-establishment crypto runs once per flow at
+// secure-advertisement time — off the forwarding clock, exactly the
+// paper's §VIII argument.
+//
+// Usage:
+//   fig6_router_forwarding                 full run, rewrites BENCH_fig6.json
+//   fig6_router_forwarding --check [base]  smoke run + structural gates
+//                                          (monotone 4-16KB band, zero-alloc
+//                                          steady state, one-copy-per-PDU);
+//                                          with a baseline JSON also fails
+//                                          on a >15% pdus_per_sec regression.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/buffer.hpp"
+#include "router/dataplane.hpp"
 #include "router/endpoint.hpp"
+#include "router/fib.hpp"
 #include "router/glookup.hpp"
 #include "router/router.hpp"
 
@@ -36,6 +65,12 @@ class SinkEndpoint : public router::Endpoint {
 
  protected:
   void handle_pdu(const Name&, const wire::Pdu&) override { ++received; }
+  // Consume straight from the wire segment: delivery costs no materialize,
+  // so the gauge deltas below isolate the per-hop copy count.
+  void handle_pdu_view(const Name&, wire::PduView view) override {
+    ++received;
+    (void)view.payload();
+  }
 };
 
 Name source_name(int i) {
@@ -45,11 +80,17 @@ Name source_name(int i) {
   return *Name::from_bytes(raw);
 }
 
+Name target_name(std::uint32_t i) {
+  Bytes raw(32, 0);
+  raw[0] = 0xD6;
+  raw[1] = static_cast<std::uint8_t>(i >> 8);
+  raw[2] = static_cast<std::uint8_t>(i);
+  return *Name::from_bytes(raw);
+}
+
 struct NullHandler : public net::PduHandler {
   void on_pdu(const Name&, const wire::Pdu&) override {}
 };
-
-}  // namespace
 
 struct Point {
   std::size_t pdu_bytes;
@@ -58,76 +99,81 @@ struct Point {
   std::uint64_t p50_ns;
   std::uint64_t p95_ns;
   std::uint64_t p99_ns;
+  std::uint64_t segment_allocs;   ///< fresh heap segments during the blast
+  double copied_bytes_per_pdu;    ///< instrumented copy volume / delivered
 };
 
-int main() {
+struct DpPoint {
+  std::size_t shards;
+  std::size_t pdu_bytes;
+  double pdus_per_sec;   ///< aggregate forwarding operations per second
+  double gbits_per_sec;
+  std::uint64_t hops_per_origin;
+  std::uint64_t segment_allocs;
+  double copied_bytes_per_origin;  ///< must equal wire size: one origin copy
+};
+
+struct Results {
+  std::vector<Point> points;
+  std::vector<DpPoint> dp_points;
+  double flow_establish_ms = 0.0;
+};
+
+// ---- series 1: the full router path over the simulator fabric --------------
+
+Point run_router_point(std::size_t payload, std::uint64_t pdus_per_point,
+                       std::uint64_t latency_samples, double* flow_ms_out) {
   constexpr int kFlows = 32;
-  constexpr std::uint64_t kPdusPerPoint = 200000;
   const net::LinkParams kInfiniteLink{Duration{0}, 1e15, 0.0};
 
-  std::printf("# Figure 6: forwarding rate and throughput vs PDU size\n");
-  std::printf("# 32 sources -> 1 GDP-router -> 32 sinks (in-process data path)\n");
-  std::printf("%12s %15s %15s %12s %10s %10s %10s\n", "pdu_bytes",
-              "pdus_per_sec", "gbits_per_sec", "wall_ms", "p50_ns", "p95_ns",
-              "p99_ns");
+  net::Simulator sim(1);
+  net::Network net(sim);
+  // Span recording would churn the ring buffer 200k times per point;
+  // this benchmark wants the registry histograms only.
+  net.trace().set_enabled(false);
+  auto topology = std::make_shared<router::Topology>();
+  Rng rng(42);
+  auto router_key = crypto::PrivateKey::generate(rng);
+  router::Router router(net, router_key, "bench-router", Name{}, topology);
+  topology->add_router(router.name(), Name{});
 
-  std::vector<Point> points;
-  double flow_establish_ms = 0.0;
+  // Sinks attach through the genuine secure-advertisement handshake,
+  // which installs their FIB entries (the once-per-flow crypto).
+  std::vector<std::unique_ptr<SinkEndpoint>> sinks;
+  for (int i = 0; i < kFlows; ++i) {
+    auto key = crypto::PrivateKey::generate(rng);
+    auto ep = std::make_unique<SinkEndpoint>(net, key, trust::Role::kClient,
+                                             "sink-" + std::to_string(i));
+    net.connect(ep->name(), router.name(), kInfiniteLink);
+    ep->advertise(router.name(), {});
+    sinks.push_back(std::move(ep));
+  }
+  // Sources are raw injectors on their own links.
+  NullHandler null_handler;
+  std::vector<Name> sources;
+  for (int i = 0; i < kFlows; ++i) {
+    Name src = source_name(i);
+    net.attach(src, &null_handler);
+    net.connect(src, router.name(), kInfiniteLink);
+    sources.push_back(src);
+  }
+  const auto hs_start = std::chrono::steady_clock::now();
+  sim.run();  // drain the handshakes; FIB is now warm
+  if (flow_ms_out != nullptr) {
+    *flow_ms_out = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - hs_start)
+                       .count() *
+                   1e3;
+  }
 
-  for (std::size_t payload : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
-                              8192u, 10240u, 16384u}) {
-    net::Simulator sim(1);
-    net::Network net(sim);
-    // Span recording would churn the ring buffer 200k times per point;
-    // this benchmark wants the registry histograms only.
-    net.trace().set_enabled(false);
-    auto topology = std::make_shared<router::Topology>();
-    Rng rng(42);
-    auto router_key = crypto::PrivateKey::generate(rng);
-    router::Router router(net, router_key, "bench-router", Name{}, topology);
-    topology->add_router(router.name(), Name{});
+  wire::Pdu proto;
+  proto.type = wire::MsgType::kBenchData;
+  proto.payload = Bytes(payload, 0xab);
 
-    // Sinks attach through the genuine secure-advertisement handshake,
-    // which installs their FIB entries (the once-per-flow crypto).
-    std::vector<std::unique_ptr<SinkEndpoint>> sinks;
-    for (int i = 0; i < kFlows; ++i) {
-      auto key = crypto::PrivateKey::generate(rng);
-      auto ep = std::make_unique<SinkEndpoint>(net, key, trust::Role::kClient,
-                                               "sink-" + std::to_string(i));
-      net.connect(ep->name(), router.name(), kInfiniteLink);
-      ep->advertise(router.name(), {});
-      sinks.push_back(std::move(ep));
-    }
-    // Sources are raw injectors on their own links.
-    NullHandler null_handler;
-    std::vector<Name> sources;
-    for (int i = 0; i < kFlows; ++i) {
-      Name src = source_name(i);
-      net.attach(src, &null_handler);
-      net.connect(src, router.name(), kInfiniteLink);
-      sources.push_back(src);
-    }
-    const auto hs_start = std::chrono::steady_clock::now();
-    sim.run();  // drain the handshakes; FIB is now warm
-    const double hs_ms = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - hs_start)
-                             .count() *
-                         1e3;
-    if (payload == 64u) {
-      flow_establish_ms = hs_ms;
-      std::printf("# flow establishment (32 secure advertisements, once per "
-                  "flow): %.1f ms total, %.2f ms/flow\n",
-                  hs_ms, hs_ms / kFlows);
-    }
-
-    wire::Pdu proto;
-    proto.type = wire::MsgType::kBenchData;
-    proto.payload = Bytes(payload, 0xab);
-
-    const auto start = std::chrono::steady_clock::now();
+  auto blast = [&](std::uint64_t count) {
     std::uint64_t sent = 0;
-    while (sent < kPdusPerPoint) {
-      for (int i = 0; i < kFlows && sent < kPdusPerPoint; ++i, ++sent) {
+    while (sent < count) {
+      for (int i = 0; i < kFlows && sent < count; ++i, ++sent) {
         wire::Pdu pdu = proto;
         pdu.dst = sinks[static_cast<std::size_t>(i)]->name();
         pdu.src = sources[static_cast<std::size_t>(i)];
@@ -137,68 +183,401 @@ int main() {
       }
       sim.run();  // forward the batch through the router to the sinks
     }
+  };
+
+  // Warm the segment pool with one full batch so the timed region
+  // measures the steady state (and its gauge deltas prove it allocates
+  // nothing).
+  blast(kFlows);
+  const std::uint64_t warmed = kFlows;
+
+  // Best-of-3: the blast shares the machine with whatever else runs, and
+  // a regression gate built on a single noisy sample fails spuriously.
+  // The fastest repetition is the least-perturbed measurement; the gauge
+  // deltas span all repetitions (a copy or allocation in any of them is
+  // still caught).
+  constexpr int kReps = 3;
+  const auto gauges_before = BufferStats::snapshot();
+  double best_wall_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    blast(pdus_per_point);
     const auto end = std::chrono::steady_clock::now();
     const double wall_s = std::chrono::duration<double>(end - start).count();
+    if (rep == 0 || wall_s < best_wall_s) best_wall_s = wall_s;
+  }
+  const auto gauges_after = BufferStats::snapshot();
 
-    std::uint64_t delivered = 0;
-    for (const auto& ep : sinks) delivered += ep->received;
-    const double rate = static_cast<double>(delivered) / wall_s;
-    const double gbps = rate *
-                        static_cast<double>(payload + wire::kPduOverhead) * 8.0 /
-                        1e9;
+  std::uint64_t delivered = 0;
+  for (const auto& ep : sinks) delivered += ep->received;
+  delivered -= warmed;
+  const double rate = static_cast<double>(pdus_per_point) / best_wall_s;
+  const double gbps =
+      rate * static_cast<double>(payload + wire::kPduOverhead) * 8.0 / 1e9;
 
-    // Per-PDU forwarding latency: send one PDU at a time and clock the
-    // full source -> router -> sink path, filling a registry histogram so
-    // the JSON gains percentiles alongside the throughput numbers.
-    telemetry::Histogram& latency =
-        net.metrics().histogram("bench.fwd.latency_ns");
-    constexpr std::uint64_t kLatencySamples = 4000;
-    for (std::uint64_t s = 0; s < kLatencySamples; ++s) {
-      const int i = static_cast<int>(s % kFlows);
-      wire::Pdu pdu = proto;
-      pdu.dst = sinks[static_cast<std::size_t>(i)]->name();
-      pdu.src = sources[static_cast<std::size_t>(i)];
-      pdu.ttl = 8;
-      const auto t0 = std::chrono::steady_clock::now();
-      net.send(sources[static_cast<std::size_t>(i)], router.name(),
-               std::move(pdu));
-      sim.run();
-      const auto t1 = std::chrono::steady_clock::now();
-      latency.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
-    }
-
-    std::printf("%12zu %15.0f %15.3f %12.1f %10llu %10llu %10llu\n", payload,
-                rate, gbps, wall_s * 1e3,
-                static_cast<unsigned long long>(latency.p50()),
-                static_cast<unsigned long long>(latency.p95()),
-                static_cast<unsigned long long>(latency.p99()));
-    points.push_back(
-        Point{payload, rate, gbps, latency.p50(), latency.p95(), latency.p99()});
+  // Per-PDU forwarding latency: send one PDU at a time and clock the
+  // full source -> router -> sink path, filling a registry histogram so
+  // the JSON gains percentiles alongside the throughput numbers.
+  telemetry::Histogram& latency =
+      net.metrics().histogram("bench.fwd.latency_ns");
+  for (std::uint64_t s = 0; s < latency_samples; ++s) {
+    const int i = static_cast<int>(s % kFlows);
+    wire::Pdu pdu = proto;
+    pdu.dst = sinks[static_cast<std::size_t>(i)]->name();
+    pdu.src = sources[static_cast<std::size_t>(i)];
+    pdu.ttl = 8;
+    const auto t0 = std::chrono::steady_clock::now();
+    net.send(sources[static_cast<std::size_t>(i)], router.name(),
+             std::move(pdu));
+    sim.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
   }
 
-  if (FILE* f = std::fopen("BENCH_fig6.json", "w")) {
-    std::fprintf(f, "{\n  \"flow_establish_ms_total\": %.2f,\n", flow_establish_ms);
-    std::fprintf(f, "  \"flow_establish_ms_per_flow\": %.3f,\n",
-                 flow_establish_ms / kFlows);
-    std::fprintf(f, "  \"points\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"pdu_bytes\": %zu, \"pdus_per_sec\": %.0f, "
-                   "\"gbits_per_sec\": %.3f, \"fwd_latency_p50_ns\": %llu, "
-                   "\"fwd_latency_p95_ns\": %llu, \"fwd_latency_p99_ns\": "
-                   "%llu}%s\n",
-                   points[i].pdu_bytes, points[i].pdus_per_sec,
-                   points[i].gbits_per_sec,
-                   static_cast<unsigned long long>(points[i].p50_ns),
-                   static_cast<unsigned long long>(points[i].p95_ns),
-                   static_cast<unsigned long long>(points[i].p99_ns),
-                   i + 1 < points.size() ? "," : "");
+  return Point{payload,
+               rate,
+               gbps,
+               latency.p50(),
+               latency.p95(),
+               latency.p99(),
+               gauges_after.segment_allocs - gauges_before.segment_allocs,
+               static_cast<double>(gauges_after.bytes_copied -
+                                   gauges_before.bytes_copied) /
+                   static_cast<double>(delivered)};
+}
+
+// ---- series 2: the sharded multi-worker data plane -------------------------
+
+DpPoint run_dataplane_point(std::size_t num_shards, std::size_t payload,
+                            std::uint64_t origins) {
+  constexpr std::uint32_t kTargets = 64;
+  constexpr std::uint8_t kTtl = 16;  // hops per origin PDU
+
+  router::FibPublisher fib;
+  const Name hop = *Name::from_bytes(Bytes(32, 0x7A));
+  for (std::uint32_t i = 0; i < kTargets; ++i) {
+    fib.upsert(target_name(i), hop, 0);
+  }
+  fib.publish();
+
+  router::ShardedDataPlane::Config cfg;
+  cfg.num_shards = num_shards;
+  cfg.ring_capacity = 4096;
+  cfg.batch = 512;  // longer bursts per quiescent point: less loop overhead
+  router::ShardedDataPlane* plane = nullptr;
+  std::atomic<std::uint64_t> chains_done{0};
+  router::ShardedDataPlane dp(
+      cfg, fib,
+      [&](std::size_t shard, const Name&, wire::PduView pdu) {
+        // Chained forwarding: the frame hops again until its TTL is spent.
+        // Runs on the owning worker, so resubmit() over the self-handoff
+        // ring is single-producer/single-consumer by construction.
+        if (pdu.ttl() == 0 || !plane->resubmit(shard, std::move(pdu))) {
+          chains_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  plane = &dp;
+  const bool lockstep = dp.deterministic();
+
+  wire::Pdu proto;
+  proto.type = wire::MsgType::kBenchData;
+  proto.ttl = kTtl;
+  proto.payload = Bytes(payload, 0xab);
+  auto make_view = [&](std::uint64_t n) {
+    wire::Pdu pdu = proto;
+    pdu.dst = target_name(static_cast<std::uint32_t>(n % kTargets));
+    pdu.src = source_name(0);
+    return wire::PduView::build(pdu);
+  };
+
+  // Bounded in-flight window: each chain keeps exactly one frame alive,
+  // so the window caps the live segment population.  This keeps the
+  // working set cache-resident and the pool in steady reuse — flooding
+  // every ring instead measures memory latency, not forwarding cost.
+  constexpr std::uint64_t kWindow = 1024;
+  auto pump = [&](std::uint64_t count, std::uint64_t base) {
+    for (std::uint64_t n = 0; n < count; ++n) {
+      while (base + n - chains_done.load(std::memory_order_relaxed) >=
+             kWindow) {
+        if (lockstep) {
+          dp.run_until_idle();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      wire::PduView pdu = make_view(base + n);
+      // RSS-style spreading: hash the same header field the owner hash
+      // uses, so ingress lands on the owning shard directly.
+      const std::size_t shard = dp.shard_of(pdu.dst_bytes());
+      while (!dp.submit_to(shard, std::move(pdu))) {
+        if (lockstep) {
+          dp.run_until_idle();
+        } else {
+          std::this_thread::yield();
+        }
+      }
     }
-    std::fprintf(f, "  ]\n}\n");
+    const std::uint64_t want = base + count;
+    while (chains_done.load(std::memory_order_relaxed) < want) {
+      if (lockstep) {
+        dp.run_until_idle();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  dp.start();
+  // Warm-up populates the pool with the steady-state in-flight frames.
+  const std::uint64_t warm = origins / 10 + 1;
+  pump(warm, 0);
+
+  // Best-of-3 (same rationale as the router series): keep the
+  // least-perturbed repetition, gauge deltas span all of them.
+  constexpr int kReps = 3;
+  std::uint64_t submitted = warm;
+  std::uint64_t forwarded = 0;
+  std::uint64_t fwd_bytes = 0;
+  double best_rate = 0.0;
+  const auto gauges_before = BufferStats::snapshot();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t fwd_before = dp.forwarded();
+    const std::uint64_t bytes_before = dp.forwarded_bytes();
+    const auto start = std::chrono::steady_clock::now();
+    pump(origins, submitted);
+    const auto end = std::chrono::steady_clock::now();
+    submitted += origins;
+    forwarded = dp.forwarded() - fwd_before;
+    fwd_bytes = dp.forwarded_bytes() - bytes_before;
+    const double wall_s = std::chrono::duration<double>(end - start).count();
+    best_rate = std::max(best_rate, static_cast<double>(forwarded) / wall_s);
+  }
+  const auto gauges_after = BufferStats::snapshot();
+  dp.stop();
+
+  return DpPoint{
+      num_shards,
+      payload,
+      best_rate,
+      best_rate * static_cast<double>(fwd_bytes) /
+          static_cast<double>(forwarded) * 8.0 / 1e9,
+      forwarded / origins,
+      gauges_after.segment_allocs - gauges_before.segment_allocs,
+      static_cast<double>(gauges_after.bytes_copied -
+                          gauges_before.bytes_copied) /
+          static_cast<double>(kReps * origins)};
+}
+
+// ---- runner, JSON, and the --check gates ------------------------------------
+
+Results run_all(bool smoke) {
+  const std::uint64_t pdus_per_point = smoke ? 20000 : 200000;
+  const std::uint64_t latency_samples = smoke ? 1000 : 4000;
+  const std::uint64_t dp_origins = smoke ? 25000 : 250000;
+
+  Results out;
+  std::printf("# Figure 6: forwarding rate and throughput vs PDU size\n");
+  std::printf("# 32 sources -> 1 GDP-router -> 32 sinks (in-process data path)\n");
+  std::printf("%12s %15s %15s %10s %10s %10s %8s %12s\n", "pdu_bytes",
+              "pdus_per_sec", "gbits_per_sec", "p50_ns", "p95_ns", "p99_ns",
+              "allocs", "copied/pdu");
+  for (std::size_t payload : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
+                              6144u, 8192u, 10240u, 12288u, 16384u}) {
+    double flow_ms = 0.0;
+    Point p = run_router_point(payload, pdus_per_point, latency_samples,
+                               &flow_ms);
+    if (payload == 64u) {
+      out.flow_establish_ms = flow_ms;
+      std::printf("# flow establishment (32 secure advertisements, once per "
+                  "flow): %.1f ms total, %.2f ms/flow\n",
+                  flow_ms, flow_ms / 32.0);
+    }
+    std::printf("%12zu %15.0f %15.3f %10llu %10llu %10llu %8llu %12.1f\n",
+                p.pdu_bytes, p.pdus_per_sec, p.gbits_per_sec,
+                static_cast<unsigned long long>(p.p50_ns),
+                static_cast<unsigned long long>(p.p95_ns),
+                static_cast<unsigned long long>(p.p99_ns),
+                static_cast<unsigned long long>(p.segment_allocs),
+                p.copied_bytes_per_pdu);
+    out.points.push_back(p);
+  }
+
+  std::printf("# sharded data plane: aggregate forwarding ops/s "
+              "(%u-hop chains, RSS ingress)\n", 16u);
+  std::printf("%8s %12s %15s %15s %8s %14s\n", "shards", "pdu_bytes",
+              "pdus_per_sec", "gbits_per_sec", "allocs", "copied/origin");
+  const struct { std::size_t shards, payload; } dp_cases[] = {
+      {1, 64}, {2, 64}, {4, 64}, {8, 64}, {4, 4096}};
+  for (const auto& c : dp_cases) {
+    DpPoint p = run_dataplane_point(c.shards, c.payload, dp_origins);
+    std::printf("%8zu %12zu %15.0f %15.3f %8llu %14.1f\n", p.shards,
+                p.pdu_bytes, p.pdus_per_sec, p.gbits_per_sec,
+                static_cast<unsigned long long>(p.segment_allocs),
+                p.copied_bytes_per_origin);
+    out.dp_points.push_back(p);
+  }
+  return out;
+}
+
+void write_json(const Results& r) {
+  FILE* f = std::fopen("BENCH_fig6.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"flow_establish_ms_total\": %.2f,\n",
+               r.flow_establish_ms);
+  std::fprintf(f, "  \"flow_establish_ms_per_flow\": %.3f,\n",
+               r.flow_establish_ms / 32.0);
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const Point& p = r.points[i];
+    std::fprintf(f,
+                 "    {\"pdu_bytes\": %zu, \"pdus_per_sec\": %.0f, "
+                 "\"gbits_per_sec\": %.3f, \"fwd_latency_p50_ns\": %llu, "
+                 "\"fwd_latency_p95_ns\": %llu, \"fwd_latency_p99_ns\": %llu, "
+                 "\"segment_allocs\": %llu, \"copied_bytes_per_pdu\": %.1f}%s\n",
+                 p.pdu_bytes, p.pdus_per_sec, p.gbits_per_sec,
+                 static_cast<unsigned long long>(p.p50_ns),
+                 static_cast<unsigned long long>(p.p95_ns),
+                 static_cast<unsigned long long>(p.p99_ns),
+                 static_cast<unsigned long long>(p.segment_allocs),
+                 p.copied_bytes_per_pdu,
+                 i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"dataplane\": [\n");
+  for (std::size_t i = 0; i < r.dp_points.size(); ++i) {
+    const DpPoint& p = r.dp_points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"pdu_bytes\": %zu, "
+                 "\"pdus_per_sec\": %.0f, \"gbits_per_sec\": %.3f, "
+                 "\"hops_per_origin\": %llu, \"segment_allocs\": %llu, "
+                 "\"copied_bytes_per_origin\": %.1f}%s\n",
+                 p.shards, p.pdu_bytes, p.pdus_per_sec, p.gbits_per_sec,
+                 static_cast<unsigned long long>(p.hops_per_origin),
+                 static_cast<unsigned long long>(p.segment_allocs),
+                 p.copied_bytes_per_origin,
+                 i + 1 < r.dp_points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_fig6.json\n");
+}
+
+/// Extracts the pdus_per_sec that follows `needle` in the baseline JSON.
+/// Returns a negative value when absent.
+double baseline_rate(const std::string& json, const std::string& needle) {
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  const std::string key = "\"pdus_per_sec\": ";
+  const std::size_t rate_pos = json.find(key, pos);
+  if (rate_pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + rate_pos + key.size(), nullptr);
+}
+
+/// CI smoke gate.  Structural invariants always run:
+///   * throughput is monotone (within 15%) across the 4 KB..16 KB band —
+///     the historical trim-induced cliff sat at 4 KB -> 8 KB;
+///   * the steady-state blast allocates no fresh segments (pool reuse);
+///   * exactly one instrumented copy per PDU (the origin serialize) on
+///     both series — per-hop forwarding copies nothing.
+/// With a baseline JSON, additionally fails any point whose pdus_per_sec
+/// dropped more than 15% below the committed number.
+int run_check(const char* baseline_path) {
+  const Results r = run_all(/*smoke=*/true);
+  int rc = 0;
+  auto fail = [&rc](const char* what, const std::string& detail) {
+    std::fprintf(stderr, "--check FAILED: %s (%s)\n", what, detail.c_str());
+    rc = 1;
+  };
+
+  for (std::size_t i = 0; i + 1 < r.points.size(); ++i) {
+    const Point& a = r.points[i];
+    const Point& b = r.points[i + 1];
+    if (a.pdu_bytes >= 4096 && b.pdu_bytes <= 16384 &&
+        b.gbits_per_sec < 0.85 * a.gbits_per_sec) {
+      fail("throughput cliff in the 4-16KB band",
+           std::to_string(a.pdu_bytes) + "B " +
+               std::to_string(a.gbits_per_sec) + " Gbit/s -> " +
+               std::to_string(b.pdu_bytes) + "B " +
+               std::to_string(b.gbits_per_sec) + " Gbit/s");
+    }
+  }
+  for (const Point& p : r.points) {
+    const double wire = static_cast<double>(p.pdu_bytes + wire::kPduOverhead);
+    if (p.segment_allocs != 0) {
+      fail("steady-state blast allocated fresh segments",
+           std::to_string(p.pdu_bytes) + "B: " +
+               std::to_string(p.segment_allocs) + " allocs");
+    }
+    if (p.copied_bytes_per_pdu > wire + 0.5) {
+      fail("more than one copy per forwarded PDU",
+           std::to_string(p.pdu_bytes) + "B: " +
+               std::to_string(p.copied_bytes_per_pdu) + " copied vs wire " +
+               std::to_string(wire));
+    }
+  }
+  for (const DpPoint& p : r.dp_points) {
+    const double wire = static_cast<double>(p.pdu_bytes + wire::kPduOverhead);
+    // One origin serialize regardless of hop count: per-hop forwarding on
+    // the sharded plane must copy nothing.
+    if (p.copied_bytes_per_origin > wire + 0.5) {
+      fail("sharded plane copied per hop",
+           std::to_string(p.shards) + " shards: " +
+               std::to_string(p.copied_bytes_per_origin) + " copied/origin " +
+               "vs wire " + std::to_string(wire));
+    }
+  }
+
+  if (baseline_path != nullptr) {
+    FILE* f = std::fopen(baseline_path, "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--check: cannot open %s\n", baseline_path);
+      return 1;
+    }
+    std::string json;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, got);
     std::fclose(f);
-    std::printf("# wrote BENCH_fig6.json\n");
+
+    constexpr double kFloor = 0.85;
+    for (const Point& p : r.points) {
+      const double base = baseline_rate(
+          json, "{\"pdu_bytes\": " + std::to_string(p.pdu_bytes) + ",");
+      if (base <= 0.0) continue;  // new point, no baseline yet
+      const double ratio = p.pdus_per_sec / base;
+      std::printf("%8zuB baseline %12.0f/s current %12.0f/s ratio %.2f %s\n",
+                  p.pdu_bytes, base, p.pdus_per_sec, ratio,
+                  ratio >= kFloor ? "OK" : "REGRESSED");
+      if (ratio < kFloor) rc = 1;
+    }
+    for (const DpPoint& p : r.dp_points) {
+      const double base = baseline_rate(
+          json, "{\"shards\": " + std::to_string(p.shards) +
+                    ", \"pdu_bytes\": " + std::to_string(p.pdu_bytes) + ",");
+      if (base <= 0.0) continue;
+      const double ratio = p.pdus_per_sec / base;
+      std::printf("%zu-shard %6zuB baseline %12.0f/s current %12.0f/s "
+                  "ratio %.2f %s\n",
+                  p.shards, p.pdu_bytes, base, p.pdus_per_sec, ratio,
+                  ratio >= kFloor ? "OK" : "REGRESSED");
+      if (ratio < kFloor) rc = 1;
+    }
   }
+
+  std::printf("--check %s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      return run_check(i + 1 < argc ? argv[i + 1] : nullptr);
+    }
+  }
+  const Results r = run_all(/*smoke=*/false);
+  write_json(r);
   return 0;
 }

@@ -1,0 +1,218 @@
+#include "common/buffer.hpp"
+
+#include <bit>
+#include <cassert>
+#include <mutex>
+#include <new>
+
+namespace gdp {
+
+std::atomic<std::uint64_t> BufferStats::segment_allocs{0};
+std::atomic<std::uint64_t> BufferStats::segment_reuses{0};
+std::atomic<std::uint64_t> BufferStats::segment_releases{0};
+std::atomic<std::uint64_t> BufferStats::bytes_copied{0};
+std::atomic<std::uint64_t> BufferStats::arena_blocks{0};
+std::atomic<std::uint64_t> BufferStats::arena_bytes{0};
+
+BufferStats::Snapshot BufferStats::snapshot() {
+  Snapshot s;
+  s.segment_allocs = segment_allocs.load(std::memory_order_relaxed);
+  s.segment_reuses = segment_reuses.load(std::memory_order_relaxed);
+  s.segment_releases = segment_releases.load(std::memory_order_relaxed);
+  s.bytes_copied = bytes_copied.load(std::memory_order_relaxed);
+  s.arena_blocks = arena_blocks.load(std::memory_order_relaxed);
+  s.arena_bytes = arena_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+struct SegmentPool::CentralClass {
+  mutable std::mutex mu;
+  Segment* head = nullptr;
+  std::size_t count = 0;
+};
+
+/// Per-thread freelist front-end.  Destruction (thread exit) flushes back
+/// to the central lists; the pool is a function-local static constructed
+/// before any cache, so it outlives them.
+struct SegmentPool::ThreadCache {
+  struct ClassCache {
+    Segment* head = nullptr;
+    std::size_t count = 0;
+  };
+  ClassCache classes[kNumClasses];
+  SegmentPool* pool = nullptr;
+
+  ~ThreadCache() {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      ClassCache& tc = classes[c];
+      if (tc.head == nullptr) continue;
+      CentralClass& central = pool->classes_[c];
+      std::lock_guard<std::mutex> lock(central.mu);
+      while (tc.head != nullptr) {
+        Segment* s = tc.head;
+        tc.head = s->next_free_;
+        s->next_free_ = central.head;
+        central.head = s;
+        ++central.count;
+      }
+      tc.count = 0;
+    }
+  }
+};
+
+SegmentPool::SegmentPool() : classes_(new CentralClass[kNumClasses]) {}
+
+SegmentPool::~SegmentPool() {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    Segment* s = classes_[c].head;
+    while (s != nullptr) {
+      Segment* next = s->next_free_;
+      ::operator delete(static_cast<void*>(s));
+      s = next;
+    }
+  }
+}
+
+SegmentPool& SegmentPool::instance() {
+  static SegmentPool pool;
+  return pool;
+}
+
+SegmentPool::ThreadCache& SegmentPool::cache() {
+  thread_local ThreadCache tc;
+  tc.pool = this;
+  return tc;
+}
+
+std::size_t SegmentPool::class_for(std::size_t n) {
+  if (n <= kMinClassBytes) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(std::bit_ceil(n) / kMinClassBytes) - 1);
+}
+
+Segment* SegmentPool::allocate_raw(std::size_t capacity, std::uint32_t cls) {
+  void* mem = ::operator new(sizeof(Segment) + capacity);
+  Segment* s = new (mem) Segment();
+  s->capacity_ = capacity;
+  s->size_class_ = cls;
+  BufferStats::segment_allocs.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+SegRef SegmentPool::acquire(std::size_t n) {
+  if (n > kMaxClassBytes) {
+    // Oversized: direct heap, never pooled (size_class_ == kNumClasses).
+    Segment* s = allocate_raw(n, kNumClasses);
+    s->size_ = n;
+    return SegRef(s);
+  }
+  const std::size_t cls = class_for(n);
+  ThreadCache::ClassCache& tc = cache().classes[cls];
+  if (tc.head == nullptr) {
+    // Refill half a cache's worth from the central freelist in one
+    // critical section.
+    CentralClass& central = classes_[cls];
+    std::lock_guard<std::mutex> lock(central.mu);
+    for (std::size_t i = 0; i < kCacheCap / 2 && central.head != nullptr; ++i) {
+      Segment* s = central.head;
+      central.head = s->next_free_;
+      --central.count;
+      s->next_free_ = tc.head;
+      tc.head = s;
+      ++tc.count;
+    }
+  }
+  Segment* s;
+  if (tc.head != nullptr) {
+    s = tc.head;
+    tc.head = s->next_free_;
+    --tc.count;
+    s->next_free_ = nullptr;
+    s->refs_.store(1, std::memory_order_relaxed);
+    BufferStats::segment_reuses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s = allocate_raw(class_bytes(cls), static_cast<std::uint32_t>(cls));
+  }
+  s->size_ = n;
+  return SegRef(s);
+}
+
+void SegmentPool::release(Segment* s) {
+  BufferStats::segment_releases.fetch_add(1, std::memory_order_relaxed);
+  if (s->size_class_ >= kNumClasses) {
+    s->~Segment();
+    ::operator delete(static_cast<void*>(s));
+    return;
+  }
+  const std::size_t cls = s->size_class_;
+  ThreadCache::ClassCache& tc = cache().classes[cls];
+  s->next_free_ = tc.head;
+  tc.head = s;
+  ++tc.count;
+  if (tc.count >= kCacheCap) {
+    // Flush half to the central freelist in one critical section.
+    CentralClass& central = classes_[cls];
+    std::lock_guard<std::mutex> lock(central.mu);
+    for (std::size_t i = 0; i < kCacheCap / 2; ++i) {
+      Segment* f = tc.head;
+      tc.head = f->next_free_;
+      --tc.count;
+      f->next_free_ = central.head;
+      central.head = f;
+      ++central.count;
+    }
+  }
+}
+
+std::size_t SegmentPool::central_free() const {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    std::lock_guard<std::mutex> lock(classes_[c].mu);
+    total += classes_[c].count;
+  }
+  return total;
+}
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  assert(block_bytes_ > 0);
+}
+
+void* Arena::alloc(std::size_t n, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  if (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    std::size_t aligned = (off_ + align - 1) & ~(align - 1);
+    if (aligned + n <= b.cap) {
+      off_ = aligned + n;
+      allocated_ += n;
+      BufferStats::arena_bytes.fetch_add(n, std::memory_order_relaxed);
+      return b.mem.get() + aligned;
+    }
+    // Try the next retained block (after a reset() the vector persists).
+    if (cur_ + 1 < blocks_.size() && n <= blocks_[cur_ + 1].cap) {
+      ++cur_;
+      off_ = n;
+      allocated_ += n;
+      BufferStats::arena_bytes.fetch_add(n, std::memory_order_relaxed);
+      return blocks_[cur_].mem.get();
+    }
+  }
+  // Fresh block, big enough for the request (alignment of new[] is
+  // max_align_t, which covers every align we accept).
+  const std::size_t cap = n > block_bytes_ ? n : block_bytes_;
+  blocks_.push_back(Block{std::make_unique<std::uint8_t[]>(cap), cap});
+  BufferStats::arena_blocks.fetch_add(1, std::memory_order_relaxed);
+  cur_ = blocks_.size() - 1;
+  off_ = n;
+  allocated_ += n;
+  BufferStats::arena_bytes.fetch_add(n, std::memory_order_relaxed);
+  return blocks_[cur_].mem.get();
+}
+
+void Arena::reset() {
+  cur_ = 0;
+  off_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace gdp

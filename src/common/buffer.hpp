@@ -1,0 +1,221 @@
+// Pooled, refcounted wire segments and per-PDU scratch arenas.
+//
+// The forwarding fast path must not touch malloc per hop: the fig6
+// throughput cliff between 4 KB and 8 KB PDUs was glibc returning the
+// heap top to the kernel (M_TRIM_THRESHOLD) on every batch of large
+// short-lived payload buffers, so each batch re-faulted fresh zero pages.
+// Segments fix that structurally — a PDU's wire bytes are allocated once
+// from a size-classed pool at the origin, travel by reference through
+// every hop, and return to the pool when the last reference drops.
+//
+// Thread discipline: SegRef refcounts are atomic, so a segment may be
+// handed across shard threads (SPSC rings move SegRefs) and released on a
+// different thread than it was acquired on.  The pool keeps per-thread
+// caches in front of mutex-protected central freelists (tcmalloc-style),
+// so steady-state acquire/release never takes the lock.
+//
+// Accounting: every fresh allocation, pool reuse and instrumented memcpy
+// bumps a process-wide BufferStats atomic.  Benches and tests read deltas
+// to prove "zero payload copies per hop"; telemetry publishes the same
+// numbers as `buffer.*` gauges (see telemetry/metrics.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace gdp {
+
+/// Process-wide buffer accounting (relaxed atomics; read as deltas).
+struct BufferStats {
+  static std::atomic<std::uint64_t> segment_allocs;    ///< fresh heap segments
+  static std::atomic<std::uint64_t> segment_reuses;    ///< served from a freelist
+  static std::atomic<std::uint64_t> segment_releases;  ///< refcount reached zero
+  static std::atomic<std::uint64_t> bytes_copied;      ///< instrumented memcpy volume
+  static std::atomic<std::uint64_t> arena_blocks;      ///< arena block allocations
+  static std::atomic<std::uint64_t> arena_bytes;       ///< scratch bytes handed out
+
+  struct Snapshot {
+    std::uint64_t segment_allocs = 0;
+    std::uint64_t segment_reuses = 0;
+    std::uint64_t segment_releases = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t arena_blocks = 0;
+    std::uint64_t arena_bytes = 0;
+  };
+  static Snapshot snapshot();
+
+  /// Notes `n` bytes moved by an instrumented copy (serialize, clone,
+  /// materialize).  The zero-copy forward path never calls this.
+  static void note_copy(std::size_t n) {
+    bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+class SegmentPool;
+
+/// A refcounted contiguous buffer; the byte storage follows the header
+/// inline.  Never constructed directly — SegmentPool::acquire() only.
+class Segment {
+ public:
+  std::uint8_t* data() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  /// In-use length; callers may shrink or grow within capacity.
+  void set_size(std::size_t n) { size_ = n; }
+  std::uint32_t refcount() const {
+    return refs_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class SegmentPool;
+  friend class SegRef;
+
+  std::atomic<std::uint32_t> refs_{1};
+  std::uint32_t size_class_ = 0;  ///< kNumClasses = unpooled (direct heap)
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  Segment* next_free_ = nullptr;  ///< freelist link while pooled
+};
+
+/// Intrusive smart pointer over Segment.  Copy shares (refcount bump),
+/// move transfers; the segment returns to its pool when the last SegRef
+/// drops.
+class SegRef {
+ public:
+  SegRef() = default;
+  SegRef(const SegRef& o) : seg_(o.seg_) { retain(); }
+  SegRef(SegRef&& o) noexcept : seg_(o.seg_) { o.seg_ = nullptr; }
+  SegRef& operator=(const SegRef& o) {
+    // Retain before release so self- and alias-assignment never drop the
+    // last reference mid-assignment.
+    SegRef tmp(o);
+    std::swap(seg_, tmp.seg_);
+    return *this;
+  }
+  SegRef& operator=(SegRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      seg_ = o.seg_;
+      o.seg_ = nullptr;
+    }
+    return *this;
+  }
+  ~SegRef() { release(); }
+
+  Segment* get() const { return seg_; }
+  Segment* operator->() const { return seg_; }
+  explicit operator bool() const { return seg_ != nullptr; }
+  /// True when this is the only reference — in-place mutation is safe.
+  bool unique() const { return seg_ != nullptr && seg_->refcount() == 1; }
+  BytesView view() const {
+    return seg_ == nullptr ? BytesView{} : BytesView(seg_->data(), seg_->size());
+  }
+  void reset() { release(); }
+
+ private:
+  friend class SegmentPool;
+  explicit SegRef(Segment* s) : seg_(s) {}  // adopts the initial reference
+
+  void retain() {
+    if (seg_ != nullptr) seg_->refs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release();
+
+  Segment* seg_ = nullptr;
+};
+
+/// Size-classed segment pool: power-of-two classes from 128 B to 1 MiB,
+/// per-thread caches over mutex-protected central freelists.  Requests
+/// beyond the largest class fall through to the heap (counted, unpooled).
+class SegmentPool {
+ public:
+  static constexpr std::size_t kMinClassBytes = 128;
+  static constexpr std::size_t kMaxClassBytes = 1u << 20;
+  static constexpr std::size_t kNumClasses = 14;  // 128 << 13 == 1 MiB
+  /// Per-thread cache depth per class; half moves to/from the central
+  /// freelist at a time, so the lock is taken once per kCacheCap/2 ops.
+  static constexpr std::size_t kCacheCap = 64;
+
+  /// The process-wide pool (segments may cross threads, so there is one).
+  static SegmentPool& instance();
+
+  /// A segment with capacity >= n and size() == n.  Contents undefined.
+  SegRef acquire(std::size_t n);
+
+  /// Central freelist population (excludes thread caches); tests only.
+  std::size_t central_free() const;
+
+  ~SegmentPool();
+
+ private:
+  friend class SegRef;
+  struct CentralClass;
+  struct ThreadCache;
+
+  static std::size_t class_for(std::size_t n);
+  static std::size_t class_bytes(std::size_t cls) { return kMinClassBytes << cls; }
+  static Segment* allocate_raw(std::size_t capacity, std::uint32_t cls);
+
+  void release(Segment* s);
+  ThreadCache& cache();
+
+  std::unique_ptr<CentralClass[]> classes_;
+
+  SegmentPool();
+};
+
+inline void SegRef::release() {
+  if (seg_ == nullptr) return;
+  Segment* s = seg_;
+  seg_ = nullptr;
+  if (s->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    SegmentPool::instance().release(s);
+  }
+}
+
+/// Bump allocator for per-PDU / per-batch scratch: allocation is a pointer
+/// increment, reset() recycles every block in one call (the first block is
+/// kept, so a steady-state arena stops touching malloc entirely).
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 16384);
+
+  void* alloc(std::size_t n, std::size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(alloc(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty; retains the first block's storage.
+  void reset();
+
+  std::size_t allocated() const { return allocated_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint8_t[]> mem;
+    std::size_t cap = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;        ///< active block index
+  std::size_t off_ = 0;        ///< offset into active block
+  std::size_t block_bytes_;    ///< default block size
+  std::size_t allocated_ = 0;  ///< total bytes handed out since reset
+};
+
+}  // namespace gdp

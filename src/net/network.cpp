@@ -70,6 +70,17 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
   // First transmission assigns the trace id; forwarding preserves it, so
   // all spans a PDU generates across the fabric share one timeline.
   if (pdu.trace_id == 0) pdu.trace_id = next_trace_id_++;
+  // The origin copy: serialize once into a pooled segment.  Every
+  // subsequent hop moves the same segment (send_view).
+  transmit(from, to, wire::PduView::build(pdu));
+}
+
+void Network::send_view(const Name& from, const Name& to, wire::PduView pdu) {
+  if (pdu.trace_id() == 0) pdu.patch_trace_id(next_trace_id_++);
+  transmit(from, to, std::move(pdu));
+}
+
+void Network::transmit(const Name& from, const Name& to, wire::PduView pdu) {
   pdus_sent_.inc();
   DirectedLink* link = find_link(from, to);
   if (link == nullptr) {
@@ -77,30 +88,32 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
                           << " -> " << to.short_hex();
     pdus_dropped_.inc();
     drop_no_link_.inc();
-    trace_.record(pdu.trace_id, from, "drop", "no_link");
+    trace_.record(pdu.trace_id(), from, "drop", "no_link");
     return;
   }
   if (link->down) {
     pdus_dropped_.inc();
     drop_link_down_.inc();
-    trace_.record(pdu.trace_id, from, "drop", "link_down");
+    trace_.record(pdu.trace_id(), from, "drop", "link_down");
     return;
   }
-  // Adversary-in-the-path first: it sees the PDU as transmitted.
+  // Adversary-in-the-path first: it sees the PDU as transmitted.  The
+  // interceptor API deals in owned Pdus (mutation is its whole point), so
+  // intercepted links pay a materialise/rebuild — never the honest path.
   if (link->interceptor) {
-    auto mutated = link->interceptor(pdu);
+    auto mutated = link->interceptor(pdu.materialize());
     if (!mutated.has_value()) {
       pdus_dropped_.inc();
       drop_intercepted_.inc();
-      trace_.record(pdu.trace_id, from, "drop", "intercepted");
+      trace_.record(pdu.trace_id(), from, "drop", "intercepted");
       return;
     }
-    pdu = std::move(*mutated);
+    pdu = wire::PduView::build(*mutated);
   }
   if (link->params.loss > 0.0 && sim_.rng().next_bool(link->params.loss)) {
     pdus_dropped_.inc();
     drop_loss_.inc();
-    trace_.record(pdu.trace_id, from, "drop", "link_loss");
+    trace_.record(pdu.trace_id(), from, "drop", "link_loss");
     return;
   }
 
@@ -119,12 +132,12 @@ void Network::send(const Name& from, const Name& to, wire::Pdu pdu) {
     if (it == nodes_.end()) {
       pdus_dropped_.inc();  // crashed or never attached
       drop_unattached_.inc();
-      trace_.record(pdu.trace_id, to, "drop", "node_unattached");
+      trace_.record(pdu.trace_id(), to, "drop", "node_unattached");
       return;
     }
     pdus_delivered_.inc();
     bytes_delivered_.inc(size);
-    it->second->on_pdu(from, pdu);
+    it->second->on_pdu_view(from, std::move(pdu));
   });
 }
 

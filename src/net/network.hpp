@@ -22,6 +22,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "wire/pdu.hpp"
+#include "wire/pdu_view.hpp"
 
 namespace gdp::net {
 
@@ -45,6 +46,14 @@ class PduHandler {
  public:
   virtual ~PduHandler() = default;
   virtual void on_pdu(const Name& from_neighbor, const wire::Pdu& pdu) = 0;
+  /// Zero-copy receive entry point: the link layer delivers the parsed
+  /// view over the refcounted wire segment.  The default materialises an
+  /// owned Pdu for handlers that predate the view path; forwarding-hot
+  /// handlers (routers) override this and never copy the payload.
+  virtual void on_pdu_view(const Name& from_neighbor, wire::PduView view) {
+    const wire::Pdu pdu = view.materialize();
+    on_pdu(from_neighbor, pdu);
+  }
   /// Link-layer failure/recovery notification: the link to `neighbor`
   /// transitioned (up=false: carrier lost, up=true: restored).  Routers
   /// withdraw routes on loss; endpoints re-advertise on recovery.
@@ -76,8 +85,16 @@ class Network {
   std::vector<Name> neighbors(const Name& node) const;
 
   /// Transmits one PDU over the (existing) link from -> to.  Serialization
-  /// delay = wire size / bandwidth; the link is FIFO per direction.
+  /// delay = wire size / bandwidth; the link is FIFO per direction.  The
+  /// PDU is serialized once into a pooled segment here — the origin copy —
+  /// and travels the rest of the fabric by reference (send_view).
   void send(const Name& from, const Name& to, wire::Pdu pdu);
+
+  /// Zero-copy transmit: forwards an already-framed PDU without
+  /// reserializing.  The refcounted segment moves to the next hop as-is;
+  /// only links with an interceptor installed materialise (the adversary
+  /// API sees owned Pdus).
+  void send_view(const Name& from, const Name& to, wire::PduView pdu);
 
   /// Installs/removes an adversary on the directed link from -> to.
   void set_interceptor(const Name& from, const Name& to, Interceptor fn);
@@ -121,6 +138,9 @@ class Network {
   using LinkKey = std::pair<Name, Name>;
 
   DirectedLink* find_link(const Name& from, const Name& to);
+  /// Common tail of send/send_view: link checks, interceptor, loss, then
+  /// bandwidth/latency scheduling of the framed PDU.
+  void transmit(const Name& from, const Name& to, wire::PduView pdu);
   void set_link_state(const Name& a, const Name& b, bool down);
   void notify_link_state(const Name& node, const Name& neighbor, bool up);
 

@@ -1,0 +1,88 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The cross-shard handoff primitive of the worker data plane: each
+// (producer, consumer) pair owns exactly one ring, so no operation ever
+// takes a lock or contends a CAS — the producer writes `head_`, the
+// consumer writes `tail_`, and each observes the other's index with
+// acquire/release ordering only when its cached copy runs out.  Indices
+// live on separate cache lines to stop the two cores false-sharing.
+//
+// Capacity is rounded up to a power of two; one slot is sacrificed to
+// distinguish full from empty (classic Lamport ring).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace gdp::net {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;  // +1: one slot stays empty
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Usable capacity (one slot less than the allocated power of two).
+  std::size_t capacity() const { return mask_; }
+
+  /// Producer side.  False when full; `v` is untouched on failure.
+  bool try_push(T&& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (next == tail_cache_) return false;
+    }
+    slots_[head] = std::move(v);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot population; exact only from the consumer thread.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  // A fixed 64 rather than std::hardware_destructive_interference_size:
+  // the constant is ABI-stable and gcc warns that the trait is not.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::unique_ptr<T[]> slots_;
+  std::size_t mask_ = 0;
+
+  // Producer-owned line: its index plus its cached copy of the consumer's.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Consumer-owned line.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+};
+
+}  // namespace gdp::net

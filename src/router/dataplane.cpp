@@ -1,0 +1,227 @@
+#include "router/dataplane.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gdp::router {
+
+namespace {
+
+// splitmix64 finalizer over (first 8 bytes of dst) ^ seed: cheap, and the
+// seed decorrelates shard ownership from the FIB's own hash.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+ShardedDataPlane::ShardedDataPlane(Config cfg, FibPublisher& fib, EgressFn egress)
+    : cfg_(cfg), fib_(fib), egress_(std::move(egress)) {
+  if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+  const char* det = std::getenv("GDP_DETERMINISTIC");
+  if (det != nullptr && det[0] != '\0') cfg_.deterministic = true;
+  shards_.reserve(cfg_.num_shards);
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(cfg_.ring_capacity));
+  }
+  for (auto& s : shards_) {
+    s->handoff.reserve(cfg_.num_shards);
+    for (std::size_t p = 0; p < cfg_.num_shards; ++p) {
+      s->handoff.push_back(
+          std::make_unique<net::SpscRing<wire::PduView>>(cfg_.ring_capacity));
+    }
+    // Register even in deterministic mode: the publisher then exercises
+    // the same reclamation bookkeeping in both backends.
+    s->reader = fib_.register_reader();
+    s->reader->quiesce();
+  }
+}
+
+ShardedDataPlane::~ShardedDataPlane() {
+  stop();
+  // Workers are gone; their reader slots must stop gating reclamation.
+  for (auto& s : shards_) s->reader->retire();
+}
+
+std::size_t ShardedDataPlane::shard_of(BytesView dst) const {
+  std::uint64_t h;
+  std::memcpy(&h, dst.data(), sizeof(h));
+  return static_cast<std::size_t>(mix(h ^ cfg_.seed) % shards_.size());
+}
+
+bool ShardedDataPlane::submit(wire::PduView&& pdu) {
+  const std::size_t shard = rr_next_;
+  rr_next_ = (rr_next_ + 1) % shards_.size();
+  return submit_to(shard, std::move(pdu));
+}
+
+bool ShardedDataPlane::submit_to(std::size_t shard, wire::PduView&& pdu) {
+  // try_push only consumes `pdu` on success; a false return leaves the
+  // caller's frame intact for retry (by-value parameters here would
+  // destroy the segment on a full ring and feed retries an empty view).
+  return shards_[shard]->ingress.try_push(std::move(pdu));
+}
+
+bool ShardedDataPlane::resubmit(std::size_t shard, wire::PduView&& pdu) {
+  // handoff[shard] of shard `shard` carries only self-produced traffic:
+  // drain_once never routes cross-shard PDUs through it (owner == producer
+  // is handled inline), so the egress hook is its sole producer.
+  return shards_[shard]->handoff[shard]->try_push(std::move(pdu));
+}
+
+void ShardedDataPlane::process(Shard& s, std::size_t shard_idx,
+                               wire::PduView pdu) {
+  if (pdu.ttl() == 0) {
+    s.dropped.inc();
+    s.drop_ttl.inc();
+    return;  // dropping the view releases the segment
+  }
+  const FibSnapshot::Entry* e = fib_.snapshot()->find(pdu.dst_bytes());
+  if (e == nullptr) {
+    s.dropped.inc();
+    s.drop_no_route.inc();
+    return;
+  }
+  const std::int64_t now = now_ns_.load(std::memory_order_relaxed);
+  if (e->expires_ns > 0 && e->expires_ns < now) {
+    s.dropped.inc();
+    s.drop_expired.inc();
+    return;
+  }
+  pdu.dec_ttl();
+  s.fwd_pdus.inc();
+  s.fwd_bytes.inc(pdu.wire_size());
+  egress_(shard_idx, e->next_hop, std::move(pdu));
+}
+
+std::size_t ShardedDataPlane::drain_once(std::size_t shard_idx,
+                                         bool inline_drain) {
+  Shard& s = *shards_[shard_idx];
+  std::size_t moved = 0;
+  wire::PduView pdu;
+  // Ingress first: PDUs the spreader gave us, owned or not.
+  for (std::size_t n = 0; n < cfg_.batch && s.ingress.try_pop(pdu); ++n) {
+    ++moved;
+    const std::size_t owner = shard_of(pdu.dst_bytes());
+    if (owner == shard_idx) {
+      process(s, shard_idx, std::move(pdu));
+      continue;
+    }
+    // Cross-shard handoff over the dedicated (this -> owner) ring.  A
+    // full ring backpressures this worker, never blocks the owner.
+    auto& ring = *shards_[owner]->handoff[shard_idx];
+    for (;;) {
+      if (ring.try_push(std::move(pdu))) {
+        s.handoff_out.inc();
+        break;
+      }
+      if (inline_drain) {
+        // Single-threaded execution: this thread *is* every consumer —
+        // drain the owner so the handoff can never wedge.
+        drain_once(owner, true);
+      } else if (running_.load(std::memory_order_relaxed)) {
+        // The owner's worker will drain it; let it run.
+        std::this_thread::yield();
+      } else {
+        // Shutdown window: the owner may already have exited, so blocking
+        // could wedge and draining its ring would race a live consumer.
+        // Drop with accounting; stop() drains leftovers single-threaded.
+        s.dropped.inc();
+        pdu = wire::PduView();
+        break;
+      }
+    }
+  }
+  // Handoff rings, fixed producer order (determinism).
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    auto& ring = *s.handoff[p];
+    for (std::size_t n = 0; n < cfg_.batch && ring.try_pop(pdu); ++n) {
+      ++moved;
+      s.handoff_in.inc();
+      process(s, shard_idx, std::move(pdu));
+    }
+  }
+  return moved;
+}
+
+void ShardedDataPlane::worker_loop(std::size_t shard_idx) {
+  Shard& s = *shards_[shard_idx];
+  while (running_.load(std::memory_order_relaxed)) {
+    const std::size_t moved = drain_once(shard_idx, /*inline_drain=*/false);
+    // Quiescent point: no snapshot pointer is held between batches.
+    s.reader->quiesce();
+    if (moved == 0) std::this_thread::yield();
+  }
+  s.reader->quiesce();
+}
+
+void ShardedDataPlane::start() {
+  if (cfg_.deterministic || running_.load(std::memory_order_relaxed)) return;
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardedDataPlane::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  running_.store(false, std::memory_order_release);
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  // Workers are joined; drain whatever the shutdown window left queued.
+  run_until_idle();
+}
+
+void ShardedDataPlane::run_until_idle() {
+  if (running_.load(std::memory_order_relaxed)) return;  // workers own the rings
+  std::size_t moved;
+  do {
+    moved = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      moved += drain_once(i, /*inline_drain=*/true);
+    }
+    for (auto& s : shards_) s->reader->quiesce();
+  } while (moved != 0);
+}
+
+std::uint64_t ShardedDataPlane::forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->fwd_pdus.value();
+  return total;
+}
+
+std::uint64_t ShardedDataPlane::forwarded_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->fwd_bytes.value();
+  return total;
+}
+
+std::uint64_t ShardedDataPlane::handoffs() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->handoff_out.value();
+  return total;
+}
+
+std::uint64_t ShardedDataPlane::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->dropped.value();
+  return total;
+}
+
+std::string ShardedDataPlane::stats_json(int indent) const {
+  telemetry::MetricsRegistry merged;
+  for (const auto& s : shards_) merged.merge_from(s->metrics);
+  merged.counter("dp.shards").set(shards_.size());
+  // Deliberately no publish_buffer_stats() here: the pool gauges are
+  // process-cumulative, which would break byte-identical reruns.  Benches
+  // publish them into their own registry when gating allocations.
+  return merged.to_json(indent);
+}
+
+}  // namespace gdp::router

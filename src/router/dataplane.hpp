@@ -1,0 +1,180 @@
+// Sharded multi-worker forwarding engine.
+//
+// The real-threads backend of the router tier: N shard workers, each an
+// independent event loop over bounded SPSC rings, forwarding PduViews by
+// lock-free lookups against the FibPublisher's immutable snapshots.  The
+// design mirrors a modern userspace router:
+//
+//   * Ingress spreads PDUs round-robin across the shards' ingress rings
+//     (the role RSS plays on a NIC — the spreader does not inspect names).
+//   * Name ownership is determined by a seeded hash of the destination:
+//     shard_of(dst).  A worker that pops a PDU it does not own hands it to
+//     the owner over the dedicated (worker -> owner) SPSC ring, so every
+//     cross-shard path is single-producer/single-consumer and lock-free.
+//   * The owning worker does the snapshot-FIB lookup, patches the TTL in
+//     place (the segment is singly-referenced in steady state, so the
+//     copy-on-write patch never copies), and emits the frame through the
+//     egress hook — payload bytes are never touched.
+//   * Workers quiesce their QSBR reader slot between batches; the control
+//     plane can upsert + publish() concurrently and the old snapshot is
+//     reclaimed only after every worker has moved past it.
+//
+// Two execution modes behind one interface:
+//   threaded       one std::thread per shard (start()/stop()); batching
+//                  plus sched_yield keeps the loop honest when shards
+//                  timeshare a core.
+//   deterministic  no threads: run_until_idle() drives the shards in
+//                  lockstep on the calling thread, draining rings in a
+//                  fixed order — byte-identical stats for identical input
+//                  sequences.  Selected by Config::deterministic or the
+//                  GDP_DETERMINISTIC environment variable.
+//
+// Per-shard telemetry lives in per-shard MetricsRegistries (no shared
+// counters on the hot path); stats_json() merges them in shard order into
+// one registry, so the aggregate is deterministic and byte-stable no
+// matter how many workers produced it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/spsc_ring.hpp"
+#include "router/fib.hpp"
+#include "telemetry/metrics.hpp"
+#include "wire/pdu_view.hpp"
+
+namespace gdp::router {
+
+class ShardedDataPlane {
+ public:
+  struct Config {
+    std::size_t num_shards = 4;
+    std::size_t ring_capacity = 4096;
+    /// Seeds shard_of(); identical seeds give identical shard ownership
+    /// (and therefore identical handoff sequences).
+    std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+    /// Lockstep single-thread execution; also forced by the
+    /// GDP_DETERMINISTIC environment variable (any non-empty value).
+    bool deterministic = false;
+    /// Max PDUs a worker processes per ring before quiescing its QSBR
+    /// slot and checking the stop flag.
+    std::size_t batch = 128;
+  };
+
+  /// Egress hook: the forwarding decision for one PDU, called on the
+  /// owning shard's worker thread.  Dropping the view releases the
+  /// segment back to the pool.
+  using EgressFn =
+      std::function<void(std::size_t shard, const Name& next_hop, wire::PduView pdu)>;
+
+  /// `fib` must outlive the data plane; its publisher side may be driven
+  /// concurrently with forwarding (that is the point).
+  ShardedDataPlane(Config cfg, FibPublisher& fib, EgressFn egress);
+  ~ShardedDataPlane();
+
+  ShardedDataPlane(const ShardedDataPlane&) = delete;
+  ShardedDataPlane& operator=(const ShardedDataPlane&) = delete;
+
+  /// Owning shard for a destination name (seeded, stable for the plane's
+  /// lifetime).
+  std::size_t shard_of(BytesView dst) const;
+
+  /// Enqueues one PDU for forwarding; false when the target ingress ring
+  /// is full (caller backpressure).  Mirrors SpscRing::try_push: on
+  /// failure `pdu` is left untouched so the caller can retry the same
+  /// frame.  Single-threaded producer: exactly one thread may call
+  /// submit()/submit_to().
+  bool submit(wire::PduView&& pdu);
+  /// Bypasses the round-robin spreader (tests pin PDUs to a shard).
+  bool submit_to(std::size_t shard, wire::PduView&& pdu);
+  /// Re-injects a PDU from *inside the egress hook* for chained multi-hop
+  /// forwarding: pushes onto the owning shard's self-handoff ring, where
+  /// producer and consumer are the same worker thread, so this is legal
+  /// from the egress callback while submit()'s single producer keeps
+  /// running.  Same no-consume-on-failure contract as submit().
+  bool resubmit(std::size_t shard, wire::PduView&& pdu);
+
+  /// Threaded mode: spawn the workers / join them.  No-ops when
+  /// deterministic.
+  void start();
+  void stop();
+
+  /// Deterministic mode: drives all shards in lockstep until every ring
+  /// is empty.  Also the drain step threaded tests call after stop().
+  void run_until_idle();
+
+  bool deterministic() const { return cfg_.deterministic; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Advances the data-plane clock used for route-expiry checks (the
+  /// engine itself never reads a wall clock — determinism).
+  void set_now_ns(std::int64_t now_ns) {
+    now_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+
+  // Aggregates over all shards (exact once workers are stopped or idle).
+  std::uint64_t forwarded() const;
+  std::uint64_t forwarded_bytes() const;
+  std::uint64_t handoffs() const;
+  std::uint64_t dropped() const;
+
+  /// Merged per-shard registries (shard order, then sorted names) plus
+  /// `dp.shards`: byte-identical output for identical traffic regardless
+  /// of worker interleaving.
+  std::string stats_json(int indent = 2) const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity)
+        : ingress(ring_capacity),
+          fwd_pdus(metrics.counter("dp.fwd.pdus")),
+          fwd_bytes(metrics.counter("dp.fwd.bytes")),
+          handoff_out(metrics.counter("dp.handoff.out")),
+          handoff_in(metrics.counter("dp.handoff.in")),
+          dropped(metrics.counter("dp.drop.pdus")),
+          drop_ttl(metrics.counter("dp.drop.ttl")),
+          drop_no_route(metrics.counter("dp.drop.no_route")),
+          drop_expired(metrics.counter("dp.drop.expired")) {}
+
+    net::SpscRing<wire::PduView> ingress;
+    /// handoff[p]: ring carrying PDUs produced by shard p for this shard.
+    std::vector<std::unique_ptr<net::SpscRing<wire::PduView>>> handoff;
+    FibPublisher::Reader* reader = nullptr;
+    std::thread thread;
+
+    telemetry::MetricsRegistry metrics;
+    telemetry::Counter& fwd_pdus;
+    telemetry::Counter& fwd_bytes;
+    telemetry::Counter& handoff_out;
+    telemetry::Counter& handoff_in;
+    telemetry::Counter& dropped;
+    telemetry::Counter& drop_ttl;
+    telemetry::Counter& drop_no_route;
+    telemetry::Counter& drop_expired;
+  };
+
+  /// Forwards one PDU this shard owns: TTL, snapshot lookup, egress.
+  void process(Shard& s, std::size_t shard_idx, wire::PduView pdu);
+  /// Pops one batch from every ring feeding shard i; returns PDUs moved.
+  /// `inline_drain`: on a full handoff ring, drain the owner shard from
+  /// this thread — only legal when no worker threads are running (lockstep
+  /// mode and post-join drains); workers instead drop with accounting
+  /// during the shutdown window.
+  std::size_t drain_once(std::size_t shard_idx, bool inline_drain);
+  void worker_loop(std::size_t shard_idx);
+
+  Config cfg_;
+  FibPublisher& fib_;
+  EgressFn egress_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> now_ns_{0};
+  std::size_t rr_next_ = 0;  ///< round-robin ingress spreader state
+};
+
+}  // namespace gdp::router

@@ -100,6 +100,25 @@ void Endpoint::on_pdu(const Name& from, const wire::Pdu& pdu) {
   }
 }
 
+void Endpoint::on_pdu_view(const Name& from, wire::PduView view) {
+  switch (view.type()) {
+    case wire::MsgType::kChallenge:
+    case wire::MsgType::kAdvertiseOk: {
+      // Handshake control plane: tiny, rare, and handled by the legacy
+      // parser — materialising here keeps one copy of that logic.
+      const wire::Pdu pdu = view.materialize();
+      on_pdu(from, pdu);
+      return;
+    }
+    default:
+      // Mirrors on_pdu's accounting for the delivery path exactly.
+      recv_pdus_.inc();
+      net_.trace().record(view.trace_id(), self_.name(), "recv");
+      net_.trace().record(view.trace_id(), self_.name(), "deliver");
+      handle_pdu_view(from, std::move(view));
+  }
+}
+
 void Endpoint::send_pdu(const Name& dst, wire::MsgType type, Bytes payload,
                         std::uint64_t flow_id) {
   wire::Pdu pdu;

@@ -36,6 +36,10 @@ class Endpoint : public net::PduHandler {
                  Duration lease = from_seconds(3600));
 
   void on_pdu(const Name& from, const wire::Pdu& pdu) final;
+  /// View-path receive: handshake control messages (kChallenge /
+  /// kAdvertiseOk) materialise into the legacy handler; data traffic goes
+  /// to handle_pdu_view so sinks can consume payloads without a copy.
+  void on_pdu_view(const Name& from, wire::PduView view) final;
 
   /// Access-link failure/recovery: on loss the endpoint is detached; on
   /// recovery it re-runs the secure-advertisement handshake (reattach())
@@ -50,6 +54,12 @@ class Endpoint : public net::PduHandler {
   virtual void reattach();
   /// Application-level messages (everything the base does not consume).
   virtual void handle_pdu(const Name& from, const wire::Pdu& pdu) = 0;
+  /// Zero-copy variant; the default materialises into handle_pdu.
+  /// Override to read the payload straight out of the wire segment.
+  virtual void handle_pdu_view(const Name& from, wire::PduView view) {
+    const wire::Pdu pdu = view.materialize();
+    handle_pdu(from, pdu);
+  }
   /// Called when the router accepts (or rejects) the advertisement.
   virtual void on_attached(bool ok, const wire::AdvertiseOkMsg& msg) { (void)ok; (void)msg; }
 

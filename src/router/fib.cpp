@@ -1,0 +1,119 @@
+#include "router/fib.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace gdp::router {
+namespace {
+
+// Names are SHA-256 outputs, so the first 8 bytes are already uniform;
+// the multiply spreads that entropy into the low bits the slot mask keeps.
+std::uint64_t hash_name(const std::uint8_t* p) {
+  std::uint64_t h;
+  std::memcpy(&h, p, sizeof(h));
+  return h * 0x9E3779B97F4A7C15ull;
+}
+
+}  // namespace
+
+const FibSnapshot::Entry* FibSnapshot::find(BytesView target) const {
+  if (entries_.empty() || target.size() != Name::kSize) return nullptr;
+  std::size_t slot = static_cast<std::size_t>(hash_name(target.data())) & mask_;
+  for (;;) {
+    const std::uint32_t idx = slots_[slot];
+    if (idx == 0) return nullptr;
+    const Entry& e = entries_[idx - 1];
+    if (std::memcmp(e.target.raw().data(), target.data(), Name::kSize) == 0) {
+      return &e;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+FibPublisher::FibPublisher() {
+  // Always expose a (possibly empty) snapshot so readers never branch on
+  // nullptr in the hot path.
+  owned_current_ = build(map_, 0);
+  current_.store(owned_current_.get(), std::memory_order_release);
+}
+
+FibPublisher::~FibPublisher() = default;
+
+void FibPublisher::upsert(const Name& target, const Name& next_hop,
+                          std::int64_t expires_ns) {
+  map_[target] = Route{next_hop, expires_ns};
+  dirty_ = true;
+}
+
+bool FibPublisher::erase(const Name& target) {
+  if (map_.erase(target) == 0) return false;
+  dirty_ = true;
+  return true;
+}
+
+std::unique_ptr<const FibSnapshot> FibPublisher::build(
+    const std::unordered_map<Name, Route>& map, std::uint64_t version) {
+  auto snap = std::make_unique<FibSnapshot>();
+  snap->version_ = version;
+  snap->entries_.reserve(map.size());
+  for (const auto& [target, route] : map) {
+    snap->entries_.push_back(
+        FibSnapshot::Entry{target, route.next_hop, route.expires_ns});
+  }
+  // >= 2x entries keeps the load factor under 0.5 so linear probes stay
+  // short; minimum 16 slots avoids degenerate tiny tables.
+  const std::size_t want = std::max<std::size_t>(16, 2 * snap->entries_.size());
+  const std::size_t slots = std::bit_ceil(want);
+  snap->slots_.assign(slots, 0);
+  snap->mask_ = slots - 1;
+  for (std::uint32_t i = 0; i < snap->entries_.size(); ++i) {
+    std::size_t slot =
+        static_cast<std::size_t>(hash_name(snap->entries_[i].target.raw().data())) &
+        snap->mask_;
+    while (snap->slots_[slot] != 0) slot = (slot + 1) & snap->mask_;
+    snap->slots_[slot] = i + 1;
+  }
+  return snap;
+}
+
+void FibPublisher::publish() {
+  if (!dirty_) {
+    reclaim();
+    return;
+  }
+  dirty_ = false;
+  ++publish_count_;
+  auto next = build(map_, publish_count_);
+  const FibSnapshot* next_raw = next.get();
+  std::unique_ptr<const FibSnapshot> old = std::move(owned_current_);
+  owned_current_ = std::move(next);
+  current_.store(next_raw, std::memory_order_release);
+  // The retirement epoch is published *after* the swap: any reader that
+  // later announces this epoch observed it after the store above, hence
+  // can no longer be dereferencing `old`.
+  const std::uint64_t epoch =
+      publish_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  retired_.push_back(Retired{epoch, std::move(old)});
+  reclaim();
+}
+
+void FibPublisher::reclaim() {
+  if (retired_.empty()) return;
+  std::uint64_t min_epoch = ~std::uint64_t{0};
+  for (const auto& r : readers_) {
+    min_epoch = std::min(min_epoch, r->epoch_.load(std::memory_order_acquire));
+  }
+  std::size_t keep = 0;
+  for (auto& r : retired_) {
+    if (r.epoch > min_epoch) retired_[keep++] = std::move(r);
+  }
+  retired_.resize(keep);
+}
+
+FibPublisher::Reader* FibPublisher::register_reader() {
+  readers_.push_back(std::unique_ptr<Reader>(new Reader(this)));
+  return readers_.back().get();
+}
+
+}  // namespace gdp::router

@@ -1,0 +1,174 @@
+// Read-mostly FIB as immutable snapshots, swapped RCU-style.
+//
+// Forwarding is the hot path; route updates (advertisements, lookup
+// replies, expiry sweeps, link failures) are rare.  The authoritative
+// table therefore lives with the control plane in a FibPublisher, and
+// every mutation batch publishes a fresh *immutable* FibSnapshot — a flat
+// open-addressing hash table — through one atomic pointer.  Forwarding
+// (the simulator router and every shard worker of the threaded data
+// plane) reads the current snapshot with a single acquire load and never
+// takes a lock.
+//
+// Reclamation is quiescent-state-based (QSBR): each reader thread
+// registers a Reader slot and announces, between forwarding batches while
+// holding no snapshot pointer, the latest publish epoch it has observed.
+// A retired snapshot is freed once every active reader has announced an
+// epoch at or past its retirement — at that point no reader can still
+// hold it, because the announcement happens-after the pointer swap.
+//
+// Single-threaded use (the deterministic simulator) degenerates cleanly:
+// no readers are registered, so retired snapshots free on the next
+// publish, and the transient pointer held inside one forward() call can
+// never outlive it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+
+namespace gdp::router {
+
+/// Immutable flat hash table: target name -> (next hop, expiry).  Built
+/// by FibPublisher::publish(); never mutated afterwards, so concurrent
+/// readers need no synchronization beyond the acquire load that found it.
+class FibSnapshot {
+ public:
+  struct Entry {
+    Name target;
+    Name next_hop;
+    std::int64_t expires_ns = 0;  ///< <= 0: unbounded
+  };
+
+  /// Lock-free point lookup; nullptr on miss.  `target` must be a
+  /// 32-byte name view (zero-copy key straight out of a wire segment).
+  const Entry* find(BytesView target) const;
+  const Entry* find(const Name& target) const { return find(target.view()); }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t version() const { return version_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  friend class FibPublisher;
+
+  std::vector<Entry> entries_;
+  /// Open-addressing slot table: entry index + 1, 0 = empty.  Power-of-two
+  /// sized at >= 2x entries, linear probing.
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// Authoritative route table + snapshot publication + QSBR reclamation.
+/// One writer thread (the control plane); any number of reader threads.
+class FibPublisher {
+ public:
+  struct Route {
+    Name next_hop;
+    std::int64_t expires_ns = 0;
+  };
+
+  /// One per reader thread.  quiesce() must only be called while the
+  /// thread holds no snapshot pointer.
+  class Reader {
+   public:
+    void quiesce() {
+      epoch_.store(publisher_->publish_epoch_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    }
+    /// Permanently stops participating (thread exiting); retired
+    /// snapshots no longer wait on this reader.
+    void retire() {
+      epoch_.store(~std::uint64_t{0}, std::memory_order_release);
+    }
+
+   private:
+    friend class FibPublisher;
+    explicit Reader(FibPublisher* p) : publisher_(p) {}
+    FibPublisher* publisher_;
+    std::atomic<std::uint64_t> epoch_{0};
+  };
+
+  FibPublisher();
+  ~FibPublisher();
+
+  FibPublisher(const FibPublisher&) = delete;
+  FibPublisher& operator=(const FibPublisher&) = delete;
+
+  // --- writer side (control plane) ---
+
+  void upsert(const Name& target, const Name& next_hop, std::int64_t expires_ns);
+  bool erase(const Name& target);
+  /// Erases every route matching `pred(target, route)`; returns the count.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t n = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first, it->second)) {
+        it = map_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    if (n != 0) dirty_ = true;
+    return n;
+  }
+
+  /// Swaps in a snapshot of the current table if anything changed since
+  /// the last publish, then reclaims every retired snapshot all active
+  /// readers have quiesced past.  No-op when clean.
+  void publish();
+
+  // --- reader side (forwarding) ---
+
+  /// Current snapshot.  Hold only transiently; a registered reader must
+  /// quiesce() between holds or retired snapshots cannot be reclaimed.
+  const FibSnapshot* snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Registers a reader slot (call before the reader thread starts; slots
+  /// live as long as the publisher).
+  Reader* register_reader();
+
+  // --- introspection (writer thread) ---
+
+  const std::unordered_map<Name, Route>& routes() const { return map_; }
+  const Route* route(const Name& target) const {
+    auto it = map_.find(target);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t publish_count() const { return publish_count_; }
+  std::size_t retired_count() const { return retired_.size(); }
+
+ private:
+  void reclaim();
+  static std::unique_ptr<const FibSnapshot> build(
+      const std::unordered_map<Name, Route>& map, std::uint64_t version);
+
+  std::unordered_map<Name, Route> map_;
+  bool dirty_ = false;
+
+  std::atomic<const FibSnapshot*> current_{nullptr};
+  std::unique_ptr<const FibSnapshot> owned_current_;
+  /// publish() bumps this *after* swapping the pointer; readers copy it
+  /// into their slot at quiescent points.
+  std::atomic<std::uint64_t> publish_epoch_{0};
+  std::uint64_t publish_count_ = 0;
+
+  struct Retired {
+    std::uint64_t epoch;
+    std::unique_ptr<const FibSnapshot> snapshot;
+  };
+  std::vector<Retired> retired_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+};
+
+}  // namespace gdp::router

@@ -1,6 +1,7 @@
 #include "router/router.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "trust/batch_warm.hpp"
@@ -59,9 +60,14 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
 
 void Router::drop_pdu(const wire::Pdu& pdu, telemetry::Counter& reason_counter,
                       const char* reason) {
+  drop_pdu(pdu.trace_id, reason_counter, reason);
+}
+
+void Router::drop_pdu(std::uint64_t trace_id, telemetry::Counter& reason_counter,
+                      const char* reason) {
   dropped_.inc();
   reason_counter.inc();
-  net_.trace().record(pdu.trace_id, self_.name(), "drop", reason);
+  net_.trace().record(trace_id, self_.name(), "drop", reason);
 }
 
 void Router::autosize_verify_cache() {
@@ -83,32 +89,55 @@ void Router::publish_metrics() {
       .set(verify_cache_.capacity());
 }
 
+std::string Router::stats_json(int indent) {
+  publish_metrics();
+  return net_.metrics().subset(metric_prefix_).to_json(indent);
+}
+
 void Router::on_pdu(const Name& from, const wire::Pdu& pdu) {
   net_.trace().record(pdu.trace_id, self_.name(), "recv");
   if (pdu.dst == self_.name()) {
-    switch (pdu.type) {
-      case wire::MsgType::kAdvertise:
-        handle_advertise(from, pdu);
-        return;
-      case wire::MsgType::kChallengeReply:
-        handle_challenge_reply(from, pdu);
-        return;
-      case wire::MsgType::kLookupReply:
-        handle_lookup_reply(pdu);
-        return;
-      default:
-        // Benchmarks may address raw traffic to the router itself.
-        if (pdu.type == wire::MsgType::kBenchData) {
-          net_.trace().record(pdu.trace_id, self_.name(), "deliver", "bench_sink");
-          return;
-        }
-        GDP_LOG(kWarn, "router") << "unhandled control PDU type "
-                                 << static_cast<int>(pdu.type);
-        drop_pdu(pdu, drop_unhandled_, "unhandled_type");
-        return;
-    }
+    handle_control(from, pdu);
+    return;
   }
   forward(pdu);
+}
+
+void Router::on_pdu_view(const Name& from, wire::PduView view) {
+  net_.trace().record(view.trace_id(), self_.name(), "recv");
+  if (std::memcmp(view.dst_bytes().data(), self_.name().raw().data(),
+                  Name::kSize) == 0) {
+    // Control plane: rare, verification-heavy, parsed by the legacy
+    // handlers — the materialise copy is off the forwarding path.
+    const wire::Pdu pdu = view.materialize();
+    handle_control(from, pdu);
+    return;
+  }
+  forward_view(std::move(view));
+}
+
+void Router::handle_control(const Name& from, const wire::Pdu& pdu) {
+  switch (pdu.type) {
+    case wire::MsgType::kAdvertise:
+      handle_advertise(from, pdu);
+      return;
+    case wire::MsgType::kChallengeReply:
+      handle_challenge_reply(from, pdu);
+      return;
+    case wire::MsgType::kLookupReply:
+      handle_lookup_reply(pdu);
+      return;
+    default:
+      // Benchmarks may address raw traffic to the router itself.
+      if (pdu.type == wire::MsgType::kBenchData) {
+        net_.trace().record(pdu.trace_id, self_.name(), "deliver", "bench_sink");
+        return;
+      }
+      GDP_LOG(kWarn, "router") << "unhandled control PDU type "
+                               << static_cast<int>(pdu.type);
+      drop_pdu(pdu, drop_unhandled_, "unhandled_type");
+      return;
+  }
 }
 
 void Router::forward(wire::Pdu pdu) {
@@ -117,21 +146,48 @@ void Router::forward(wire::Pdu pdu) {
     return;
   }
   pdu.ttl -= 1;
-  auto it = fib_.find(pdu.dst);
-  if (it != fib_.end() && route_expired(it->second)) {
+  forward_slow(std::move(pdu));
+}
+
+void Router::forward_view(wire::PduView pdu) {
+  if (pdu.ttl() == 0) {
+    drop_pdu(pdu.trace_id(), drop_ttl_, "ttl");
+    return;
+  }
+  pdu.dec_ttl();
+  // Lock-free lookup against the published immutable snapshot: one
+  // acquire load, open-addressing probe over flat memory, no mutation.
+  const FibSnapshot::Entry* e = fib_.snapshot()->find(pdu.dst_bytes());
+  if (e != nullptr && !route_expired(e->expires_ns)) {
+    fib_hits_.inc();
+    net_.trace().record(pdu.trace_id(), self_.name(), "fib_lookup", "hit");
+    forwarded_.inc();
+    net_.trace().record(pdu.trace_id(), self_.name(), "forward");
+    net_.send_view(self_.name(), e->next_hop, std::move(pdu));
+    return;
+  }
+  // Miss or expired hit: the slow path owns every mutating branch (lazy
+  // purge, queue-on-miss, lookup kick-off).  TTL is already decremented.
+  forward_slow(pdu.materialize());
+}
+
+void Router::forward_slow(wire::Pdu pdu) {
+  const FibPublisher::Route* route = fib_.route(pdu.dst);
+  if (route != nullptr && route_expired(route->expires_ns)) {
     // Lazy purge: fall through to the miss path, which re-triggers a
     // lookup instead of silently forwarding on stale state.
     fib_expired_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "fib_expired");
-    fib_.erase(it);
-    it = fib_.end();
+    fib_.erase(pdu.dst);
+    fib_.publish();
+    route = nullptr;
   }
-  if (it != fib_.end()) {
+  if (route != nullptr) {
     fib_hits_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "fib_lookup", "hit");
     forwarded_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "forward");
-    net_.send(self_.name(), it->second.next_hop, std::move(pdu));
+    net_.send(self_.name(), route->next_hop, std::move(pdu));
     return;
   }
   fib_misses_.inc();
@@ -278,7 +334,8 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
   const Name next_hop =
       reply->attachment_router == self_.name() ? reply->target : reply->next_hop;
   if (next_hop != self_.name() && net_.adjacent(self_.name(), next_hop)) {
-    fib_[reply->target] = RouteEntry{next_hop, expires_ns};
+    fib_.upsert(reply->target, next_hop, expires_ns);
+    fib_.publish();
     autosize_verify_cache();
   } else if (reply->attachment_router == self_.name()) {
     // The target was supposedly attached here but is not adjacent: stale.
@@ -389,7 +446,7 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
 
   // 3. The advertiser's own name becomes directly routable, for as long as
   // the RtCert authorizes us to speak for it.
-  fib_[advertiser->name()] = RouteEntry{pending.neighbor, rt->not_after_ns};
+  fib_.upsert(advertiser->name(), pending.neighbor, rt->not_after_ns);
   note_attached(advertiser->name());
   if (glookup_ != nullptr) {
     GLookupService::Entry entry;
@@ -454,7 +511,7 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
         (route_expiry <= 0 || rt->not_after_ns < route_expiry)) {
       route_expiry = rt->not_after_ns;
     }
-    fib_[ad.advertised] = RouteEntry{pending.neighbor, route_expiry};
+    fib_.upsert(ad.advertised, pending.neighbor, route_expiry);
     note_attached(ad.advertised);
     ++accepted;
     ads_accepted_.inc();
@@ -473,6 +530,9 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
       }
     }
   }
+  // One snapshot publish for the whole handshake batch: the advertiser's
+  // own route plus every accepted catalog entry become visible together.
+  fib_.publish();
   // The catalog install may have grown the FIB well past the default
   // verify-cache capacity; re-size before the next delegation-chain check
   // so re-advertisements keep their cached verdicts (ROADMAP follow-on).
@@ -490,24 +550,22 @@ void Router::neighbor_down(const Name& neighbor) {
       // link are exactly the attached targets, so a withdrawn cert cannot
       // be reused by a re-attached advertiser elsewhere.
       rt_certs_.erase(target);
-      auto fib_it = fib_.find(target);
+      const FibPublisher::Route* route = fib_.route(target);
       // Only purge if the route still points at the dead neighbor (it may
       // have been re-advertised elsewhere meanwhile).
-      if (fib_it != fib_.end() && fib_it->second.next_hop == neighbor) {
-        fib_.erase(fib_it);
+      if (route != nullptr && route->next_hop == neighbor) {
+        fib_.erase(target);
         if (glookup_ != nullptr) glookup_->unregister(target, self_.name());
       }
     }
     attached_via_.erase(it);
   }
-  // Transit routes through the failed neighbor also die.
-  for (auto fib_it = fib_.begin(); fib_it != fib_.end();) {
-    if (fib_it->second.next_hop == neighbor) {
-      fib_it = fib_.erase(fib_it);
-    } else {
-      ++fib_it;
-    }
-  }
+  // Transit routes through the failed neighbor also die.  One publish
+  // covers the whole withdrawal.
+  fib_.erase_if([&](const Name&, const FibPublisher::Route& r) {
+    return r.next_hop == neighbor;
+  });
+  fib_.publish();
 }
 
 void Router::neighbor_up(const Name& neighbor) {
@@ -540,16 +598,12 @@ void Router::schedule_maintenance() {
 
 std::size_t Router::maintenance_round() {
   const std::int64_t now = net_.sim().now().count();
-  std::size_t expired = 0;
-  for (auto it = fib_.begin(); it != fib_.end();) {
-    if (it->second.expires_ns > 0 && it->second.expires_ns < now) {
-      fib_expired_.inc();
-      ++expired;
-      it = fib_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  const std::size_t expired =
+      fib_.erase_if([&](const Name&, const FibPublisher::Route& r) {
+        return r.expires_ns > 0 && r.expires_ns < now;
+      });
+  fib_expired_.inc(expired);
+  fib_.publish();
   for (auto it = rt_certs_.begin(); it != rt_certs_.end();) {
     if (it->second.not_after_ns < now) {
       it = rt_certs_.erase(it);
@@ -561,8 +615,8 @@ std::size_t Router::maintenance_round() {
 }
 
 bool Router::has_route(const Name& target) const {
-  auto it = fib_.find(target);
-  return it != fib_.end() && !route_expired(it->second);
+  const FibPublisher::Route* route = fib_.route(target);
+  return route != nullptr && !route_expired(route->expires_ns);
 }
 
 std::size_t Router::awaiting_route_count() const {

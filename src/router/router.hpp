@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "router/fib.hpp"
 #include "router/glookup.hpp"
 #include "router/topology.hpp"
 #include "trust/advertisement.hpp"
@@ -60,6 +61,11 @@ class Router : public net::PduHandler {
   const Name& domain() const { return domain_; }
 
   void on_pdu(const Name& from, const wire::Pdu& pdu) override;
+  /// Zero-copy receive: transit PDUs take the snapshot-FIB fast path
+  /// (forward_view) and leave by send_view without ever materialising an
+  /// owned Pdu; control traffic addressed to the router materialises into
+  /// the legacy handlers.
+  void on_pdu_view(const Name& from, wire::PduView view) override;
 
   /// Link-layer failure notification: the access link to `neighbor` went
   /// down.  Purges every route learned from that neighbor and withdraws
@@ -109,6 +115,17 @@ class Router : public net::PduHandler {
   /// into the registry; called by stats dumpers before serializing.
   void publish_metrics();
 
+  /// This router's full stats scope (`router.<label>.*`) as sorted JSON.
+  /// Gauges are refreshed first; output is byte-identical across reruns
+  /// for identical traffic, and matches what ShardedDataPlane emits after
+  /// merging per-shard registries — the single source of truth for drop
+  /// accounting regardless of how many workers produced it.
+  std::string stats_json(int indent = 2);
+
+  /// The snapshot-FIB publisher: tests exercise concurrent readers
+  /// against it, and the sharded data plane registers its workers here.
+  FibPublisher& fib() { return fib_; }
+
   /// Direct FIB inspection for tests: a route exists and has not expired.
   bool has_route(const Name& target) const;
   /// PDUs parked behind unresolved lookups — must be zero at teardown
@@ -135,16 +152,6 @@ class Router : public net::PduHandler {
     Bytes nonce;
   };
 
-  /// FIB entry: next hop plus a hard expiry (min of the backing RtCert
-  /// `not_after_ns` and the catalog's effective advertisement expiry;
-  /// <= 0 = unbounded).  Expired entries are purged lazily on forward and
-  /// by the periodic sweep, re-triggering a lookup instead of silently
-  /// using stale state.
-  struct RouteEntry {
-    Name next_hop;
-    std::int64_t expires_ns = 0;
-  };
-
   /// One outstanding lookup: the nonce binding replies to this request
   /// (unsolicited or stale replies are discarded), the attempt count and
   /// the backoff timer.
@@ -154,15 +161,27 @@ class Router : public net::PduHandler {
     net::Simulator::TimerHandle timer;
   };
 
-  bool route_expired(const RouteEntry& e) const {
-    return e.expires_ns > 0 && e.expires_ns < net_.sim().now().count();
+  bool route_expired(std::int64_t expires_ns) const {
+    return expires_ns > 0 && expires_ns < net_.sim().now().count();
   }
 
+  /// Control traffic addressed to this router (the switch formerly inside
+  /// on_pdu); both receive entry points funnel here.
+  void handle_control(const Name& from, const wire::Pdu& pdu);
   void forward(wire::Pdu pdu);
+  /// Snapshot-FIB fast path: TTL patch + lock-free lookup + send_view.
+  /// Misses and expired hits materialise into forward_slow.
+  void forward_view(wire::PduView pdu);
+  /// Everything forwarding that mutates state (lazy expiry purge,
+  /// queue-on-miss, lookup kick-off).  Expects the TTL already checked
+  /// and decremented by the caller.
+  void forward_slow(wire::Pdu pdu);
   /// Drop accounting: every code path that discards a PDU funnels through
   /// here so silent drops are impossible — the reason becomes a counter
   /// (`router.<label>.drop.<reason>`) and a trace span.
   void drop_pdu(const wire::Pdu& pdu, telemetry::Counter& reason_counter,
+                const char* reason);
+  void drop_pdu(std::uint64_t trace_id, telemetry::Counter& reason_counter,
                 const char* reason);
   /// Grows (never shrinks) the verify cache to 2x the advertised-name
   /// cardinality, unless a test pinned the capacity explicitly.
@@ -192,7 +211,9 @@ class Router : public net::PduHandler {
   MaintenanceConfig maintenance_;
   bool maintenance_running_ = false;
 
-  std::unordered_map<Name, RouteEntry> fib_;  ///< target -> next hop + expiry
+  /// Authoritative routes + published immutable snapshots.  Control-plane
+  /// handlers mutate and publish(); forwarding reads the snapshot only.
+  FibPublisher fib_;
   /// Targets learned from each directly attached advertiser (for
   /// neighbor_down withdrawal).
   std::unordered_map<Name, std::vector<Name>> attached_via_;

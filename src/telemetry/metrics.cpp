@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/buffer.hpp"
+
 namespace gdp::telemetry {
 
 void Histogram::record(std::uint64_t value) {
@@ -30,6 +32,16 @@ std::uint64_t Histogram::bucket_upper_bound(std::size_t index) {
   const std::uint64_t width = 1ull << (e - 2);
   const std::uint64_t lower = (4 + sub) * width;
   return lower + width - 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
 }
 
 std::uint64_t Histogram::quantile(double q) const {
@@ -102,6 +114,32 @@ std::string MetricsRegistry::to_json(int indent) const {
   out += first ? "}\n" : "\n" + pad1 + "}\n";
   out += "}\n";
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+MetricsRegistry MetricsRegistry::subset(const std::string& prefix) const {
+  MetricsRegistry out;
+  for (const auto& [name, c] : counters_) {
+    if (name.starts_with(prefix)) out.counters_[name] = c;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (name.starts_with(prefix)) out.histograms_[name] = h;
+  }
+  return out;
+}
+
+void publish_buffer_stats(MetricsRegistry& m) {
+  const BufferStats::Snapshot s = BufferStats::snapshot();
+  m.counter("buffer.pool.allocs").set(s.segment_allocs);
+  m.counter("buffer.pool.reuses").set(s.segment_reuses);
+  m.counter("buffer.pool.releases").set(s.segment_releases);
+  m.counter("buffer.bytes_copied").set(s.bytes_copied);
+  m.counter("buffer.arena.blocks").set(s.arena_blocks);
+  m.counter("buffer.arena.bytes").set(s.arena_bytes);
 }
 
 }  // namespace gdp::telemetry

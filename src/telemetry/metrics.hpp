@@ -17,6 +17,7 @@
 // order, so two identical simulation runs serialize byte-identically.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -25,14 +26,30 @@ namespace gdp::telemetry {
 
 /// Monotonic event counter.  `set()` exists for sampled gauges (FIB size,
 /// cache occupancy) published into the registry at snapshot time.
+///
+/// Single-writer discipline: exactly one thread increments any given
+/// counter (per-shard registries give each worker its own instruments),
+/// so inc() is a plain load+store — no atomic RMW on the hot path — while
+/// the atomic slot lets any other thread value()-poll without a data race
+/// (threaded data-plane tests and progress monitors do).
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  void set(std::uint64_t v) { value_ = v; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& o) : value_(o.value()) {}
+  Counter& operator=(const Counter& o) {
+    value_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Fixed-bucket log-scale histogram for latencies (ns) and sizes (bytes).
@@ -55,6 +72,12 @@ class Histogram {
   double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
+  /// Folds `other` into this histogram bucket-wise: counts, sums and
+  /// min/max combine exactly; quantiles of the merged histogram are what
+  /// they would have been had every sample been recorded here.  Used to
+  /// aggregate per-shard registries into one fabric view.
+  void merge(const Histogram& other);
+
   /// q in [0,1]; returns 0 on an empty histogram.
   std::uint64_t quantile(double q) const;
   std::uint64_t p50() const { return quantile(0.50); }
@@ -85,6 +108,18 @@ class MetricsRegistry {
   std::size_t counter_count() const { return counters_.size(); }
   std::size_t histogram_count() const { return histograms_.size(); }
 
+  /// Adds every instrument of `other` into this registry: counters with
+  /// the same name sum, histograms merge bucket-wise, unseen names are
+  /// created.  Shard registries merged in any order produce identical
+  /// totals, and to_json() of the merged registry is byte-identical
+  /// across reruns (sorted map iteration).
+  void merge_from(const MetricsRegistry& other);
+
+  /// Copies every instrument whose name starts with `prefix` into a new
+  /// registry — scopes a component's stats dump (e.g. `router.r1.`) out
+  /// of the fabric-wide registry without disturbing it.
+  MetricsRegistry subset(const std::string& prefix) const;
+
   /// {"counters": {name: value, ...},
   ///  "histograms": {name: {count,sum,mean,min,max,p50,p95,p99}, ...}}
   /// Keys in lexicographic order; byte-stable for identical contents.
@@ -94,5 +129,17 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Publishes the process-wide buffer-pool / arena accounting (see
+/// common/buffer.hpp) into `m` as `buffer.*` gauges:
+///   buffer.pool.allocs        fresh heap segments
+///   buffer.pool.reuses        freelist hits (zero-malloc acquires)
+///   buffer.pool.releases      segments whose last reference dropped
+///   buffer.bytes_copied       instrumented memcpy volume (serialize,
+///                             clone, materialize — never the fast path)
+///   buffer.arena.blocks / buffer.arena.bytes
+/// Call before serializing stats; `--check` gates allocation regressions
+/// on these the same way ablation_crypto --check gates crypto.
+void publish_buffer_stats(MetricsRegistry& m);
 
 }  // namespace gdp::telemetry

@@ -70,4 +70,18 @@ struct Pdu {
 /// Fixed per-PDU framing overhead in bytes (everything but the payload).
 inline constexpr std::size_t kPduOverhead = 32 + 32 + 2 + 8 + 8 + 1 + 4;
 
+// Fixed header-field offsets in the serialized frame.  The layout is flat
+// (no varints before the payload), so a parsed view can decode fields in
+// place and the hop-mutable fields (ttl, trace_id) can be patched without
+// reserializing — the basis of the zero-copy forwarding fast path
+// (pdu_view.hpp).
+inline constexpr std::size_t kPduOffDst = 0;
+inline constexpr std::size_t kPduOffSrc = 32;
+inline constexpr std::size_t kPduOffType = 64;      // 2 bytes LE
+inline constexpr std::size_t kPduOffFlowId = 66;    // 8 bytes LE
+inline constexpr std::size_t kPduOffTraceId = 74;   // 8 bytes LE
+inline constexpr std::size_t kPduOffTtl = 82;       // 1 byte
+inline constexpr std::size_t kPduOffPayloadLen = 83;  // 4 bytes LE
+static_assert(kPduOffPayloadLen + 4 == kPduOverhead);
+
 }  // namespace gdp::wire

@@ -1,0 +1,90 @@
+#include "wire/pdu_view.hpp"
+
+#include <cstring>
+
+namespace gdp::wire {
+
+Result<PduView> PduView::parse(SegRef seg) {
+  if (!seg || seg->size() < kPduOverhead) {
+    return make_error(Errc::kInvalidArgument, "truncated PDU frame");
+  }
+  const std::uint8_t* d = seg->data();
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | d[kPduOffPayloadLen + static_cast<std::size_t>(i)];
+  }
+  if (seg->size() != kPduOverhead + len) {
+    return make_error(Errc::kInvalidArgument, "PDU frame length mismatch");
+  }
+  return PduView(std::move(seg));
+}
+
+PduView PduView::build(const Pdu& pdu) {
+  const std::size_t total = kPduOverhead + pdu.payload.size();
+  SegRef seg = SegmentPool::instance().acquire(total);
+  std::uint8_t* d = seg->data();
+  std::memcpy(d + kPduOffDst, pdu.dst.raw().data(), Name::kSize);
+  std::memcpy(d + kPduOffSrc, pdu.src.raw().data(), Name::kSize);
+  const std::uint16_t type_raw = static_cast<std::uint16_t>(pdu.type);
+  d[kPduOffType] = static_cast<std::uint8_t>(type_raw);
+  d[kPduOffType + 1] = static_cast<std::uint8_t>(type_raw >> 8);
+  std::uint64_t v = pdu.flow_id;
+  for (std::size_t i = 0; i < 8; ++i, v >>= 8) {
+    d[kPduOffFlowId + i] = static_cast<std::uint8_t>(v);
+  }
+  v = pdu.trace_id;
+  for (std::size_t i = 0; i < 8; ++i, v >>= 8) {
+    d[kPduOffTraceId + i] = static_cast<std::uint8_t>(v);
+  }
+  d[kPduOffTtl] = pdu.ttl;
+  std::uint32_t len = static_cast<std::uint32_t>(pdu.payload.size());
+  for (std::size_t i = 0; i < 4; ++i, len >>= 8) {
+    d[kPduOffPayloadLen + i] = static_cast<std::uint8_t>(len);
+  }
+  if (!pdu.payload.empty()) {
+    std::memcpy(d + kPduOverhead, pdu.payload.data(), pdu.payload.size());
+  }
+  BufferStats::note_copy(total);
+  return PduView(std::move(seg));
+}
+
+PduView PduView::clone() const {
+  SegRef copy = SegmentPool::instance().acquire(seg_->size());
+  std::memcpy(copy->data(), seg_->data(), seg_->size());
+  BufferStats::note_copy(seg_->size());
+  return PduView(std::move(copy));
+}
+
+void PduView::make_unique() {
+  if (seg_.unique()) return;
+  *this = clone();
+}
+
+void PduView::patch_ttl(std::uint8_t ttl) {
+  make_unique();
+  mutable_data()[kPduOffTtl] = ttl;
+}
+
+void PduView::patch_trace_id(std::uint64_t id) {
+  make_unique();
+  std::uint8_t* d = mutable_data();
+  for (std::size_t i = 0; i < 8; ++i, id >>= 8) {
+    d[kPduOffTraceId + i] = static_cast<std::uint8_t>(id);
+  }
+}
+
+Pdu PduView::materialize() const {
+  Pdu pdu;
+  pdu.dst = dst();
+  pdu.src = src();
+  pdu.type = type();
+  pdu.flow_id = flow_id();
+  pdu.trace_id = trace_id();
+  pdu.ttl = ttl();
+  const BytesView pl = payload();
+  pdu.payload.assign(pl.begin(), pl.end());
+  BufferStats::note_copy(pl.size());
+  return pdu;
+}
+
+}  // namespace gdp::wire

@@ -1,0 +1,92 @@
+// Zero-copy PDU view over a pooled, refcounted wire segment.
+//
+// Pdu::serialize()/deserialize() materialise an owned buffer per hop; at
+// edge-infrastructure rates that allocation churn *is* the router's cost
+// (the fig6 4→8 KB cliff was glibc heap-trim behaviour under exactly that
+// pattern).  A PduView instead parses the flat frame in place: header
+// fields are decoded lazily at fixed offsets, the payload is a BytesView
+// into the segment, and forwarding a PDU whose only mutations are the
+// hop-mutable fields (ttl, trace_id) patches those bytes and moves the
+// same segment to the next hop — zero payload copies per hop.
+//
+// Sharing discipline: SegRef refcounts make duplication explicit.  The
+// patch_* mutators copy-on-write when the segment is shared, so a held
+// reference (an adversary interceptor replaying a frame, a queued copy)
+// never observes another path's TTL decrement.
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "wire/pdu.hpp"
+
+namespace gdp::wire {
+
+class PduView {
+ public:
+  PduView() = default;
+
+  /// Wraps a segment holding exactly one serialized PDU.  Framing-only
+  /// validation (length arithmetic); field sanity (e.g. known MsgType)
+  /// stays with Pdu::deserialize, which untrusted-ingest paths still use.
+  static Result<PduView> parse(SegRef seg);
+
+  /// Serializes `pdu` once into a pooled segment (the origin copy — the
+  /// only instrumented copy a PDU needs for its whole journey).
+  static PduView build(const Pdu& pdu);
+
+  /// An independent same-bytes frame from a fresh pooled segment.
+  PduView clone() const;
+
+  bool valid() const { return static_cast<bool>(seg_); }
+
+  Name dst() const { return name_at(kPduOffDst); }
+  Name src() const { return name_at(kPduOffSrc); }
+  /// Raw view of the 32-byte destination, for hashing without a copy.
+  BytesView dst_bytes() const { return BytesView(data() + kPduOffDst, Name::kSize); }
+  MsgType type() const {
+    return static_cast<MsgType>(static_cast<std::uint16_t>(
+        data()[kPduOffType] | (std::uint16_t(data()[kPduOffType + 1]) << 8)));
+  }
+  std::uint64_t flow_id() const { return u64_at(kPduOffFlowId); }
+  std::uint64_t trace_id() const { return u64_at(kPduOffTraceId); }
+  std::uint8_t ttl() const { return data()[kPduOffTtl]; }
+  BytesView payload() const {
+    return BytesView(data() + kPduOverhead, seg_->size() - kPduOverhead);
+  }
+  BytesView wire() const { return seg_.view(); }
+  std::size_t wire_size() const { return seg_->size(); }
+
+  // Hop-mutable field patches.  In place when this view holds the only
+  // reference; otherwise the frame is cloned first (copy-on-write) so
+  // concurrent holders of the old segment are unaffected.
+  void patch_ttl(std::uint8_t ttl);
+  void patch_trace_id(std::uint64_t id);
+  /// TTL decrement, the forwarding hot path: patch_ttl(ttl() - 1).
+  void dec_ttl() { patch_ttl(static_cast<std::uint8_t>(ttl() - 1)); }
+
+  /// Owned Pdu for handlers that predate the view path (counted copy).
+  Pdu materialize() const;
+
+  /// The underlying segment (shared; refcount visible for tests).
+  const SegRef& seg() const { return seg_; }
+
+ private:
+  explicit PduView(SegRef seg) : seg_(std::move(seg)) {}
+
+  const std::uint8_t* data() const { return seg_->data(); }
+  std::uint8_t* mutable_data() { return seg_->data(); }
+  Name name_at(std::size_t off) const {
+    return *Name::from_bytes(BytesView(data() + off, Name::kSize));
+  }
+  std::uint64_t u64_at(std::size_t off) const {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data()[off + static_cast<std::size_t>(i)];
+    return v;
+  }
+  /// Ensures exclusive ownership before an in-place write.
+  void make_unique();
+
+  SegRef seg_;
+};
+
+}  // namespace gdp::wire

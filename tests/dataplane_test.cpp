@@ -1,0 +1,318 @@
+// Sharded data plane: lockstep determinism, snapshot-FIB swaps under
+// concurrent forwarding (the QSBR contract), deterministic per-shard
+// stats merging, and the end-to-end zero-copy-per-hop gauge proof over a
+// two-router simulator chain.
+#include "router/dataplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "router/fib.hpp"
+#include "router/router.hpp"
+#include "wire/pdu_view.hpp"
+
+namespace gdp::router {
+namespace {
+
+Name name_of(std::uint8_t tag) {
+  Bytes raw(32, tag);
+  return *Name::from_bytes(raw);
+}
+
+Name target_name(std::uint32_t i) {
+  Bytes raw(32, 0);
+  raw[0] = 0xD0;
+  raw[1] = static_cast<std::uint8_t>(i >> 8);
+  raw[2] = static_cast<std::uint8_t>(i);
+  return *Name::from_bytes(raw);
+}
+
+wire::PduView make_view(const Name& dst, std::size_t payload = 64,
+                        std::uint8_t ttl = 8) {
+  wire::Pdu pdu;
+  pdu.dst = dst;
+  pdu.src = name_of(0x51);
+  pdu.type = wire::MsgType::kBenchData;
+  pdu.flow_id = 7;
+  pdu.trace_id = 9;
+  pdu.ttl = ttl;
+  pdu.payload = Bytes(payload, 0xAB);
+  return wire::PduView::build(pdu);
+}
+
+TEST(FibSnapshot, PublishesAndFindsRoutes) {
+  FibPublisher fib;
+  ASSERT_NE(fib.snapshot(), nullptr);  // empty snapshot from birth
+  EXPECT_EQ(fib.snapshot()->size(), 0u);
+  EXPECT_EQ(fib.snapshot()->find(target_name(1)), nullptr);
+
+  const Name hop = name_of(0x11);
+  for (std::uint32_t i = 0; i < 100; ++i) fib.upsert(target_name(i), hop, 0);
+  // Not yet visible: publish() is the only visibility barrier.
+  EXPECT_EQ(fib.snapshot()->size(), 0u);
+  fib.publish();
+  ASSERT_EQ(fib.snapshot()->size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const FibSnapshot::Entry* e = fib.snapshot()->find(target_name(i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->next_hop, hop);
+  }
+  EXPECT_EQ(fib.snapshot()->find(target_name(100)), nullptr);
+
+  fib.erase(target_name(0));
+  fib.publish();
+  EXPECT_EQ(fib.snapshot()->find(target_name(0)), nullptr);
+  EXPECT_EQ(fib.snapshot()->size(), 99u);
+}
+
+TEST(FibSnapshot, CleanPublishIsNoOp) {
+  FibPublisher fib;
+  fib.upsert(target_name(1), name_of(0x11), 0);
+  fib.publish();
+  const FibSnapshot* before = fib.snapshot();
+  const std::uint64_t count = fib.publish_count();
+  fib.publish();  // nothing changed
+  EXPECT_EQ(fib.snapshot(), before);
+  EXPECT_EQ(fib.publish_count(), count);
+}
+
+TEST(FibPublisher, ReclaimsRetiredSnapshotsAfterQuiesce) {
+  FibPublisher fib;
+  FibPublisher::Reader* reader = fib.register_reader();
+  reader->quiesce();
+  for (std::uint32_t gen = 1; gen <= 8; ++gen) {
+    fib.upsert(target_name(gen), name_of(0x11), 0);
+    fib.publish();
+  }
+  // The reader never quiesced past any of those publishes: all retired
+  // snapshots must still be alive.
+  EXPECT_EQ(fib.retired_count(), 8u);
+  reader->quiesce();
+  fib.publish();  // clean publish still reclaims
+  EXPECT_EQ(fib.retired_count(), 0u);
+}
+
+TEST(ShardedDataPlane, LockstepForwardsEverythingDeterministically) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint32_t kTargets = 64;
+  constexpr std::uint64_t kPdus = 10000;
+
+  auto run = [&]() -> std::pair<std::string, std::uint64_t> {
+    FibPublisher fib;
+    const Name hop = name_of(0x22);
+    for (std::uint32_t i = 0; i < kTargets; ++i) {
+      fib.upsert(target_name(i), hop, 0);
+    }
+    fib.publish();
+    std::uint64_t egressed = 0;
+    ShardedDataPlane::Config cfg;
+    cfg.num_shards = kShards;
+    cfg.deterministic = true;
+    ShardedDataPlane dp(cfg, fib,
+                        [&](std::size_t, const Name& next_hop, wire::PduView pdu) {
+                          EXPECT_EQ(next_hop, hop);
+                          EXPECT_EQ(pdu.ttl(), 7);
+                          ++egressed;
+                        });
+    for (std::uint64_t n = 0; n < kPdus; ++n) {
+      wire::PduView pdu = make_view(target_name(n % kTargets));
+      while (!dp.submit(std::move(pdu))) dp.run_until_idle();
+    }
+    dp.run_until_idle();
+    EXPECT_EQ(dp.forwarded(), kPdus);
+    EXPECT_EQ(dp.dropped(), 0u);
+    EXPECT_EQ(egressed, kPdus);
+    // Round-robin ingress vs. hash ownership: most PDUs land on a
+    // non-owning shard first, so handoff must actually be exercised.
+    EXPECT_GT(dp.handoffs(), 0u);
+    return {dp.stats_json(), dp.handoffs()};
+  };
+
+  auto [json1, handoffs1] = run();
+  auto [json2, handoffs2] = run();
+  // Identical inputs, identical seed: the lockstep backend must produce
+  // byte-identical merged stats (the determinism contract).
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(handoffs1, handoffs2);
+  EXPECT_NE(json1.find("\"dp.fwd.pdus\": 10000"), std::string::npos) << json1;
+  EXPECT_NE(json1.find("\"dp.shards\": 4"), std::string::npos);
+}
+
+TEST(ShardedDataPlane, DropsAccountedByReason) {
+  FibPublisher fib;
+  fib.upsert(target_name(0), name_of(0x22), 0);
+  fib.upsert(target_name(1), name_of(0x22), /*expires_ns=*/100);
+  fib.publish();
+  ShardedDataPlane::Config cfg;
+  cfg.num_shards = 2;
+  cfg.deterministic = true;
+  std::uint64_t egressed = 0;
+  ShardedDataPlane dp(cfg, fib,
+                      [&](std::size_t, const Name&, wire::PduView) { ++egressed; });
+  dp.set_now_ns(1000);  // past target 1's expiry
+
+  ASSERT_TRUE(dp.submit(make_view(target_name(0))));           // forwarded
+  ASSERT_TRUE(dp.submit(make_view(target_name(0), 64, 0)));    // ttl
+  ASSERT_TRUE(dp.submit(make_view(target_name(1))));           // expired
+  ASSERT_TRUE(dp.submit(make_view(target_name(2))));           // no_route
+  dp.run_until_idle();
+
+  EXPECT_EQ(dp.forwarded(), 1u);
+  EXPECT_EQ(egressed, 1u);
+  EXPECT_EQ(dp.dropped(), 3u);
+  const std::string json = dp.stats_json();
+  EXPECT_NE(json.find("\"dp.drop.ttl\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dp.drop.expired\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dp.drop.no_route\": 1"), std::string::npos);
+}
+
+// The QSBR contract under real threads: the control plane republishes the
+// FIB continuously while workers forward; every PDU is either forwarded
+// or dropped with a reason, nothing crashes, and every retired snapshot
+// is reclaimed once the workers quiesce.  The CI TSan job runs this.
+TEST(ShardedDataPlane, FibSwapDuringConcurrentForwarding) {
+  constexpr std::uint32_t kTargets = 32;
+  constexpr std::uint64_t kPdus = 30000;
+  FibPublisher fib;
+  const Name hop_a = name_of(0x31);
+  const Name hop_b = name_of(0x32);
+  for (std::uint32_t i = 0; i < kTargets; ++i) {
+    fib.upsert(target_name(i), hop_a, 0);
+  }
+  fib.publish();
+
+  std::atomic<std::uint64_t> egressed{0};
+  ShardedDataPlane::Config cfg;
+  cfg.num_shards = 4;
+  cfg.ring_capacity = 1024;
+  ShardedDataPlane dp(cfg, fib,
+                      [&](std::size_t, const Name& next_hop, wire::PduView pdu) {
+                        // Route flips mid-flight are fine; the next hop
+                        // must always be one of the two published values.
+                        EXPECT_TRUE(next_hop == hop_a || next_hop == hop_b);
+                        EXPECT_EQ(pdu.ttl(), 7);
+                        egressed.fetch_add(1, std::memory_order_relaxed);
+                      });
+  if (dp.deterministic()) {
+    GTEST_SKIP() << "GDP_DETERMINISTIC set: threaded mode disabled";
+  }
+  dp.start();
+
+  // Producer (this thread) doubles as the FIB control plane: every 500
+  // submissions it rewrites a slice of routes and publishes a snapshot.
+  std::uint64_t publishes = 0;
+  for (std::uint64_t n = 0; n < kPdus; ++n) {
+    wire::PduView pdu = make_view(target_name(n % kTargets));
+    while (!dp.submit(std::move(pdu))) std::this_thread::yield();
+    if (n % 500 == 499) {
+      const Name& hop = (n / 500) % 2 == 0 ? hop_b : hop_a;
+      for (std::uint32_t i = 0; i < kTargets; i += 3) {
+        fib.upsert(target_name(i), hop, 0);
+      }
+      fib.publish();
+      ++publishes;
+    }
+  }
+  // Wait until the plane has consumed everything, then stop.
+  while (egressed.load(std::memory_order_relaxed) + dp.dropped() < kPdus) {
+    std::this_thread::yield();
+  }
+  dp.stop();
+
+  EXPECT_EQ(dp.forwarded() + dp.dropped(), kPdus);
+  EXPECT_EQ(egressed.load(), dp.forwarded());
+  EXPECT_GE(publishes, 50u);
+  // Workers quiesced on exit; a final clean publish reclaims every
+  // retired snapshot.
+  fib.publish();
+  EXPECT_EQ(fib.retired_count(), 0u);
+}
+
+// ---- End-to-end zero-copy proof over the simulator fabric ----
+
+class ViewSink : public net::PduHandler {
+ public:
+  std::uint64_t received = 0;
+  std::uint64_t payload_bytes = 0;
+
+  void on_pdu(const Name&, const wire::Pdu& pdu) override {
+    ++received;
+    payload_bytes += pdu.payload.size();
+  }
+  void on_pdu_view(const Name&, wire::PduView view) override {
+    // Consumes the payload straight from the wire segment: no materialize.
+    ++received;
+    payload_bytes += view.payload().size();
+  }
+};
+
+// A PDU crossing src -> r1 -> r2 -> sink is serialized exactly once (the
+// origin build); both router hops and the delivery run on the same pooled
+// segment.  The BufferStats deltas prove it: bytes_copied grows by the
+// wire size only, and a warmed pool allocates nothing.
+TEST(ZeroCopyForwarding, OneCopyTotalAcrossTwoRouterHops) {
+  net::Simulator sim(7);
+  net::Network net(sim);
+  auto topology = std::make_shared<Topology>();
+  Rng rng(42);
+  auto k1 = crypto::PrivateKey::generate(rng);
+  auto k2 = crypto::PrivateKey::generate(rng);
+  Router r1(net, k1, "zc-r1", Name{}, topology);
+  Router r2(net, k2, "zc-r2", Name{}, topology);
+
+  const Name src = name_of(0x5C);
+  const Name sink_name = name_of(0x5D);
+  ViewSink sink;
+  net.attach(sink_name, &sink);
+  ViewSink src_handler;
+  net.attach(src, &src_handler);
+  const net::LinkParams fast{Duration{0}, 1e15, 0.0};
+  net.connect(src, r1.name(), fast);
+  net.connect(r1.name(), r2.name(), fast);
+  net.connect(r2.name(), sink_name, fast);
+
+  // Static routes: r1 reaches the sink via r2; r2 delivers directly.
+  r1.fib().upsert(sink_name, r2.name(), 0);
+  r1.fib().publish();
+  r2.fib().upsert(sink_name, sink_name, 0);
+  r2.fib().publish();
+
+  const std::size_t kPayload = 8192;
+  auto send_one = [&] {
+    wire::Pdu pdu;
+    pdu.dst = sink_name;
+    pdu.src = src;
+    pdu.type = wire::MsgType::kBenchData;
+    pdu.ttl = 8;
+    pdu.payload = Bytes(kPayload, 0xAB);
+    net.send(src, r1.name(), std::move(pdu));
+    sim.run();
+  };
+
+  send_one();  // warm the pool and every code path
+  ASSERT_EQ(sink.received, 1u);
+
+  const auto before = BufferStats::snapshot();
+  send_one();
+  const auto after = BufferStats::snapshot();
+
+  ASSERT_EQ(sink.received, 2u);
+  EXPECT_EQ(sink.payload_bytes, 2 * kPayload);
+  // Exactly one instrumented copy: the origin serialize into the pooled
+  // segment.  Two router hops + delivery added nothing.
+  EXPECT_EQ(after.bytes_copied - before.bytes_copied,
+            kPayload + wire::kPduOverhead);
+  // Warm pool: the origin segment came off a freelist, not the heap.
+  EXPECT_EQ(after.segment_allocs, before.segment_allocs);
+  EXPECT_GE(after.segment_reuses, before.segment_reuses + 1);
+}
+
+}  // namespace
+}  // namespace gdp::router

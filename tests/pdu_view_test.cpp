@@ -1,0 +1,211 @@
+// PduView: the zero-copy wire path.  Differential coverage against the
+// owned Pdu codec over random and truncated frames, copy-on-write patch
+// semantics, and the allocation/copy gauges that prove a forwarded PDU's
+// payload is never copied per hop.
+#include "wire/pdu_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "common/buffer.hpp"
+#include "wire/pdu.hpp"
+
+namespace gdp::wire {
+namespace {
+
+Name name_of(std::uint8_t fill) {
+  std::array<std::uint8_t, Name::kSize> raw;
+  raw.fill(fill);
+  return Name(raw);
+}
+
+Pdu make_pdu(std::size_t payload_size) {
+  Pdu pdu;
+  pdu.dst = name_of(0xD5);
+  pdu.src = name_of(0x50);
+  pdu.type = MsgType::kBenchData;
+  pdu.flow_id = 0x1122334455667788ull;
+  pdu.trace_id = 0xAABBCCDDEEFF0011ull;
+  pdu.ttl = 17;
+  pdu.payload.assign(payload_size, 0xAB);
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    pdu.payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return pdu;
+}
+
+SegRef seg_from(BytesView frame) {
+  SegRef seg = SegmentPool::instance().acquire(frame.size());
+  std::memcpy(seg->data(), frame.data(), frame.size());
+  seg->set_size(frame.size());
+  return seg;
+}
+
+TEST(PduView, BuildDecodesEveryHeaderField) {
+  const Pdu pdu = make_pdu(257);
+  PduView view = PduView::build(pdu);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.dst(), pdu.dst);
+  EXPECT_EQ(view.src(), pdu.src);
+  EXPECT_EQ(view.type(), pdu.type);
+  EXPECT_EQ(view.flow_id(), pdu.flow_id);
+  EXPECT_EQ(view.trace_id(), pdu.trace_id);
+  EXPECT_EQ(view.ttl(), pdu.ttl);
+  EXPECT_EQ(view.wire_size(), pdu.wire_size());
+  ASSERT_EQ(view.payload().size(), pdu.payload.size());
+  EXPECT_EQ(0, std::memcmp(view.payload().data(), pdu.payload.data(),
+                           pdu.payload.size()));
+}
+
+TEST(PduView, BuildBytesMatchSerializeExactly) {
+  for (std::size_t size : {0u, 1u, 87u, 4096u}) {
+    const Pdu pdu = make_pdu(size);
+    const Bytes wire = pdu.serialize();
+    PduView view = PduView::build(pdu);
+    ASSERT_EQ(view.wire_size(), wire.size());
+    EXPECT_EQ(0, std::memcmp(view.wire().data(), wire.data(), wire.size()));
+  }
+}
+
+TEST(PduView, MaterializeRoundTripsThroughDeserialize) {
+  const Pdu pdu = make_pdu(333);
+  PduView view = PduView::build(pdu);
+  const Pdu back = view.materialize();
+  EXPECT_EQ(back.dst, pdu.dst);
+  EXPECT_EQ(back.src, pdu.src);
+  EXPECT_EQ(back.type, pdu.type);
+  EXPECT_EQ(back.flow_id, pdu.flow_id);
+  EXPECT_EQ(back.trace_id, pdu.trace_id);
+  EXPECT_EQ(back.ttl, pdu.ttl);
+  EXPECT_EQ(back.payload, pdu.payload);
+}
+
+// Differential: for random frames, parse() accepts exactly when the frame
+// is structurally well-formed, and the decoded fields agree byte-for-byte
+// with Pdu::deserialize wherever both accept.  parse() is framing-only by
+// design, so it may accept frames deserialize rejects (unknown MsgType) —
+// never the other way around.
+TEST(PduView, DifferentialAgainstDeserializeOnRandomFrames) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = static_cast<std::size_t>(rng() % 300);
+    Bytes frame(len);
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng());
+    auto owned = Pdu::deserialize(frame);
+    auto viewed = PduView::parse(seg_from(frame));
+    if (owned.ok()) {
+      ASSERT_TRUE(viewed.ok()) << "view rejected a frame deserialize accepts "
+                               << "(len=" << len << ")";
+      EXPECT_EQ(viewed->dst(), owned->dst);
+      EXPECT_EQ(viewed->src(), owned->src);
+      EXPECT_EQ(viewed->type(), owned->type);
+      EXPECT_EQ(viewed->flow_id(), owned->flow_id);
+      EXPECT_EQ(viewed->trace_id(), owned->trace_id);
+      EXPECT_EQ(viewed->ttl(), owned->ttl);
+      ASSERT_EQ(viewed->payload().size(), owned->payload.size());
+      if (!owned->payload.empty()) {
+        EXPECT_EQ(0, std::memcmp(viewed->payload().data(), owned->payload.data(),
+                                 owned->payload.size()));
+      }
+    }
+  }
+}
+
+// Truncation sweep: a valid frame cut at every length must be rejected by
+// both codecs (except the full length, accepted by both).
+TEST(PduView, DifferentialTruncationSweep) {
+  const Pdu pdu = make_pdu(64);
+  const Bytes wire = pdu.serialize();
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    BytesView prefix(wire.data(), cut);
+    auto owned = Pdu::deserialize(prefix);
+    auto viewed = PduView::parse(seg_from(prefix));
+    if (cut == wire.size()) {
+      EXPECT_TRUE(owned.ok());
+      EXPECT_TRUE(viewed.ok());
+    } else {
+      EXPECT_FALSE(owned.ok()) << "cut=" << cut;
+      EXPECT_FALSE(viewed.ok()) << "cut=" << cut;
+    }
+  }
+}
+
+// Overlong buffers (trailing garbage after the declared payload) are
+// malformed frames for both codecs.
+TEST(PduView, TrailingGarbageRejected) {
+  const Pdu pdu = make_pdu(16);
+  Bytes wire = pdu.serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(Pdu::deserialize(wire).ok());
+  EXPECT_FALSE(PduView::parse(seg_from(wire)).ok());
+}
+
+TEST(PduView, PatchTtlInPlaceWhenUnique) {
+  PduView view = PduView::build(make_pdu(100));
+  ASSERT_EQ(view.seg()->refcount(), 1u);
+  const std::uint8_t* before = view.wire().data();
+  view.dec_ttl();
+  EXPECT_EQ(view.ttl(), 16);
+  // Unique segment: patched in place, no reallocation.
+  EXPECT_EQ(view.wire().data(), before);
+}
+
+TEST(PduView, PatchCopiesWhenShared) {
+  PduView a = PduView::build(make_pdu(100));
+  PduView b = a.clone();
+  // clone() is an independent frame already.
+  EXPECT_NE(a.wire().data(), b.wire().data());
+
+  PduView c = a;  // share the segment
+  EXPECT_EQ(a.wire().data(), c.wire().data());
+  EXPECT_EQ(a.seg()->refcount(), 2u);
+  c.dec_ttl();
+  // Copy-on-write: c took its own segment, a's bytes are untouched.
+  EXPECT_NE(a.wire().data(), c.wire().data());
+  EXPECT_EQ(a.ttl(), 17);
+  EXPECT_EQ(c.ttl(), 16);
+  EXPECT_EQ(a.seg()->refcount(), 1u);
+}
+
+TEST(PduView, PatchTraceIdRewritesOnlyThatField) {
+  PduView view = PduView::build(make_pdu(50));
+  const Pdu before = view.materialize();
+  view.patch_trace_id(0x0123456789ABCDEFull);
+  const Pdu after = view.materialize();
+  EXPECT_EQ(after.trace_id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(after.dst, before.dst);
+  EXPECT_EQ(after.src, before.src);
+  EXPECT_EQ(after.flow_id, before.flow_id);
+  EXPECT_EQ(after.ttl, before.ttl);
+  EXPECT_EQ(after.payload, before.payload);
+}
+
+// The gauge contract the fig6 --check gate builds on: a hop that only
+// patches the TTL of a uniquely-held frame copies zero payload bytes and
+// allocates nothing (the segment is reused from the pool's freelist).
+TEST(PduView, ForwardPatchCopiesNothing) {
+  PduView view = PduView::build(make_pdu(4096));
+  const auto before = BufferStats::snapshot();
+  for (int hop = 0; hop < 10; ++hop) view.dec_ttl();
+  const auto after = BufferStats::snapshot();
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+  EXPECT_EQ(after.segment_allocs, before.segment_allocs);
+  EXPECT_EQ(view.ttl(), 7);
+}
+
+TEST(PduView, SegmentReturnsToPoolAndIsReused) {
+  // Warm the pool, note the segment, drop it, re-acquire: same class hits
+  // the freelist (segment_reuses advances, segment_allocs does not).
+  { PduView warm = PduView::build(make_pdu(1000)); }
+  const auto before = BufferStats::snapshot();
+  { PduView view = PduView::build(make_pdu(1000)); }
+  const auto after = BufferStats::snapshot();
+  EXPECT_EQ(after.segment_allocs, before.segment_allocs);
+  EXPECT_GT(after.segment_reuses, before.segment_reuses);
+  EXPECT_GT(after.segment_releases, before.segment_releases);
+}
+
+}  // namespace
+}  // namespace gdp::wire
