@@ -49,6 +49,15 @@ struct BufferStats {
     std::uint64_t bytes_copied = 0;
     std::uint64_t arena_blocks = 0;
     std::uint64_t arena_bytes = 0;
+
+    /// Segments currently alive: acquired (fresh or reused) minus
+    /// released.  Clamped at zero — the three counters are sampled
+    /// independently under concurrent traffic, so a release can be
+    /// counted before the acquire that produced it is visible.
+    std::uint64_t live_segments() const {
+      const std::uint64_t acquired = segment_allocs + segment_reuses;
+      return acquired > segment_releases ? acquired - segment_releases : 0;
+    }
   };
   static Snapshot snapshot();
 

@@ -7,6 +7,7 @@
 
 #include "capsule/strategy.hpp"
 #include "common/log.hpp"
+#include "telemetry/perfetto.hpp"
 
 namespace gdp::harness {
 
@@ -41,6 +42,17 @@ Scenario::~Scenario() {
   if (const char* path = std::getenv("GDP_TRACE_JSON")) {
     write_trace_json(path);
   }
+  if (const char* path = std::getenv("GDP_TIMELINE_JSON")) {
+    // A scenario that never called sample_timeline() still dumps its
+    // final state — one sample beats an empty artifact.
+    if (timeline_.sample_count() == 0) sample_timeline();
+    std::ofstream out(path, std::ios::trunc);
+    out << timeline_.to_json() << '\n';
+  }
+  if (const char* path = std::getenv("GDP_PERFETTO_JSON")) {
+    std::ofstream out(path, std::ios::trunc);
+    out << perfetto_json();
+  }
   if (log_clock() == &sim_.clock()) set_log_clock(nullptr);
 }
 
@@ -59,6 +71,27 @@ void Scenario::write_stats_json(const std::filesystem::path& path) {
 void Scenario::write_trace_json(const std::filesystem::path& path) {
   std::ofstream out(path, std::ios::trunc);
   out << trace_json() << '\n';
+}
+
+void Scenario::sample_timeline() {
+  const std::int64_t t = sim_.now().count();
+  for (auto& r : routers_) {
+    const std::string p = "router." + std::string(r->principal().label()) + ".";
+    timeline_.append(p + "fib.size", t, r->fib().size());
+    timeline_.append(p + "fib.publishes", t, r->fib().publish_count());
+    timeline_.append(p + "awaiting_route.pdus", t, r->awaiting_route_count());
+    timeline_.append(p + "lookups.pending", t, r->pending_lookup_count());
+  }
+  for (auto& g : glookups_) {
+    timeline_.append(
+        "glookup." + std::string(g->principal().label()) + ".entries", t,
+        g->entry_count());
+  }
+  timeline_.append("trace.recorded", t, net_.trace().recorded());
+}
+
+std::string Scenario::perfetto_json() {
+  return telemetry::PerfettoExporter::from_trace(net_.trace());
 }
 
 router::GLookupService* Scenario::add_domain(const std::string& label,

@@ -17,6 +17,7 @@
 #include "router/glookup.hpp"
 #include "router/router.hpp"
 #include "server/server.hpp"
+#include "telemetry/timeline.hpp"
 
 namespace gdp::harness {
 
@@ -36,8 +37,9 @@ class TempDir {
 class Scenario {
  public:
   explicit Scenario(std::uint64_t seed = 42, const std::string& tag = "scenario");
-  /// Honors GDP_STATS_JSON / GDP_TRACE_JSON (writes the dumps there) and
-  /// unregisters the log clock.
+  /// Honors GDP_STATS_JSON / GDP_TRACE_JSON / GDP_TIMELINE_JSON /
+  /// GDP_PERFETTO_JSON (writes the dumps there) and unregisters the log
+  /// clock.
   ~Scenario();
 
   net::Simulator& sim() { return sim_; }
@@ -104,6 +106,17 @@ class Scenario {
   std::string trace_json() { return net_.trace().to_json(); }
   void write_trace_json(const std::filesystem::path& path);
 
+  /// The scenario's live time-series (simulated time — deterministic).
+  telemetry::StatsTimeline& timeline() { return timeline_; }
+  /// Appends one sample of every component's headline gauges to the
+  /// timeline at the current simulated time: per-router FIB size and
+  /// pending work, glookup registrations, trace-sink volume.  Call
+  /// between settle() steps to chart how a scenario evolves.
+  void sample_timeline();
+  /// Perfetto / chrome://tracing JSON of the hop-by-hop PDU trace, one
+  /// track per node (simulated time — deterministic).
+  std::string perfetto_json();
+
  private:
   struct EndpointInfo {
     router::Endpoint* endpoint;
@@ -121,6 +134,7 @@ class Scenario {
   std::vector<std::unique_ptr<client::GdpClient>> clients_;
   std::vector<std::unique_ptr<crypto::PrivateKey>> keys_;
   std::vector<EndpointInfo> to_attach_;
+  telemetry::StatsTimeline timeline_;
   int server_count_ = 0;
 };
 

@@ -45,6 +45,15 @@ class SpscRing {
     }
     slots_[head] = std::move(v);
     head_.store(next, std::memory_order_release);
+    // High-water bookkeeping against the cached tail: free (no extra
+    // acquire load), and exact whenever the ring approaches full — the
+    // cache is refreshed by the fullness check above, which is precisely
+    // when the watermark is interesting.  Single producer: plain
+    // load/compare/store, no RMW.
+    const std::size_t occ = (next - tail_cache_) & mask_;
+    if (occ > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(occ, std::memory_order_relaxed);
+    }
     return true;
   }
 
@@ -69,6 +78,12 @@ class SpscRing {
 
   bool empty() const { return size() == 0; }
 
+  /// Highest occupancy observed at push time (monotone gauge; readable
+  /// from any thread — telemetry pollers sample it live).
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   // A fixed 64 rather than std::hardware_destructive_interference_size:
   // the constant is ABI-stable and gcc warns that the trait is not.
@@ -80,6 +95,7 @@ class SpscRing {
   // Producer-owned line: its index plus its cached copy of the consumer's.
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};
   std::size_t tail_cache_ = 0;
+  std::atomic<std::size_t> high_water_{0};  ///< producer-written, any-thread read
   // Consumer-owned line.
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
   std::size_t head_cache_ = 0;

@@ -1,11 +1,18 @@
 #include "router/dataplane.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/buffer.hpp"
+#include "telemetry/perfetto.hpp"
 
 namespace gdp::router {
 
 namespace {
+
+using telemetry::FlightDropReason;
+using telemetry::FlightEventType;
 
 // splitmix64 finalizer over (first 8 bytes of dst) ^ seed: cheap, and the
 // seed decorrelates shard ownership from the FIB's own hash.
@@ -21,7 +28,10 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 ShardedDataPlane::ShardedDataPlane(Config cfg, FibPublisher& fib, EgressFn egress)
-    : cfg_(cfg), fib_(fib), egress_(std::move(egress)) {
+    : cfg_(cfg),
+      fib_(fib),
+      egress_(std::move(egress)),
+      stall_submit_(ingress_metrics_.counter("dp.stall.submit_full")) {
   if (cfg_.num_shards == 0) cfg_.num_shards = 1;
   const char* det = std::getenv("GDP_DETERMINISTIC");
   if (det != nullptr && det[0] != '\0') cfg_.deterministic = true;
@@ -40,10 +50,19 @@ ShardedDataPlane::ShardedDataPlane(Config cfg, FibPublisher& fib, EgressFn egres
     s->reader = fib_.register_reader();
     s->reader->quiesce();
   }
+  // One recorder track per shard worker plus the ingress producer.  The
+  // recorder exists even when disabled so the accessor surface is stable;
+  // a disabled gate never samples and record_always() no-ops.
+  telemetry::FlightRecorder::Config rc = cfg_.recorder;
+  if (rc.seed == 0) rc.seed = cfg_.seed;
+  rec_ = std::make_unique<telemetry::FlightRecorder>(cfg_.num_shards + 1, rc);
 }
 
 ShardedDataPlane::~ShardedDataPlane() {
   stop();
+  // Deterministic-mode teardown may leave PDUs queued (no stop() drain);
+  // discard them with full drop accounting so nothing vanishes silently.
+  discard_queued();
   // Workers are gone; their reader slots must stop gating reclamation.
   for (auto& s : shards_) s->reader->retire();
 }
@@ -61,42 +80,88 @@ bool ShardedDataPlane::submit(wire::PduView&& pdu) {
 }
 
 bool ShardedDataPlane::submit_to(std::size_t shard, wire::PduView&& pdu) {
+  // Sampling gate on the ingress producer's own track (single-producer by
+  // the API contract, so the track stays single-writer).
+  const bool traced = rec_->tick(ingress_track());
+  const std::uint64_t tid = traced ? pdu.trace_id() : 0;
   // try_push only consumes `pdu` on success; a false return leaves the
   // caller's frame intact for retry (by-value parameters here would
   // destroy the segment on a full ring and feed retries an empty view).
-  return shards_[shard]->ingress.try_push(std::move(pdu));
+  if (!shards_[shard]->ingress.try_push(std::move(pdu))) {
+    stall_submit_.inc();
+    if (traced) {
+      rec_->record(ingress_track(), FlightEventType::kStall, tid, shard);
+    }
+    return false;
+  }
+  if (traced) {
+    rec_->record(ingress_track(), FlightEventType::kSubmit, tid, shard);
+  }
+  return true;
 }
 
 bool ShardedDataPlane::resubmit(std::size_t shard, wire::PduView&& pdu) {
   // handoff[shard] of shard `shard` carries only self-produced traffic:
   // drain_once never routes cross-shard PDUs through it (owner == producer
-  // is handled inline), so the egress hook is its sole producer.
-  return shards_[shard]->handoff[shard]->try_push(std::move(pdu));
+  // is handled inline), so the egress hook is its sole producer.  No
+  // sampling gate here: the PDU was already gated at dequeue this hop, and
+  // its next hop records kHandoffIn when the ring is consumed — a second
+  // tick would distort the per-PDU cadence and double the gate cost on
+  // chained workloads.
+  Shard& s = *shards_[shard];
+  if (!s.handoff[shard]->try_push(std::move(pdu))) {
+    s.stall_resubmit.inc();
+    return false;
+  }
+  return true;
 }
 
 void ShardedDataPlane::process(Shard& s, std::size_t shard_idx,
-                               wire::PduView pdu) {
+                               wire::PduView pdu, std::int64_t t0) {
+  const bool traced = t0 != 0;
   if (pdu.ttl() == 0) {
     s.dropped.inc();
     s.drop_ttl.inc();
+    rec_->record_always(shard_idx, FlightEventType::kDrop, pdu.trace_id(),
+                        static_cast<std::uint64_t>(FlightDropReason::kTtl));
     return;  // dropping the view releases the segment
   }
   const FibSnapshot::Entry* e = fib_.snapshot()->find(pdu.dst_bytes());
+  if (traced) {
+    // Reuse the span-start timestamp: one clock read serves the whole
+    // sampled sequence (clock calls dominate recording cost).
+    rec_->record_at(shard_idx, t0, FlightEventType::kFibLookup,
+                    pdu.trace_id(), e != nullptr ? 1 : 0);
+  }
   if (e == nullptr) {
     s.dropped.inc();
     s.drop_no_route.inc();
+    rec_->record_always(shard_idx, FlightEventType::kDrop, pdu.trace_id(),
+                        static_cast<std::uint64_t>(FlightDropReason::kNoRoute));
     return;
   }
   const std::int64_t now = now_ns_.load(std::memory_order_relaxed);
   if (e->expires_ns > 0 && e->expires_ns < now) {
     s.dropped.inc();
     s.drop_expired.inc();
+    rec_->record_always(shard_idx, FlightEventType::kDrop, pdu.trace_id(),
+                        static_cast<std::uint64_t>(FlightDropReason::kExpired));
     return;
   }
+  const std::uint64_t tid = traced ? pdu.trace_id() : 0;
   pdu.dec_ttl();
   s.fwd_pdus.inc();
   s.fwd_bytes.inc(pdu.wire_size());
   egress_(shard_idx, e->next_hop, std::move(pdu));
+  if (traced) {
+    // The forward span covers dequeue-to-egress-return (the full
+    // per-PDU cost on this worker); its wall duration rides in the arg
+    // and feeds the segregated latency histogram.
+    const std::int64_t dur = std::max<std::int64_t>(rec_->now_ns() - t0, 0);
+    rec_->record_at(shard_idx, t0, FlightEventType::kForward, tid,
+                    static_cast<std::uint64_t>(dur));
+    s.fwd_latency.record(static_cast<std::uint64_t>(dur));
+  }
 }
 
 std::size_t ShardedDataPlane::drain_once(std::size_t shard_idx,
@@ -104,21 +169,41 @@ std::size_t ShardedDataPlane::drain_once(std::size_t shard_idx,
   Shard& s = *shards_[shard_idx];
   std::size_t moved = 0;
   wire::PduView pdu;
+  const std::size_t occ0 = s.ingress.size();
   // Ingress first: PDUs the spreader gave us, owned or not.
   for (std::size_t n = 0; n < cfg_.batch && s.ingress.try_pop(pdu); ++n) {
     ++moved;
+    // One clock read covers a sampled PDU's whole event sequence (t0 == 0
+    // means untraced); per-event clock calls would triple recording cost.
+    const std::int64_t t0 = rec_->tick(shard_idx) ? rec_->now_ns() : 0;
+    const bool traced = t0 != 0;
+    if (traced) {
+      rec_->record_at(shard_idx, t0, FlightEventType::kDequeue,
+                      pdu.trace_id(), occ0);
+    }
     const std::size_t owner = shard_of(pdu.dst_bytes());
     if (owner == shard_idx) {
-      process(s, shard_idx, std::move(pdu));
+      process(s, shard_idx, std::move(pdu), t0);
       continue;
+    }
+    if (traced) {
+      rec_->record_at(shard_idx, t0, FlightEventType::kHandoffOut,
+                      pdu.trace_id(), owner);
     }
     // Cross-shard handoff over the dedicated (this -> owner) ring.  A
     // full ring backpressures this worker, never blocks the owner.
     auto& ring = *shards_[owner]->handoff[shard_idx];
+    bool stall_recorded = false;
     for (;;) {
       if (ring.try_push(std::move(pdu))) {
         s.handoff_out.inc();
         break;
+      }
+      s.stall_handoff.inc();
+      if (traced && !stall_recorded) {
+        stall_recorded = true;
+        rec_->record_at(shard_idx, t0, FlightEventType::kStall,
+                        pdu.trace_id(), owner);
       }
       if (inline_drain) {
         // Single-threaded execution: this thread *is* every consumer —
@@ -132,6 +217,10 @@ std::size_t ShardedDataPlane::drain_once(std::size_t shard_idx,
         // could wedge and draining its ring would race a live consumer.
         // Drop with accounting; stop() drains leftovers single-threaded.
         s.dropped.inc();
+        s.drop_handoff_shutdown.inc();
+        rec_->record_always(
+            shard_idx, FlightEventType::kDrop, pdu.trace_id(),
+            static_cast<std::uint64_t>(FlightDropReason::kHandoffShutdown));
         pdu = wire::PduView();
         break;
       }
@@ -143,8 +232,20 @@ std::size_t ShardedDataPlane::drain_once(std::size_t shard_idx,
     for (std::size_t n = 0; n < cfg_.batch && ring.try_pop(pdu); ++n) {
       ++moved;
       s.handoff_in.inc();
-      process(s, shard_idx, std::move(pdu));
+      const std::int64_t t0 = rec_->tick(shard_idx) ? rec_->now_ns() : 0;
+      if (t0 != 0) {
+        rec_->record_at(shard_idx, t0, FlightEventType::kHandoffIn,
+                        pdu.trace_id(), p);
+      }
+      process(s, shard_idx, std::move(pdu), t0);
     }
+  }
+  if (moved != 0) {
+    // Deterministic pressure histograms: occupancy seen at drain start and
+    // batch size moved.  Counts of counts — no clocks — so they merge
+    // byte-identically into stats_json in lockstep mode.
+    s.ring_occupancy.record(occ0);
+    s.batch_moved.record(moved);
   }
   return moved;
 }
@@ -190,6 +291,24 @@ void ShardedDataPlane::run_until_idle() {
   } while (moved != 0);
 }
 
+void ShardedDataPlane::discard_queued() {
+  wire::PduView pdu;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    auto discard = [&](wire::PduView&& p) {
+      s.dropped.inc();
+      s.drop_shutdown_drain.inc();
+      rec_->record_always(
+          i, FlightEventType::kDrop, p.trace_id(),
+          static_cast<std::uint64_t>(FlightDropReason::kShutdownDrain));
+    };
+    while (s.ingress.try_pop(pdu)) discard(std::move(pdu));
+    for (auto& ring : s.handoff) {
+      while (ring->try_pop(pdu)) discard(std::move(pdu));
+    }
+  }
+}
+
 std::uint64_t ShardedDataPlane::forwarded() const {
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->fwd_pdus.value();
@@ -217,11 +336,71 @@ std::uint64_t ShardedDataPlane::dropped() const {
 std::string ShardedDataPlane::stats_json(int indent) const {
   telemetry::MetricsRegistry merged;
   for (const auto& s : shards_) merged.merge_from(s->metrics);
+  merged.merge_from(ingress_metrics_);
   merged.counter("dp.shards").set(shards_.size());
+  // Watermark gauges are maxima, not sums, so they bypass merge_from.
+  std::uint64_t ingress_hw = 0, handoff_hw = 0;
+  for (const auto& s : shards_) {
+    ingress_hw = std::max<std::uint64_t>(ingress_hw, s->ingress.high_water());
+    for (const auto& r : s->handoff) {
+      handoff_hw = std::max<std::uint64_t>(handoff_hw, r->high_water());
+    }
+  }
+  merged.counter("dp.watermark.ingress_hw").set(ingress_hw);
+  merged.counter("dp.watermark.handoff_hw").set(handoff_hw);
+  rec_->publish_stats(merged, "dp.");
   // Deliberately no publish_buffer_stats() here: the pool gauges are
   // process-cumulative, which would break byte-identical reruns.  Benches
   // publish them into their own registry when gating allocations.
   return merged.to_json(indent);
+}
+
+std::string ShardedDataPlane::wall_json(int indent) const {
+  telemetry::MetricsRegistry merged;
+  for (const auto& s : shards_) merged.merge_from(s->wall_metrics);
+  return merged.to_json(indent);
+}
+
+std::vector<std::string> ShardedDataPlane::recorder_track_names() const {
+  std::vector<std::string> names;
+  names.reserve(shards_.size() + 1);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    names.push_back("shard" + std::to_string(i));
+  }
+  names.push_back("ingress");
+  return names;
+}
+
+std::string ShardedDataPlane::perfetto_json() const {
+  return telemetry::PerfettoExporter::from_recorder(*rec_,
+                                                    recorder_track_names());
+}
+
+const telemetry::Histogram& ShardedDataPlane::fwd_latency(
+    std::size_t shard) const {
+  return shards_[shard]->fwd_latency;
+}
+
+void ShardedDataPlane::sample_pressure(std::int64_t t_ns,
+                                       telemetry::StatsTimeline& tl) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    const std::string p = "dp.shard" + std::to_string(i) + ".";
+    tl.append(p + "ingress.occ", t_ns, s.ingress.size());
+    tl.append(p + "ingress.hw", t_ns, s.ingress.high_water());
+    std::uint64_t occ = 0, hw = 0;
+    for (const auto& r : s.handoff) {
+      occ += r->size();
+      hw = std::max<std::uint64_t>(hw, r->high_water());
+    }
+    tl.append(p + "handoff.occ", t_ns, occ);
+    tl.append(p + "handoff.hw", t_ns, hw);
+    tl.append(p + "fwd.pdus", t_ns, s.fwd_pdus.value());
+  }
+  const BufferStats::Snapshot b = BufferStats::snapshot();
+  tl.append("buffer.pool.allocs", t_ns, b.segment_allocs);
+  tl.append("buffer.pool.reuses", t_ns, b.segment_reuses);
+  tl.append("buffer.pool.live", t_ns, b.live_segments());
 }
 
 }  // namespace gdp::router

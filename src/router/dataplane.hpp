@@ -29,10 +29,22 @@
 //                  sequences.  Selected by Config::deterministic or the
 //                  GDP_DETERMINISTIC environment variable.
 //
-// Per-shard telemetry lives in per-shard MetricsRegistries (no shared
-// counters on the hot path); stats_json() merges them in shard order into
-// one registry, so the aggregate is deterministic and byte-stable no
-// matter how many workers produced it.
+// Observability (the flight-recorder pipeline):
+//   * Per-shard MetricsRegistries hold the deterministic instruments —
+//     counters, drop reasons, stall counters, ring-occupancy and
+//     batch-size histograms; stats_json() merges them in shard order so
+//     the aggregate is byte-stable no matter how many workers produced it.
+//   * Each worker (plus the single ingress producer) owns a FlightRecorder
+//     track: a lock-free event ring of wall-clock timestamped fast-path
+//     events (submit, dequeue, fib_lookup, forward spans, handoffs,
+//     drops, stalls) behind a seeded counter-sampling gate, exportable as
+//     a Perfetto timeline (perfetto_json()).
+//   * Wall-clock latency histograms live in a *segregated* per-shard
+//     registry exported by wall_json() — never merged into stats_json, so
+//     deterministic reruns still diff clean byte-for-byte.
+//   * sample_pressure() appends live ring occupancy / high-water and
+//     buffer-pool gauges to a StatsTimeline; a TelemetryPoller thread
+//     drives it periodically while workers run.
 #pragma once
 
 #include <atomic>
@@ -45,7 +57,9 @@
 
 #include "net/spsc_ring.hpp"
 #include "router/fib.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
 #include "wire/pdu_view.hpp"
 
 namespace gdp::router {
@@ -64,6 +78,9 @@ class ShardedDataPlane {
     /// Max PDUs a worker processes per ring before quiescing its QSBR
     /// slot and checking the stop flag.
     std::size_t batch = 128;
+    /// Flight-recorder settings (always-on by default, sampled).  A zero
+    /// recorder seed inherits the plane seed, so one knob steers both.
+    telemetry::FlightRecorder::Config recorder;
   };
 
   /// Egress hook: the forwarding decision for one PDU, called on the
@@ -124,9 +141,37 @@ class ShardedDataPlane {
   std::uint64_t dropped() const;
 
   /// Merged per-shard registries (shard order, then sorted names) plus
-  /// `dp.shards`: byte-identical output for identical traffic regardless
-  /// of worker interleaving.
+  /// `dp.shards`, the `dp.watermark.*` ring high-water gauges, the
+  /// `dp.stall.*` backpressure counters and the recorder's count-only
+  /// `dp.rec.*` slice: byte-identical output for identical traffic
+  /// regardless of worker interleaving.  Deliberately excludes every
+  /// wall-clock instrument (see wall_json()).
   std::string stats_json(int indent = 2) const;
+
+  /// Merged wall-clock histograms (per-shard forwarding latency).
+  /// Segregated from stats_json: values differ between reruns by nature.
+  /// Exact once workers are stopped or idle.
+  std::string wall_json(int indent = 2) const;
+
+  // --- flight-recorder surface ---
+
+  /// The recorder (never null; disabled recorders record nothing).
+  const telemetry::FlightRecorder& recorder() const { return *rec_; }
+  /// Track labels for exports: "shard0".."shardN-1", then "ingress".
+  std::vector<std::string> recorder_track_names() const;
+  /// Perfetto / chrome://tracing JSON of the recorded event rings, one
+  /// track per shard worker plus the ingress producer.
+  std::string perfetto_json() const;
+
+  /// Per-shard wall-clock forwarding-latency histogram (sampled PDUs).
+  /// Exact once the shard's worker is stopped or idle.
+  const telemetry::Histogram& fwd_latency(std::size_t shard) const;
+
+  /// Appends one sample of live queue pressure to `tl` at `t_ns`:
+  /// per-shard ingress/handoff occupancy and high-water, per-shard
+  /// forwarded counters, and the process buffer-pool gauges.  Safe to
+  /// call from a poller thread while workers run (atomic reads only).
+  void sample_pressure(std::int64_t t_ns, telemetry::StatsTimeline& tl) const;
 
  private:
   struct Shard {
@@ -139,7 +184,14 @@ class ShardedDataPlane {
           dropped(metrics.counter("dp.drop.pdus")),
           drop_ttl(metrics.counter("dp.drop.ttl")),
           drop_no_route(metrics.counter("dp.drop.no_route")),
-          drop_expired(metrics.counter("dp.drop.expired")) {}
+          drop_expired(metrics.counter("dp.drop.expired")),
+          drop_handoff_shutdown(metrics.counter("dp.drop.handoff_shutdown")),
+          drop_shutdown_drain(metrics.counter("dp.drop.shutdown_drain")),
+          stall_handoff(metrics.counter("dp.stall.handoff_full")),
+          stall_resubmit(metrics.counter("dp.stall.resubmit_full")),
+          ring_occupancy(metrics.histogram("dp.ring.ingress_occupancy")),
+          batch_moved(metrics.histogram("dp.batch.pdus")),
+          fwd_latency(wall_metrics.histogram("dp.fwd.latency_ns")) {}
 
     net::SpscRing<wire::PduView> ingress;
     /// handoff[p]: ring carrying PDUs produced by shard p for this shard.
@@ -156,10 +208,27 @@ class ShardedDataPlane {
     telemetry::Counter& drop_ttl;
     telemetry::Counter& drop_no_route;
     telemetry::Counter& drop_expired;
+    telemetry::Counter& drop_handoff_shutdown;
+    telemetry::Counter& drop_shutdown_drain;
+    telemetry::Counter& stall_handoff;
+    telemetry::Counter& stall_resubmit;
+    /// Deterministic histograms (counts of counts — no clocks): ingress
+    /// occupancy observed at drain start, PDUs moved per drain batch.
+    telemetry::Histogram& ring_occupancy;
+    telemetry::Histogram& batch_moved;
+    /// Wall-clock registry, segregated from the deterministic dump.
+    telemetry::MetricsRegistry wall_metrics;
+    telemetry::Histogram& fwd_latency;
   };
 
+  std::size_t ingress_track() const { return shards_.size(); }
+
   /// Forwards one PDU this shard owns: TTL, snapshot lookup, egress.
-  void process(Shard& s, std::size_t shard_idx, wire::PduView pdu);
+  /// `t0`: span-start timestamp when this PDU's event sequence was
+  /// selected by the sampling gate (0 = untraced).  The caller captures
+  /// it once at dequeue so a sampled sequence costs one clock read.
+  void process(Shard& s, std::size_t shard_idx, wire::PduView pdu,
+               std::int64_t t0);
   /// Pops one batch from every ring feeding shard i; returns PDUs moved.
   /// `inline_drain`: on a full handoff ring, drain the owner shard from
   /// this thread — only legal when no worker threads are running (lockstep
@@ -167,11 +236,20 @@ class ShardedDataPlane {
   /// during the shutdown window.
   std::size_t drain_once(std::size_t shard_idx, bool inline_drain);
   void worker_loop(std::size_t shard_idx);
+  /// Destructor-time discard of anything still queued (deterministic-mode
+  /// teardown without a final run_until_idle): every PDU increments
+  /// dp.drop.shutdown_drain and leaves a terminal drop span.
+  void discard_queued();
 
   Config cfg_;
   FibPublisher& fib_;
   EgressFn egress_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<telemetry::FlightRecorder> rec_;
+  /// Producer-side instruments (submit stalls); single-writer like the
+  /// per-shard registries: only the submit thread increments.
+  telemetry::MetricsRegistry ingress_metrics_;
+  telemetry::Counter& stall_submit_;
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> now_ns_{0};
   std::size_t rr_next_ = 0;  ///< round-robin ingress spreader state

@@ -108,7 +108,17 @@ void FibPublisher::reclaim() {
   for (auto& r : retired_) {
     if (r.epoch > min_epoch) retired_[keep++] = std::move(r);
   }
+  reclaimed_count_ += retired_.size() - keep;
   retired_.resize(keep);
+}
+
+void FibPublisher::publish_stats(telemetry::MetricsRegistry& m,
+                                 const std::string& prefix) const {
+  m.counter(prefix + "fib.size").set(map_.size());
+  m.counter(prefix + "fib.publishes").set(publish_count_);
+  m.counter(prefix + "fib.retired_pending").set(retired_.size());
+  m.counter(prefix + "fib.reclaimed").set(reclaimed_count_);
+  m.counter(prefix + "fib.readers").set(readers_.size());
 }
 
 FibPublisher::Reader* FibPublisher::register_reader() {

@@ -30,6 +30,7 @@
 
 #include "common/bytes.hpp"
 #include "common/name.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gdp::router {
 
@@ -147,6 +148,18 @@ class FibPublisher {
   std::size_t size() const { return map_.size(); }
   std::uint64_t publish_count() const { return publish_count_; }
   std::size_t retired_count() const { return retired_.size(); }
+  /// Retired snapshots actually freed so far (QSBR progress gauge: if
+  /// this stalls while retired_count() grows, some reader stopped
+  /// quiescing).
+  std::uint64_t reclaimed_count() const { return reclaimed_count_; }
+
+  /// Publishes the control-plane route-maintenance gauges into `m`:
+  ///   <prefix>fib.size / fib.publishes / fib.retired_pending /
+  ///   fib.reclaimed / fib.readers.  Writer thread only (the counters it
+  ///   reads are writer-owned) — deterministic for identical update
+  ///   sequences.
+  void publish_stats(telemetry::MetricsRegistry& m,
+                     const std::string& prefix) const;
 
  private:
   void reclaim();
@@ -162,6 +175,7 @@ class FibPublisher {
   /// into their slot at quiescent points.
   std::atomic<std::uint64_t> publish_epoch_{0};
   std::uint64_t publish_count_ = 0;
+  std::uint64_t reclaimed_count_ = 0;
 
   struct Retired {
     std::uint64_t epoch;

@@ -41,6 +41,7 @@ class GLookupService : public net::PduHandler {
 
   const Name& name() const { return self_.name(); }
   const Name& domain() const { return domain_; }
+  const trust::Principal& principal() const { return self_; }
 
   /// Wires this service under `parent` (nullptr for the global root).
   /// The caller must also create the network link between the two.

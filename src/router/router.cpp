@@ -87,6 +87,9 @@ void Router::publish_metrics() {
   m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
   m.counter(metric_prefix_ + "verify_cache.capacity")
       .set(verify_cache_.capacity());
+  // Snapshot-publication / QSBR gauges (fib.publishes, fib.reclaimed, ...):
+  // publish_metrics runs on the control-plane thread, which owns them.
+  fib_.publish_stats(m, metric_prefix_);
 }
 
 std::string Router::stats_json(int indent) {

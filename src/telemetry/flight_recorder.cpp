@@ -1,0 +1,130 @@
+#include "telemetry/flight_recorder.hpp"
+
+namespace gdp::telemetry {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates per-track sampling phases.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr const char* kEventNames[] = {
+    "submit",  "dequeue",     "fib_lookup", "forward",
+    "handoff", "handoff_in",  "drop",       "stall",
+};
+static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
+                  static_cast<std::size_t>(FlightEventType::kCount),
+              "kEventNames must cover every FlightEventType");
+
+constexpr const char* kDropNames[] = {
+    "ttl", "no_route", "expired", "handoff_shutdown", "shutdown_drain",
+};
+static_assert(sizeof(kDropNames) / sizeof(kDropNames[0]) ==
+                  static_cast<std::size_t>(FlightDropReason::kCount),
+              "kDropNames must cover every FlightDropReason");
+
+}  // namespace
+
+const char* flight_event_name(FlightEventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < static_cast<std::size_t>(FlightEventType::kCount) ? kEventNames[i]
+                                                               : "unknown";
+}
+
+const char* flight_drop_reason_name(FlightDropReason r) {
+  const auto i = static_cast<std::size_t>(r);
+  return i < static_cast<std::size_t>(FlightDropReason::kCount) ? kDropNames[i]
+                                                                : "unknown";
+}
+
+FlightRing::FlightRing(std::size_t capacity) {
+  std::size_t cap = 1;
+  while (cap < capacity) cap <<= 1;
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+}
+
+void FlightRing::record(std::int64_t t_ns, FlightEventType type,
+                        std::uint64_t trace_id, std::uint64_t arg) {
+  const std::uint64_t n = recorded_.load(std::memory_order_relaxed);
+  Slot& s = slots_[n & mask_];
+  // Seqlock write: odd marks the slot in flight; the release fence orders
+  // the odd store before the payload, the release store publishes it.
+  const std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.t.store(static_cast<std::uint64_t>(t_ns), std::memory_order_relaxed);
+  s.trace.store(trace_id, std::memory_order_relaxed);
+  s.packed.store(static_cast<std::uint64_t>(type) | (arg << 16),
+                 std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);
+  recorded_.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  const std::uint64_t end = recorded_.load(std::memory_order_acquire);
+  const std::uint64_t cap = capacity();
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const Slot& s = slots_[i & mask_];
+    const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if ((seq1 & 1) != 0) continue;  // mid-write, discard
+    FlightEvent e;
+    e.t_ns = static_cast<std::int64_t>(s.t.load(std::memory_order_relaxed));
+    e.trace_id = s.trace.load(std::memory_order_relaxed);
+    const std::uint64_t packed = s.packed.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq1) continue;  // torn
+    // The writer may have lapped this slot while we were iterating; a
+    // lapped slot's payload belongs to a newer event — keep it anyway
+    // (it is a valid event), but only if it passed the seq check above.
+    e.type = static_cast<FlightEventType>(packed & 0xFF);
+    e.arg = packed >> 16;
+    if (static_cast<std::size_t>(e.type) >=
+        static_cast<std::size_t>(FlightEventType::kCount)) {
+      continue;  // never-written slot read before the writer reached it
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t tracks, Config cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  if (cfg_.sample_period == 0) cfg_.sample_period = 1;
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  tracks_.reserve(tracks);
+  for (std::size_t i = 0; i < tracks; ++i) {
+    // Seeded phase: track i records its first sample after `phase` PDUs,
+    // so tracks with identical traffic don't sample the same positions.
+    const std::uint32_t phase = static_cast<std::uint32_t>(
+        mix(cfg_.seed ^ (i + 1)) % cfg_.sample_period);
+    tracks_.push_back(
+        std::make_unique<Track>(cfg_.ring_capacity, 1 + phase));
+  }
+}
+
+void FlightRecorder::publish_stats(MetricsRegistry& m,
+                                   const std::string& prefix) const {
+  std::uint64_t seen_total = 0, sampled = 0, recorded = 0, overwritten = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    seen_total += seen(i);
+    sampled += tracks_[i]->sampled.value();
+    recorded += tracks_[i]->ring.recorded();
+    overwritten += tracks_[i]->ring.overwritten();
+  }
+  m.counter(prefix + "rec.events.seen").set(seen_total);
+  m.counter(prefix + "rec.events.sampled").set(sampled);
+  m.counter(prefix + "rec.events.recorded").set(recorded);
+  m.counter(prefix + "rec.ring.overwritten").set(overwritten);
+}
+
+}  // namespace gdp::telemetry

@@ -1,0 +1,155 @@
+#include "telemetry/perfetto.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace gdp::telemetry {
+
+namespace {
+
+// One flattened Trace Event, ready to serialize.  ts/dur are microseconds
+// (the Trace Event format's unit); args are pre-rendered JSON key/values.
+struct Emitted {
+  std::size_t tid;
+  double ts_us;
+  double dur_us;  ///< < 0: instant event ("i"), >= 0: complete event ("X")
+  std::string name;
+  std::string args;
+};
+
+void append_event(std::string& out, const Emitted& e, bool& first) {
+  char buf[256];
+  if (!first) out += ",\n";
+  first = false;
+  if (e.dur_us >= 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"ph\": \"X\", \"pid\": 1, \"tid\": %zu, "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"name\": \"%s\"",
+                  e.tid, e.ts_us, e.dur_us, e.name.c_str());
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"ph\": \"i\", \"pid\": 1, \"tid\": %zu, "
+                  "\"ts\": %.3f, \"s\": \"t\", \"name\": \"%s\"",
+                  e.tid, e.ts_us, e.name.c_str());
+  }
+  out += buf;
+  if (!e.args.empty()) {
+    out += ", \"args\": {" + e.args + "}";
+  }
+  out += "}";
+}
+
+void append_thread_name(std::string& out, std::size_t tid,
+                        const std::string& name, bool& first) {
+  char buf[128];
+  if (!first) out += ",\n";
+  first = false;
+  std::snprintf(buf, sizeof buf,
+                "    {\"ph\": \"M\", \"pid\": 1, \"tid\": %zu, "
+                "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                tid, name.c_str());
+  out += buf;
+}
+
+std::string trace_id_arg(std::uint64_t trace_id) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"trace_id\": \"0x%016" PRIx64 "\"",
+                trace_id);
+  return buf;
+}
+
+std::string header() {
+  return "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+}
+
+std::string footer() { return "\n  ]\n}\n"; }
+
+}  // namespace
+
+std::string PerfettoExporter::from_recorder(
+    const FlightRecorder& rec, const std::vector<std::string>& track_names) {
+  std::string out = header();
+  bool first = true;
+  for (std::size_t track = 0; track < rec.tracks(); ++track) {
+    const std::string name = track < track_names.size()
+                                 ? track_names[track]
+                                 : "track" + std::to_string(track);
+    append_thread_name(out, track, name, first);
+
+    std::vector<Emitted> events;
+    for (const FlightEvent& e : rec.ring(track).snapshot()) {
+      Emitted em;
+      em.tid = track;
+      em.name = flight_event_name(e.type);
+      char extra[96];
+      if (e.type == FlightEventType::kForward) {
+        // The span covers the whole forwarding decision; arg is its
+        // duration, and the recorded timestamp is the span start.
+        em.ts_us = static_cast<double>(e.t_ns) / 1e3;
+        em.dur_us = static_cast<double>(e.arg) / 1e3;
+        em.args = trace_id_arg(e.trace_id);
+      } else {
+        em.ts_us = static_cast<double>(e.t_ns) / 1e3;
+        em.dur_us = -1.0;
+        em.args = trace_id_arg(e.trace_id);
+        if (e.type == FlightEventType::kDrop) {
+          std::snprintf(extra, sizeof extra, ", \"reason\": \"%s\"",
+                        flight_drop_reason_name(
+                            static_cast<FlightDropReason>(e.arg)));
+        } else {
+          std::snprintf(extra, sizeof extra, ", \"arg\": %" PRIu64, e.arg);
+        }
+        em.args += extra;
+      }
+      events.push_back(std::move(em));
+    }
+    // Monotone timestamps per track: sort by emitted ts (span starts may
+    // precede the instants recorded before them).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Emitted& a, const Emitted& b) {
+                       return a.ts_us < b.ts_us;
+                     });
+    for (const Emitted& e : events) append_event(out, e, first);
+  }
+  out += footer();
+  return out;
+}
+
+std::string PerfettoExporter::from_trace(const TraceSink& sink) {
+  const std::vector<SpanEvent> all = sink.events();
+  // Node -> tid, ordered by first appearance (deterministic).
+  std::map<std::string, std::size_t> tids;
+  std::vector<std::string> node_names;
+  for (const SpanEvent& e : all) {
+    const std::string node = e.node.short_hex();
+    if (tids.emplace(node, node_names.size()).second) {
+      node_names.push_back(node);
+    }
+  }
+
+  std::string out = header();
+  bool first = true;
+  for (std::size_t i = 0; i < node_names.size(); ++i) {
+    append_thread_name(out, i, node_names[i], first);
+  }
+  // TraceSink events arrive in global time order, so each per-node
+  // subsequence is already monotone.
+  for (const SpanEvent& e : all) {
+    Emitted em;
+    em.tid = tids[e.node.short_hex()];
+    em.ts_us = static_cast<double>(e.at.count()) / 1e3;
+    em.dur_us = -1.0;
+    em.name = std::string(e.event);
+    em.args = trace_id_arg(e.trace_id);
+    if (!e.detail.empty()) {
+      em.args += ", \"detail\": \"" + e.detail + "\"";
+    }
+    append_event(out, em, first);
+  }
+  out += footer();
+  return out;
+}
+
+}  // namespace gdp::telemetry

@@ -1,0 +1,41 @@
+// Perfetto / chrome://tracing export.
+//
+// Serializes recorded telemetry into the Chrome Trace Event JSON format
+// (the "traceEvents" array), which ui.perfetto.dev and chrome://tracing
+// open directly.  Two sources share one emitter:
+//
+//   * FlightRecorder rings (the threaded data plane): one named thread
+//     track per shard worker plus the ingress producer, wall-clock
+//     timestamps.  `forward` events carry their measured duration and
+//     render as spans; everything else renders as instants.  Events are
+//     sorted per track, so timestamps are monotone within every track.
+//   * TraceSink (the simulated fabric): one named thread track per node,
+//     simulated-time timestamps — a deterministic capture of a scenario's
+//     hop-by-hop behaviour, diffable across reruns.
+//
+// Spans are correlated by the 8-byte PDU trace id, emitted into each
+// event's args as a hex string so Perfetto's query/aggregation UI can
+// group one PDU's journey across tracks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gdp::telemetry {
+
+class PerfettoExporter {
+ public:
+  /// Merges every track of `rec` into one trace; `track_names[i]` labels
+  /// track i (missing entries fall back to "track<i>").
+  static std::string from_recorder(const FlightRecorder& rec,
+                                   const std::vector<std::string>& track_names);
+
+  /// Exports a TraceSink's span events, one track per node (ordered by
+  /// first appearance).  Deterministic for identical sinks.
+  static std::string from_trace(const TraceSink& sink);
+};
+
+}  // namespace gdp::telemetry

@@ -1,0 +1,109 @@
+#include "telemetry/timeline.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gdp::telemetry {
+
+void StatsTimeline::append(const std::string& series, std::int64_t t_ns,
+                           std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_[series].push_back(Point{t_ns, value});
+  ++samples_;
+}
+
+std::size_t StatsTimeline::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::size_t StatsTimeline::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::vector<StatsTimeline::Point> StatsTimeline::series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  return it == series_.end() ? std::vector<Point>{} : it->second;
+}
+
+std::vector<std::string> StatsTimeline::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, _] : series_) out.push_back(name);
+  return out;
+}
+
+std::string StatsTimeline::to_json(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string pad1(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = "{\n" + pad1 + "\"series\": {";
+  bool first = true;
+  char buf[96];
+  for (const auto& [name, points] : series_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + "\"" + name + "\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "{\"t_ns\": %" PRId64 ", \"v\": %" PRIu64 "}",
+                    points[i].t_ns, points[i].value);
+      if (i != 0) out += ", ";
+      out += buf;
+    }
+    out += "]";
+  }
+  out += first ? "},\n" : "\n" + pad1 + "},\n";
+  std::snprintf(buf, sizeof buf, "\"samples\": %zu\n", samples_);
+  out += pad1 + buf + "}\n";
+  return out;
+}
+
+TelemetryPoller::TelemetryPoller(PollFn poll, std::chrono::milliseconds interval)
+    : poll_(std::move(poll)),
+      interval_(interval),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TelemetryPoller::~TelemetryPoller() { stop(); }
+
+void TelemetryPoller::start() {
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TelemetryPoller::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void TelemetryPoller::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    lock.unlock();
+    poll_(now_ns());
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    if (stop_requested_) return;
+    cv_.wait_for(lock, interval_, [this] { return stop_requested_; });
+    if (stop_requested_) {
+      // One final sample so the timeline always covers the full run.
+      lock.unlock();
+      poll_(now_ns());
+      polls_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace gdp::telemetry

@@ -1,0 +1,104 @@
+// Live queue-pressure time-series.
+//
+// A StatsTimeline holds named series of (timestamp, value) samples —
+// SPSC ring occupancy and high-water marks, buffer-pool gauges, per-shard
+// forward counters — appended either by a background TelemetryPoller
+// thread (threaded data plane, wall-clock timestamps) or synchronously by
+// the harness (simulated-time timestamps, deterministic).  The timeline is
+// its own export artifact (GDP_TIMELINE_JSON), segregated from stats_json:
+// wall-clock timelines may differ between reruns, stats_json never does.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gdp::telemetry {
+
+class StatsTimeline {
+ public:
+  struct Point {
+    std::int64_t t_ns;
+    std::uint64_t value;
+  };
+
+  /// Appends one sample to `series` (created on first use).  Thread-safe:
+  /// the poller thread appends while the owner may concurrently read.
+  void append(const std::string& series, std::int64_t t_ns,
+              std::uint64_t value);
+
+  std::size_t series_count() const;
+  std::size_t sample_count() const;  ///< total points across all series
+  std::vector<Point> series(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+
+  /// {"series": {name: [{"t_ns": .., "v": ..}, ...], ...},
+  ///  "samples": N}
+  /// Series in name order; deterministic for identical contents (the
+  /// contents themselves are deterministic only under simulated time).
+  std::string to_json(int indent = 2) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Point>> series_;
+  std::size_t samples_ = 0;
+};
+
+/// Background sampler: invokes `poll` every `interval` with a wall-clock
+/// timestamp until stop().  The poll callback owns what gets sampled (the
+/// data plane contributes ring occupancy, the pool its gauges); the poller
+/// only provides the cadence and the thread.
+class TelemetryPoller {
+ public:
+  /// t_ns: steady_clock ns since the poller's construction.
+  using PollFn = std::function<void(std::int64_t t_ns)>;
+
+  TelemetryPoller(PollFn poll, std::chrono::milliseconds interval);
+  ~TelemetryPoller();
+
+  TelemetryPoller(const TelemetryPoller&) = delete;
+  TelemetryPoller& operator=(const TelemetryPoller&) = delete;
+
+  /// Spawns the sampling thread (idempotent).
+  void start();
+  /// Takes a final sample, then joins the thread (idempotent).
+  void stop();
+  bool running() const { return running_; }
+
+  /// One synchronous sample on the calling thread — the deterministic
+  /// backends drive this instead of start() (no wall-clock cadence).
+  void poll_once() {
+    poll_(now_ns());
+    polls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+ private:
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  void loop();
+
+  PollFn poll_;
+  std::chrono::milliseconds interval_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> polls_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gdp::telemetry

@@ -1,0 +1,451 @@
+// Flight-recorder pipeline: ring wraparound/overflow accounting, seeded
+// sampling determinism, seqlock-protected concurrent record+snapshot (the
+// CI TSan job runs the threaded cases), StatsTimeline/TelemetryPoller
+// behaviour, and Perfetto export validity (parses as JSON, timestamps
+// monotone within every track).
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace gdp::telemetry {
+namespace {
+
+// ---- a minimal JSON validity checker ----------------------------------------
+//
+// Recursive-descent acceptor for the JSON the exporter emits (objects,
+// arrays, strings without exotic escapes, numbers, bools, null).  Accepts
+// iff the whole input is one well-formed value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') { ++pos_; continue; }
+      if (s_[pos_] == '"') { ++pos_; return true; }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (; *lit != '\0'; ++lit, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *lit) return false;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- FlightRing -------------------------------------------------------------
+
+TEST(FlightRing, RecordsAndSnapshotsInOrder) {
+  FlightRing ring(16);
+  EXPECT_EQ(ring.capacity(), 16u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(static_cast<std::int64_t>(100 + i), FlightEventType::kForward,
+                i, 7);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  const std::vector<FlightEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].t_ns, static_cast<std::int64_t>(100 + i));
+    EXPECT_EQ(events[i].trace_id, i);
+    EXPECT_EQ(events[i].type, FlightEventType::kForward);
+    EXPECT_EQ(events[i].arg, 7u);
+  }
+}
+
+TEST(FlightRing, WraparoundKeepsTheRecentPastAndCountsOverwrites) {
+  FlightRing ring(8);
+  const std::uint64_t total = 8 * 5 + 3;  // several laps plus a partial one
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ring.record(static_cast<std::int64_t>(i), FlightEventType::kDequeue, i, 0);
+  }
+  EXPECT_EQ(ring.recorded(), total);
+  EXPECT_EQ(ring.overwritten(), total - 8);
+  const std::vector<FlightEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Flight-recorder semantics: the survivors are exactly the newest 8,
+  // oldest-first.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].trace_id, total - 8 + i);
+  }
+}
+
+TEST(FlightRing, CapacityRoundsUpToPowerOfTwo) {
+  FlightRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    ring.record(0, FlightEventType::kSubmit, i, 0);
+  }
+  EXPECT_EQ(ring.overwritten(), 1u);
+}
+
+TEST(FlightRing, ArgTruncatesTo48Bits) {
+  FlightRing ring(4);
+  ring.record(1, FlightEventType::kForward, 42, ~std::uint64_t{0});
+  const std::vector<FlightEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].arg, (~std::uint64_t{0}) >> 16);
+  EXPECT_EQ(events[0].type, FlightEventType::kForward);
+}
+
+// The seqlock contract under real threads: one writer laps the ring while
+// a reader snapshots continuously.  Every observed event must be
+// internally consistent (valid type, plausible payload) — torn reads are
+// discarded, never surfaced.  TSan (the `threaded` CI job) checks the
+// absence of data races on the slot atomics.
+TEST(FlightRing, ConcurrentRecordAndSnapshotStaysConsistent) {
+  FlightRing ring(64);
+  constexpr std::uint64_t kEvents = 200000;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      // trace_id and arg carry the same value: a torn slot that mixed two
+      // events would break the equality.
+      ring.record(static_cast<std::int64_t>(i), FlightEventType::kForward, i,
+                  i & 0xFFFFFFFFFFFFull);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Keep snapshotting while the writer runs, and take a few more after it
+  // finishes (a fast writer can outrun thread startup entirely).
+  std::uint64_t snapshots = 0, observed = 0;
+  while (!done.load(std::memory_order_acquire) || snapshots < 8) {
+    const std::vector<FlightEvent> events = ring.snapshot();
+    ++snapshots;
+    for (const FlightEvent& e : events) {
+      ++observed;
+      ASSERT_EQ(e.type, FlightEventType::kForward);
+      ASSERT_EQ(e.arg, e.trace_id & 0xFFFFFFFFFFFFull);
+      ASSERT_EQ(e.t_ns, static_cast<std::int64_t>(e.trace_id));
+    }
+  }
+  writer.join();
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(ring.recorded(), kEvents);
+  EXPECT_EQ(ring.snapshot().size(), 64u);
+}
+
+// ---- FlightRecorder sampling ------------------------------------------------
+
+TEST(FlightRecorder, SamplingIsDeterministicForASeed) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 16;
+  cfg.seed = 0xABCD;
+  FlightRecorder a(3, cfg), b(3, cfg);
+  for (std::size_t track = 0; track < 3; ++track) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(a.tick(track), b.tick(track))
+          << "track " << track << " tick " << i;
+    }
+    EXPECT_EQ(a.sampled(track), b.sampled(track));
+    EXPECT_EQ(a.seen(track), 1000u);
+  }
+}
+
+TEST(FlightRecorder, SeedShiftsThePerTrackPhase) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 64;
+  cfg.seed = 1;
+  FlightRecorder rec(4, cfg);
+  // Record tick positions of the first sample on each track; the seeded
+  // phases must not all coincide (lockstep sampling across tracks would
+  // blind the recorder to cross-shard patterns).
+  std::vector<int> first(4, -1);
+  for (std::size_t track = 0; track < 4; ++track) {
+    for (int i = 0; i < 64; ++i) {
+      if (rec.tick(track)) {
+        first[track] = i;
+        break;
+      }
+    }
+    ASSERT_GE(first[track], 0);
+  }
+  bool all_same = true;
+  for (std::size_t t = 1; t < 4; ++t) all_same &= first[t] == first[0];
+  EXPECT_FALSE(all_same) << "every track sampled at tick " << first[0];
+}
+
+TEST(FlightRecorder, SamplePeriodOneRecordsEverything) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 1;
+  FlightRecorder rec(1, cfg);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rec.tick(0));
+    rec.record(0, FlightEventType::kSubmit, static_cast<std::uint64_t>(i), 0);
+  }
+  EXPECT_EQ(rec.sampled(0), 100u);
+  EXPECT_EQ(rec.seen(0), 100u);
+  EXPECT_EQ(rec.ring(0).recorded(), 100u);
+}
+
+TEST(FlightRecorder, SamplesEveryPeriodOnAverage) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 32;
+  FlightRecorder rec(1, cfg);
+  std::uint64_t hits = 0;
+  for (int i = 0; i < 32 * 100; ++i) hits += rec.tick(0) ? 1 : 0;
+  EXPECT_EQ(hits, 100u);  // countdown sampling is exact, not probabilistic
+  EXPECT_EQ(rec.sampled(0), 100u);
+  EXPECT_EQ(rec.seen(0), 32u * 100u);
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  FlightRecorder::Config cfg;
+  cfg.enabled = false;
+  cfg.sample_period = 1;
+  FlightRecorder rec(2, cfg);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rec.tick(0));
+    rec.record_always(0, FlightEventType::kDrop, 1, 2);
+  }
+  EXPECT_EQ(rec.ring(0).recorded(), 0u);
+  EXPECT_EQ(rec.sampled(0), 0u);
+  EXPECT_EQ(rec.seen(0), 0u);
+}
+
+TEST(FlightRecorder, RecordAlwaysBypassesSampling) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 1000000;  // the gate would never fire
+  FlightRecorder rec(1, cfg);
+  rec.record_always(0, FlightEventType::kDrop, 99,
+                    static_cast<std::uint64_t>(FlightDropReason::kNoRoute));
+  const std::vector<FlightEvent> events = rec.ring(0).snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, FlightEventType::kDrop);
+  EXPECT_EQ(events[0].trace_id, 99u);
+}
+
+TEST(FlightRecorder, PublishStatsEmitsCountOnlySlice) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 4;
+  cfg.ring_capacity = 8;
+  FlightRecorder rec(2, cfg);
+  for (int i = 0; i < 40; ++i) {
+    if (rec.tick(0)) rec.record(0, FlightEventType::kForward, 1, 2);
+    if (rec.tick(1)) rec.record(1, FlightEventType::kForward, 1, 2);
+  }
+  MetricsRegistry m;
+  rec.publish_stats(m, "dp.");
+  EXPECT_EQ(m.counter("dp.rec.events.seen").value(), 80u);
+  EXPECT_EQ(m.counter("dp.rec.events.sampled").value(), 20u);
+  EXPECT_EQ(m.counter("dp.rec.events.recorded").value(), 20u);
+  EXPECT_EQ(m.counter("dp.rec.ring.overwritten").value(), 4u);
+}
+
+// ---- StatsTimeline / TelemetryPoller ----------------------------------------
+
+TEST(StatsTimeline, AppendsAndSerializesDeterministically) {
+  StatsTimeline tl;
+  tl.append("b.series", 10, 1);
+  tl.append("a.series", 10, 2);
+  tl.append("b.series", 20, 3);
+  EXPECT_EQ(tl.series_count(), 2u);
+  EXPECT_EQ(tl.sample_count(), 3u);
+  const std::vector<StatsTimeline::Point> b = tl.series("b.series");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].t_ns, 10);
+  EXPECT_EQ(b[1].value, 3u);
+
+  const std::string json = tl.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Name order: "a.series" serializes before "b.series".
+  EXPECT_LT(json.find("a.series"), json.find("b.series"));
+
+  StatsTimeline tl2;
+  tl2.append("b.series", 10, 1);
+  tl2.append("a.series", 10, 2);
+  tl2.append("b.series", 20, 3);
+  EXPECT_EQ(json, tl2.to_json());
+}
+
+TEST(TelemetryPoller, PollOnceSamplesSynchronously) {
+  StatsTimeline tl;
+  TelemetryPoller poller(
+      [&tl](std::int64_t t_ns) { tl.append("gauge", t_ns, 42); },
+      std::chrono::milliseconds(1000));
+  poller.poll_once();
+  poller.poll_once();
+  EXPECT_EQ(poller.polls(), 2u);
+  EXPECT_EQ(tl.sample_count(), 2u);
+}
+
+TEST(TelemetryPoller, BackgroundThreadSamplesUntilStopped) {
+  StatsTimeline tl;
+  std::atomic<std::uint64_t> gauge{0};
+  TelemetryPoller poller(
+      [&](std::int64_t t_ns) {
+        tl.append("gauge", t_ns, gauge.load(std::memory_order_relaxed));
+      },
+      std::chrono::milliseconds(1));
+  poller.start();
+  EXPECT_TRUE(poller.running());
+  for (int i = 0; i < 1000; ++i) gauge.fetch_add(1, std::memory_order_relaxed);
+  poller.stop();
+  EXPECT_FALSE(poller.running());
+  EXPECT_GE(tl.sample_count(), 1u);
+  const std::vector<StatsTimeline::Point> pts = tl.series("gauge");
+  ASSERT_FALSE(pts.empty());
+  // The gauge only grows, so the sampled values must be non-decreasing in
+  // time and never exceed the final value.
+  EXPECT_LE(pts.back().value, 1000u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].t_ns, pts[i - 1].t_ns);
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+  }
+}
+
+// ---- Perfetto export --------------------------------------------------------
+
+TEST(PerfettoExporter, EmitsValidJsonWithMonotoneTimestampsPerTrack) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 1;
+  FlightRecorder rec(2, cfg);
+  // Interleave event kinds, including a drop (reason arg) and a forward
+  // span (duration arg) recorded out of order via record_at.
+  rec.record_at(0, 100, FlightEventType::kSubmit, 0x11, 0);
+  rec.record_at(0, 300, FlightEventType::kDequeue, 0x11, 5);
+  rec.record_at(0, 200, FlightEventType::kFibLookup, 0x11, 1);
+  rec.record_at(0, 150, FlightEventType::kForward, 0x11, 400);
+  rec.record_at(1, 50, FlightEventType::kDrop, 0x22,
+                static_cast<std::uint64_t>(FlightDropReason::kTtl));
+  rec.record_at(1, 75, FlightEventType::kHandoffIn, 0x22, 0);
+
+  const std::string json =
+      PerfettoExporter::from_recorder(rec, {"shard0", "shard1"});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"ttl\""), std::string::npos);
+  EXPECT_NE(json.find("0x0000000000000011"), std::string::npos);
+
+  // Per-track timestamps must be monotone even though the events were
+  // recorded out of order (the exporter sorts each track).
+  std::map<std::size_t, double> last_ts;
+  std::size_t events_seen = 0;
+  for (std::size_t pos = json.find("{\"ph\": \""); pos != std::string::npos;
+       pos = json.find("{\"ph\": \"", pos + 1)) {
+    const char ph = json[pos + 8];
+    if (ph == 'M') continue;  // metadata has no timestamp
+    ++events_seen;
+    const std::size_t tid_pos = json.find("\"tid\": ", pos);
+    const std::size_t ts_pos = json.find("\"ts\": ", pos);
+    ASSERT_NE(tid_pos, std::string::npos);
+    ASSERT_NE(ts_pos, std::string::npos);
+    const std::size_t tid = std::stoul(json.substr(tid_pos + 7));
+    const double ts = std::stod(json.substr(ts_pos + 6));
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "track " << tid << " went backwards";
+    }
+    last_ts[tid] = ts;
+  }
+  EXPECT_EQ(events_seen, 6u);
+  EXPECT_EQ(last_ts.size(), 2u);
+}
+
+TEST(PerfettoExporter, MissingTrackNamesFallBack) {
+  FlightRecorder::Config cfg;
+  cfg.sample_period = 1;
+  FlightRecorder rec(2, cfg);
+  rec.record_at(1, 10, FlightEventType::kSubmit, 1, 0);
+  const std::string json = PerfettoExporter::from_recorder(rec, {"only0"});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"only0\""), std::string::npos);
+  EXPECT_NE(json.find("\"track1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdp::telemetry
