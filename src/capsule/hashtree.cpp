@@ -1,0 +1,223 @@
+#include "capsule/hashtree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace gdp::capsule {
+
+namespace {
+
+// Deepest interior level the empty-hash memo supports: kLeafSpan *
+// kFanout^12 seqnos is ~2^52, far beyond any real capsule.
+constexpr std::size_t kMaxLevels = 13;
+
+std::size_t level_of_span(std::uint64_t span) {
+  std::size_t level = 0;
+  std::uint64_t s = HashTree::kLeafSpan;
+  while (s < span) {
+    s *= HashTree::kFanout;
+    ++level;
+  }
+  assert(s == span);
+  return level;
+}
+
+}  // namespace
+
+const crypto::Digest& HashTree::empty_hash(std::size_t level) {
+  static const std::vector<crypto::Digest> memo = [] {
+    std::vector<crypto::Digest> out;
+    crypto::Sha256 h;
+    h.update(to_bytes("gdp.ht.leaf"));
+    const Bytes zeros(kLeafSpan * Name::kSize, 0);
+    h.update(zeros);
+    out.push_back(h.finish());
+    for (std::size_t l = 1; l < kMaxLevels; ++l) {
+      crypto::Sha256 n;
+      n.update(to_bytes("gdp.ht.node"));
+      for (std::uint64_t c = 0; c < kFanout; ++c) {
+        n.update(BytesView(out[l - 1].data(), out[l - 1].size()));
+      }
+      out.push_back(n.finish());
+    }
+    return out;
+  }();
+  assert(level < memo.size());
+  return memo[level];
+}
+
+void HashTree::set_leaf(std::uint64_t seqno, const Name& record_hash) {
+  assert(seqno >= 1);
+  const std::uint64_t idx = seqno - 1;
+  if (idx >= leaves_.size()) leaves_.resize(idx + 1);
+  Name& slot = leaves_[idx];
+  if (slot == record_hash) {
+    if (seqno > tip_) tip_ = seqno;  // re-asserted leaf can still raise the tip
+    return;
+  }
+  const std::uint64_t bucket = idx / kLeafSpan;
+  if (bucket >= bucket_dirty_.size()) {
+    bucket_dirty_.resize(bucket + 1, 1);
+    bucket_hash_.resize(bucket + 1);
+    bucket_count_.resize(bucket + 1, 0);
+  }
+  if (slot.is_zero() && !record_hash.is_zero()) {
+    ++bucket_count_[bucket];
+    ++present_;
+  } else if (!slot.is_zero() && record_hash.is_zero()) {
+    --bucket_count_[bucket];
+    --present_;
+  }
+  slot = record_hash;
+  bucket_dirty_[bucket] = 1;
+  if (seqno > tip_) tip_ = seqno;
+}
+
+void HashTree::truncate(std::uint64_t new_tip) {
+  if (new_tip >= tip_) return;
+  for (std::uint64_t idx = new_tip; idx < leaves_.size(); ++idx) {
+    if (leaves_[idx].is_zero()) continue;
+    leaves_[idx] = Name{};
+    const std::uint64_t bucket = idx / kLeafSpan;
+    --bucket_count_[bucket];
+    --present_;
+    bucket_dirty_[bucket] = 1;
+  }
+  leaves_.resize(new_tip);
+  tip_ = new_tip;
+}
+
+void HashTree::clear() {
+  leaves_.clear();
+  bucket_hash_.clear();
+  bucket_dirty_.clear();
+  bucket_count_.clear();
+  tip_ = 0;
+  present_ = 0;
+}
+
+bool HashTree::range_empty(std::uint64_t first, std::uint64_t last) const {
+  if (present_ == 0 || first > leaves_.size()) return true;
+  const std::uint64_t from_bucket = (first - 1) / kLeafSpan;
+  const std::uint64_t to_bucket = (last - 1) / kLeafSpan;
+  for (std::uint64_t b = from_bucket;
+       b <= to_bucket && b < bucket_count_.size(); ++b) {
+    if (bucket_count_[b] == 0) continue;
+    // Exchange ranges are bucket-aligned, so a populated bucket in range
+    // means a populated leaf in range; the precise check below only
+    // matters for unaligned queries.
+    const std::uint64_t bucket_first = b * kLeafSpan + 1;
+    if (bucket_first >= first && bucket_first + kLeafSpan - 1 <= last) {
+      return false;
+    }
+    for (std::uint64_t s = std::max(first, bucket_first);
+         s <= std::min(last, bucket_first + kLeafSpan - 1); ++s) {
+      if (s - 1 < leaves_.size() && !leaves_[s - 1].is_zero()) return false;
+    }
+  }
+  return true;
+}
+
+bool HashTree::range_full(std::uint64_t first, std::uint64_t last) const {
+  if (last < first) return true;
+  if (first == 0 || last > leaves_.size()) return false;
+  for (std::uint64_t s = first; s <= last;) {
+    const std::uint64_t b = (s - 1) / kLeafSpan;
+    const std::uint64_t bucket_first = b * kLeafSpan + 1;
+    const std::uint64_t bucket_last = bucket_first + kLeafSpan - 1;
+    if (bucket_first >= first && bucket_last <= last &&
+        bucket_count_[b] == kLeafSpan) {
+      s = bucket_last + 1;  // whole bucket present
+      continue;
+    }
+    const std::uint64_t stop = std::min(last, bucket_last);
+    for (; s <= stop; ++s) {
+      if (leaves_[s - 1].is_zero()) return false;
+    }
+  }
+  return true;
+}
+
+const crypto::Digest& HashTree::bucket_digest(std::uint64_t bucket) const {
+  if (bucket >= bucket_hash_.size() || bucket_count_[bucket] == 0) {
+    // Never-touched or fully-cleared bucket: the canonical empty digest.
+    // (A cleared bucket's cache may be stale; count == 0 decides.)
+    return empty_hash(0);
+  }
+  if (bucket_dirty_[bucket]) {
+    crypto::Sha256 h;
+    h.update(to_bytes("gdp.ht.leaf"));
+    static const std::array<std::uint8_t, Name::kSize> kZeros{};
+    for (std::uint64_t i = 0; i < kLeafSpan; ++i) {
+      const std::uint64_t idx = bucket * kLeafSpan + i;
+      if (idx < leaves_.size()) {
+        h.update(leaves_[idx].view());
+      } else {
+        h.update(BytesView(kZeros.data(), kZeros.size()));
+      }
+    }
+    bucket_hash_[bucket] = h.finish();
+    bucket_dirty_[bucket] = 0;
+  }
+  return bucket_hash_[bucket];
+}
+
+crypto::Digest HashTree::range_hash(std::uint64_t first,
+                                    std::uint64_t last) const {
+  const std::uint64_t span = last - first + 1;
+  if (span == kLeafSpan) return bucket_digest((first - 1) / kLeafSpan);
+  const std::size_t level = level_of_span(span);
+  if (range_empty(first, last)) return empty_hash(level);
+  crypto::Sha256 h;
+  h.update(to_bytes("gdp.ht.node"));
+  const std::uint64_t child_span = span / kFanout;
+  for (std::uint64_t c = 0; c < kFanout; ++c) {
+    const crypto::Digest d =
+        range_hash(first + c * child_span, first + (c + 1) * child_span - 1);
+    h.update(BytesView(d.data(), d.size()));
+  }
+  return h.finish();
+}
+
+std::uint64_t HashTree::cover_span(std::uint64_t tip) {
+  std::uint64_t span = kLeafSpan;
+  while (span < tip) span *= kFanout;
+  return span;
+}
+
+bool HashTree::is_aligned(std::uint64_t first, std::uint64_t last) {
+  if (first == 0 || last < first) return false;
+  const std::uint64_t span = last - first + 1;
+  std::uint64_t s = kLeafSpan;
+  for (std::size_t l = 0; l + 1 < kMaxLevels; ++l) {
+    if (s == span) return (first - 1) % span == 0;
+    s *= kFanout;
+  }
+  return false;
+}
+
+HashTree::Node HashTree::root() const {
+  const std::uint64_t span = cover_span(tip_);
+  return node(1, span);
+}
+
+HashTree::Node HashTree::node(std::uint64_t first, std::uint64_t last) const {
+  assert(is_aligned(first, last));
+  return Node{first, last, range_hash(first, last)};
+}
+
+std::vector<HashTree::Node> HashTree::children(std::uint64_t first,
+                                               std::uint64_t last) const {
+  std::vector<Node> out;
+  if (is_leaf_range(first, last)) return out;
+  const std::uint64_t child_span = (last - first + 1) / kFanout;
+  out.reserve(kFanout);
+  for (std::uint64_t c = 0; c < kFanout; ++c) {
+    out.push_back(
+        node(first + c * child_span, first + (c + 1) * child_span - 1));
+  }
+  return out;
+}
+
+}  // namespace gdp::capsule

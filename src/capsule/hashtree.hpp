@@ -1,0 +1,109 @@
+// Merkle summary of a capsule's canonical record chain (§VI-A).
+//
+// Anti-entropy that floods full records scales with the size of the
+// capsule, not with the size of the divergence.  The original GDP design
+// calls for detecting "gaps and forks in the data stream" via Merkle-tree
+// provenance: replicas exchange subtree hashes, walk only the ranges that
+// disagree, and pull exactly the records they lack.  HashTree is that
+// summary — a fixed-fanout tree whose leaves bucket the canonical chain
+// by seqno range.
+//
+// Tree shape is *absolute*: leaf b always covers seqnos
+// [b*kLeafSpan+1, (b+1)*kLeafSpan] and a level-k interior node always
+// covers kLeafSpan*kFanout^k seqnos starting at an aligned boundary, so
+// two replicas with different tips hash the same function over the same
+// range — ranges beyond a replica's tip fold in well-defined
+// empty-subtree digests.  The root is the node over the smallest aligned
+// span covering the tip, and anchors the sync probe next to the tip
+// heartbeat.
+//
+// Maintenance is incremental: set_leaf() dirties one leaf bucket;
+// interior hashes are folded from the (cached) bucket digests on demand,
+// so an append costs one bucket re-hash and a summary probe costs only
+// the buckets that changed since the last one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/name.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gdp::capsule {
+
+class HashTree {
+ public:
+  /// Seqnos per leaf bucket: the granularity at which divergence is
+  /// localized (a fork is narrowed to one 64-record range, then the whole
+  /// range is exchanged).
+  static constexpr std::uint64_t kLeafSpan = 64;
+  /// Children per interior node: one descend round narrows a range by 16x.
+  static constexpr std::uint64_t kFanout = 16;
+
+  struct Node {
+    std::uint64_t first = 0;  ///< inclusive 1-based seqno range
+    std::uint64_t last = 0;
+    crypto::Digest hash{};
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  /// Sets the canonical record hash at `seqno` (>= 1).  Overwriting with
+  /// the same value is free; a changed value dirties only its bucket.
+  void set_leaf(std::uint64_t seqno, const Name& record_hash);
+
+  /// Drops every leaf above `new_tip` (canonical reorg shortened the
+  /// chain).  Idempotent.
+  void truncate(std::uint64_t new_tip);
+
+  void clear();
+
+  std::uint64_t tip_seqno() const { return tip_; }
+
+  /// True when no canonical record lies in [first, last].
+  bool range_empty(std::uint64_t first, std::uint64_t last) const;
+
+  /// True when every seqno in [first, last] has a canonical record.  Sync
+  /// uses this to tell "peer is just behind" apart from "I have gaps":
+  /// a fully-present range whose hash differs only because the peer's tip
+  /// is shorter need not be re-pulled.
+  bool range_full(std::uint64_t first, std::uint64_t last) const;
+
+  /// Root: the node over [1, cover_span(tip)].  An empty tree's root
+  /// covers [1, kLeafSpan]; two empty trees always agree.
+  Node root() const;
+
+  /// Hash over an aligned range (see is_aligned).  Ranges wholly or
+  /// partly beyond the tip are well-defined (empty digests), so replicas
+  /// with different tips can compare any aligned range.
+  Node node(std::uint64_t first, std::uint64_t last) const;
+
+  /// The kFanout aligned children of an interior range.  Empty for leaf
+  /// ranges.
+  std::vector<Node> children(std::uint64_t first, std::uint64_t last) const;
+
+  static bool is_leaf_range(std::uint64_t first, std::uint64_t last) {
+    return last - first + 1 <= kLeafSpan;
+  }
+
+  /// Smallest aligned span kLeafSpan * kFanout^k covering [1, tip].
+  static std::uint64_t cover_span(std::uint64_t tip);
+
+  /// Valid exchange ranges: span kLeafSpan * kFanout^k, aligned start.
+  static bool is_aligned(std::uint64_t first, std::uint64_t last);
+
+ private:
+  /// Digest of an entirely-empty subtree at `level` (0 = leaf), memoized.
+  static const crypto::Digest& empty_hash(std::size_t level);
+  const crypto::Digest& bucket_digest(std::uint64_t bucket) const;
+  crypto::Digest range_hash(std::uint64_t first, std::uint64_t last) const;
+
+  std::vector<Name> leaves_;  ///< seqno-1 indexed; zero Name = absent
+  std::uint64_t tip_ = 0;
+  std::uint64_t present_ = 0;  ///< non-zero leaves
+  mutable std::vector<crypto::Digest> bucket_hash_;
+  mutable std::vector<char> bucket_dirty_;
+  std::vector<std::uint32_t> bucket_count_;  ///< present leaves per bucket
+};
+
+}  // namespace gdp::capsule

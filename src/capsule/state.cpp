@@ -115,6 +115,7 @@ void CapsuleState::attach(const Record& record) {
     if (extends_tip && by_seqno_[seqno].size() == 1) {
       canonical_[seqno] = hash;
       canonical_tip_ = hash;
+      tree_.set_leaf(seqno, hash);
     } else {
       canonical_dirty_ = true;
     }
@@ -182,7 +183,10 @@ void CapsuleState::rebuild_canonical() const {
   canonical_.clear();
   canonical_tip_ = metadata_.name();
   canonical_dirty_ = false;
-  if (by_seqno_.empty()) return;
+  if (by_seqno_.empty()) {
+    tree_.clear();
+    return;
+  }
 
   // Tip: smallest hash among records at the highest seqno that are heads.
   // (With holes the highest-seqno record is always a head.)
@@ -211,6 +215,17 @@ void CapsuleState::rebuild_canonical() const {
     cursor = prev->hash;
     --seqno;
   }
+
+  // Resync the Merkle summary: drop leaves beyond the new tip, then
+  // overwrite the rest (set_leaf is free when the value is unchanged, so
+  // this costs one bucket re-hash per actually-divergent range).
+  tree_.truncate(max_seqno);
+  for (const auto& [s, h] : canonical_) tree_.set_leaf(s, h);
+}
+
+const HashTree& CapsuleState::tree() const {
+  if (canonical_dirty_) rebuild_canonical();
+  return tree_;
 }
 
 std::optional<Record> CapsuleState::get_by_hash(const RecordHash& hash) const {

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "capsule/hashtree.hpp"
 #include "capsule/heartbeat.hpp"
 #include "capsule/metadata.hpp"
 #include "capsule/record.hpp"
@@ -77,6 +78,11 @@ class CapsuleState {
   /// Attached records in (seqno, hash) order — the sync/export order.
   std::vector<Record> export_records() const;
 
+  /// Merkle summary of the canonical chain, kept in lock-step with the
+  /// canonical cache (incremental on tip extension, resynced on rebuild).
+  /// Anti-entropy compares roots/subtrees instead of flooding records.
+  const HashTree& tree() const;
+
   /// Verifies a heartbeat against this state: signature must check out
   /// and the attested record must be present (or seqno 0 / empty).
   Status check_heartbeat(const Heartbeat& hb) const;
@@ -107,6 +113,8 @@ class CapsuleState {
   mutable std::map<std::uint64_t, RecordHash> canonical_;
   mutable RecordHash canonical_tip_;
   mutable bool canonical_dirty_ = false;
+  // Merkle summary of canonical_; mutable because the rebuild is lazy.
+  mutable HashTree tree_;
 };
 
 }  // namespace gdp::capsule

@@ -33,11 +33,21 @@ CapsuleServer::CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
       reads_served_(net_.metrics().counter(metric_prefix_ + "reads.served")),
       sync_records_sent_(
           net_.metrics().counter(metric_prefix_ + "sync.records_sent")),
+      sync_summary_bytes_(
+          net_.metrics().counter(metric_prefix_ + "sync.summary_bytes")),
+      sync_ranges_pulled_(
+          net_.metrics().counter(metric_prefix_ + "sync.ranges_pulled")),
+      sync_rounds_(net_.metrics().counter(metric_prefix_ + "sync.rounds")),
+      sync_probes_(net_.metrics().counter(metric_prefix_ + "sync.probes")),
       drop_malformed_(net_.metrics().counter(metric_prefix_ + "drop.malformed")),
       drop_not_hosted_(
           net_.metrics().counter(metric_prefix_ + "drop.not_hosted")),
       drop_stale_ack_(
           net_.metrics().counter(metric_prefix_ + "drop.stale_ack")),
+      drop_duplicate_ack_(
+          net_.metrics().counter(metric_prefix_ + "drop.duplicate_ack")),
+      drop_foreign_ack_(
+          net_.metrics().counter(metric_prefix_ + "drop.foreign_ack")),
       recv_pdus_(net_.metrics().counter(metric_prefix_ + "recv.pdus")),
       batch_accepted_(net_.metrics().counter(metric_prefix_ + "batch.accepted")),
       batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
@@ -110,18 +120,88 @@ void CapsuleServer::start_anti_entropy() {
 }
 
 void CapsuleServer::anti_entropy_round() {
+  sync_rounds_.inc();
   for (const Name& capsule : store_.hosted()) {
     auto peer_it = peers_.find(capsule);
     if (peer_it == peers_.end() || peer_it->second.empty()) continue;
     const store::CapsuleStore* cs = store_.find(capsule);
-    const Name peer =
-        peer_it->second[net_.sim().rng().next_below(peer_it->second.size())];
-    wire::SyncPullMsg msg;
-    msg.capsule = capsule;
-    msg.tip_seqno = cs->state().tip_seqno();
-    msg.holes = cs->state().holes();
-    send_pdu(peer, wire::MsgType::kSyncPull, msg.serialize());
+    if (options_.sync_mode == SyncMode::kSummary) {
+      auto sess = sync_sessions_.find(capsule);
+      if (sess != sync_sessions_.end()) {
+        SyncSession& s = sess->second;
+        if (s.received > s.last_progress) {
+          s.last_progress = s.received;
+          s.idle_rounds = 0;
+          s.retries = 0;
+        } else if (++s.idle_rounds >= kStallRounds) {
+          // No records for a while: either a PDU was lost or the link is
+          // just slow (the threshold must exceed one batch's transfer
+          // time in rounds, or healthy slow-link pulls get re-requested
+          // and the retry itself duplicates traffic).
+          s.idle_rounds = 0;
+          if (s.retries < kMaxRetries && (s.in_flight || !s.queued.empty())) {
+            // Progress-preserving retry: re-request the in-flight ranges
+            // at the last acknowledged cursor — one small PDU, and the
+            // Merkle walk's findings survive the loss.
+            ++s.retries;
+            if (s.in_flight) {
+              wire::SyncRangeMsg again;
+              again.capsule = capsule;
+              again.ranges = s.requested;
+              again.holes = cs->state().holes();
+              again.cursor = s.cursor;
+              Bytes payload = again.serialize();
+              sync_summary_bytes_.inc(payload.size());
+              send_pdu(s.peer, wire::MsgType::kSyncRange, std::move(payload),
+                       s.flow);
+            } else {
+              flush_session(capsule, s);
+            }
+          } else {
+            // Retries exhausted (peer likely gone): drop the conversation
+            // and fall through to a fresh probe, possibly at another peer.
+            sync_sessions_.erase(sess);
+            sess = sync_sessions_.end();
+          }
+        }
+        if (sess != sync_sessions_.end()) continue;  // conversation still live
+      }
+      const Name peer =
+          peer_it->second[net_.sim().rng().next_below(peer_it->second.size())];
+      send_summary_probe(capsule, peer);
+    } else {
+      const Name peer =
+          peer_it->second[net_.sim().rng().next_below(peer_it->second.size())];
+      wire::SyncPullMsg msg;
+      msg.capsule = capsule;
+      msg.tip_seqno = cs->state().tip_seqno();
+      msg.holes = cs->state().holes();
+      send_pdu(peer, wire::MsgType::kSyncPull, msg.serialize());
+    }
   }
+}
+
+Status CapsuleServer::ingest_local(const Name& capsule, const Record& record) {
+  store::CapsuleStore* cs = store_.find(capsule);
+  if (cs == nullptr) {
+    return make_error(Errc::kNotFound, "capsule not hosted here");
+  }
+  return cs->ingest(record, capsule::SigPolicy::kPreVerified);
+}
+
+void CapsuleServer::send_summary_probe(const Name& capsule, const Name& peer) {
+  const store::CapsuleStore* cs = store_.find(capsule);
+  if (cs == nullptr) return;
+  const auto& state = cs->state();
+  wire::SyncSummaryMsg msg;
+  msg.capsule = capsule;
+  msg.tip_seqno = state.tip_seqno();
+  msg.tip_hash = state.tip_hash();
+  msg.root_hash = crypto::digest_to_name(state.tree().root().hash);
+  Bytes payload = msg.serialize();
+  sync_probes_.inc();
+  sync_summary_bytes_.inc(payload.size());
+  send_pdu(peer, wire::MsgType::kSyncSummary, std::move(payload));
 }
 
 void CapsuleServer::handle_pdu(const Name& from, const wire::Pdu& pdu) {
@@ -136,6 +216,9 @@ void CapsuleServer::handle_pdu(const Name& from, const wire::Pdu& pdu) {
     case wire::MsgType::kSubscribe: handle_subscribe(pdu); return;
     case wire::MsgType::kSyncPull: handle_sync_pull(pdu); return;
     case wire::MsgType::kSyncPush: handle_sync_push(pdu); return;
+    case wire::MsgType::kSyncSummary: handle_sync_summary(pdu); return;
+    case wire::MsgType::kSyncDescend: handle_sync_descend(pdu); return;
+    case wire::MsgType::kSyncRange: handle_sync_range(pdu); return;
     case wire::MsgType::kStatus: handle_peer_ack(pdu); return;
     case wire::MsgType::kBenchData:
       // Raw forwarding benchmark sink; the terminal span mirrors the
@@ -220,16 +303,27 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
 
   const auto peer_it = peers_.find(msg->capsule);
   const std::size_t peer_count = peer_it == peers_.end() ? 0 : peer_it->second.size();
-  if (pending.required <= 1 || peer_count == 0) {
-    // Fast path (§VI-B): ack after local persistence, propagate in the
-    // background.
-    const bool ok = pending.required <= 1;
-    send_append_ack(pending, ok,
-                    ok ? "" : "no replica peers to satisfy required_acks");
+  pending.peer_count = static_cast<std::uint32_t>(peer_count);
+  // The local flushed persist is the first durable copy, so the quorum
+  // needs required - 1 peer acks; only required > peers + 1 is honestly
+  // unsatisfiable and nacked up front instead of burning the timeout.
+  if (pending.required > peer_count + 1) {
+    send_append_ack(pending, false,
+                    "required_acks " + std::to_string(pending.required) +
+                        " unsatisfiable with " + std::to_string(peer_count) +
+                        " replica peers");
     propagate_record(msg->capsule, msg->record, 0);
     return;
   }
-  // Durable path: hold the ack until enough replicas confirm.
+  if (pending.required <= 1) {
+    // Fast path (§VI-B): ack after local persistence, propagate in the
+    // background.
+    send_append_ack(pending, true, "");
+    propagate_record(msg->capsule, msg->record, 0);
+    return;
+  }
+  // Durable path: hold the ack until enough replicas confirm (the local
+  // copy already counts as ack #1).
   const std::uint64_t id = next_pending_id_++;
   pending_[id] = pending;
   propagate_record(msg->capsule, msg->record, id);
@@ -264,7 +358,6 @@ void CapsuleServer::handle_peer_ack(const wire::Pdu& pdu) {
     net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_ack");
     return;
   }
-  if (!msg->ok) return;  // negative acks never satisfy durability
   auto it = pending_.find(msg->nonce);
   if (it == pending_.end()) {
     drop_stale_ack_.inc();
@@ -272,11 +365,45 @@ void CapsuleServer::handle_peer_ack(const wire::Pdu& pdu) {
     return;
   }
   PendingDurability& p = it->second;
-  ++p.acks;
-  if (p.acks >= p.required) {
+  // Only configured replica peers vote, and each peer's first response is
+  // the one that counts — a retried or flap-re-delivered ack must not let
+  // one durable copy satisfy a 2-of-k quorum.
+  const auto peer_it = peers_.find(p.capsule);
+  const bool is_peer =
+      peer_it != peers_.end() &&
+      std::find(peer_it->second.begin(), peer_it->second.end(), pdu.src) !=
+          peer_it->second.end();
+  if (!is_peer) {
+    drop_foreign_ack_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "foreign_ack");
+    return;
+  }
+  if (!p.responded.insert(pdu.src).second) {
+    drop_duplicate_ack_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "duplicate_ack");
+    return;
+  }
+  if (msg->ok) {
+    ++p.acks;
+    if (p.acks >= p.required) {
+      PendingDurability done = std::move(p);
+      pending_.erase(it);
+      send_append_ack(done, true, "");
+    }
+    return;
+  }
+  // Negative ack: fail fast once the quorum can no longer be reached,
+  // instead of burning the full durability timeout.
+  ++p.nacks;
+  const std::uint32_t undecided =
+      p.peer_count - static_cast<std::uint32_t>(p.responded.size());
+  if (p.acks + undecided < p.required) {
     PendingDurability done = std::move(p);
     pending_.erase(it);
-    send_append_ack(done, true, "");
+    send_append_ack(done, false,
+                    "quorum unreachable: " + std::to_string(done.nacks) +
+                        " peer nacks, " + std::to_string(done.acks) + "/" +
+                        std::to_string(done.required) + " acks");
   }
 }
 
@@ -291,6 +418,16 @@ void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
   if (cs == nullptr) {
     drop_not_hosted_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    if (pdu.flow_id != 0) {
+      // A replica waiting on this push for durability must hear the
+      // rejection now, not at its timeout.
+      wire::StatusMsg nack;
+      nack.ok = false;
+      nack.code = static_cast<std::uint16_t>(Errc::kNotFound);
+      nack.message = "capsule not hosted here";
+      nack.nonce = pdu.flow_id;
+      send_pdu(pdu.src, wire::MsgType::kStatus, nack.serialize(), pdu.flow_id);
+    }
     return;
   }
   const std::uint64_t tip_before = cs->state().tip_seqno();
@@ -352,6 +489,32 @@ void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
     if (!cs->ingest(records[i], policy[i]).ok()) all_ok = false;
   }
   publish_new_canonical(msg->capsule, tip_before);
+
+  // Pull-reply push for an active summary-sync session?  Continue the
+  // cursor (the peer truncated at its batch cap) or retire the session.
+  auto sess = sync_sessions_.find(msg->capsule);
+  if (sess != sync_sessions_.end() && sess->second.peer == pdu.src &&
+      sess->second.flow == pdu.flow_id) {
+    SyncSession& s = sess->second;
+    s.received += msg->records.size();
+    if (msg->resume_cursor != 0) {
+      wire::SyncRangeMsg next;
+      next.capsule = msg->capsule;
+      next.ranges = s.requested;
+      next.holes = cs->state().holes();
+      next.cursor = msg->resume_cursor;
+      s.cursor = msg->resume_cursor;
+      Bytes payload = next.serialize();
+      sync_summary_bytes_.inc(payload.size());
+      send_pdu(pdu.src, wire::MsgType::kSyncRange, std::move(payload), s.flow);
+    } else if (!s.queued.empty()) {
+      flush_session(msg->capsule, s);
+    } else {
+      // Conversation drained; a fresh probe next round confirms parity.
+      sync_sessions_.erase(sess);
+    }
+    return;
+  }
   if (pdu.flow_id != 0) {
     // Durability ack back to the pushing replica.
     wire::StatusMsg ack;
@@ -379,20 +542,276 @@ void CapsuleServer::handle_sync_pull(const wire::Pdu& pdu) {
   push.capsule = msg->capsule;
   constexpr std::size_t kMaxBatch = 256;
   // Records the peer lacks beyond its tip...
+  std::unordered_set<Name> included;
   for (std::uint64_t s = msg->tip_seqno + 1;
        s <= state.tip_seqno() && push.records.size() < kMaxBatch; ++s) {
     auto rec = state.get_by_seqno(s);
-    if (rec) push.records.push_back(rec->serialize());
+    if (rec) {
+      included.insert(rec->hash());
+      push.records.push_back(rec->serialize());
+    }
   }
-  // ...plus specific hole fills.
+  // ...plus specific hole fills.  A hole already covered by the tip scan
+  // (or repeated in the request) must not be sent twice: duplicates both
+  // waste wire bytes and inflate sync.records_sent.
   for (const Name& hole : msg->holes) {
     if (push.records.size() >= kMaxBatch) break;
+    if (!included.insert(hole).second) continue;
     auto rec = state.get_by_hash(hole);
     if (rec) push.records.push_back(rec->serialize());
   }
   if (push.records.empty()) return;
   sync_records_sent_.inc(push.records.size());
   send_pdu(pdu.src, wire::MsgType::kSyncPush, push.serialize());
+}
+
+// ---- Merkle-summary anti-entropy ----------------------------------------------------
+//
+// Roles: the *prober* sends its tree root (anti_entropy_round); the peer
+// answers divergence with an offer of child hashes; the prober expands
+// disagreeing interior nodes (request -> offer recursion) and pulls leaf
+// or locally-empty ranges via SyncRangeMsg, which the peer answers with
+// cursor-continued SyncPushMsgs.  Bytes scale with the divergence.
+
+void CapsuleServer::handle_sync_summary(const wire::Pdu& pdu) {
+  auto msg = wire::SyncSummaryMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_sync");
+    return;
+  }
+  const store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    drop_not_hosted_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    return;
+  }
+  const auto& state = cs->state();
+  const std::uint64_t my_tip = state.tip_seqno();
+  if (my_tip == msg->tip_seqno && state.tip_hash() == msg->tip_hash &&
+      crypto::digest_to_name(state.tree().root().hash) == msg->root_hash) {
+    return;  // in sync, nothing to say
+  }
+  // Offer the children of the smallest aligned span covering both tips;
+  // the prober compares them against its own nodes over the same ranges.
+  const std::uint64_t span = capsule::HashTree::cover_span(
+      std::max<std::uint64_t>(std::max(my_tip, msg->tip_seqno), 1));
+  wire::SyncDescendMsg offer;
+  offer.capsule = msg->capsule;
+  offer.kind = wire::SyncDescendMsg::kOffer;
+  offer.tip_seqno = my_tip;
+  const auto& tree = state.tree();
+  if (span <= capsule::HashTree::kLeafSpan) {
+    const auto n = tree.node(1, span);
+    offer.nodes.push_back(
+        {n.first, n.last, crypto::digest_to_name(n.hash)});
+  } else {
+    for (const auto& n : tree.children(1, span)) {
+      offer.nodes.push_back({n.first, n.last, crypto::digest_to_name(n.hash)});
+    }
+  }
+  Bytes payload = offer.serialize();
+  sync_summary_bytes_.inc(payload.size());
+  send_pdu(pdu.src, wire::MsgType::kSyncDescend, std::move(payload));
+  // The probe also told us the peer is ahead; pull the other way too.
+  // Only the strictly-behind side reverse-probes, so two replicas never
+  // ping-pong probes forever.
+  if (my_tip < msg->tip_seqno && !sync_sessions_.contains(msg->capsule)) {
+    send_summary_probe(msg->capsule, pdu.src);
+  }
+}
+
+void CapsuleServer::handle_sync_descend(const wire::Pdu& pdu) {
+  auto msg = wire::SyncDescendMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_sync");
+    return;
+  }
+  const store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    drop_not_hosted_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    return;
+  }
+  const auto& tree = cs->state().tree();
+
+  if (msg->kind == wire::SyncDescendMsg::kRequest) {
+    // Expand each requested interior range into its children (leaf ranges
+    // echo themselves — the peer will pull them).
+    wire::SyncDescendMsg offer;
+    offer.capsule = msg->capsule;
+    offer.kind = wire::SyncDescendMsg::kOffer;
+    offer.tip_seqno = cs->state().tip_seqno();
+    for (const auto& req : msg->nodes) {
+      if (!capsule::HashTree::is_aligned(req.first, req.last)) continue;
+      if (capsule::HashTree::is_leaf_range(req.first, req.last)) {
+        const auto n = tree.node(req.first, req.last);
+        offer.nodes.push_back(
+            {n.first, n.last, crypto::digest_to_name(n.hash)});
+        continue;
+      }
+      for (const auto& n : tree.children(req.first, req.last)) {
+        offer.nodes.push_back(
+            {n.first, n.last, crypto::digest_to_name(n.hash)});
+      }
+    }
+    if (offer.nodes.empty()) return;
+    Bytes payload = offer.serialize();
+    sync_summary_bytes_.inc(payload.size());
+    send_pdu(pdu.src, wire::MsgType::kSyncDescend, std::move(payload));
+    return;
+  }
+
+  // Offer: compare the peer's subtree hashes against ours.  Equal ranges
+  // are done; differing leaf (or locally-empty) ranges become pulls;
+  // differing interior ranges descend another level.
+  const std::uint64_t peer_tip = msg->tip_seqno;
+  wire::SyncDescendMsg request;
+  request.capsule = msg->capsule;
+  request.kind = wire::SyncDescendMsg::kRequest;
+  request.tip_seqno = cs->state().tip_seqno();
+  std::vector<wire::SyncRangeMsg::Range> fetch;
+  for (const auto& offered : msg->nodes) {
+    if (!capsule::HashTree::is_aligned(offered.first, offered.last)) continue;
+    if (offered.first > peer_tip) continue;  // nothing on the peer's side
+    const auto mine = tree.node(offered.first, offered.last);
+    if (crypto::digest_to_name(mine.hash) == offered.hash) continue;
+    const std::uint64_t clamped_last = std::min(offered.last, peer_tip);
+    if (request.tip_seqno > peer_tip &&
+        tree.range_full(offered.first, clamped_last)) {
+      // The peer is simply behind: its subtree hash differs only because
+      // its tip is shorter, and we hold every seqno it covers.  Pulling
+      // here would re-download records we already have; the peer's own
+      // reverse probe heals its side.
+      continue;
+    }
+    if (capsule::HashTree::is_leaf_range(offered.first, offered.last) ||
+        tree.range_empty(offered.first, offered.last)) {
+      // Leaf-level divergence, or a subtree we have nothing of: pull the
+      // whole range instead of descending record by record.
+      fetch.push_back({offered.first, clamped_last});
+    } else {
+      request.nodes.push_back({offered.first, offered.last, Name{}});
+    }
+  }
+  if (!request.nodes.empty()) {
+    // Bound the expansion fan-out per message; anything beyond heals on a
+    // later probe.
+    constexpr std::size_t kMaxExpand = 128;
+    if (request.nodes.size() > kMaxExpand) request.nodes.resize(kMaxExpand);
+    Bytes payload = request.serialize();
+    sync_summary_bytes_.inc(payload.size());
+    send_pdu(pdu.src, wire::MsgType::kSyncDescend, std::move(payload));
+  }
+  if (!fetch.empty()) {
+    SyncSession& s = sync_sessions_[msg->capsule];
+    if (s.flow == 0) {
+      s.peer = pdu.src;
+      s.flow = next_sync_flow_++;
+    }
+    if (s.peer == pdu.src) {
+      // Offers can repeat: while the first probe's offer is still in
+      // flight, later anti-entropy rounds re-probe, and each answer names
+      // the same divergent ranges.  Queueing them again would re-pull
+      // every record after the first pass drains, so anything already
+      // in flight or queued is dropped here.
+      auto covered = [&s](const wire::SyncRangeMsg::Range& r) {
+        for (const auto& have : s.requested) {
+          if (r.first >= have.first && r.last <= have.last) return true;
+        }
+        for (const auto& have : s.queued) {
+          if (r.first >= have.first && r.last <= have.last) return true;
+        }
+        return false;
+      };
+      for (const auto& r : fetch) {
+        if (!covered(r)) s.queued.push_back(r);
+      }
+      if (!s.in_flight && !s.queued.empty()) flush_session(msg->capsule, s);
+    }
+  }
+}
+
+void CapsuleServer::flush_session(const Name& capsule, SyncSession& session) {
+  std::sort(session.queued.begin(), session.queued.end(),
+            [](const wire::SyncRangeMsg::Range& a,
+               const wire::SyncRangeMsg::Range& b) { return a.first < b.first; });
+  // Coalesce overlaps so the serving side never walks a seqno twice.
+  session.requested.clear();
+  for (const auto& r : session.queued) {
+    if (!session.requested.empty() && r.first <= session.requested.back().last) {
+      session.requested.back().last =
+          std::max(session.requested.back().last, r.last);
+    } else {
+      session.requested.push_back(r);
+    }
+  }
+  session.queued.clear();
+  session.cursor = 0;
+  session.in_flight = true;
+  const store::CapsuleStore* cs = store_.find(capsule);
+  wire::SyncRangeMsg pull;
+  pull.capsule = capsule;
+  pull.ranges = session.requested;
+  if (cs != nullptr) pull.holes = cs->state().holes();
+  pull.cursor = 0;
+  sync_ranges_pulled_.inc(pull.ranges.size());
+  Bytes payload = pull.serialize();
+  sync_summary_bytes_.inc(payload.size());
+  send_pdu(session.peer, wire::MsgType::kSyncRange, std::move(payload),
+           session.flow);
+}
+
+void CapsuleServer::handle_sync_range(const wire::Pdu& pdu) {
+  auto msg = wire::SyncRangeMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_sync");
+    return;
+  }
+  const store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    drop_not_hosted_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "not_hosted");
+    return;
+  }
+  const auto& state = cs->state();
+  constexpr std::size_t kMaxBatch = 256;
+  wire::SyncPushMsg push;
+  push.capsule = msg->capsule;
+  std::unordered_set<Name> included;
+  // Serve the requested canonical ranges in order, resuming at the
+  // cursor; when the batch cap trips, tell the puller where to resume.
+  for (const auto& range : msg->ranges) {
+    if (push.resume_cursor != 0) break;
+    if (range.last < msg->cursor) continue;  // fully served earlier
+    const std::uint64_t start = std::max(range.first, msg->cursor);
+    for (std::uint64_t s = start; s <= range.last; ++s) {
+      if (push.records.size() >= kMaxBatch) {
+        push.resume_cursor = s;
+        break;
+      }
+      auto rec = state.get_by_seqno(s);
+      if (rec) {
+        included.insert(rec->hash());
+        push.records.push_back(rec->serialize());
+      }
+    }
+  }
+  // Hole fills ride along only once the ranges are fully served, deduped
+  // against records the range scan already covered.
+  if (push.resume_cursor == 0) {
+    for (const Name& hole : msg->holes) {
+      if (push.records.size() >= kMaxBatch) break;
+      if (!included.insert(hole).second) continue;
+      auto rec = state.get_by_hash(hole);
+      if (rec) push.records.push_back(rec->serialize());
+    }
+  }
+  if (push.records.empty() && push.resume_cursor == 0) return;
+  sync_records_sent_.inc(push.records.size());
+  send_pdu(pdu.src, wire::MsgType::kSyncPush, push.serialize(), pdu.flow_id);
 }
 
 void CapsuleServer::handle_read(const wire::Pdu& pdu) {

@@ -18,6 +18,7 @@
 
 #include <filesystem>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,11 +30,18 @@ namespace gdp::server {
 
 class CapsuleServer : public router::Endpoint {
  public:
+  /// Anti-entropy strategy.  kSummary (default) probes peers with the
+  /// capsule's Merkle root and walks only divergent subtrees, pulling
+  /// exact seqno ranges with cursor continuation; kFlood is the legacy
+  /// tip-scan + hole-list record flood, kept as the measurable baseline.
+  enum class SyncMode : std::uint8_t { kSummary = 0, kFlood = 1 };
+
   struct Options {
     std::filesystem::path storage_root;
     Duration anti_entropy_interval = from_millis(500);
     Duration durability_timeout = from_millis(2000);
     Duration advertisement_lifetime = from_seconds(24 * 3600);
+    SyncMode sync_mode = SyncMode::kSummary;
   };
 
   CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
@@ -55,7 +63,16 @@ class CapsuleServer : public router::Endpoint {
   /// One immediate anti-entropy round (tests drive this directly).
   void anti_entropy_round();
 
+  SyncMode sync_mode() const { return options_.sync_mode; }
+  /// Benches flip a server between summary and flood sync between arms.
+  void set_sync_mode(SyncMode mode) { options_.sync_mode = mode; }
+
   const store::ServerStore& storage() const { return store_; }
+  /// Bench/test hook: persists `record` directly into the local replica —
+  /// no client traffic, no propagation, no signature re-check (the caller
+  /// vouches).  Benches use this to fabricate a large replication gap
+  /// without paying one client round-trip per record.
+  Status ingest_local(const Name& capsule, const capsule::Record& record);
   bool hosts(const Name& capsule) const { return store_.hosts(capsule); }
   std::uint64_t appends_accepted() const { return appends_accepted_.value(); }
   std::uint64_t appends_rejected() const { return appends_rejected_.value(); }
@@ -84,10 +101,41 @@ class CapsuleServer : public router::Endpoint {
     std::uint64_t seqno = 0;
     std::uint32_t required = 1;
     std::uint32_t acks = 1;  // local persistence counts
+    std::uint32_t nacks = 0;
+    std::uint32_t peer_count = 0;
+    /// Peers whose first response (ack or nack) has been counted — a
+    /// retried or re-delivered ack from the same replica must not inflate
+    /// the quorum.
+    std::set<Name> responded;
     std::uint64_t client_nonce = 0;
     Bytes session_pubkey;
     bool done = false;
   };
+
+  /// Puller-side state of one summary-sync conversation: the ranges the
+  /// Merkle walk proved missing, the in-flight pull and its cursor, and
+  /// progress bookkeeping so stalled sessions (lost PDUs) are dropped and
+  /// re-probed instead of blocking the capsule forever.
+  struct SyncSession {
+    Name peer;
+    std::uint64_t flow = 0;  ///< tags pull-reply pushes from this peer
+    std::vector<wire::SyncRangeMsg::Range> requested;  ///< in-flight pull
+    std::vector<wire::SyncRangeMsg::Range> queued;  ///< found, not yet pulled
+    std::uint64_t cursor = 0;
+    bool in_flight = false;
+    std::uint64_t received = 0;       ///< records delivered via this session
+    std::uint64_t last_progress = 0;  ///< `received` at the last round check
+    int idle_rounds = 0;
+    int retries = 0;  ///< stall retries since the last delivered record
+  };
+
+  /// Rounds without a delivered record before a session retries its pull.
+  /// Must exceed one batch's transfer time on a slow link (in rounds) so
+  /// healthy-but-slow pulls are not re-requested, which would duplicate
+  /// traffic exactly like the flood baseline.
+  static constexpr int kStallRounds = 8;
+  /// Stall retries before the conversation is abandoned and re-probed.
+  static constexpr int kMaxRetries = 16;
 
   void handle_create(const Name& from, const wire::Pdu& pdu);
   void handle_append(const wire::Pdu& pdu);
@@ -95,7 +143,15 @@ class CapsuleServer : public router::Endpoint {
   void handle_subscribe(const wire::Pdu& pdu);
   void handle_sync_pull(const wire::Pdu& pdu);
   void handle_sync_push(const wire::Pdu& pdu);
+  void handle_sync_summary(const wire::Pdu& pdu);
+  void handle_sync_descend(const wire::Pdu& pdu);
+  void handle_sync_range(const wire::Pdu& pdu);
   void handle_peer_ack(const wire::Pdu& pdu);
+
+  /// Sends a Merkle-root probe for `capsule` to `peer`.
+  void send_summary_probe(const Name& capsule, const Name& peer);
+  /// Moves queued ranges into an in-flight SyncRangeMsg pull.
+  void flush_session(const Name& capsule, SyncSession& session);
 
   /// Fills auth (+ principal/delegation evidence when signing) on a
   /// response body destined for `client`.
@@ -119,9 +175,13 @@ class CapsuleServer : public router::Endpoint {
   std::unordered_map<Name, std::vector<Name>> peers_;        ///< per capsule
   std::unordered_map<Name, std::vector<Name>> subscribers_;  ///< per capsule
   std::unordered_map<std::uint64_t, PendingDurability> pending_;  ///< by flow id
+  std::unordered_map<Name, SyncSession> sync_sessions_;  ///< by capsule
   std::unordered_map<Name, crypto::SymmetricKey> sessions_;  ///< by client
   std::unordered_set<Name> introduced_;  ///< clients that hold our evidence
   std::uint64_t next_pending_id_ = 1;
+  /// Sync-pull flows live far above durability ids so a pull-reply push is
+  /// never mistaken for a replica's durability propagation (and vice versa).
+  std::uint64_t next_sync_flow_ = (std::uint64_t{1} << 48) + 1;
   bool anti_entropy_running_ = false;
   /// Seeds the batch-verification coefficient stream; drawn from the
   /// simulation RNG so identical runs replay identical coefficients.
@@ -133,9 +193,15 @@ class CapsuleServer : public router::Endpoint {
   telemetry::Counter& appends_rejected_;
   telemetry::Counter& reads_served_;
   telemetry::Counter& sync_records_sent_;
+  telemetry::Counter& sync_summary_bytes_;
+  telemetry::Counter& sync_ranges_pulled_;
+  telemetry::Counter& sync_rounds_;
+  telemetry::Counter& sync_probes_;
   telemetry::Counter& drop_malformed_;
   telemetry::Counter& drop_not_hosted_;
   telemetry::Counter& drop_stale_ack_;
+  telemetry::Counter& drop_duplicate_ack_;
+  telemetry::Counter& drop_foreign_ack_;
   telemetry::Counter& recv_pdus_;
   telemetry::Counter& batch_accepted_;
   telemetry::Counter& batch_rejected_;

@@ -70,6 +70,10 @@ Result<CapsuleStore> CapsuleStore::open(const std::filesystem::path& dir) {
     }
     store.persisted_[hash] = true;
   }
+  // Replay ingests arrive in log order, not canonical order, so force the
+  // canonical rebuild (and with it the Merkle summary) now — a restarted
+  // replica must answer anti-entropy probes immediately, not lazily.
+  (void)store.state_->tree();
   return store;
 }
 

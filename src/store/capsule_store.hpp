@@ -40,6 +40,13 @@ class CapsuleStore {
   const trust::ServingDelegation& delegation() const { return delegation_; }
   const capsule::CapsuleState& state() const { return *state_; }
 
+  /// Root of the canonical chain's Merkle summary (the anti-entropy
+  /// anchor).  Rebuilt from the replayed records on open(), so a reopened
+  /// store answers summary probes identically to the one that wrote it.
+  Name tree_root() const {
+    return crypto::digest_to_name(state_->tree().root().hash);
+  }
+
   /// Validates via the state and, if newly attached/held, persists.
   Status ingest(const capsule::Record& record,
                 capsule::SigPolicy policy = capsule::SigPolicy::kVerify);

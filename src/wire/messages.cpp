@@ -395,6 +395,7 @@ Bytes SyncPushMsg::serialize() const {
   Bytes out;
   put_name(out, capsule);
   put_bytes_list(out, records);
+  put_fixed64(out, resume_cursor);
   return out;
 }
 
@@ -402,10 +403,129 @@ Result<SyncPushMsg> SyncPushMsg::deserialize(BytesView b) {
   ByteReader r(b);
   auto capsule_name = get_name(r);
   auto records = get_bytes_list(r);
-  if (!capsule_name || !records || !r.empty()) return truncated("SyncPushMsg");
+  auto cursor = r.get_fixed64();
+  if (!capsule_name || !records || !cursor || !r.empty()) {
+    return truncated("SyncPushMsg");
+  }
   SyncPushMsg m;
   m.capsule = *capsule_name;
   m.records = std::move(*records);
+  m.resume_cursor = *cursor;
+  return m;
+}
+
+// ---- Merkle-summary anti-entropy ----------------------------------------------------
+
+namespace {
+
+void put_tree_node(Bytes& out, const TreeNode& n) {
+  put_fixed64(out, n.first);
+  put_fixed64(out, n.last);
+  put_name(out, n.hash);
+}
+
+std::optional<TreeNode> get_tree_node(ByteReader& r) {
+  auto first = r.get_fixed64();
+  auto last = r.get_fixed64();
+  auto hash = get_name(r);
+  if (!first || !last || !hash) return std::nullopt;
+  return TreeNode{*first, *last, *hash};
+}
+
+}  // namespace
+
+Bytes SyncSummaryMsg::serialize() const {
+  Bytes out;
+  put_name(out, capsule);
+  put_fixed64(out, tip_seqno);
+  put_name(out, tip_hash);
+  put_name(out, root_hash);
+  return out;
+}
+
+Result<SyncSummaryMsg> SyncSummaryMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto capsule_name = get_name(r);
+  auto tip = r.get_fixed64();
+  auto tip_hash = get_name(r);
+  auto root = get_name(r);
+  if (!capsule_name || !tip || !tip_hash || !root || !r.empty()) {
+    return truncated("SyncSummaryMsg");
+  }
+  SyncSummaryMsg m;
+  m.capsule = *capsule_name;
+  m.tip_seqno = *tip;
+  m.tip_hash = *tip_hash;
+  m.root_hash = *root;
+  return m;
+}
+
+Bytes SyncDescendMsg::serialize() const {
+  Bytes out;
+  put_name(out, capsule);
+  out.push_back(kind);
+  put_fixed64(out, tip_seqno);
+  put_varint(out, nodes.size());
+  for (const TreeNode& n : nodes) put_tree_node(out, n);
+  return out;
+}
+
+Result<SyncDescendMsg> SyncDescendMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto capsule_name = get_name(r);
+  auto kind_byte = r.get_bytes(1);
+  auto tip = r.get_fixed64();
+  auto count = r.get_varint();
+  if (!capsule_name || !kind_byte || (*kind_byte)[0] > 1 || !tip || !count ||
+      *count > 4096) {
+    return truncated("SyncDescendMsg");
+  }
+  SyncDescendMsg m;
+  m.capsule = *capsule_name;
+  m.kind = (*kind_byte)[0];
+  m.tip_seqno = *tip;
+  m.nodes.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto n = get_tree_node(r);
+    if (!n) return truncated("SyncDescendMsg node");
+    m.nodes.push_back(*n);
+  }
+  if (!r.empty()) return truncated("SyncDescendMsg");
+  return m;
+}
+
+Bytes SyncRangeMsg::serialize() const {
+  Bytes out;
+  put_name(out, capsule);
+  put_varint(out, ranges.size());
+  for (const Range& rg : ranges) {
+    put_fixed64(out, rg.first);
+    put_fixed64(out, rg.last);
+  }
+  put_name_list(out, holes);
+  put_fixed64(out, cursor);
+  return out;
+}
+
+Result<SyncRangeMsg> SyncRangeMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto capsule_name = get_name(r);
+  auto count = r.get_varint();
+  if (!capsule_name || !count || *count > 4096) return truncated("SyncRangeMsg");
+  SyncRangeMsg m;
+  m.capsule = *capsule_name;
+  m.ranges.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto first = r.get_fixed64();
+    auto last = r.get_fixed64();
+    if (!first || !last) return truncated("SyncRangeMsg range");
+    m.ranges.push_back(Range{*first, *last});
+  }
+  auto holes = get_name_list(r);
+  auto cursor = r.get_fixed64();
+  if (!holes || !cursor || !r.empty()) return truncated("SyncRangeMsg");
+  m.holes = std::move(*holes);
+  m.cursor = *cursor;
   return m;
 }
 

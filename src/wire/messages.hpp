@@ -149,9 +149,71 @@ struct SyncPullMsg {
 struct SyncPushMsg {
   Name capsule;
   std::vector<Bytes> records;  ///< serialized capsule::Records
+  /// Continuation cursor: 0 when the reply is complete, otherwise the
+  /// seqno the puller should resume its SyncRangeMsg from (the batch cap
+  /// truncated the reply).  Replaces the old one-shot 256-record flood.
+  std::uint64_t resume_cursor = 0;
 
   Bytes serialize() const;
   static Result<SyncPushMsg> deserialize(BytesView b);
+};
+
+// Merkle-summary anti-entropy.  A replica probes a peer with its tree
+// root (SyncSummaryMsg); on divergence the peer offers child-node hashes
+// (SyncDescendMsg kind=offer), the probing replica expands only the
+// subtrees that disagree (kind=request) and finally pulls the exact
+// seqno ranges it lacks (SyncRangeMsg -> SyncPushMsg with cursor
+// continuation).  Bytes on the wire scale with the divergence, not with
+// the capsule.
+
+/// One HashTree node: an aligned seqno range and its subtree hash.
+struct TreeNode {
+  std::uint64_t first = 0;  ///< inclusive, 1-based
+  std::uint64_t last = 0;
+  Name hash;  ///< subtree digest (offers); ignored in requests
+
+  friend bool operator==(const TreeNode&, const TreeNode&) = default;
+};
+
+struct SyncSummaryMsg {
+  Name capsule;
+  std::uint64_t tip_seqno = 0;  ///< sender's canonical tip
+  Name tip_hash;
+  Name root_hash;  ///< HashTree root over [1, cover_span(tip_seqno)]
+
+  Bytes serialize() const;
+  static Result<SyncSummaryMsg> deserialize(BytesView b);
+};
+
+struct SyncDescendMsg {
+  static constexpr std::uint8_t kOffer = 0;    ///< nodes carry my hashes
+  static constexpr std::uint8_t kRequest = 1;  ///< expand these ranges
+
+  Name capsule;
+  std::uint8_t kind = kOffer;
+  std::uint64_t tip_seqno = 0;  ///< sender's canonical tip
+  std::vector<TreeNode> nodes;
+
+  Bytes serialize() const;
+  static Result<SyncDescendMsg> deserialize(BytesView b);
+};
+
+/// A half-open pull request: exact seqno ranges plus hash-named holes.
+struct SyncRangeMsg {
+  struct Range {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+
+    friend bool operator==(const Range&, const Range&) = default;
+  };
+
+  Name capsule;
+  std::vector<Range> ranges;  ///< disjoint, ascending canonical seqno ranges
+  std::vector<Name> holes;    ///< specific missing record hashes
+  std::uint64_t cursor = 0;   ///< resume seqno within `ranges`; 0 = start
+
+  Bytes serialize() const;
+  static Result<SyncRangeMsg> deserialize(BytesView b);
 };
 
 // ---- Secure advertisement (§VII) ---------------------------------------------------

@@ -43,6 +43,11 @@ enum class MsgType : std::uint16_t {
   // CAAPI layer: multi-writer commit service (§V-B / §VI-A option (a)).
   kProposal = 18,
   kProposalAck = 19,
+  // Merkle-summary anti-entropy (§VI-A "gaps and forks"): probe with the
+  // tree root, walk only divergent subtrees, pull exact ranges.
+  kSyncSummary = 20,
+  kSyncDescend = 21,
+  kSyncRange = 22,
 };
 
 struct Pdu {

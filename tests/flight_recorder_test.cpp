@@ -196,9 +196,12 @@ TEST(FlightRing, ConcurrentRecordAndSnapshotStaysConsistent) {
   });
 
   // Keep snapshotting while the writer runs, and take a few more after it
-  // finishes (a fast writer can outrun thread startup entirely).
-  std::uint64_t snapshots = 0, observed = 0;
-  while (!done.load(std::memory_order_acquire) || snapshots < 8) {
+  // finishes (a fast writer can outrun thread startup entirely, and a
+  // descheduled reader can sleep through the whole write burst — only
+  // snapshots taken after `done` are guaranteed to see a stable ring).
+  std::uint64_t snapshots = 0, observed = 0, post_done = 0;
+  for (;;) {
+    const bool was_done = done.load(std::memory_order_acquire);
     const std::vector<FlightEvent> events = ring.snapshot();
     ++snapshots;
     for (const FlightEvent& e : events) {
@@ -207,6 +210,7 @@ TEST(FlightRing, ConcurrentRecordAndSnapshotStaysConsistent) {
       ASSERT_EQ(e.arg, e.trace_id & 0xFFFFFFFFFFFFull);
       ASSERT_EQ(e.t_ns, static_cast<std::int64_t>(e.trace_id));
     }
+    if (was_done && ++post_done >= 8) break;
   }
   writer.join();
 

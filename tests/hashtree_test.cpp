@@ -1,0 +1,194 @@
+// capsule::HashTree invariants: the Merkle summary two replicas compare
+// during anti-entropy.  The load-bearing properties are (a) shape is
+// absolute — replicas with different tips hash the same function over the
+// same aligned range, (b) maintenance is order-independent, and (c) a
+// divergent record is localized to exactly one leaf range per level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "capsule/hashtree.hpp"
+#include "capsule/state.hpp"
+#include "capsule/strategy.hpp"
+#include "capsule/writer.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::capsule {
+namespace {
+
+Name fake_hash(std::uint64_t seqno, std::uint8_t salt = 0) {
+  Bytes raw(Name::kSize, salt);
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(seqno >> (8 * i));
+  }
+  raw[31] ^= salt;
+  return *Name::from_bytes(raw);
+}
+
+TEST(HashTree, EmptyTreesAgree) {
+  HashTree a;
+  HashTree b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.root().first, 1u);
+  EXPECT_EQ(a.root().last, HashTree::kLeafSpan);
+  // Every aligned range of an empty tree is comparable and equal.
+  EXPECT_EQ(a.node(1, 64), b.node(1, 64));
+  EXPECT_EQ(a.node(1, 1024), b.node(1, 1024));
+  EXPECT_EQ(a.node(1025, 2048), b.node(1025, 2048));
+  EXPECT_TRUE(a.range_empty(1, 1'000'000));
+  EXPECT_FALSE(a.range_full(1, 1));
+}
+
+TEST(HashTree, IncrementalMatchesAnyInsertionOrder) {
+  constexpr std::uint64_t kN = 1500;  // spans three levels (64, 1024, 16384)
+  HashTree forward;
+  for (std::uint64_t s = 1; s <= kN; ++s) forward.set_leaf(s, fake_hash(s));
+
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t s = 1; s <= kN; ++s) order.push_back(s);
+  Rng rng(7);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  HashTree shuffled;
+  for (std::uint64_t s : order) shuffled.set_leaf(s, fake_hash(s));
+
+  EXPECT_EQ(forward.root(), shuffled.root());
+  EXPECT_EQ(forward.tip_seqno(), shuffled.tip_seqno());
+  EXPECT_TRUE(forward.range_full(1, kN));
+  EXPECT_FALSE(forward.range_full(1, kN + 1));
+}
+
+TEST(HashTree, DifferentTipsCompareTheSameRanges) {
+  HashTree big;
+  HashTree small;
+  for (std::uint64_t s = 1; s <= 5000; ++s) big.set_leaf(s, fake_hash(s));
+  for (std::uint64_t s = 1; s <= 100; ++s) small.set_leaf(s, fake_hash(s));
+
+  // Identical prefixes agree at every granularity the prefix covers...
+  EXPECT_EQ(big.node(1, 64), small.node(1, 64));
+  // ...and ranges wholly beyond the small tip fold empty digests that the
+  // big replica can still reproduce for its own empty suffix.
+  HashTree empty;
+  EXPECT_EQ(small.node(8193, 8256), empty.node(8193, 8256));
+  EXPECT_NE(big.node(65, 128), small.node(65, 128));  // 100 < 128: differs
+}
+
+TEST(HashTree, DivergenceIsLocalizedToOneSubtreePerLevel) {
+  constexpr std::uint64_t kN = 4096;
+  HashTree a;
+  HashTree b;
+  for (std::uint64_t s = 1; s <= kN; ++s) {
+    a.set_leaf(s, fake_hash(s));
+    b.set_leaf(s, fake_hash(s, s == 2000 ? 0xA5 : 0));  // one forked record
+  }
+  EXPECT_NE(a.root(), b.root());
+  // Level 1: exactly one of the 16 children of [1,16384] differs.
+  int differing = 0;
+  const auto ca = a.children(1, 16384);
+  const auto cb = b.children(1, 16384);
+  ASSERT_EQ(ca.size(), 16u);
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i] != cb[i]) {
+      ++differing;
+      EXPECT_LE(ca[i].first, 2000u);
+      EXPECT_GE(ca[i].last, 2000u);
+    }
+  }
+  EXPECT_EQ(differing, 1);
+  // Leaf level: the forked seqno's bucket differs, its neighbors agree.
+  EXPECT_NE(a.node(1985, 2048), b.node(1985, 2048));
+  EXPECT_EQ(a.node(1921, 1984), b.node(1921, 1984));
+  EXPECT_EQ(a.node(2049, 2112), b.node(2049, 2112));
+}
+
+TEST(HashTree, TruncateRewindsToShorterChain) {
+  HashTree grown;
+  for (std::uint64_t s = 1; s <= 300; ++s) grown.set_leaf(s, fake_hash(s));
+  HashTree straight;
+  for (std::uint64_t s = 1; s <= 200; ++s) straight.set_leaf(s, fake_hash(s));
+
+  grown.truncate(200);
+  EXPECT_EQ(grown.tip_seqno(), 200u);
+  EXPECT_EQ(grown.root(), straight.root());
+  EXPECT_TRUE(grown.range_empty(201, 300));
+
+  // Truncate-to-larger is a no-op; truncate-to-zero empties.
+  grown.truncate(500);
+  EXPECT_EQ(grown.tip_seqno(), 200u);
+  grown.truncate(0);
+  EXPECT_EQ(grown.root(), HashTree{}.root());
+}
+
+TEST(HashTree, OverwriteAndRangePredicates) {
+  HashTree t;
+  t.set_leaf(10, fake_hash(10));
+  t.set_leaf(70, fake_hash(70));
+  EXPECT_EQ(t.tip_seqno(), 70u);
+  EXPECT_FALSE(t.range_empty(1, 64));
+  EXPECT_FALSE(t.range_empty(65, 128));
+  EXPECT_TRUE(t.range_empty(11, 69));
+  EXPECT_FALSE(t.range_full(1, 10));
+  EXPECT_TRUE(t.range_full(10, 10));
+
+  // Overwriting a leaf changes the root; rewriting the same value or a
+  // same-hash re-assert keeps it bit-identical.
+  const auto before = t.root();
+  t.set_leaf(10, fake_hash(10));
+  EXPECT_EQ(t.root(), before);
+  t.set_leaf(10, fake_hash(10, 0x5A));
+  EXPECT_NE(t.root(), before);
+  t.set_leaf(10, fake_hash(10));
+  EXPECT_EQ(t.root(), before);
+}
+
+TEST(HashTree, AlignmentAndCoverSpan) {
+  EXPECT_TRUE(HashTree::is_aligned(1, 64));
+  EXPECT_TRUE(HashTree::is_aligned(65, 128));
+  EXPECT_TRUE(HashTree::is_aligned(1, 1024));
+  EXPECT_TRUE(HashTree::is_aligned(1025, 2048));
+  EXPECT_FALSE(HashTree::is_aligned(2, 65));    // misaligned start
+  EXPECT_FALSE(HashTree::is_aligned(1, 100));   // not a power-of-fanout span
+  EXPECT_FALSE(HashTree::is_aligned(0, 63));    // seqnos are 1-based
+  EXPECT_EQ(HashTree::cover_span(0), 64u);
+  EXPECT_EQ(HashTree::cover_span(64), 64u);
+  EXPECT_EQ(HashTree::cover_span(65), 1024u);
+  EXPECT_EQ(HashTree::cover_span(1'000'000), 4'194'304u);
+}
+
+// The tree the server actually compares is the one CapsuleState maintains
+// in lock-step with its canonical chain; out-of-order ingest (holes, late
+// attach) must land on the same root as in-order ingest.
+TEST(HashTree, CapsuleStateKeepsTreeInLockstep) {
+  Rng rng(42);
+  auto owner = crypto::PrivateKey::generate(rng);
+  auto writer_key = crypto::PrivateKey::generate(rng);
+  auto metadata = capsule::Metadata::create(
+      owner, writer_key.public_key(), capsule::WriterMode::kStrictSingleWriter,
+      "tree-state", 0);
+  ASSERT_TRUE(metadata.ok());
+  capsule::Writer w(*metadata, writer_key, capsule::make_chain_strategy());
+
+  std::vector<Record> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(w.append(to_bytes("r" + std::to_string(i)), 1));
+  }
+
+  CapsuleState in_order(*metadata);
+  for (const Record& r : records) ASSERT_TRUE(in_order.ingest(r).ok());
+
+  CapsuleState reversed(*metadata);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    ASSERT_TRUE(reversed.ingest(*it).ok());
+  }
+
+  EXPECT_EQ(in_order.tree().root(), reversed.tree().root());
+  EXPECT_EQ(in_order.tree().tip_seqno(), 200u);
+  // And the leaves are the canonical record hashes themselves.
+  EXPECT_TRUE(in_order.tree().range_full(1, 200));
+  EXPECT_NE(in_order.tree().root(), HashTree{}.root());
+}
+
+}  // namespace
+}  // namespace gdp::capsule

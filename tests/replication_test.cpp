@@ -1,0 +1,278 @@
+// Replica healing under failure injection: Merkle-summary anti-entropy
+// converging a fresh replica, quorum writes racing a downed replica,
+// deterministic fork merge, and byte-identical rerun determinism of the
+// whole healing scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/scenario.hpp"
+
+namespace gdp {
+namespace {
+
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+
+/// Two replicas behind two WAN-linked routers — the standard healing
+/// topology.  The writer sits next to srv1, so srv2 only ever learns
+/// records through replication.
+struct TwoSites {
+  Scenario s;
+  router::Router* r1;
+  router::Router* r2;
+  server::CapsuleServer* srv1;
+  server::CapsuleServer* srv2;
+  client::GdpClient* writer;
+
+  explicit TwoSites(std::uint64_t seed, const std::string& tag)
+      : s(seed, tag) {
+    auto* g = s.add_domain("g", nullptr);
+    r1 = s.add_router("r1", g);
+    r2 = s.add_router("r2", g);
+    s.link_routers(r1, r2, net::LinkParams::wan(10));
+    srv1 = s.add_server("srv1", r1);
+    srv2 = s.add_server("srv2", r2);
+    writer = s.add_client("writer", r1);
+    s.attach_all();
+  }
+
+  /// Drops every replication PDU (both sync generations) on r1<->r2.
+  void block_sync() {
+    auto block = [](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+      switch (pdu.type) {
+        case wire::MsgType::kSyncPush:
+        case wire::MsgType::kSyncPull:
+        case wire::MsgType::kSyncSummary:
+        case wire::MsgType::kSyncDescend:
+        case wire::MsgType::kSyncRange:
+          return std::nullopt;
+        default:
+          return pdu;
+      }
+    };
+    s.net().set_interceptor(r1->name(), r2->name(), block);
+    s.net().set_interceptor(r2->name(), r1->name(), block);
+  }
+
+  void unblock_sync() {
+    s.net().clear_interceptor(r1->name(), r2->name());
+    s.net().clear_interceptor(r2->name(), r1->name());
+  }
+};
+
+TEST(Replication, SummaryHealsFreshReplica) {
+  TwoSites w(21, "summary-heal");
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "fresh-heal");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.writer, {w.srv1, w.srv2}).ok());
+
+  // srv2 misses the entire history: 300 records, which spans several
+  // leaf buckets and forces a cursor continuation (300 > the 256-record
+  // push cap).
+  w.block_sync();
+  capsule::Writer wr = cap.make_writer();
+  constexpr std::uint64_t kRecords = 300;
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(await(w.s.sim(), w.writer->append(wr, to_bytes("r"))).ok());
+  }
+  w.s.settle();
+  const auto* st1 = w.srv1->storage().find(cap.metadata.name());
+  const auto* st2 = w.srv2->storage().find(cap.metadata.name());
+  ASSERT_EQ(st2->state().size(), 0u);
+
+  // The Merkle walk localizes the gap and pulls exactly [1, 300]; a
+  // couple of rounds (probe -> descend -> pull -> drain) converge it.
+  w.unblock_sync();
+  int rounds = 0;
+  while (st2->state().size() < kRecords && rounds < 6) {
+    w.srv2->anti_entropy_round();
+    w.s.settle();
+    ++rounds;
+  }
+  EXPECT_LE(rounds, 3);
+  EXPECT_EQ(st2->state().size(), kRecords);
+  EXPECT_EQ(st1->state().tip_hash(), st2->state().tip_hash());
+  EXPECT_TRUE(st2->state().holes().empty());
+  EXPECT_EQ(st1->tree_root(), st2->tree_root());
+
+  // The healing genuinely went through the summary path.
+  const std::string stats = w.s.stats_json();
+  EXPECT_EQ(stats.find("\"server.srv2.sync.probes\": 0"), std::string::npos);
+  EXPECT_EQ(stats.find("\"server.srv2.sync.ranges_pulled\": 0"),
+            std::string::npos);
+}
+
+TEST(Replication, ReplicaDownDuringQuorumWrite) {
+  TwoSites w(22, "quorum-down");
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "quorum-down");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.writer, {w.srv1, w.srv2}).ok());
+
+  // Replica site unreachable: a k=2 append must be nacked, not falsely
+  // acked — but the record stays durable on the local replica.
+  w.s.set_link_down(w.r1->name(), w.r2->name());
+  capsule::Writer wr = cap.make_writer();
+  auto failed = await(w.s.sim(), w.writer->append(wr, to_bytes("first"), 2));
+  EXPECT_FALSE(failed.ok());
+  const auto* st1 = w.srv1->storage().find(cap.metadata.name());
+  const auto* st2 = w.srv2->storage().find(cap.metadata.name());
+  EXPECT_EQ(st1->state().size(), 1u);
+  EXPECT_EQ(st2->state().size(), 0u);
+
+  // Link recovers; anti-entropy heals the replica that missed the write.
+  w.s.set_link_up(w.r1->name(), w.r2->name());
+  w.s.settle();
+  for (int round = 0; round < 5 && st2->state().size() < 1; ++round) {
+    w.srv2->anti_entropy_round();
+    w.s.settle();
+  }
+  EXPECT_EQ(st2->state().size(), 1u);
+  EXPECT_EQ(st1->state().tip_hash(), st2->state().tip_hash());
+
+  // With both replicas back, the same quorum is reachable again.
+  auto ok = await(w.s.sim(), w.writer->append(wr, to_bytes("second"), 2));
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  EXPECT_GE(ok->acks, 2u);
+  EXPECT_EQ(st1->state().size(), 2u);
+  EXPECT_EQ(st2->state().size(), 2u);
+}
+
+TEST(Replication, ForkMergesDeterministically) {
+  TwoSites w(23, "fork-merge");
+  auto* device_b = w.s.add_client("device-b", w.r2);
+  w.s.attach_all();
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "forked-fs",
+                                  capsule::WriterMode::kQuasiSingleWriter);
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.writer, {w.srv1, w.srv2}).ok());
+
+  // Shared base record, then a partition: each device appends seqno 2 to
+  // its own side.  Both replicas end with tip 2 but different histories —
+  // the equal-tip / divergent-root case only the Merkle walk detects.
+  capsule::Writer wa = cap.make_writer();
+  ASSERT_TRUE(await(w.s.sim(), w.writer->append(wa, to_bytes("base"))).ok());
+  w.s.settle();
+  Bytes saved = wa.save_state();
+  auto wb = capsule::Writer::restore(cap.metadata, *cap.writer_key,
+                                     capsule::strategy_from_id(cap.strategy_id),
+                                     saved);
+  ASSERT_TRUE(wb.ok());
+
+  w.block_sync();
+  ASSERT_TRUE(await(w.s.sim(), w.writer->append(wa, to_bytes("edit-a"))).ok());
+  ASSERT_TRUE(await(w.s.sim(), device_b->append(*wb, to_bytes("edit-b"))).ok());
+  w.s.settle();
+  const auto* st1 = w.srv1->storage().find(cap.metadata.name());
+  const auto* st2 = w.srv2->storage().find(cap.metadata.name());
+  ASSERT_EQ(st1->state().size(), 2u);
+  ASSERT_EQ(st2->state().size(), 2u);
+  ASSERT_NE(st1->tree_root(), st2->tree_root());
+
+  // Heal: both sides walk the divergent subtree and exchange exactly the
+  // missing branch records; the replicas converge on the same branched
+  // history (strong eventual consistency), byte-identically.
+  w.unblock_sync();
+  for (int round = 0; round < 6; ++round) {
+    if (st1->state().size() == 3 && st2->state().size() == 3) break;
+    w.srv1->anti_entropy_round();
+    w.srv2->anti_entropy_round();
+    w.s.settle();
+  }
+  EXPECT_EQ(st1->state().size(), 3u);
+  EXPECT_EQ(st2->state().size(), 3u);
+  EXPECT_EQ(st1->state().heads().size(), 2u);
+  EXPECT_EQ(st1->state().tip_hash(), st2->state().tip_hash());
+  EXPECT_EQ(st1->tree_root(), st2->tree_root());
+
+  // Device A merges the branch; the merge record replicates and both
+  // replicas return to a single head.
+  std::vector<capsule::RecordHash> heads = st1->state().heads();
+  capsule::RecordHash other =
+      heads[0] == wa.tip_hash() ? heads[1] : heads[0];
+  std::uint64_t other_seqno = st1->state().get_by_hash(other)->header.seqno;
+  capsule::Record merge =
+      wa.append_merge(to_bytes("merged"), 0, {capsule::HashPtr{other_seqno, other}});
+  ASSERT_TRUE(await(w.s.sim(), w.writer->append_record(cap.metadata, merge)).ok());
+  w.s.settle();
+  EXPECT_EQ(st1->state().heads().size(), 1u);
+  EXPECT_EQ(st2->state().heads().size(), 1u);
+  EXPECT_EQ(st2->state().tip_hash(), merge.hash());
+  EXPECT_EQ(st1->tree_root(), st2->tree_root());
+}
+
+TEST(Replication, OverlappingProbesDontDuplicatePulls) {
+  // A busy replica fires anti-entropy rounds faster than the WAN RTT, so
+  // several probes are in flight before the first offer returns.  Each
+  // offer names the same divergent ranges; only the first may turn into a
+  // pull, or the gap gets re-transferred once per extra probe.
+  TwoSites w(25, "overlap-probe");
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "overlap");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.writer, {w.srv1, w.srv2}).ok());
+
+  w.block_sync();
+  capsule::Writer wr = cap.make_writer();
+  constexpr std::uint64_t kRecords = 120;
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(await(w.s.sim(), w.writer->append(wr, to_bytes("r"))).ok());
+  }
+  w.s.settle();
+  w.unblock_sync();
+
+  // Count every record that crosses the WAN in a sync push.
+  std::uint64_t pushed_records = 0;
+  auto counting = [&pushed_records](const wire::Pdu& pdu)
+      -> std::optional<wire::Pdu> {
+    if (pdu.type == wire::MsgType::kSyncPush) {
+      auto msg = wire::SyncPushMsg::deserialize(pdu.payload);
+      if (msg.ok()) pushed_records += msg->records.size();
+    }
+    return pdu;
+  };
+  w.s.net().set_interceptor(w.r1->name(), w.r2->name(), counting);
+
+  // Four probes in flight at once (no settling between rounds), then let
+  // the healing drain.
+  const auto* st2 = w.srv2->storage().find(cap.metadata.name());
+  for (int burst = 0; burst < 4; ++burst) w.srv2->anti_entropy_round();
+  for (int round = 0; round < 8 && st2->state().size() < kRecords; ++round) {
+    w.srv2->anti_entropy_round();
+    w.s.settle();
+  }
+  EXPECT_EQ(st2->state().size(), kRecords);
+  // Every record crossed exactly once — redundant offers were dropped
+  // against the in-flight session instead of being queued again.
+  EXPECT_EQ(pushed_records, kRecords);
+}
+
+TEST(Replication, HealingRerunIsByteIdentical) {
+  // The full summary-sync healing scenario — probe, descend, pull,
+  // cursor continuation — replayed from the same seed must produce
+  // byte-identical metrics: no wall-clock, iteration-order, or address
+  // leaks anywhere on the anti-entropy paths.
+  auto run = [] {
+    TwoSites w(24, "heal-rerun");
+    CapsuleSetup cap = make_capsule(w.s.key_rng(), "rerun");
+    EXPECT_TRUE(place_capsule(w.s, cap, *w.writer, {w.srv1, w.srv2}).ok());
+    w.block_sync();
+    capsule::Writer wr = cap.make_writer();
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(await(w.s.sim(), w.writer->append(wr, to_bytes("r"))).ok());
+    }
+    w.s.settle();
+    w.unblock_sync();
+    const auto* st2 = w.srv2->storage().find(cap.metadata.name());
+    for (int round = 0; round < 6 && st2->state().size() < 40; ++round) {
+      w.srv2->anti_entropy_round();
+      w.s.settle();
+    }
+    EXPECT_EQ(st2->state().size(), 40u);
+    return w.s.stats_json();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace gdp

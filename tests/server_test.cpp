@@ -39,7 +39,9 @@ TEST(Server, MalformedPdusIgnoredWithoutCrash) {
   for (auto type : {wire::MsgType::kCreateCapsule, wire::MsgType::kAppend,
                     wire::MsgType::kRead, wire::MsgType::kSubscribe,
                     wire::MsgType::kSyncPull, wire::MsgType::kSyncPush,
-                    wire::MsgType::kStatus, wire::MsgType::kPublish}) {
+                    wire::MsgType::kSyncSummary, wire::MsgType::kSyncDescend,
+                    wire::MsgType::kSyncRange, wire::MsgType::kStatus,
+                    wire::MsgType::kPublish}) {
     wire::Pdu pdu;
     pdu.dst = w.srv->name();
     pdu.src = w.cli->name();
@@ -99,6 +101,163 @@ TEST(Server, DurabilityImpossibleQuorumFailsHonestly) {
   EXPECT_FALSE(outcome.ok());
   // The record itself is persisted locally (durable, just not replicated).
   EXPECT_EQ(w.srv->storage().find(cap.metadata.name())->state().size(), 1u);
+}
+
+TEST(Server, QuorumImpossibleNackedUpFront) {
+  // required_acks exceeding 1 + configured peers can never be satisfied;
+  // the server must say so immediately instead of burning the full
+  // durability timeout.
+  World w(10);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "instant-nack");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+  capsule::Writer writer = cap.make_writer();
+  const TimePoint before = w.s.sim().now();
+  auto outcome = await(w.s.sim(), w.cli->append(writer, to_bytes("x"), 3));
+  EXPECT_FALSE(outcome.ok());
+  // Well under the 2 s durability timeout: this was an up-front nack.
+  EXPECT_LT(w.s.sim().now() - before, from_millis(500));
+  // Still durable locally.
+  EXPECT_EQ(w.srv->storage().find(cap.metadata.name())->state().size(), 1u);
+}
+
+TEST(Server, QuorumTwoWithSinglePeerSucceeds) {
+  // k=2 with exactly one replica peer: the local persist is the first
+  // ack, the peer's the second.  An off-by-one that ignores the local
+  // copy would nack this forever.
+  Scenario s(11, "quorum2");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* srv1 = s.add_server("srv1", r1);
+  auto* srv2 = s.add_server("srv2", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "pair");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv1, srv2}).ok());
+  capsule::Writer writer = cap.make_writer();
+  auto outcome = await(s.sim(), cli->append(writer, to_bytes("x"), 2));
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_GE(outcome->acks, 2u);
+  EXPECT_EQ(srv1->storage().find(cap.metadata.name())->state().size(), 1u);
+  EXPECT_EQ(srv2->storage().find(cap.metadata.name())->state().size(), 1u);
+}
+
+TEST(Server, DuplicatePeerAcksDontInflateQuorum) {
+  // srv2's durability ack is replayed (flap re-delivery) and srv3's is
+  // dropped: 3 required, but only two distinct durable copies exist.
+  // Counting the replay would falsely satisfy the quorum.
+  Scenario s(12, "dupack");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  // Coordinator determinism: the client anycasts to its nearest replica,
+  // srv1; the voting peers sit behind the far router.
+  auto* srv1 = s.add_server("srv1", r1);
+  auto* srv2 = s.add_server("srv2", r2);
+  auto* srv3 = s.add_server("srv3", r2);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "dup-acked");
+  ASSERT_TRUE(place_capsule(s, cap, *cli, {srv1, srv2, srv3}).ok());
+
+  bool duplicated = false;
+  s.net().set_interceptor(
+      srv2->name(), r2->name(),
+      [&](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+        if (pdu.type == wire::MsgType::kStatus && pdu.dst == srv1->name() &&
+            !duplicated) {
+          duplicated = true;
+          s.net().send(srv2->name(), r2->name(), pdu);  // replay
+        }
+        return pdu;
+      });
+  s.net().set_interceptor(
+      srv3->name(), r2->name(),
+      [&](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+        if (pdu.type == wire::MsgType::kStatus && pdu.dst == srv1->name()) {
+          return std::nullopt;
+        }
+        return pdu;
+      });
+
+  capsule::Writer writer = cap.make_writer();
+  auto outcome = await(s.sim(), cli->append(writer, to_bytes("x"), 3));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(duplicated);
+  const std::string stats = s.stats_json();
+  const auto pos = stats.find("\"server.srv1.drop.duplicate_ack\": ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(stats.find("\"server.srv1.drop.duplicate_ack\": 1"),
+            std::string::npos);
+}
+
+TEST(Server, UnanimousNacksFailFast) {
+  // The only configured peer nacks (it does not host the capsule): the
+  // quorum is provably unreachable and the append must fail immediately,
+  // not at the durability timeout.
+  Scenario s(13, "nackfast");
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* srv1 = s.add_server("srv1", r1);
+  auto* srv2 = s.add_server("srv2", r1);
+  auto* cli = s.add_client("cli", r1);
+  s.attach_all();
+  CapsuleSetup cap = make_capsule(s.key_rng(), "nacked");
+  const TimePoint now = s.sim().now();
+  // Out-of-band placement: srv1 hosts with srv2 as peer, but srv2 was
+  // never asked to host.
+  ASSERT_TRUE(srv1->host_capsule(cap.metadata,
+                                 cap.delegation_for(srv1->principal(), now,
+                                                    now + from_seconds(3600)),
+                                 {srv2->name()})
+                  .ok());
+  srv1->advertise_to(r1->name());
+  s.settle();
+
+  capsule::Writer writer = cap.make_writer();
+  const TimePoint before = s.sim().now();
+  auto outcome = await(s.sim(), cli->append(writer, to_bytes("x"), 2));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_LT(s.sim().now() - before, from_millis(500));
+}
+
+TEST(Server, SyncPullRepliesContainNoDuplicates) {
+  // Flood-mode serving: a puller whose hole list names records the
+  // tip-scan already covers (or repeats the same hole twice) must not be
+  // sent duplicate records.
+  World w(14);
+  CapsuleSetup cap = make_capsule(w.s.key_rng(), "dedup");
+  ASSERT_TRUE(place_capsule(w.s, cap, *w.cli, {w.srv}).ok());
+  capsule::Writer writer = cap.make_writer();
+  std::vector<Name> hashes;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(await(w.s.sim(), w.cli->append(writer, to_bytes("x"))).ok());
+    hashes.push_back(writer.tip_hash());
+  }
+
+  std::size_t push_records = 0;
+  w.s.net().set_interceptor(
+      w.srv->name(), w.r1->name(),
+      [&](const wire::Pdu& pdu) -> std::optional<wire::Pdu> {
+        if (pdu.type == wire::MsgType::kSyncPush) {
+          auto push = wire::SyncPushMsg::deserialize(pdu.payload);
+          if (push.ok()) push_records += push->records.size();
+        }
+        return pdu;
+      });
+
+  wire::SyncPullMsg pull;
+  pull.capsule = cap.metadata.name();
+  pull.tip_seqno = 0;  // tip-scan will cover all five records
+  pull.holes = {hashes[2], hashes[2], hashes[4]};  // all already covered
+  wire::Pdu pdu;
+  pdu.dst = w.srv->name();
+  pdu.src = w.cli->name();
+  pdu.type = wire::MsgType::kSyncPull;
+  pdu.payload = pull.serialize();
+  w.s.net().send(w.cli->name(), w.r1->name(), pdu);
+  w.s.settle();
+  EXPECT_EQ(push_records, 5u);
 }
 
 TEST(Server, SubscribersOnOtherReplicaGetEvents) {

@@ -211,6 +211,7 @@ TEST(CapsuleStore, CreateIngestReopen) {
   TempDir dir;
   CapsuleFixture f;
   std::vector<capsule::Record> records;
+  Name root_before;
   {
     auto cs = CapsuleStore::create(dir.path(), f.metadata, f.delegation);
     ASSERT_TRUE(cs.ok()) << cs.error().to_string();
@@ -220,6 +221,7 @@ TEST(CapsuleStore, CreateIngestReopen) {
     }
     ASSERT_TRUE(cs->sync().ok());
     EXPECT_EQ(cs->state().size(), 20u);
+    root_before = cs->tree_root();
   }
   auto cs = CapsuleStore::open(dir.path());
   ASSERT_TRUE(cs.ok()) << cs.error().to_string();
@@ -227,6 +229,9 @@ TEST(CapsuleStore, CreateIngestReopen) {
   EXPECT_EQ(cs->corrupt_dropped(), 0u);
   EXPECT_EQ(cs->state().tip_hash(), records.back().hash());
   EXPECT_EQ(cs->metadata().name(), f.metadata.name());
+  // The replayed Merkle summary lands on the identical root: a restarted
+  // replica answers anti-entropy probes from the same tree.
+  EXPECT_EQ(cs->tree_root(), root_before);
 }
 
 TEST(CapsuleStore, DuplicateIngestNotPersistedTwice) {

@@ -151,8 +151,48 @@ TEST(WireMessages, SyncPullPush) {
   SyncPushMsg push;
   push.capsule = name_of(11);
   push.records = {to_bytes("rec1"), to_bytes("rec2")};
+  push.resume_cursor = 257;
   auto push_back = round_trip_and_truncate(push);
   EXPECT_EQ(push_back.records, push.records);
+  EXPECT_EQ(push_back.resume_cursor, 257u);
+}
+
+TEST(WireMessages, SyncSummaryDescendRange) {
+  SyncSummaryMsg summary;
+  summary.capsule = name_of(21);
+  summary.tip_seqno = 1'000'000;
+  summary.tip_hash = name_of(22);
+  summary.root_hash = name_of(23);
+  auto summary_back = round_trip_and_truncate(summary);
+  EXPECT_EQ(summary_back.tip_seqno, 1'000'000u);
+  EXPECT_EQ(summary_back.tip_hash, summary.tip_hash);
+  EXPECT_EQ(summary_back.root_hash, summary.root_hash);
+
+  SyncDescendMsg descend;
+  descend.capsule = name_of(21);
+  descend.kind = SyncDescendMsg::kRequest;
+  descend.tip_seqno = 777;
+  descend.nodes = {TreeNode{1, 64, name_of(24)},
+                   TreeNode{65, 128, name_of(25)}};
+  auto descend_back = round_trip_and_truncate(descend);
+  EXPECT_EQ(descend_back.kind, SyncDescendMsg::kRequest);
+  EXPECT_EQ(descend_back.tip_seqno, 777u);
+  EXPECT_EQ(descend_back.nodes, descend.nodes);
+
+  // A kind byte outside {offer, request} is rejected.
+  Bytes bad = descend.serialize();
+  bad[Name::kSize] = 7;
+  EXPECT_FALSE(SyncDescendMsg::deserialize(bad).ok());
+
+  SyncRangeMsg range;
+  range.capsule = name_of(21);
+  range.ranges = {SyncRangeMsg::Range{1, 64}, SyncRangeMsg::Range{1025, 2048}};
+  range.holes = {name_of(26)};
+  range.cursor = 1500;
+  auto range_back = round_trip_and_truncate(range);
+  EXPECT_EQ(range_back.ranges, range.ranges);
+  EXPECT_EQ(range_back.holes, range.holes);
+  EXPECT_EQ(range_back.cursor, 1500u);
 }
 
 TEST(WireMessages, AdvertisementHandshake) {
