@@ -1,0 +1,318 @@
+// Ablation A7 — production load management under zipf overload, the
+// experiment behind BENCH_loadmgmt.json.
+//
+// Two replicas of every capsule sit behind distinct-cost paths.  A fleet
+// of clients issues a zipf-distributed read stress (100k+ ops in the full
+// run) at an offered rate ~50% above what one replica can service alone.
+//
+//   unmanaged arm: legacy single-replica replies — the glookup returns
+//     the min-cost advertiser, every router herds onto the cheap replica,
+//     its ingest queue hits the read watermark and sheds.  Clients do not
+//     retry; a shed read is a lost op.
+//   managed arm: ranked replica replies + power-of-two-choices routing,
+//     health tracking fed by server load reports, short route leases, and
+//     budgeted client retries.  Load spreads across both replicas and
+//     stays under the watermark.
+//
+// The gate (also enforced in --smoke) is the ISSUE acceptance bound: the
+// managed arm must deliver strictly higher goodput AND lower p99 latency
+// than the unmanaged arm, and every failed op must be accounted — each
+// arm's issued count equals ok + failed (no silent drops), with the shed
+// counters naming the server-side causes.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/zipf.hpp"
+
+using namespace gdp;
+using client::await;
+using harness::CapsuleSetup;
+using harness::make_capsule;
+using harness::place_capsule;
+using harness::Scenario;
+using harness::ZipfGenerator;
+
+namespace {
+
+constexpr std::size_t kCapsules = 8;
+constexpr int kClients = 16;
+constexpr double kZipfS = 1.0;
+// One replica services a read every 300 us (~3333 ops/s); the fleet
+// offers one read every 280 us (~3571 ops/s) — overload for one replica,
+// ~54% utilization split across two.  Routes are leases, not per-packet
+// choices: the margin leaves headroom for the zipf head riding one
+// replica for a lease interval at a time.
+constexpr Duration kServiceTime = from_micros(300);
+constexpr Duration kIssueInterval = from_micros(280);
+
+struct ArmResult {
+  const char* arm = "";
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double goodput_ops_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double sim_s = 0;
+  std::uint64_t s1_served = 0;
+  std::uint64_t s2_served = 0;
+  std::uint64_t shed_reads = 0;
+  std::uint64_t shed_appends = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retries_denied = 0;
+  std::uint64_t ranked_replies = 0;
+  std::uint64_t load_reports = 0;
+  std::uint64_t ejections = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+ArmResult run_arm(bool managed, std::uint64_t total_ops, std::uint64_t seed) {
+  ArmResult out;
+  out.arm = managed ? "managed" : "unmanaged";
+  Scenario s(seed, managed ? "lm-managed" : "lm-unmanaged");
+  auto* g = s.add_domain("g", nullptr);
+  auto* re = s.add_router("re", g);  // edge router (client side)
+  auto* rs1 = s.add_router("rs1", g);
+  auto* rs2 = s.add_router("rs2", g);
+  // Distinct path costs: with legacy min-cost replies all traffic herds
+  // onto s1 behind the cheaper link.
+  s.link_routers(re, rs1, net::LinkParams{from_millis(1), 1e9, 0.0});
+  s.link_routers(re, rs2, net::LinkParams{from_millis(2), 1e9, 0.0});
+
+  server::CapsuleServer::Options so;
+  so.ingest_service_time = kServiceTime;
+  so.overload.bench_watermark = 4;
+  // Deep enough to absorb one lease interval of zipf-head burst without
+  // shedding; the herded arm parks at the watermark and pays it in tail
+  // latency instead.
+  so.overload.read_watermark = 24;
+  so.overload.write_watermark = 64;
+  so.load_report_interval = from_millis(25);
+  auto* s1 = s.add_server("s1", rs1, net::LinkParams::lan(), so);
+  auto* s2 = s.add_server("s2", rs2, net::LinkParams::lan(), so);
+
+  client::GdpClient::Options co;
+  co.op_timeout = from_millis(250);
+  co.retry_reads = managed;
+  std::vector<client::GdpClient*> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(
+        s.add_client("c" + std::to_string(i), re, net::LinkParams::lan(), co));
+  }
+  // Placement goes through a server-side client so the edge router holds
+  // no pre-stress route: the fleet's first reads resolve under whichever
+  // reply policy the arm configures.
+  auto* placer = s.add_client("p", rs1);
+  s.attach_all();
+
+  std::vector<CapsuleSetup> caps;
+  for (std::size_t i = 0; i < kCapsules; ++i) {
+    caps.push_back(make_capsule(s.key_rng(), "lm" + std::to_string(i)));
+    if (!place_capsule(s, caps.back(), *placer, {s1, s2}).ok()) std::abort();
+    capsule::Writer w = caps.back().make_writer();
+    if (!await(s.sim(), placer->append(w, to_bytes("seed"))).ok()) std::abort();
+  }
+
+  if (managed) {
+    router::GLookupService::SelectionConfig sel;
+    sel.enabled = true;
+    sel.route_lease = from_millis(25);
+    g->set_selection(sel);
+    s1->start_load_reports();
+    s2->start_load_reports();
+  }
+
+  ZipfGenerator zipf(kCapsules, kZipfS);
+  Rng draw_rng(seed * 13 + 7);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(total_ops);
+  std::uint64_t ok = 0, failed = 0;
+  net::Simulator& sim = s.sim();
+
+  const TimePoint t_start = sim.now();
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    client::GdpClient* c = clients[i % clients.size()];
+    const std::size_t rank = zipf.next(draw_rng);
+    const TimePoint t0 = sim.now();
+    auto op = c->read_latest(caps[rank].metadata);
+    op->on_resolved = [&latencies_ms, &ok, &failed, &sim,
+                       t0](const Result<client::ReadOutcome>& r) {
+      if (r.ok()) {
+        ++ok;
+        latencies_ms.push_back(
+            static_cast<double>((sim.now() - t0).count()) / 1e6);
+      } else {
+        ++failed;
+      }
+    };
+    s.settle_for(kIssueInterval);
+  }
+  if (managed) {
+    // Periodic reports keep the event queue non-empty: stop them so the
+    // final settle drains.
+    s1->stop_load_reports();
+    s2->stop_load_reports();
+  }
+  s.settle();
+  const TimePoint t_end = sim.now();
+
+  out.issued = total_ops;
+  out.ok = ok;
+  out.failed = failed;
+  out.sim_s = static_cast<double>((t_end - t_start).count()) / 1e9;
+  out.goodput_ops_s = out.sim_s > 0 ? static_cast<double>(ok) / out.sim_s : 0;
+  out.p50_ms = percentile(latencies_ms, 0.50);
+  out.p99_ms = percentile(latencies_ms, 0.99);
+
+  auto& m = s.net().metrics();
+  out.s1_served = m.counter("server.s1.reads.served").value();
+  out.s2_served = m.counter("server.s2.reads.served").value();
+  out.shed_reads = m.counter("server.s1.shed.reads").value() +
+                   m.counter("server.s2.shed.reads").value();
+  out.shed_appends = m.counter("server.s1.shed.appends").value() +
+                     m.counter("server.s2.shed.appends").value();
+  for (int i = 0; i < kClients; ++i) {
+    const std::string prefix = "client.c" + std::to_string(i);
+    out.retries += m.counter(prefix + ".read.retries").value();
+    out.retries_denied += m.counter(prefix + ".read.retries_denied").value();
+  }
+  out.ranked_replies = m.counter("glookup.g.lb.ranked_replies").value();
+  out.load_reports = m.counter("glookup.g.lb.load_reports").value();
+  out.ejections = g->health().ejections();
+  return out;
+}
+
+void print_arm(const ArmResult& r) {
+  std::printf("%10s %8llu %8llu %8llu %12.0f %8.2f %8.2f %8llu %8llu %8llu %8llu\n",
+              r.arm, static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.failed), r.goodput_ops_s,
+              r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.s1_served),
+              static_cast<unsigned long long>(r.s2_served),
+              static_cast<unsigned long long>(r.shed_reads),
+              static_cast<unsigned long long>(r.retries));
+}
+
+void print_arm_json(FILE* f, const ArmResult& r, bool last) {
+  std::fprintf(
+      f,
+      "    {\"arm\": \"%s\", \"issued\": %llu, \"ok\": %llu, "
+      "\"failed\": %llu, \"goodput_ops_per_s\": %.1f, \"p50_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"sim_s\": %.3f, \"s1_served\": %llu, "
+      "\"s2_served\": %llu, \"shed_reads\": %llu, \"shed_appends\": %llu, "
+      "\"retries\": %llu, \"retries_denied\": %llu, "
+      "\"ranked_replies\": %llu, \"load_reports\": %llu, "
+      "\"ejections\": %llu}%s\n",
+      r.arm, static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.failed), r.goodput_ops_s, r.p50_ms,
+      r.p99_ms, r.sim_s, static_cast<unsigned long long>(r.s1_served),
+      static_cast<unsigned long long>(r.s2_served),
+      static_cast<unsigned long long>(r.shed_reads),
+      static_cast<unsigned long long>(r.shed_appends),
+      static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.retries_denied),
+      static_cast<unsigned long long>(r.ranked_replies),
+      static_cast<unsigned long long>(r.load_reports),
+      static_cast<unsigned long long>(r.ejections), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --smoke: a 4k-op stress for CI — the same topology and overload
+  // margin, enough ops for the watermark and the drain to both engage.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::uint64_t total_ops = smoke ? 4000 : 100000;
+
+  std::printf("# Ablation A7: load management under zipf read overload\n");
+  std::printf("# %llu ops over %zu capsules (zipf s=%.1f), offered %d ops/s,\n",
+              static_cast<unsigned long long>(total_ops), kCapsules, kZipfS,
+              static_cast<int>(1e9 / static_cast<double>(kIssueInterval.count())));
+  std::printf("# per-replica capacity %d ops/s (2 replicas)\n",
+              static_cast<int>(1e9 / static_cast<double>(kServiceTime.count())));
+  std::printf("%10s %8s %8s %8s %12s %8s %8s %8s %8s %8s %8s\n", "arm",
+              "issued", "ok", "failed", "goodput/s", "p50_ms", "p99_ms",
+              "s1_srv", "s2_srv", "shed_rd", "retries");
+
+  const ArmResult unmanaged = run_arm(false, total_ops, 42);
+  print_arm(unmanaged);
+  const ArmResult managed = run_arm(true, total_ops, 42);
+  print_arm(managed);
+
+  const double goodput_ratio =
+      unmanaged.goodput_ops_s > 0 ? managed.goodput_ops_s / unmanaged.goodput_ops_s
+                                  : 0;
+  const double p99_ratio =
+      unmanaged.p99_ms > 0 ? managed.p99_ms / unmanaged.p99_ms : 0;
+  std::printf("# managed/unmanaged goodput ratio: %.3f, p99 ratio: %.3f\n",
+              goodput_ratio, p99_ratio);
+
+  if (FILE* f = std::fopen("BENCH_loadmgmt.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"total_ops\": %llu,\n  \"capsules\": %zu,\n"
+                 "  \"zipf_s\": %.2f,\n  \"offered_ops_per_s\": %.0f,\n"
+                 "  \"per_replica_capacity_ops_per_s\": %.0f,\n  \"arms\": [\n",
+                 static_cast<unsigned long long>(total_ops), kCapsules, kZipfS,
+                 1e9 / static_cast<double>(kIssueInterval.count()),
+                 1e9 / static_cast<double>(kServiceTime.count()));
+    print_arm_json(f, unmanaged, false);
+    print_arm_json(f, managed, true);
+    std::fprintf(f,
+                 "  ],\n  \"managed_to_unmanaged_goodput_ratio\": %.4f,\n"
+                 "  \"managed_to_unmanaged_p99_ratio\": %.4f\n}\n",
+                 goodput_ratio, p99_ratio);
+    std::fclose(f);
+    std::printf("# wrote BENCH_loadmgmt.json\n");
+  }
+
+  // ---- Gates (ISSUE acceptance) ----------------------------------------
+  int rc = 0;
+  // Accounting: every issued op resolved — no silent drops anywhere in the
+  // path; server-side sheds carry named counters.
+  for (const ArmResult* r : {&unmanaged, &managed}) {
+    if (r->issued != r->ok + r->failed) {
+      std::fprintf(stderr, "%s: %llu ops unaccounted (issued %llu, ok %llu, "
+                   "failed %llu)\n",
+                   r->arm,
+                   static_cast<unsigned long long>(r->issued - r->ok - r->failed),
+                   static_cast<unsigned long long>(r->issued),
+                   static_cast<unsigned long long>(r->ok),
+                   static_cast<unsigned long long>(r->failed));
+      rc = 1;
+    }
+  }
+  // The stress must actually stress: the herded arm hits the watermark.
+  if (unmanaged.shed_reads == 0) {
+    std::fprintf(stderr, "unmanaged arm never shed: overload margin too soft\n");
+    rc = 1;
+  }
+  // The managed arm actually manages: ranked replies flowed and both
+  // replicas served.
+  if (managed.ranked_replies == 0 || managed.s2_served <= unmanaged.s2_served) {
+    std::fprintf(stderr, "managed arm did not spread load\n");
+    rc = 1;
+  }
+  // The headline bound: strictly higher goodput AND lower p99.
+  if (managed.goodput_ops_s <= unmanaged.goodput_ops_s) {
+    std::fprintf(stderr, "managed goodput %.0f <= unmanaged %.0f\n",
+                 managed.goodput_ops_s, unmanaged.goodput_ops_s);
+    rc = 1;
+  }
+  if (managed.p99_ms >= unmanaged.p99_ms) {
+    std::fprintf(stderr, "managed p99 %.2fms >= unmanaged %.2fms\n",
+                 managed.p99_ms, unmanaged.p99_ms);
+    rc = 1;
+  }
+  return rc;
+}

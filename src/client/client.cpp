@@ -16,10 +16,15 @@ GdpClient::GdpClient(net::Network& net, const crypto::PrivateKey& key,
     : Endpoint(net, key, trust::Role::kClient, std::move(label)),
       options_(options),
       session_key_(crypto::PrivateKey::generate(net.sim().rng())),
+      read_retry_budget_(options.retry_budget),
       ops_started_(net_.metrics().counter(
           "client." + std::string(self_.label()) + ".ops.started")),
       ops_timed_out_(net_.metrics().counter(
           "client." + std::string(self_.label()) + ".ops.timed_out")),
+      read_retries_(net_.metrics().counter(
+          "client." + std::string(self_.label()) + ".read.retries")),
+      read_retries_denied_(net_.metrics().counter(
+          "client." + std::string(self_.label()) + ".read.retries_denied")),
       op_latency_ns_(net_.metrics().histogram(
           "client." + std::string(self_.label()) + ".op.latency_ns")) {}
 
@@ -228,6 +233,11 @@ Result<ReadOutcome> GdpClient::parse_read_response(const wire::Pdu& pdu,
                                            resp.auth, resp.server_principal,
                                            resp.delegation, &metadata));
   if (!resp.ok) {
+    // The code rides inside the signed body, so an on-path attacker cannot
+    // rewrite a permanent failure into a retryable shed (or vice versa).
+    if (static_cast<Errc>(resp.code) == Errc::kUnavailable) {
+      return make_error(Errc::kUnavailable, "read failed: " + resp.error);
+    }
     return make_error(Errc::kNotFound, "read failed: " + resp.error);
   }
   GDP_ASSIGN_OR_RETURN(Heartbeat hb, Heartbeat::deserialize(resp.heartbeat));
@@ -260,26 +270,59 @@ OpPtr<ReadOutcome> GdpClient::read(const capsule::Metadata& metadata,
                                    std::uint64_t first_seqno,
                                    std::uint64_t last_seqno) {
   auto op = std::make_shared<Op<ReadOutcome>>();
+  // Each fresh read earns a fraction of a retry token; only retries spend.
+  if (options_.retry_reads) read_retry_budget_.on_request();
+  start_read(op, metadata, first_seqno, last_seqno, /*attempt=*/1);
+  return op;
+}
+
+bool GdpClient::maybe_retry_read(const OpPtr<ReadOutcome>& op,
+                                 const capsule::Metadata& metadata,
+                                 std::uint64_t first, std::uint64_t last,
+                                 std::uint32_t attempt) {
+  if (!options_.retry_reads || attempt >= options_.max_read_attempts) {
+    return false;
+  }
+  if (!read_retry_budget_.try_retry()) {
+    read_retries_denied_.inc();
+    return false;
+  }
+  read_retries_.inc();
+  start_read(op, metadata, first, last, attempt + 1);
+  return true;
+}
+
+void GdpClient::start_read(const OpPtr<ReadOutcome>& op,
+                           const capsule::Metadata& metadata,
+                           std::uint64_t first, std::uint64_t last,
+                           std::uint32_t attempt) {
   wire::ReadMsg msg;
   msg.capsule = metadata.name();
-  msg.first_seqno = first_seqno;
-  msg.last_seqno = last_seqno;
+  msg.first_seqno = first;
+  msg.last_seqno = last;
   msg.nonce = next_nonce_++;
   msg.session_pubkey = session_pubkey_for_request();
 
   capsule::Metadata meta_copy = metadata;
   register_pending(
       msg.nonce,
-      [this, op, meta_copy = std::move(meta_copy), first_seqno,
-       last_seqno](const wire::Pdu& pdu) {
-        op->resolve(parse_read_response(pdu, meta_copy, first_seqno, last_seqno));
+      [this, op, meta_copy, first, last, attempt](const wire::Pdu& pdu) {
+        auto outcome = parse_read_response(pdu, meta_copy, first, last);
+        // A shed fail-fast (kUnavailable in the signed body) is the one
+        // response worth retrying: the route lease may have rotated the
+        // name onto a healthier replica by now.
+        if (!outcome.ok() && outcome.code() == Errc::kUnavailable &&
+            maybe_retry_read(op, meta_copy, first, last, attempt)) {
+          return;
+        }
+        op->resolve(std::move(outcome));
       },
-      [op] {
+      [this, op, meta_copy = std::move(meta_copy), first, last, attempt] {
+        if (maybe_retry_read(op, meta_copy, first, last, attempt)) return;
         op->timed_out = true;
         op->resolve(make_error(Errc::kUnavailable, "read timed out"));
       });
   send_pdu(metadata.name(), wire::MsgType::kRead, msg.serialize());
-  return op;
 }
 
 OpPtr<ReadOutcome> GdpClient::read_latest_strict(

@@ -21,6 +21,7 @@
 
 #include "capsule/proof.hpp"
 #include "capsule/writer.hpp"
+#include "loadmgmt/retry_budget.hpp"
 #include "router/endpoint.hpp"
 #include "trust/delegation.hpp"
 
@@ -34,11 +35,16 @@ struct Op {
   /// report *which* condition ended the wait without widening Errc.
   bool timed_out = false;
   std::optional<Result<T>> outcome;
+  /// Optional completion hook, fired exactly once at resolution.  Load
+  /// benchmarks use it to record per-op latency without await()ing each
+  /// op individually.
+  std::function<void(const Result<T>&)> on_resolved;
 
   void resolve(Result<T> r) {
     if (done) return;
     done = true;
     outcome.emplace(std::move(r));
+    if (on_resolved) on_resolved(*outcome);
   }
 };
 template <typename T>
@@ -100,6 +106,15 @@ class GdpClient : public router::Endpoint {
   struct Options {
     Duration op_timeout = from_seconds(30);
     bool use_sessions = true;  ///< establish HMAC sessions after first contact
+    /// Budgeted read retries (off by default: reads fail fast on their
+    /// first timeout or shed, exactly as before).  When on, a read that
+    /// times out or is shed by an overloaded replica (kUnavailable
+    /// fail-fast) is re-sent under a fresh nonce — route leases mean the
+    /// retry may land on a different replica — as long as the token-bucket
+    /// budget grants it and `max_read_attempts` is not exhausted.
+    bool retry_reads = false;
+    std::uint32_t max_read_attempts = 3;
+    loadmgmt::RetryBudgetConfig retry_budget;
   };
 
   GdpClient(net::Network& net, const crypto::PrivateKey& key, std::string label,
@@ -161,6 +176,11 @@ class GdpClient : public router::Endpoint {
     send_pdu(dst, type, std::move(payload), flow_id);
   }
 
+  /// Read-retry token bucket (tests inspect grant/denial accounting).
+  const loadmgmt::RetryBudget& read_retry_budget() const {
+    return read_retry_budget_;
+  }
+
  protected:
   void handle_pdu(const Name& from, const wire::Pdu& pdu) override;
 
@@ -188,6 +208,15 @@ class GdpClient : public router::Endpoint {
   Result<ReadOutcome> parse_read_response(const wire::Pdu& pdu,
                                           const capsule::Metadata& metadata,
                                           std::uint64_t first, std::uint64_t last);
+  /// Sends attempt #`attempt` of a read and arms its response/timeout
+  /// handlers (the retry path re-enters here with a fresh nonce).
+  void start_read(const OpPtr<ReadOutcome>& op, const capsule::Metadata& metadata,
+                  std::uint64_t first, std::uint64_t last, std::uint32_t attempt);
+  /// True = a retry was dispatched (budget granted, attempts left) and the
+  /// op stays pending; false = the caller must resolve it terminally.
+  bool maybe_retry_read(const OpPtr<ReadOutcome>& op,
+                        const capsule::Metadata& metadata, std::uint64_t first,
+                        std::uint64_t last, std::uint32_t attempt);
 
   struct PendingRequest {
     std::function<void(const wire::Pdu&)> handler;
@@ -203,11 +232,14 @@ class GdpClient : public router::Endpoint {
   std::unordered_map<Name, Subscription> subscriptions_;         ///< by capsule
   AppHandler app_handler_;
   std::uint64_t next_nonce_ = 1;
+  loadmgmt::RetryBudget read_retry_budget_;
 
   // Telemetry handles (`client.<label>.*`).  Latency is *simulated* time
   // from request send to response arrival, so dumps stay deterministic.
   telemetry::Counter& ops_started_;
   telemetry::Counter& ops_timed_out_;
+  telemetry::Counter& read_retries_;
+  telemetry::Counter& read_retries_denied_;
   telemetry::Histogram& op_latency_ns_;
 };
 

@@ -136,12 +136,18 @@ void Scenario::link_routers(router::Router* a, router::Router* b,
 server::CapsuleServer* Scenario::add_server(const std::string& label,
                                             router::Router* attach,
                                             net::LinkParams access) {
+  return add_server(label, attach, access, server::CapsuleServer::Options{});
+}
+
+server::CapsuleServer* Scenario::add_server(const std::string& label,
+                                            router::Router* attach,
+                                            net::LinkParams access,
+                                            server::CapsuleServer::Options opts) {
   keys_.push_back(
       std::make_unique<crypto::PrivateKey>(crypto::PrivateKey::generate(key_rng_)));
-  server::CapsuleServer::Options options;
-  options.storage_root = storage_.path() / (label + std::to_string(server_count_++));
+  opts.storage_root = storage_.path() / (label + std::to_string(server_count_++));
   auto s = std::make_unique<server::CapsuleServer>(net_, *keys_.back(), label,
-                                                   std::move(options));
+                                                   std::move(opts));
   net_.connect(s->name(), attach->name(), access);
   to_attach_.push_back({s.get(), attach->name()});
   servers_.push_back(std::move(s));

@@ -64,6 +64,12 @@ class Scenario {
   /// advertisement happen in attach()).
   server::CapsuleServer* add_server(const std::string& label, router::Router* attach,
                                     net::LinkParams access = net::LinkParams::lan());
+  /// Same, with explicit server options (load-management scenarios set the
+  /// ingest service model / overload watermarks here).  `storage_root` is
+  /// overwritten to the scenario scratch directory.
+  server::CapsuleServer* add_server(const std::string& label, router::Router* attach,
+                                    net::LinkParams access,
+                                    server::CapsuleServer::Options opts);
 
   client::GdpClient* add_client(const std::string& label, router::Router* attach,
                                 net::LinkParams access = net::LinkParams::lan());

@@ -1,0 +1,33 @@
+#include "harness/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gdp::harness {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // no draw can fall past the last rank
+}
+
+std::size_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;  // u == 1.0 edge
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::probability(std::size_t rank) const {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace gdp::harness

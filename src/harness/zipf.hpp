@@ -1,0 +1,37 @@
+// Seeded Zipf(s) rank sampler for load scenarios.
+//
+// Edge workloads are heavy-tailed: a few hot capsules absorb most of the
+// traffic while a long tail stays nearly idle.  The load-management
+// benchmarks model "100k clients" as zipf-distributed draws over a small
+// replica set, so the hot ranks concentrate pressure exactly where
+// overload control has to act.  Sampling is a CDF binary search over the
+// shared simulation Rng — identical seeds give byte-identical draw
+// sequences, which the stress tests assert directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gdp::harness {
+
+class ZipfGenerator {
+ public:
+  /// Ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.  s = 0 is the
+  /// uniform distribution; s ~ 1 is the classic web-workload shape.
+  ZipfGenerator(std::size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::size_t next(Rng& rng) const;
+
+  /// Exact probability of `rank` (chi-squared tests compare against it).
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace gdp::harness

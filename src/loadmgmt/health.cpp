@@ -1,0 +1,118 @@
+#include "loadmgmt/health.hpp"
+
+#include <algorithm>
+
+namespace gdp::loadmgmt {
+
+void HealthTracker::eject_locked(TargetHealth& h, std::int64_t now_ns) {
+  h.state = HealthState::kEjected;
+  h.ejection_count += 1;
+  h.probation_successes = 0;
+  std::uint32_t doublings =
+      std::min(h.ejection_count - 1, cfg_.max_window_doublings);
+  std::int64_t window = cfg_.ejection_window.count() << doublings;
+  h.ejected_until_ns = now_ns + window;
+  ejections_ += 1;
+}
+
+void HealthTracker::maybe_promote(TargetHealth& h, std::int64_t now_ns) {
+  if (h.state == HealthState::kEjected && now_ns >= h.ejected_until_ns) {
+    h.state = HealthState::kProbation;
+    h.probation_successes = 0;
+  }
+}
+
+void HealthTracker::record_success(const Name& target, std::int64_t now_ns,
+                                   std::uint64_t latency_ns) {
+  TargetHealth& h = touch(target);
+  maybe_promote(h, now_ns);
+  h.successes += 1;
+  h.consecutive_failures = 0;
+  if (latency_ns > 0) {
+    double sample = static_cast<double>(latency_ns);
+    h.ewma_latency_ns = h.ewma_latency_ns == 0.0
+                            ? sample
+                            : cfg_.latency_alpha * sample +
+                                  (1.0 - cfg_.latency_alpha) * h.ewma_latency_ns;
+  }
+  if (h.state == HealthState::kProbation) {
+    h.probation_successes += 1;
+    if (h.probation_successes >= cfg_.probation_successes) {
+      h.state = HealthState::kHealthy;
+      readmissions_ += 1;
+    }
+  }
+}
+
+void HealthTracker::record_failure(const Name& target, std::int64_t now_ns) {
+  TargetHealth& h = touch(target);
+  maybe_promote(h, now_ns);
+  h.failures += 1;
+  h.consecutive_failures += 1;
+  if (h.state == HealthState::kProbation) {
+    // Any failure during probation re-ejects with a doubled window.
+    eject_locked(h, now_ns);
+    return;
+  }
+  if (h.state == HealthState::kHealthy &&
+      h.consecutive_failures >= cfg_.eject_after_failures) {
+    eject_locked(h, now_ns);
+  }
+}
+
+void HealthTracker::record_load(const Name& target, std::int64_t now_ns,
+                                std::uint64_t expected_delay_ns,
+                                bool shedding) {
+  if (shedding) {
+    record_failure(target, now_ns);
+  } else {
+    record_success(target, now_ns, /*latency_ns=*/0);
+  }
+  // The reported queueing delay feeds the EWMA either way: a loaded-but-
+  // not-shedding replica should still score worse than an idle one.
+  TargetHealth& h = touch(target);
+  double sample = static_cast<double>(expected_delay_ns);
+  h.ewma_latency_ns = h.ewma_latency_ns == 0.0
+                          ? sample
+                          : cfg_.latency_alpha * sample +
+                                (1.0 - cfg_.latency_alpha) * h.ewma_latency_ns;
+}
+
+void HealthTracker::set_trust(const Name& target, double trust) {
+  touch(target).trust = std::clamp(trust, 1e-3, 1.0);
+}
+
+void HealthTracker::eject(const Name& target, std::int64_t now_ns) {
+  TargetHealth& h = touch(target);
+  if (h.state != HealthState::kEjected) eject_locked(h, now_ns);
+}
+
+HealthState HealthTracker::state(const Name& target, std::int64_t now_ns) {
+  auto it = targets_.find(target);
+  if (it == targets_.end()) return HealthState::kHealthy;
+  maybe_promote(it->second, now_ns);
+  return it->second.state;
+}
+
+double HealthTracker::score(const Name& target, std::int64_t now_ns,
+                            std::uint64_t base_latency_ns) {
+  auto it = targets_.find(target);
+  double latency = static_cast<double>(base_latency_ns);
+  double trust = 1.0;
+  double penalty = 1.0;
+  if (it != targets_.end()) {
+    maybe_promote(it->second, now_ns);
+    const TargetHealth& h = it->second;
+    latency += h.ewma_latency_ns;
+    trust = h.trust;
+    if (h.state == HealthState::kProbation) penalty = 2.0;
+  }
+  return latency * penalty / trust;
+}
+
+const TargetHealth* HealthTracker::find(const Name& target) const {
+  auto it = targets_.find(target);
+  return it == targets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gdp::loadmgmt

@@ -1,0 +1,120 @@
+// Passive health tracking with outlier ejection (§ load management).
+//
+// Every replica / neighbor the fabric talks to already produces implicit
+// health signals: reply latencies, lookup timeouts, nacks, link-down
+// withdrawals.  HealthTracker folds those into a per-target record —
+// EWMA latency plus a consecutive-failure count — and runs the
+// envoy-style outlier-ejection state machine on top:
+//
+//     kHealthy --N consecutive failures--> kEjected
+//     kEjected --ejection window elapses--> kProbation
+//     kProbation --M successes--> kHealthy
+//     kProbation --any failure--> kEjected (window doubles, capped)
+//
+// Ejection is advisory: selection skips ejected targets unless *every*
+// candidate is ejected, in which case callers fail open (panic routing)
+// rather than blackholing traffic.  All transitions are counted so a
+// flapping replica is visible in the stats dump.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "common/name.hpp"
+
+namespace gdp::loadmgmt {
+
+enum class HealthState : std::uint8_t { kHealthy = 0, kEjected, kProbation };
+
+struct HealthConfig {
+  /// Consecutive failures that trip ejection.
+  std::uint32_t eject_after_failures = 5;
+  /// Base ejection window; doubles per repeat ejection.
+  Duration ejection_window = from_millis(2000);
+  /// Cap on the window doubling (window * 2^min(count-1, cap)).
+  std::uint32_t max_window_doublings = 4;
+  /// Successes while in probation required to re-admit fully.
+  std::uint32_t probation_successes = 3;
+  /// EWMA smoothing factor for latency samples (0 < alpha <= 1).
+  double latency_alpha = 0.3;
+};
+
+struct TargetHealth {
+  HealthState state = HealthState::kHealthy;
+  /// Smoothed latency in nanoseconds; 0 until the first sample lands.
+  double ewma_latency_ns = 0.0;
+  std::uint32_t consecutive_failures = 0;
+  std::uint32_t probation_successes = 0;
+  /// How many times this target has been ejected (drives window doubling).
+  std::uint32_t ejection_count = 0;
+  /// Absolute sim time the current ejection window ends.
+  std::int64_t ejected_until_ns = 0;
+  /// Trust score in (0, 1], from the serving-delegation chain depth.
+  double trust = 1.0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+};
+
+class HealthTracker {
+ public:
+  explicit HealthTracker(HealthConfig cfg = {}) : cfg_(cfg) {}
+
+  const HealthConfig& config() const { return cfg_; }
+
+  /// A successful interaction with `target` (reply received, ack seen).
+  /// `latency_ns` == 0 records the success without a latency sample.
+  void record_success(const Name& target, std::int64_t now_ns,
+                      std::uint64_t latency_ns);
+
+  /// A failure signal (timeout, nack, shed notice, link withdrawal).
+  void record_failure(const Name& target, std::int64_t now_ns);
+
+  /// Overload pressure reported by the target itself (load reports).
+  /// Feeds the EWMA with the target's expected queueing delay and, when
+  /// the target says it is shedding real traffic, counts as a failure.
+  void record_load(const Name& target, std::int64_t now_ns,
+                   std::uint64_t expected_delay_ns, bool shedding);
+
+  /// Trust from the delegation chain; clamped to (0, 1].
+  void set_trust(const Name& target, double trust);
+
+  /// Immediately ejects (used for link-down withdrawals).
+  void eject(const Name& target, std::int64_t now_ns);
+
+  /// Current state, lazily promoting kEjected -> kProbation once the
+  /// ejection window has elapsed.
+  HealthState state(const Name& target, std::int64_t now_ns);
+
+  bool ejected(const Name& target, std::int64_t now_ns) {
+    return state(target, now_ns) == HealthState::kEjected;
+  }
+
+  /// Selection score: lower is better.  `base_latency_ns` supplies the
+  /// static path cost; the EWMA adds observed dynamic latency, the trust
+  /// score divides (less-trusted chains look farther away), and probation
+  /// targets are penalized so recovering replicas re-fill gradually.
+  double score(const Name& target, std::int64_t now_ns,
+               std::uint64_t base_latency_ns);
+
+  /// nullptr when the target has never produced a signal.
+  const TargetHealth* find(const Name& target) const;
+
+  void forget(const Name& target) { targets_.erase(target); }
+
+  std::uint64_t ejections() const { return ejections_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+  std::size_t tracked() const { return targets_.size(); }
+
+ private:
+  TargetHealth& touch(const Name& target) { return targets_[target]; }
+  void eject_locked(TargetHealth& h, std::int64_t now_ns);
+  void maybe_promote(TargetHealth& h, std::int64_t now_ns);
+
+  HealthConfig cfg_;
+  std::unordered_map<Name, TargetHealth> targets_;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace gdp::loadmgmt

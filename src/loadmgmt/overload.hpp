@@ -1,0 +1,104 @@
+// Watermark-driven overload shedding by drop priority.
+//
+// When a queue (server ingest, shard handoff ring) crosses its high
+// watermarks the cheapest traffic is shed first: bench/background data,
+// then reads, then writes — and quorum/durability traffic (kCritical)
+// is never shed, because dropping a peer ack turns one overloaded
+// replica into a fleet-wide durability stall.  Watermarks have 2:1
+// hysteresis (a level engages at its high watermark and releases at
+// half of it) so the shed decision doesn't flap at the boundary.  Every
+// shed is tallied per priority here and must additionally be counted
+// under a named drop-reason counter by the caller — audited, not
+// silent.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gdp::loadmgmt {
+
+/// Drop priority classes, shed lowest-value first.
+enum class DropPriority : std::uint8_t {
+  kBench = 0,    ///< bench / background filler — first to go
+  kRead = 1,     ///< client reads — fail fast, client may retry
+  kWrite = 2,    ///< client appends — shed only at the last watermark
+  kCritical = 3, ///< quorum acks / durability sync — never shed
+};
+
+inline const char* drop_priority_name(DropPriority p) {
+  switch (p) {
+    case DropPriority::kBench: return "bench";
+    case DropPriority::kRead: return "read";
+    case DropPriority::kWrite: return "write";
+    case DropPriority::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+struct OverloadConfig {
+  /// Queue depth at which bench traffic sheds.
+  std::size_t bench_watermark = 32;
+  /// Queue depth at which reads shed.
+  std::size_t read_watermark = 128;
+  /// Queue depth at which writes shed.
+  std::size_t write_watermark = 512;
+};
+
+class OverloadManager {
+ public:
+  explicit OverloadManager(OverloadConfig cfg = {}) : cfg_(cfg) {}
+
+  const OverloadConfig& config() const { return cfg_; }
+
+  /// Feeds the current queue depth; recomputes the shed level with
+  /// hysteresis and tracks the high-water mark.
+  void update(std::size_t depth) {
+    depth_ = depth;
+    if (depth > high_water_) high_water_ = depth;
+    level_ = level_for(depth);
+  }
+
+  /// Shed level: 0 = admit everything, 1 = shed bench, 2 = + reads,
+  /// 3 = + writes.  kCritical is always admitted.
+  int shed_level() const { return level_; }
+
+  /// Admission decision for one unit of work at priority `p`.  A denial
+  /// is tallied; the caller owns the named drop-reason counter.
+  bool admit(DropPriority p) {
+    if (p == DropPriority::kCritical) return true;
+    bool ok = static_cast<int>(p) >= level_;
+    if (!ok) shed_[static_cast<std::size_t>(p)] += 1;
+    return ok;
+  }
+
+  std::size_t depth() const { return depth_; }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t shed_count(DropPriority p) const {
+    return shed_[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t shed_total() const {
+    return shed_[0] + shed_[1] + shed_[2] + shed_[3];
+  }
+
+ private:
+  int level_for(std::size_t depth) const {
+    // Engage at the high watermark, release at half of it.
+    auto step = [&](std::size_t mark, int lvl) {
+      if (depth >= mark) return true;
+      return level_ > lvl - 1 && depth >= mark / 2;  // hold while above low
+    };
+    if (step(cfg_.write_watermark, 3)) return 3;
+    if (step(cfg_.read_watermark, 2)) return 2;
+    if (step(cfg_.bench_watermark, 1)) return 1;
+    return 0;
+  }
+
+  OverloadConfig cfg_;
+  std::size_t depth_ = 0;
+  std::size_t high_water_ = 0;
+  int level_ = 0;
+  std::array<std::uint64_t, 4> shed_{};
+};
+
+}  // namespace gdp::loadmgmt

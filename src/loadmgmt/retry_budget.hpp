@@ -1,0 +1,70 @@
+// Token-bucket retry budgets (envoy `retry/` semantics).
+//
+// A fixed exponential backoff with a fixed attempt cap is fine for one
+// client, but under fleet-wide overload every client retries at once and
+// the retry traffic itself amplifies the overload.  A retry budget ties
+// retry capacity to request volume: each fresh request earns a fraction
+// of a token, each retry spends a whole one, so sustained retries can
+// never exceed `ratio` of sustained fresh traffic.  A small floor keeps
+// retries available at low traffic (a cold router can still recover from
+// a single lost lookup reply), and denials are counted so budget
+// exhaustion shows up in the drop audit rather than as silence.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gdp::loadmgmt {
+
+struct RetryBudgetConfig {
+  /// Tokens earned per fresh (non-retry) request.
+  double ratio = 0.2;
+  /// Starting balance: a cold bucket opens with this many tokens, so a
+  /// quiet system has a few retries in hand before any request is earned.
+  double min_tokens = 3.0;
+  /// Budget cap: a long quiet burst of requests cannot bank unlimited
+  /// retries.
+  double max_tokens = 100.0;
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetConfig cfg = {})
+      : cfg_(cfg), tokens_(cfg.min_tokens) {}
+
+  const RetryBudgetConfig& config() const { return cfg_; }
+
+  /// A fresh request entered the system: earn `ratio` tokens.
+  void on_request() {
+    requests_ += 1;
+    tokens_ = std::min(cfg_.max_tokens, tokens_ + cfg_.ratio);
+  }
+
+  /// Spend one token for a retry.  False = budget exhausted; the caller
+  /// must treat the attempt as terminal (and count the drop).  The
+  /// min_tokens floor is a *starting balance*, not a refill: once retries
+  /// spend it down, only fresh requests earn it back.
+  bool try_retry() {
+    if (tokens_ < 1.0) {
+      denied_ += 1;
+      return false;
+    }
+    tokens_ -= 1.0;
+    granted_ += 1;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  RetryBudgetConfig cfg_;
+  double tokens_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace gdp::loadmgmt

@@ -1,0 +1,33 @@
+// Power-of-two-choices replica selection.
+//
+// Given a score-ranked candidate list (lower score = better), a full
+// argmin would herd every chooser onto the single best replica and
+// oscillate; uniform random ignores health entirely.  Power-of-two
+// choices draws two distinct candidates from the seeded RNG and keeps
+// the better one — the classic balanced-allocations result gives
+// near-best load spread with only two score lookups, and with a seeded
+// RNG the pick sequence is deterministic and replayable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gdp::loadmgmt {
+
+/// Picks an index into `scores` (lower = better).  Empty input returns
+/// SIZE_MAX; a single candidate is returned without consuming RNG draws.
+/// Ties keep the first-drawn candidate so the outcome is a pure function
+/// of (scores, rng state).
+inline std::size_t pick_power_of_two(const std::vector<double>& scores,
+                                     Rng& rng) {
+  if (scores.empty()) return static_cast<std::size_t>(-1);
+  if (scores.size() == 1) return 0;
+  std::size_t a = static_cast<std::size_t>(rng.next_below(scores.size()));
+  std::size_t b = static_cast<std::size_t>(rng.next_below(scores.size() - 1));
+  if (b >= a) b += 1;  // second draw over the remaining n-1 candidates
+  return scores[b] < scores[a] ? b : a;
+}
+
+}  // namespace gdp::loadmgmt

@@ -31,7 +31,8 @@ ShardedDataPlane::ShardedDataPlane(Config cfg, FibPublisher& fib, EgressFn egres
     : cfg_(cfg),
       fib_(fib),
       egress_(std::move(egress)),
-      stall_submit_(ingress_metrics_.counter("dp.stall.submit_full")) {
+      stall_submit_(ingress_metrics_.counter("dp.stall.submit_full")),
+      shed_bench_(ingress_metrics_.counter("dp.drop.shed_bench")) {
   if (cfg_.num_shards == 0) cfg_.num_shards = 1;
   const char* det = std::getenv("GDP_DETERMINISTIC");
   if (det != nullptr && det[0] != '\0') cfg_.deterministic = true;
@@ -84,6 +85,23 @@ bool ShardedDataPlane::submit_to(std::size_t shard, wire::PduView&& pdu) {
   // the API contract, so the track stays single-writer).
   const bool traced = rec_->tick(ingress_track());
   const std::uint64_t tid = traced ? pdu.trace_id() : 0;
+  // Ingress watermark shed: best-effort bench traffic is the first (and
+  // only) class discarded here, before it can crowd control or durability
+  // frames out of the ring.  Dropping the view releases its segment; the
+  // frame is "accepted" from the producer's perspective (true), its fate
+  // recorded by the counter + drop event — never a silent loss.
+  if (cfg_.shed_bench_watermark > 0 &&
+      pdu.type() == wire::MsgType::kBenchData &&
+      shards_[shard]->ingress.size() >= cfg_.shed_bench_watermark) {
+    shed_bench_.inc();
+    if (traced) {
+      rec_->record(ingress_track(), FlightEventType::kDrop, tid,
+                   static_cast<std::uint64_t>(FlightDropReason::kShedBench));
+    }
+    wire::PduView discard = std::move(pdu);
+    (void)discard;
+    return true;
+  }
   // try_push only consumes `pdu` on success; a false return leaves the
   // caller's frame intact for retry (by-value parameters here would
   // destroy the segment on a full ring and feed retries an empty view).

@@ -78,6 +78,12 @@ class ShardedDataPlane {
     /// Max PDUs a worker processes per ring before quiescing its QSBR
     /// slot and checking the stop flag.
     std::size_t batch = 128;
+    /// Overload shedding at ingress: when a target ring already holds at
+    /// least this many PDUs, kBenchData frames are discarded (with full
+    /// `dp.drop.shed_bench` accounting) instead of enqueued, keeping ring
+    /// space for control and durability traffic.  0 disables (default):
+    /// every frame takes the legacy backpressure path.
+    std::size_t shed_bench_watermark = 0;
     /// Flight-recorder settings (always-on by default, sampled).  A zero
     /// recorder seed inherits the plane seed, so one knob steers both.
     telemetry::FlightRecorder::Config recorder;
@@ -246,10 +252,12 @@ class ShardedDataPlane {
   EgressFn egress_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<telemetry::FlightRecorder> rec_;
-  /// Producer-side instruments (submit stalls); single-writer like the
-  /// per-shard registries: only the submit thread increments.
+  /// Producer-side instruments (submit stalls, ingress sheds); single-
+  /// writer like the per-shard registries: only the submit thread
+  /// increments.
   telemetry::MetricsRegistry ingress_metrics_;
   telemetry::Counter& stall_submit_;
+  telemetry::Counter& shed_bench_;
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> now_ns_{0};
   std::size_t rr_next_ = 0;  ///< round-robin ingress spreader state

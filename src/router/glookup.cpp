@@ -27,6 +27,13 @@ GLookupService::GLookupService(net::Network& net, trust::Principal self,
       batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
       batch_bisections_(
           net_.metrics().counter(metric_prefix_ + "batch.bisections")),
+      ranked_replies_(
+          net_.metrics().counter(metric_prefix_ + "lb.ranked_replies")),
+      ejected_skipped_(
+          net_.metrics().counter(metric_prefix_ + "lb.ejected_skipped")),
+      panic_replies_(
+          net_.metrics().counter(metric_prefix_ + "lb.panic_replies")),
+      load_reports_(net_.metrics().counter(metric_prefix_ + "lb.load_reports")),
       batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")) {
   batch_seed_ = net_.sim().rng().next_u64();
   net_.attach(self_.name(), this);
@@ -47,6 +54,12 @@ void GLookupService::publish_metrics() {
   m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_->size());
   m.counter(metric_prefix_ + "verify_cache.capacity")
       .set(verify_cache_->capacity());
+  if (selection_.enabled) {
+    m.counter(metric_prefix_ + "health.ejections").set(health_.ejections());
+    m.counter(metric_prefix_ + "health.readmissions")
+        .set(health_.readmissions());
+    m.counter(metric_prefix_ + "health.tracked").set(health_.tracked());
+  }
 }
 
 Status GLookupService::verify_entry(const Entry& entry) const {
@@ -91,6 +104,22 @@ Status GLookupService::verify_entry(const Entry& entry) const {
 
 Status GLookupService::register_entry(Entry entry) {
   GDP_RETURN_IF_ERROR(verify_entry(entry));
+  if (auto advertiser = trust::Principal::deserialize(entry.principal);
+      advertiser.ok()) {
+    entry.advertiser = advertiser->name();
+    if (selection_.enabled && !entry.evidence.empty()) {
+      // Trust score from the delegation chain: a direct owner->server
+      // AdCert is fully trusted; every interposed org membership link
+      // discounts it, so at equal latency the shorter chain wins
+      // (trust-aware routing).
+      if (auto ad = trust::Advertisement::deserialize(entry.evidence);
+          ad.ok()) {
+        const double links =
+            static_cast<double>(ad->delegation.member_certs.size());
+        health_.set_trust(entry.advertiser, 1.0 / (1.0 + 0.25 * links));
+      }
+    }
+  }
   auto& list = entries_[entry.target];
   auto existing = std::find_if(list.begin(), list.end(), [&](const Entry& e) {
     return e.attachment_router == entry.attachment_router;
@@ -121,10 +150,17 @@ Status GLookupService::register_entry(Entry entry) {
 }
 
 void GLookupService::unregister(const Name& target, const Name& attachment_router) {
+  const std::int64_t now_ns = net_.sim().now().count();
   auto it = entries_.find(target);
   if (it != entries_.end()) {
     std::erase_if(it->second, [&](const Entry& e) {
-      return e.attachment_router == attachment_router;
+      if (e.attachment_router != attachment_router) return false;
+      // A withdrawal is a hard failure signal: the advertiser comes back
+      // through probation, not straight into the rotation.
+      if (selection_.enabled && !e.advertiser.is_zero()) {
+        health_.eject(e.advertiser, now_ns);
+      }
+      return true;
     });
     if (it->second.empty()) entries_.erase(it);
   }
@@ -132,10 +168,15 @@ void GLookupService::unregister(const Name& target, const Name& attachment_route
 }
 
 void GLookupService::unregister_attachment(const Name& attachment_router) {
+  const std::int64_t now_ns = net_.sim().now().count();
   for (auto it = entries_.begin(); it != entries_.end();) {
     auto& list = it->second;
     std::erase_if(list, [&](const Entry& e) {
-      return e.attachment_router == attachment_router;
+      if (e.attachment_router != attachment_router) return false;
+      if (selection_.enabled && !e.advertiser.is_zero()) {
+        health_.eject(e.advertiser, now_ns);
+      }
+      return true;
     });
     if (list.empty()) {
       it = entries_.erase(it);
@@ -144,6 +185,17 @@ void GLookupService::unregister_attachment(const Name& attachment_router) {
     }
   }
   if (parent_ != nullptr) parent_->unregister_attachment(attachment_router);
+}
+
+void GLookupService::apply_load_report(const wire::LoadReportMsg& msg) {
+  load_reports_.inc();
+  if (selection_.enabled) {
+    // Shedding bench filler (level 1) is pressure, not failure; shedding
+    // real reads/writes (level >= 2) counts against the replica.
+    health_.record_load(msg.server, net_.sim().now().count(),
+                        msg.expected_delay_ns, msg.shed_level >= 2);
+  }
+  if (parent_ != nullptr) parent_->apply_load_report(msg);
 }
 
 std::vector<const GLookupService::Entry*> GLookupService::lookup_local(
@@ -158,16 +210,20 @@ std::vector<const GLookupService::Entry*> GLookupService::lookup_local(
   return out;
 }
 
-wire::LookupReplyMsg GLookupService::build_reply(const wire::LookupMsg& query) const {
+wire::LookupReplyMsg GLookupService::build_reply(const wire::LookupMsg& query) {
   wire::LookupReplyMsg reply;
   reply.target = query.target;
   reply.nonce = query.nonce;
   reply.found = false;
 
   const Name querying_domain = topology_->domain_of(query.querying_router);
-  const Entry* best = nullptr;
-  Name best_hop;
-  std::uint32_t best_cost = 0;
+  struct Candidate {
+    const Entry* entry;
+    Name next_hop;
+    std::uint32_t cost_us;
+    double score;
+  };
+  std::vector<Candidate> eligible;
   for (const Entry* e : lookup_local(query.target)) {
     // Placement policy: a capsule restricted to specific domains must not
     // be resolved for routers outside them.
@@ -178,23 +234,91 @@ wire::LookupReplyMsg GLookupService::build_reply(const wire::LookupMsg& query) c
     }
     auto route = topology_->route(query.querying_router, e->attachment_router);
     if (!route) continue;
-    if (best == nullptr || route->second < best_cost) {
-      best = e;
-      best_hop = route->first;
-      best_cost = route->second;
-    }
+    eligible.push_back(
+        Candidate{e, route->first, route->second,
+                  static_cast<double>(route->second) * 1000.0});
   }
-  if (best != nullptr) {
+  if (eligible.empty()) return reply;
+
+  if (!selection_.enabled) {
+    // Legacy behavior: the single min-cost entry.
+    const Candidate* best = &eligible.front();
+    for (const Candidate& c : eligible) {
+      if (c.cost_us < best->cost_us) best = &c;
+    }
     reply.found = true;
-    reply.attachment_router = best->attachment_router;
-    reply.next_hop = best_hop;
-    reply.cost_us = best_cost;
+    reply.attachment_router = best->entry->attachment_router;
+    reply.next_hop = best->next_hop;
+    reply.cost_us = best->cost_us;
     // The registration's lifetime bounds the FIB entry the querying router
     // installs: stale routes expire instead of living forever.
-    reply.expires_ns = best->expires_ns;
-    reply.evidence = best->evidence;
-    reply.principal = best->principal;
+    reply.expires_ns = best->entry->expires_ns;
+    reply.evidence = best->entry->evidence;
+    reply.principal = best->entry->principal;
+    return reply;
   }
+
+  // Load-aware ranking: weighted score = (static path cost + observed
+  // EWMA latency) x probation penalty / delegation-chain trust, skipping
+  // ejected replicas.  If *every* replica is ejected, fail open with the
+  // full set (panic routing) — degraded answers beat blackholes.
+  const std::int64_t now_ns = net_.sim().now().count();
+  std::vector<Candidate> ranked;
+  for (const Candidate& c : eligible) {
+    if (!c.entry->advertiser.is_zero() &&
+        health_.ejected(c.entry->advertiser, now_ns)) {
+      ejected_skipped_.inc();
+      continue;
+    }
+    ranked.push_back(c);
+  }
+  if (ranked.empty()) {
+    panic_replies_.inc();
+    ranked = eligible;
+  }
+  for (Candidate& c : ranked) {
+    const std::uint64_t base_ns = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(c.cost_us) * 1000,
+        selection_.default_latency_ns);
+    c.score = c.entry->advertiser.is_zero()
+                  ? static_cast<double>(base_ns)
+                  : health_.score(c.entry->advertiser, now_ns, base_ns);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     return a.entry->attachment_router <
+                            b.entry->attachment_router;
+                   });
+  // With replicas to choose among, cap the FIB lease so routers
+  // re-resolve at the selection cadence and traffic can drain away from
+  // replicas that degrade after this answer.
+  const bool lease = eligible.size() > 1;
+  auto lease_bound = [&](std::int64_t expires_ns) {
+    if (!lease) return expires_ns;
+    return std::min(expires_ns, now_ns + selection_.route_lease.count());
+  };
+  const Candidate& best = ranked.front();
+  reply.found = true;
+  reply.attachment_router = best.entry->attachment_router;
+  reply.next_hop = best.next_hop;
+  reply.cost_us = best.cost_us;
+  reply.expires_ns = lease_bound(best.entry->expires_ns);
+  reply.evidence = best.entry->evidence;
+  reply.principal = best.entry->principal;
+  for (std::size_t i = 1;
+       i < ranked.size() && reply.alternates.size() + 1 < selection_.max_replicas;
+       ++i) {
+    wire::LookupReplyMsg::ReplicaOption opt;
+    opt.attachment_router = ranked[i].entry->attachment_router;
+    opt.next_hop = ranked[i].next_hop;
+    opt.cost_us = ranked[i].cost_us;
+    opt.expires_ns = lease_bound(ranked[i].entry->expires_ns);
+    opt.evidence = ranked[i].entry->evidence;
+    opt.principal = ranked[i].entry->principal;
+    reply.alternates.push_back(std::move(opt));
+  }
+  ranked_replies_.inc();
   return reply;
 }
 
@@ -286,6 +410,16 @@ void GLookupService::on_pdu(const Name& from, const wire::Pdu& pdu) {
       wire::LookupReplyMsg out = *reply;
       out.nonce = pq.msg.nonce;
       send_reply(pq.requester, out, pq.msg.nonce);
+      return;
+    }
+    case wire::MsgType::kLoadReport: {
+      auto msg = wire::LoadReportMsg::deserialize(pdu.payload);
+      if (!msg.ok()) {
+        drop_malformed_.inc();
+        net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed");
+        return;
+      }
+      apply_load_report(*msg);
       return;
     }
     default:

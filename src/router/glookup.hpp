@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "loadmgmt/health.hpp"
 #include "net/network.hpp"
 #include "router/topology.hpp"
 #include "trust/advertisement.hpp"
@@ -34,6 +35,24 @@ class GLookupService : public net::PduHandler {
     Bytes principal;     ///< serialized advertiser principal
     std::int64_t expires_ns = 0;
     std::vector<Name> allowed_domains;  ///< empty = publicly routable
+    /// Advertiser name (the serving server for capsules), derived from
+    /// `principal` at registration: the key health signals are tracked by.
+    Name advertiser;
+  };
+
+  /// Load-aware replica selection (off by default: replies are the legacy
+  /// single min-cost entry and stats stay byte-identical).
+  struct SelectionConfig {
+    bool enabled = false;
+    /// Replicas carried per reply (primary + alternates).
+    std::size_t max_replicas = 4;
+    /// FIB lease when a target has more than one eligible replica: routers
+    /// re-resolve at this cadence so traffic redistributes away from
+    /// ejected or slow replicas (low-TTL-DNS style).
+    Duration route_lease = from_millis(500);
+    /// Score floor for targets with no latency samples yet.
+    std::uint64_t default_latency_ns = 1000000;
+    loadmgmt::HealthConfig health;
   };
 
   GLookupService(net::Network& net, trust::Principal self, Name domain,
@@ -72,6 +91,21 @@ class GLookupService : public net::PduHandler {
 
   void on_pdu(const Name& from, const wire::Pdu& pdu) override;
 
+  /// Enables (or reconfigures) load-aware selection.  Resets health state;
+  /// call before traffic starts.
+  void set_selection(const SelectionConfig& cfg) {
+    selection_ = cfg;
+    health_ = loadmgmt::HealthTracker(cfg.health);
+  }
+  const SelectionConfig& selection() const { return selection_; }
+  /// Health tracker over advertisers (servers); tests inject signals here.
+  loadmgmt::HealthTracker& health() { return health_; }
+
+  /// Ingests one server pressure report (relayed by the attachment
+  /// router) and forwards it up the lookup tree so every level ranks with
+  /// the same signal.
+  void apply_load_report(const wire::LoadReportMsg& msg);
+
   // Introspection for tests.
   std::size_t entry_count() const;
   std::uint64_t queries_served() const { return queries_served_.value(); }
@@ -99,7 +133,8 @@ class GLookupService : public net::PduHandler {
   void autosize_verify_cache();
   void answer(const Name& reply_to, const wire::LookupMsg& query);
   /// Builds a reply for `query` from local entries; found=false when none.
-  wire::LookupReplyMsg build_reply(const wire::LookupMsg& query) const;
+  /// Non-const: scoring lazily promotes ejected targets into probation.
+  wire::LookupReplyMsg build_reply(const wire::LookupMsg& query);
   void send_reply(const Name& to, const wire::LookupReplyMsg& reply,
                   std::uint64_t flow_id);
 
@@ -122,6 +157,8 @@ class GLookupService : public net::PduHandler {
   std::uint64_t batch_seed_ = 0;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
   std::uint64_t next_nonce_ = 1;
+  SelectionConfig selection_;
+  loadmgmt::HealthTracker health_;
 
   // Telemetry handles (`glookup.<label>.*`), resolved at construction.
   std::string metric_prefix_;
@@ -134,6 +171,10 @@ class GLookupService : public net::PduHandler {
   telemetry::Counter& batch_accepted_;
   telemetry::Counter& batch_rejected_;
   telemetry::Counter& batch_bisections_;
+  telemetry::Counter& ranked_replies_;
+  telemetry::Counter& ejected_skipped_;
+  telemetry::Counter& panic_replies_;
+  telemetry::Counter& load_reports_;
   telemetry::Histogram& batch_size_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "loadmgmt/selector.hpp"
 #include "trust/batch_warm.hpp"
 
 namespace gdp::router {
@@ -49,12 +50,20 @@ Router::Router(net::Network& net, const crypto::PrivateKey& key, std::string lab
           net_.metrics().counter(metric_prefix_ + "drop.lookup_timeout")),
       drop_unsolicited_reply_(net_.metrics().counter(
           metric_prefix_ + "drop.unsolicited_lookup_reply")),
+      drop_retry_budget_(net_.metrics().counter(
+          metric_prefix_ + "drop.retry_budget_exhausted")),
+      p2c_picks_(net_.metrics().counter(metric_prefix_ + "lb.p2c_picks")),
+      p2c_alternate_chosen_(
+          net_.metrics().counter(metric_prefix_ + "lb.alternate_chosen")),
+      load_reports_relayed_(
+          net_.metrics().counter(metric_prefix_ + "lb.load_reports_relayed")),
       batch_accepted_(net_.metrics().counter(metric_prefix_ + "batch.accepted")),
       batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
       batch_bisections_(
           net_.metrics().counter(metric_prefix_ + "batch.bisections")),
       batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")) {
   batch_seed_ = net_.sim().rng().next_u64();
+  lookup_retry_budget_ = loadmgmt::RetryBudget(maintenance_.retry_budget);
   net_.attach(self_.name(), this);
 }
 
@@ -87,6 +96,12 @@ void Router::publish_metrics() {
   m.counter(metric_prefix_ + "verify_cache.size").set(verify_cache_.size());
   m.counter(metric_prefix_ + "verify_cache.capacity")
       .set(verify_cache_.capacity());
+  if (maintenance_.use_retry_budget) {
+    m.counter(metric_prefix_ + "retry_budget.granted")
+        .set(lookup_retry_budget_.granted());
+    m.counter(metric_prefix_ + "retry_budget.denied")
+        .set(lookup_retry_budget_.denied());
+  }
   // Snapshot-publication / QSBR gauges (fib.publishes, fib.reclaimed, ...):
   // publish_metrics runs on the control-plane thread, which owns them.
   fib_.publish_stats(m, metric_prefix_);
@@ -130,6 +145,21 @@ void Router::handle_control(const Name& from, const wire::Pdu& pdu) {
     case wire::MsgType::kLookupReply:
       handle_lookup_reply(pdu);
       return;
+    case wire::MsgType::kLoadReport: {
+      // Server pressure report: relay to the domain's lookup service so
+      // replica ranking sees it.  Only neighbors (attached endpoints) may
+      // report — a remote principal must not be able to poison another
+      // server's health record.
+      if (glookup_ == nullptr || !net_.adjacent(self_.name(), pdu.src)) {
+        drop_pdu(pdu, drop_unhandled_, "load_report_unroutable");
+        return;
+      }
+      load_reports_relayed_.inc();
+      wire::Pdu relay = pdu;
+      relay.dst = glookup_->name();
+      net_.send(self_.name(), glookup_->name(), std::move(relay));
+      return;
+    }
     default:
       // Benchmarks may address raw traffic to the router itself.
       if (pdu.type == wire::MsgType::kBenchData) {
@@ -224,6 +254,8 @@ void Router::issue_lookup(const Name& target) {
   it->second.attempts += 1;
   it->second.nonce = net_.sim().rng().next_u64();
   lookups_issued_.inc();
+  // Fresh lookups (not retries) earn retry-budget tokens.
+  if (it->second.attempts == 1) lookup_retry_budget_.on_request();
   wire::LookupMsg msg;
   msg.target = target;
   msg.querying_router = self_.name();
@@ -252,6 +284,16 @@ void Router::on_lookup_timeout(const Name& target) {
     GDP_LOG(kWarn, "router") << "lookup for " << target.short_hex()
                              << " timed out after retries; dropping queue";
     drop_waiting_queue(target, drop_lookup_timeout_, "lookup_timeout");
+    return;
+  }
+  // The retry budget gates every retry: when a fleet-wide overload has
+  // every lookup timing out, the budget caps retry amplification at its
+  // fill ratio instead of letting 2^n backoff traffic pile onto an
+  // already-saturated lookup service.
+  if (maintenance_.use_retry_budget && !lookup_retry_budget_.try_retry()) {
+    lookup_timeouts_.inc();
+    pending_lookups_.erase(it);
+    drop_waiting_queue(target, drop_retry_budget_, "retry_budget_exhausted");
     return;
   }
   lookup_retries_.inc();
@@ -301,13 +343,67 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
     drop_waiting(drop_no_route_, "no_route");
     return;
   }
+  // Load-aware replies carry ranked alternates (best first).  Pick
+  // power-of-two-choices among the viable candidates — adjacent next hop,
+  // not ejected in this router's own neighbor-health view — so a fleet of
+  // routers renewing the same short route lease spreads across the top
+  // replicas instead of herding onto rank 0.  A plain reply (no
+  // alternates) takes the legacy single-candidate path below unchanged.
+  struct Option {
+    Name attachment_router;
+    Name next_hop;
+    std::int64_t expires_ns = 0;
+    const Bytes* evidence = nullptr;
+    const Bytes* principal = nullptr;
+  };
+  std::vector<Option> options;
+  options.push_back(Option{reply->attachment_router, reply->next_hop,
+                           reply->expires_ns, &reply->evidence,
+                           &reply->principal});
+  for (const auto& alt : reply->alternates) {
+    options.push_back(Option{alt.attachment_router, alt.next_hop,
+                             alt.expires_ns, &alt.evidence, &alt.principal});
+  }
+  std::size_t chosen = 0;
+  if (options.size() > 1) {
+    const std::int64_t now_ns = net_.sim().now().count();
+    auto effective_hop = [&](const Option& o) {
+      return o.attachment_router == self_.name() ? reply->target : o.next_hop;
+    };
+    auto collect = [&](bool health_filter) {
+      std::vector<std::size_t> out;
+      for (std::size_t i = 0; i < options.size(); ++i) {
+        const Name hop = effective_hop(options[i]);
+        if (hop == self_.name() || !net_.adjacent(self_.name(), hop)) continue;
+        if (health_filter && neighbor_health_.ejected(hop, now_ns)) continue;
+        out.push_back(i);
+      }
+      return out;
+    };
+    std::vector<std::size_t> viable = collect(/*health_filter=*/true);
+    // Every viable hop ejected: fail open over all adjacent candidates
+    // rather than blackholing (the legacy path would do no better).
+    if (viable.empty()) viable = collect(/*health_filter=*/false);
+    if (!viable.empty()) {
+      // Score by the registry's rank order; equal ranks cannot happen, so
+      // P2C yields a deterministic 2/3 : 1/3 spread over the top choices.
+      std::vector<double> scores(viable.size());
+      for (std::size_t j = 0; j < viable.size(); ++j) {
+        scores[j] = static_cast<double>(viable[j]);
+      }
+      chosen = viable[loadmgmt::pick_power_of_two(scores, net_.sim().rng())];
+      p2c_picks_.inc();
+      if (chosen != 0) p2c_alternate_chosen_.inc();
+    }
+  }
+  const Option& picked = options[chosen];
   // Independently verify the routing state before installing it — a
   // compromised lookup service must not be able to plant black holes for
   // delegated names.
-  std::int64_t expires_ns = reply->expires_ns;
-  if (!reply->evidence.empty()) {
-    auto ad = trust::Advertisement::deserialize(reply->evidence);
-    auto advertiser = trust::Principal::deserialize(reply->principal);
+  std::int64_t expires_ns = picked.expires_ns;
+  if (!picked.evidence->empty()) {
+    auto ad = trust::Advertisement::deserialize(*picked.evidence);
+    auto advertiser = trust::Principal::deserialize(*picked.principal);
     if (!ad.ok() || !advertiser.ok() ||
         ad->advertised != reply->target ||
         !ad->verify(*advertiser, net_.sim().now(), nullptr, &verify_cache_).ok()) {
@@ -326,7 +422,7 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
     // principal's key hashes to the target name) may be installed.  For
     // any other name — notably remotely attached capsules — evidence is
     // mandatory, or the reply could plant an unverifiable black hole.
-    auto principal = trust::Principal::deserialize(reply->principal);
+    auto principal = trust::Principal::deserialize(*picked.principal);
     if (!principal.ok() || principal->name() != reply->target) {
       net_.trace().record(pdu.trace_id, self_.name(), "verify",
                           "evidence_missing");
@@ -334,13 +430,14 @@ void Router::handle_lookup_reply(const wire::Pdu& pdu) {
       return;
     }
   }
-  const Name next_hop =
-      reply->attachment_router == self_.name() ? reply->target : reply->next_hop;
+  const Name next_hop = picked.attachment_router == self_.name()
+                            ? reply->target
+                            : picked.next_hop;
   if (next_hop != self_.name() && net_.adjacent(self_.name(), next_hop)) {
     fib_.upsert(reply->target, next_hop, expires_ns);
     fib_.publish();
     autosize_verify_cache();
-  } else if (reply->attachment_router == self_.name()) {
+  } else if (picked.attachment_router == self_.name()) {
     // The target was supposedly attached here but is not adjacent: stale.
     drop_waiting(drop_stale_route_, "stale_route");
     return;
@@ -545,6 +642,9 @@ void Router::handle_challenge_reply(const Name& from, const wire::Pdu& pdu) {
 
 void Router::neighbor_down(const Name& neighbor) {
   neighbor_down_events_.inc();
+  // A dead link is the hardest health signal there is: eject the hop so
+  // P2C route selection skips it until the probation window passes.
+  neighbor_health_.eject(neighbor, net_.sim().now().count());
   auto it = attached_via_.find(neighbor);
   if (it != attached_via_.end()) {
     for (const Name& target : it->second) {
@@ -573,6 +673,10 @@ void Router::neighbor_down(const Name& neighbor) {
 
 void Router::neighbor_up(const Name& neighbor) {
   neighbor_up_events_.inc();
+  // Link restored: credit a success so the hop re-earns healthy state
+  // through probation once its ejection window passes.
+  neighbor_health_.record_success(neighbor, net_.sim().now().count(),
+                                  /*latency_ns=*/0);
   GDP_LOG(kInfo, "router") << "link to " << neighbor.short_hex()
                            << " restored; awaiting re-advertisement";
 }

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "loadmgmt/health.hpp"
+#include "loadmgmt/retry_budget.hpp"
 #include "net/network.hpp"
 #include "router/fib.hpp"
 #include "router/glookup.hpp"
@@ -45,6 +47,14 @@ class Router : public net::PduHandler {
     std::size_t max_queued_per_target = 64;
     /// Periodic FIB / RtCert expiry sweep cadence (start_maintenance()).
     Duration sweep_interval = from_seconds(1);
+    /// Retry-budget gate on lookup retries (envoy-style): each fresh
+    /// lookup earns `retry_budget.ratio` tokens, each retry spends one,
+    /// so a fleet-wide retry storm can never amplify offered load by more
+    /// than the ratio.  Off (default) keeps the legacy fixed-attempt
+    /// backoff; exhaustion drops the waiting queue under
+    /// `drop.retry_budget_exhausted`.
+    bool use_retry_budget = false;
+    loadmgmt::RetryBudgetConfig retry_budget;
   };
 
   Router(net::Network& net, const crypto::PrivateKey& key, std::string label,
@@ -55,6 +65,20 @@ class Router : public net::PduHandler {
 
   /// Mutable policy access: adjust before traffic flows.
   MaintenanceConfig& maintenance() { return maintenance_; }
+
+  /// Arms the lookup retry budget with `cfg` (and flips use_retry_budget
+  /// on).  Call before traffic flows.
+  void configure_retry_budget(const loadmgmt::RetryBudgetConfig& cfg) {
+    maintenance_.use_retry_budget = true;
+    maintenance_.retry_budget = cfg;
+    lookup_retry_budget_ = loadmgmt::RetryBudget(cfg);
+  }
+  const loadmgmt::RetryBudget& lookup_retry_budget() const {
+    return lookup_retry_budget_;
+  }
+  /// Passive per-neighbor health (link flaps eject next hops; recovery
+  /// re-admits through probation).
+  loadmgmt::HealthTracker& neighbor_health() { return neighbor_health_; }
 
   const Name& name() const { return self_.name(); }
   const trust::Principal& principal() const { return self_; }
@@ -210,6 +234,8 @@ class Router : public net::PduHandler {
 
   MaintenanceConfig maintenance_;
   bool maintenance_running_ = false;
+  loadmgmt::RetryBudget lookup_retry_budget_;
+  loadmgmt::HealthTracker neighbor_health_;
 
   /// Authoritative routes + published immutable snapshots.  Control-plane
   /// handlers mutate and publish(); forwarding reads the snapshot only.
@@ -258,6 +284,10 @@ class Router : public net::PduHandler {
   telemetry::Counter& drop_queue_full_;
   telemetry::Counter& drop_lookup_timeout_;
   telemetry::Counter& drop_unsolicited_reply_;
+  telemetry::Counter& drop_retry_budget_;
+  telemetry::Counter& p2c_picks_;
+  telemetry::Counter& p2c_alternate_chosen_;
+  telemetry::Counter& load_reports_relayed_;
   telemetry::Counter& batch_accepted_;
   telemetry::Counter& batch_rejected_;
   telemetry::Counter& batch_bisections_;

@@ -53,12 +53,30 @@ CapsuleServer::CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
       batch_rejected_(net_.metrics().counter(metric_prefix_ + "batch.rejected")),
       batch_bisections_(
           net_.metrics().counter(metric_prefix_ + "batch.bisections")),
-      batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")) {
+      shed_bench_(net_.metrics().counter(metric_prefix_ + "shed.bench_data")),
+      shed_reads_(net_.metrics().counter(metric_prefix_ + "shed.reads")),
+      shed_appends_(net_.metrics().counter(metric_prefix_ + "shed.appends")),
+      ingest_enqueued_(
+          net_.metrics().counter(metric_prefix_ + "ingest.enqueued")),
+      ingest_processed_(
+          net_.metrics().counter(metric_prefix_ + "ingest.processed")),
+      ingest_high_water_(
+          net_.metrics().counter(metric_prefix_ + "ingest.high_water")),
+      load_reports_sent_(
+          net_.metrics().counter(metric_prefix_ + "load_reports.sent")),
+      batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")),
+      ingest_depth_(
+          net_.metrics().histogram(metric_prefix_ + "ingest.depth")) {
   batch_seed_ = net_.sim().rng().next_u64();
+  overload_ = loadmgmt::OverloadManager(options_.overload);
 }
 
 void CapsuleServer::publish_metrics() {
   auto& m = net_.metrics();
+  if (options_.ingest_service_time > Duration::zero()) {
+    m.counter(metric_prefix_ + "ingest.queue_depth").set(ingest_queue_.size());
+    ingest_high_water_.set(overload_.high_water());
+  }
   for (const Name& name : store_.hosted()) {
     const store::CapsuleStore* cs = store_.find(name);
     const std::string prefix = "store." + name.short_hex() + ".";
@@ -204,11 +222,166 @@ void CapsuleServer::send_summary_probe(const Name& capsule, const Name& peer) {
   send_pdu(peer, wire::MsgType::kSyncSummary, std::move(payload));
 }
 
+namespace {
+
+/// Data-plane ops that occupy the server under the ingest service model.
+/// Control traffic (acks, handshakes, sync bookkeeping) stays inline:
+/// delaying a quorum ack behind a read backlog would convert one
+/// overloaded replica into a fleet-wide durability stall.
+bool serviced_op(wire::MsgType type) {
+  switch (type) {
+    case wire::MsgType::kBenchData:
+    case wire::MsgType::kRead:
+    case wire::MsgType::kAppend:
+    case wire::MsgType::kSyncPush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+loadmgmt::DropPriority drop_priority_of(wire::MsgType type) {
+  switch (type) {
+    case wire::MsgType::kBenchData: return loadmgmt::DropPriority::kBench;
+    case wire::MsgType::kRead: return loadmgmt::DropPriority::kRead;
+    case wire::MsgType::kAppend: return loadmgmt::DropPriority::kWrite;
+    default: return loadmgmt::DropPriority::kCritical;
+  }
+}
+
+}  // namespace
+
 void CapsuleServer::handle_pdu(const Name& from, const wire::Pdu& pdu) {
   // Accounted before the dispatch switch: the kBenchData early-return
   // used to bypass per-server accounting entirely, making bench floods
   // invisible in stats dumps and traces.
   recv_pdus_.inc();
+  if (options_.ingest_service_time > Duration::zero() && serviced_op(pdu.type)) {
+    enqueue_ingest(from, pdu);
+    return;
+  }
+  dispatch_op(from, pdu);
+}
+
+void CapsuleServer::enqueue_ingest(const Name& from, const wire::Pdu& pdu) {
+  const loadmgmt::DropPriority priority = drop_priority_of(pdu.type);
+  overload_.update(ingest_queue_.size());
+  if (options_.shed_enabled && !overload_.admit(priority)) {
+    shed_op(pdu, priority);
+    maybe_report_shed_edge();
+    return;
+  }
+  ingest_queue_.push_back(QueuedOp{from, pdu});
+  ingest_enqueued_.inc();
+  ingest_depth_.record(ingest_queue_.size());
+  maybe_report_shed_edge();
+  if (!ingest_draining_) {
+    ingest_draining_ = true;
+    net_.sim().schedule(options_.ingest_service_time, [this] { drain_ingest(); });
+  }
+}
+
+void CapsuleServer::drain_ingest() {
+  if (ingest_queue_.empty()) {
+    ingest_draining_ = false;
+    return;
+  }
+  QueuedOp op = std::move(ingest_queue_.front());
+  ingest_queue_.pop_front();
+  ingest_processed_.inc();
+  dispatch_op(op.from, op.pdu);
+  overload_.update(ingest_queue_.size());
+  maybe_report_shed_edge();
+  if (ingest_queue_.empty()) {
+    ingest_draining_ = false;
+    return;
+  }
+  net_.sim().schedule(options_.ingest_service_time, [this] { drain_ingest(); });
+}
+
+void CapsuleServer::shed_op(const wire::Pdu& pdu,
+                            loadmgmt::DropPriority priority) {
+  switch (priority) {
+    case loadmgmt::DropPriority::kBench:
+      shed_bench_.inc();
+      net_.trace().record(pdu.trace_id, self_.name(), "drop", "shed_bench_data");
+      return;
+    case loadmgmt::DropPriority::kRead: {
+      shed_reads_.inc();
+      net_.trace().record(pdu.trace_id, self_.name(), "drop", "shed_read");
+      auto msg = wire::ReadMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;  // malformed and shed: nothing to answer
+      wire::ReadResponseMsg resp;
+      resp.capsule = msg->capsule;
+      resp.nonce = msg->nonce;
+      resp.ok = false;
+      resp.code = static_cast<std::uint16_t>(Errc::kUnavailable);
+      resp.error = std::string(errc_name(Errc::kUnavailable)) +
+                   ": read shed under overload";
+      authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
+                            resp.signed_body(), resp.auth,
+                            resp.server_principal, resp.delegation);
+      send_pdu(pdu.src, wire::MsgType::kReadResponse, resp.serialize(),
+               pdu.flow_id);
+      return;
+    }
+    case loadmgmt::DropPriority::kWrite: {
+      shed_appends_.inc();
+      net_.trace().record(pdu.trace_id, self_.name(), "drop", "shed_append");
+      auto msg = wire::AppendMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      PendingDurability pending;
+      pending.writer = pdu.src;
+      pending.capsule = msg->capsule;
+      pending.record_hash = msg->record.hash();
+      pending.seqno = msg->record.header.seqno;
+      pending.acks = 0;  // nothing persisted
+      pending.client_nonce = msg->nonce;
+      pending.session_pubkey = msg->session_pubkey;
+      send_append_ack(pending, false,
+                      std::string(errc_name(Errc::kUnavailable)) +
+                          ": append shed under overload");
+      return;
+    }
+    case loadmgmt::DropPriority::kCritical:
+      // Unreachable: admit() never rejects kCritical.
+      return;
+  }
+}
+
+void CapsuleServer::send_load_report() {
+  if (!attached()) return;
+  wire::LoadReportMsg msg;
+  msg.server = self_.name();
+  msg.queue_depth = static_cast<std::uint32_t>(ingest_queue_.size());
+  msg.shed_level = static_cast<std::uint32_t>(overload_.shed_level());
+  msg.expected_delay_ns = static_cast<std::uint64_t>(
+      ingest_queue_.size() * options_.ingest_service_time.count());
+  load_reports_sent_.inc();
+  send_pdu(router(), wire::MsgType::kLoadReport, msg.serialize());
+}
+
+void CapsuleServer::maybe_report_shed_edge() {
+  if (!load_reports_running_) return;
+  const int level = overload_.shed_level();
+  if (level == reported_shed_level_) return;
+  reported_shed_level_ = level;
+  send_load_report();
+}
+
+void CapsuleServer::start_load_reports() {
+  if (options_.load_report_interval <= Duration::zero()) return;
+  load_reports_running_ = true;
+  net_.sim().schedule(options_.load_report_interval, [this] {
+    if (!load_reports_running_) return;
+    overload_.update(ingest_queue_.size());
+    reported_shed_level_ = overload_.shed_level();
+    send_load_report();
+    start_load_reports();  // reschedules the next tick
+  });
+}
+
+void CapsuleServer::dispatch_op(const Name& from, const wire::Pdu& pdu) {
   switch (pdu.type) {
     case wire::MsgType::kCreateCapsule: handle_create(from, pdu); return;
     case wire::MsgType::kAppend: handle_append(pdu); return;
@@ -828,6 +1001,7 @@ void CapsuleServer::handle_read(const wire::Pdu& pdu) {
 
   auto fail = [&](Errc code, std::string why) {
     resp.ok = false;
+    resp.code = static_cast<std::uint16_t>(code);
     resp.error = std::string(errc_name(code)) + ": " + std::move(why);
     authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
                           resp.signed_body(), resp.auth, resp.server_principal,

@@ -16,6 +16,7 @@
 //     (the publish-subscribe native mode of access).
 #pragma once
 
+#include <deque>
 #include <filesystem>
 #include <optional>
 #include <set>
@@ -23,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "loadmgmt/overload.hpp"
 #include "router/endpoint.hpp"
 #include "store/capsule_store.hpp"
 
@@ -42,6 +44,21 @@ class CapsuleServer : public router::Endpoint {
     Duration durability_timeout = from_millis(2000);
     Duration advertisement_lifetime = from_seconds(24 * 3600);
     SyncMode sync_mode = SyncMode::kSummary;
+    /// Ingest service model: when > 0, each data-plane op (append, read,
+    /// bench sink, durability sync-push) occupies the server for this
+    /// long and ops drain through a FIFO — the queue is where overload
+    /// becomes visible.  Zero keeps the legacy instantaneous processing.
+    Duration ingest_service_time = Duration::zero();
+    /// Watermarks for overload shedding (active only with the service
+    /// model on).
+    loadmgmt::OverloadConfig overload;
+    /// Master switch for shedding.  Off = the ingest queue grows without
+    /// bound and every admitted op eventually runs — the unmanaged
+    /// baseline arm of the loadmgmt ablation.
+    bool shed_enabled = true;
+    /// Cadence of kLoadReport pressure reports to the attachment router
+    /// (start_load_reports()); shed-level changes also report eagerly.
+    Duration load_report_interval = from_millis(100);
   };
 
   CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
@@ -66,6 +83,18 @@ class CapsuleServer : public router::Endpoint {
   SyncMode sync_mode() const { return options_.sync_mode; }
   /// Benches flip a server between summary and flood sync between arms.
   void set_sync_mode(SyncMode mode) { options_.sync_mode = mode; }
+
+  /// Starts the periodic load-report loop toward the attachment router
+  /// (no-op while the ingest service model is off).
+  void start_load_reports();
+  void stop_load_reports() { load_reports_running_ = false; }
+  /// Chaos hook: changes the per-op service time mid-run (a replica
+  /// degrading under the fabric's feet).
+  void set_ingest_service_time(Duration d) {
+    options_.ingest_service_time = d;
+  }
+  const loadmgmt::OverloadManager& overload() const { return overload_; }
+  std::size_t ingest_depth() const { return ingest_queue_.size(); }
 
   const store::ServerStore& storage() const { return store_; }
   /// Bench/test hook: persists `record` directly into the local replica —
@@ -137,6 +166,26 @@ class CapsuleServer : public router::Endpoint {
   /// Stall retries before the conversation is abandoned and re-probed.
   static constexpr int kMaxRetries = 16;
 
+  /// One queued unit of serviced ingest work.
+  struct QueuedOp {
+    Name from;
+    wire::Pdu pdu;
+  };
+
+  /// The pre-PR-9 dispatch switch: runs one op to completion, now.
+  void dispatch_op(const Name& from, const wire::Pdu& pdu);
+  /// Admission control for the serviced ingest path: classify, shed or
+  /// enqueue, kick the drain timer.
+  void enqueue_ingest(const Name& from, const wire::Pdu& pdu);
+  void drain_ingest();
+  /// Sheds one op at admission: named drop-reason counter + trace span,
+  /// and a fail-fast response for reads/appends so the client does not
+  /// burn its full timeout discovering the overload.
+  void shed_op(const wire::Pdu& pdu, loadmgmt::DropPriority priority);
+  void send_load_report();
+  /// Reports eagerly when the shed level moves (edge-triggered).
+  void maybe_report_shed_edge();
+
   void handle_create(const Name& from, const wire::Pdu& pdu);
   void handle_append(const wire::Pdu& pdu);
   void handle_read(const wire::Pdu& pdu);
@@ -183,6 +232,11 @@ class CapsuleServer : public router::Endpoint {
   /// never mistaken for a replica's durability propagation (and vice versa).
   std::uint64_t next_sync_flow_ = (std::uint64_t{1} << 48) + 1;
   bool anti_entropy_running_ = false;
+  std::deque<QueuedOp> ingest_queue_;
+  bool ingest_draining_ = false;
+  loadmgmt::OverloadManager overload_;
+  bool load_reports_running_ = false;
+  int reported_shed_level_ = 0;
   /// Seeds the batch-verification coefficient stream; drawn from the
   /// simulation RNG so identical runs replay identical coefficients.
   std::uint64_t batch_seed_ = 0;
@@ -206,7 +260,15 @@ class CapsuleServer : public router::Endpoint {
   telemetry::Counter& batch_accepted_;
   telemetry::Counter& batch_rejected_;
   telemetry::Counter& batch_bisections_;
+  telemetry::Counter& shed_bench_;
+  telemetry::Counter& shed_reads_;
+  telemetry::Counter& shed_appends_;
+  telemetry::Counter& ingest_enqueued_;
+  telemetry::Counter& ingest_processed_;
+  telemetry::Counter& ingest_high_water_;
+  telemetry::Counter& load_reports_sent_;
   telemetry::Histogram& batch_size_;
+  telemetry::Histogram& ingest_depth_;
 };
 
 }  // namespace gdp::server

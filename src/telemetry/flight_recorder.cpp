@@ -23,7 +23,8 @@ static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
               "kEventNames must cover every FlightEventType");
 
 constexpr const char* kDropNames[] = {
-    "ttl", "no_route", "expired", "handoff_shutdown", "shutdown_drain",
+    "ttl",            "no_route",       "expired",
+    "handoff_shutdown", "shutdown_drain", "shed_bench",
 };
 static_assert(sizeof(kDropNames) / sizeof(kDropNames[0]) ==
                   static_cast<std::size_t>(FlightDropReason::kCount),

@@ -58,6 +58,7 @@ enum class FlightDropReason : std::uint8_t {
   kExpired,
   kHandoffShutdown,
   kShutdownDrain,
+  kShedBench,  ///< bench traffic shed at ingress watermark (overload)
   kCount
 };
 

@@ -264,6 +264,7 @@ Bytes ReadResponseMsg::signed_body() const {
   Bytes out = to_bytes("gdp.read-resp.v1");
   put_name(out, capsule);
   out.push_back(ok ? 1 : 0);
+  put_fixed32(out, code);
   put_string(out, error);
   put_length_prefixed(out, proof);
   put_length_prefixed(out, heartbeat);
@@ -288,6 +289,7 @@ Result<ReadResponseMsg> ReadResponseMsg::deserialize(BytesView b) {
   ReadResponseMsg m;
   auto capsule_name = get_name(r);
   auto ok_byte = r.get_bytes(1);
+  auto code = r.get_fixed32();
   auto error = get_string(r);
   auto proof = r.get_length_prefixed();
   auto heartbeat = r.get_length_prefixed();
@@ -295,12 +297,13 @@ Result<ReadResponseMsg> ReadResponseMsg::deserialize(BytesView b) {
   auto principal = r.get_length_prefixed();
   auto delegation = r.get_length_prefixed();
   auto auth = get_auth(r);
-  if (!capsule_name || !ok_byte || !error || !proof || !heartbeat || !nonce ||
-      !principal || !delegation || !auth || !r.empty()) {
+  if (!capsule_name || !ok_byte || !code || !error || !proof || !heartbeat ||
+      !nonce || !principal || !delegation || !auth || !r.empty()) {
     return truncated("ReadResponseMsg");
   }
   m.capsule = *capsule_name;
   m.ok = (*ok_byte)[0] != 0;
+  m.code = static_cast<std::uint16_t>(*code);
   m.error = std::move(*error);
   m.proof = std::move(*proof);
   m.heartbeat = std::move(*heartbeat);
@@ -640,6 +643,15 @@ Bytes LookupReplyMsg::serialize() const {
   put_fixed64(out, static_cast<std::uint64_t>(expires_ns));
   put_length_prefixed(out, evidence);
   put_length_prefixed(out, principal);
+  put_fixed32(out, static_cast<std::uint32_t>(alternates.size()));
+  for (const ReplicaOption& opt : alternates) {
+    put_name(out, opt.attachment_router);
+    put_name(out, opt.next_hop);
+    put_fixed32(out, opt.cost_us);
+    put_fixed64(out, static_cast<std::uint64_t>(opt.expires_ns));
+    put_length_prefixed(out, opt.evidence);
+    put_length_prefixed(out, opt.principal);
+  }
   return out;
 }
 
@@ -654,10 +666,33 @@ Result<LookupReplyMsg> LookupReplyMsg::deserialize(BytesView b) {
   auto expires = r.get_fixed64();
   auto evidence = r.get_length_prefixed();
   auto principal = r.get_length_prefixed();
+  auto alt_count = r.get_fixed32();
   if (!found_byte || !target || !attachment || !next_hop || !cost || !nonce ||
-      !expires || !evidence || !principal || !r.empty()) {
+      !expires || !evidence || !principal || !alt_count) {
     return truncated("LookupReplyMsg");
   }
+  std::vector<LookupReplyMsg::ReplicaOption> alternates;
+  for (std::uint32_t i = 0; i < *alt_count; ++i) {
+    auto alt_router = get_name(r);
+    auto alt_hop = get_name(r);
+    auto alt_cost = r.get_fixed32();
+    auto alt_expires = r.get_fixed64();
+    auto alt_evidence = r.get_length_prefixed();
+    auto alt_principal = r.get_length_prefixed();
+    if (!alt_router || !alt_hop || !alt_cost || !alt_expires || !alt_evidence ||
+        !alt_principal) {
+      return truncated("LookupReplyMsg alternate");
+    }
+    LookupReplyMsg::ReplicaOption opt;
+    opt.attachment_router = *alt_router;
+    opt.next_hop = *alt_hop;
+    opt.cost_us = *alt_cost;
+    opt.expires_ns = static_cast<std::int64_t>(*alt_expires);
+    opt.evidence = std::move(*alt_evidence);
+    opt.principal = std::move(*alt_principal);
+    alternates.push_back(std::move(opt));
+  }
+  if (!r.empty()) return truncated("LookupReplyMsg");
   LookupReplyMsg m;
   m.found = (*found_byte)[0] != 0;
   m.target = *target;
@@ -668,6 +703,33 @@ Result<LookupReplyMsg> LookupReplyMsg::deserialize(BytesView b) {
   m.expires_ns = static_cast<std::int64_t>(*expires);
   m.evidence = std::move(*evidence);
   m.principal = std::move(*principal);
+  m.alternates = std::move(alternates);
+  return m;
+}
+
+Bytes LoadReportMsg::serialize() const {
+  Bytes out;
+  put_name(out, server);
+  put_fixed32(out, queue_depth);
+  put_fixed32(out, shed_level);
+  put_fixed64(out, expected_delay_ns);
+  return out;
+}
+
+Result<LoadReportMsg> LoadReportMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto server = get_name(r);
+  auto depth = r.get_fixed32();
+  auto level = r.get_fixed32();
+  auto delay = r.get_fixed64();
+  if (!server || !depth || !level || !delay || !r.empty()) {
+    return truncated("LoadReportMsg");
+  }
+  LoadReportMsg m;
+  m.server = *server;
+  m.queue_depth = *depth;
+  m.shed_level = *level;
+  m.expected_delay_ns = *delay;
   return m;
 }
 

@@ -103,6 +103,10 @@ struct AppendAckMsg {
 struct ReadResponseMsg {
   Name capsule;
   bool ok = false;
+  /// Errc as integer when !ok (0 = unspecified / legacy).  Signed along
+  /// with the body so an on-path attacker cannot rewrite, say, a
+  /// permission denial into a retryable overload shed.
+  std::uint16_t code = 0;
   std::string error;
   Bytes proof;      ///< serialized capsule::RangeProof when ok
   Bytes heartbeat;  ///< serialized capsule::Heartbeat when ok
@@ -263,6 +267,19 @@ struct LookupMsg {
 };
 
 struct LookupReplyMsg {
+  /// One ranked alternate replica for the same target.  Each option is
+  /// independently verifiable (carries its own evidence + principal) so
+  /// the querying router can pick any of them without trusting the
+  /// registry's ordering.
+  struct ReplicaOption {
+    Name attachment_router;
+    Name next_hop;
+    std::uint32_t cost_us = 0;
+    std::int64_t expires_ns = 0;
+    Bytes evidence;
+    Bytes principal;
+  };
+
   bool found = false;
   Name target;
   Name attachment_router;  ///< router the target is attached to
@@ -279,9 +296,28 @@ struct LookupReplyMsg {
   /// such as clients) and the advertiser's principal.
   Bytes evidence;
   Bytes principal;
+  /// Load-aware selection: replicas ranked worse than the primary, best
+  /// first.  Empty when selection is disabled or the target has a single
+  /// eligible replica.
+  std::vector<ReplicaOption> alternates;
 
   Bytes serialize() const;
   static Result<LookupReplyMsg> deserialize(BytesView b);
+};
+
+/// Server -> attachment router -> GLookupService: periodic (and
+/// shed-edge-triggered) ingest-pressure report.  Feeds the lookup
+/// service's health tracker so replica ranking reflects live load, and
+/// the router's own neighbor health.
+struct LoadReportMsg {
+  Name server;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t shed_level = 0;  ///< 0 none, 1 bench, 2 +reads, 3 +writes
+  /// Expected per-op queueing delay: depth x EWMA service time.
+  std::uint64_t expected_delay_ns = 0;
+
+  Bytes serialize() const;
+  static Result<LoadReportMsg> deserialize(BytesView b);
 };
 
 }  // namespace gdp::wire

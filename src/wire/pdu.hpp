@@ -48,6 +48,9 @@ enum class MsgType : std::uint16_t {
   kSyncSummary = 20,
   kSyncDescend = 21,
   kSyncRange = 22,
+  // Load management (server -> router -> GLookupService): periodic
+  // ingest-pressure reports feeding health tracking and replica ranking.
+  kLoadReport = 23,
 };
 
 struct Pdu {
