@@ -1,0 +1,214 @@
+// Ablation A8 — contended compare-and-append on one CapsuleFS directory
+// capsule, the experiment behind BENCH_capsulefs.json.
+//
+// N credentialed writers (N in {1, 8, 64, 256}) hammer ONE shared
+// multi-writer directory capsule replicated on two servers, every record
+// landing through the SCL compare-and-append path.  Each round all
+// writers with work left race a CAS against the tip they last saw; the
+// replicas accept whichever arrives while the tip still matches and nack
+// the rest with the new tip, so losers rebase and retry the next round.
+// There is no coordinator anywhere in the write path.
+//
+// Reported per writer count: committed appends, lost races (client and
+// replica side), conflict rate, sim-time throughput, and the converged
+// tree digest.  Gates (enforced in --smoke too):
+//   * every writer count converges: all replicas replay to one identical
+//     tree digest, zero abandoned ops;
+//   * conflict rate grows with contention (64 writers lose more races
+//     than 1 writer, which loses none);
+//   * determinism: rerunning the 64-writer config with the same seed
+//     reproduces the digest byte for byte.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "caapi/fsload.hpp"
+#include "harness/scenario.hpp"
+
+using namespace gdp;
+using caapi::FsLoadOptions;
+using caapi::GdpFilesystem;
+using caapi::Mount;
+using harness::Scenario;
+
+namespace {
+
+struct CellResult {
+  std::size_t writers = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t conflicts = 0;        // client-side lost races
+  std::uint64_t failures = 0;
+  std::uint64_t srv_cas_win = 0;      // replica-side accept/nack counters
+  std::uint64_t srv_cas_conflict = 0;
+  double conflict_rate = 0;           // conflicts / (committed + conflicts)
+  double sim_s = 0;                   // hammer phase, excludes anti-entropy
+  double throughput_ops_s = 0;
+  bool converged = false;
+  std::string digest;
+};
+
+CellResult run_cell(std::size_t writers, std::size_t ops_per_writer,
+                    std::uint64_t seed) {
+  CellResult out;
+  out.writers = writers;
+  out.ops = static_cast<std::uint64_t>(writers) * ops_per_writer;
+
+  Scenario s(seed, "capsulefs-" + std::to_string(writers));
+  auto* g = s.add_domain("g", nullptr);
+  auto* r1 = s.add_router("r1", g);
+  auto* r2 = s.add_router("r2", g);
+  s.link_routers(r1, r2, net::LinkParams::wan(5));
+  auto* s1 = s.add_server("s1", r1);
+  auto* s2 = s.add_server("s2", r2);
+  std::vector<client::GdpClient*> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(s.add_client("c" + std::to_string(i), i % 2 ? r2 : r1));
+  }
+  s.attach_all();
+
+  auto fs = GdpFilesystem::mount(
+      Mount::create(s, *clients[0], {s1, s2}, "bench"));
+  if (!fs.ok()) std::abort();
+
+  FsLoadOptions options;
+  options.writers = writers;
+  options.ops_per_writer = ops_per_writer;
+  options.concurrency = GdpFilesystem::Concurrency::kCas;
+  // Worst case roughly one CAS win lands per replica per round.
+  options.max_rounds = static_cast<std::uint32_t>(out.ops) + 64;
+  options.final_settle = from_seconds(20);
+
+  const TimePoint t0 = s.sim().now();
+  auto report = caapi::run_fs_load(s, *fs, {s1, s2}, clients, options);
+  const TimePoint t1 = s.sim().now();
+  if (!report.ok()) std::abort();
+
+  out.committed = report->committed;
+  out.conflicts = report->conflicts;
+  out.failures = report->failures;
+  out.conflict_rate =
+      out.committed + out.conflicts > 0
+          ? static_cast<double>(out.conflicts) /
+                static_cast<double>(out.committed + out.conflicts)
+          : 0;
+  // The convergence phase is a fixed anti-entropy window; throughput is
+  // committed appends over the contended hammer phase alone.
+  out.sim_s = static_cast<double>((t1 - t0 - options.final_settle).count()) / 1e9;
+  out.throughput_ops_s =
+      out.sim_s > 0 ? static_cast<double>(out.committed) / out.sim_s : 0;
+  out.converged = report->converged &&
+                  report->client_digest == report->replica_digests[0];
+  out.digest = report->client_digest.hex();
+
+  auto& m = s.net().metrics();
+  out.srv_cas_win = m.counter("server.s1.scl.cas.win").value() +
+                    m.counter("server.s2.scl.cas.win").value();
+  out.srv_cas_conflict = m.counter("server.s1.scl.cas.conflict").value() +
+                         m.counter("server.s2.scl.cas.conflict").value();
+  return out;
+}
+
+void print_cell(const CellResult& r) {
+  std::printf("%8zu %8llu %10llu %10llu %9llu %9.3f %12.1f %10.2f %6s %.8s\n",
+              r.writers, static_cast<unsigned long long>(r.ops),
+              static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.conflicts),
+              static_cast<unsigned long long>(r.failures), r.conflict_rate,
+              r.throughput_ops_s, r.sim_s, r.converged ? "yes" : "NO",
+              r.digest.c_str());
+}
+
+void print_cell_json(FILE* f, const CellResult& r, bool last) {
+  std::fprintf(
+      f,
+      "    {\"writers\": %zu, \"ops\": %llu, \"committed\": %llu, "
+      "\"conflicts\": %llu, \"failures\": %llu, "
+      "\"server_cas_wins\": %llu, \"server_cas_conflicts\": %llu, "
+      "\"conflict_rate\": %.4f, \"throughput_ops_per_s\": %.1f, "
+      "\"sim_s\": %.3f, \"converged\": %s, \"tree_digest\": \"%s\"}%s\n",
+      r.writers, static_cast<unsigned long long>(r.ops),
+      static_cast<unsigned long long>(r.committed),
+      static_cast<unsigned long long>(r.conflicts),
+      static_cast<unsigned long long>(r.failures),
+      static_cast<unsigned long long>(r.srv_cas_win),
+      static_cast<unsigned long long>(r.srv_cas_conflict), r.conflict_rate,
+      r.throughput_ops_s, r.sim_s, r.converged ? "true" : "false",
+      r.digest.c_str(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --smoke: one op per writer — the same contention structure, enough
+  // for the convergence, monotonicity and determinism gates to engage.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t ops_per_writer = smoke ? 1 : 2;
+  const std::size_t writer_counts[] = {1, 8, 64, 256};
+
+  std::printf("# Ablation A8: contended CAS on one CapsuleFS directory capsule\n");
+  std::printf("# 2 replicas, 8 network clients, %zu op(s) per writer, "
+              "no coordinator\n", ops_per_writer);
+  std::printf("%8s %8s %10s %10s %9s %9s %12s %10s %6s %s\n", "writers",
+              "ops", "committed", "conflicts", "failures", "conf_rate",
+              "commits/s", "sim_s", "conv", "digest");
+
+  std::vector<CellResult> cells;
+  for (std::size_t w : writer_counts) {
+    cells.push_back(run_cell(w, ops_per_writer, 42));
+    print_cell(cells.back());
+  }
+
+  // Determinism gate: same seed, same digest, byte for byte.
+  const CellResult rerun = run_cell(64, ops_per_writer, 42);
+  const CellResult& original = cells[2];
+  const bool deterministic = rerun.digest == original.digest;
+  std::printf("# 64-writer rerun digest %s (%s)\n", rerun.digest.substr(0, 8).c_str(),
+              deterministic ? "deterministic" : "MISMATCH");
+
+  if (FILE* f = std::fopen("BENCH_capsulefs.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"ops_per_writer\": %zu,\n  \"replicas\": 2,\n"
+                 "  \"mode\": \"scl_compare_and_append\",\n  \"cells\": [\n",
+                 ops_per_writer);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      print_cell_json(f, cells[i], i + 1 == cells.size());
+    }
+    std::fprintf(f,
+                 "  ],\n  \"rerun_writers\": 64,\n"
+                 "  \"rerun_digest_matches\": %s\n}\n",
+                 deterministic ? "true" : "false");
+    std::fclose(f);
+    std::printf("# wrote BENCH_capsulefs.json\n");
+  }
+
+  // ---- Gates (ISSUE acceptance) ----------------------------------------
+  int rc = 0;
+  for (const CellResult& r : cells) {
+    if (!r.converged || r.failures != 0 || r.committed != r.ops) {
+      std::fprintf(stderr,
+                   "%zu writers: converged=%d failures=%llu committed=%llu/%llu\n",
+                   r.writers, r.converged,
+                   static_cast<unsigned long long>(r.failures),
+                   static_cast<unsigned long long>(r.committed),
+                   static_cast<unsigned long long>(r.ops));
+      rc = 1;
+    }
+  }
+  // Contention must actually contend, and monotonically so.
+  if (cells[0].conflicts != 0) {
+    std::fprintf(stderr, "single writer lost a race against itself\n");
+    rc = 1;
+  }
+  if (cells[2].conflict_rate <= cells[1].conflict_rate ||
+      cells[1].conflicts == 0) {
+    std::fprintf(stderr, "conflict rate not increasing with writer count\n");
+    rc = 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "64-writer rerun digest mismatch\n");
+    rc = 1;
+  }
+  return rc;
+}

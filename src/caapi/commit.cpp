@@ -19,6 +19,21 @@ CommitService::CommitService(harness::Scenario& scenario,
       [this](const Name& from, const wire::Pdu& pdu) { return on_app_pdu(from, pdu); });
 }
 
+Result<std::unique_ptr<CommitService>> CommitService::mount(const Mount& m) {
+  if (!m.creates()) {
+    return make_error(Errc::kInvalidArgument,
+                      "a commit service creates its capsule; producers talk "
+                      "to it by name, not by mounting");
+  }
+  harness::CapsuleSetup setup =
+      harness::make_capsule(m.scenario().key_rng(), "commit:" + m.label());
+  GDP_RETURN_IF_ERROR(
+      harness::place_capsule(m.scenario(), setup, m.client(), m.servers()));
+  return std::make_unique<CommitService>(m.scenario(), m.client(),
+                                         std::move(setup),
+                                         m.options().required_acks);
+}
+
 bool CommitService::on_app_pdu(const Name& /*from*/, const wire::Pdu& pdu) {
   if (pdu.type != wire::MsgType::kProposal) return false;
   // Serialize: stamp the proposer, append in arrival order.

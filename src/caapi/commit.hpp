@@ -12,6 +12,9 @@
 // answers with the assigned seqno.
 #pragma once
 
+#include <memory>
+
+#include "caapi/mount.hpp"
 #include "client/client.hpp"
 #include "harness/scenario.hpp"
 
@@ -19,6 +22,11 @@ namespace gdp::caapi {
 
 class CommitService {
  public:
+  /// Shared CAAPI entry point (create-new only: the service is the
+  /// capsule's single writer).  Returns a stable-address handle because
+  /// the constructor registers `this` as the client's app handler.
+  static Result<std::unique_ptr<CommitService>> mount(const Mount& m);
+
   /// `service_client` is the GDP client acting as the service's network
   /// identity; the service installs itself as its app handler.
   CommitService(harness::Scenario& scenario, client::GdpClient& service_client,

@@ -1,0 +1,179 @@
+#include "caapi/fsload.hpp"
+
+#include <algorithm>
+
+#include "capsule/strategy.hpp"
+
+namespace gdp::caapi {
+
+using client::await;
+
+namespace {
+
+/// One branch writer's identity and remaining work.
+struct LoadWriter {
+  capsule::WriterCredential credential;
+  capsule::Writer writer;
+  client::GdpClient* client = nullptr;
+  std::size_t next_op = 0;  ///< index of the next DirRecord to land
+};
+
+/// The k-th directory mutation of writer i: a mkdir in the shared tree,
+/// with a set-attr ride-along every other op so replay exercises
+/// non-idempotent ordering too.
+DirRecord op_record(std::size_t writer, std::size_t k) {
+  DirRecord rec;
+  if (k % 2 == 1) {
+    rec.type = DirRecord::Type::kSetAttr;
+    rec.path = "load/w" + std::to_string(writer) + "/d0";
+    rec.target = "gen-" + std::to_string(k);
+  } else {
+    rec.type = DirRecord::Type::kMkdir;
+    rec.path = "load/w" + std::to_string(writer) + "/d" + std::to_string(k);
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<FsLoadReport> run_fs_load(harness::Scenario& scenario, GdpFilesystem& owner,
+                                 std::vector<server::CapsuleServer*> servers,
+                                 std::vector<client::GdpClient*> clients,
+                                 FsLoadOptions options) {
+  if (clients.empty() || servers.empty() || options.writers == 0) {
+    return make_error(Errc::kInvalidArgument, "fsload needs clients and servers");
+  }
+  const capsule::Metadata& metadata = owner.directory_metadata();
+
+  // Credential every writer off the owner; each gets its own branch key
+  // and chains records with its own chain-strategy writer.
+  std::vector<LoadWriter> writers;
+  writers.reserve(options.writers);
+  for (std::size_t i = 0; i < options.writers; ++i) {
+    crypto::PrivateKey key = crypto::PrivateKey::generate(scenario.key_rng());
+    GDP_ASSIGN_OR_RETURN(
+        capsule::WriterCredential credential,
+        owner.grant_writer(key.public_key(), "w" + std::to_string(i)));
+    writers.push_back(LoadWriter{
+        std::move(credential),
+        capsule::Writer(metadata, key, capsule::strategy_from_id("chain")),
+        clients[i % clients.size()]});
+  }
+
+  FsLoadReport report;
+
+  if (options.concurrency == GdpFilesystem::Concurrency::kBlind) {
+    // Every writer extends its own branch; resend anything unacked.
+    struct Pending {
+      std::size_t writer;
+      capsule::Record record;
+    };
+    std::vector<Pending> pending;
+    for (std::size_t i = 0; i < writers.size(); ++i) {
+      for (std::size_t k = 0; k < options.ops_per_writer; ++k) {
+        Bytes envelope = capsule::wrap_mw_payload(
+            writers[i].credential, op_record(i, k).serialize());
+        pending.push_back(Pending{
+            i, writers[i].writer.append(envelope,
+                                        scenario.sim().now().count())});
+      }
+    }
+    for (std::uint32_t round = 0; round < options.max_rounds && !pending.empty();
+         ++round) {
+      if (options.on_round) options.on_round(round);
+      std::vector<client::OpPtr<client::AppendOutcome>> ops;
+      ops.reserve(pending.size());
+      for (const Pending& p : pending) {
+        ops.push_back(writers[p.writer].client->append_record(
+            metadata, p.record, options.required_acks));
+      }
+      scenario.settle();
+      std::vector<Pending> next;
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        auto outcome = await(scenario.sim(), ops[j]);
+        if (outcome.ok()) {
+          ++report.committed;
+        } else {
+          next.push_back(std::move(pending[j]));  // resend next round
+        }
+      }
+      pending = std::move(next);
+    }
+    report.failures = pending.size();
+  } else {
+    // CAS rounds: every writer with work left races one record per round;
+    // losers adopt the nacked tip and re-enter the next round.
+    for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+      struct InFlight {
+        std::size_t writer;
+        std::uint64_t base_seqno;
+        Name base_hash;
+        client::OpPtr<client::CasOutcome> op;
+      };
+      std::vector<InFlight> inflight;
+      for (std::size_t i = 0; i < writers.size(); ++i) {
+        LoadWriter& w = writers[i];
+        if (w.next_op >= options.ops_per_writer) continue;
+        Bytes envelope = capsule::wrap_mw_payload(
+            w.credential, op_record(i, w.next_op).serialize());
+        const std::uint64_t base_seqno = w.writer.next_seqno() - 1;
+        const Name base_hash = w.writer.tip_hash();
+        capsule::Record record =
+            w.writer.append(envelope, scenario.sim().now().count());
+        inflight.push_back(InFlight{
+            i, base_seqno, base_hash,
+            w.client->cond_append(metadata, record, base_seqno, base_hash,
+                                  options.required_acks)});
+      }
+      if (inflight.empty()) break;
+      if (options.on_round) options.on_round(round);
+      scenario.settle();
+      for (InFlight& f : inflight) {
+        LoadWriter& w = writers[f.writer];
+        auto outcome = await(scenario.sim(), f.op);
+        if (!outcome.ok()) {
+          // Timed out / shed: roll the local chain back to the base tip
+          // and retry.  At-least-once — if the append actually landed,
+          // the retried record is a semantically idempotent duplicate.
+          (void)w.writer.rebase(f.base_seqno, f.base_hash);
+          continue;
+        }
+        if (outcome->won) {
+          ++report.committed;
+          ++w.next_op;
+        } else {
+          ++report.conflicts;
+          GDP_RETURN_IF_ERROR(
+              w.writer.rebase(outcome->tip_seqno, outcome->tip_hash));
+        }
+      }
+    }
+    for (const LoadWriter& w : writers) {
+      report.failures += options.ops_per_writer - w.next_op;
+    }
+  }
+
+  // Let anti-entropy finish healing flap-era divergence, then demand a
+  // byte-identical replayed tree on every replica.
+  scenario.settle();
+  scenario.settle_for(options.final_settle);
+  scenario.settle();
+  for (server::CapsuleServer* server : servers) {
+    const store::CapsuleStore* cs = server->storage().find(metadata.name());
+    if (cs == nullptr) continue;  // replica never hosted the capsule
+    GDP_ASSIGN_OR_RETURN(
+        Name digest,
+        GdpFilesystem::replay_digest(metadata, cs->state().export_records()));
+    report.replica_digests.push_back(digest);
+  }
+  report.converged =
+      !report.replica_digests.empty() &&
+      std::all_of(report.replica_digests.begin(), report.replica_digests.end(),
+                  [&](const Name& d) { return d == report.replica_digests[0]; });
+
+  GDP_RETURN_IF_ERROR(owner.refresh());
+  report.client_digest = owner.tree_digest();
+  return report;
+}
+
+}  // namespace gdp::caapi

@@ -1,0 +1,55 @@
+// Multi-writer CapsuleFS workload driver.
+//
+// The acceptance workload for the SCL/CapsuleFS layer: N credentialed
+// branch writers (multiplexed over a handful of network clients) hammer
+// ONE shared directory capsule — through link flaps injected by the
+// caller — and every replica must converge to a byte-identical tree
+// digest, with no coordinator anywhere in the write path.
+//
+// Two write shapes, matching GdpFilesystem::Concurrency:
+//  * kCas — every record lands through SCL compare-and-append; history
+//    is linear, losers rebase and retry round by round.
+//  * kBlind — every writer appends to its own branch unconditionally;
+//    replicas merge branches at replay.  At-least-once: a timed-out
+//    append is resent, which is safe because the record is content-
+//    addressed (a duplicate is the same record).
+#pragma once
+
+#include <functional>
+
+#include "caapi/fs.hpp"
+
+namespace gdp::caapi {
+
+struct FsLoadOptions {
+  std::size_t writers = 128;        ///< credentialed branch writers
+  std::size_t ops_per_writer = 3;   ///< directory records each writer lands
+  GdpFilesystem::Concurrency concurrency = GdpFilesystem::Concurrency::kBlind;
+  std::uint32_t required_acks = 1;
+  /// Issue/settle rounds before giving up on stragglers.
+  std::uint32_t max_rounds = 64;
+  /// Anti-entropy window before the convergence check.
+  Duration final_settle = from_seconds(10);
+  /// Chaos hook, called once per issue round — the test injects link
+  /// flaps here so the driver stays chaos-agnostic.
+  std::function<void(std::size_t round)> on_round;
+};
+
+struct FsLoadReport {
+  std::uint64_t committed = 0;  ///< records acknowledged by a replica
+  std::uint64_t conflicts = 0;  ///< CAS races lost (kCas only)
+  std::uint64_t failures = 0;   ///< ops abandoned after max_rounds
+  Name client_digest;           ///< owner's read-path tree digest
+  std::vector<Name> replica_digests;  ///< per-server replayed digests
+  bool converged = false;  ///< all replica digests identical & non-empty set
+};
+
+/// Runs the workload against `owner`'s directory capsule.  `clients` are
+/// the network endpoints the writers multiplex over (writer i uses
+/// clients[i % clients.size()]).
+Result<FsLoadReport> run_fs_load(harness::Scenario& scenario, GdpFilesystem& owner,
+                                 std::vector<server::CapsuleServer*> servers,
+                                 std::vector<client::GdpClient*> clients,
+                                 FsLoadOptions options);
+
+}  // namespace gdp::caapi

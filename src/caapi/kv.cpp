@@ -14,12 +14,28 @@ constexpr std::uint8_t kCheckpoint = 3;
 
 GdpKvStore::GdpKvStore(harness::Scenario& scenario, client::GdpClient& client,
                        Options options, harness::CapsuleSetup setup,
-                       capsule::Writer writer)
+                       std::optional<capsule::Writer> writer)
     : scenario_(scenario),
       client_(client),
       options_(options),
       setup_(std::move(setup)),
       writer_(std::move(writer)) {}
+
+Result<GdpKvStore> GdpKvStore::mount(const Mount& m) {
+  Options options;
+  options.checkpoint_interval = m.options().checkpoint_interval;
+  options.required_acks = m.options().required_acks;
+  if (m.creates()) {
+    return create(m.scenario(), m.client(), m.servers(), m.label(), options);
+  }
+  // Open-existing: a read-only recovered view (the capsule is
+  // strict-single-writer; only the creating mount holds its writer key).
+  harness::CapsuleSetup setup{nullptr, nullptr, m.existing(), "chain"};
+  GdpKvStore store(m.scenario(), m.client(), options, std::move(setup),
+                   std::nullopt);
+  GDP_RETURN_IF_ERROR(store.recover(m.existing()));
+  return store;
+}
 
 Result<GdpKvStore> GdpKvStore::create(harness::Scenario& scenario,
                                       client::GdpClient& client,
@@ -37,7 +53,10 @@ Result<GdpKvStore> GdpKvStore::create(harness::Scenario& scenario,
 }
 
 Status GdpKvStore::append_op(Bytes payload) {
-  auto op = client_.append(writer_, payload, options_.required_acks);
+  if (!writer_.has_value()) {
+    return make_error(Errc::kPermissionDenied, "read-only kv mount");
+  }
+  auto op = client_.append(*writer_, payload, options_.required_acks);
   GDP_ASSIGN_OR_RETURN(client::AppendOutcome outcome, await(scenario_.sim(), op));
   (void)outcome;
   return ok_status();

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "caapi/mount.hpp"
 #include "client/client.hpp"
 #include "harness/scenario.hpp"
 
@@ -26,6 +27,13 @@ class GdpKvStore {
     std::uint32_t required_acks = 1;
   };
 
+  /// Shared CAAPI entry point.  Create-new mints keys and places a fresh
+  /// kv capsule; open-existing attaches a *read-only* recovered view of
+  /// another writer's capsule (puts/dels fail with kPermissionDenied —
+  /// the kv capsule is strict-single-writer).
+  static Result<GdpKvStore> mount(const Mount& m);
+
+  /// Deprecated shims over mount() — the pre-Mount entry points.
   static Result<GdpKvStore> create(harness::Scenario& scenario,
                                    client::GdpClient& client,
                                    std::vector<server::CapsuleServer*> servers,
@@ -51,7 +59,8 @@ class GdpKvStore {
 
  private:
   GdpKvStore(harness::Scenario& scenario, client::GdpClient& client,
-             Options options, harness::CapsuleSetup setup, capsule::Writer writer);
+             Options options, harness::CapsuleSetup setup,
+             std::optional<capsule::Writer> writer);
 
   Status append_op(Bytes payload);
   Status apply(BytesView payload);
@@ -61,7 +70,7 @@ class GdpKvStore {
   client::GdpClient& client_;
   Options options_;
   harness::CapsuleSetup setup_;
-  capsule::Writer writer_;
+  std::optional<capsule::Writer> writer_;  ///< absent on read-only mounts
   std::map<std::string, std::string> map_;
   std::uint64_t ops_since_checkpoint_ = 0;
 };

@@ -1,0 +1,93 @@
+#include "caapi/scl.hpp"
+
+namespace gdp::caapi {
+
+using client::await;
+
+SclSession::SclSession(harness::Scenario& scenario, client::GdpClient& client,
+                       capsule::Metadata metadata, capsule::Writer writer,
+                       Options options)
+    : scenario_(scenario),
+      client_(client),
+      metadata_(std::move(metadata)),
+      writer_(std::move(writer)),
+      options_(options),
+      budget_(options.retry_budget) {}
+
+Result<client::LeaseOutcome> SclSession::acquire_lease() {
+  auto op = lease_id_ == 0
+                ? client_.lease_acquire(metadata_, options_.lease_duration)
+                : client_.lease_renew(metadata_, lease_id_, options_.lease_duration);
+  GDP_ASSIGN_OR_RETURN(client::LeaseOutcome outcome, await(scenario_.sim(), op));
+  if (outcome.granted) {
+    lease_id_ = outcome.lease_id;
+    lease_expires_ns_ = outcome.expires_ns;
+    // The grant carries the replica tip: sync the local writer onto it so
+    // the next CAS starts from truth instead of a guess.
+    GDP_RETURN_IF_ERROR(writer_.rebase(outcome.tip_seqno, outcome.tip_hash));
+  } else {
+    lease_id_ = 0;
+    lease_expires_ns_ = 0;
+  }
+  return outcome;
+}
+
+Status SclSession::release_lease() {
+  if (lease_id_ == 0) return ok_status();
+  auto op = client_.lease_release(metadata_, lease_id_);
+  lease_id_ = 0;
+  lease_expires_ns_ = 0;
+  GDP_ASSIGN_OR_RETURN(client::LeaseOutcome outcome, await(scenario_.sim(), op));
+  (void)outcome;
+  return ok_status();
+}
+
+Result<client::CasOutcome> SclSession::append(BytesView payload) {
+  budget_.on_request();
+  if (options_.use_lease &&
+      (lease_id_ == 0 || lease_expires_ns_ <= scenario_.sim().now().count())) {
+    GDP_RETURN_IF_ERROR(acquire_lease());
+  }
+  for (std::uint32_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    // The tip condition is the writer's state *before* this append.
+    const std::uint64_t base_seqno = writer_.next_seqno() - 1;
+    const Name base_hash = writer_.tip_hash();
+    capsule::Record record =
+        writer_.append(payload, scenario_.sim().now().count());
+    auto op = client_.cond_append(metadata_, record, base_seqno, base_hash,
+                                  options_.required_acks, lease_id_);
+    GDP_ASSIGN_OR_RETURN(client::CasOutcome outcome, await(scenario_.sim(), op));
+    if (outcome.won) {
+      ++appends_;
+      return outcome;
+    }
+    // Lost the race: adopt the replica's tip (discarding the losing local
+    // record) and retry if the budget still allows it.
+    ++conflicts_;
+    if (outcome.code == Errc::kLeaseHeld) {
+      ++lease_rejects_;
+      lease_id_ = 0;  // our lease (if any) is not the one the replica honors
+      lease_expires_ns_ = 0;
+    }
+    GDP_RETURN_IF_ERROR(writer_.rebase(outcome.tip_seqno, outcome.tip_hash));
+    if (attempt == options_.max_attempts || !budget_.try_retry()) {
+      return make_error(Errc::kConflict,
+                        "CAS retry budget exhausted after " +
+                            std::to_string(attempt) + " attempts");
+    }
+    scenario_.settle_for(options_.conflict_backoff);
+    if (outcome.code == Errc::kLeaseHeld && options_.use_lease) {
+      GDP_RETURN_IF_ERROR(acquire_lease());
+    }
+  }
+  return make_error(Errc::kConflict, "CAS attempts exhausted");
+}
+
+client::OpPtr<client::AppendOutcome> SclSession::blind_append(BytesView payload) {
+  capsule::Record record =
+      writer_.append(payload, scenario_.sim().now().count());
+  ++appends_;
+  return client_.append_record(metadata_, record, options_.required_acks);
+}
+
+}  // namespace gdp::caapi

@@ -1,0 +1,106 @@
+// Shared Concurrency Layer (SCL) — §VI-A brought up to CapsuleFS grade.
+//
+// The paper's commit service serializes writers through one proxy; the
+// SCL instead lets every writer talk to replicas directly and resolves
+// races optimistically, the way the FaultSee/Paxos-less edge literature
+// (and the CapsuleFS follow-on work) does it:
+//
+//  * *Optimistic compare-and-append*: an append is conditioned on the
+//    replica's canonical tip still being (seqno, hash) the writer last
+//    saw.  A lost race is not an error — the replica nacks with its
+//    current tip, the writer rebases its chain onto it and retries under
+//    a token-bucket retry budget (loadmgmt semantics: sustained retries
+//    can never exceed a fraction of sustained fresh appends).
+//
+//  * *Capsule-tip leases*: time-bounded, replica-signed, renewable
+//    advisory locks on a capsule's tip.  A lease holder's CAS appends
+//    skip the contention window entirely; non-holders are nacked with
+//    kLeaseHeld and back off.  Leases are per-replica hints — safety
+//    always comes from the CAS tip condition, never from the lease.
+//
+// Every CAAPI that writes can sit on an SclSession; CapsuleFS uses one
+// per mounted directory capsule.
+#pragma once
+
+#include "client/client.hpp"
+#include "harness/scenario.hpp"
+#include "loadmgmt/retry_budget.hpp"
+
+namespace gdp::caapi {
+
+/// Concurrency knobs for an SclSession.  (Namespace-scope so it can be a
+/// brace-defaulted argument inside the class definition.)
+struct SclOptions {
+  std::uint32_t required_acks = 1;
+  /// Hard cap on CAS attempts per append (the budget usually binds
+  /// first; this bounds pathological livelock).
+  std::uint32_t max_attempts = 16;
+  /// Simulated-time backoff between lost races, so the retry does not
+  /// collide with the same racing writers in the same instant.
+  Duration conflict_backoff = from_micros(200);
+  /// Acquire (and keep renewing) a tip lease before appending.
+  bool use_lease = false;
+  Duration lease_duration = from_millis(500);
+  loadmgmt::RetryBudgetConfig retry_budget;
+};
+
+/// One writer's concurrency session against one capsule: a local chain
+/// Writer plus the CAS/lease state needed to land appends under
+/// contention.
+class SclSession {
+ public:
+  using Options = SclOptions;
+
+  SclSession(harness::Scenario& scenario, client::GdpClient& client,
+             capsule::Metadata metadata, capsule::Writer writer,
+             Options options = {});
+
+  /// Optimistic compare-and-append of one record carrying `payload`
+  /// (already MW-enveloped by the caller when the capsule is
+  /// kMultiWriter).  Blocks (in simulated time) until the append wins,
+  /// the retry budget runs dry, or max_attempts is reached.
+  Result<client::CasOutcome> append(BytesView payload);
+
+  /// Unconditional branch append (multi-writer capsules): the record
+  /// chains onto this writer's own previous record, never contends for
+  /// the canonical tip, and lands as a branch that deterministic replay
+  /// merges.  Returns the in-flight op; callers batch and await.
+  client::OpPtr<client::AppendOutcome> blind_append(BytesView payload);
+
+  /// Acquires (or refreshes) the tip lease; on grant the writer is
+  /// rebased onto the replica tip carried in the grant, so acquisition
+  /// doubles as a tip sync.  Denial is not an error (granted stays
+  /// false; someone else holds it).
+  Result<client::LeaseOutcome> acquire_lease();
+  Status release_lease();
+  bool holds_lease() const { return lease_id_ != 0; }
+  std::uint64_t lease_id() const { return lease_id_; }
+
+  /// Rebase the local writer onto an externally learned tip.
+  Status rebase(std::uint64_t tip_seqno, const Name& tip_hash) {
+    return writer_.rebase(tip_seqno, tip_hash);
+  }
+
+  capsule::Writer& writer() { return writer_; }
+  const capsule::Metadata& metadata() const { return metadata_; }
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t lease_rejects() const { return lease_rejects_; }
+  const loadmgmt::RetryBudget& budget() const { return budget_; }
+
+ private:
+  harness::Scenario& scenario_;
+  client::GdpClient& client_;
+  capsule::Metadata metadata_;
+  capsule::Writer writer_;
+  Options options_;
+  loadmgmt::RetryBudget budget_;
+  std::uint64_t lease_id_ = 0;
+  std::int64_t lease_expires_ns_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t lease_rejects_ = 0;
+};
+
+}  // namespace gdp::caapi

@@ -10,6 +10,28 @@ StreamPublisher::StreamPublisher(harness::Scenario& scenario,
       setup_(std::move(setup)),
       writer_(setup_.make_writer()) {}
 
+Result<StreamPublisher> StreamPublisher::mount(const Mount& m) {
+  if (!m.creates()) {
+    return make_error(Errc::kInvalidArgument,
+                      "a stream publisher creates its capsule; open with "
+                      "StreamPlayer::mount instead");
+  }
+  harness::CapsuleSetup setup =
+      harness::make_capsule(m.scenario().key_rng(), "stream:" + m.label());
+  GDP_RETURN_IF_ERROR(
+      harness::place_capsule(m.scenario(), setup, m.client(), m.servers()));
+  return StreamPublisher(m.scenario(), m.client(), std::move(setup));
+}
+
+Result<StreamPlayer> StreamPlayer::mount(const Mount& m) {
+  if (m.creates()) {
+    return make_error(Errc::kInvalidArgument,
+                      "a stream player opens an existing capsule; pass its "
+                      "metadata via Mount::open");
+  }
+  return StreamPlayer(m.scenario(), m.client(), m.existing());
+}
+
 void StreamPublisher::publish_frame(BytesView frame) {
   // Fire and forget: the op resolves (or times out) in the background.
   client_.append(writer_, frame, 1);

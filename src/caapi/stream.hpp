@@ -10,6 +10,7 @@
 
 #include <map>
 
+#include "caapi/mount.hpp"
 #include "client/client.hpp"
 #include "harness/scenario.hpp"
 
@@ -19,6 +20,11 @@ namespace gdp::caapi {
 /// block on acks; durability is the infrastructure's job).
 class StreamPublisher {
  public:
+  /// Shared CAAPI entry point (create-new only: the publisher IS the
+  /// stream's writer).  Mints keys and places the stream capsule.
+  static Result<StreamPublisher> mount(const Mount& m);
+
+  /// Deprecated shim path: caller makes and places the capsule.
   StreamPublisher(harness::Scenario& scenario, client::GdpClient& client,
                   harness::CapsuleSetup setup);
 
@@ -27,6 +33,8 @@ class StreamPublisher {
 
   std::uint64_t frames_published() const { return published_; }
   const capsule::Metadata& metadata() const { return setup_.metadata; }
+  /// Owner-side keys, e.g. for minting subscriber certs.
+  const harness::CapsuleSetup& setup() const { return setup_; }
 
  private:
   harness::Scenario& scenario_;
@@ -40,6 +48,10 @@ class StreamPublisher {
 /// verified backfill.
 class StreamPlayer {
  public:
+  /// Shared CAAPI entry point (open-existing only: players attach to a
+  /// publisher's capsule).
+  static Result<StreamPlayer> mount(const Mount& m);
+
   StreamPlayer(harness::Scenario& scenario, client::GdpClient& client,
                const capsule::Metadata& metadata);
 

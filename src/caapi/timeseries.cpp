@@ -40,6 +40,28 @@ TimeSeriesWriter::TimeSeriesWriter(harness::Scenario& scenario,
       setup_(std::move(setup)),
       writer_(setup_.make_writer()) {}
 
+Result<TimeSeriesWriter> TimeSeriesWriter::mount(const Mount& m) {
+  if (!m.creates()) {
+    return make_error(Errc::kInvalidArgument,
+                      "a time-series writer creates its capsule; open with "
+                      "TimeSeriesReader::mount instead");
+  }
+  harness::CapsuleSetup setup =
+      harness::make_capsule(m.scenario().key_rng(), "ts:" + m.label());
+  GDP_RETURN_IF_ERROR(
+      harness::place_capsule(m.scenario(), setup, m.client(), m.servers()));
+  return TimeSeriesWriter(m.scenario(), m.client(), std::move(setup));
+}
+
+Result<TimeSeriesReader> TimeSeriesReader::mount(const Mount& m) {
+  if (m.creates()) {
+    return make_error(Errc::kInvalidArgument,
+                      "a time-series reader opens an existing capsule; pass "
+                      "its metadata via Mount::open");
+  }
+  return TimeSeriesReader(m.scenario(), m.client(), m.existing());
+}
+
 Status TimeSeriesWriter::record(double value, BytesView tag) {
   Sample s;
   s.timestamp_ns = scenario_.sim().now().count();

@@ -9,6 +9,7 @@
 // read, never scanning the whole history.
 #pragma once
 
+#include "caapi/mount.hpp"
 #include "client/client.hpp"
 #include "harness/scenario.hpp"
 
@@ -25,6 +26,10 @@ struct Sample {
 
 class TimeSeriesWriter {
  public:
+  /// Shared CAAPI entry point (create-new only: the sensor is the
+  /// single writer).  Mints keys and places the series capsule.
+  static Result<TimeSeriesWriter> mount(const Mount& m);
+
   TimeSeriesWriter(harness::Scenario& scenario, client::GdpClient& client,
                    harness::CapsuleSetup setup);
 
@@ -44,6 +49,9 @@ class TimeSeriesWriter {
 
 class TimeSeriesReader {
  public:
+  /// Shared CAAPI entry point (open-existing only).
+  static Result<TimeSeriesReader> mount(const Mount& m);
+
   TimeSeriesReader(harness::Scenario& scenario, client::GdpClient& client,
                    const capsule::Metadata& metadata);
 

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <string>
 
+#include "caapi/fs.hpp"
 #include "harness/scenario.hpp"
 
 using namespace gdp;
@@ -26,6 +27,10 @@ struct gdp_capsule {
 
   explicit gdp_capsule(harness::CapsuleSetup s)
       : setup(std::move(s)), writer(setup.make_writer()) {}
+};
+
+struct gdp_fs {
+  gdp::caapi::GdpFilesystem fs;
 };
 
 namespace {
@@ -51,6 +56,8 @@ constexpr ErrcMap kErrcTable[] = {
     {Errc::kCorruptData, GDP_ERR_CORRUPT},
     {Errc::kFailedPrecondition, GDP_ERR_PRECONDITION},
     {Errc::kExpired, GDP_ERR_EXPIRED},
+    {Errc::kConflict, GDP_ERR_CONFLICT},
+    {Errc::kLeaseHeld, GDP_ERR_LEASE_HELD},
     {Errc::kInternal, GDP_ERR_INTERNAL},
 };
 
@@ -97,6 +104,8 @@ extern "C" const char* gdp_status_name(int status) {
     case GDP_ERR_PRECONDITION: return "GDP_ERR_PRECONDITION";
     case GDP_ERR_EXPIRED: return "GDP_ERR_EXPIRED";
     case GDP_ERR_TIMEOUT: return "GDP_ERR_TIMEOUT";
+    case GDP_ERR_CONFLICT: return "GDP_ERR_CONFLICT";
+    case GDP_ERR_LEASE_HELD: return "GDP_ERR_LEASE_HELD";
   }
   return "GDP_ERR_UNKNOWN";
 }
@@ -216,6 +225,83 @@ int gdp_subscribe(gdp_world* world, gdp_capsule* capsule, gdp_event_fn callback,
 void gdp_run(gdp_world* world, double seconds) {
   if (world == nullptr || seconds <= 0) return;
   world->scenario.settle_for(from_seconds(seconds));
+}
+
+gdp_fs* gdp_fs_open(gdp_world* world, const char* label) {
+  if (world == nullptr || label == nullptr) return nullptr;
+  auto mounted = caapi::GdpFilesystem::mount(caapi::Mount::create(
+      world->scenario, *world->client, {world->server}, label));
+  if (!mounted.ok()) {
+    world->last_error = mounted.error().to_string();
+    return nullptr;
+  }
+  return new (std::nothrow) gdp_fs{std::move(mounted).value()};
+}
+
+void gdp_fs_close(gdp_fs* fs) { delete fs; }
+
+int gdp_fs_write(gdp_world* world, gdp_fs* fs, const char* path,
+                 const uint8_t* data, size_t len) {
+  if (world == nullptr || fs == nullptr || path == nullptr ||
+      (data == nullptr && len > 0)) {
+    return GDP_ERR_INVALID;
+  }
+  Status status = fs->fs.write_file(path, BytesView(data, len));
+  if (!status.ok()) return fail(world, status.error());
+  return GDP_OK;
+}
+
+int gdp_fs_read(gdp_world* world, gdp_fs* fs, const char* path,
+                uint8_t** data_out, size_t* len_out) {
+  if (world == nullptr || fs == nullptr || path == nullptr ||
+      data_out == nullptr || len_out == nullptr) {
+    return GDP_ERR_INVALID;
+  }
+  Result<Bytes> content = fs->fs.read_file(path);
+  if (!content.ok()) return fail(world, content.error());
+  auto* buffer = static_cast<uint8_t*>(std::malloc(content->size()));
+  if (buffer == nullptr && !content->empty()) return GDP_ERR_INTERNAL;
+  if (!content->empty()) std::memcpy(buffer, content->data(), content->size());
+  *data_out = buffer;
+  *len_out = content->size();
+  return GDP_OK;
+}
+
+int gdp_fs_list(gdp_world* world, gdp_fs* fs, char*** paths_out,
+                size_t* count_out) {
+  if (world == nullptr || fs == nullptr || paths_out == nullptr ||
+      count_out == nullptr) {
+    return GDP_ERR_INVALID;
+  }
+  std::vector<std::string> paths = fs->fs.list();
+  auto** out = static_cast<char**>(std::calloc(paths.size(), sizeof(char*)));
+  if (out == nullptr && !paths.empty()) return GDP_ERR_INTERNAL;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    out[i] = static_cast<char*>(std::malloc(paths[i].size() + 1));
+    if (out[i] == nullptr) {
+      gdp_fs_list_free(out, i);
+      return GDP_ERR_INTERNAL;
+    }
+    std::memcpy(out[i], paths[i].c_str(), paths[i].size() + 1);
+  }
+  *paths_out = out;
+  *count_out = paths.size();
+  return GDP_OK;
+}
+
+void gdp_fs_list_free(char** paths, size_t count) {
+  if (paths == nullptr) return;
+  for (size_t i = 0; i < count; ++i) std::free(paths[i]);
+  std::free(paths);
+}
+
+int gdp_fs_remove(gdp_world* world, gdp_fs* fs, const char* path) {
+  if (world == nullptr || fs == nullptr || path == nullptr) {
+    return GDP_ERR_INVALID;
+  }
+  Status status = fs->fs.remove(path);
+  if (!status.ok()) return fail(world, status.error());
+  return GDP_OK;
 }
 
 }  // extern "C"

@@ -46,6 +46,9 @@ typedef enum gdp_status {
   GDP_ERR_TIMEOUT = -12,     /* the per-op guard timeout fired (refines
                               * GDP_ERR_UNAVAILABLE: the op was sent but
                               * never answered in time) */
+  GDP_ERR_CONFLICT = -13,    /* compare-and-append lost: the capsule tip
+                              * moved and the retry budget ran out */
+  GDP_ERR_LEASE_HELD = -14,  /* capsule-tip lease held by another client */
 } gdp_status;
 
 /* Stable token for a status code, e.g. "GDP_ERR_TIMEOUT"; never NULL. */
@@ -93,6 +96,40 @@ int gdp_subscribe(gdp_world* world, gdp_capsule* capsule, gdp_event_fn callback,
 /* Drives the event loop for `seconds` of simulated time (delivers
  * subscriptions, replication, timers). */
 void gdp_run(gdp_world* world, double seconds);
+
+/* ---- CapsuleFS ---------------------------------------------------------
+ *
+ * A mounted filesystem view backed by one multi-writer directory capsule
+ * plus one capsule per file (the paper's §V-B layout).  Writes land
+ * through the SCL compare-and-append path, so GDP_ERR_CONFLICT /
+ * GDP_ERR_LEASE_HELD surface here when contention exhausts the retry
+ * budget. */
+typedef struct gdp_fs gdp_fs;
+
+/* Mounts a fresh CapsuleFS (create-new: fresh owner + writer keys, the
+ * directory capsule placed on the world's server).  NULL on failure —
+ * see gdp_last_error. */
+gdp_fs* gdp_fs_open(gdp_world* world, const char* label);
+void gdp_fs_close(gdp_fs* fs);
+
+/* Writes (or overwrites) the file at `path`. */
+int gdp_fs_write(gdp_world* world, gdp_fs* fs, const char* path,
+                 const uint8_t* data, size_t len);
+
+/* Verified read of the whole file into a malloc'd buffer the caller
+ * frees with gdp_buffer_free. */
+int gdp_fs_read(gdp_world* world, gdp_fs* fs, const char* path,
+                uint8_t** data_out, size_t* len_out);
+
+/* Lists all paths in the directory capsule (tip-aware: reflects other
+ * clients' committed writes).  On success *paths_out is a malloc'd array
+ * of *count_out malloc'd strings; free with gdp_fs_list_free. */
+int gdp_fs_list(gdp_world* world, gdp_fs* fs, char*** paths_out,
+                size_t* count_out);
+void gdp_fs_list_free(char** paths, size_t count);
+
+/* Removes the file at `path`. */
+int gdp_fs_remove(gdp_world* world, gdp_fs* fs, const char* path);
 
 #ifdef __cplusplus
 } /* extern "C" */

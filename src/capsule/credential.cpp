@@ -1,0 +1,143 @@
+#include "capsule/credential.hpp"
+
+#include "common/varint.hpp"
+
+namespace gdp::capsule {
+
+namespace {
+// Domain separation so a credential signature can never be confused with
+// a record, heartbeat, or certificate signature by the same owner key.
+constexpr std::string_view kCredentialDomain = "gdp.writer-credential.v1";
+}  // namespace
+
+Bytes WriterCredential::signed_payload() const {
+  Bytes out;
+  put_length_prefixed(out, to_bytes(kCredentialDomain));
+  append(out, capsule.view());
+  put_length_prefixed(out, writer_pubkey);
+  put_length_prefixed(out, to_bytes(branch));
+  put_fixed64(out, static_cast<std::uint64_t>(not_before_ns));
+  put_fixed64(out, static_cast<std::uint64_t>(not_after_ns));
+  return out;
+}
+
+Bytes WriterCredential::serialize() const {
+  Bytes out;
+  append(out, capsule.view());
+  put_length_prefixed(out, writer_pubkey);
+  put_length_prefixed(out, to_bytes(branch));
+  put_fixed64(out, static_cast<std::uint64_t>(not_before_ns));
+  put_fixed64(out, static_cast<std::uint64_t>(not_after_ns));
+  append(out, owner_sig.encode());
+  return out;
+}
+
+Result<WriterCredential> WriterCredential::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto truncated = [] {
+    return make_error(Errc::kInvalidArgument, "truncated WriterCredential");
+  };
+  WriterCredential c;
+  auto capsule = r.get_bytes(Name::kSize);
+  if (!capsule) return truncated();
+  c.capsule = *Name::from_bytes(*capsule);
+  auto pk = r.get_length_prefixed();
+  auto branch = r.get_length_prefixed();
+  auto nb = r.get_fixed64();
+  auto na = r.get_fixed64();
+  auto sig_bytes = r.get_bytes(64);
+  if (!pk || !branch || !nb || !na || !sig_bytes) return truncated();
+  c.writer_pubkey = std::move(*pk);
+  c.branch = to_string(*branch);
+  c.not_before_ns = static_cast<std::int64_t>(*nb);
+  c.not_after_ns = static_cast<std::int64_t>(*na);
+  auto sig = crypto::Signature::decode(*sig_bytes);
+  if (!sig) return make_error(Errc::kInvalidArgument, "malformed credential signature");
+  c.owner_sig = *sig;
+  if (!r.empty()) {
+    return make_error(Errc::kInvalidArgument, "trailing WriterCredential bytes");
+  }
+  return c;
+}
+
+Result<crypto::PublicKey> WriterCredential::writer_key() const {
+  auto pk = crypto::PublicKey::decode(writer_pubkey);
+  if (!pk) {
+    return make_error(Errc::kInvalidArgument,
+                      "credential writer key is not a curve point");
+  }
+  return *pk;
+}
+
+Status WriterCredential::verify(const crypto::PublicKey& owner, std::int64_t at_ns,
+                                const SigChecker& checker) const {
+  if (at_ns < not_before_ns || at_ns > not_after_ns) {
+    return make_error(Errc::kExpired,
+                      "writer credential for branch '" + branch +
+                          "' outside its validity window");
+  }
+  const Bytes payload = signed_payload();
+  const bool ok = checker ? checker(owner, payload, owner_sig, not_after_ns, at_ns)
+                          : owner.verify(payload, owner_sig);
+  if (!ok) {
+    return make_error(Errc::kPermissionDenied,
+                      "owner signature over writer credential invalid");
+  }
+  return ok_status();
+}
+
+WriterCredential make_writer_credential(const crypto::PrivateKey& owner_key,
+                                        const Name& capsule,
+                                        const crypto::PublicKey& writer,
+                                        std::string branch,
+                                        std::int64_t not_before_ns,
+                                        std::int64_t not_after_ns) {
+  WriterCredential c;
+  c.capsule = capsule;
+  c.writer_pubkey = writer.encode();
+  c.branch = std::move(branch);
+  c.not_before_ns = not_before_ns;
+  c.not_after_ns = not_after_ns;
+  c.owner_sig = owner_key.sign(c.signed_payload());
+  return c;
+}
+
+Bytes wrap_mw_payload(const WriterCredential& credential, BytesView inner) {
+  Bytes out;
+  put_length_prefixed(out, credential.serialize());
+  append(out, inner);
+  return out;
+}
+
+Result<MwPayload> open_mw_payload(BytesView envelope) {
+  ByteReader r(envelope);
+  auto cred_bytes = r.get_length_prefixed();
+  if (!cred_bytes) {
+    return make_error(Errc::kInvalidArgument, "truncated MW payload envelope");
+  }
+  GDP_ASSIGN_OR_RETURN(WriterCredential cred,
+                       WriterCredential::deserialize(*cred_bytes));
+  MwPayload p;
+  p.credential = std::move(cred);
+  p.inner.assign(envelope.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                 envelope.end());
+  return p;
+}
+
+Result<crypto::PublicKey> record_writer_key(const Metadata& metadata,
+                                            const Record& record,
+                                            const SigChecker& checker) {
+  if (metadata.mode() != WriterMode::kMultiWriter) {
+    return metadata.writer_key();
+  }
+  GDP_ASSIGN_OR_RETURN(MwPayload p, open_mw_payload(record.payload));
+  if (p.credential.capsule != metadata.name()) {
+    return make_error(Errc::kPermissionDenied,
+                      "writer credential bound to a different capsule");
+  }
+  GDP_RETURN_IF_ERROR(p.credential.verify(metadata.owner_key(),
+                                          record.header.timestamp_ns, checker));
+  return p.credential.writer_key();
+}
+
+}  // namespace gdp::capsule

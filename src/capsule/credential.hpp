@@ -1,0 +1,94 @@
+// Per-branch writer credentials for multi-writer capsules (CapsuleFS).
+//
+// A strict/quasi single-writer capsule authenticates every record against
+// the one writer key named in the metadata.  A kMultiWriter capsule
+// instead lets the capsule *owner* delegate write authority to any number
+// of branch writers: each delegation is a WriterCredential — (capsule,
+// writer pubkey, branch label, validity window) signed by the owner key —
+// and every record's payload is an *envelope* that carries the credential
+// ahead of the application payload.  Verifiers resolve the record's
+// effective writer key from the envelope and check the credential against
+// the owner key in the metadata, evaluated at the record's own
+// timestamp_ns so replay verdicts are deterministic (no wall clock).
+//
+// This module lives in `capsule` (below `trust`) so CapsuleState and the
+// proof verifiers can use it; signature memoization is injected through a
+// SigChecker hook that server/client bind to their trust::VerifyCache.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "capsule/metadata.hpp"
+#include "capsule/record.hpp"
+#include "common/bytes.hpp"
+#include "common/name.hpp"
+#include "common/result.hpp"
+#include "crypto/keys.hpp"
+
+namespace gdp::capsule {
+
+/// Signature-verdict hook with the shape of trust::cached_verify:
+/// (issuer key, signed payload, signature, verdict expiry ns, now ns) ->
+/// verified.  A null checker falls back to a raw ECDSA verify.
+using SigChecker =
+    std::function<bool(const crypto::PublicKey& issuer, BytesView payload,
+                       const crypto::Signature& sig, std::int64_t expires_ns,
+                       std::int64_t now_ns)>;
+
+/// Owner-signed delegation of write authority over one capsule to one
+/// branch writer key, bounded in time.
+struct WriterCredential {
+  Name capsule;                     ///< binds the credential to one capsule
+  Bytes writer_pubkey;              ///< encoded branch writer public key
+  std::string branch;               ///< human-readable branch label
+  std::int64_t not_before_ns = 0;   ///< validity window (inclusive)
+  std::int64_t not_after_ns = 0;
+  crypto::Signature owner_sig{};    ///< owner key over signed_payload()
+
+  /// Canonical bytes the owner signs (domain-separated).
+  Bytes signed_payload() const;
+
+  Bytes serialize() const;
+  static Result<WriterCredential> deserialize(BytesView b);
+
+  /// Decodes writer_pubkey to a curve point.
+  Result<crypto::PublicKey> writer_key() const;
+
+  /// Owner signature + validity window at `at_ns` (the record timestamp,
+  /// so verification replays identically on every replica).
+  Status verify(const crypto::PublicKey& owner, std::int64_t at_ns,
+                const SigChecker& checker = nullptr) const;
+
+  friend bool operator==(const WriterCredential&, const WriterCredential&) = default;
+};
+
+/// Builds and owner-signs a credential for `writer` on `capsule`.
+WriterCredential make_writer_credential(const crypto::PrivateKey& owner_key,
+                                        const Name& capsule,
+                                        const crypto::PublicKey& writer,
+                                        std::string branch,
+                                        std::int64_t not_before_ns,
+                                        std::int64_t not_after_ns);
+
+/// Multi-writer record payloads are envelopes: length-prefixed serialized
+/// credential followed by the application payload.
+Bytes wrap_mw_payload(const WriterCredential& credential, BytesView inner);
+
+struct MwPayload {
+  WriterCredential credential;
+  Bytes inner;  ///< the application payload
+};
+
+/// Splits an MW envelope back into credential + inner payload.  Does not
+/// verify the credential — use record_writer_key / verify on the result.
+Result<MwPayload> open_mw_payload(BytesView envelope);
+
+/// Resolves the key a record's signature must verify under.  SSW/QSW:
+/// the metadata writer key.  MW: the credential carried in the record's
+/// envelope, checked against the owner key at the record's timestamp.
+Result<crypto::PublicKey> record_writer_key(const Metadata& metadata,
+                                            const Record& record,
+                                            const SigChecker& checker = nullptr);
+
+}  // namespace gdp::capsule

@@ -102,11 +102,13 @@ Result<Metadata> Metadata::deserialize(BytesView b) {
   m.owner_key_ = ok;
   auto mode_it = m.pairs_.find(std::string(kMetaKeyMode));
   if (mode_it == m.pairs_.end() ||
-      (mode_it->second != "0" && mode_it->second != "1")) {
+      (mode_it->second != "0" && mode_it->second != "1" &&
+       mode_it->second != "2")) {
     return make_error(Errc::kInvalidArgument, "metadata missing or bad writer_mode");
   }
-  m.mode_ = mode_it->second == "0" ? WriterMode::kStrictSingleWriter
-                                   : WriterMode::kQuasiSingleWriter;
+  m.mode_ = mode_it->second == "0"   ? WriterMode::kStrictSingleWriter
+            : mode_it->second == "1" ? WriterMode::kQuasiSingleWriter
+                                     : WriterMode::kMultiWriter;
   m.name_ = crypto::digest_to_name(crypto::sha256(m.serialize()));
   GDP_RETURN_IF_ERROR(m.verify());
   return m;

@@ -20,10 +20,13 @@
 
 namespace gdp::capsule {
 
-/// Single-writer operating mode (§VI-C).
+/// Writer operating mode (§VI-C).
 enum class WriterMode : std::uint8_t {
   kStrictSingleWriter = 0,  ///< SSW: linear chain; sequential consistency
   kQuasiSingleWriter = 1,   ///< QSW: rare concurrent writers; branches allowed
+  kMultiWriter = 2,         ///< MW: per-record writer credentials delegated by
+                            ///< the owner (CapsuleFS directories); records are
+                            ///< credential envelopes, branches expected
 };
 
 /// Well-known metadata keys.  Applications may add arbitrary extra pairs.

@@ -160,6 +160,11 @@ Result<MembershipProof> build_membership_proof(const CapsuleState& state,
 Status verify_membership_proof(const Metadata& metadata, const Heartbeat& heartbeat,
                                const MembershipProof& proof,
                                const RecordHash& target_hash) {
+  if (metadata.mode() == WriterMode::kMultiWriter) {
+    return make_error(Errc::kFailedPrecondition,
+                      "membership proofs are header-only and cannot carry "
+                      "multi-writer credentials; use a range proof");
+  }
   return verify_header_path(metadata, heartbeat, proof.path, target_hash);
 }
 
@@ -220,16 +225,31 @@ MembershipProof membership_from_range(const RangeProof& proof) {
 
 Status verify_range_proof(const Metadata& metadata, const Heartbeat& heartbeat,
                           const RangeProof& proof, std::uint64_t first_seqno,
-                          std::uint64_t last_seqno) {
+                          std::uint64_t last_seqno, const SigChecker& checker) {
   if (first_seqno == 0 || first_seqno > last_seqno) {
     return make_error(Errc::kInvalidArgument, "bad range bounds");
   }
   if (proof.records.size() != last_seqno - first_seqno + 1) {
     return make_error(Errc::kVerificationFailed, "range record count mismatch");
   }
-  // The link path authenticates the newest record in the range...
-  GDP_RETURN_IF_ERROR(verify_header_path(metadata, heartbeat, proof.link_path,
-                                         proof.records.back().hash()));
+  if (metadata.mode() == WriterMode::kMultiWriter) {
+    // Header-only link paths cannot resolve per-branch credentials (they
+    // travel in payloads), so MW ranges must anchor at the attested tip:
+    // the heartbeat signature verifies under the tip record's credential,
+    // and the range self-verifies backwards from there.
+    const Record& tip = proof.records.back();
+    if (heartbeat.record_hash != tip.hash() || heartbeat.seqno != tip.header.seqno) {
+      return make_error(Errc::kVerificationFailed,
+                        "multi-writer range proof must end at the heartbeat record");
+    }
+    GDP_ASSIGN_OR_RETURN(crypto::PublicKey tip_key,
+                         record_writer_key(metadata, tip, checker));
+    GDP_RETURN_IF_ERROR(heartbeat.verify(tip_key));
+  } else {
+    // The link path authenticates the newest record in the range...
+    GDP_RETURN_IF_ERROR(verify_header_path(metadata, heartbeat, proof.link_path,
+                                           proof.records.back().hash()));
+  }
   // ...and the range self-verifies backwards from it.
   for (std::size_t i = 0; i < proof.records.size(); ++i) {
     const Record& rec = proof.records[i];
@@ -239,7 +259,9 @@ Status verify_range_proof(const Metadata& metadata, const Heartbeat& heartbeat,
     if (rec.header.seqno != first_seqno + i) {
       return make_error(Errc::kVerificationFailed, "range records not contiguous");
     }
-    GDP_RETURN_IF_ERROR(rec.verify_standalone(metadata.writer_key()));
+    GDP_ASSIGN_OR_RETURN(crypto::PublicKey writer,
+                         record_writer_key(metadata, rec, checker));
+    GDP_RETURN_IF_ERROR(rec.verify_standalone(writer));
     if (i + 1 < proof.records.size()) {
       const RecordHash h = rec.hash();
       bool linked = false;

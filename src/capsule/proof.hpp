@@ -45,6 +45,8 @@ Result<MembershipProof> build_membership_proof(const CapsuleState& state,
 
 /// Verifies the proof; on success the back() header identifies the proven
 /// record (check header.payload_hash against a fetched payload).
+/// Multi-writer capsules are rejected: header-only paths cannot resolve
+/// the per-branch credentials, which travel in record payloads.
 Status verify_membership_proof(const Metadata& metadata, const Heartbeat& heartbeat,
                                const MembershipProof& proof,
                                const RecordHash& target_hash);
@@ -65,10 +67,14 @@ Result<RangeProof> build_range_proof(const CapsuleState& state,
                                      std::uint64_t last_seqno);
 
 /// Verifies contiguity, linkage to the heartbeat, payload hashes and the
-/// writer signature on every range record.
+/// writer signature on every range record.  For multi-writer capsules the
+/// proof must *end at the heartbeat record* (ranges anchor at the tip):
+/// each record's signature then verifies under the credential carried in
+/// its own payload envelope, memoized through `checker` when provided.
 Status verify_range_proof(const Metadata& metadata, const Heartbeat& heartbeat,
                           const RangeProof& proof, std::uint64_t first_seqno,
-                          std::uint64_t last_seqno);
+                          std::uint64_t last_seqno,
+                          const SigChecker& checker = nullptr);
 
 /// Extracts the membership proof of the range's newest record from a
 /// range proof: the link path already connects the heartbeat to it, so a

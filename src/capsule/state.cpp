@@ -34,7 +34,12 @@ Status CapsuleState::ingest(const Record& record, SigPolicy policy) {
                           record.header.capsule_name.short_hex() + ", not " +
                           name().short_hex());
   }
-  GDP_RETURN_IF_ERROR(record.verify_standalone(metadata_.writer_key(), policy));
+  // SSW/QSW records verify under the metadata writer key; multi-writer
+  // records resolve their key from the credential envelope in the payload,
+  // checked against the owner key at the record's own timestamp.
+  GDP_ASSIGN_OR_RETURN(crypto::PublicKey writer,
+                       record_writer_key(metadata_, record, checker_));
+  GDP_RETURN_IF_ERROR(record.verify_standalone(writer, policy));
 
   // Locate parents; a missing one detaches the record (a transient hole).
   for (const HashPtr& ptr : record.header.ptrs) {
@@ -285,12 +290,29 @@ std::vector<Record> CapsuleState::export_records() const {
   return out;
 }
 
+std::vector<Record> CapsuleState::branch_records() const {
+  if (canonical_dirty_) rebuild_canonical();
+  std::vector<Record> out;
+  for (const auto& [seqno, hashes] : by_seqno_) {
+    const auto canon = canonical_.find(seqno);
+    std::vector<RecordHash> sorted = hashes;
+    std::sort(sorted.begin(), sorted.end());
+    for (const RecordHash& h : sorted) {
+      if (canon != canonical_.end() && canon->second == h) continue;
+      out.push_back(by_hash_.at(h).record);
+    }
+  }
+  return out;
+}
+
 Status CapsuleState::check_heartbeat(const Heartbeat& hb) const {
   if (hb.capsule_name != name()) {
     return make_error(Errc::kVerificationFailed, "heartbeat for a different capsule");
   }
-  GDP_RETURN_IF_ERROR(hb.verify(metadata_.writer_key()));
   if (hb.seqno == 0) {
+    // The empty capsule is attested by the founding writer named in the
+    // metadata (in MW mode: the owner's founding branch).
+    GDP_RETURN_IF_ERROR(hb.verify(metadata_.writer_key()));
     if (hb.record_hash != name()) {
       return make_error(Errc::kVerificationFailed, "empty heartbeat must attest the name");
     }
@@ -303,6 +325,11 @@ Status CapsuleState::check_heartbeat(const Heartbeat& hb) const {
   if (rec->header.seqno != hb.seqno) {
     return make_error(Errc::kVerificationFailed, "heartbeat seqno mismatch");
   }
+  // A heartbeat is signed by whichever writer produced the attested
+  // record — in MW mode that key comes from the record's credential.
+  GDP_ASSIGN_OR_RETURN(crypto::PublicKey writer,
+                       record_writer_key(metadata_, *rec, checker_));
+  GDP_RETURN_IF_ERROR(hb.verify(writer));
   return ok_status();
 }
 

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "capsule/credential.hpp"
 #include "capsule/hashtree.hpp"
 #include "capsule/heartbeat.hpp"
 #include "capsule/metadata.hpp"
@@ -37,6 +38,12 @@ class CapsuleState {
 
   const Metadata& metadata() const { return metadata_; }
   const Name& name() const { return metadata_.name(); }
+
+  /// Installs a memoizing signature checker (trust::cached_verify bound to
+  /// a VerifyCache) used for multi-writer credential verification.  A null
+  /// checker falls back to raw ECDSA verifies.
+  void set_credential_checker(SigChecker checker) { checker_ = std::move(checker); }
+  const SigChecker& credential_checker() const { return checker_; }
 
   /// Validates and adds a record.  Idempotent: re-ingesting an already
   /// known record succeeds.  A record whose parents are missing is held
@@ -78,6 +85,11 @@ class CapsuleState {
   /// Attached records in (seqno, hash) order — the sync/export order.
   std::vector<Record> export_records() const;
 
+  /// Attached records NOT on the canonical chain — the losing sides of
+  /// multi-writer races.  Readers merge them (deterministically, by
+  /// (seqno, hash)) to see every writer's data, not just the race winners.
+  std::vector<Record> branch_records() const;
+
   /// Merkle summary of the canonical chain, kept in lock-step with the
   /// canonical cache (incremental on tip extension, resynced on rebuild).
   /// Anti-entropy compares roots/subtrees instead of flooding records.
@@ -101,6 +113,7 @@ class CapsuleState {
   std::uint64_t canonical_seqno_unlocked() const;
 
   Metadata metadata_;
+  SigChecker checker_;  // null => raw verify; see set_credential_checker
   std::unordered_map<Name, Attached> by_hash_;
   std::map<std::uint64_t, std::vector<RecordHash>> by_seqno_;
   std::unordered_map<Name, std::size_t> child_count_;  // attached children per record

@@ -14,7 +14,10 @@ Writer::Writer(Metadata metadata, crypto::PrivateKey writer_key,
       strategy_(std::move(strategy)),
       tip_hash_(metadata_.name()) {
   assert(strategy_ != nullptr);
-  assert(writer_key_.public_key() == metadata_.writer_key());
+  // MW capsules delegate to per-branch keys; the metadata writer key only
+  // names the founding branch, so any credentialed key may drive a Writer.
+  assert(metadata_.mode() == WriterMode::kMultiWriter ||
+         writer_key_.public_key() == metadata_.writer_key());
 }
 
 HashPtr Writer::ptr_for(std::uint64_t seqno) const {
@@ -79,6 +82,26 @@ Record Writer::append_merge(BytesView payload, std::int64_t timestamp_ns,
   next_seqno_ = seqno + 1;
   prune(seqno);
   return rec;
+}
+
+Status Writer::rebase(std::uint64_t tip_seqno, const RecordHash& tip_hash) {
+  // The next append's strategy targets must be satisfiable from the one
+  // hash we are handed: the tip itself (plus the seqno-0 name pointer).
+  for (std::uint64_t target : strategy_->targets(tip_seqno + 1)) {
+    if (target != 0 && target != tip_seqno) {
+      return make_error(Errc::kFailedPrecondition,
+                        "rebase requires a chain-like pointer strategy");
+    }
+  }
+  if (tip_seqno == 0 && tip_hash != metadata_.name()) {
+    return make_error(Errc::kInvalidArgument,
+                      "empty-capsule tip must be the capsule name");
+  }
+  next_seqno_ = tip_seqno + 1;
+  tip_hash_ = tip_hash;
+  remembered_.clear();
+  if (tip_seqno != 0) remembered_[tip_seqno] = tip_hash;
+  return ok_status();
 }
 
 Heartbeat Writer::heartbeat() const {

@@ -51,6 +51,14 @@ class Writer {
   /// Signed attestation of the latest record (or of the empty capsule).
   Heartbeat heartbeat() const;
 
+  /// Re-points the writer at an externally learned tip (seqno + record
+  /// hash), forgetting locally remembered hashes.  This is the optimistic
+  /// compare-and-append primitive: after a CAS nack carrying the current
+  /// tip, the writer rebases and re-appends on top of it.  Only valid with
+  /// strategies whose pointers reach at most one record back (chain);
+  /// skip-list strategies would need hashes the writer no longer has.
+  Status rebase(std::uint64_t tip_seqno, const RecordHash& tip_hash);
+
   const Name& capsule_name() const { return metadata_.name(); }
   const Metadata& metadata() const { return metadata_; }
   std::uint64_t next_seqno() const { return next_seqno_; }

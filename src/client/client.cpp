@@ -26,7 +26,14 @@ GdpClient::GdpClient(net::Network& net, const crypto::PrivateKey& key,
       read_retries_denied_(net_.metrics().counter(
           "client." + std::string(self_.label()) + ".read.retries_denied")),
       op_latency_ns_(net_.metrics().histogram(
-          "client." + std::string(self_.label()) + ".op.latency_ns")) {}
+          "client." + std::string(self_.label()) + ".op.latency_ns")) {
+  credential_checker_ = [this](const crypto::PublicKey& issuer, BytesView payload,
+                               const crypto::Signature& sig,
+                               std::int64_t expires_ns, std::int64_t now_ns) {
+    return trust::cached_verify(&credential_cache_, issuer, payload, sig,
+                                expires_ns, TimePoint(now_ns));
+  };
+}
 
 Bytes GdpClient::session_pubkey_for_request() const {
   if (!options_.use_sessions) return {};
@@ -223,6 +230,153 @@ OpPtr<AppendOutcome> GdpClient::append_record(const capsule::Metadata& metadata,
   return op;
 }
 
+OpPtr<CasOutcome> GdpClient::cond_append(const capsule::Metadata& metadata,
+                                         const capsule::Record& record,
+                                         std::uint64_t expected_tip_seqno,
+                                         const Name& expected_tip_hash,
+                                         std::uint32_t required_acks,
+                                         std::uint64_t lease_id) {
+  auto op = std::make_shared<Op<CasOutcome>>();
+  wire::CondAppendMsg msg;
+  msg.capsule = metadata.name();
+  msg.record = record;
+  msg.expected_tip_seqno = expected_tip_seqno;
+  msg.expected_tip_hash = expected_tip_hash;
+  msg.required_acks = required_acks;
+  msg.lease_id = lease_id;
+  msg.nonce = next_nonce_++;
+  msg.session_pubkey = session_pubkey_for_request();
+
+  const Name expected_hash = record.hash();
+  capsule::Metadata meta_copy = metadata;
+  auto handler = [this, op, expected_hash,
+                  meta_copy = std::move(meta_copy)](const wire::Pdu& pdu) {
+    if (pdu.type == wire::MsgType::kCasNack) {
+      auto nack = wire::CasNackMsg::deserialize(pdu.payload);
+      if (!nack.ok()) {
+        op->resolve(nack.error());
+        return;
+      }
+      Status auth_ok = verify_response_auth(pdu.src, nack->capsule,
+                                            nack->signed_body(), nack->auth,
+                                            nack->server_principal,
+                                            nack->delegation, &meta_copy);
+      if (!auth_ok.ok()) {
+        op->resolve(auth_ok.error());
+        return;
+      }
+      CasOutcome out;
+      out.won = false;
+      out.code = static_cast<Errc>(nack->code);
+      out.tip_seqno = nack->tip_seqno;
+      out.tip_hash = nack->tip_hash;
+      out.lease_holder = nack->lease_holder;
+      out.lease_expires_ns = nack->lease_expires_ns;
+      op->resolve(out);
+      return;
+    }
+    // The win path acks exactly like a plain append.
+    auto ack = wire::AppendAckMsg::deserialize(pdu.payload);
+    if (!ack.ok()) {
+      op->resolve(ack.error());
+      return;
+    }
+    Status auth_ok = verify_response_auth(pdu.src, ack->capsule, ack->signed_body(),
+                                          ack->auth, ack->server_principal,
+                                          ack->delegation, &meta_copy);
+    if (!auth_ok.ok()) {
+      op->resolve(auth_ok.error());
+      return;
+    }
+    if (ack->record_hash != expected_hash) {
+      op->resolve(make_error(Errc::kVerificationFailed,
+                             "ack attests a different record"));
+      return;
+    }
+    if (!ack->ok) {
+      op->resolve(
+          make_error(Errc::kUnavailable, "cond_append rejected: " + ack->error));
+      return;
+    }
+    CasOutcome out;
+    out.won = true;
+    out.seqno = ack->seqno;
+    out.record_hash = ack->record_hash;
+    out.acks = ack->acks;
+    op->resolve(out);
+  };
+  register_pending(msg.nonce, std::move(handler), [op] {
+    op->timed_out = true;
+    op->resolve(make_error(Errc::kUnavailable, "cond_append timed out"));
+  });
+  send_pdu(metadata.name(), wire::MsgType::kCondAppend, msg.serialize());
+  return op;
+}
+
+OpPtr<LeaseOutcome> GdpClient::lease_request(const capsule::Metadata& metadata,
+                                             std::uint8_t lease_op,
+                                             std::uint64_t lease_id,
+                                             Duration duration) {
+  auto op = std::make_shared<Op<LeaseOutcome>>();
+  wire::LeaseRequestMsg msg;
+  msg.capsule = metadata.name();
+  msg.op = lease_op;
+  msg.holder = name();
+  msg.lease_id = lease_id;
+  msg.duration_ns = duration.count();
+  msg.nonce = next_nonce_++;
+  msg.session_pubkey = session_pubkey_for_request();
+
+  capsule::Metadata meta_copy = metadata;
+  auto handler = [this, op, meta_copy = std::move(meta_copy)](const wire::Pdu& pdu) {
+    auto grant = wire::LeaseGrantMsg::deserialize(pdu.payload);
+    if (!grant.ok()) {
+      op->resolve(grant.error());
+      return;
+    }
+    Status auth_ok = verify_response_auth(pdu.src, grant->capsule,
+                                          grant->signed_body(), grant->auth,
+                                          grant->server_principal,
+                                          grant->delegation, &meta_copy);
+    if (!auth_ok.ok()) {
+      op->resolve(auth_ok.error());
+      return;
+    }
+    LeaseOutcome out;
+    out.granted = grant->ok;
+    out.code = static_cast<Errc>(grant->code);
+    out.lease_id = grant->lease_id;
+    out.holder = grant->holder;
+    out.expires_ns = grant->expires_ns;
+    out.tip_seqno = grant->tip_seqno;
+    out.tip_hash = grant->tip_hash;
+    op->resolve(out);
+  };
+  register_pending(msg.nonce, std::move(handler), [op] {
+    op->timed_out = true;
+    op->resolve(make_error(Errc::kUnavailable, "lease request timed out"));
+  });
+  send_pdu(metadata.name(), wire::MsgType::kLeaseRequest, msg.serialize());
+  return op;
+}
+
+OpPtr<LeaseOutcome> GdpClient::lease_acquire(const capsule::Metadata& metadata,
+                                             Duration duration) {
+  return lease_request(metadata, wire::LeaseRequestMsg::kAcquire, 0, duration);
+}
+
+OpPtr<LeaseOutcome> GdpClient::lease_renew(const capsule::Metadata& metadata,
+                                           std::uint64_t lease_id,
+                                           Duration duration) {
+  return lease_request(metadata, wire::LeaseRequestMsg::kRenew, lease_id, duration);
+}
+
+OpPtr<LeaseOutcome> GdpClient::lease_release(const capsule::Metadata& metadata,
+                                             std::uint64_t lease_id) {
+  return lease_request(metadata, wire::LeaseRequestMsg::kRelease, lease_id,
+                       Duration::zero());
+}
+
 Result<ReadOutcome> GdpClient::parse_read_response(const wire::Pdu& pdu,
                                                    const capsule::Metadata& metadata,
                                                    std::uint64_t first,
@@ -255,12 +409,30 @@ Result<ReadOutcome> GdpClient::parse_read_response(const wire::Pdu& pdu,
   if (last != 0 && got_last > last) {
     return make_error(Errc::kVerificationFailed, "range end exceeds request");
   }
-  GDP_RETURN_IF_ERROR(
-      capsule::verify_range_proof(metadata, hb, proof, got_first, got_last));
+  GDP_RETURN_IF_ERROR(capsule::verify_range_proof(metadata, hb, proof, got_first,
+                                                  got_last, credential_checker_));
   ReadOutcome out;
   out.records = std::move(proof.records);
   out.heartbeat = hb;
   out.link_path = std::move(proof.link_path);
+  if (metadata.mode() == capsule::WriterMode::kMultiWriter) {
+    // Off-canonical records each verify standalone through the credential
+    // envelope in their own payload — an adversarial server can withhold
+    // branches (liveness) but cannot inject fabricated ones (integrity).
+    out.branch_records.reserve(resp.branch_records.size());
+    for (const Bytes& raw : resp.branch_records) {
+      GDP_ASSIGN_OR_RETURN(capsule::Record rec, capsule::Record::deserialize(raw));
+      if (rec.header.capsule_name != metadata.name()) {
+        return make_error(Errc::kVerificationFailed,
+                          "branch record from another capsule");
+      }
+      GDP_ASSIGN_OR_RETURN(
+          crypto::PublicKey writer,
+          capsule::record_writer_key(metadata, rec, credential_checker_));
+      GDP_RETURN_IF_ERROR(rec.verify_standalone(writer));
+      out.branch_records.push_back(std::move(rec));
+    }
+  }
   out.via_hmac = resp.auth.kind == wire::ResponseAuth::Kind::kHmac;
   out.response_bytes = pdu.payload.size();
   return out;
@@ -433,6 +605,22 @@ void GdpClient::handle_pdu(const Name& from, const wire::Pdu& pdu) {
     }
     case wire::MsgType::kReadResponse: {
       auto msg = wire::ReadResponseMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto handler = take_pending(msg->nonce);
+      if (!handler) return;
+      (*handler)(pdu);
+      return;
+    }
+    case wire::MsgType::kCasNack: {
+      auto msg = wire::CasNackMsg::deserialize(pdu.payload);
+      if (!msg.ok()) return;
+      auto handler = take_pending(msg->nonce);
+      if (!handler) return;
+      (*handler)(pdu);
+      return;
+    }
+    case wire::MsgType::kLeaseGrant: {
+      auto msg = wire::LeaseGrantMsg::deserialize(pdu.payload);
       if (!msg.ok()) return;
       auto handler = take_pending(msg->nonce);
       if (!handler) return;

@@ -24,6 +24,7 @@
 #include "loadmgmt/retry_budget.hpp"
 #include "router/endpoint.hpp"
 #include "trust/delegation.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::client {
 
@@ -93,12 +94,46 @@ struct ReadOutcome {
   /// MembershipProof of the newest record (used e.g. for timeline
   /// entanglement verification across capsules).
   std::vector<capsule::RecordHeader> link_path;
+  /// Multi-writer capsules only: verified off-canonical records (the
+  /// losing sides of append races).  Each was checked standalone against
+  /// the credential in its own payload envelope; readers merge them with
+  /// the canonical range for a deterministic full-tree replay.
+  std::vector<capsule::Record> branch_records;
   bool via_hmac = false;
   std::size_t response_bytes = 0;
 
   capsule::MembershipProof newest_membership() const {
     return capsule::MembershipProof{link_path};
   }
+};
+
+/// Result of a compare-and-append.  A lost race is NOT an error — the op
+/// resolves ok with won == false and the server's current tip, so the
+/// caller can rebase and retry under its budget.
+struct CasOutcome {
+  bool won = false;
+  // Win side (mirrors AppendOutcome).
+  std::uint64_t seqno = 0;
+  Name record_hash;
+  std::uint32_t acks = 0;
+  // Loss side: why (kConflict or kLeaseHeld) and where the tip is now.
+  Errc code = Errc::kOk;
+  std::uint64_t tip_seqno = 0;
+  Name tip_hash;
+  Name lease_holder;  ///< zero when no lease was involved
+  std::int64_t lease_expires_ns = 0;
+};
+
+/// Result of a lease acquire/renew/release.  Denials resolve ok with
+/// granted == false (leases are advisory; losing one is normal).
+struct LeaseOutcome {
+  bool granted = false;
+  Errc code = Errc::kOk;  ///< kLeaseHeld etc. when denied
+  std::uint64_t lease_id = 0;
+  Name holder;  ///< current holder (the winner, on denial)
+  std::int64_t expires_ns = 0;
+  std::uint64_t tip_seqno = 0;  ///< replica tip at decision time
+  Name tip_hash;
 };
 
 class GdpClient : public router::Endpoint {
@@ -138,6 +173,31 @@ class GdpClient : public router::Endpoint {
   OpPtr<AppendOutcome> append_record(const capsule::Metadata& metadata,
                                      const capsule::Record& record,
                                      std::uint32_t required_acks = 1);
+
+  /// SCL optimistic compare-and-append: the append lands only if the
+  /// replica's canonical tip still is (expected_tip_seqno,
+  /// expected_tip_hash); a lost race resolves with won == false and the
+  /// current tip to rebase onto.  `lease_id` presents a held tip lease
+  /// (0 = none).
+  OpPtr<CasOutcome> cond_append(const capsule::Metadata& metadata,
+                                const capsule::Record& record,
+                                std::uint64_t expected_tip_seqno,
+                                const Name& expected_tip_hash,
+                                std::uint32_t required_acks = 1,
+                                std::uint64_t lease_id = 0);
+
+  /// SCL capsule-tip lease control; `op` is a LeaseRequestMsg op code.
+  /// The grant carries the replica's current tip, so acquiring doubles as
+  /// a tip fetch.
+  OpPtr<LeaseOutcome> lease_request(const capsule::Metadata& metadata,
+                                    std::uint8_t op, std::uint64_t lease_id,
+                                    Duration duration);
+  OpPtr<LeaseOutcome> lease_acquire(const capsule::Metadata& metadata,
+                                    Duration duration);
+  OpPtr<LeaseOutcome> lease_renew(const capsule::Metadata& metadata,
+                                  std::uint64_t lease_id, Duration duration);
+  OpPtr<LeaseOutcome> lease_release(const capsule::Metadata& metadata,
+                                    std::uint64_t lease_id);
 
   /// Verified range read [first, last] (0,0 = latest) from the closest
   /// replica.
@@ -179,6 +239,13 @@ class GdpClient : public router::Endpoint {
   /// Read-retry token bucket (tests inspect grant/denial accounting).
   const loadmgmt::RetryBudget& read_retry_budget() const {
     return read_retry_budget_;
+  }
+
+  /// Memoizing multi-writer credential checker bound to this client's
+  /// verify cache; CAAPI layers replaying MW capsules share it so each
+  /// writer credential costs one ECDSA verify per client, not per record.
+  const capsule::SigChecker& credential_checker() const {
+    return credential_checker_;
   }
 
  protected:
@@ -233,6 +300,8 @@ class GdpClient : public router::Endpoint {
   AppHandler app_handler_;
   std::uint64_t next_nonce_ = 1;
   loadmgmt::RetryBudget read_retry_budget_;
+  trust::VerifyCache credential_cache_;
+  capsule::SigChecker credential_checker_;
 
   // Telemetry handles (`client.<label>.*`).  Latency is *simulated* time
   // from request send to response arrival, so dumps stay deterministic.

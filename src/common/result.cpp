@@ -15,6 +15,8 @@ std::string_view errc_name(Errc c) {
     case Errc::kCorruptData: return "CORRUPT_DATA";
     case Errc::kFailedPrecondition: return "FAILED_PRECONDITION";
     case Errc::kExpired: return "EXPIRED";
+    case Errc::kConflict: return "CONFLICT";
+    case Errc::kLeaseHeld: return "LEASE_HELD";
     case Errc::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

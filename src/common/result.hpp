@@ -28,6 +28,8 @@ enum class Errc {
   kCorruptData,        // storage-level integrity failure
   kFailedPrecondition, // API misuse detectable at runtime (e.g. writer state)
   kExpired,            // certificate or advertisement past expiry
+  kConflict,           // compare-and-append lost: capsule tip moved
+  kLeaseHeld,          // capsule tip lease held by another client
   kInternal,           // invariant violation inside the library
                        // (add new codes above; kInternal stays last so
                        //  kErrcCount and the C-API mapping stay exhaustive)

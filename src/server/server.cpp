@@ -64,11 +64,26 @@ CapsuleServer::CapsuleServer(net::Network& net, const crypto::PrivateKey& key,
           net_.metrics().counter(metric_prefix_ + "ingest.high_water")),
       load_reports_sent_(
           net_.metrics().counter(metric_prefix_ + "load_reports.sent")),
+      cas_win_(net_.metrics().counter(metric_prefix_ + "scl.cas.win")),
+      cas_conflict_(net_.metrics().counter(metric_prefix_ + "scl.cas.conflict")),
+      cas_lease_rejected_(
+          net_.metrics().counter(metric_prefix_ + "scl.cas.lease_rejected")),
+      lease_granted_(net_.metrics().counter(metric_prefix_ + "scl.lease.granted")),
+      lease_denied_(net_.metrics().counter(metric_prefix_ + "scl.lease.denied")),
       batch_size_(net_.metrics().histogram(metric_prefix_ + "batch.size")),
       ingest_depth_(
           net_.metrics().histogram(metric_prefix_ + "ingest.depth")) {
   batch_seed_ = net_.sim().rng().next_u64();
   overload_ = loadmgmt::OverloadManager(options_.overload);
+  // Multi-writer credential verdicts route through the server's verify
+  // cache: one credential signs every record of a writer's branch.
+  store_.set_credential_checker(
+      [this](const crypto::PublicKey& issuer, BytesView payload,
+             const crypto::Signature& sig, std::int64_t expires_ns,
+             std::int64_t now_ns) {
+        return trust::cached_verify(&credential_cache_, issuer, payload, sig,
+                                    expires_ns, TimePoint(now_ns));
+      });
 }
 
 void CapsuleServer::publish_metrics() {
@@ -233,6 +248,7 @@ bool serviced_op(wire::MsgType type) {
     case wire::MsgType::kBenchData:
     case wire::MsgType::kRead:
     case wire::MsgType::kAppend:
+    case wire::MsgType::kCondAppend:
     case wire::MsgType::kSyncPush:
       return true;
     default:
@@ -244,7 +260,9 @@ loadmgmt::DropPriority drop_priority_of(wire::MsgType type) {
   switch (type) {
     case wire::MsgType::kBenchData: return loadmgmt::DropPriority::kBench;
     case wire::MsgType::kRead: return loadmgmt::DropPriority::kRead;
-    case wire::MsgType::kAppend: return loadmgmt::DropPriority::kWrite;
+    case wire::MsgType::kAppend:
+    case wire::MsgType::kCondAppend:
+      return loadmgmt::DropPriority::kWrite;
     default: return loadmgmt::DropPriority::kCritical;
   }
 }
@@ -328,16 +346,26 @@ void CapsuleServer::shed_op(const wire::Pdu& pdu,
     case loadmgmt::DropPriority::kWrite: {
       shed_appends_.inc();
       net_.trace().record(pdu.trace_id, self_.name(), "drop", "shed_append");
-      auto msg = wire::AppendMsg::deserialize(pdu.payload);
-      if (!msg.ok()) return;
       PendingDurability pending;
       pending.writer = pdu.src;
-      pending.capsule = msg->capsule;
-      pending.record_hash = msg->record.hash();
-      pending.seqno = msg->record.header.seqno;
       pending.acks = 0;  // nothing persisted
-      pending.client_nonce = msg->nonce;
-      pending.session_pubkey = msg->session_pubkey;
+      if (pdu.type == wire::MsgType::kCondAppend) {
+        auto msg = wire::CondAppendMsg::deserialize(pdu.payload);
+        if (!msg.ok()) return;
+        pending.capsule = msg->capsule;
+        pending.record_hash = msg->record.hash();
+        pending.seqno = msg->record.header.seqno;
+        pending.client_nonce = msg->nonce;
+        pending.session_pubkey = msg->session_pubkey;
+      } else {
+        auto msg = wire::AppendMsg::deserialize(pdu.payload);
+        if (!msg.ok()) return;
+        pending.capsule = msg->capsule;
+        pending.record_hash = msg->record.hash();
+        pending.seqno = msg->record.header.seqno;
+        pending.client_nonce = msg->nonce;
+        pending.session_pubkey = msg->session_pubkey;
+      }
       send_append_ack(pending, false,
                       std::string(errc_name(Errc::kUnavailable)) +
                           ": append shed under overload");
@@ -385,6 +413,8 @@ void CapsuleServer::dispatch_op(const Name& from, const wire::Pdu& pdu) {
   switch (pdu.type) {
     case wire::MsgType::kCreateCapsule: handle_create(from, pdu); return;
     case wire::MsgType::kAppend: handle_append(pdu); return;
+    case wire::MsgType::kCondAppend: handle_cond_append(pdu); return;
+    case wire::MsgType::kLeaseRequest: handle_lease_request(pdu); return;
     case wire::MsgType::kRead: handle_read(pdu); return;
     case wire::MsgType::kSubscribe: handle_subscribe(pdu); return;
     case wire::MsgType::kSyncPull: handle_sync_pull(pdu); return;
@@ -457,8 +487,14 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
     send_append_ack(pending, false, "capsule not hosted here");
     return;
   }
-  const std::uint64_t tip_before = cs->state().tip_seqno();
-  Status ingested = cs->ingest(msg->record);
+  run_append(*cs, std::move(pending), msg->record, pdu);
+}
+
+void CapsuleServer::run_append(store::CapsuleStore& cs, PendingDurability pending,
+                               const Record& record, const wire::Pdu& pdu) {
+  const Name capsule = pending.capsule;
+  const std::uint64_t tip_before = cs.state().tip_seqno();
+  Status ingested = cs.ingest(record);
   if (!ingested.ok()) {
     appends_rejected_.inc();
     net_.trace().record(pdu.trace_id, self_.name(), "verify", "append_rejected");
@@ -468,13 +504,13 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
   appends_accepted_.inc();
   // Local persistence means *flushed*, not just buffered — acking before
   // the flush would claim durability the storage engine cannot back.
-  (void)cs->sync();
+  (void)cs.sync();
   net_.metrics()
-      .histogram("store." + msg->capsule.short_hex() + ".append.bytes")
-      .record(msg->record.payload.size());
-  publish_new_canonical(msg->capsule, tip_before);
+      .histogram("store." + capsule.short_hex() + ".append.bytes")
+      .record(record.payload.size());
+  publish_new_canonical(capsule, tip_before);
 
-  const auto peer_it = peers_.find(msg->capsule);
+  const auto peer_it = peers_.find(capsule);
   const std::size_t peer_count = peer_it == peers_.end() ? 0 : peer_it->second.size();
   pending.peer_count = static_cast<std::uint32_t>(peer_count);
   // The local flushed persist is the first durable copy, so the quorum
@@ -485,21 +521,21 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
                     "required_acks " + std::to_string(pending.required) +
                         " unsatisfiable with " + std::to_string(peer_count) +
                         " replica peers");
-    propagate_record(msg->capsule, msg->record, 0);
+    propagate_record(capsule, record, 0);
     return;
   }
   if (pending.required <= 1) {
     // Fast path (§VI-B): ack after local persistence, propagate in the
     // background.
     send_append_ack(pending, true, "");
-    propagate_record(msg->capsule, msg->record, 0);
+    propagate_record(capsule, record, 0);
     return;
   }
   // Durable path: hold the ack until enough replicas confirm (the local
   // copy already counts as ack #1).
   const std::uint64_t id = next_pending_id_++;
   pending_[id] = pending;
-  propagate_record(msg->capsule, msg->record, id);
+  propagate_record(capsule, record, id);
   net_.sim().schedule(options_.durability_timeout, [this, id] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;  // already acked
@@ -509,6 +545,179 @@ void CapsuleServer::handle_append(const wire::Pdu& pdu) {
                     "durability timeout: " + std::to_string(p.acks) + "/" +
                         std::to_string(p.required) + " acks");
   });
+}
+
+CapsuleServer::Lease* CapsuleServer::active_lease(const Name& capsule) {
+  auto it = leases_.find(capsule);
+  if (it == leases_.end()) return nullptr;
+  if (it->second.expires_ns <= net_.sim().now().count()) {
+    leases_.erase(it);  // lazily reaped; expiry needs no timer
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void CapsuleServer::send_cas_nack(const store::CapsuleStore& cs,
+                                  const wire::Pdu& pdu, std::uint64_t nonce,
+                                  BytesView session_pubkey, Errc code,
+                                  std::string why, const Lease* lease) {
+  wire::CasNackMsg nack;
+  nack.capsule = cs.metadata().name();
+  nack.code = static_cast<std::uint16_t>(code);
+  nack.error = std::string(errc_name(code)) + ": " + std::move(why);
+  nack.tip_seqno = cs.state().tip_seqno();
+  nack.tip_hash = cs.state().tip_hash();
+  if (lease != nullptr) {
+    nack.lease_holder = lease->holder;
+    nack.lease_expires_ns = lease->expires_ns;
+  }
+  nack.nonce = nonce;
+  authenticate_response(nack.capsule, pdu.src, session_pubkey, nack.signed_body(),
+                        nack.auth, nack.server_principal, nack.delegation);
+  send_pdu(pdu.src, wire::MsgType::kCasNack, nack.serialize(), pdu.flow_id);
+}
+
+void CapsuleServer::handle_cond_append(const wire::Pdu& pdu) {
+  auto msg = wire::CondAppendMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_cond_append");
+    return;
+  }
+
+  PendingDurability pending;
+  pending.writer = pdu.src;
+  pending.capsule = msg->capsule;
+  pending.record_hash = msg->record.hash();
+  pending.seqno = msg->record.header.seqno;
+  pending.required = std::max<std::uint32_t>(1, msg->required_acks);
+  pending.client_nonce = msg->nonce;
+  pending.session_pubkey = msg->session_pubkey;
+
+  store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    appends_rejected_.inc();
+    send_append_ack(pending, false, "capsule not hosted here");
+    return;
+  }
+  // Advisory lease gate first: a writer that does not present the active
+  // lease backs off without even reaching the tip comparison.
+  Lease* lease = active_lease(msg->capsule);
+  if (lease != nullptr && lease->id != msg->lease_id) {
+    cas_lease_rejected_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "cas_lease_held");
+    send_cas_nack(*cs, pdu, msg->nonce, msg->session_pubkey, Errc::kLeaseHeld,
+                  "capsule tip lease held by another writer", lease);
+    return;
+  }
+  // The actual compare half of compare-and-append: both seqno and hash
+  // must match the canonical tip, so a raced append — even one producing
+  // the same seqno on a different branch — nacks with the fresh tip.
+  const auto& state = cs->state();
+  if (state.tip_seqno() != msg->expected_tip_seqno ||
+      state.tip_hash() != msg->expected_tip_hash) {
+    cas_conflict_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "verify", "cas_conflict");
+    send_cas_nack(*cs, pdu, msg->nonce, msg->session_pubkey, Errc::kConflict,
+                  "capsule tip moved", lease);
+    return;
+  }
+  cas_win_.inc();
+  run_append(*cs, std::move(pending), msg->record, pdu);
+}
+
+void CapsuleServer::handle_lease_request(const wire::Pdu& pdu) {
+  auto msg = wire::LeaseRequestMsg::deserialize(pdu.payload);
+  if (!msg.ok()) {
+    drop_malformed_.inc();
+    net_.trace().record(pdu.trace_id, self_.name(), "drop", "malformed_lease");
+    return;
+  }
+
+  wire::LeaseGrantMsg grant;
+  grant.capsule = msg->capsule;
+  grant.nonce = msg->nonce;
+
+  auto respond = [&] {
+    authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
+                          grant.signed_body(), grant.auth,
+                          grant.server_principal, grant.delegation);
+    send_pdu(pdu.src, wire::MsgType::kLeaseGrant, grant.serialize(), pdu.flow_id);
+  };
+  auto deny = [&](Errc code, std::string why, const Lease* holder) {
+    lease_denied_.inc();
+    grant.ok = false;
+    grant.code = static_cast<std::uint16_t>(code);
+    grant.error = std::string(errc_name(code)) + ": " + std::move(why);
+    if (holder != nullptr) {
+      grant.lease_id = holder->id;
+      grant.holder = holder->holder;
+      grant.expires_ns = holder->expires_ns;
+    }
+    respond();
+  };
+
+  store::CapsuleStore* cs = store_.find(msg->capsule);
+  if (cs == nullptr) {
+    deny(Errc::kNotFound, "capsule not hosted here", nullptr);
+    return;
+  }
+  // Grants always carry the current tip so the holder can start (or
+  // resume) its CAS chain without a separate read round-trip.
+  grant.tip_seqno = cs->state().tip_seqno();
+  grant.tip_hash = cs->state().tip_hash();
+  const std::int64_t now = net_.sim().now().count();
+  Lease* lease = active_lease(msg->capsule);
+
+  switch (msg->op) {
+    case wire::LeaseRequestMsg::kAcquire: {
+      if (lease != nullptr && lease->holder != msg->holder) {
+        deny(Errc::kLeaseHeld, "lease held by another client", lease);
+        return;
+      }
+      Lease fresh;
+      fresh.holder = msg->holder;
+      // Re-acquisition by the same holder keeps the id (its in-flight CAS
+      // chain stays valid) and just extends the window.
+      fresh.id = lease != nullptr ? lease->id : next_lease_id_++;
+      fresh.expires_ns = now + msg->duration_ns;
+      leases_[msg->capsule] = fresh;
+      lease_granted_.inc();
+      grant.ok = true;
+      grant.lease_id = fresh.id;
+      grant.holder = fresh.holder;
+      grant.expires_ns = fresh.expires_ns;
+      respond();
+      return;
+    }
+    case wire::LeaseRequestMsg::kRenew: {
+      if (lease == nullptr || lease->id != msg->lease_id ||
+          lease->holder != msg->holder) {
+        deny(Errc::kNotFound, "no matching lease to renew", lease);
+        return;
+      }
+      lease->expires_ns = now + msg->duration_ns;
+      lease_granted_.inc();
+      grant.ok = true;
+      grant.lease_id = lease->id;
+      grant.holder = lease->holder;
+      grant.expires_ns = lease->expires_ns;
+      respond();
+      return;
+    }
+    case wire::LeaseRequestMsg::kRelease: {
+      // Idempotent: releasing an expired or already-released lease is ok.
+      if (lease != nullptr && lease->id == msg->lease_id &&
+          lease->holder == msg->holder) {
+        leases_.erase(msg->capsule);
+      }
+      grant.ok = true;
+      respond();
+      return;
+    }
+    default:
+      deny(Errc::kInvalidArgument, "unknown lease op", nullptr);
+  }
 }
 
 void CapsuleServer::propagate_record(const Name& capsule, const Record& record,
@@ -625,7 +834,13 @@ void CapsuleServer::handle_sync_push(const wire::Pdu& pdu) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     if (!cs->state().known(records[i].hash())) fresh.push_back(i);
   }
-  if (fresh.size() >= crypto::BatchVerifier::kMinBatch) {
+  // Batch verification assumes one writer key for the whole flood; in
+  // multi-writer mode each record resolves its key from its own credential
+  // envelope, so records go through per-record ingest (memoized via the
+  // credential cache) instead.
+  const bool single_writer =
+      cs->metadata().mode() != capsule::WriterMode::kMultiWriter;
+  if (single_writer && fresh.size() >= crypto::BatchVerifier::kMinBatch) {
     crypto::BatchVerifier batch(batch_seed_);
     batch.reserve(fresh.size());
     const crypto::PublicKey& writer = cs->metadata().writer_key();
@@ -1043,6 +1258,15 @@ void CapsuleServer::handle_read(const wire::Pdu& pdu) {
   resp.ok = true;
   resp.proof = proof->serialize();
   resp.heartbeat = hb.serialize();
+  if (cs->metadata().mode() == capsule::WriterMode::kMultiWriter) {
+    // Off-canonical records (the losing sides of CAS races that still
+    // landed here or on a peer) ride along so a reader's deterministic
+    // merge sees every writer's data; each is client-verified standalone
+    // through its own credential envelope.
+    for (const Record& br : state.branch_records()) {
+      resp.branch_records.push_back(br.serialize());
+    }
+  }
   authenticate_response(msg->capsule, pdu.src, msg->session_pubkey,
                         resp.signed_body(), resp.auth, resp.server_principal,
                         resp.delegation);

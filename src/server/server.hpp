@@ -27,6 +27,7 @@
 #include "loadmgmt/overload.hpp"
 #include "router/endpoint.hpp"
 #include "store/capsule_store.hpp"
+#include "trust/verify_cache.hpp"
 
 namespace gdp::server {
 
@@ -172,6 +173,15 @@ class CapsuleServer : public router::Endpoint {
     wire::Pdu pdu;
   };
 
+  /// Advisory capsule-tip lease (SCL).  Per-replica, lazily expired; a
+  /// stale or split-brain lease can cost CAS retries but never
+  /// correctness — the tip check remains the safety mechanism.
+  struct Lease {
+    Name holder;
+    std::uint64_t id = 0;
+    std::int64_t expires_ns = 0;
+  };
+
   /// The pre-PR-9 dispatch switch: runs one op to completion, now.
   void dispatch_op(const Name& from, const wire::Pdu& pdu);
   /// Admission control for the serviced ingest path: classify, shed or
@@ -188,6 +198,8 @@ class CapsuleServer : public router::Endpoint {
 
   void handle_create(const Name& from, const wire::Pdu& pdu);
   void handle_append(const wire::Pdu& pdu);
+  void handle_cond_append(const wire::Pdu& pdu);
+  void handle_lease_request(const wire::Pdu& pdu);
   void handle_read(const wire::Pdu& pdu);
   void handle_subscribe(const wire::Pdu& pdu);
   void handle_sync_pull(const wire::Pdu& pdu);
@@ -211,6 +223,16 @@ class CapsuleServer : public router::Endpoint {
   std::optional<crypto::SymmetricKey> session_key_for(const Name& client,
                                                       BytesView session_pubkey);
 
+  /// Shared append tail: ingest + flush + publish + quorum handling.
+  /// Both the plain and the conditional append path end here.
+  void run_append(store::CapsuleStore& cs, PendingDurability pending,
+                  const capsule::Record& record, const wire::Pdu& pdu);
+  /// The capsule's lease if one is active now; expired entries are reaped.
+  Lease* active_lease(const Name& capsule);
+  void send_cas_nack(const store::CapsuleStore& cs, const wire::Pdu& pdu,
+                     std::uint64_t nonce, BytesView session_pubkey, Errc code,
+                     std::string why, const Lease* lease);
+
   void send_append_ack(const PendingDurability& pending, bool ok, std::string error);
   void send_status(const Name& to, bool ok, Errc code, std::string message,
                    std::uint64_t nonce);
@@ -225,6 +247,11 @@ class CapsuleServer : public router::Endpoint {
   std::unordered_map<Name, std::vector<Name>> subscribers_;  ///< per capsule
   std::unordered_map<std::uint64_t, PendingDurability> pending_;  ///< by flow id
   std::unordered_map<Name, SyncSession> sync_sessions_;  ///< by capsule
+  std::unordered_map<Name, Lease> leases_;  ///< advisory tip leases, by capsule
+  std::uint64_t next_lease_id_ = 1;
+  /// Memoizes multi-writer credential verdicts: hundreds of records per
+  /// writer share one credential, so each costs one ECDSA verify total.
+  trust::VerifyCache credential_cache_;
   std::unordered_map<Name, crypto::SymmetricKey> sessions_;  ///< by client
   std::unordered_set<Name> introduced_;  ///< clients that hold our evidence
   std::uint64_t next_pending_id_ = 1;
@@ -267,6 +294,11 @@ class CapsuleServer : public router::Endpoint {
   telemetry::Counter& ingest_processed_;
   telemetry::Counter& ingest_high_water_;
   telemetry::Counter& load_reports_sent_;
+  telemetry::Counter& cas_win_;
+  telemetry::Counter& cas_conflict_;
+  telemetry::Counter& cas_lease_rejected_;
+  telemetry::Counter& lease_granted_;
+  telemetry::Counter& lease_denied_;
   telemetry::Histogram& batch_size_;
   telemetry::Histogram& ingest_depth_;
 };

@@ -119,7 +119,9 @@ Status ServerStore::host(const capsule::Metadata& metadata,
           ? CapsuleStore::open(dir)
           : CapsuleStore::create(dir, metadata, delegation);
   if (!created.ok()) return created.error();
-  capsules_.emplace(name, std::make_unique<CapsuleStore>(std::move(created).value()));
+  auto cs = std::make_unique<CapsuleStore>(std::move(created).value());
+  if (checker_) cs->set_credential_checker(checker_);
+  capsules_.emplace(name, std::move(cs));
   return ok_status();
 }
 

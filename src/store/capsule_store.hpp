@@ -40,6 +40,12 @@ class CapsuleStore {
   const trust::ServingDelegation& delegation() const { return delegation_; }
   const capsule::CapsuleState& state() const { return *state_; }
 
+  /// Installs the multi-writer credential checker on the underlying state
+  /// (typically trust::cached_verify bound to the server's VerifyCache).
+  void set_credential_checker(capsule::SigChecker checker) {
+    state_->set_credential_checker(std::move(checker));
+  }
+
   /// Root of the canonical chain's Merkle summary (the anti-entropy
   /// anchor).  Rebuilt from the replayed records on open(), so a reopened
   /// store answers summary probes identically to the one that wrote it.
@@ -91,11 +97,20 @@ class ServerStore {
   const CapsuleStore* find(const Name& capsule) const;
   std::vector<Name> hosted() const;
 
+  /// Installs a credential checker on every hosted capsule, and on any
+  /// capsule hosted later.  Replay during open() happens before any checker
+  /// is installed and falls back to raw verifies.
+  void set_credential_checker(capsule::SigChecker checker) {
+    checker_ = std::move(checker);
+    for (auto& [name, cs] : capsules_) cs->set_credential_checker(checker_);
+  }
+
  private:
   explicit ServerStore(std::filesystem::path root) : root_(std::move(root)) {}
 
   std::filesystem::path root_;
   std::unordered_map<Name, std::unique_ptr<CapsuleStore>> capsules_;
+  capsule::SigChecker checker_;
 };
 
 }  // namespace gdp::store

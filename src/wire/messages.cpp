@@ -268,6 +268,7 @@ Bytes ReadResponseMsg::signed_body() const {
   put_string(out, error);
   put_length_prefixed(out, proof);
   put_length_prefixed(out, heartbeat);
+  put_bytes_list(out, branch_records);
   put_fixed64(out, nonce);
   return out;
 }
@@ -293,12 +294,13 @@ Result<ReadResponseMsg> ReadResponseMsg::deserialize(BytesView b) {
   auto error = get_string(r);
   auto proof = r.get_length_prefixed();
   auto heartbeat = r.get_length_prefixed();
+  auto branches = get_bytes_list(r);
   auto nonce = r.get_fixed64();
   auto principal = r.get_length_prefixed();
   auto delegation = r.get_length_prefixed();
   auto auth = get_auth(r);
   if (!capsule_name || !ok_byte || !code || !error || !proof || !heartbeat ||
-      !nonce || !principal || !delegation || !auth || !r.empty()) {
+      !branches || !nonce || !principal || !delegation || !auth || !r.empty()) {
     return truncated("ReadResponseMsg");
   }
   m.capsule = *capsule_name;
@@ -307,6 +309,217 @@ Result<ReadResponseMsg> ReadResponseMsg::deserialize(BytesView b) {
   m.error = std::move(*error);
   m.proof = std::move(*proof);
   m.heartbeat = std::move(*heartbeat);
+  m.branch_records = std::move(*branches);
+  m.nonce = *nonce;
+  m.server_principal = std::move(*principal);
+  m.delegation = std::move(*delegation);
+  m.auth = std::move(*auth);
+  return m;
+}
+
+// ---- CondAppendMsg ---------------------------------------------------------------
+
+Bytes CondAppendMsg::serialize() const {
+  Bytes out;
+  put_name(out, capsule);
+  put_length_prefixed(out, record.serialize());
+  put_fixed64(out, expected_tip_seqno);
+  put_name(out, expected_tip_hash);
+  put_fixed32(out, required_acks);
+  put_fixed64(out, lease_id);
+  put_fixed64(out, nonce);
+  put_length_prefixed(out, session_pubkey);
+  return out;
+}
+
+Result<CondAppendMsg> CondAppendMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto capsule_name = get_name(r);
+  auto record_bytes = r.get_length_prefixed();
+  auto tip_seqno = r.get_fixed64();
+  auto tip_hash = get_name(r);
+  auto acks = r.get_fixed32();
+  auto lease = r.get_fixed64();
+  auto nonce = r.get_fixed64();
+  auto session = r.get_length_prefixed();
+  if (!capsule_name || !record_bytes || !tip_seqno || !tip_hash || !acks ||
+      !lease || !nonce || !session || !r.empty()) {
+    return truncated("CondAppendMsg");
+  }
+  GDP_ASSIGN_OR_RETURN(capsule::Record record,
+                       capsule::Record::deserialize(*record_bytes));
+  CondAppendMsg m;
+  m.capsule = *capsule_name;
+  m.record = std::move(record);
+  m.expected_tip_seqno = *tip_seqno;
+  m.expected_tip_hash = *tip_hash;
+  m.required_acks = *acks;
+  m.lease_id = *lease;
+  m.nonce = *nonce;
+  m.session_pubkey = std::move(*session);
+  return m;
+}
+
+// ---- CasNackMsg ------------------------------------------------------------------
+
+Bytes CasNackMsg::signed_body() const {
+  Bytes out = to_bytes("gdp.cas-nack.v1");
+  put_name(out, capsule);
+  put_fixed32(out, code);
+  put_string(out, error);
+  put_fixed64(out, tip_seqno);
+  put_name(out, tip_hash);
+  put_name(out, lease_holder);
+  put_fixed64(out, static_cast<std::uint64_t>(lease_expires_ns));
+  put_fixed64(out, nonce);
+  return out;
+}
+
+Bytes CasNackMsg::serialize() const {
+  Bytes out = signed_body();
+  put_length_prefixed(out, server_principal);
+  put_length_prefixed(out, delegation);
+  put_auth(out, auth);
+  return out;
+}
+
+Result<CasNackMsg> CasNackMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto tag = r.get_bytes(15);
+  if (!tag || to_string(*tag) != "gdp.cas-nack.v1") {
+    return truncated("CasNackMsg tag");
+  }
+  CasNackMsg m;
+  auto capsule_name = get_name(r);
+  auto code = r.get_fixed32();
+  auto error = get_string(r);
+  auto tip_seqno = r.get_fixed64();
+  auto tip_hash = get_name(r);
+  auto holder = get_name(r);
+  auto lease_expires = r.get_fixed64();
+  auto nonce = r.get_fixed64();
+  auto principal = r.get_length_prefixed();
+  auto delegation = r.get_length_prefixed();
+  auto auth = get_auth(r);
+  if (!capsule_name || !code || !error || !tip_seqno || !tip_hash || !holder ||
+      !lease_expires || !nonce || !principal || !delegation || !auth ||
+      !r.empty()) {
+    return truncated("CasNackMsg");
+  }
+  m.capsule = *capsule_name;
+  m.code = static_cast<std::uint16_t>(*code);
+  m.error = std::move(*error);
+  m.tip_seqno = *tip_seqno;
+  m.tip_hash = *tip_hash;
+  m.lease_holder = *holder;
+  m.lease_expires_ns = static_cast<std::int64_t>(*lease_expires);
+  m.nonce = *nonce;
+  m.server_principal = std::move(*principal);
+  m.delegation = std::move(*delegation);
+  m.auth = std::move(*auth);
+  return m;
+}
+
+// ---- LeaseRequestMsg -------------------------------------------------------------
+
+Bytes LeaseRequestMsg::serialize() const {
+  Bytes out;
+  put_name(out, capsule);
+  out.push_back(op);
+  put_name(out, holder);
+  put_fixed64(out, lease_id);
+  put_fixed64(out, static_cast<std::uint64_t>(duration_ns));
+  put_fixed64(out, nonce);
+  put_length_prefixed(out, session_pubkey);
+  return out;
+}
+
+Result<LeaseRequestMsg> LeaseRequestMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto capsule_name = get_name(r);
+  auto op_byte = r.get_bytes(1);
+  if (op_byte && (*op_byte)[0] > kRelease) {
+    return make_error(Errc::kInvalidArgument, "bad LeaseRequestMsg op");
+  }
+  auto holder = get_name(r);
+  auto lease = r.get_fixed64();
+  auto duration = r.get_fixed64();
+  auto nonce = r.get_fixed64();
+  auto session = r.get_length_prefixed();
+  if (!capsule_name || !op_byte || !holder || !lease || !duration || !nonce ||
+      !session || !r.empty()) {
+    return truncated("LeaseRequestMsg");
+  }
+  LeaseRequestMsg m;
+  m.capsule = *capsule_name;
+  m.op = (*op_byte)[0];
+  m.holder = *holder;
+  m.lease_id = *lease;
+  m.duration_ns = static_cast<std::int64_t>(*duration);
+  m.nonce = *nonce;
+  m.session_pubkey = std::move(*session);
+  return m;
+}
+
+// ---- LeaseGrantMsg ---------------------------------------------------------------
+
+Bytes LeaseGrantMsg::signed_body() const {
+  Bytes out = to_bytes("gdp.lease-grant.v1");
+  put_name(out, capsule);
+  out.push_back(ok ? 1 : 0);
+  put_fixed32(out, code);
+  put_string(out, error);
+  put_fixed64(out, lease_id);
+  put_name(out, holder);
+  put_fixed64(out, static_cast<std::uint64_t>(expires_ns));
+  put_fixed64(out, tip_seqno);
+  put_name(out, tip_hash);
+  put_fixed64(out, nonce);
+  return out;
+}
+
+Bytes LeaseGrantMsg::serialize() const {
+  Bytes out = signed_body();
+  put_length_prefixed(out, server_principal);
+  put_length_prefixed(out, delegation);
+  put_auth(out, auth);
+  return out;
+}
+
+Result<LeaseGrantMsg> LeaseGrantMsg::deserialize(BytesView b) {
+  ByteReader r(b);
+  auto tag = r.get_bytes(18);
+  if (!tag || to_string(*tag) != "gdp.lease-grant.v1") {
+    return truncated("LeaseGrantMsg tag");
+  }
+  LeaseGrantMsg m;
+  auto capsule_name = get_name(r);
+  auto ok_byte = r.get_bytes(1);
+  auto code = r.get_fixed32();
+  auto error = get_string(r);
+  auto lease = r.get_fixed64();
+  auto holder = get_name(r);
+  auto expires = r.get_fixed64();
+  auto tip_seqno = r.get_fixed64();
+  auto tip_hash = get_name(r);
+  auto nonce = r.get_fixed64();
+  auto principal = r.get_length_prefixed();
+  auto delegation = r.get_length_prefixed();
+  auto auth = get_auth(r);
+  if (!capsule_name || !ok_byte || !code || !error || !lease || !holder ||
+      !expires || !tip_seqno || !tip_hash || !nonce || !principal ||
+      !delegation || !auth || !r.empty()) {
+    return truncated("LeaseGrantMsg");
+  }
+  m.capsule = *capsule_name;
+  m.ok = (*ok_byte)[0] != 0;
+  m.code = static_cast<std::uint16_t>(*code);
+  m.error = std::move(*error);
+  m.lease_id = *lease;
+  m.holder = *holder;
+  m.expires_ns = static_cast<std::int64_t>(*expires);
+  m.tip_seqno = *tip_seqno;
+  m.tip_hash = *tip_hash;
   m.nonce = *nonce;
   m.server_principal = std::move(*principal);
   m.delegation = std::move(*delegation);

@@ -110,6 +110,12 @@ struct ReadResponseMsg {
   std::string error;
   Bytes proof;      ///< serialized capsule::RangeProof when ok
   Bytes heartbeat;  ///< serialized capsule::Heartbeat when ok
+  /// Multi-writer capsules only: attached records *off* the canonical
+  /// chain (lost CAS races, anycast forks awaiting anti-entropy).  Each is
+  /// a serialized capsule::Record the client verifies standalone through
+  /// its credential envelope; deterministic replay merges them with the
+  /// canonical range so every reader converges on the same tree.
+  std::vector<Bytes> branch_records;
   std::uint64_t nonce = 0;
   Bytes server_principal;
   Bytes delegation;
@@ -137,6 +143,90 @@ struct StatusMsg {
 
   Bytes serialize() const;
   static Result<StatusMsg> deserialize(BytesView b);
+};
+
+// ---- SCL concurrency layer (compare-and-append + tip leases) ---------------------
+
+/// Optimistic compare-and-append: the record lands only if the replica's
+/// canonical tip still equals (expected_tip_seqno, expected_tip_hash).
+/// Success acks as a normal kAppendAck; a lost race nacks as kCasNack
+/// carrying the current tip so the writer can rebase and retry.
+struct CondAppendMsg {
+  Name capsule;
+  capsule::Record record;
+  std::uint64_t expected_tip_seqno = 0;  ///< 0 = expecting an empty capsule
+  Name expected_tip_hash;                ///< capsule name when expecting empty
+  std::uint32_t required_acks = 1;
+  std::uint64_t lease_id = 0;            ///< 0 = no lease claimed
+  std::uint64_t nonce = 0;
+  Bytes session_pubkey;  ///< empty or 64-byte ECDH ephemeral for HMAC acks
+
+  Bytes serialize() const;
+  static Result<CondAppendMsg> deserialize(BytesView b);
+};
+
+/// CAS rejection.  Authenticated like every server response: an on-path
+/// attacker must not be able to forge a nack (livelocking writers) or
+/// rewrite the tip a loser rebases onto.
+struct CasNackMsg {
+  Name capsule;
+  std::uint16_t code = 0;  ///< Errc::kConflict or Errc::kLeaseHeld
+  std::string error;
+  std::uint64_t tip_seqno = 0;  ///< current canonical tip for rebase
+  Name tip_hash;
+  Name lease_holder;                 ///< zero name when no lease interferes
+  std::int64_t lease_expires_ns = 0;
+  std::uint64_t nonce = 0;
+  Bytes server_principal;
+  Bytes delegation;
+  ResponseAuth auth;
+
+  Bytes signed_body() const;
+  Bytes serialize() const;
+  static Result<CasNackMsg> deserialize(BytesView b);
+};
+
+/// Advisory capsule-tip lease control: acquire / renew / release.  Leases
+/// reduce CAS contention (losers back off while the holder streams); CAS
+/// itself remains the safety mechanism, so an expired or split-brain
+/// lease can cost throughput but never correctness.
+struct LeaseRequestMsg {
+  static constexpr std::uint8_t kAcquire = 0;
+  static constexpr std::uint8_t kRenew = 1;
+  static constexpr std::uint8_t kRelease = 2;
+
+  Name capsule;
+  std::uint8_t op = kAcquire;
+  Name holder;                    ///< requesting client's principal name
+  std::uint64_t lease_id = 0;     ///< required for renew/release
+  std::int64_t duration_ns = 0;   ///< requested extension from now
+  std::uint64_t nonce = 0;
+  Bytes session_pubkey;
+
+  Bytes serialize() const;
+  static Result<LeaseRequestMsg> deserialize(BytesView b);
+};
+
+/// Lease decision; grants carry the replica's current tip so the holder
+/// can start (or resume) appending without an extra read round-trip.
+struct LeaseGrantMsg {
+  Name capsule;
+  bool ok = false;
+  std::uint16_t code = 0;  ///< Errc::kLeaseHeld when denied
+  std::string error;
+  std::uint64_t lease_id = 0;
+  Name holder;                  ///< current holder (the winner on denial)
+  std::int64_t expires_ns = 0;
+  std::uint64_t tip_seqno = 0;  ///< replica's canonical tip at decision time
+  Name tip_hash;
+  std::uint64_t nonce = 0;
+  Bytes server_principal;
+  Bytes delegation;
+  ResponseAuth auth;
+
+  Bytes signed_body() const;
+  Bytes serialize() const;
+  static Result<LeaseGrantMsg> deserialize(BytesView b);
 };
 
 // ---- Server <-> server anti-entropy ----------------------------------------------

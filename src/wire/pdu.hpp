@@ -51,6 +51,14 @@ enum class MsgType : std::uint16_t {
   // Load management (server -> router -> GLookupService): periodic
   // ingest-pressure reports feeding health tracking and replica ranking.
   kLoadReport = 23,
+  // SCL concurrency layer: optimistic compare-and-append (append
+  // conditioned on the expected capsule tip; success acks as kAppendAck,
+  // a lost race nacks with the current tip) and advisory capsule-tip
+  // leases (time-bounded, renewable; grants carry the current tip).
+  kCondAppend = 24,
+  kCasNack = 25,
+  kLeaseRequest = 26,
+  kLeaseGrant = 27,
 };
 
 struct Pdu {
